@@ -1,0 +1,238 @@
+//! `cilk5-lu`: recursive blocked LU decomposition without pivoting (the
+//! input is made diagonally dominant, as in the Cilk-5 benchmark).
+//!
+//! The classic Cilk recursion: factor A00; solve the L and U panels in
+//! parallel; update the Schur complement A11 -= A10*A01 with the blocked
+//! parallel multiply; recurse on A11.
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_invoke, TaskCx};
+use bigtiny_engine::AddrSpace;
+
+use crate::cilk5::dense::{host_matmul, matmul_acc, max_abs_diff, Matrix};
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `cilk5-lu`: factor an `n`×`n` diagonally dominant matrix.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let n = match size {
+        AppSize::Test => 16,
+        AppSize::Eval => 96,
+        AppSize::Large => 160,
+    };
+    let block = if grain == 0 { 8 } else { grain.next_power_of_two().min(n) };
+
+    let m = Arc::new(Matrix::random(space, n, 0x1_u64, n as f64));
+    let original = m.snapshot();
+
+    let m2 = Arc::clone(&m);
+    let root: crate::RootFn = Box::new(move |cx| {
+        lu(cx, &m2, 0, n, block);
+    });
+    let verify = Box::new(move || {
+        let f = m.snapshot();
+        // Rebuild L (unit lower) and U from the packed factorization.
+        let mut l = vec![vec![0.0; n]; n];
+        let mut u = vec![vec![0.0; n]; n];
+        for r in 0..n {
+            l[r][r] = 1.0;
+            for c in 0..n {
+                if c < r {
+                    l[r][c] = f[r][c];
+                } else {
+                    u[r][c] = f[r][c];
+                }
+            }
+        }
+        let lu = host_matmul(&l, &u);
+        let err = max_abs_diff(&lu, &original);
+        let scale = n as f64;
+        if err < 1e-8 * scale {
+            Ok(())
+        } else {
+            Err(format!("cilk5-lu: |LU - A| = {err}"))
+        }
+    });
+    Prepared { root, verify }
+}
+
+/// In-place LU of the `s`×`s` submatrix whose top-left corner is `(o, o)`.
+fn lu(cx: &mut TaskCx<'_>, m: &Arc<Matrix>, o: usize, s: usize, block: usize) {
+    if s <= block {
+        serial_lu(cx, m, o, s);
+        return;
+    }
+    let h = s / 2;
+    lu(cx, m, o, h, block);
+    // Panel solves are independent of each other.
+    let (ml, mu) = (Arc::clone(m), Arc::clone(m));
+    parallel_invoke(
+        cx,
+        move |cx| lower_solve(cx, &ml, (o, o), (o, o + h), h, block),
+        move |cx| upper_solve(cx, &mu, (o, o), (o + h, o), h, block),
+    );
+    // Schur complement: A11 -= A10 * A01.
+    matmul_acc(cx, m, m, m, (o + h, o), (o, o + h), (o + h, o + h), h, block, -1.0);
+    lu(cx, m, o + h, h, block);
+}
+
+fn serial_lu(cx: &mut TaskCx<'_>, m: &Matrix, o: usize, s: usize) {
+    for k in 0..s {
+        let pivot = m.get(cx, o + k, o + k);
+        for i in k + 1..s {
+            let lik = m.get(cx, o + i, o + k) / pivot;
+            cx.port().advance(8); // divide
+            m.set(cx, o + i, o + k, lik);
+            for j in k + 1..s {
+                let akj = m.get(cx, o + k, o + j);
+                let aij = m.get(cx, o + i, o + j);
+                cx.port().advance(2);
+                m.set(cx, o + i, o + j, aij - lik * akj);
+            }
+        }
+    }
+}
+
+/// Solves `L * X = B` in place (B becomes X), where `L` is the unit-lower
+/// part of the `s`×`s` submatrix at `l0` and `B` is at `b0`.
+fn lower_solve(
+    cx: &mut TaskCx<'_>,
+    m: &Arc<Matrix>,
+    l0: (usize, usize),
+    b0: (usize, usize),
+    s: usize,
+    block: usize,
+) {
+    if s <= block {
+        serial_lower_solve(cx, m, l0, b0, s);
+        return;
+    }
+    let h = s / 2;
+    // The two column halves of B are independent.
+    let (m1, m2) = (Arc::clone(m), Arc::clone(m));
+    let run_half = move |cx: &mut TaskCx<'_>, m: &Arc<Matrix>, bc: usize| {
+        // B = [B0; B1] (rows): L00 X0 = B0; B1 -= L10 X0; L11 X1 = B1.
+        lower_solve(cx, m, l0, (b0.0, bc), h, block);
+        matmul_acc(cx, m, m, m, (l0.0 + h, l0.1), (b0.0, bc), (b0.0 + h, bc), h, block, -1.0);
+        lower_solve(cx, m, (l0.0 + h, l0.1 + h), (b0.0 + h, bc), h, block);
+    };
+    let bc1 = b0.1 + h;
+    parallel_invoke(
+        cx,
+        move |cx| run_half(cx, &m1, b0.1),
+        move |cx| {
+            // Same recursion on the right column half.
+            lower_solve(cx, &m2, l0, (b0.0, bc1), h, block);
+            matmul_acc(cx, &m2, &m2, &m2, (l0.0 + h, l0.1), (b0.0, bc1), (b0.0 + h, bc1), h, block, -1.0);
+            lower_solve(cx, &m2, (l0.0 + h, l0.1 + h), (b0.0 + h, bc1), h, block);
+        },
+    );
+}
+
+fn serial_lower_solve(cx: &mut TaskCx<'_>, m: &Matrix, l0: (usize, usize), b0: (usize, usize), s: usize) {
+    for j in 0..s {
+        for i in 0..s {
+            let mut acc = m.get(cx, b0.0 + i, b0.1 + j);
+            for k in 0..i {
+                let lik = m.get(cx, l0.0 + i, l0.1 + k);
+                let xkj = m.get(cx, b0.0 + k, b0.1 + j);
+                acc -= lik * xkj;
+                cx.port().advance(2);
+            }
+            m.set(cx, b0.0 + i, b0.1 + j, acc);
+        }
+    }
+}
+
+/// Solves `X * U = B` in place, where `U` is the upper part of the `s`×`s`
+/// submatrix at `u0` and `B` is at `b0`.
+fn upper_solve(
+    cx: &mut TaskCx<'_>,
+    m: &Arc<Matrix>,
+    u0: (usize, usize),
+    b0: (usize, usize),
+    s: usize,
+    block: usize,
+) {
+    if s <= block {
+        serial_upper_solve(cx, m, u0, b0, s);
+        return;
+    }
+    let h = s / 2;
+    // The two row halves of B are independent.
+    let (m1, m2) = (Arc::clone(m), Arc::clone(m));
+    let br1 = b0.0 + h;
+    parallel_invoke(
+        cx,
+        move |cx| {
+            // B = [B0 B1] (cols): X0 U00 = B0; B1 -= X0 U01; X1 U11 = B1.
+            upper_solve(cx, &m1, u0, b0, h, block);
+            matmul_acc(cx, &m1, &m1, &m1, b0, (u0.0, u0.1 + h), (b0.0, b0.1 + h), h, block, -1.0);
+            upper_solve(cx, &m1, (u0.0 + h, u0.1 + h), (b0.0, b0.1 + h), h, block);
+        },
+        move |cx| {
+            upper_solve(cx, &m2, u0, (br1, b0.1), h, block);
+            matmul_acc(cx, &m2, &m2, &m2, (br1, b0.1), (u0.0, u0.1 + h), (br1, b0.1 + h), h, block, -1.0);
+            upper_solve(cx, &m2, (u0.0 + h, u0.1 + h), (br1, b0.1 + h), h, block);
+        },
+    );
+}
+
+fn serial_upper_solve(cx: &mut TaskCx<'_>, m: &Matrix, u0: (usize, usize), b0: (usize, usize), s: usize) {
+    for i in 0..s {
+        for j in 0..s {
+            let mut acc = m.get(cx, b0.0 + i, b0.1 + j);
+            for k in 0..j {
+                let xik = m.get(cx, b0.0 + i, b0.1 + k);
+                let ukj = m.get(cx, u0.0 + k, u0.1 + j);
+                acc -= xik * ukj;
+                cx.port().advance(2);
+            }
+            let ujj = m.get(cx, u0.0 + j, u0.1 + j);
+            cx.port().advance(8); // divide
+            m.set(cx, b0.0 + i, b0.1 + j, acc / ujj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn lu_factors_correctly_on_hcc_and_dts() {
+        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 4);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn serial_block_equals_recursive() {
+        // Whole-matrix serial base vs recursive must agree.
+        let s = sys(Protocol::Mesi);
+        let results: Vec<Vec<Vec<f64>>> = [16usize, 4]
+            .into_iter()
+            .map(|block| {
+                let mut space = AddrSpace::new();
+                let m = Arc::new(Matrix::random(&mut space, 16, 0x1, 16.0));
+                let m2 = Arc::clone(&m);
+                run_task_parallel(
+                    &s,
+                    &RuntimeConfig::new(RuntimeKind::Baseline),
+                    &mut space,
+                    move |cx| lu(cx, &m2, 0, 16, block),
+                );
+                m.snapshot()
+            })
+            .collect();
+        assert!(max_abs_diff(&results[0], &results[1]) < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! `cilk5-mm`: blocked divide-and-conquer matrix multiplication.
+
+use std::sync::Arc;
+
+use bigtiny_engine::AddrSpace;
+
+use crate::cilk5::dense::{host_matmul, matmul_acc, max_abs_diff, Matrix};
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `cilk5-mm`: `C = A * B` for `n`×`n` matrices.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let n: usize = match size {
+        AppSize::Test => 16,
+        AppSize::Eval => 96,
+        AppSize::Large => 192,
+    };
+    let n = n.next_power_of_two();
+    let block = if grain == 0 { 8 } else { grain.next_power_of_two().min(n) };
+
+    let a = Arc::new(Matrix::random(space, n, 0xaa, 0.0));
+    let b = Arc::new(Matrix::random(space, n, 0xbb, 0.0));
+    let c = Arc::new(Matrix::zero(space, n));
+
+    let (a2, b2, c2) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&c));
+    let root: crate::RootFn = Box::new(move |cx| {
+        matmul_acc(cx, &a2, &b2, &c2, (0, 0), (0, 0), (0, 0), n, block, 1.0);
+    });
+    let verify = Box::new(move || {
+        let want = host_matmul(&a.snapshot(), &b.snapshot());
+        let err = max_abs_diff(&c.snapshot(), &want);
+        if err < 1e-9 * n as f64 {
+            Ok(())
+        } else {
+            Err(format!("cilk5-mm: |C - A*B| = {err}"))
+        }
+    });
+    Prepared { root, verify }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn mm_correct_across_runtimes() {
+        for (kind, proto) in [
+            (RuntimeKind::Baseline, Protocol::Mesi),
+            (RuntimeKind::Hcc, Protocol::DeNovo),
+            (RuntimeKind::Dts, Protocol::GpuWb),
+        ] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 4);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+            assert!(run.stats.steals > 0, "{kind:?}: work was distributed");
+        }
+    }
+}

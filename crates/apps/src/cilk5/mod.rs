@@ -1,0 +1,10 @@
+//! The five Cilk-5 kernels of the paper's evaluation, parallelized with
+//! recursive spawn-and-sync (plus `parallel_for` for n-queens, matching
+//! Table III's "PM" column).
+
+pub mod dense;
+pub mod lu;
+pub mod matmul;
+pub mod nqueens;
+pub mod sort;
+pub mod transpose;

@@ -1,0 +1,134 @@
+//! `cilk5-nq`: count all n-queens placements by backtracking.
+//!
+//! Matching Table III, the kernel is parallelized with `parallel_for` over
+//! board prefixes (GS = prefixes per task): the root enumerates every valid
+//! placement of the first `PREFIX_ROWS` queens, and leaf tasks complete the
+//! search serially, accumulating solution counts with one AMO per task.
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_for, TaskCx};
+use bigtiny_engine::{AddrSpace, ShScalar};
+
+use crate::registry::{AppSize, Prepared};
+
+/// Rows expanded by the root to form the parallel work list.
+const PREFIX_ROWS: usize = 3;
+
+/// Known solution counts for verification.
+fn known_solutions(n: usize) -> u64 {
+    match n {
+        1 => 1,
+        2 | 3 => 0,
+        4 => 2,
+        5 => 10,
+        6 => 4,
+        7 => 40,
+        8 => 92,
+        9 => 352,
+        10 => 724,
+        11 => 2680,
+        _ => panic!("no reference count recorded for n = {n}"),
+    }
+}
+
+/// Instantiates `cilk5-nq` for the size-dependent board.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let n = match size {
+        AppSize::Test => 7,
+        AppSize::Eval => 9,
+        AppSize::Large => 10,
+    };
+    let grain = if grain == 0 { 3 } else { grain };
+
+    let count = Arc::new(ShScalar::new(space, 0u64));
+    let c2 = Arc::clone(&count);
+    let root: crate::RootFn = Box::new(move |cx| {
+        // Enumerate valid prefixes of the first PREFIX_ROWS rows.
+        let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..PREFIX_ROWS.min(n) {
+            let mut next = Vec::new();
+            for p in &prefixes {
+                for col in 0..n as u8 {
+                    cx.port().advance(4);
+                    if safe(p, col) {
+                        let mut q = p.clone();
+                        q.push(col);
+                        next.push(q);
+                    }
+                }
+            }
+            prefixes = next;
+        }
+        let prefixes = Arc::new(prefixes);
+        let total = prefixes.len();
+        let count = Arc::clone(&c2);
+        parallel_for(cx, 0..total, grain, move |cx, r| {
+            let mut local = 0u64;
+            for i in r {
+                local += serial_search(cx, prefixes[i].clone(), n);
+            }
+            if local > 0 {
+                count.amo(cx.port(), |c| *c += local);
+            }
+        });
+    });
+    let verify = Box::new(move || {
+        let got = count.host_read();
+        let want = known_solutions(n);
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("cilk5-nq: counted {got} solutions for n={n}, expected {want}"))
+        }
+    });
+    Prepared { root, verify }
+}
+
+fn safe(rows: &[u8], col: u8) -> bool {
+    for (dr, &c) in rows.iter().rev().enumerate() {
+        let d = (dr + 1) as i16;
+        let diff = (c as i16 - col as i16).abs();
+        if diff == 0 || diff == d {
+            return false;
+        }
+    }
+    true
+}
+
+fn serial_search(cx: &mut TaskCx<'_>, mut rows: Vec<u8>, n: usize) -> u64 {
+    fn go(cx: &mut TaskCx<'_>, rows: &mut Vec<u8>, n: usize) -> u64 {
+        if rows.len() == n {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n as u8 {
+            // Placement test: ~1 instruction per earlier row.
+            cx.port().advance(2 + rows.len() as u64);
+            if safe(rows, col) {
+                rows.push(col);
+                total += go(cx, rows, n);
+                rows.pop();
+            }
+        }
+        total
+    }
+    go(cx, &mut rows, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn counts_match_known_values() {
+        let s = sys(Protocol::GpuWb);
+        let mut space = AddrSpace::new();
+        let prepared = prepare(&mut space, AppSize::Test, 2);
+        run_task_parallel(&s, &RuntimeConfig::new(RuntimeKind::Dts), &mut space, prepared.root);
+        (prepared.verify)().expect("n-queens count");
+    }
+}

@@ -1,0 +1,221 @@
+//! `cilk5-cs`: parallel mergesort (the paper's `cilksort` port), with
+//! recursive spawn-and-sync splitting and a divide-and-conquer parallel
+//! merge.
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_invoke, TaskCx};
+use bigtiny_engine::{AddrSpace, ShVec, XorShift64};
+
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `cilk5-cs`: sort `n` random 64-bit keys.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let n = match size {
+        AppSize::Test => 256,
+        AppSize::Eval => 32768,
+        AppSize::Large => 65536,
+    };
+    let grain = if grain == 0 { 128 } else { grain };
+
+    let mut rng = XorShift64::new(0xc5_c5);
+    let input: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 16).collect();
+    let mut expected = input.clone();
+    expected.sort_unstable();
+
+    let a = Arc::new(ShVec::from_vec(space, input));
+    let b = Arc::new(ShVec::new(space, n, 0u64));
+
+    let a2 = Arc::clone(&a);
+    let root: crate::RootFn = Box::new(move |cx| {
+        msort(cx, &a2, &b, 0, n, false, grain);
+    });
+    let verify = Box::new(move || {
+        let got = a.snapshot();
+        if got == expected {
+            Ok(())
+        } else {
+            Err("cilk5-cs: output not sorted or keys lost".to_owned())
+        }
+    });
+    Prepared { root, verify }
+}
+
+/// Sorts `a[0..n]` in place with the parallel mergesort (library entry
+/// point used by tests and examples; `b` is scratch of the same length).
+pub fn sort_in_place(cx: &mut TaskCx<'_>, a: &Arc<ShVec<u64>>, b: &Arc<ShVec<u64>>, n: usize) {
+    msort(cx, a, b, 0, n, false, 16);
+}
+
+/// Sorts the contents of `a[lo..hi]`; the sorted run ends up in
+/// `(if to_b { b } else { a })[lo..hi]`.
+fn msort(
+    cx: &mut TaskCx<'_>,
+    a: &Arc<ShVec<u64>>,
+    b: &Arc<ShVec<u64>>,
+    lo: usize,
+    hi: usize,
+    to_b: bool,
+    grain: usize,
+) {
+    let len = hi - lo;
+    if len <= grain.max(4) {
+        serial_sort_leaf(cx, a, b, lo, hi, to_b);
+        return;
+    }
+    let mid = lo + len / 2;
+    // Children sort into the opposite array; the merge brings the halves
+    // into the requested destination.
+    let (al, bl) = (Arc::clone(a), Arc::clone(b));
+    let (ar, br) = (Arc::clone(a), Arc::clone(b));
+    let child_to_b = !to_b;
+    parallel_invoke(
+        cx,
+        move |cx| msort(cx, &al, &bl, lo, mid, child_to_b, grain),
+        move |cx| msort(cx, &ar, &br, mid, hi, child_to_b, grain),
+    );
+    let (src, dst) = if child_to_b { (b, a) } else { (a, b) };
+    pmerge(cx, src, dst, (lo, mid), (mid, hi), lo, grain);
+    debug_assert_eq!(to_b, std::ptr::eq(Arc::as_ptr(dst), Arc::as_ptr(b)));
+}
+
+fn serial_sort_leaf(
+    cx: &mut TaskCx<'_>,
+    a: &Arc<ShVec<u64>>,
+    b: &Arc<ShVec<u64>>,
+    lo: usize,
+    hi: usize,
+    to_b: bool,
+) {
+    let len = hi - lo;
+    let mut local: Vec<u64> = (lo..hi).map(|i| a.read(cx.port(), i)).collect();
+    local.sort_unstable();
+    // Comparison/exchange work of an O(n log n) leaf sort.
+    let logn = usize::BITS - len.leading_zeros();
+    cx.port().advance(4 * (len as u64) * logn as u64);
+    let dst = if to_b { b } else { a };
+    for (k, v) in local.into_iter().enumerate() {
+        dst.write(cx.port(), lo + k, v);
+    }
+}
+
+/// Divide-and-conquer merge of `src[r1]` and `src[r2]` into `dst[d..]`.
+fn pmerge(
+    cx: &mut TaskCx<'_>,
+    src: &Arc<ShVec<u64>>,
+    dst: &Arc<ShVec<u64>>,
+    r1: (usize, usize),
+    r2: (usize, usize),
+    d: usize,
+    grain: usize,
+) {
+    let (l1, h1) = r1;
+    let (l2, h2) = r2;
+    let total = (h1 - l1) + (h2 - l2);
+    if total <= grain.max(8) {
+        serial_merge(cx, src, dst, r1, r2, d);
+        return;
+    }
+    // Split the larger run at its midpoint and binary-search the other.
+    let ((l1, h1), (l2, h2)) = if h1 - l1 >= h2 - l2 { ((l1, h1), (l2, h2)) } else { ((l2, h2), (l1, h1)) };
+    let m1 = (l1 + h1) / 2;
+    let pivot = src.read(cx.port(), m1);
+    let m2 = lower_bound(cx, src, l2, h2, pivot);
+    let d2 = d + (m1 - l1) + (m2 - l2);
+
+    let (sl, dl) = (Arc::clone(src), Arc::clone(dst));
+    let (sr, dr) = (Arc::clone(src), Arc::clone(dst));
+    cx.set_pending(2);
+    cx.spawn(move |cx| pmerge(cx, &sl, &dl, (l1, m1), (l2, m2), d, grain));
+    cx.spawn(move |cx| pmerge(cx, &sr, &dr, (m1, h1), (m2, h2), d2, grain));
+    cx.wait();
+}
+
+fn serial_merge(
+    cx: &mut TaskCx<'_>,
+    src: &Arc<ShVec<u64>>,
+    dst: &Arc<ShVec<u64>>,
+    (mut i, h1): (usize, usize),
+    (mut j, h2): (usize, usize),
+    mut d: usize,
+) {
+    while i < h1 && j < h2 {
+        let x = src.read(cx.port(), i);
+        let y = src.read(cx.port(), j);
+        cx.port().advance(3);
+        if x <= y {
+            dst.write(cx.port(), d, x);
+            i += 1;
+        } else {
+            dst.write(cx.port(), d, y);
+            j += 1;
+        }
+        d += 1;
+    }
+    while i < h1 {
+        let x = src.read(cx.port(), i);
+        dst.write(cx.port(), d, x);
+        i += 1;
+        d += 1;
+    }
+    while j < h2 {
+        let y = src.read(cx.port(), j);
+        dst.write(cx.port(), d, y);
+        j += 1;
+        d += 1;
+    }
+}
+
+fn lower_bound(cx: &mut TaskCx<'_>, src: &Arc<ShVec<u64>>, mut lo: usize, mut hi: usize, key: u64) -> usize {
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let v = src.read(cx.port(), mid);
+        cx.port().advance(3);
+        if v < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn sorts_on_every_runtime_kind() {
+        for (kind, proto) in [
+            (RuntimeKind::Baseline, Protocol::Mesi),
+            (RuntimeKind::Hcc, Protocol::GpuWb),
+            (RuntimeKind::Dts, Protocol::DeNovo),
+        ] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 16);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+            assert!(run.stats.tasks_executed > 8, "{kind:?} split into tasks");
+        }
+    }
+
+    #[test]
+    fn granularity_changes_task_count_not_result() {
+        let s = sys(Protocol::GpuWb);
+        let cfg = RuntimeConfig::new(RuntimeKind::Dts);
+        let mut tasks = Vec::new();
+        for grain in [16, 128] {
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, grain);
+            let run = run_task_parallel(&s, &cfg, &mut space, prepared.root);
+            (prepared.verify)().expect("sorted");
+            tasks.push(run.stats.tasks_executed);
+        }
+        assert!(tasks[0] > tasks[1], "finer grain, more tasks: {tasks:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! `cilk5-mt`: cache-oblivious recursive matrix transpose (out of place).
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_invoke, TaskCx};
+use bigtiny_engine::AddrSpace;
+
+use crate::cilk5::dense::Matrix;
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `cilk5-mt`: `B = A^T` for an `n`×`n` matrix.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let n = match size {
+        AppSize::Test => 24,
+        AppSize::Eval => 96,
+        AppSize::Large => 192,
+    };
+    let leaf = if grain == 0 { 8 } else { grain };
+
+    let a = Arc::new(Matrix::random(space, n, 0x7a, 0.0));
+    let b = Arc::new(Matrix::zero(space, n));
+
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let root: crate::RootFn = Box::new(move |cx| {
+        transpose(cx, &a2, &b2, 0, 0, n, n, leaf);
+    });
+    let verify = Box::new(move || {
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        for r in 0..n {
+            for c in 0..n {
+                if sb[c][r] != sa[r][c] {
+                    return Err(format!("cilk5-mt: B[{c}][{r}] != A[{r}][{c}]"));
+                }
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+/// Transposes the `rows`×`cols` block of `a` at `(r0, c0)` into `b`,
+/// splitting the longer dimension until blocks fit the leaf size.
+#[allow(clippy::too_many_arguments)]
+fn transpose(
+    cx: &mut TaskCx<'_>,
+    a: &Arc<Matrix>,
+    b: &Arc<Matrix>,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    leaf: usize,
+) {
+    if rows <= leaf && cols <= leaf {
+        for r in r0..r0 + rows {
+            for c in c0..c0 + cols {
+                let v = a.get(cx, r, c);
+                cx.port().advance(2);
+                b.set(cx, c, r, v);
+            }
+        }
+        return;
+    }
+    let (a1, b1) = (Arc::clone(a), Arc::clone(b));
+    if rows >= cols {
+        let h = rows / 2;
+        parallel_invoke(
+            cx,
+            move |cx| transpose(cx, &a1, &b1, r0, c0, h, cols, leaf),
+            {
+                let (a2, b2) = (Arc::clone(a), Arc::clone(b));
+                move |cx| transpose(cx, &a2, &b2, r0 + h, c0, rows - h, cols, leaf)
+            },
+        );
+    } else {
+        let h = cols / 2;
+        parallel_invoke(
+            cx,
+            move |cx| transpose(cx, &a1, &b1, r0, c0, rows, h, leaf),
+            {
+                let (a2, b2) = (Arc::clone(a), Arc::clone(b));
+                move |cx| transpose(cx, &a2, &b2, r0, c0 + h, rows, cols - h, leaf)
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn transpose_correct_across_runtimes() {
+        for (kind, proto) in [
+            (RuntimeKind::Hcc, Protocol::GpuWb),
+            (RuntimeKind::Dts, Protocol::GpuWt),
+        ] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 4);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn non_square_blocks_handled() {
+        // 24 is not a power of two: the split recursion must cover ragged
+        // halves exactly.
+        let s = sys(Protocol::DeNovo);
+        let mut space = AddrSpace::new();
+        let prepared = prepare(&mut space, AppSize::Test, 5);
+        run_task_parallel(&s, &RuntimeConfig::new(RuntimeKind::Hcc), &mut space, prepared.root);
+        (prepared.verify)().expect("exact transpose");
+    }
+}

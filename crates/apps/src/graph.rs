@@ -1,0 +1,225 @@
+//! Graph inputs: CSR representation in simulated memory and the rMAT
+//! generator used for the paper's `rMat_*` datasets.
+
+use std::sync::Arc;
+
+use bigtiny_core::TaskCx;
+use bigtiny_engine::{AddrSpace, ShVec, XorShift64};
+
+/// An undirected (symmetrized) graph in compressed-sparse-row form, living
+/// in simulated memory.
+///
+/// `offsets` has `n + 1` entries; the neighbours of vertex `v` are
+/// `edges[offsets[v]..offsets[v+1]]`, sorted ascending. `weights[i]` is the
+/// weight of `edges[i]` (used by Bellman-Ford).
+#[derive(Debug)]
+pub struct Graph {
+    n: usize,
+    m: usize,
+    /// CSR row offsets (simulated).
+    pub offsets: ShVec<u64>,
+    /// CSR adjacency (simulated).
+    pub edges: ShVec<u64>,
+    /// Per-edge weights (simulated), aligned with `edges`.
+    pub weights: ShVec<u64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edge slots (twice the undirected edge count).
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Builds a graph in `space` from an edge list (symmetrized, deduped,
+    /// self-loops removed). Weights are deterministic per edge.
+    pub fn from_edge_list(space: &mut AddrSpace, n: usize, list: &[(u32, u32)]) -> Graph {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(list.len() * 2);
+        for &(a, b) in list {
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            if a == b {
+                continue;
+            }
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = vec![0u64; n + 1];
+        for &(a, _) in &pairs {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let edges: Vec<u64> = pairs.iter().map(|&(_, b)| b as u64).collect();
+        // Deterministic symmetric weights in 1..=32.
+        let weights: Vec<u64> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let mut r = XorShift64::new(lo.wrapping_mul(0x9e37_79b9) ^ hi.wrapping_add(0x7f4a_7c15));
+                r.next_below(32) + 1
+            })
+            .collect();
+
+        let m = edges.len();
+        Graph {
+            n,
+            m,
+            offsets: ShVec::from_vec(space, offsets),
+            edges: ShVec::from_vec(space, edges),
+            weights: ShVec::from_vec(space, weights),
+        }
+    }
+
+    /// Generates an rMAT graph (the paper's `rMat_*` inputs) with `n`
+    /// vertices (rounded up to a power of two) and about `edge_factor * n`
+    /// undirected edges, deterministically from `seed`.
+    ///
+    /// Uses the Graph500 partition probabilities (0.57, 0.19, 0.19, 0.05).
+    pub fn rmat(space: &mut AddrSpace, n: usize, edge_factor: usize, seed: u64) -> Graph {
+        let n = n.next_power_of_two().max(2);
+        let levels = n.trailing_zeros();
+        let mut rng = XorShift64::new(seed);
+        let target = n * edge_factor;
+        let mut list = Vec::with_capacity(target);
+        for _ in 0..target {
+            let (mut x, mut y) = (0usize, 0usize);
+            for _ in 0..levels {
+                let p = rng.next_f64();
+                let (dx, dy) = if p < 0.57 {
+                    (0, 0)
+                } else if p < 0.76 {
+                    (0, 1)
+                } else if p < 0.95 {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                x = 2 * x + dx;
+                y = 2 * y + dy;
+            }
+            list.push((x as u32, y as u32));
+        }
+        Self::from_edge_list(space, n, &list)
+    }
+
+    /// Simulated read of `offsets[v]`.
+    pub fn offset(&self, cx: &mut TaskCx<'_>, v: usize) -> usize {
+        self.offsets.read(cx.port(), v) as usize
+    }
+
+    /// Simulated read of the degree of `v` (two offset loads).
+    pub fn degree(&self, cx: &mut TaskCx<'_>, v: usize) -> usize {
+        let lo = self.offsets.read(cx.port(), v);
+        let hi = self.offsets.read(cx.port(), v + 1);
+        (hi - lo) as usize
+    }
+
+    /// Simulated read of the `i`-th edge slot.
+    pub fn edge(&self, cx: &mut TaskCx<'_>, i: usize) -> usize {
+        self.edges.read(cx.port(), i) as usize
+    }
+
+    /// Simulated read of the `i`-th edge weight.
+    pub fn weight(&self, cx: &mut TaskCx<'_>, i: usize) -> u64 {
+        self.weights.read(cx.port(), i)
+    }
+
+    /// Host-side adjacency snapshot for serial reference computations.
+    pub fn host_adjacency(&self) -> Vec<Vec<usize>> {
+        let offsets = self.offsets.snapshot();
+        let edges = self.edges.snapshot();
+        (0..self.n)
+            .map(|v| (offsets[v]..offsets[v + 1]).map(|i| edges[i as usize] as usize).collect())
+            .collect()
+    }
+
+    /// Host-side weights keyed like `host_adjacency`.
+    pub fn host_weights(&self) -> Vec<Vec<u64>> {
+        let offsets = self.offsets.snapshot();
+        let weights = self.weights.snapshot();
+        (0..self.n)
+            .map(|v| (offsets[v]..offsets[v + 1]).map(|i| weights[i as usize]).collect())
+            .collect()
+    }
+
+    /// A vertex with nonzero degree (host-side), used as a traversal source.
+    pub fn first_nonisolated(&self) -> usize {
+        let offsets = self.offsets.snapshot();
+        (0..self.n).find(|v| offsets[v + 1] > offsets[*v]).unwrap_or(0)
+    }
+}
+
+/// Shares a graph between task closures.
+pub type SharedGraph = Arc<Graph>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_is_symmetrized_and_deduped() {
+        let mut space = AddrSpace::new();
+        let g = Graph::from_edge_list(&mut space, 4, &[(0, 1), (1, 0), (0, 1), (2, 3), (3, 3)]);
+        let adj = g.host_adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+        assert_eq!(adj[2], vec![3]);
+        assert_eq!(adj[3], vec![2], "self-loop dropped, symmetric");
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_positive() {
+        let mut space = AddrSpace::new();
+        let g = Graph::rmat(&mut space, 64, 4, 7);
+        let adj = g.host_adjacency();
+        let w = g.host_weights();
+        for v in 0..g.num_vertices() {
+            for (i, &u) in adj[v].iter().enumerate() {
+                assert!(w[v][i] >= 1 && w[v][i] <= 32);
+                // Find reverse edge weight.
+                let j = adj[u].iter().position(|&x| x == v).expect("symmetric");
+                assert_eq!(w[v][i], w[u][j], "weight({v},{u}) symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_skewed() {
+        let mut s1 = AddrSpace::new();
+        let g1 = Graph::rmat(&mut s1, 256, 8, 42);
+        let mut s2 = AddrSpace::new();
+        let g2 = Graph::rmat(&mut s2, 256, 8, 42);
+        assert_eq!(g1.host_adjacency(), g2.host_adjacency());
+        // rMAT is skewed: max degree far above mean.
+        let adj = g1.host_adjacency();
+        let max_deg = adj.iter().map(|a| a.len()).max().unwrap();
+        let mean = g1.num_edges() as f64 / g1.num_vertices() as f64;
+        assert!(max_deg as f64 > 3.0 * mean, "max {max_deg} vs mean {mean}");
+    }
+
+    #[test]
+    fn offsets_are_consistent() {
+        let mut space = AddrSpace::new();
+        let g = Graph::rmat(&mut space, 128, 4, 1);
+        let offsets = g.offsets.snapshot();
+        assert_eq!(offsets.len(), g.num_vertices() + 1);
+        assert_eq!(*offsets.last().unwrap() as usize, g.num_edges());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut space = AddrSpace::new();
+        Graph::from_edge_list(&mut space, 2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! The 13 dynamic task-parallel application kernels of the big.TINY
+//! evaluation (Table III of the paper), ported to the simulated
+//! work-stealing runtime:
+//!
+//! * **Cilk-5 kernels** (recursive spawn-and-sync): `cilk5-cs` (parallel
+//!   mergesort), `cilk5-lu` (blocked LU decomposition), `cilk5-mm` (blocked
+//!   matrix multiply), `cilk5-mt` (matrix transpose), `cilk5-nq` (n-queens).
+//! * **Ligra kernels** (loop-level parallelism with fine-grained
+//!   synchronization): `ligra-bc`, `ligra-bf`, `ligra-bfs`, `ligra-bfsbv`,
+//!   `ligra-cc`, `ligra-mis`, `ligra-radii`, `ligra-tc`, built on the
+//!   [`ligra`] `edge_map`/`vertex_map` layer over rMAT graphs.
+//!
+//! Every kernel allocates its data in simulated memory
+//! ([`bigtiny_engine::ShVec`]), runs as a task graph on the runtime, and
+//! ships a serial host-side reference against which the simulated result is
+//! verified.
+
+pub mod cilk5;
+pub mod graph;
+pub mod ligra;
+pub mod ligra_apps;
+mod registry;
+
+pub use registry::{all_apps, app_by_name, AppSize, AppSpec, Method, Prepared, RootFn};
+
+#[cfg(test)]
+mod test_support {
+    use bigtiny_engine::{Protocol, SystemConfig};
+    use bigtiny_mesh::{MeshConfig, Topology};
+
+    /// An 8-core mixed system used across the app test suites.
+    pub fn sys(proto: Protocol) -> SystemConfig {
+        SystemConfig::big_tiny(
+            "apps-test",
+            MeshConfig::with_topology(Topology::new(3, 3)),
+            1,
+            7,
+            proto,
+        )
+    }
+}

@@ -1,0 +1,627 @@
+//! A Ligra-style graph-processing layer (Shun & Blelloch, PPoPP'13) on top
+//! of the simulated work-stealing runtime.
+//!
+//! The paper ports eight Ligra kernels to its runtime using loop-level
+//! parallelism (`parallel_for`) and fine-grained synchronization
+//! (compare-and-swap). This module provides the two Ligra primitives those
+//! kernels need — `edge_map` and `vertex_map` over vertex subsets — in the
+//! dense (flags-array) form the evaluation uses, plus Ligra's hybrid
+//! sparse/dense traversal ([`edge_map_auto`]) that walks small frontiers'
+//! member lists instead of scanning every vertex. Leaf tasks publish their
+//! additions with a single AMO, so round loops can test frontier emptiness
+//! with one load.
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_for, TaskCx};
+use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
+
+use crate::graph::SharedGraph;
+
+/// A vertex subset: one word-sized flag per vertex plus a member count, and
+/// an optional **sparse member list** filled by `edge_map` so that small
+/// frontiers can be traversed without scanning every vertex (Ligra's
+/// sparse/dense duality).
+#[derive(Debug)]
+pub struct VertexSubset {
+    flags: ShVec<u64>,
+    count: ShScalar<u64>,
+    /// Sparse member list; `count` doubles as its fill cursor. Valid only
+    /// when every insertion also appended here (the `edge_map` paths do).
+    members: ShVec<u64>,
+}
+
+impl VertexSubset {
+    /// An empty subset over `n` vertices.
+    pub fn new(space: &mut AddrSpace, n: usize) -> Self {
+        VertexSubset {
+            flags: ShVec::new(space, n, 0),
+            count: ShScalar::new(space, 0),
+            members: ShVec::new(space, n, 0),
+        }
+    }
+
+    /// Host-side insertion (setup: initial frontiers).
+    pub fn host_insert(&self, v: usize) {
+        if self.flags.host_read(v) == 0 {
+            self.flags.host_write(v, 1);
+            let c = self.count.host_read();
+            self.members.host_write(c as usize, v as u64);
+            self.count.host_write(c + 1);
+        }
+    }
+
+    /// Simulated read of sparse member `i` (valid for `i < count`).
+    pub fn member(&self, cx: &mut TaskCx<'_>, i: usize) -> usize {
+        self.members.read(cx.port(), i) as usize
+    }
+
+    /// Host-side member count.
+    pub fn host_count(&self) -> u64 {
+        self.count.host_read()
+    }
+
+    /// Host-side membership list (for verification).
+    pub fn host_members(&self) -> Vec<usize> {
+        self.flags.snapshot().iter().enumerate().filter(|(_, f)| **f != 0).map(|(v, _)| v).collect()
+    }
+
+    /// Simulated membership test.
+    pub fn contains(&self, cx: &mut TaskCx<'_>, v: usize) -> bool {
+        self.flags.read(cx.port(), v) != 0
+    }
+
+    /// Membership test tolerating same-round insertions by other tasks (the
+    /// dedup check inside `edge_map` races benignly with concurrent
+    /// inserts).
+    pub fn contains_racy(&self, cx: &mut TaskCx<'_>, v: usize) -> bool {
+        self.flags.read_racy(cx.port(), v) != 0
+    }
+
+    /// Simulated insertion (benign write-write races allowed, as in Ligra).
+    pub fn insert(&self, cx: &mut TaskCx<'_>, v: usize) {
+        self.flags.write(cx.port(), v, 1);
+    }
+
+    /// Simulated count read (one load; the count is reduced per leaf task
+    /// during `edge_map`).
+    pub fn count(&self, cx: &mut TaskCx<'_>) -> u64 {
+        self.count.read(cx.port())
+    }
+
+    /// Clears the subset with a parallel loop (Ligra reuses dense arrays the
+    /// same way) and zeroes the count.
+    pub fn par_clear(self: &Arc<Self>, cx: &mut TaskCx<'_>, grain: usize) {
+        let me = Arc::clone(self);
+        let n = self.flags.len();
+        parallel_for(cx, 0..n, grain.max(64), move |cx, r| {
+            for v in r {
+                if me.flags.read(cx.port(), v) != 0 {
+                    me.flags.write(cx.port(), v, 0);
+                }
+            }
+        });
+        self.count.write(cx.port(), 0);
+    }
+
+    fn len(&self) -> usize {
+        self.flags.len()
+    }
+}
+
+/// Applies `update(cx, src, dst, edge_index)` over every edge leaving the
+/// `frontier`; when it returns `true`, `dst` joins `next`. `cond(cx, dst)`
+/// gates destinations before `update` (Ligra's `cond`). Each leaf task adds
+/// its local count of newly-added vertices to `next`'s count with a single
+/// AMO.
+///
+/// `grain` is the number of *edges* per leaf task — the paper's task-
+/// granularity knob for the Ligra kernels. Like Ligra's edge-balanced
+/// dense traversal, the vertex range is split by edge count, and the edge
+/// lists of high-degree vertices are themselves split, so rMAT hubs do not
+/// serialize the round.
+pub fn edge_map<U, C>(
+    cx: &mut TaskCx<'_>,
+    graph: &SharedGraph,
+    frontier: &Arc<VertexSubset>,
+    next: &Arc<VertexSubset>,
+    grain: usize,
+    cond: C,
+    update: U,
+) where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    let ctx = Arc::new(EmCtx {
+        g: Arc::clone(graph),
+        frontier: Arc::clone(frontier),
+        next: Arc::clone(next),
+        cond,
+        update,
+        grain: grain.max(1),
+        sparse_out: false,
+    });
+    em_split_vertices(cx, &ctx, 0, graph.num_vertices());
+}
+
+/// Ligra's hybrid traversal: like [`edge_map`], but the output subset's
+/// sparse member list is maintained (exactly-once CAS insertion plus a
+/// per-leaf batched append), and the *input* frontier is iterated sparsely
+/// — walking only its member list — when it is small relative to the graph.
+/// Small BFS-style frontiers then cost `O(|F| + deg(F))` instead of `O(n)`.
+pub fn edge_map_auto<U, C>(
+    cx: &mut TaskCx<'_>,
+    graph: &SharedGraph,
+    frontier: &Arc<VertexSubset>,
+    next: &Arc<VertexSubset>,
+    grain: usize,
+    cond: C,
+    update: U,
+) where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    let ctx = Arc::new(EmCtx {
+        g: Arc::clone(graph),
+        frontier: Arc::clone(frontier),
+        next: Arc::clone(next),
+        cond,
+        update,
+        grain: grain.max(1),
+        sparse_out: true,
+    });
+    let n = graph.num_vertices();
+    let count = frontier.count(cx) as usize;
+    // Ligra's density heuristic (a simplified |F| < n/20 test).
+    if count > 0 && count <= n / 20 {
+        em_split_members(cx, &ctx, 0, count);
+    } else {
+        em_split_vertices(cx, &ctx, 0, n);
+    }
+}
+
+struct EmCtx<U, C> {
+    g: SharedGraph,
+    frontier: Arc<VertexSubset>,
+    next: Arc<VertexSubset>,
+    cond: C,
+    update: U,
+    grain: usize,
+    /// Maintain `next`'s sparse member list (exactly-once CAS insertion).
+    sparse_out: bool,
+}
+
+impl<U, C> EmCtx<U, C>
+where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    /// Processes edge slots `e0..e1` of frontier vertex `src`, recording
+    /// vertices this task added into `batch` (sparse output) or counting
+    /// them (dense output).
+    fn process_edges(
+        &self,
+        cx: &mut TaskCx<'_>,
+        src: usize,
+        e0: usize,
+        e1: usize,
+        batch: &mut LeafBatch,
+    ) {
+        for i in e0..e1 {
+            let dst = self.g.edge(cx, i);
+            cx.port().advance(3); // loop + branch overhead
+            if (self.cond)(cx, dst) && (self.update)(cx, src, dst, i) {
+                if self.sparse_out {
+                    // Exactly-once membership via CAS on the flag.
+                    if self.next.flags.cas(cx.port(), dst, 0, 1) {
+                        batch.new_members.push(dst as u64);
+                    }
+                } else {
+                    if !self.next.contains_racy(cx, dst) {
+                        self.next.insert(cx, dst);
+                    }
+                    batch.added += 1;
+                }
+            }
+        }
+    }
+
+    /// Publishes a leaf task's additions: one AMO reserves member-list
+    /// space (and bumps the count), then the members are scattered.
+    fn flush_batch(&self, cx: &mut TaskCx<'_>, batch: LeafBatch) {
+        if self.sparse_out {
+            if batch.new_members.is_empty() {
+                return;
+            }
+            let k = batch.new_members.len() as u64;
+            let base = self.next.count.amo(cx.port(), |c| {
+                let b = *c;
+                *c += k;
+                b
+            }) as usize;
+            for (j, v) in batch.new_members.into_iter().enumerate() {
+                self.next.members.write(cx.port(), base + j, v);
+            }
+        } else if batch.added > 0 {
+            self.next.count.amo(cx.port(), |c| *c += batch.added);
+        }
+    }
+}
+
+/// Per-leaf-task accumulation before the single published AMO.
+#[derive(Default)]
+struct LeafBatch {
+    added: u64,
+    new_members: Vec<u64>,
+}
+
+/// Splits the vertex range `lo..hi` by total edge count.
+fn em_split_vertices<U, C>(cx: &mut TaskCx<'_>, ctx: &Arc<EmCtx<U, C>>, lo: usize, hi: usize)
+where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    if lo >= hi {
+        return;
+    }
+    let e_lo = ctx.g.offset(cx, lo);
+    let e_hi = ctx.g.offset(cx, hi);
+    if hi - lo == 1 {
+        // Single vertex: parallelize within a heavy edge list.
+        let v = lo;
+        if !ctx.frontier.contains(cx, v) {
+            return;
+        }
+        if e_hi - e_lo > 2 * ctx.grain {
+            em_split_edges(cx, ctx, v, e_lo, e_hi);
+        } else {
+            let mut batch = LeafBatch::default();
+            ctx.process_edges(cx, v, e_lo, e_hi, &mut batch);
+            ctx.flush_batch(cx, batch);
+        }
+        return;
+    }
+    if e_hi - e_lo <= ctx.grain {
+        // Leaf: scan the vertex range.
+        let mut batch = LeafBatch::default();
+        for v in lo..hi {
+            if !ctx.frontier.contains(cx, v) {
+                continue;
+            }
+            let a = ctx.g.offset(cx, v);
+            let b = ctx.g.offset(cx, v + 1);
+            ctx.process_edges(cx, v, a, b, &mut batch);
+        }
+        ctx.flush_batch(cx, batch);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (c1, c2) = (Arc::clone(ctx), Arc::clone(ctx));
+    cx.set_pending(2);
+    cx.spawn(move |cx| em_split_vertices(cx, &c1, lo, mid));
+    cx.spawn(move |cx| em_split_vertices(cx, &c2, mid, hi));
+    cx.wait();
+}
+
+/// Splits the edge range of one high-degree frontier vertex.
+fn em_split_edges<U, C>(cx: &mut TaskCx<'_>, ctx: &Arc<EmCtx<U, C>>, v: usize, e0: usize, e1: usize)
+where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    if e1 - e0 <= ctx.grain {
+        let mut batch = LeafBatch::default();
+        ctx.process_edges(cx, v, e0, e1, &mut batch);
+        ctx.flush_batch(cx, batch);
+        return;
+    }
+    let mid = e0 + (e1 - e0) / 2;
+    let (c1, c2) = (Arc::clone(ctx), Arc::clone(ctx));
+    cx.set_pending(2);
+    cx.spawn(move |cx| em_split_edges(cx, &c1, v, e0, mid));
+    cx.spawn(move |cx| em_split_edges(cx, &c2, v, mid, e1));
+    cx.wait();
+}
+
+/// Sparse traversal: splits the frontier's member-list index range
+/// `lo..hi`, processing each member's full edge list at the leaves (heavy
+/// members split their own edge range).
+fn em_split_members<U, C>(cx: &mut TaskCx<'_>, ctx: &Arc<EmCtx<U, C>>, lo: usize, hi: usize)
+where
+    U: Fn(&mut TaskCx<'_>, usize, usize, usize) -> bool + Send + Sync + 'static,
+    C: Fn(&mut TaskCx<'_>, usize) -> bool + Send + Sync + 'static,
+{
+    if lo >= hi {
+        return;
+    }
+    // Budget roughly `grain` edges per leaf assuming average degrees; a
+    // heavy member still splits its own edge range below.
+    let members_per_leaf = (ctx.grain / 8).max(1);
+    if hi - lo <= members_per_leaf {
+        let mut batch = LeafBatch::default();
+        for i in lo..hi {
+            let v = ctx.frontier.member(cx, i);
+            let a = ctx.g.offset(cx, v);
+            let b = ctx.g.offset(cx, v + 1);
+            if b - a > 2 * ctx.grain {
+                ctx.flush_batch(cx, std::mem::take(&mut batch));
+                em_split_edges(cx, ctx, v, a, b);
+            } else {
+                ctx.process_edges(cx, v, a, b, &mut batch);
+            }
+        }
+        ctx.flush_batch(cx, batch);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (c1, c2) = (Arc::clone(ctx), Arc::clone(ctx));
+    cx.set_pending(2);
+    cx.spawn(move |cx| em_split_members(cx, &c1, lo, mid));
+    cx.spawn(move |cx| em_split_members(cx, &c2, mid, hi));
+    cx.wait();
+}
+
+/// Applies `f` to every member of `subset` in parallel.
+pub fn vertex_map<F>(cx: &mut TaskCx<'_>, subset: &Arc<VertexSubset>, grain: usize, f: F)
+where
+    F: Fn(&mut TaskCx<'_>, usize) + Send + Sync + 'static,
+{
+    let s = Arc::clone(subset);
+    parallel_for(cx, 0..subset.len(), grain, move |cx, r| {
+        for v in r {
+            if s.contains(cx, v) {
+                f(cx, v);
+            }
+        }
+    });
+}
+
+/// Applies `f` to every vertex, splitting the range by *degree* so that
+/// kernels whose per-vertex work scales with degree (BC's backward sweep,
+/// MIS's neighbour scans) are not serialized by rMAT hubs. `grain` is in
+/// edge slots.
+pub fn for_each_vertex_by_degree<F>(cx: &mut TaskCx<'_>, graph: &SharedGraph, grain: usize, f: F)
+where
+    F: Fn(&mut TaskCx<'_>, usize) + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    deg_split(cx, graph, &f, 0, graph.num_vertices(), grain.max(1));
+}
+
+fn deg_split<F>(
+    cx: &mut TaskCx<'_>,
+    g: &SharedGraph,
+    f: &Arc<F>,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+) where
+    F: Fn(&mut TaskCx<'_>, usize) + Send + Sync + 'static,
+{
+    if lo >= hi {
+        return;
+    }
+    let e_lo = g.offset(cx, lo);
+    let e_hi = g.offset(cx, hi);
+    if hi - lo == 1 || e_hi - e_lo <= grain {
+        for v in lo..hi {
+            f(cx, v);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (g1, f1) = (Arc::clone(g), Arc::clone(f));
+    let (g2, f2) = (Arc::clone(g), Arc::clone(f));
+    cx.set_pending(2);
+    cx.spawn(move |cx| deg_split(cx, &g1, &f1, lo, mid, grain));
+    cx.spawn(move |cx| deg_split(cx, &g2, &f2, mid, hi, grain));
+    cx.wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::{Protocol, SystemConfig};
+    use bigtiny_mesh::{MeshConfig, Topology};
+
+    fn sys() -> SystemConfig {
+        SystemConfig::big_tiny(
+            "t8",
+            MeshConfig::with_topology(Topology::new(3, 3)),
+            1,
+            7,
+            Protocol::GpuWb,
+        )
+    }
+
+    /// One dense edge_map round from a singleton frontier = neighbourhood.
+    #[test]
+    fn edge_map_expands_one_hop() {
+        let s = sys();
+        let cfg = RuntimeConfig::new(RuntimeKind::Dts);
+        let mut space = AddrSpace::new();
+        let g = Arc::new(Graph::from_edge_list(&mut space, 6, &[(0, 1), (0, 2), (2, 3), (4, 5)]));
+        let frontier = Arc::new(VertexSubset::new(&mut space, 6));
+        let next = Arc::new(VertexSubset::new(&mut space, 6));
+        frontier.host_insert(0);
+        let (g2, f2, n2) = (Arc::clone(&g), Arc::clone(&frontier), Arc::clone(&next));
+        let run = run_task_parallel(&s, &cfg, &mut space, move |cx| {
+            edge_map(cx, &g2, &f2, &n2, 2, |_, _| true, |_, _, _, _| true);
+        });
+        assert_eq!(next.host_members(), vec![1, 2]);
+        assert_eq!(next.host_count(), 2);
+        assert_eq!(run.report.stale_reads, 0);
+    }
+
+    /// cond gates destinations; duplicate additions counted once in flags
+    /// but may count multiply in `count` only when update returns true for
+    /// multiple incoming edges and the app allows it (here cond dedups).
+    #[test]
+    fn edge_map_cond_filters() {
+        let s = sys();
+        let cfg = RuntimeConfig::new(RuntimeKind::Hcc);
+        let mut space = AddrSpace::new();
+        // Triangle 0-1-2 plus pendant 3.
+        let g = Arc::new(Graph::from_edge_list(&mut space, 4, &[(0, 1), (1, 2), (0, 2), (2, 3)]));
+        let frontier = Arc::new(VertexSubset::new(&mut space, 4));
+        let next = Arc::new(VertexSubset::new(&mut space, 4));
+        frontier.host_insert(0);
+        frontier.host_insert(1);
+        let visited = Arc::new(ShVec::new(&mut space, 4, 0u64));
+        visited.host_write(0, 1);
+        visited.host_write(1, 1);
+        let (g2, f2, n2, v2) = (Arc::clone(&g), Arc::clone(&frontier), Arc::clone(&next), Arc::clone(&visited));
+        run_task_parallel(&s, &cfg, &mut space, move |cx| {
+            let vc = Arc::clone(&v2);
+            let vu = Arc::clone(&v2);
+            edge_map(
+                cx,
+                &g2,
+                &f2,
+                &n2,
+                1,
+                move |cx, d| vc.read(cx.port(), d) == 0,
+                move |cx, _s, d, _| vu.cas(cx.port(), d, 0, 1),
+            );
+        });
+        assert_eq!(next.host_members(), vec![2], "only unvisited vertex 2 joins");
+        assert_eq!(next.host_count(), 1, "CAS ensures a single add");
+    }
+
+    #[test]
+    fn vertex_map_touches_members_only() {
+        let s = sys();
+        let cfg = RuntimeConfig::new(RuntimeKind::Baseline);
+        let s = SystemConfig { cores: s.cores.iter().map(|c| {
+            let mut c = *c;
+            c.mem.protocol = Protocol::Mesi;
+            c
+        }).collect(), ..s };
+        let mut space = AddrSpace::new();
+        let subset = Arc::new(VertexSubset::new(&mut space, 10));
+        for v in [1, 3, 5] {
+            subset.host_insert(v);
+        }
+        let touched = Arc::new(ShVec::new(&mut space, 10, 0u64));
+        let (s2, t2) = (Arc::clone(&subset), Arc::clone(&touched));
+        run_task_parallel(&s, &cfg, &mut space, move |cx| {
+            let t = Arc::clone(&t2);
+            vertex_map(cx, &s2, 2, move |cx, v| t.write(cx.port(), v, 1));
+        });
+        let snap = touched.snapshot();
+        for (v, val) in snap.iter().enumerate() {
+            assert_eq!(*val == 1, [1, 3, 5].contains(&v), "vertex {v}");
+        }
+    }
+
+    /// edge_map_auto: sparse-output member lists match the flag sets, and a
+    /// multi-round BFS through the auto path computes correct reachability.
+    #[test]
+    fn edge_map_auto_sparse_bfs_matches_dense() {
+        let s = sys();
+        let cfg = RuntimeConfig::new(RuntimeKind::Dts);
+        let mut space = AddrSpace::new();
+        let g = Arc::new(Graph::rmat(&mut space, 128, 4, 0x5a5));
+        let n = g.num_vertices();
+        let src = g.first_nonisolated();
+        let visited = Arc::new(ShVec::new(&mut space, n, 0u64));
+        visited.host_write(src, 1);
+        let cur = Arc::new(VertexSubset::new(&mut space, n));
+        let nxt = Arc::new(VertexSubset::new(&mut space, n));
+        cur.host_insert(src);
+        let (g2, v2, c2, x2) = (Arc::clone(&g), Arc::clone(&visited), Arc::clone(&cur), Arc::clone(&nxt));
+        let run = run_task_parallel(&s, &cfg, &mut space, move |cx| {
+            let mut cur = c2;
+            let mut nxt = x2;
+            loop {
+                let (vc, vu) = (Arc::clone(&v2), Arc::clone(&v2));
+                edge_map_auto(
+                    cx,
+                    &g2,
+                    &cur,
+                    &nxt,
+                    16,
+                    move |cx, d| vc.read_racy(cx.port(), d) == 0,
+                    move |cx, _s, d, _| vu.cas(cx.port(), d, 0, 1),
+                );
+                if nxt.count(cx) == 0 {
+                    break;
+                }
+                // Sparse output invariant: the member list names exactly the
+                // flagged vertices.
+                let mut listed: Vec<usize> = (0..nxt.host_count() as usize)
+                    .map(|i| nxt.members.host_read(i) as usize)
+                    .collect();
+                listed.sort_unstable();
+                assert_eq!(listed, nxt.host_members(), "member list = flag set");
+                std::mem::swap(&mut cur, &mut nxt);
+                nxt.par_clear(cx, 64);
+            }
+        });
+        // Reachability equals serial BFS.
+        let adj = g.host_adjacency();
+        let mut want = vec![0u64; n];
+        let mut q = std::collections::VecDeque::from([src]);
+        want[src] = 1;
+        while let Some(v) = q.pop_front() {
+            for &u in &adj[v] {
+                if want[u] == 0 {
+                    want[u] = 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        assert_eq!(visited.snapshot(), want);
+        assert_eq!(run.report.stale_reads, 0);
+    }
+
+    /// For a tiny frontier on a large graph, the auto (sparse) path does far
+    /// less work than the dense scan.
+    #[test]
+    fn sparse_iteration_is_cheaper_for_small_frontiers() {
+        let run_once = |auto: bool| -> u64 {
+            let s = sys();
+            let cfg = RuntimeConfig::new(RuntimeKind::Hcc);
+            let mut space = AddrSpace::new();
+            let g = Arc::new(Graph::rmat(&mut space, 512, 4, 0x11));
+            let n = g.num_vertices();
+            let frontier = Arc::new(VertexSubset::new(&mut space, n));
+            let next = Arc::new(VertexSubset::new(&mut space, n));
+            frontier.host_insert(g.first_nonisolated());
+            let (g2, f2, n2) = (Arc::clone(&g), Arc::clone(&frontier), Arc::clone(&next));
+            let run = run_task_parallel(&s, &cfg, &mut space, move |cx| {
+                if auto {
+                    edge_map_auto(cx, &g2, &f2, &n2, 16, |_, _| true, |_, _, _, _| true);
+                } else {
+                    edge_map(cx, &g2, &f2, &n2, 16, |_, _| true, |_, _, _, _| true);
+                }
+            });
+            run.report.total_instructions()
+        };
+        let dense = run_once(false);
+        let sparse = run_once(true);
+        assert!(
+            sparse * 3 < dense,
+            "sparse {sparse} insts should be well under dense {dense}"
+        );
+    }
+
+    #[test]
+    fn par_clear_empties_subset() {
+        let s = sys();
+        let cfg = RuntimeConfig::new(RuntimeKind::Dts);
+        let mut space = AddrSpace::new();
+        let subset = Arc::new(VertexSubset::new(&mut space, 100));
+        for v in 0..50 {
+            subset.host_insert(v);
+        }
+        let s2 = Arc::clone(&subset);
+        run_task_parallel(&s, &cfg, &mut space, move |cx| {
+            s2.par_clear(cx, 16);
+        });
+        assert_eq!(subset.host_count(), 0);
+        assert!(subset.host_members().is_empty());
+    }
+}

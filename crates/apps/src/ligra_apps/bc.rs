@@ -1,0 +1,182 @@
+//! `ligra-bc`: single-source betweenness centrality with Brandes' two-phase
+//! algorithm — a forward BFS accumulating shortest-path counts, then a
+//! level-synchronous backward sweep accumulating dependencies (the Ligra BC
+//! structure).
+
+use std::sync::Arc;
+
+use bigtiny_engine::{AddrSpace, ShVec};
+
+use crate::graph::Graph;
+use crate::ligra::{edge_map, VertexSubset};
+use crate::registry::{AppSize, Prepared};
+
+const UNSET: u64 = u64::MAX;
+
+/// Instantiates `ligra-bc` on an rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (2048, 8),
+        AppSize::Large => (4096, 8),
+    };
+    let grain = if grain == 0 { 256 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0xbc));
+    let n = g.num_vertices();
+    let src = g.first_nonisolated();
+
+    let level = Arc::new(ShVec::new(space, n, UNSET));
+    let sigma = Arc::new(ShVec::new(space, n, 0.0f64));
+    let delta = Arc::new(ShVec::new(space, n, 0.0f64));
+    level.host_write(src, 0);
+    sigma.host_write(src, 1.0);
+    let cur = Arc::new(VertexSubset::new(space, n));
+    let nxt = Arc::new(VertexSubset::new(space, n));
+    cur.host_insert(src);
+
+    let (g2, l2, s2, d2) = (Arc::clone(&g), Arc::clone(&level), Arc::clone(&sigma), Arc::clone(&delta));
+    let root: crate::RootFn = Box::new(move |cx| {
+        let mut cur = cur;
+        let mut nxt = nxt;
+        // Forward phase: level-synchronous BFS accumulating path counts.
+        let mut depth = 0u64;
+        loop {
+            depth += 1;
+            let (lr, lu, sr, su) = (Arc::clone(&l2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&s2));
+            let this_depth = depth;
+            edge_map(
+                cx,
+                &g2,
+                &cur,
+                &nxt,
+                grain,
+                // cond: not yet settled at a shallower level (racy probe;
+                // the claim below decides).
+                move |cx, d| {
+                    let l = lr.read_racy(cx.port(), d);
+                    l == UNSET || l == this_depth
+                },
+                move |cx, s, d, _| {
+                    // Claim d for this level (idempotent for this round).
+                    let fresh = lu.cas(cx.port(), d, UNSET, this_depth);
+                    let lvl = lu.read_racy(cx.port(), d);
+                    if lvl == this_depth {
+                        // Accumulate path counts: sigma[d] += sigma[s].
+                        // sigma[s] was finalized in the previous round.
+                        let ss = sr.read(cx.port(), s);
+                        su.amo(cx.port(), d, |x| *x += ss);
+                    }
+                    fresh
+                },
+            );
+            if nxt.count(cx) == 0 {
+                break;
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            nxt.par_clear(cx, grain.max(64));
+        }
+        let max_depth = depth;
+        // Backward phase: accumulate dependencies level by level.
+        for lev in (1..max_depth).rev() {
+            let (gb, lb, sb, db) = (Arc::clone(&g2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&d2));
+            let gsplit = Arc::clone(&g2);
+            crate::ligra::for_each_vertex_by_degree(cx, &gsplit, grain, move |cx, v| {
+                if lb.read(cx.port(), v) != lev {
+                    return;
+                }
+                let lo = gb.offset(cx, v);
+                let hi = gb.offset(cx, v + 1);
+                let sv = sb.read(cx.port(), v);
+                let mut acc = 0.0;
+                for i in lo..hi {
+                    let w = gb.edge(cx, i);
+                    cx.port().advance(3);
+                    if lb.read(cx.port(), w) == lev + 1 {
+                        let sw = sb.read(cx.port(), w);
+                        let dw = db.read(cx.port(), w);
+                        acc += sv / sw * (1.0 + dw);
+                        cx.port().advance(6);
+                    }
+                }
+                db.write(cx.port(), v, acc);
+            });
+        }
+    });
+    let verify = Box::new(move || {
+        let adj = g.host_adjacency();
+        let (want_sigma, want_delta) = host_bc(&adj, src);
+        let got_sigma = sigma.snapshot();
+        let got_delta = delta.snapshot();
+        for v in 0..n {
+            if (got_sigma[v] - want_sigma[v]).abs() > 1e-6 * want_sigma[v].max(1.0) {
+                return Err(format!(
+                    "ligra-bc: sigma[{v}] = {} expected {}",
+                    got_sigma[v], want_sigma[v]
+                ));
+            }
+            if (got_delta[v] - want_delta[v]).abs() > 1e-6 * want_delta[v].abs().max(1.0) {
+                return Err(format!(
+                    "ligra-bc: delta[{v}] = {} expected {}",
+                    got_delta[v], want_delta[v]
+                ));
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+/// Serial Brandes reference: returns (sigma, delta) from `src`.
+fn host_bc(adj: &[Vec<usize>], src: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = adj.len();
+    let mut dist = vec![u64::MAX; n];
+    let mut sigma = vec![0.0; n];
+    let mut order = Vec::new();
+    dist[src] = 0;
+    sigma[src] = 1.0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in &adj[v] {
+            if dist[u] == u64::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+            if dist[u] == dist[v] + 1 {
+                sigma[u] += sigma[v];
+            }
+        }
+    }
+    let mut delta = vec![0.0; n];
+    for &v in order.iter().rev() {
+        if v == src {
+            continue;
+        }
+        for &u in &adj[v] {
+            if dist[u] == dist[v] + 1 {
+                delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+            }
+        }
+    }
+    (sigma, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn bc_matches_brandes_reference() {
+        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 8);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! `ligra-bf`: single-source shortest paths with the frontier-based
+//! Bellman-Ford of the Ligra paper — relaxations race benignly through an
+//! atomic write-min, and a vertex re-enters the frontier when its distance
+//! improves.
+
+use std::sync::Arc;
+
+use bigtiny_engine::{AddrSpace, ShVec};
+
+use crate::graph::Graph;
+use crate::ligra::{edge_map, VertexSubset};
+use crate::registry::{AppSize, Prepared};
+
+const INF: u64 = u64::MAX / 4;
+
+/// Instantiates `ligra-bf` on a weighted rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (2048, 8),
+        AppSize::Large => (8192, 8),
+    };
+    let grain = if grain == 0 { 256 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0xbe11));
+    let n = g.num_vertices();
+    let src = g.first_nonisolated();
+
+    let dist = Arc::new(ShVec::new(space, n, INF));
+    dist.host_write(src, 0);
+    let cur = Arc::new(VertexSubset::new(space, n));
+    let nxt = Arc::new(VertexSubset::new(space, n));
+    cur.host_insert(src);
+
+    let (g2, d2) = (Arc::clone(&g), Arc::clone(&dist));
+    let root: crate::RootFn = Box::new(move |cx| {
+        let mut cur = cur;
+        let mut nxt = nxt;
+        // Bellman-Ford terminates in < n rounds on non-negative weights.
+        for _round in 0..g2.num_vertices() {
+            let (gr, dr, du) = (Arc::clone(&g2), Arc::clone(&d2), Arc::clone(&d2));
+            edge_map(
+                cx,
+                &g2,
+                &cur,
+                &nxt,
+                grain,
+                |_, _| true,
+                // Relax: dist[d] = min(dist[d], dist[s] + w). The read of
+                // dist[s] is racy-benign (monotone; a later round repairs).
+                move |cx, s, d, eidx| {
+                    let ds = dr.read_racy(cx.port(), s);
+                    let w = gr.weight(cx, eidx);
+                    let nd = ds.saturating_add(w);
+                    cx.port().advance(2);
+                    du.amo(cx.port(), d, |x| {
+                        if nd < *x {
+                            *x = nd;
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                },
+            );
+            if nxt.count(cx) == 0 {
+                break;
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            nxt.par_clear(cx, grain.max(64));
+        }
+    });
+    let verify = Box::new(move || {
+        let adj = g.host_adjacency();
+        let w = g.host_weights();
+        let want = host_sssp(&adj, &w, src);
+        let got = dist.snapshot();
+        for v in 0..n {
+            if got[v] != want[v] {
+                return Err(format!("ligra-bf: dist[{v}] = {} expected {}", got[v], want[v]));
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+/// Serial Dijkstra reference.
+fn host_sssp(adj: &[Vec<usize>], w: &[Vec<u64>], src: usize) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![INF; adj.len()];
+    dist[src] = 0;
+    let mut heap = BinaryHeap::from([Reverse((0u64, src))]);
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (i, &u) in adj[v].iter().enumerate() {
+            let nd = d + w[v][i];
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn shortest_paths_match_dijkstra() {
+        for (kind, proto) in [
+            (RuntimeKind::Baseline, Protocol::Mesi),
+            (RuntimeKind::Hcc, Protocol::DeNovo),
+            (RuntimeKind::Dts, Protocol::GpuWb),
+        ] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 8);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `ligra-bfs`: breadth-first search with a parent array and
+//! compare-and-swap claiming, the canonical Ligra kernel.
+
+use std::sync::Arc;
+
+use bigtiny_core::TaskCx;
+use bigtiny_engine::{AddrSpace, ShVec};
+
+use crate::graph::Graph;
+use crate::ligra::{edge_map, VertexSubset};
+use crate::registry::{AppSize, Prepared};
+
+const UNVISITED: u64 = u64::MAX;
+
+/// Instantiates `ligra-bfs` on an rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (4096, 8),
+        AppSize::Large => (16384, 8),
+    };
+    let grain = if grain == 0 { 256 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0xbf5));
+    let n = g.num_vertices();
+    let src = g.first_nonisolated();
+
+    let parent = Arc::new(ShVec::new(space, n, UNVISITED));
+    parent.host_write(src, src as u64);
+    let cur = Arc::new(VertexSubset::new(space, n));
+    let nxt = Arc::new(VertexSubset::new(space, n));
+    cur.host_insert(src);
+
+    let (g2, p2, c2, x2) = (Arc::clone(&g), Arc::clone(&parent), Arc::clone(&cur), Arc::clone(&nxt));
+    let root: crate::RootFn = Box::new(move |cx| {
+        run_bfs(cx, &g2, &p2, c2, x2, grain);
+    });
+    let verify = Box::new(move || {
+        let adj = g.host_adjacency();
+        let want = super::host_bfs(&adj, src);
+        let parents = parent.snapshot();
+        for v in 0..n {
+            let reached = parents[v] != UNVISITED;
+            if reached != (want[v] != u64::MAX) {
+                return Err(format!("ligra-bfs: vertex {v} reachability mismatch"));
+            }
+            if reached && v != src {
+                let p = parents[v] as usize;
+                if want[p] + 1 != want[v] {
+                    return Err(format!(
+                        "ligra-bfs: parent of {v} is {p} at depth {} but v is at depth {}",
+                        want[p], want[v]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+/// The round loop, also used by the granularity-sweep harness.
+pub fn run_bfs(
+    cx: &mut TaskCx<'_>,
+    g: &Arc<Graph>,
+    parent: &Arc<ShVec<u64>>,
+    mut cur: Arc<VertexSubset>,
+    mut nxt: Arc<VertexSubset>,
+    grain: usize,
+) {
+    loop {
+        let (pc, pu) = (Arc::clone(parent), Arc::clone(parent));
+        edge_map(
+            cx,
+            g,
+            &cur,
+            &nxt,
+            grain,
+            // cond: unvisited (racy: same-round CAS winners may already have
+            // claimed the vertex, which the CAS below detects anyway).
+            move |cx, d| pc.read_racy(cx.port(), d) == UNVISITED,
+            // update: claim the vertex.
+            move |cx, s, d, _| pu.cas(cx.port(), d, UNVISITED, s as u64),
+        );
+        if nxt.count(cx) == 0 {
+            break;
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+        nxt.par_clear(cx, grain.max(64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn bfs_parent_tree_is_a_valid_bfs_tree() {
+        for (kind, proto) in [
+            (RuntimeKind::Baseline, Protocol::Mesi),
+            (RuntimeKind::Hcc, Protocol::GpuWb),
+            (RuntimeKind::Dts, Protocol::DeNovo),
+        ] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 8);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+}

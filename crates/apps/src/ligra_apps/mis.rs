@@ -1,0 +1,159 @@
+//! `ligra-mis`: maximal independent set with rootset-style rounds — a
+//! deterministic Luby-style algorithm in which an undecided vertex joins the
+//! set when its priority beats every undecided neighbour, and joining
+//! vertices knock their neighbours out.
+
+use std::sync::Arc;
+
+use bigtiny_core::TaskCx;
+use bigtiny_engine::{AddrSpace, ShScalar, ShVec, XorShift64};
+
+use crate::graph::Graph;
+use crate::registry::{AppSize, Prepared};
+
+/// Vertex states.
+const UNDECIDED: u64 = 0;
+const IN: u64 = 1;
+const OUT: u64 = 2;
+
+/// Instantiates `ligra-mis` on an rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (2048, 8),
+        AppSize::Large => (4096, 8),
+    };
+    let grain = if grain == 0 { 256 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0x315));
+    let n = g.num_vertices();
+
+    // Deterministic priorities (a permutation-ish hash; ties broken by id).
+    let mut rng = XorShift64::new(0x9);
+    let prio_vals: Vec<u64> = (0..n as u64).map(|v| (rng.next_u64() << 20) | v).collect();
+    let prio = Arc::new(ShVec::from_vec(space, prio_vals));
+    let state = Arc::new(ShVec::new(space, n, UNDECIDED));
+    let joined = Arc::new(ShVec::new(space, n, 0u64));
+    let undecided = Arc::new(ShScalar::new(space, n as u64));
+
+    let (g2, p2, s2, j2, u2) = (
+        Arc::clone(&g),
+        Arc::clone(&prio),
+        Arc::clone(&state),
+        Arc::clone(&joined),
+        Arc::clone(&undecided),
+    );
+    let root: crate::RootFn = Box::new(move |cx| {
+        while u2.read(cx.port()) > 0 {
+            round(cx, &g2, &p2, &s2, &j2, &u2, grain);
+        }
+    });
+    let verify = Box::new(move || {
+        let adj = g.host_adjacency();
+        let st = state.snapshot();
+        // Every vertex decided.
+        if let Some(v) = st.iter().position(|s| *s == UNDECIDED) {
+            return Err(format!("ligra-mis: vertex {v} left undecided"));
+        }
+        // Independence.
+        for v in 0..n {
+            if st[v] == IN {
+                for &u in &adj[v] {
+                    if st[u] == IN {
+                        return Err(format!("ligra-mis: adjacent vertices {v} and {u} both in set"));
+                    }
+                }
+            }
+        }
+        // Maximality: every OUT vertex has an IN neighbour.
+        for v in 0..n {
+            if st[v] == OUT && !adj[v].iter().any(|&u| st[u] == IN) {
+                return Err(format!("ligra-mis: vertex {v} is out with no in-neighbour"));
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn round(
+    cx: &mut TaskCx<'_>,
+    g: &Arc<Graph>,
+    prio: &Arc<ShVec<u64>>,
+    state: &Arc<ShVec<u64>>,
+    joined: &Arc<ShVec<u64>>,
+    undecided: &Arc<ShScalar<u64>>,
+    grain: usize,
+) {
+    // Phase 1: undecided vertices with locally-minimal priority join.
+    {
+        let (g1, p1, s1, j1) = (Arc::clone(g), Arc::clone(prio), Arc::clone(state), Arc::clone(joined));
+        crate::ligra::for_each_vertex_by_degree(cx, g, grain, move |cx, v| {
+            if s1.read(cx.port(), v) != UNDECIDED {
+                return;
+            }
+            let pv = p1.read(cx.port(), v);
+            let lo = g1.offset(cx, v);
+            let hi = g1.offset(cx, v + 1);
+            let mut wins = true;
+            for i in lo..hi {
+                let u = g1.edge(cx, i);
+                cx.port().advance(3);
+                if s1.read(cx.port(), u) == UNDECIDED && p1.read(cx.port(), u) < pv {
+                    wins = false;
+                    break;
+                }
+            }
+            if wins {
+                j1.write(cx.port(), v, 1);
+            }
+        });
+    }
+    // Phase 2: joiners enter the set and knock neighbours out.
+    {
+        let (g1, s1, j1, u1) =
+            (Arc::clone(g), Arc::clone(state), Arc::clone(joined), Arc::clone(undecided));
+        crate::ligra::for_each_vertex_by_degree(cx, g, grain, move |cx, v| {
+            let mut decided = 0u64;
+            if j1.read(cx.port(), v) != 0 {
+                j1.write(cx.port(), v, 0);
+                s1.write(cx.port(), v, IN);
+                decided += 1;
+                let lo = g1.offset(cx, v);
+                let hi = g1.offset(cx, v + 1);
+                for i in lo..hi {
+                    let u = g1.edge(cx, i);
+                    cx.port().advance(2);
+                    // Neighbours of two joiners race benignly to OUT: the
+                    // CAS makes the count exact.
+                    if s1.cas(cx.port(), u, UNDECIDED, OUT) {
+                        decided += 1;
+                    }
+                }
+            }
+            if decided > 0 {
+                u1.amo(cx.port(), |c| *c -= decided);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn mis_is_independent_and_maximal() {
+        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::DeNovo), (RuntimeKind::Dts, Protocol::GpuWb)] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 8);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! `ligra-radii`: graph radius estimation by K simultaneous BFS traversals
+//! encoded in per-vertex bit masks (Ligra's multiple-BFS Radii), with
+//! atomic OR to merge visitation masks.
+
+use std::sync::Arc;
+
+use bigtiny_engine::{AddrSpace, ShVec, XorShift64};
+
+use crate::graph::Graph;
+use crate::ligra::{edge_map, VertexSubset};
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `ligra-radii` on an rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (2048, 8),
+        AppSize::Large => (8192, 8),
+    };
+    let grain = if grain == 0 { 256 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0x4ad11));
+    let n = g.num_vertices();
+
+    // K sample sources (deterministic), one bit each.
+    let k = 64.min(n);
+    let mut rng = XorShift64::new(0x50);
+    let mut sources: Vec<usize> = Vec::new();
+    while sources.len() < k {
+        let v = rng.next_below(n as u64) as usize;
+        if !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+
+    // Ligra's two-array scheme: reads go to `visited` (stable across the
+    // round), atomic ORs accumulate into `next_visited`, and a vertex-map
+    // copies the frontier's masks over after the round barrier. This keeps
+    // the rounds synchronous, so radii are exact BFS distances.
+    let visited = Arc::new(ShVec::new(space, n, 0u64));
+    let next_visited = Arc::new(ShVec::new(space, n, 0u64));
+    let radii = Arc::new(ShVec::new(space, n, 0u64));
+    let cur = Arc::new(VertexSubset::new(space, n));
+    let nxt = Arc::new(VertexSubset::new(space, n));
+    for (bit, &s) in sources.iter().enumerate() {
+        visited.host_write(s, visited.host_read(s) | (1 << bit));
+        next_visited.host_write(s, visited.host_read(s));
+        cur.host_insert(s);
+    }
+
+    let (g2, v2, nv2, r2) =
+        (Arc::clone(&g), Arc::clone(&visited), Arc::clone(&next_visited), Arc::clone(&radii));
+    let sources2 = sources.clone();
+    let root: crate::RootFn = Box::new(move |cx| {
+        let mut cur = cur;
+        let mut nxt = nxt;
+        let mut round = 0u64;
+        loop {
+            round += 1;
+            let (vr, nvu) = (Arc::clone(&v2), Arc::clone(&nv2));
+            edge_map(
+                cx,
+                &g2,
+                &cur,
+                &nxt,
+                grain,
+                |_, _| true,
+                // OR the source's stable mask into the destination's
+                // next-round mask.
+                move |cx, s, d, _| {
+                    let ms = vr.read(cx.port(), s);
+                    nvu.amo(cx.port(), d, |m| {
+                        if *m | ms != *m {
+                            *m |= ms;
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                },
+            );
+            if nxt.count(cx) == 0 {
+                break;
+            }
+            // Commit the round: copy updated masks and stamp radii.
+            {
+                let (vu, nvr, ru) = (Arc::clone(&v2), Arc::clone(&nv2), Arc::clone(&r2));
+                crate::ligra::vertex_map(cx, &nxt, grain, move |cx, v| {
+                    let m = nvr.read(cx.port(), v);
+                    vu.write(cx.port(), v, m);
+                    ru.write(cx.port(), v, round);
+                });
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            nxt.par_clear(cx, grain.max(64));
+        }
+    });
+    let verify = Box::new(move || {
+        // Reference: run the same K-BFS serially; radii estimate per vertex
+        // is the max BFS distance from any sampled source that reaches it.
+        let adj = g.host_adjacency();
+        let mut want = vec![0u64; n];
+        for &s in &sources2 {
+            let d = super::host_bfs(&adj, s);
+            for v in 0..n {
+                if d[v] != u64::MAX {
+                    want[v] = want[v].max(d[v]);
+                }
+            }
+        }
+        let got = radii.snapshot();
+        for v in 0..n {
+            if got[v] != want[v] {
+                return Err(format!("ligra-radii: radius[{v}] = {} expected {}", got[v], want[v]));
+            }
+        }
+        Ok(())
+    });
+    Prepared { root, verify }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn radii_match_serial_multi_bfs() {
+        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::DeNovo)] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 8);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+}

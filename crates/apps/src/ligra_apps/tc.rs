@@ -1,0 +1,226 @@
+//! `ligra-tc`: triangle counting by ranked adjacency-list intersection —
+//! the kernel the paper uses for its task-granularity study (Figure 4).
+
+use std::sync::Arc;
+
+use bigtiny_core::TaskCx;
+use bigtiny_engine::{AddrSpace, ShScalar};
+
+use crate::graph::Graph;
+use crate::registry::{AppSize, Prepared};
+
+/// Instantiates `ligra-tc` on an rMAT graph.
+pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
+    let (n, ef) = match size {
+        AppSize::Test => (64, 4),
+        AppSize::Eval => (2048, 8),
+        AppSize::Large => (8192, 8),
+    };
+    let grain = if grain == 0 { 64 } else { grain };
+    let g = Arc::new(Graph::rmat(space, n, ef, 0x7c));
+    let count = Arc::new(ShScalar::new(space, 0u64));
+
+    let (g2, c2) = (Arc::clone(&g), Arc::clone(&count));
+    let root: crate::RootFn = Box::new(move |cx| {
+        run_tc(cx, &g2, &c2, grain);
+    });
+    let verify = Box::new(move || {
+        let want = host_triangles(&g.host_adjacency());
+        let got = count.host_read();
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("ligra-tc: counted {got} triangles, expected {want}"))
+        }
+    });
+    Prepared { root, verify }
+}
+
+/// Counts triangles into `count`; `grain` is the number of edge slots
+/// (intersection units) per leaf task — the paper's Figure 4 granularity
+/// knob ("the number of triangles processed by each task" in spirit).
+///
+/// Like the Ligra `edge_map`, the vertex range splits by degree sum and a
+/// heavy vertex's own edge list splits recursively, so rMAT hubs do not
+/// serialize the count.
+pub fn run_tc(cx: &mut TaskCx<'_>, g: &Arc<Graph>, count: &Arc<ShScalar<u64>>, grain: usize) {
+    tc_split(cx, g, count, 0, g.num_vertices(), grain.max(1));
+}
+
+fn tc_split(
+    cx: &mut TaskCx<'_>,
+    g: &Arc<Graph>,
+    count: &Arc<ShScalar<u64>>,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+) {
+    if lo >= hi {
+        return;
+    }
+    let e_lo = g.offset(cx, lo);
+    let e_hi = g.offset(cx, hi);
+    if hi - lo == 1 {
+        if e_hi - e_lo > 2 * grain {
+            tc_split_edges(cx, g, count, lo, e_lo, e_hi, grain);
+        } else {
+            let local = triangles_at(cx, g, lo);
+            if local > 0 {
+                count.amo(cx.port(), |c| *c += local);
+            }
+        }
+        return;
+    }
+    if e_hi - e_lo <= grain {
+        let mut local = 0u64;
+        for v in lo..hi {
+            local += triangles_at(cx, g, v);
+        }
+        if local > 0 {
+            count.amo(cx.port(), |c| *c += local);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (g1, c1) = (Arc::clone(g), Arc::clone(count));
+    let (g2, c2) = (Arc::clone(g), Arc::clone(count));
+    cx.set_pending(2);
+    cx.spawn(move |cx| tc_split(cx, &g1, &c1, lo, mid, grain));
+    cx.spawn(move |cx| tc_split(cx, &g2, &c2, mid, hi, grain));
+    cx.wait();
+}
+
+/// Splits the intersection work of one heavy vertex over its edge slots.
+fn tc_split_edges(
+    cx: &mut TaskCx<'_>,
+    g: &Arc<Graph>,
+    count: &Arc<ShScalar<u64>>,
+    v: usize,
+    e0: usize,
+    e1: usize,
+    grain: usize,
+) {
+    if e1 - e0 <= grain {
+        let hi_v = g.offset(cx, v + 1);
+        let mut local = 0u64;
+        for i in e0..e1 {
+            local += intersect_one(cx, g, v, i, hi_v);
+        }
+        if local > 0 {
+            count.amo(cx.port(), |c| *c += local);
+        }
+        return;
+    }
+    let mid = e0 + (e1 - e0) / 2;
+    let (g1, c1) = (Arc::clone(g), Arc::clone(count));
+    let (g2, c2) = (Arc::clone(g), Arc::clone(count));
+    cx.set_pending(2);
+    cx.spawn(move |cx| tc_split_edges(cx, &g1, &c1, v, e0, mid, grain));
+    cx.spawn(move |cx| tc_split_edges(cx, &g2, &c2, v, mid, e1, grain));
+    cx.wait();
+}
+
+/// Counts triangles `v < u < w` where `u, w` are neighbours of `v` and of
+/// each other, by merge-intersecting the ranked adjacency lists.
+fn triangles_at(cx: &mut TaskCx<'_>, g: &Graph, v: usize) -> u64 {
+    let lo_v = g.offset(cx, v);
+    let hi_v = g.offset(cx, v + 1);
+    let mut total = 0u64;
+    for i in lo_v..hi_v {
+        total += intersect_one(cx, g, v, i, hi_v);
+    }
+    total
+}
+
+/// The intersection unit for edge slot `i` of vertex `v`: counts common
+/// neighbours `w > u` of `v` and `u = edges[i]`.
+fn intersect_one(cx: &mut TaskCx<'_>, g: &Graph, v: usize, i: usize, hi_v: usize) -> u64 {
+    let u = g.edge(cx, i);
+    cx.port().advance(3);
+    if u <= v {
+        return 0;
+    }
+    let lo_u = g.offset(cx, u);
+    let hi_u = g.offset(cx, u + 1);
+    let mut total = 0u64;
+    let (mut a, mut b) = (i + 1, lo_u);
+    while a < hi_v && b < hi_u {
+        let x = g.edge(cx, a);
+        let y = g.edge(cx, b);
+        cx.port().advance(4);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                if x > u {
+                    total += 1;
+                }
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    total
+}
+
+/// Serial reference count.
+pub fn host_triangles(adj: &[Vec<usize>]) -> u64 {
+    let mut total = 0u64;
+    for (v, nv) in adj.iter().enumerate() {
+        for &u in nv {
+            if u <= v {
+                continue;
+            }
+            // Count common neighbours w > u.
+            let mut a = nv.iter().filter(|&&w| w > u).peekable();
+            let mut b = adj[u].iter().filter(|&&w| w > u).peekable();
+            while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => {
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        total += 1;
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sys;
+    use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+    use bigtiny_engine::Protocol;
+
+    #[test]
+    fn triangle_count_matches_reference() {
+        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)] {
+            let s = sys(proto);
+            let mut space = AddrSpace::new();
+            let prepared = prepare(&mut space, AppSize::Test, 4);
+            let run = run_task_parallel(&s, &RuntimeConfig::new(kind), &mut space, prepared.root);
+            (prepared.verify)().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(run.report.stale_reads, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn known_small_graphs() {
+        let mut space = AddrSpace::new();
+        // K4 has 4 triangles.
+        let k4 = Graph::from_edge_list(&mut space, 4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(host_triangles(&k4.host_adjacency()), 4);
+        // A 4-cycle has none.
+        let c4 = Graph::from_edge_list(&mut space, 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(host_triangles(&c4.host_adjacency()), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The application registry: a uniform interface the benchmark harness uses
+//! to instantiate, run, and verify every kernel of Table III.
+
+use bigtiny_core::TaskCx;
+use bigtiny_engine::AddrSpace;
+
+/// A boxed root task body.
+pub type RootFn = Box<dyn for<'a, 'b> FnOnce(&'a mut TaskCx<'b>) + Send>;
+
+/// A prepared application instance: data is allocated in simulated memory,
+/// `root` runs it, `verify` checks the result against a serial reference.
+pub struct Prepared {
+    /// The root task body.
+    pub root: RootFn,
+    /// Post-run functional verification.
+    pub verify: Box<dyn FnOnce() -> Result<(), String> + Send>,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Prepared { .. }")
+    }
+}
+
+/// Parallelization method, as tabulated in Table III ("PM").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// Recursive spawn-and-sync (`ss` in the paper).
+    SpawnSync,
+    /// Loop-level `parallel_for` (`pf` in the paper).
+    ParallelFor,
+}
+
+impl Method {
+    /// The paper's two-letter code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Method::SpawnSync => "ss",
+            Method::ParallelFor => "pf",
+        }
+    }
+}
+
+/// Input scale for a kernel.
+///
+/// The paper's inputs (hundreds of millions of instructions) are scaled down
+/// for the token-sequenced simulator, preserving the logical-parallelism
+/// regime (Section V-A's weak-scaling argument). `Test` is for unit tests,
+/// `Eval` for the Table III / Figures 5-8 harness, `Large` for the Table V
+/// 256-core runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppSize {
+    /// Tiny inputs for fast unit tests.
+    Test,
+    /// The main evaluation inputs.
+    Eval,
+    /// Scaled-up inputs for the 256-core experiments.
+    Large,
+}
+
+/// A registered application kernel.
+pub struct AppSpec {
+    /// Paper name, e.g. `cilk5-cs` or `ligra-bfs`.
+    pub name: &'static str,
+    /// Parallelization method (Table III "PM").
+    pub method: Method,
+    /// Instantiates the kernel at the given size with the given task
+    /// granularity (`0` = the kernel's tuned default, Table III "GS").
+    pub prepare: fn(&mut AddrSpace, AppSize, usize) -> Prepared,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec").field("name", &self.name).field("method", &self.method).finish()
+    }
+}
+
+impl AppSpec {
+    /// Instantiates with the kernel's default granularity.
+    pub fn prepare_default(&self, space: &mut AddrSpace, size: AppSize) -> Prepared {
+        (self.prepare)(space, size, 0)
+    }
+}
+
+/// All 13 kernels, in the paper's Table III order.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec { name: "cilk5-cs", method: Method::SpawnSync, prepare: crate::cilk5::sort::prepare },
+        AppSpec { name: "cilk5-lu", method: Method::SpawnSync, prepare: crate::cilk5::lu::prepare },
+        AppSpec { name: "cilk5-mm", method: Method::SpawnSync, prepare: crate::cilk5::matmul::prepare },
+        AppSpec { name: "cilk5-mt", method: Method::SpawnSync, prepare: crate::cilk5::transpose::prepare },
+        AppSpec { name: "cilk5-nq", method: Method::ParallelFor, prepare: crate::cilk5::nqueens::prepare },
+        AppSpec { name: "ligra-bc", method: Method::ParallelFor, prepare: crate::ligra_apps::bc::prepare },
+        AppSpec { name: "ligra-bf", method: Method::ParallelFor, prepare: crate::ligra_apps::bf::prepare },
+        AppSpec { name: "ligra-bfs", method: Method::ParallelFor, prepare: crate::ligra_apps::bfs::prepare },
+        AppSpec { name: "ligra-bfsbv", method: Method::ParallelFor, prepare: crate::ligra_apps::bfsbv::prepare },
+        AppSpec { name: "ligra-cc", method: Method::ParallelFor, prepare: crate::ligra_apps::cc::prepare },
+        AppSpec { name: "ligra-mis", method: Method::ParallelFor, prepare: crate::ligra_apps::mis::prepare },
+        AppSpec { name: "ligra-radii", method: Method::ParallelFor, prepare: crate::ligra_apps::radii::prepare },
+        AppSpec { name: "ligra-tc", method: Method::ParallelFor, prepare: crate::ligra_apps::tc::prepare },
+    ]
+}
+
+/// Looks up a kernel by its paper name.
+pub fn app_by_name(name: &str) -> Option<AppSpec> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_apps_in_paper_order() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 13);
+        assert_eq!(apps[0].name, "cilk5-cs");
+        assert_eq!(apps[12].name, "ligra-tc");
+        // Five Cilk-5 + eight Ligra.
+        assert_eq!(apps.iter().filter(|a| a.name.starts_with("cilk5")).count(), 5);
+        assert_eq!(apps.iter().filter(|a| a.name.starts_with("ligra")).count(), 8);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(app_by_name("ligra-tc").is_some());
+        assert!(app_by_name("nope").is_none());
+        assert_eq!(app_by_name("cilk5-mm").unwrap().method.code(), "ss");
+        assert_eq!(app_by_name("ligra-bfs").unwrap().method.code(), "pf");
+    }
+}

@@ -1,0 +1,34 @@
+//! Native-hardware validation of the baseline work-stealing runtime
+//! (the analogue of the paper's Section V-B TBB/Cilk comparison): the
+//! `NativePool` fork-join scheduler versus serial execution on the host.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bigtiny_core::{native_fib, NativePool};
+
+fn serial_fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        serial_fib(n - 1) + serial_fib(n - 2)
+    }
+}
+
+fn bench_native(c: &mut Criterion) {
+    let n = 20u64;
+    c.bench_function("native/serial_fib20", |b| b.iter(|| black_box(serial_fib(black_box(n)))));
+
+    for threads in [1usize, 2, 4] {
+        let pool = NativePool::new(threads);
+        c.bench_function(&format!("native/pool{threads}_fib20"), |b| {
+            b.iter(|| black_box(native_fib(&pool, n)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_native
+}
+criterion_main!(benches);

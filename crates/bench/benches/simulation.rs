@@ -1,0 +1,69 @@
+//! End-to-end simulator throughput: wall-clock cost of complete simulated
+//! runs (one per runtime variant) on a small system, and a single-kernel
+//! run on the full 64-core machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bigtiny_apps::{app_by_name, AppSize};
+use bigtiny_bench::{run_app, Setup};
+use bigtiny_core::{run_task_parallel, parallel_invoke, RuntimeConfig, RuntimeKind, TaskCx};
+use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
+use bigtiny_mesh::{MeshConfig, Topology};
+use std::sync::Arc;
+
+fn fib(cx: &mut TaskCx<'_>, out: Arc<ShVec<u64>>, slot: usize, n: u64) {
+    cx.port().advance(4);
+    if n < 2 {
+        out.write(cx.port(), slot, n);
+        return;
+    }
+    let (a, b) = (Arc::clone(&out), Arc::clone(&out));
+    let (sa, sb) = (2 * slot + 1, 2 * slot + 2);
+    parallel_invoke(cx, move |cx| fib(cx, a, sa, n - 1), move |cx| fib(cx, b, sb, n - 2));
+    let x = out.read(cx.port(), sa);
+    let y = out.read(cx.port(), sb);
+    out.write(cx.port(), slot, x + y);
+}
+
+fn bench_sim_fib(c: &mut Criterion) {
+    for (name, kind, proto) in [
+        ("baseline_mesi", RuntimeKind::Baseline, Protocol::Mesi),
+        ("hcc_gwb", RuntimeKind::Hcc, Protocol::GpuWb),
+        ("dts_gwb", RuntimeKind::Dts, Protocol::GpuWb),
+    ] {
+        c.bench_function(&format!("sim/fib12_8cores_{name}"), |b| {
+            b.iter(|| {
+                let sys = SystemConfig::big_tiny(
+                    "bench8",
+                    MeshConfig::with_topology(Topology::new(3, 3)),
+                    1,
+                    7,
+                    proto,
+                );
+                let cfg = RuntimeConfig::new(kind);
+                let mut space = AddrSpace::new();
+                let out = Arc::new(ShVec::new(&mut space, 1 << 13, 0u64));
+                let o = Arc::clone(&out);
+                let run = run_task_parallel(&sys, &cfg, &mut space, move |cx| fib(cx, o, 0, 12));
+                black_box(run.report.completion_cycles)
+            })
+        });
+    }
+}
+
+fn bench_full_machine(c: &mut Criterion) {
+    let app = app_by_name("ligra-bfs").expect("registered");
+    c.bench_function("sim/ligra_bfs_test_64cores_dts_gwb", |b| {
+        b.iter(|| {
+            let setup = Setup::bt_hcc(Protocol::GpuWb, true);
+            black_box(run_app(&setup, &app, AppSize::Test, 0).cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_fib, bench_full_machine
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the simulator substrates: host-side cost of
+//! the mesh model, L1/L2 protocol operations, and the deterministic RNG.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bigtiny_coherence::{Addr, CoreMemConfig, MemConfig, MemorySystem, Protocol};
+use bigtiny_engine::XorShift64;
+use bigtiny_mesh::{Mesh, MeshConfig, Tile, TrafficClass};
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut mesh = Mesh::new(MeshConfig::paper_64_core());
+    c.bench_function("mesh/send_corner_to_corner", |b| {
+        b.iter(|| {
+            mesh.send(
+                black_box(Tile::new(0, 0)),
+                black_box(Tile::new(7, 7)),
+                TrafficClass::DataResp,
+                64,
+            )
+        })
+    });
+}
+
+fn make_system(tiny_proto: Protocol) -> MemorySystem {
+    let mesh = MeshConfig::paper_64_core();
+    let mut cores = vec![CoreMemConfig::big(); 4];
+    cores.extend(vec![CoreMemConfig::tiny(tiny_proto); 60]);
+    MemorySystem::new(&MemConfig::paper(mesh, cores))
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    for proto in [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+        let mut m = make_system(proto);
+        // Warm one line so the hit path is exercised.
+        m.load(10, Addr(0x1000), 0);
+        c.bench_function(&format!("mem/{}/load_hit", proto.label()), |b| {
+            let mut t = 1000u64;
+            b.iter(|| {
+                t += 1;
+                black_box(m.load(10, Addr(0x1000), t))
+            })
+        });
+        let mut m2 = make_system(proto);
+        c.bench_function(&format!("mem/{}/load_miss_stream", proto.label()), |b| {
+            let mut a = 0u64;
+            let mut t = 0u64;
+            b.iter(|| {
+                a += 64;
+                t += 10;
+                black_box(m2.load(10, Addr(0x100000 + a), t))
+            })
+        });
+        let mut m3 = make_system(proto);
+        c.bench_function(&format!("mem/{}/amo", proto.label()), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 10;
+                black_box(m3.amo(10, Addr(0x2000), t))
+            })
+        });
+    }
+}
+
+fn bench_bulk_ops(c: &mut Criterion) {
+    c.bench_function("mem/gwb/flush_64_dirty_lines", |b| {
+        b.iter_batched(
+            || {
+                let mut m = make_system(Protocol::GpuWb);
+                for i in 0..64 {
+                    m.store(10, Addr(0x100000 + i * 64), i);
+                }
+                m
+            },
+            |mut m| black_box(m.flush_all(10, 10_000)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mem/dnv/invalidate_full_cache", |b| {
+        b.iter_batched(
+            || {
+                let mut m = make_system(Protocol::DeNovo);
+                for i in 0..64 {
+                    m.load(10, Addr(0x100000 + i * 64), i);
+                }
+                m
+            },
+            |mut m| black_box(m.invalidate_all(10, 10_000)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = XorShift64::new(42);
+    c.bench_function("rng/next_below_63", |b| b.iter(|| black_box(rng.next_below(63))));
+}
+
+criterion_group!(benches, bench_mesh, bench_memory_system, bench_bulk_ops, bench_rng);
+criterion_main!(benches);

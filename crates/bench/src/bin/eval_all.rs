@@ -1,0 +1,176 @@
+//! Runs the 13-kernel × 7-configuration big.TINY matrix once and emits the
+//! data for Figures 5, 6, 7, 8 and Table IV in one pass (the standalone
+//! binaries re-run the matrix; this one is for full reproduction runs).
+
+use bigtiny_bench::{
+    apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix,
+    size_from_env, Setup, TrafficClass,
+};
+use bigtiny_engine::Protocol;
+
+const CLASSES: [TrafficClass; 9] = [
+    TrafficClass::CpuReq,
+    TrafficClass::WbReq,
+    TrafficClass::DataResp,
+    TrafficClass::SyncReq,
+    TrafficClass::SyncResp,
+    TrafficClass::CohReq,
+    TrafficClass::CohResp,
+    TrafficClass::DramReq,
+    TrafficClass::DramResp,
+];
+
+fn main() {
+    let size = size_from_env();
+    let apps = apps_from_env();
+    let setups = Setup::big_tiny_matrix();
+    let results = run_matrix(&setups, &apps, size);
+
+    // ---------------- Figure 5 ----------------
+    {
+        let labels: Vec<String> = setups.iter().skip(1).map(|s| s.label.clone()).collect();
+        let mut header = vec!["Name".to_owned()];
+        header.extend(labels.iter().cloned());
+        let mut rows = Vec::new();
+        let mut geo: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+        for app in &apps {
+            let mesi = find_result(&results, app.name, "b.T/MESI").cycles as f64;
+            let mut row = vec![app.name.to_owned()];
+            for (i, label) in labels.iter().enumerate() {
+                let v = mesi / find_result(&results, app.name, label).cycles as f64;
+                geo[i].push(v);
+                row.push(format!("{v:.2}"));
+            }
+            rows.push(row);
+        }
+        let mut geo_row = vec!["geomean".to_owned()];
+        geo_row.extend(geo.iter().map(|g| format!("{:.2}", geomean(g.iter().copied()))));
+        rows.push(geo_row);
+        println!("== Figure 5: speedup over big.TINY/MESI ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- Figure 6 ----------------
+    {
+        let mut header = vec!["Name".to_owned()];
+        header.extend(setups.iter().map(|s| s.label.clone()));
+        let mut rows = Vec::new();
+        for app in &apps {
+            let mut row = vec![app.name.to_owned()];
+            for setup in &setups {
+                let r = find_result(&results, app.name, &setup.label);
+                row.push(format!("{:.1}%", 100.0 * r.l1d_hit_rate()));
+            }
+            rows.push(row);
+        }
+        println!("== Figure 6: tiny-core L1D hit rate ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- Figure 7 ----------------
+    {
+        let mut header = vec!["Name".to_owned(), "Config".to_owned()];
+        header.extend(breakdown_labels().map(String::from));
+        header.push("Total".to_owned());
+        let mut rows = Vec::new();
+        for app in &apps {
+            let mesi_total =
+                find_result(&results, app.name, "b.T/MESI").tiny_breakdown().total().max(1) as f64;
+            for setup in &setups {
+                let r = find_result(&results, app.name, &setup.label);
+                let b = r.tiny_breakdown();
+                let mut row = vec![app.name.to_owned(), setup.label.clone()];
+                for (_, cycles) in b.paper_groups() {
+                    row.push(format!("{:.3}", cycles as f64 / mesi_total));
+                }
+                row.push(format!("{:.3}", b.total() as f64 / mesi_total));
+                rows.push(row);
+            }
+        }
+        println!("== Figure 7: tiny-core time breakdown, normalized to b.T/MESI ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- Figure 8 ----------------
+    {
+        let mut header = vec!["Name".to_owned(), "Config".to_owned()];
+        header.extend(CLASSES.iter().map(|c| c.label().to_owned()));
+        header.push("total".to_owned());
+        let mut rows = Vec::new();
+        for app in &apps {
+            let mesi_total =
+                find_result(&results, app.name, "b.T/MESI").traffic_bytes().max(1) as f64;
+            for setup in &setups {
+                let r = find_result(&results, app.name, &setup.label);
+                let t = &r.run.report.traffic;
+                let mut row = vec![app.name.to_owned(), setup.label.clone()];
+                for c in CLASSES {
+                    row.push(format!("{:.3}", t.bytes(c) as f64 / mesi_total));
+                }
+                row.push(format!("{:.3}", r.traffic_bytes() as f64 / mesi_total));
+                rows.push(row);
+            }
+        }
+        println!("== Figure 8: OCN traffic by category, normalized to b.T/MESI ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- Table IV ----------------
+    {
+        let header: Vec<String> = [
+            "App", "InvDec dnv", "InvDec gwt", "InvDec gwb", "FlsDec gwb",
+            "HitInc dnv", "HitInc gwt", "HitInc gwb",
+        ]
+        .map(String::from)
+        .to_vec();
+        let pct_dec = |hcc: u64, dts: u64| -> String {
+            if hcc == 0 {
+                "--".to_owned()
+            } else {
+                format!("{:.2}%", 100.0 * (hcc.saturating_sub(dts)) as f64 / hcc as f64)
+            }
+        };
+        let mut rows = Vec::new();
+        for app in &apps {
+            let mut row = vec![app.name.to_owned()];
+            let mut hit_inc = Vec::new();
+            let mut fls_dec = String::new();
+            for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+                let hcc = find_result(&results, app.name, &format!("b.T/HCC-{}", proto.label()));
+                let dts = find_result(&results, app.name, &format!("b.T/HCC-DTS-{}", proto.label()));
+                let (mh, md) = (hcc.tiny_mem(), dts.tiny_mem());
+                row.push(pct_dec(mh.lines_invalidated, md.lines_invalidated));
+                if proto == Protocol::GpuWb {
+                    fls_dec = pct_dec(mh.lines_flushed, md.lines_flushed);
+                }
+                hit_inc.push(format!("{:.2}%", 100.0 * (dts.l1d_hit_rate() - hcc.l1d_hit_rate())));
+            }
+            row.push(fls_dec);
+            row.extend(hit_inc);
+            rows.push(row);
+        }
+        println!("== Table IV: DTS vs HCC reductions ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- ULI overhead summary (Section VI-C claims) ----------
+    {
+        println!("== ULI network summary (DTS configurations) ==\n");
+        for app in &apps {
+            for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+                let r = find_result(&results, app.name, &format!("b.T/HCC-DTS-{}", proto.label()));
+                let u = &r.run.report.uli;
+                println!(
+                    "{:<12} {:<4} msgs {:>8}  nacks {:>6}  mean hops {:>5.1}  mean lat {:>6.1}  util {:>6.3}%",
+                    app.name,
+                    proto.label(),
+                    u.messages,
+                    u.nacks,
+                    u.mean_hops,
+                    u.mean_latency,
+                    100.0 * u.utilization
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,404 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the big.TINY reproduction.
+//!
+//! Provides the named machine+runtime setups of the paper's evaluation
+//! (Section V), runs application kernels on them with functional
+//! verification, and formats the result tables. Each table/figure of the
+//! paper has a binary in `src/bin/` that drives this library; see
+//! `EXPERIMENTS.md` at the repository root for the index.
+//!
+//! Environment knobs (read by the binaries):
+//!
+//! * `BIGTINY_SIZE` — `test` | `eval` (default) | `large`: input scale.
+//! * `BIGTINY_APPS` — comma-separated kernel names to restrict a run.
+
+use bigtiny_apps::{all_apps, AppSize, AppSpec};
+use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskRun};
+use bigtiny_engine::{AddrSpace, Protocol, SystemConfig, TimeCategory};
+
+/// A machine + runtime pairing with a display label.
+#[derive(Clone, Debug)]
+pub struct Setup {
+    /// Display label, e.g. `b.T/HCC-DTS-gwb`.
+    pub label: String,
+    /// Simulated machine.
+    pub sys: SystemConfig,
+    /// Runtime variant.
+    pub rt: RuntimeConfig,
+}
+
+impl Setup {
+    fn new(label: &str, sys: SystemConfig, kind: RuntimeKind) -> Self {
+        Setup { label: label.to_owned(), sys, rt: RuntimeConfig::new(kind) }
+    }
+
+    /// Serial reference: one in-order tiny core ("Serial IO" in Table III).
+    pub fn serial_io() -> Self {
+        Self::new("serial-io", SystemConfig::tiny_only(1, Protocol::Mesi), RuntimeKind::Baseline)
+    }
+
+    /// `O3x{n}`: a traditional multicore of `n` big cores.
+    pub fn o3(n: usize) -> Self {
+        Self::new(&format!("O3x{n}"), SystemConfig::o3(n), RuntimeKind::Baseline)
+    }
+
+    /// `big.TINY/MESI`: full-system hardware coherence.
+    pub fn bt_mesi() -> Self {
+        Self::new("b.T/MESI", SystemConfig::big_tiny_mesi(), RuntimeKind::Baseline)
+    }
+
+    /// `big.TINY/HCC-*` (optionally with DTS).
+    pub fn bt_hcc(proto: Protocol, dts: bool) -> Self {
+        let kind = if dts { RuntimeKind::Dts } else { RuntimeKind::Hcc };
+        let label = if dts {
+            format!("b.T/HCC-DTS-{}", proto.label())
+        } else {
+            format!("b.T/HCC-{}", proto.label())
+        };
+        Self::new(&label, SystemConfig::big_tiny_hcc(proto), kind)
+    }
+
+    /// The 256-core variants of Table V.
+    pub fn bt_256(proto: Protocol, kind: RuntimeKind) -> Self {
+        let (sys, label) = match (proto, kind) {
+            (Protocol::Mesi, RuntimeKind::Baseline) => {
+                (SystemConfig::big_tiny_256(Protocol::Mesi), "b.T-256/MESI".to_owned())
+            }
+            (p, RuntimeKind::Hcc) => {
+                (SystemConfig::big_tiny_256(p), format!("b.T-256/HCC-{}", p.label()))
+            }
+            (p, RuntimeKind::Dts) => {
+                (SystemConfig::big_tiny_256(p), format!("b.T-256/HCC-DTS-{}", p.label()))
+            }
+            _ => panic!("unsupported 256-core combination"),
+        };
+        Setup { label, sys, rt: RuntimeConfig::new(kind) }
+    }
+
+    /// The seven 64-core big.TINY configurations of Figures 5-8:
+    /// MESI, HCC-{dnv,gwt,gwb}, HCC-DTS-{dnv,gwt,gwb}.
+    pub fn big_tiny_matrix() -> Vec<Setup> {
+        let mut v = vec![Self::bt_mesi()];
+        for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+            v.push(Self::bt_hcc(proto, false));
+        }
+        for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+            v.push(Self::bt_hcc(proto, true));
+        }
+        v
+    }
+}
+
+/// One verified application run with the measurements the figures need.
+#[derive(Debug)]
+pub struct AppResult {
+    /// Kernel name.
+    pub app: &'static str,
+    /// Setup label.
+    pub setup: String,
+    /// End-to-end simulated cycles.
+    pub cycles: u64,
+    /// Full engine/runtime measurements.
+    pub run: TaskRun,
+    /// Ids of the tiny cores of the setup (for Figures 6/7 aggregation).
+    pub tiny_cores: Vec<usize>,
+}
+
+impl AppResult {
+    /// Aggregate tiny-core L1D hit rate (Figure 6). Falls back to all cores
+    /// for setups without tiny cores (the O3 systems).
+    pub fn l1d_hit_rate(&self) -> f64 {
+        let cores: Vec<usize> = if self.tiny_cores.is_empty() {
+            (0..self.run.report.mem_stats.len()).collect()
+        } else {
+            self.tiny_cores.clone()
+        };
+        self.run.report.l1d_hit_rate(&cores)
+    }
+
+    /// Aggregate tiny-core memory stats (Table IV).
+    pub fn tiny_mem(&self) -> bigtiny_engine::CoreMemStats {
+        self.run.report.mem_stats_over(&self.tiny_cores)
+    }
+
+    /// Aggregate tiny-core time breakdown (Figure 7).
+    pub fn tiny_breakdown(&self) -> bigtiny_engine::TimeBreakdown {
+        self.run.report.breakdown_over(&self.tiny_cores)
+    }
+
+    /// Total data-OCN bytes (Figure 8).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.run.report.total_traffic_bytes()
+    }
+}
+
+/// Runs `app` on `setup` at `size` (granularity `grain`, `0` = default),
+/// verifying the functional result and the zero-stale-reads invariant.
+///
+/// # Panics
+///
+/// Panics if verification fails or the run would have read stale data on
+/// real hardware — a harness must never report numbers from a broken run.
+pub fn run_app(setup: &Setup, app: &AppSpec, size: AppSize, grain: usize) -> AppResult {
+    let mut space = AddrSpace::new();
+    let prepared = (app.prepare)(&mut space, size, grain);
+    let run = run_task_parallel(&setup.sys, &setup.rt, &mut space, prepared.root);
+    if let Err(e) = (prepared.verify)() {
+        panic!("{} on {}: verification failed: {e}", app.name, setup.label);
+    }
+    assert_eq!(
+        run.report.stale_reads, 0,
+        "{} on {}: stale reads detected",
+        app.name, setup.label
+    );
+    AppResult {
+        app: app.name,
+        setup: setup.label.clone(),
+        cycles: run.report.completion_cycles,
+        tiny_cores: setup.sys.tiny_cores(),
+        run,
+    }
+}
+
+/// A machine-readable summary of one run, for downstream analysis
+/// (`BIGTINY_JSON=<path>` makes [`run_matrix`] append one JSON object per
+/// line).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ResultRecord {
+    /// Kernel name.
+    pub app: String,
+    /// Setup label.
+    pub setup: String,
+    /// End-to-end simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Tiny-core L1D hit rate in `[0, 1]`.
+    pub l1d_hit_rate: f64,
+    /// Tiny-core lines invalidated by bulk self-invalidations.
+    pub lines_invalidated: u64,
+    /// Tiny-core lines written back by bulk flushes.
+    pub lines_flushed: u64,
+    /// Tiny-core atomic operations.
+    pub amos: u64,
+    /// Total data-OCN bytes.
+    pub traffic_bytes: u64,
+    /// ULI messages (0 outside DTS).
+    pub uli_messages: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Logical work (instructions).
+    pub work: u64,
+    /// Critical path (instructions).
+    pub span: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+}
+
+impl From<&AppResult> for ResultRecord {
+    fn from(r: &AppResult) -> Self {
+        let mem = r.tiny_mem();
+        let ws = r.run.stats.workspan;
+        ResultRecord {
+            app: r.app.to_owned(),
+            setup: r.setup.clone(),
+            cycles: r.cycles,
+            instructions: r.run.report.total_instructions(),
+            l1d_hit_rate: r.l1d_hit_rate(),
+            lines_invalidated: mem.lines_invalidated,
+            lines_flushed: mem.lines_flushed,
+            amos: mem.amos,
+            traffic_bytes: r.traffic_bytes(),
+            uli_messages: r.run.report.uli.messages,
+            steals: r.run.stats.steals,
+            work: ws.work,
+            span: ws.span,
+            tasks: ws.tasks,
+        }
+    }
+}
+
+/// Runs every (setup × app) pairing, with progress on stderr. Results are
+/// indexable with [`find_result`]. When `BIGTINY_JSON` names a file, one
+/// [`ResultRecord`] per run is appended to it as JSON lines.
+pub fn run_matrix(setups: &[Setup], apps: &[AppSpec], size: AppSize) -> Vec<AppResult> {
+    use std::io::Write;
+    let mut json_out = std::env::var("BIGTINY_JSON").ok().map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("BIGTINY_JSON={path}: {e}"))
+    });
+    let mut out = Vec::with_capacity(setups.len() * apps.len());
+    for app in apps {
+        for setup in setups {
+            let t0 = std::time::Instant::now();
+            let r = run_app(setup, app, size, 0);
+            eprintln!(
+                "[bench] {:<12} {:<18} {:>12} cycles  ({:.1}s wall)",
+                app.name,
+                setup.label,
+                r.cycles,
+                t0.elapsed().as_secs_f64()
+            );
+            if let Some(f) = json_out.as_mut() {
+                let rec = ResultRecord::from(&r);
+                let line = serde_json::to_string(&rec).expect("serializable record");
+                writeln!(f, "{line}").expect("write JSON record");
+            }
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Looks up a result by app and setup label.
+pub fn find_result<'a>(results: &'a [AppResult], app: &str, setup: &str) -> &'a AppResult {
+    results
+        .iter()
+        .find(|r| r.app == app && r.setup == setup)
+        .unwrap_or_else(|| panic!("missing result for {app} on {setup}"))
+}
+
+/// Input size from `BIGTINY_SIZE` (default `eval`).
+pub fn size_from_env() -> AppSize {
+    match std::env::var("BIGTINY_SIZE").as_deref() {
+        Ok("test") => AppSize::Test,
+        Ok("large") => AppSize::Large,
+        Ok("eval") | Err(_) => AppSize::Eval,
+        Ok(other) => panic!("BIGTINY_SIZE must be test|eval|large, got {other}"),
+    }
+}
+
+/// Kernel list, restricted by `BIGTINY_APPS` if set.
+pub fn apps_from_env() -> Vec<AppSpec> {
+    let apps = all_apps();
+    match std::env::var("BIGTINY_APPS") {
+        Ok(list) => {
+            let names: Vec<&str> = list.split(',').map(str::trim).collect();
+            let picked: Vec<AppSpec> =
+                apps.into_iter().filter(|a| names.contains(&a.name)).collect();
+            assert!(!picked.is_empty(), "BIGTINY_APPS matched no kernels: {list}");
+            picked
+        }
+        Err(_) => apps,
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean of non-positive value {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Renders a fixed-width table: a header row plus data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// The Figure 7 category labels in display order.
+pub fn breakdown_labels() -> [&'static str; 6] {
+    ["Inst Fetch", "Data Load", "Data Store", "Atomic", "Flush", "Others"]
+}
+
+/// Re-export for binaries.
+pub use bigtiny_mesh::{TrafficClass, TRAFFIC_CLASSES};
+
+/// Time categories re-export for binaries.
+pub const ALL_TIME_CATEGORIES: [TimeCategory; 9] = bigtiny_engine::TIME_CATEGORIES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_labels_match_paper_names() {
+        assert_eq!(Setup::bt_mesi().label, "b.T/MESI");
+        assert_eq!(Setup::bt_hcc(Protocol::GpuWb, false).label, "b.T/HCC-gwb");
+        assert_eq!(Setup::bt_hcc(Protocol::DeNovo, true).label, "b.T/HCC-DTS-dnv");
+        assert_eq!(Setup::o3(8).label, "O3x8");
+        let m = Setup::big_tiny_matrix();
+        assert_eq!(m.len(), 7);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("10") && lines[3].contains("200"));
+    }
+
+    #[test]
+    fn smoke_run_one_app_on_two_setups() {
+        let app = bigtiny_apps::app_by_name("ligra-bfs").unwrap();
+        for setup in [Setup::serial_io(), Setup::bt_hcc(Protocol::GpuWb, true)] {
+            let r = run_app(&setup, &app, AppSize::Test, 8);
+            assert!(r.cycles > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn result_records_round_trip_as_json() {
+        let app = bigtiny_apps::app_by_name("cilk5-nq").unwrap();
+        let setup = Setup::bt_hcc(Protocol::GpuWb, true);
+        let r = run_app(&setup, &app, AppSize::Test, 0);
+        let rec = ResultRecord::from(&r);
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: ResultRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.app, "cilk5-nq");
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.steals, r.run.stats.steals);
+        assert!(back.span <= back.work);
+    }
+}

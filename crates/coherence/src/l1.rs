@@ -1,0 +1,292 @@
+//! Private L1 data-cache tag/state model.
+//!
+//! The L1 stores no functional data (the simulator keeps functional values
+//! in host memory, serialized by the engine's global event order); it tracks
+//! exactly the state the protocols need: MESI line state, per-word valid and
+//! dirty masks, DeNovo ownership, LRU, and per-word fill versions for the
+//! staleness checker.
+
+use crate::addr::{LineAddr, WordMask, WORDS_PER_LINE};
+use crate::protocol::Protocol;
+
+/// MESI stable states for lines in hardware-coherent caches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Shared: clean, possibly other copies exist.
+    Shared,
+    /// Exclusive: clean, only copy.
+    Exclusive,
+    /// Modified: dirty, only copy.
+    Modified,
+}
+
+/// State of one resident cache line.
+#[derive(Clone, Debug)]
+pub struct LineEntry {
+    /// The line's address (full tag; the model keeps whole line addresses).
+    pub line: LineAddr,
+    /// MESI state — meaningful only when the owning cache runs MESI.
+    pub mesi: MesiState,
+    /// Per-word valid bits (always [`WordMask::FULL`] under MESI).
+    pub valid: WordMask,
+    /// Per-word dirty bits.
+    pub dirty: WordMask,
+    /// DeNovo ownership: the line's writes are registered at the directory.
+    pub owned: bool,
+    /// Per-word version numbers observed at fill/write time (staleness check).
+    pub fill_version: [u64; WORDS_PER_LINE],
+    lru: u64,
+}
+
+impl LineEntry {
+    fn new(line: LineAddr, lru: u64) -> Self {
+        LineEntry {
+            line,
+            mesi: MesiState::Shared,
+            valid: WordMask::EMPTY,
+            dirty: WordMask::EMPTY,
+            owned: false,
+            fill_version: [0; WORDS_PER_LINE],
+            lru,
+        }
+    }
+
+    /// Whether the line holds unwritten-back data the cache must preserve.
+    pub fn has_dirty_data(&self) -> bool {
+        !self.dirty.is_empty() || self.mesi == MesiState::Modified
+    }
+}
+
+/// What a line insertion displaced.
+#[derive(Clone, Debug, Default)]
+pub struct Eviction {
+    /// The victim line, if a valid line had to be displaced.
+    pub victim: Option<LineEntry>,
+}
+
+/// A set-associative L1 cache tag array.
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    protocol: Protocol,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Option<LineEntry>>,
+    lru_clock: u64,
+}
+
+impl L1Cache {
+    /// Creates a cache of `size_bytes` capacity with `ways` ways and
+    /// 64-byte lines running `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is zero-sized.
+    pub fn new(protocol: Protocol, size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let lines_total = size_bytes / crate::addr::LINE_BYTES as usize;
+        assert!(lines_total > 0 && lines_total.is_multiple_of(ways), "invalid cache geometry: {size_bytes} B / {ways} ways");
+        let sets = lines_total / ways;
+        L1Cache { protocol, sets, ways, lines: vec![None; lines_total], lru_clock: 0 }
+    }
+
+    /// The protocol this cache runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.lines.len() * crate::addr::LINE_BYTES as usize
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.0 % self.sets as u64) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `line`, returning its entry without updating LRU.
+    pub fn peek(&self, line: LineAddr) -> Option<&LineEntry> {
+        self.lines[self.set_range(line)].iter().flatten().find(|e| e.line == line)
+    }
+
+    /// Looks up `line` mutably and marks it most-recently-used.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(line);
+        #[allow(clippy::manual_inspect)]
+        self.lines[range].iter_mut().flatten().find(|e| e.line == line).map(|e| {
+            e.lru = clock;
+            e
+        })
+    }
+
+    /// Inserts `line` (which must not be resident), evicting the LRU way of
+    /// its set if the set is full. Returns the eviction and a mutable
+    /// reference to the fresh entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident.
+    pub fn insert(&mut self, line: LineAddr) -> (Eviction, &mut LineEntry) {
+        assert!(self.peek(line).is_none(), "line {line} already resident");
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(line);
+
+        // Prefer an empty way; otherwise evict true LRU.
+        let slot = {
+            let set = &self.lines[range.clone()];
+            match set.iter().position(|e| e.is_none()) {
+                Some(i) => range.start + i,
+                None => {
+                    let (i, _) = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.as_ref().map(|l| l.lru).unwrap_or(0))
+                        .expect("nonempty set");
+                    range.start + i
+                }
+            }
+        };
+        let victim = self.lines[slot].take();
+        self.lines[slot] = Some(LineEntry::new(line, clock));
+        (Eviction { victim }, self.lines[slot].as_mut().expect("just inserted"))
+    }
+
+    /// Removes `line` if resident, returning its entry.
+    pub fn remove(&mut self, line: LineAddr) -> Option<LineEntry> {
+        let range = self.set_range(line);
+        for slot in range {
+            if self.lines[slot].as_ref().is_some_and(|e| e.line == line) {
+                return self.lines[slot].take();
+            }
+        }
+        None
+    }
+
+    /// Iterates over resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &LineEntry> {
+        self.lines.iter().flatten()
+    }
+
+    /// Iterates mutably over resident lines.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut LineEntry> {
+        self.lines.iter_mut().flatten()
+    }
+
+    /// Applies `f` to every resident line, removing lines for which `f`
+    /// returns `true`. Returns the number of removed lines.
+    pub fn retain_lines(&mut self, mut drop_if: impl FnMut(&mut LineEntry) -> bool) -> u64 {
+        let mut removed = 0;
+        for slot in &mut self.lines {
+            if let Some(entry) = slot {
+                if drop_if(entry) {
+                    *slot = None;
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L1Cache {
+        // 4 KB, 2-way: the paper's tiny-core L1D. 32 sets.
+        L1Cache::new(Protocol::GpuWb, 4096, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache();
+        assert_eq!(c.sets(), 32);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.capacity_bytes(), 4096);
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut c = cache();
+        let l = LineAddr(100);
+        let (ev, e) = c.insert(l);
+        assert!(ev.victim.is_none());
+        e.valid = WordMask::FULL;
+        assert!(c.lookup(l).is_some());
+        assert!(c.peek(LineAddr(101)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = cache();
+        // Three lines mapping to set 0 (multiples of 32) in a 2-way cache.
+        let (a, b, d) = (LineAddr(0), LineAddr(32), LineAddr(64));
+        c.insert(a);
+        c.insert(b);
+        c.lookup(a); // a is now MRU
+        let (ev, _) = c.insert(d);
+        assert_eq!(ev.victim.expect("must evict").line, b, "LRU line evicted");
+        assert!(c.peek(a).is_some());
+        assert!(c.peek(b).is_none());
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut c = cache();
+        let l = LineAddr(5);
+        c.insert(l).1.dirty = WordMask::single(3);
+        let e = c.remove(l).expect("resident");
+        assert_eq!(e.dirty, WordMask::single(3));
+        assert!(c.remove(l).is_none());
+    }
+
+    #[test]
+    fn retain_lines_drops_matching() {
+        let mut c = cache();
+        c.insert(LineAddr(1)).1.dirty = WordMask::single(0);
+        c.insert(LineAddr(2));
+        c.insert(LineAddr(3));
+        // Drop clean lines: the DeNovo/GPU self-invalidation pattern.
+        let dropped = c.retain_lines(|e| e.dirty.is_empty());
+        assert_eq!(dropped, 2);
+        assert_eq!(c.resident_lines(), 1);
+        assert!(c.peek(LineAddr(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c = cache();
+        c.insert(LineAddr(9));
+        c.insert(LineAddr(9));
+    }
+
+    #[test]
+    fn dirty_detection_covers_mesi_and_masks() {
+        let mut e = LineEntry::new(LineAddr(0), 0);
+        assert!(!e.has_dirty_data());
+        e.mesi = MesiState::Modified;
+        assert!(e.has_dirty_data());
+        e.mesi = MesiState::Shared;
+        e.dirty = WordMask::single(2);
+        assert!(e.has_dirty_data());
+    }
+}

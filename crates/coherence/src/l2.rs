@@ -1,0 +1,336 @@
+//! Shared banked L2 cache with an embedded directory, plus the DRAM model.
+//!
+//! The L2 is the integration point for heterogeneous coherence, in the style
+//! of Spandex: every request type of the four L1 protocols (GetS, GetM/GetO,
+//! write-through words, bulk write-backs, at-L2 atomics) is served here. The
+//! directory is embedded in the L2 with a precise sharer list for MESI L1s
+//! (Table II) and an owner pointer that can name either a MESI core holding
+//! the line in E/M or a DeNovo core that registered ownership.
+
+use crate::addr::LineAddr;
+
+/// A set of core ids, used for the precise MESI sharer list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoreSet {
+    words: [u64; 4],
+}
+
+impl CoreSet {
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet { words: [0; 4] };
+
+    /// Maximum representable core id + 1.
+    pub const CAPACITY: usize = 256;
+
+    /// Inserts `core`.
+    pub fn insert(&mut self, core: usize) {
+        assert!(core < Self::CAPACITY);
+        self.words[core / 64] |= 1 << (core % 64);
+    }
+
+    /// Removes `core`.
+    pub fn remove(&mut self, core: usize) {
+        assert!(core < Self::CAPACITY);
+        self.words[core / 64] &= !(1 << (core % 64));
+    }
+
+    /// Whether `core` is present.
+    pub fn contains(&self, core: usize) -> bool {
+        core < Self::CAPACITY && self.words[core / 64] & (1 << (core % 64)) != 0
+    }
+
+    /// Number of cores in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..Self::CAPACITY).filter(move |c| self.contains(*c))
+    }
+
+    /// Removes and returns all members.
+    pub fn drain(&mut self) -> Vec<usize> {
+        let members: Vec<usize> = self.iter().collect();
+        *self = CoreSet::EMPTY;
+        members
+    }
+}
+
+/// One L2-resident line with its embedded directory state.
+#[derive(Clone, Debug)]
+pub struct L2Line {
+    /// The line address.
+    pub line: LineAddr,
+    /// Dirty with respect to DRAM.
+    pub dirty: bool,
+    /// MESI cores holding the line in S (precise sharer list).
+    pub sharers: CoreSet,
+    /// Core holding the line in MESI E/M or with DeNovo ownership.
+    pub owner: Option<usize>,
+    lru: u64,
+}
+
+impl L2Line {
+    /// Whether any private cache holds coherence state for this line.
+    pub fn has_directory_state(&self) -> bool {
+        self.owner.is_some() || !self.sharers.is_empty()
+    }
+}
+
+/// Result of an L2 line allocation.
+#[derive(Debug, Default)]
+pub struct L2Eviction {
+    /// Displaced line, if any (its directory state must be recalled by the
+    /// caller before reuse).
+    pub victim: Option<L2Line>,
+}
+
+/// The banked, shared, set-associative L2 with embedded directory and
+/// per-bank service queues.
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    banks: usize,
+    sets_per_bank: usize,
+    ways: usize,
+    lines: Vec<Option<L2Line>>,
+    bank_busy_until: Vec<u64>,
+    lru_clock: u64,
+    access_latency: u64,
+    occupancy: u64,
+}
+
+impl L2Cache {
+    /// Creates an L2 with `banks` banks of `bank_bytes` each, `ways`-way
+    /// associative, 64-byte lines. Defaults to the paper's 6-cycle access
+    /// latency class and 2-cycle bank occupancy.
+    pub fn new(banks: usize, bank_bytes: usize, ways: usize) -> Self {
+        assert!(banks > 0 && ways > 0);
+        let lines_per_bank = bank_bytes / crate::addr::LINE_BYTES as usize;
+        assert!(lines_per_bank > 0 && lines_per_bank.is_multiple_of(ways), "invalid L2 geometry");
+        let sets_per_bank = lines_per_bank / ways;
+        L2Cache {
+            banks,
+            sets_per_bank,
+            ways,
+            lines: vec![None; lines_per_bank * banks],
+            bank_busy_until: vec![0; banks],
+            lru_clock: 0,
+            access_latency: 6,
+            occupancy: 2,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Home bank of `line`.
+    pub fn home_bank(&self, line: LineAddr) -> usize {
+        line.home_bank(self.banks)
+    }
+
+    /// Charges one bank access arriving at `arrival`: returns the cycle at
+    /// which the bank has produced its result, accounting for queueing.
+    pub fn access(&mut self, bank: usize, arrival: u64) -> u64 {
+        let start = arrival.max(self.bank_busy_until[bank]);
+        self.bank_busy_until[bank] = start + self.occupancy;
+        start + self.access_latency
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let bank = self.home_bank(line);
+        let set = ((line.0 / self.banks as u64) % self.sets_per_bank as u64) as usize;
+        let base = bank * self.sets_per_bank * self.ways + set * self.ways;
+        base..base + self.ways
+    }
+
+    /// Looks up `line` without updating LRU.
+    pub fn peek(&self, line: LineAddr) -> Option<&L2Line> {
+        self.lines[self.set_range(line)].iter().flatten().find(|e| e.line == line)
+    }
+
+    /// Looks up `line` mutably, marking it most-recently-used.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut L2Line> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(line);
+        #[allow(clippy::manual_inspect)]
+        self.lines[range].iter_mut().flatten().find(|e| e.line == line).map(|e| {
+            e.lru = clock;
+            e
+        })
+    }
+
+    /// Allocates `line`, evicting if necessary. Victims without directory
+    /// state are preferred; the returned victim's state (dirty data, sharers)
+    /// must be handled by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident.
+    pub fn insert(&mut self, line: LineAddr) -> (L2Eviction, &mut L2Line) {
+        assert!(self.peek(line).is_none(), "L2 line {line} already resident");
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(line);
+
+        let slot = {
+            let set = &self.lines[range.clone()];
+            if let Some(i) = set.iter().position(|e| e.is_none()) {
+                range.start + i
+            } else {
+                // Prefer LRU among lines without directory state.
+                let pick = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.as_ref().is_some_and(|l| !l.has_directory_state()))
+                    .min_by_key(|(_, e)| e.as_ref().map(|l| l.lru).unwrap_or(u64::MAX))
+                    .map(|(i, _)| i)
+                    .or_else(|| {
+                        set.iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.as_ref().map(|l| l.lru).unwrap_or(u64::MAX))
+                            .map(|(i, _)| i)
+                    })
+                    .expect("nonempty set");
+                range.start + pick
+            }
+        };
+        let victim = self.lines[slot].take();
+        self.lines[slot] =
+            Some(L2Line { line, dirty: false, sharers: CoreSet::EMPTY, owner: None, lru: clock });
+        (L2Eviction { victim }, self.lines[slot].as_mut().expect("just inserted"))
+    }
+
+    /// Number of resident lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().flatten().count()
+    }
+}
+
+/// The DRAM controllers: fixed access latency plus a bandwidth model in
+/// which each controller transfers a bounded number of bytes per cycle
+/// (Table II: 16 GB/s aggregate across the chip's controllers).
+#[derive(Clone, Debug)]
+pub struct Dram {
+    ctrl_busy_until: Vec<u64>,
+    access_latency: u64,
+    cycles_per_line: u64,
+}
+
+impl Dram {
+    /// Creates `controllers` DRAM controllers. `cycles_per_line` is the
+    /// occupancy of a 64-byte transfer at one controller (the paper's
+    /// 16 GB/s over 8 controllers at 1 GHz gives 2 B/cycle/controller, i.e.
+    /// 32 cycles per line).
+    pub fn new(controllers: usize, access_latency: u64, cycles_per_line: u64) -> Self {
+        assert!(controllers > 0);
+        Dram { ctrl_busy_until: vec![0; controllers], access_latency, cycles_per_line }
+    }
+
+    /// The paper's 64-core memory system: 8 controllers, 16 GB/s total.
+    pub fn paper_64_core() -> Self {
+        Dram::new(8, 60, 32)
+    }
+
+    /// Charges a line transfer at controller `ctrl` arriving at `arrival`;
+    /// returns the completion cycle.
+    pub fn access(&mut self, ctrl: usize, arrival: u64) -> u64 {
+        let start = arrival.max(self.ctrl_busy_until[ctrl]);
+        self.ctrl_busy_until[ctrl] = start + self.cycles_per_line;
+        start + self.access_latency + self.cycles_per_line
+    }
+
+    /// Number of controllers.
+    pub fn controllers(&self) -> usize {
+        self.ctrl_busy_until.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_set_basics() {
+        let mut s = CoreSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64) && !s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 255]);
+        s.remove(63);
+        assert_eq!(s.len(), 3);
+        let drained = s.drain();
+        assert_eq!(drained, vec![0, 64, 255]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn l2_lookup_and_banking() {
+        let mut l2 = L2Cache::new(8, 512 * 1024, 8);
+        assert_eq!(l2.banks(), 8);
+        assert_eq!(l2.home_bank(LineAddr(13)), 5);
+        let (ev, e) = l2.insert(LineAddr(13));
+        assert!(ev.victim.is_none());
+        e.dirty = true;
+        assert!(l2.lookup(LineAddr(13)).expect("resident").dirty);
+    }
+
+    #[test]
+    fn l2_bank_queueing_serializes() {
+        let mut l2 = L2Cache::new(8, 512 * 1024, 8);
+        let t1 = l2.access(0, 100);
+        let t2 = l2.access(0, 100);
+        assert_eq!(t1, 106);
+        assert_eq!(t2, 108, "second access queues behind 2-cycle occupancy");
+        let t3 = l2.access(1, 100);
+        assert_eq!(t3, 106, "different bank does not queue");
+    }
+
+    #[test]
+    fn l2_eviction_prefers_lines_without_directory_state() {
+        // Tiny L2: 1 bank, 2 ways, 2 sets.
+        let mut l2 = L2Cache::new(1, 4 * 64, 2);
+        // Lines 0 and 2 map to set 0.
+        let (_, a) = l2.insert(LineAddr(0));
+        a.sharers.insert(3); // a has directory state
+        l2.insert(LineAddr(2));
+        // Inserting line 4 (set 0) must evict line 2 despite line 0 being LRU.
+        let (ev, _) = l2.insert(LineAddr(4));
+        assert_eq!(ev.victim.expect("evicts").line, LineAddr(2));
+        assert!(l2.peek(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn l2_evicts_directory_lines_when_forced() {
+        let mut l2 = L2Cache::new(1, 4 * 64, 2);
+        let (_, a) = l2.insert(LineAddr(0));
+        a.owner = Some(1);
+        let (_, b) = l2.insert(LineAddr(2));
+        b.sharers.insert(2);
+        let (ev, _) = l2.insert(LineAddr(4));
+        let v = ev.victim.expect("must still evict");
+        assert!(v.has_directory_state());
+    }
+
+    #[test]
+    fn dram_bandwidth_queues_transfers() {
+        let mut d = Dram::new(2, 60, 32);
+        let t1 = d.access(0, 0);
+        let t2 = d.access(0, 0);
+        assert_eq!(t1, 92);
+        assert_eq!(t2, 60 + 64, "second transfer waits for the first's occupancy");
+        assert_eq!(d.access(1, 0), 92, "other controller independent");
+    }
+}

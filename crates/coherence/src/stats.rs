@@ -1,0 +1,96 @@
+//! Per-core memory-system counters used by the paper's Figures 6/7 and
+//! Table IV.
+
+use std::ops::AddAssign;
+
+/// Counters for one core's private-cache activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoreMemStats {
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Loads that hit in the L1.
+    pub load_hits: u64,
+    /// Demand stores issued.
+    pub stores: u64,
+    /// Stores that hit in the L1 (for write-allocate protocols).
+    pub store_hits: u64,
+    /// Atomic memory operations issued.
+    pub amos: u64,
+    /// `cache_invalidate` (bulk self-invalidation) operations executed.
+    pub invalidate_ops: u64,
+    /// `cache_flush` (bulk write-back) operations executed.
+    pub flush_ops: u64,
+    /// Cache lines invalidated by bulk self-invalidations.
+    pub lines_invalidated: u64,
+    /// Cache lines written back by bulk flushes.
+    pub lines_flushed: u64,
+    /// Words written back by bulk flushes.
+    pub words_flushed: u64,
+    /// Loads that would have returned stale data on real hardware
+    /// (diagnostic; must be zero for a correct runtime).
+    pub stale_reads: u64,
+}
+
+impl CoreMemStats {
+    /// L1 data-cache hit rate over loads and stores, in `[0, 1]`.
+    /// Returns 1.0 when no accesses were made.
+    pub fn l1d_hit_rate(&self) -> f64 {
+        let acc = self.loads + self.stores;
+        if acc == 0 {
+            1.0
+        } else {
+            (self.load_hits + self.store_hits) as f64 / acc as f64
+        }
+    }
+}
+
+impl AddAssign for CoreMemStats {
+    fn add_assign(&mut self, rhs: CoreMemStats) {
+        self.loads += rhs.loads;
+        self.load_hits += rhs.load_hits;
+        self.stores += rhs.stores;
+        self.store_hits += rhs.store_hits;
+        self.amos += rhs.amos;
+        self.invalidate_ops += rhs.invalidate_ops;
+        self.flush_ops += rhs.flush_ops;
+        self.lines_invalidated += rhs.lines_invalidated;
+        self.lines_flushed += rhs.lines_flushed;
+        self.words_flushed += rhs.words_flushed;
+        self.stale_reads += rhs.stale_reads;
+    }
+}
+
+/// Sums a set of per-core stats (e.g. all tiny cores, as in Figure 6).
+pub fn aggregate<'a>(stats: impl IntoIterator<Item = &'a CoreMemStats>) -> CoreMemStats {
+    let mut total = CoreMemStats::default();
+    for s in stats {
+        total += *s;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut s = CoreMemStats::default();
+        assert_eq!(s.l1d_hit_rate(), 1.0);
+        s.loads = 8;
+        s.load_hits = 6;
+        s.stores = 2;
+        s.store_hits = 0;
+        assert!((s.l1d_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_sums_fields() {
+        let a = CoreMemStats { loads: 1, lines_flushed: 3, ..Default::default() };
+        let b = CoreMemStats { loads: 2, stale_reads: 1, ..Default::default() };
+        let t = aggregate([&a, &b]);
+        assert_eq!(t.loads, 3);
+        assert_eq!(t.lines_flushed, 3);
+        assert_eq!(t.stale_reads, 1);
+    }
+}

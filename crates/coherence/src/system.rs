@@ -1,0 +1,1140 @@
+//! The heterogeneous memory system: private L1s running per-core protocols,
+//! integrated at a shared banked L2 with an embedded directory.
+//!
+//! This is the Spandex-style integration point of the paper (Section V-A):
+//! the L2 serves MESI GetS/GetM, DeNovo ownership requests, GPU write-through
+//! words, bulk write-backs, and at-L2 atomics, keeping MESI L1s coherent with
+//! writer-initiated invalidations while software-centric L1s self-invalidate.
+//!
+//! # Timing model
+//!
+//! Every operation completes atomically in global event order (the engine
+//! serializes cores by simulated time) and returns a latency in cycles:
+//! network legs from the mesh model, bank service with queueing from the L2
+//! model, DRAM latency/bandwidth from the DRAM model. L1 hits cost 1 cycle.
+//!
+//! # Functional data and the staleness checker
+//!
+//! Caches store protocol state only; functional values live in host memory
+//! and are always up to date because the engine serializes operations. On
+//! real hardware a missing `cache_invalidate`/`cache_flush` would return
+//! stale data; the staleness checker detects exactly those situations by
+//! versioning every word (a `latest` version bumped by every store, and a
+//! `committed` version that tracks what the L2/owner can supply) and counts
+//! [`CoreMemStats::stale_reads`]. A correct runtime exhibits zero stale
+//! reads; tests exercise a deliberately broken runtime to show nonzero.
+
+use std::collections::HashMap;
+
+use bigtiny_mesh::{Mesh, MeshConfig, Tile, TrafficClass, TrafficStats};
+
+use crate::addr::{Addr, LineAddr, WordMask, LINE_BYTES, WORDS_PER_LINE};
+use crate::l1::{L1Cache, LineEntry, MesiState};
+use crate::l2::{Dram, L2Cache};
+use crate::protocol::Protocol;
+use crate::stats::CoreMemStats;
+
+/// Per-core cache configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoreMemConfig {
+    /// Coherence protocol of this core's private L1.
+    pub protocol: Protocol,
+    /// L1 data-cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+}
+
+impl CoreMemConfig {
+    /// The paper's big-core L1D: 64 KB, 2-way, MESI.
+    pub fn big() -> Self {
+        CoreMemConfig { protocol: Protocol::Mesi, l1_bytes: 64 * 1024, l1_ways: 2 }
+    }
+
+    /// The paper's tiny-core L1D: 4 KB, 2-way, running `protocol`.
+    pub fn tiny(protocol: Protocol) -> Self {
+        CoreMemConfig { protocol, l1_bytes: 4 * 1024, l1_ways: 2 }
+    }
+}
+
+/// Whole-memory-system configuration.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// Data OCN configuration (also fixes the topology / bank count).
+    pub mesh: MeshConfig,
+    /// One entry per core, in core-id order.
+    pub cores: Vec<CoreMemConfig>,
+    /// Capacity of each L2 bank in bytes (Table II: 512 KB per bank).
+    pub l2_bank_bytes: usize,
+    /// L2 associativity (Table II: 8-way).
+    pub l2_ways: usize,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// DRAM occupancy of one 64-byte line transfer per controller.
+    pub dram_cycles_per_line: u64,
+    /// Enable the per-word staleness checker (small time/memory cost).
+    pub track_staleness: bool,
+}
+
+impl MemConfig {
+    /// A memory system shaped like the paper's 64-core system for the given
+    /// per-core configs.
+    pub fn paper(mesh: MeshConfig, cores: Vec<CoreMemConfig>) -> Self {
+        MemConfig {
+            mesh,
+            cores,
+            l2_bank_bytes: 512 * 1024,
+            l2_ways: 8,
+            dram_latency: 60,
+            dram_cycles_per_line: 32,
+            track_staleness: true,
+        }
+    }
+}
+
+/// What a line fetch wants from the L2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Intent {
+    /// Read a copy (MESI GetS or software-centric refill).
+    Read,
+    /// MESI GetM: exclusive copy, invalidating all others.
+    ReadExcl,
+    /// DeNovo GetO: data plus registered ownership.
+    Own,
+}
+
+/// The heterogeneous cache-coherent memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    protocols: Vec<Protocol>,
+    l1s: Vec<L1Cache>,
+    l2: L2Cache,
+    dram: Dram,
+    mesh: Mesh,
+    stats: Vec<CoreMemStats>,
+
+    track_staleness: bool,
+    latest: HashMap<u64, u64>,
+    committed: HashMap<u64, u64>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is empty or exceeds the mesh capacity.
+    pub fn new(config: &MemConfig) -> Self {
+        let topo = config.mesh.topology;
+        assert!(!config.cores.is_empty(), "need at least one core");
+        assert!(config.cores.len() <= topo.num_tiles(), "more cores than mesh tiles");
+        let l1s: Vec<L1Cache> =
+            config.cores.iter().map(|c| L1Cache::new(c.protocol, c.l1_bytes, c.l1_ways)).collect();
+        MemorySystem {
+            protocols: config.cores.iter().map(|c| c.protocol).collect(),
+            l1s,
+            l2: L2Cache::new(topo.num_banks(), config.l2_bank_bytes, config.l2_ways),
+            dram: Dram::new(topo.num_banks(), config.dram_latency, config.dram_cycles_per_line),
+            mesh: Mesh::new(config.mesh),
+            stats: vec![CoreMemStats::default(); config.cores.len()],
+            track_staleness: config.track_staleness,
+            latest: HashMap::new(),
+            committed: HashMap::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Protocol of `core`'s L1.
+    pub fn protocol(&self, core: usize) -> Protocol {
+        self.protocols[core]
+    }
+
+    /// Per-core statistics.
+    pub fn core_stats(&self, core: usize) -> &CoreMemStats {
+        &self.stats[core]
+    }
+
+    /// All per-core statistics.
+    pub fn all_stats(&self) -> &[CoreMemStats] {
+        &self.stats
+    }
+
+    /// Data-OCN traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        self.mesh.stats()
+    }
+
+    /// Number of unidirectional OCN links (for utilization reporting).
+    pub fn ocn_links(&self) -> u64 {
+        self.mesh.links()
+    }
+
+    /// Total stale reads observed across all cores (0 for a correct runtime).
+    pub fn total_stale_reads(&self) -> u64 {
+        self.stats.iter().map(|s| s.stale_reads).sum()
+    }
+
+    fn core_tile(&self, core: usize) -> Tile {
+        self.mesh.topology().core_tile(core)
+    }
+
+    fn bank_tile(&self, bank: usize) -> Tile {
+        self.mesh.topology().l2_bank_tile(bank)
+    }
+
+    // ------------------------------------------------------------------
+    // Word version tracking (staleness checker)
+    // ------------------------------------------------------------------
+
+    fn bump_latest(&mut self, word: u64) {
+        if self.track_staleness {
+            *self.latest.entry(word).or_insert(0) += 1;
+        }
+    }
+
+    fn commit_word(&mut self, word: u64) {
+        if self.track_staleness {
+            if let Some(v) = self.latest.get(&word) {
+                self.committed.insert(word, *v);
+            }
+        }
+    }
+
+    fn commit_line_words(&mut self, line: LineAddr, mask: WordMask) {
+        for i in mask.iter() {
+            self.commit_word(line.word(i));
+        }
+    }
+
+    fn latest_version(&self, word: u64) -> u64 {
+        self.latest.get(&word).copied().unwrap_or(0)
+    }
+
+    fn committed_version(&self, word: u64) -> u64 {
+        self.committed.get(&word).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // L2-side helpers
+    // ------------------------------------------------------------------
+
+    /// Invalidates every MESI sharer of `line` except `except`, charging
+    /// parallel invalidation round trips from `bank`. Returns the time at
+    /// which all acknowledgements have arrived.
+    fn invalidate_sharers(&mut self, line: LineAddr, bank: usize, t: u64, except: usize) -> u64 {
+        let sharers: Vec<usize> = match self.l2.peek(line) {
+            Some(e) => e.sharers.iter().filter(|c| *c != except).collect(),
+            None => return t,
+        };
+        if sharers.is_empty() {
+            return t;
+        }
+        let bank_tile = self.bank_tile(bank);
+        let mut done = t;
+        for core in &sharers {
+            let tile = self.core_tile(*core);
+            let leg = self.mesh.send(bank_tile, tile, TrafficClass::CohReq, 0);
+            let ack = self.mesh.send(tile, bank_tile, TrafficClass::CohResp, 0);
+            done = done.max(t + leg + ack);
+            self.l1s[*core].remove(line);
+        }
+        let entry = self.l2.lookup(line).expect("sharers imply residency");
+        for core in sharers {
+            entry.sharers.remove(core);
+        }
+        done
+    }
+
+    /// Recalls the current owner of `line` (MESI E/M holder or DeNovo
+    /// owner): fetches its dirty data into the L2 and optionally revokes the
+    /// owner's copy. Returns the time at which fresh data is at the bank.
+    fn recall_owner(&mut self, line: LineAddr, bank: usize, t: u64, revoke: bool) -> u64 {
+        let owner = match self.l2.peek(line).and_then(|e| e.owner) {
+            Some(o) => o,
+            None => return t,
+        };
+        let bank_tile = self.bank_tile(bank);
+        let owner_tile = self.core_tile(owner);
+        let req = self.mesh.send(bank_tile, owner_tile, TrafficClass::CohReq, 0);
+
+        let owner_proto = self.protocols[owner];
+        // (bytes supplied, words committed, owner becomes a MESI sharer,
+        //  owner pointer survives in the directory)
+        let (payload, commit_mask, keep_as_sharer, keep_owner) = match self.l1s[owner].lookup(line) {
+            Some(entry) => match owner_proto {
+                Protocol::Mesi => {
+                    let dirty = entry.mesi == MesiState::Modified;
+                    if revoke {
+                        self.l1s[owner].remove(line);
+                    } else {
+                        let entry = self.l1s[owner].lookup(line).expect("still resident");
+                        entry.mesi = MesiState::Shared;
+                    }
+                    (
+                        if dirty { LINE_BYTES } else { 0 },
+                        if dirty { WordMask::FULL } else { WordMask::EMPTY },
+                        !revoke,
+                        false,
+                    )
+                }
+                _ => {
+                    // DeNovo owner: supply dirty words. On a read-forward
+                    // (no revoke) the owner keeps ownership — DeNovo readers
+                    // self-invalidate, so the directory must keep naming the
+                    // owner to serve future readers fresh data.
+                    let dirty = entry.dirty;
+                    entry.dirty = WordMask::EMPTY;
+                    if revoke {
+                        let e = self.l1s[owner].lookup(line).expect("still resident");
+                        e.owned = false;
+                    }
+                    (dirty.count() as u64 * 8, dirty, false, !revoke)
+                }
+            },
+            // Owner lost the line silently (clean eviction already updated
+            // the directory in the oracle model); nothing to fetch and the
+            // stale owner pointer is dropped.
+            None => (0, WordMask::EMPTY, false, false),
+        };
+        let resp = self.mesh.send(owner_tile, bank_tile, TrafficClass::CohResp, payload);
+        self.commit_line_words(line, commit_mask);
+
+        let entry = self.l2.lookup(line).expect("owned line is L2-resident");
+        if payload > 0 {
+            entry.dirty = true;
+        }
+        if !keep_owner {
+            entry.owner = None;
+        }
+        if keep_as_sharer && owner_proto == Protocol::Mesi {
+            entry.sharers.insert(owner);
+        }
+        t + req + resp
+    }
+
+    /// Ensures `line` is resident in the L2, fetching from DRAM on a miss
+    /// (recalling and writing back any victim). Returns the data-ready time.
+    fn ensure_l2_resident(&mut self, line: LineAddr, bank: usize, t: u64) -> u64 {
+        if self.l2.peek(line).is_some() {
+            return t;
+        }
+        let mut t = t;
+        let (eviction, _) = self.l2.insert(line);
+        if let Some(victim) = eviction.victim {
+            let vline = victim.line;
+            // Re-install directory state so the recall helpers can find it,
+            // then recall through the normal paths.
+            let vbank = self.l2.home_bank(vline);
+            {
+                // The victim was removed by insert(); we recall via its saved
+                // directory state directly to avoid re-inserting.
+                let bank_tile = self.bank_tile(vbank);
+                for core in victim.sharers.iter() {
+                    let tile = self.core_tile(core);
+                    self.mesh.send(bank_tile, tile, TrafficClass::CohReq, 0);
+                    self.mesh.send(tile, bank_tile, TrafficClass::CohResp, 0);
+                    self.l1s[core].remove(vline);
+                }
+                let mut vdirty = victim.dirty;
+                if let Some(owner) = victim.owner {
+                    let tile = self.core_tile(owner);
+                    self.mesh.send(bank_tile, tile, TrafficClass::CohReq, 0);
+                    let payload = match self.l1s[owner].remove(vline) {
+                        Some(e) if e.has_dirty_data() => {
+                            let mask = if self.protocols[owner] == Protocol::Mesi {
+                                WordMask::FULL
+                            } else {
+                                e.dirty
+                            };
+                            self.commit_line_words(vline, mask);
+                            vdirty = true;
+                            mask.count() as u64 * 8
+                        }
+                        _ => 0,
+                    };
+                    self.mesh.send(tile, bank_tile, TrafficClass::CohResp, payload);
+                }
+                if vdirty {
+                    // Write the victim back to DRAM (off the critical path:
+                    // traffic and occupancy are charged, latency is not).
+                    let mc_tile = self.mesh.topology().mem_ctrl_tile(vbank);
+                    self.mesh.send(bank_tile, mc_tile, TrafficClass::DramReq, LINE_BYTES);
+                    self.dram.access(vbank, t);
+                }
+            }
+        }
+        // Demand fetch from DRAM.
+        let bank_tile = self.bank_tile(bank);
+        let mc_tile = self.mesh.topology().mem_ctrl_tile(bank);
+        let req = self.mesh.send(bank_tile, mc_tile, TrafficClass::DramReq, 0);
+        t = self.dram.access(bank, t + req);
+        t += self.mesh.send(mc_tile, bank_tile, TrafficClass::DramResp, LINE_BYTES);
+        t
+    }
+
+    /// The full L2-side fetch: request leg, bank service, residency, owner
+    /// recall / sharer invalidation per `intent`, directory update, data
+    /// response leg. Returns the completion time at the requesting core.
+    fn fetch_line(&mut self, core: usize, line: LineAddr, now: u64, intent: Intent) -> u64 {
+        let bank = self.l2.home_bank(line);
+        let core_tile = self.core_tile(core);
+        let bank_tile = self.bank_tile(bank);
+        let req_leg = self.mesh.send(core_tile, bank_tile, TrafficClass::CpuReq, 0);
+        let mut t = self.l2.access(bank, now + req_leg);
+        t = self.ensure_l2_resident(line, bank, t);
+
+        let requester_is_mesi = self.protocols[core] == Protocol::Mesi;
+        match intent {
+            Intent::Read => {
+                // Fresh data comes from the owner if there is one. MESI
+                // requesters force a revoke of software-centric owners to
+                // preserve SWMR for hardware-coherent caches; MESI owners
+                // are downgraded to sharers.
+                let owner = self.l2.peek(line).and_then(|e| e.owner);
+                if let Some(o) = owner {
+                    let owner_is_mesi = self.protocols[o] == Protocol::Mesi;
+                    let revoke = requester_is_mesi && !owner_is_mesi;
+                    t = self.recall_owner(line, bank, t, revoke);
+                }
+            }
+            Intent::ReadExcl | Intent::Own => {
+                t = self.recall_owner(line, bank, t, true);
+                t = self.invalidate_sharers(line, bank, t, core);
+            }
+        }
+
+        // Directory update for the requester.
+        {
+            let entry = self.l2.lookup(line).expect("resident");
+            match intent {
+                Intent::Read if requester_is_mesi => {
+                    if entry.sharers.is_empty() && entry.owner.is_none() {
+                        // Exclusive grant.
+                        entry.owner = Some(core);
+                    } else {
+                        entry.sharers.insert(core);
+                    }
+                }
+                Intent::Read => {}
+                Intent::ReadExcl | Intent::Own => {
+                    entry.owner = Some(core);
+                    entry.sharers = crate::l2::CoreSet::EMPTY;
+                }
+            }
+        }
+
+        t + self.mesh.send(bank_tile, core_tile, TrafficClass::DataResp, LINE_BYTES)
+    }
+
+    /// Fill versions for a line about to be installed: what the L2 can
+    /// supply right now (committed versions).
+    fn fill_versions(&self, line: LineAddr) -> [u64; WORDS_PER_LINE] {
+        let mut v = [0; WORDS_PER_LINE];
+        if self.track_staleness {
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = self.committed_version(line.word(i));
+            }
+        }
+        v
+    }
+
+    /// Installs a fetched line into `core`'s L1 (merging with a partially
+    /// valid resident entry), handling any eviction. Returns extra cycles.
+    fn install_line(&mut self, core: usize, line: LineAddr, mesi: MesiState, owned: bool) -> u64 {
+        let versions = self.fill_versions(line);
+        if let Some(entry) = self.l1s[core].lookup(line) {
+            // Merge: locally dirty words keep their own (newer) versions.
+            let dirty = entry.dirty;
+            entry.valid = WordMask::FULL;
+            entry.mesi = mesi;
+            entry.owned = entry.owned || owned;
+            for (i, v) in versions.iter().enumerate() {
+                if !dirty.contains(i) {
+                    entry.fill_version[i] = *v;
+                }
+            }
+            return 0;
+        }
+        let (eviction, entry) = self.l1s[core].insert(line);
+        entry.valid = WordMask::FULL;
+        entry.mesi = mesi;
+        entry.owned = owned;
+        entry.fill_version = versions;
+        match eviction.victim {
+            Some(v) => self.handle_l1_eviction(core, v),
+            None => 0,
+        }
+    }
+
+    /// Handles an L1 eviction: dirty data is written back (traffic + bank
+    /// occupancy charged; the write-back is off the requester's critical
+    /// path so only one cycle of latency is charged), and directory state is
+    /// released. Clean-eviction directory downgrades use an oracle (zero
+    /// traffic) to keep the MESI sharer list precise, a standard simulator
+    /// simplification.
+    fn handle_l1_eviction(&mut self, core: usize, victim: LineEntry) -> u64 {
+        let line = victim.line;
+        let bank = self.l2.home_bank(line);
+        let proto = self.protocols[core];
+        let dirty_payload = match proto {
+            Protocol::Mesi => {
+                if victim.mesi == MesiState::Modified {
+                    LINE_BYTES
+                } else {
+                    0
+                }
+            }
+            _ => victim.dirty.count() as u64 * 8,
+        };
+        // Release directory state.
+        if let Some(entry) = self.l2.lookup(line) {
+            if entry.owner == Some(core) {
+                entry.owner = None;
+            }
+            entry.sharers.remove(core);
+            if dirty_payload > 0 {
+                entry.dirty = true;
+            }
+        }
+        if dirty_payload > 0 {
+            let core_tile = self.core_tile(core);
+            let bank_tile = self.bank_tile(bank);
+            self.mesh.send(core_tile, bank_tile, TrafficClass::WbReq, dirty_payload);
+            let mask = if proto == Protocol::Mesi { WordMask::FULL } else { victim.dirty };
+            self.commit_line_words(line, mask);
+            // A dirty write-back from a no-ownership cache commits values a
+            // hardware-coherent cache may still hold: keep MESI copies
+            // coherent (traffic charged, off the critical path).
+            if proto == Protocol::GpuWb || proto == Protocol::GpuWt {
+                let t = 0;
+                let t = self.recall_owner(line, bank, t, true);
+                self.invalidate_sharers(line, bank, t, core);
+            }
+            1
+        } else {
+            0
+        }
+    }
+
+    fn check_stale_read(&mut self, core: usize, addr: Addr) {
+        if !self.track_staleness {
+            return;
+        }
+        let line = addr.line();
+        let w = addr.word_in_line();
+        let latest = self.latest_version(addr.word());
+        if latest == 0 {
+            return;
+        }
+        if let Some(entry) = self.l1s[core].peek(line) {
+            // Own dirty data and owned lines are fresh by construction.
+            if entry.dirty.contains(w) || entry.owned || entry.mesi == MesiState::Modified {
+                return;
+            }
+            if entry.fill_version[w] < latest {
+                self.stats[core].stale_reads += 1;
+                if std::env::var_os("BIGTINY_STALE_PANIC").is_some() {
+                    panic!("stale HIT read: core {core} addr {addr} fill {} latest {latest}", entry.fill_version[w]);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations
+    // ------------------------------------------------------------------
+
+    /// A word load by `core` at simulated cycle `now`; returns its latency.
+    pub fn load(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        self.load_with(core, addr, now, true)
+    }
+
+    /// A word load that tolerates stale data: identical timing and protocol
+    /// behaviour, but exempt from the staleness checker. Used for the
+    /// deliberate benign races of Ligra-style algorithms (monotone values
+    /// repaired by a later round, with CAS deciding the winner).
+    pub fn load_racy(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        self.load_with(core, addr, now, false)
+    }
+
+    fn load_with(&mut self, core: usize, addr: Addr, now: u64, check_stale: bool) -> u64 {
+        self.stats[core].loads += 1;
+        let proto = self.protocols[core];
+        let line = addr.line();
+        let w = addr.word_in_line();
+        let hit = match self.l1s[core].lookup(line) {
+            Some(e) if proto == Protocol::Mesi => {
+                debug_assert!(e.valid == WordMask::FULL || !e.valid.is_empty());
+                true
+            }
+            Some(e) => e.valid.contains(w),
+            None => false,
+        };
+        if hit {
+            self.stats[core].load_hits += 1;
+            if check_stale {
+                self.check_stale_read(core, addr);
+            }
+            return 1;
+        }
+        // A fetch from the L2 returns committed data; if an owner was
+        // recalled the recall committed its words first, so the fill-version
+        // snapshot below is taken after the fetch.
+        let t = self.fetch_line(core, line, now, Intent::Read);
+        let extra = self.install_line(core, line, MesiState::Shared, false);
+        // MESI E-state: the directory granted exclusivity if we are owner.
+        if proto == Protocol::Mesi {
+            if self.l2.peek(line).and_then(|e| e.owner) == Some(core) {
+                if let Some(entry) = self.l1s[core].lookup(line) {
+                    entry.mesi = MesiState::Exclusive;
+                }
+            }
+            // Stale-at-fetch cannot happen for MESI.
+        } else if self.track_staleness && check_stale {
+            // Reading a word whose latest version is not yet visible at the
+            // L2 (an unflushed GPU-WB write elsewhere) is a stale read on
+            // real hardware even though it misses.
+            let latest = self.latest_version(addr.word());
+            if latest > 0 && self.committed_version(addr.word()) < latest {
+                self.stats[core].stale_reads += 1;
+                if std::env::var_os("BIGTINY_STALE_PANIC").is_some() {
+                    panic!("stale MISS read: core {core} addr {addr} committed {} latest {latest}", self.committed_version(addr.word()));
+                }
+            }
+        }
+        t - now + extra
+    }
+
+    /// A word store by `core`; returns its latency.
+    pub fn store(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        self.stats[core].stores += 1;
+        let proto = self.protocols[core];
+        match proto {
+            Protocol::Mesi => self.store_mesi(core, addr, now),
+            Protocol::DeNovo => self.store_denovo(core, addr, now),
+            Protocol::GpuWt => self.store_gpu_wt(core, addr, now),
+            Protocol::GpuWb => self.store_gpu_wb(core, addr, now),
+        }
+    }
+
+    fn store_mesi(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        let line = addr.line();
+        let word = addr.word();
+        let state = self.l1s[core].lookup(line).map(|e| e.mesi);
+        let latency = match state {
+            Some(MesiState::Modified) => {
+                self.stats[core].store_hits += 1;
+                1
+            }
+            Some(MesiState::Exclusive) => {
+                self.stats[core].store_hits += 1;
+                self.l1s[core].lookup(line).expect("resident").mesi = MesiState::Modified;
+                1
+            }
+            Some(MesiState::Shared) => {
+                // Upgrade: invalidate other sharers through the directory.
+                self.stats[core].store_hits += 1;
+                let bank = self.l2.home_bank(line);
+                let core_tile = self.core_tile(core);
+                let bank_tile = self.bank_tile(bank);
+                let req = self.mesh.send(core_tile, bank_tile, TrafficClass::CpuReq, 0);
+                let mut t = self.l2.access(bank, now + req);
+                t = self.invalidate_sharers(line, bank, t, core);
+                let entry = self.l2.lookup(line).expect("S-state line is resident");
+                entry.sharers.remove(core);
+                entry.owner = Some(core);
+                t += self.mesh.send(bank_tile, core_tile, TrafficClass::DataResp, 0);
+                self.l1s[core].lookup(line).expect("resident").mesi = MesiState::Modified;
+                t - now
+            }
+            None => {
+                let t = self.fetch_line(core, line, now, Intent::ReadExcl);
+                let extra = self.install_line(core, line, MesiState::Modified, false);
+                t - now + extra
+            }
+        };
+        let next_v = self.latest_version(word) + 1;
+        if let Some(entry) = self.l1s[core].lookup(line) {
+            entry.fill_version[addr.word_in_line()] = next_v;
+        }
+        // MESI writes are immediately visible through the directory.
+        self.bump_latest(word);
+        self.commit_word(word);
+        latency
+    }
+
+    fn store_denovo(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        let line = addr.line();
+        let w = addr.word_in_line();
+        let owned = self.l1s[core].lookup(line).is_some_and(|e| e.owned);
+        let latency = if owned {
+            self.stats[core].store_hits += 1;
+            1
+        } else {
+            let t = self.fetch_line(core, line, now, Intent::Own);
+            let extra = self.install_line(core, line, MesiState::Shared, true);
+            t - now + extra
+        };
+        let next_v = self.latest_version(addr.word()) + 1;
+        let entry = self.l1s[core].lookup(line).expect("resident after GetO");
+        entry.dirty.insert(w);
+        entry.valid.insert(w);
+        entry.fill_version[w] = next_v;
+        // Ownership makes the write visible on demand (L2 forwards to owner).
+        self.bump_latest(addr.word());
+        self.commit_word(addr.word());
+        latency
+    }
+
+    fn store_gpu_wt(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        let line = addr.line();
+        let w = addr.word_in_line();
+        // Write-through, no write-allocate: update a resident copy, never refill.
+        let next_v = self.latest_version(addr.word()) + 1;
+        let mut hit = false;
+        if let Some(entry) = self.l1s[core].lookup(line) {
+            hit = entry.valid.contains(w);
+            entry.valid.insert(w);
+            entry.fill_version[w] = next_v;
+        }
+        if hit {
+            self.stats[core].store_hits += 1;
+        }
+        let bank = self.l2.home_bank(line);
+        let core_tile = self.core_tile(core);
+        let bank_tile = self.bank_tile(bank);
+        let leg = self.mesh.send(core_tile, bank_tile, TrafficClass::WbReq, 8);
+        let mut t = self.l2.access(bank, now + leg);
+        t = self.ensure_l2_resident(line, bank, t);
+        t = self.recall_owner(line, bank, t, true);
+        t = self.invalidate_sharers(line, bank, t, core);
+        self.l2.lookup(line).expect("resident").dirty = true;
+        self.bump_latest(addr.word());
+        self.commit_word(addr.word());
+        // Full write-through completion time; the engine's store buffer
+        // decides how much of it stalls the core.
+        t - now
+    }
+
+    fn store_gpu_wb(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        let line = addr.line();
+        let w = addr.word_in_line();
+        let _ = now;
+        let next_v = self.latest_version(addr.word()) + 1;
+        let extra = if let Some(entry) = self.l1s[core].lookup(line) {
+            let hit = entry.valid.contains(w);
+            entry.valid.insert(w);
+            entry.dirty.insert(w);
+            entry.fill_version[w] = next_v;
+            if hit {
+                self.stats[core].store_hits += 1;
+            }
+            0
+        } else {
+            // No-fetch write-allocate: install the line with only this word.
+            let (eviction, entry) = self.l1s[core].insert(line);
+            entry.valid = WordMask::single(w);
+            entry.dirty = WordMask::single(w);
+            entry.fill_version[w] = next_v;
+            match eviction.victim {
+                Some(v) => self.handle_l1_eviction(core, v),
+                None => 0,
+            }
+        };
+        // Visible only after a flush: bump latest, do NOT commit.
+        self.bump_latest(addr.word());
+        1 + extra
+    }
+
+    /// An atomic read-modify-write by `core`; returns its latency.
+    ///
+    /// MESI and DeNovo perform AMOs in the private L1 (they track ownership);
+    /// GPU-WT and GPU-WB perform them at the shared L2 (Section II-A).
+    pub fn amo(&mut self, core: usize, addr: Addr, now: u64) -> u64 {
+        self.stats[core].amos += 1;
+        let proto = self.protocols[core];
+        if proto.amo_in_l1() {
+            // Like a store that requires ownership, plus one ALU cycle.
+            let hits_before = self.stats[core].store_hits;
+            let lat = match proto {
+                Protocol::Mesi => self.store_mesi(core, addr, now),
+                Protocol::DeNovo => self.store_denovo(core, addr, now),
+                _ => unreachable!(),
+            };
+            // AMOs are accounted separately from demand stores.
+            self.stats[core].store_hits = hits_before;
+            lat + 1
+        } else {
+            let line = addr.line();
+            let bank = self.l2.home_bank(line);
+            let core_tile = self.core_tile(core);
+            let bank_tile = self.bank_tile(bank);
+            let req = self.mesh.send(core_tile, bank_tile, TrafficClass::SyncReq, 8);
+            let mut t = self.l2.access(bank, now + req);
+            t = self.ensure_l2_resident(line, bank, t);
+            t = self.recall_owner(line, bank, t, true);
+            t = self.invalidate_sharers(line, bank, t, core);
+            self.l2.lookup(line).expect("resident").dirty = true;
+            // Our own cached copy of the word (if any) is now stale.
+            let w = addr.word_in_line();
+            if let Some(entry) = self.l1s[core].lookup(line) {
+                entry.valid.remove(w);
+                entry.dirty.remove(w);
+            }
+            self.bump_latest(addr.word());
+            self.commit_word(addr.word());
+            t += self.mesh.send(bank_tile, core_tile, TrafficClass::SyncResp, 8);
+            t - now
+        }
+    }
+
+    /// Bulk self-invalidation of clean data (`cache_invalidate`): flash-
+    /// invalidates in one cycle. Returns `(latency, lines_invalidated)`.
+    ///
+    /// Per Table I / Figure 3: a no-op on MESI; DeNovo keeps owned lines;
+    /// GPU-WB keeps dirty words; GPU-WT drops everything.
+    pub fn invalidate_all(&mut self, core: usize, now: u64) -> (u64, u64) {
+        let _ = now;
+        let proto = self.protocols[core];
+        if proto.invalidate_is_noop() {
+            return (0, 0);
+        }
+        self.stats[core].invalidate_ops += 1;
+        let dropped = match proto {
+            Protocol::Mesi => unreachable!(),
+            Protocol::DeNovo => self.l1s[core].retain_lines(|e| !e.owned),
+            Protocol::GpuWt => self.l1s[core].retain_lines(|_| true),
+            Protocol::GpuWb => {
+                let mut count = 0;
+                let full_drop = self.l1s[core].retain_lines(|e| {
+                    if e.dirty.is_empty() {
+                        true
+                    } else {
+                        if e.valid != e.dirty {
+                            // Partially invalidated: stale clean words dropped.
+                            e.valid = e.dirty;
+                            count += 1;
+                        }
+                        false
+                    }
+                });
+                full_drop + count
+            }
+        };
+        self.stats[core].lines_invalidated += dropped;
+        (1, dropped)
+    }
+
+    /// Bulk write-back of dirty data (`cache_flush`). Returns
+    /// `(latency, lines_flushed)`.
+    ///
+    /// A no-op on MESI and DeNovo (ownership propagates dirty data); on
+    /// GPU-WT it drains the store buffer; on GPU-WB it writes back every
+    /// dirty word and waits for the acknowledgements.
+    pub fn flush_all(&mut self, core: usize, now: u64) -> (u64, u64) {
+        let proto = self.protocols[core];
+        match proto {
+            Protocol::Mesi | Protocol::DeNovo => (0, 0),
+            Protocol::GpuWt => {
+                // Write-throughs are already on their way to the L2; the
+                // engine-level store buffer drains at the flush point.
+                self.stats[core].flush_ops += 1;
+                (1, 0)
+            }
+            Protocol::GpuWb => {
+                self.stats[core].flush_ops += 1;
+                let dirty_lines: Vec<(LineAddr, WordMask)> = self.l1s[core]
+                    .iter()
+                    .filter(|e| !e.dirty.is_empty())
+                    .map(|e| (e.line, e.dirty))
+                    .collect();
+                if dirty_lines.is_empty() {
+                    return (1, 0);
+                }
+                let core_tile = self.core_tile(core);
+                let mut issue = now;
+                let mut done = now;
+                let n = dirty_lines.len() as u64;
+                let mut words = 0u64;
+                for (line, mask) in dirty_lines {
+                    issue += 1; // one write-back issued per cycle
+                    let bank = self.l2.home_bank(line);
+                    let bank_tile = self.bank_tile(bank);
+                    let leg = self.mesh.send(core_tile, bank_tile, TrafficClass::WbReq, mask.count() as u64 * 8);
+                    let mut t = self.l2.access(bank, issue + leg);
+                    t = self.ensure_l2_resident(line, bank, t);
+                    // The flushed data supersedes any copy held by
+                    // hardware-coherent caches: revoke a MESI owner and
+                    // invalidate MESI sharers.
+                    t = self.recall_owner(line, bank, t, true);
+                    t = self.invalidate_sharers(line, bank, t, core);
+                    self.l2.lookup(line).expect("resident").dirty = true;
+                    self.commit_line_words(line, mask);
+                    words += mask.count() as u64;
+                    done = done.max(t);
+                    let entry = self.l1s[core].lookup(line).expect("resident");
+                    entry.dirty = WordMask::EMPTY;
+                }
+                self.stats[core].lines_flushed += n;
+                self.stats[core].words_flushed += words;
+                // Final acknowledgement leg back to the core.
+                (done - now + 2, n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigtiny_mesh::Topology;
+
+    /// A 4-core system: cores 0-1 MESI big, cores 2-3 `tiny_proto` tiny.
+    fn system(tiny_proto: Protocol) -> MemorySystem {
+        let mesh = MeshConfig::with_topology(Topology::new(2, 2));
+        let cores = vec![
+            CoreMemConfig::big(),
+            CoreMemConfig::big(),
+            CoreMemConfig::tiny(tiny_proto),
+            CoreMemConfig::tiny(tiny_proto),
+        ];
+        MemorySystem::new(&MemConfig::paper(mesh, cores))
+    }
+
+    const A: Addr = Addr(0x10000);
+    const B: Addr = Addr(0x20008);
+
+    #[test]
+    fn load_miss_then_hit_mesi() {
+        let mut m = system(Protocol::Mesi);
+        let miss = m.load(0, A, 0);
+        assert!(miss > 10, "cold miss goes to DRAM: {miss}");
+        let hit = m.load(0, A, miss);
+        assert_eq!(hit, 1);
+        assert_eq!(m.core_stats(0).loads, 2);
+        assert_eq!(m.core_stats(0).load_hits, 1);
+    }
+
+    #[test]
+    fn second_core_load_hits_l2_not_dram() {
+        let mut m = system(Protocol::Mesi);
+        let first = m.load(0, A, 0);
+        let second = m.load(1, A, first);
+        assert!(second < first, "L2 hit must be cheaper than DRAM fill: {second} vs {first}");
+    }
+
+    #[test]
+    fn mesi_store_invalidates_sharers() {
+        let mut m = system(Protocol::Mesi);
+        m.load(0, A, 0);
+        m.load(1, A, 100);
+        // Core 1 writes: core 0's copy must be invalidated.
+        m.store(1, A, 200);
+        let before = m.core_stats(0).load_hits;
+        m.load(0, A, 300);
+        assert_eq!(m.core_stats(0).load_hits, before, "copy was invalidated, load must miss");
+        assert!(m.traffic().messages(TrafficClass::CohReq) > 0);
+        assert_eq!(m.total_stale_reads(), 0, "MESI never reads stale data");
+    }
+
+    #[test]
+    fn mesi_exclusive_silent_upgrade() {
+        let mut m = system(Protocol::Mesi);
+        m.load(0, A, 0); // E state (no other sharers)
+        let lat = m.store(0, A, 100);
+        assert_eq!(lat, 1, "E->M upgrade is silent");
+    }
+
+    #[test]
+    fn mesi_dirty_data_forwarded_to_reader() {
+        let mut m = system(Protocol::Mesi);
+        m.store(0, A, 0);
+        let coh_before = m.traffic().messages(TrafficClass::CohResp);
+        m.load(1, A, 1000);
+        assert!(m.traffic().messages(TrafficClass::CohResp) > coh_before, "owner recall");
+        assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    #[test]
+    fn denovo_invalidate_keeps_owned_lines() {
+        let mut m = system(Protocol::DeNovo);
+        m.store(2, A, 0); // acquires ownership
+        m.load(2, B, 100); // clean line
+        let (lat, dropped) = m.invalidate_all(2, 200);
+        assert_eq!(lat, 1);
+        assert_eq!(dropped, 1, "only the clean line drops");
+        assert_eq!(m.load(2, A, 300), 1, "owned line still hits");
+    }
+
+    #[test]
+    fn denovo_flush_is_noop() {
+        let mut m = system(Protocol::DeNovo);
+        m.store(2, A, 0);
+        let (lat, flushed) = m.flush_all(2, 100);
+        assert_eq!((lat, flushed), (0, 0));
+    }
+
+    #[test]
+    fn denovo_ownership_forwards_dirty_data() {
+        let mut m = system(Protocol::DeNovo);
+        m.store(2, A, 0);
+        // Another tiny core reads: data is recalled from the owner.
+        let coh_before = m.traffic().messages(TrafficClass::CohResp);
+        m.load(3, A, 1000);
+        assert!(m.traffic().messages(TrafficClass::CohResp) > coh_before);
+        assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    #[test]
+    fn denovo_stale_read_detected_without_invalidate() {
+        let mut m = system(Protocol::DeNovo);
+        m.load(3, A, 0); // core 3 caches a clean copy
+        m.store(2, A, 100); // core 2 takes ownership and writes
+        m.load(3, A, 200); // stale! core 3 skipped its invalidate
+        assert_eq!(m.core_stats(3).stale_reads, 1);
+        // After invalidation the read is fresh.
+        m.invalidate_all(3, 300);
+        m.load(3, A, 400);
+        assert_eq!(m.core_stats(3).stale_reads, 1, "no new stale read");
+    }
+
+    #[test]
+    fn gpu_wt_stores_write_through() {
+        let mut m = system(Protocol::GpuWt);
+        let lat = m.store(2, A, 0);
+        assert!(lat > 1, "full write-through completion (engine buffers it): {lat}");
+        assert_eq!(m.traffic().messages(TrafficClass::WbReq), 1);
+        // No write-allocate: a subsequent load misses.
+        let load = m.load(2, A, 100);
+        assert!(load > 1);
+        // Flush writes back nothing (writes already went through).
+        let (_, flushed) = m.flush_all(2, 1000);
+        assert_eq!(flushed, 0);
+    }
+
+    #[test]
+    fn gpu_wb_flush_writes_dirty_words() {
+        let mut m = system(Protocol::GpuWb);
+        m.store(2, A, 0);
+        m.store(2, A.offset(8), 1);
+        m.store(2, B, 2);
+        let (lat, flushed) = m.flush_all(2, 10);
+        assert_eq!(flushed, 2, "two dirty lines");
+        assert!(lat > 1);
+        assert_eq!(m.core_stats(2).words_flushed, 3);
+        // 2 wb messages with 16 and 8 byte payloads + headers.
+        assert_eq!(m.traffic().bytes(TrafficClass::WbReq), 16 + 8 + 8 + 8);
+        // Second flush has nothing to do.
+        let (_, flushed2) = m.flush_all(2, 1000);
+        assert_eq!(flushed2, 0);
+    }
+
+    #[test]
+    fn gpu_wb_unflushed_data_is_stale_for_readers() {
+        let mut m = system(Protocol::GpuWb);
+        m.store(2, A, 0);
+        // Reader misses but the write was never flushed: stale on real HW.
+        m.load(3, A, 100);
+        assert_eq!(m.core_stats(3).stale_reads, 1);
+        // Now flush and invalidate: fresh.
+        m.flush_all(2, 200);
+        m.invalidate_all(3, 300);
+        m.load(3, A, 400);
+        assert_eq!(m.core_stats(3).stale_reads, 1);
+    }
+
+    #[test]
+    fn gpu_wb_invalidate_keeps_dirty_words() {
+        let mut m = system(Protocol::GpuWb);
+        m.store(2, A, 0);
+        m.load(2, B, 10);
+        let (_, dropped) = m.invalidate_all(2, 100);
+        assert_eq!(dropped, 1);
+        assert_eq!(m.load(2, A, 200), 1, "dirty word survives invalidation");
+    }
+
+    #[test]
+    fn gpu_amo_executes_at_l2() {
+        let mut m = system(Protocol::GpuWb);
+        let lat = m.amo(2, A, 0);
+        assert!(lat > 5, "AMO pays a network+L2 round trip: {lat}");
+        assert_eq!(m.traffic().messages(TrafficClass::SyncReq), 1);
+        assert_eq!(m.traffic().messages(TrafficClass::SyncResp), 1);
+        assert_eq!(m.core_stats(2).amos, 1);
+    }
+
+    #[test]
+    fn mesi_amo_executes_in_l1() {
+        let mut m = system(Protocol::Mesi);
+        m.store(0, A, 0); // M state
+        let lat = m.amo(0, A, 100);
+        assert_eq!(lat, 2, "AMO on an M-state line is local: store(1) + op(1)");
+        assert_eq!(m.traffic().messages(TrafficClass::SyncReq), 0);
+    }
+
+    #[test]
+    fn wt_write_invalidates_mesi_sharers() {
+        let mut m = system(Protocol::GpuWt);
+        m.load(0, A, 0); // MESI big core caches the line
+        m.store(2, A, 100); // tiny WT core writes through
+        let hits_before = m.core_stats(0).load_hits;
+        m.load(0, A, 2000);
+        assert_eq!(m.core_stats(0).load_hits, hits_before, "MESI copy was invalidated");
+        assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    #[test]
+    fn mesi_invalidate_and_flush_are_noops() {
+        let mut m = system(Protocol::Mesi);
+        m.store(0, A, 0);
+        assert_eq!(m.invalidate_all(0, 10), (0, 0));
+        assert_eq!(m.flush_all(0, 10), (0, 0));
+        assert_eq!(m.load(0, A, 20), 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_mesi_line() {
+        let mut m = system(Protocol::Mesi);
+        // Fill one set beyond capacity with dirty lines. 64KB 2-way = 512
+        // sets; lines k*512 map to set 0.
+        let stride = 512 * 64;
+        m.store(0, Addr(0), 0);
+        m.store(0, Addr(stride), 100);
+        let wb_before = m.traffic().messages(TrafficClass::WbReq);
+        m.store(0, Addr(2 * stride), 200);
+        assert!(m.traffic().messages(TrafficClass::WbReq) > wb_before, "dirty eviction writes back");
+    }
+
+    #[test]
+    fn tiny_cache_capacity_causes_more_misses_than_big() {
+        let mut m = system(Protocol::Mesi);
+        // Touch 8 KB: fits in the big core's 64 KB but not the tiny's 4 KB.
+        let lines = 128;
+        for i in 0..lines {
+            m.load(0, Addr(i * 64), i * 10);
+            m.load(2, Addr(0x100000 + i * 64), i * 10);
+        }
+        for i in 0..lines {
+            m.load(0, Addr(i * 64), 100_000 + i * 10);
+            m.load(2, Addr(0x100000 + i * 64), 100_000 + i * 10);
+        }
+        let big = m.core_stats(0);
+        let tiny = m.core_stats(2);
+        assert!(big.l1d_hit_rate() > tiny.l1d_hit_rate());
+    }
+
+    #[test]
+    fn traffic_is_conserved_request_response() {
+        let mut m = system(Protocol::Mesi);
+        for i in 0..64 {
+            m.load(0, Addr(i * 64), i);
+        }
+        let t = m.traffic();
+        assert_eq!(t.messages(TrafficClass::CpuReq), t.messages(TrafficClass::DataResp));
+        assert_eq!(t.messages(TrafficClass::DramReq), t.messages(TrafficClass::DramResp));
+    }
+}

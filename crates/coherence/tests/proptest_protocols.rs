@@ -1,0 +1,184 @@
+//! Property-based tests of the coherence protocols: for *any* sequence of
+//! memory operations, the disciplined-use invariants of the paper's
+//! Section III must hold.
+
+use proptest::prelude::*;
+
+use bigtiny_coherence::{Addr, CoreMemConfig, MemConfig, MemorySystem, Protocol};
+use bigtiny_mesh::{MeshConfig, Topology};
+
+const CORES: usize = 4;
+
+fn system(tiny: Protocol) -> MemorySystem {
+    let cfg = MemConfig::paper(
+        MeshConfig::with_topology(Topology::new(2, 2)),
+        vec![
+            CoreMemConfig::big(),
+            CoreMemConfig::tiny(tiny),
+            CoreMemConfig::tiny(tiny),
+            CoreMemConfig::tiny(tiny),
+        ],
+    );
+    MemorySystem::new(&cfg)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Load { core: usize, slot: u64 },
+    Store { core: usize, slot: u64 },
+    Amo { core: usize, slot: u64 },
+    Invalidate { core: usize },
+    Flush { core: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let core = 0..CORES;
+    let slot = 0u64..48;
+    prop_oneof![
+        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Load { core, slot }),
+        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Store { core, slot }),
+        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Amo { core, slot }),
+        core.clone().prop_map(|core| Op::Invalidate { core }),
+        core.prop_map(|core| Op::Flush { core }),
+    ]
+}
+
+fn addr(slot: u64) -> Addr {
+    Addr(0x10000 + slot * 8)
+}
+
+fn protocols() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Mesi),
+        Just(Protocol::DeNovo),
+        Just(Protocol::GpuWt),
+        Just(Protocol::GpuWb),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In an all-MESI system, *no* access pattern can ever read stale data:
+    /// writer-initiated invalidation needs no software discipline at all.
+    #[test]
+    fn all_mesi_never_stale(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut m = system(Protocol::Mesi);
+        let mut t = 0u64;
+        for op in ops {
+            t += 10;
+            match op {
+                Op::Load { core, slot } => { m.load(core, addr(slot), t); }
+                Op::Store { core, slot } => { m.store(core, addr(slot), t); }
+                Op::Amo { core, slot } => { m.amo(core, addr(slot), t); }
+                Op::Invalidate { core } => { m.invalidate_all(core, t); }
+                Op::Flush { core } => { m.flush_all(core, t); }
+            }
+        }
+        prop_assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    /// In an HCC system, the hardware-coherent core stays fresh as long as
+    /// the software-centric writers *flush after writing* — MESI readers
+    /// need no self-invalidation of their own (the flush commit invalidates
+    /// their copies through the directory).
+    #[test]
+    fn mesi_fresh_against_flushing_writers(
+        seq in proptest::collection::vec((1..CORES, 0u64..32), 1..100),
+        tiny in protocols())
+    {
+        let mut m = system(tiny);
+        let mut t = 0u64;
+        for (writer, slot) in seq {
+            t += 20;
+            m.store(writer, addr(slot), t);
+            m.flush_all(writer, t + 2);
+            m.load(0, addr(slot), t + 10); // core 0 is MESI; no invalidate needed
+        }
+        prop_assert_eq!(m.core_stats(0).stale_reads, 0, "core 0 is MESI");
+    }
+
+    /// Disciplined use — every writer flushes after writing, every reader
+    /// self-invalidates before reading remote data — never reads stale, on
+    /// any protocol. This is the DAG-consistency discipline of Section III.
+    #[test]
+    fn disciplined_use_is_never_stale(
+        seq in proptest::collection::vec((0..CORES, 0u64..32, any::<bool>()), 1..100),
+        tiny in protocols())
+    {
+        let mut m = system(tiny);
+        let mut t = 0u64;
+        for (core, slot, is_write) in seq {
+            t += 10;
+            if is_write {
+                // Acquire-like: invalidate before the read-modify-write.
+                m.invalidate_all(core, t);
+                m.load(core, addr(slot), t + 1);
+                m.store(core, addr(slot), t + 2);
+                // Release-like: flush after writing.
+                m.flush_all(core, t + 3);
+            } else {
+                m.invalidate_all(core, t);
+                m.load(core, addr(slot), t + 1);
+            }
+        }
+        prop_assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    /// AMOs are always coherent: a sequence of AMOs from arbitrary cores
+    /// never produces stale reads via subsequent invalidate+load.
+    #[test]
+    fn amo_then_disciplined_read_is_fresh(
+        seq in proptest::collection::vec((0..CORES, 0u64..16), 1..80),
+        tiny in protocols())
+    {
+        let mut m = system(tiny);
+        let mut t = 0u64;
+        for (core, slot) in seq {
+            t += 20;
+            m.amo(core, addr(slot), t);
+            let reader = (core + 1) % CORES;
+            m.invalidate_all(reader, t + 5);
+            m.load(reader, addr(slot), t + 6);
+        }
+        prop_assert_eq!(m.total_stale_reads(), 0);
+    }
+
+    /// Latencies are always positive and hits are cheaper than the first
+    /// (cold) access.
+    #[test]
+    fn hits_never_cost_more_than_misses(core in 0..CORES, slot in 0u64..64, tiny in protocols()) {
+        let mut m = system(tiny);
+        let miss = m.load(core, addr(slot), 0);
+        let hit = m.load(core, addr(slot), miss + 1);
+        prop_assert!(miss >= 1 && hit >= 1);
+        prop_assert!(hit <= miss, "hit {} vs cold miss {}", hit, miss);
+    }
+
+    /// Bulk operations never report negative effects and respect the no-op
+    /// table: MESI invalidates/flushes nothing; DeNovo and GPU-WT flush
+    /// nothing.
+    #[test]
+    fn bulk_ops_respect_noop_table(
+        writes in proptest::collection::vec((0..CORES, 0u64..32), 0..40),
+        tiny in protocols())
+    {
+        let mut m = system(tiny);
+        let mut t = 0;
+        for (core, slot) in writes {
+            t += 10;
+            m.store(core, addr(slot), t);
+        }
+        for core in 0..CORES {
+            let proto = m.protocol(core);
+            let (_, flushed) = m.flush_all(core, t + 100);
+            let (_, dropped) = m.invalidate_all(core, t + 200);
+            if proto.flush_is_noop() {
+                prop_assert_eq!(flushed, 0, "{:?}", proto);
+            }
+            if proto.invalidate_is_noop() {
+                prop_assert_eq!(dropped, 0, "{:?}", proto);
+            }
+        }
+    }
+}

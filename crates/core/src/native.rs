@@ -1,0 +1,228 @@
+//! A native (host-thread) work-stealing pool with the same help-first,
+//! LIFO-local / FIFO-steal discipline as the simulated runtime.
+//!
+//! The paper validates its baseline runtime by comparing against Intel TBB
+//! and Cilk Plus natively (Section V-B). This module plays that role for the
+//! reproduction: the Criterion benches compare `NativePool` against serial
+//! execution and a naive thread-per-task scheme on real hardware.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::deque::{Injector, Stealer, Worker as CbWorker};
+use parking_lot::{Condvar, Mutex};
+
+/// A task submitted to the native pool.
+pub type NativeTask = Box<dyn FnOnce(&NativeCtx<'_>) + Send + 'static>;
+
+struct PoolShared {
+    injector: Injector<NativeTask>,
+    stealers: Vec<Stealer<NativeTask>>,
+    pending: AtomicU64,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// Context passed to every native task, used to spawn more tasks.
+pub struct NativeCtx<'a> {
+    shared: &'a PoolShared,
+    local: &'a CbWorker<NativeTask>,
+}
+
+impl NativeCtx<'_> {
+    /// Spawns a child task onto this worker's deque.
+    pub fn spawn(&self, f: impl FnOnce(&NativeCtx<'_>) + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.local.push(Box::new(f));
+        self.shared.idle_cv.notify_one();
+    }
+}
+
+/// A fixed-size native work-stealing thread pool.
+///
+/// Tasks are `'static` closures; completion of *all* outstanding tasks is
+/// awaited by [`NativePool::run`]. Results flow through shared state the
+/// caller provides (e.g. atomics), exactly like the simulated applications.
+pub struct NativePool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NativePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativePool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl NativePool {
+    /// Spawns a pool with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let workers: Vec<CbWorker<NativeTask>> = (0..threads).map(|_| CbWorker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("native-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &local, i))
+                    .expect("spawn native worker")
+            })
+            .collect();
+        NativePool { shared, handles }
+    }
+
+    /// Runs `root` and blocks until it and every task it transitively
+    /// spawned have completed.
+    pub fn run(&self, root: impl FnOnce(&NativeCtx<'_>) + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(root));
+        self.shared.idle_cv.notify_all();
+        // Wait for quiescence.
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for NativePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.idle_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn find_task(shared: &PoolShared, local: &CbWorker<NativeTask>, me: usize) -> Option<NativeTask> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    // Injector first, then steal round-robin from peers.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(t) => return Some(t),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    let n = shared.stealers.len();
+    for k in 1..n {
+        let v = (me + k) % n;
+        loop {
+            match shared.stealers[v].steal() {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, local: &CbWorker<NativeTask>, me: usize) {
+    loop {
+        if let Some(task) = find_task(shared, local, me) {
+            let cx = NativeCtx { shared, local };
+            task(&cx);
+            if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                shared.idle_cv.notify_all();
+            }
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut guard = shared.idle_lock.lock();
+        if shared.pending.load(Ordering::SeqCst) != 0 || shared.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+    }
+}
+
+/// Counts `fib(n)` leaf tasks on the pool (the native analogue of the
+/// paper's `cilk5` microbenchmark style): returns `fib(n)`.
+pub fn native_fib(pool: &NativePool, n: u64) -> u64 {
+    let acc = Arc::new(AtomicU64::new(0));
+    let a = Arc::clone(&acc);
+    pool.run(move |cx| fib_task(cx, a, n));
+    acc.load(Ordering::SeqCst)
+}
+
+fn fib_task(cx: &NativeCtx<'_>, acc: Arc<AtomicU64>, n: u64) {
+    if n < 2 {
+        acc.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+    let a = Arc::clone(&acc);
+    cx.spawn(move |cx| fib_task(cx, a, n - 1));
+    fib_task(cx, acc, n - 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_on_pool_matches_serial() {
+        fn serial_fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                serial_fib(n - 1) + serial_fib(n - 2)
+            }
+        }
+        let pool = NativePool::new(4);
+        for n in [0, 1, 5, 10, 16] {
+            assert_eq!(native_fib(&pool, n), serial_fib(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn many_roots_sequentially() {
+        let pool = NativePool::new(2);
+        for _ in 0..20 {
+            let acc = Arc::new(AtomicU64::new(0));
+            let a = Arc::clone(&acc);
+            pool.run(move |cx| {
+                for _ in 0..16 {
+                    let a2 = Arc::clone(&a);
+                    cx.spawn(move |_| {
+                        a2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(acc.load(Ordering::SeqCst), 16);
+        }
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly() {
+        let pool = NativePool::new(3);
+        assert_eq!(pool.threads(), 3);
+        drop(pool); // must not hang
+    }
+}

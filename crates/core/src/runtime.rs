@@ -1,0 +1,928 @@
+//! The work-stealing runtime: the paper's core contribution.
+//!
+//! Three variants of `spawn`/`wait`, transcribed from Figure 3:
+//!
+//! * [`RuntimeKind::Baseline`] — Figure 3(a): per-deque locks only, for
+//!   hardware-based cache coherence.
+//! * [`RuntimeKind::Hcc`] — Figure 3(b): a `cache_invalidate` after every
+//!   deque lock acquire and a `cache_flush` before every release; `rc` read
+//!   with an AMO; an unconditional invalidate when leaving `wait`; stolen
+//!   tasks bracketed by invalidate/flush.
+//! * [`RuntimeKind::Dts`] — Figure 3(c): direct task stealing over
+//!   user-level interrupts. Deques become private (no locks, no
+//!   invalidate/flush on local access — just `uli_disable`/`uli_enable`);
+//!   the victim steals on behalf of the thief inside the ULI handler; the
+//!   `has_stolen_child` flag elides AMOs, flushes, and invalidates entirely
+//!   when no child of a task was ever stolen.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bigtiny_engine::{
+    run_system, AddrSpace, CorePort, RunReport, SystemConfig, TimeCategory, UliOutcome, Worker,
+};
+
+use crate::deque::SimDeque;
+use crate::task::{field, TaskBody, TaskId, TaskRecord, WorkSpan};
+
+/// Which of the paper's three runtime implementations to use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuntimeKind {
+    /// Figure 3(a): for hardware-based cache coherence.
+    Baseline,
+    /// Figure 3(b): for heterogeneous cache coherence.
+    Hcc,
+    /// Figure 3(c): direct task stealing via user-level interrupts.
+    Dts,
+}
+
+impl RuntimeKind {
+    /// Short label used in configuration names (`base`, `hcc`, `dts`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Baseline => "base",
+            RuntimeKind::Hcc => "hcc",
+            RuntimeKind::Dts => "dts",
+        }
+    }
+}
+
+/// Which deque implementation the Baseline (hardware-coherence) runtime
+/// uses. The paper's pseudocode uses per-deque locks; Chase-Lev is the
+/// classic lock-free alternative it cites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DequeKind {
+    /// Lock-protected deque (Figure 3(a)).
+    Locked,
+    /// Chase-Lev lock-free deque (owner pops race thieves with a CAS only
+    /// on the last element). Only meaningful under hardware coherence.
+    ChaseLev,
+}
+
+/// How a thief picks its victim.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VictimPolicy {
+    /// Uniformly random among the other workers (the paper's
+    /// `choose_victim`; the classic work-stealing choice).
+    Random,
+    /// Cycle through the other workers in id order.
+    RoundRobin,
+    /// Prefer mesh-nearest victims, walking outward on failures — an
+    /// extension exploiting big.TINY's physical locality (steal latency and
+    /// ULI hops grow with distance).
+    NearestFirst,
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Which Figure 3 variant to run.
+    pub kind: RuntimeKind,
+    /// Capacity of each worker's deque.
+    pub deque_capacity: usize,
+    /// Idle back-off after a failed steal, in cycles.
+    pub steal_backoff_cycles: u64,
+    /// Maximum back-off as a multiple of `steal_backoff_cycles` (the
+    /// exponential back-off cap).
+    pub steal_backoff_max_factor: u64,
+    /// Victim-selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Deque implementation for the Baseline runtime.
+    pub deque_kind: DequeKind,
+    /// Ablation: make the DTS victim hand out the *newest* task (deque tail)
+    /// instead of the oldest (head). The paper's pseudocode pops the tail in
+    /// the handler; classic work stealing takes the head. Default: head.
+    pub dts_steal_from_tail: bool,
+    /// Ablation: disable the `has_stolen_child` optimization in DTS
+    /// (Section IV-C), falling back to conservative AMOs + invalidate.
+    pub dts_has_stolen_child_opt: bool,
+    /// Deliberately omit all `cache_invalidate`/`cache_flush` operations.
+    /// This produces a runtime that is *incorrect on real hardware*; it
+    /// exists to demonstrate that the staleness checker catches the bugs the
+    /// paper's protocol prevents. Never enable outside tests/ablations.
+    pub skip_coherence_ops: bool,
+}
+
+impl RuntimeConfig {
+    /// The configuration used for a given runtime kind with paper defaults.
+    pub fn new(kind: RuntimeKind) -> Self {
+        RuntimeConfig {
+            kind,
+            deque_capacity: 1 << 14,
+            steal_backoff_cycles: 24,
+            steal_backoff_max_factor: 32,
+            victim_policy: VictimPolicy::Random,
+            deque_kind: DequeKind::Locked,
+            dts_steal_from_tail: false,
+            dts_has_stolen_child_opt: true,
+            skip_coherence_ops: false,
+        }
+    }
+}
+
+/// Counters maintained by the runtime during a run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct RuntimeStats {
+    /// Tasks spawned.
+    pub spawns: u64,
+    /// Tasks executed (spawned tasks + the root).
+    pub tasks_executed: u64,
+    /// Steal attempts (lock-and-look or ULI request sent).
+    pub steal_attempts: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// ULI steal requests that were NACKed (DTS only).
+    pub steal_nacks: u64,
+    /// Work/span profile of the task graph.
+    pub workspan: WorkSpan,
+}
+
+/// The result of one simulated task-parallel run.
+#[derive(Clone, Debug)]
+pub struct TaskRun {
+    /// Engine-level measurements (cycles, caches, traffic, ULI).
+    pub report: RunReport,
+    /// Runtime-level measurements (tasks, steals, work/span).
+    pub stats: RuntimeStats,
+}
+
+/// Functional state shared by all workers.
+pub(crate) struct RtShared {
+    cfg: RuntimeConfig,
+    deques: Vec<SimDeque>,
+    tasks: RwLock<Vec<TaskRecord>>,
+    mailboxes: Vec<Mailbox>,
+    counters: RwLock<RuntimeStats>,
+    stack_bases: Vec<u64>,
+    stack_bytes: u64,
+    /// Instructions consumed by the ULI handler on each worker since that
+    /// worker's last profiling mark; excluded from user-work attribution so
+    /// the work/span profile stays schedule-invariant.
+    handler_insts: Vec<RwLock<u64>>,
+    /// Per-worker victim preference order (nearest mesh neighbours first),
+    /// used by [`VictimPolicy::NearestFirst`] and `RoundRobin`.
+    victim_order: Vec<Vec<usize>>,
+}
+
+struct Mailbox {
+    addr: bigtiny_coherence::Addr,
+    value: RwLock<u64>,
+}
+
+impl RtShared {
+    fn new(
+        cfg: RuntimeConfig,
+        space: &mut AddrSpace,
+        workers: usize,
+        topology: bigtiny_mesh::Topology,
+    ) -> Self {
+        let deques = (0..workers).map(|_| SimDeque::new(space, cfg.deque_capacity)).collect();
+        let mailboxes = (0..workers)
+            .map(|_| Mailbox { addr: space.reserve_lines(64), value: RwLock::new(TaskId::NONE_PAYLOAD) })
+            .collect();
+        let stack_bytes = 1 << 20;
+        let stack_bases = (0..workers).map(|_| space.reserve_lines(stack_bytes).0).collect();
+        let victim_order = (0..workers)
+            .map(|w| {
+                let me = topology.core_tile(w);
+                let mut order: Vec<usize> = (0..workers).filter(|v| *v != w).collect();
+                order.sort_by_key(|v| (me.hops_to(topology.core_tile(*v)), *v));
+                order
+            })
+            .collect();
+        RtShared {
+            cfg,
+            deques,
+            tasks: RwLock::new(Vec::new()),
+            mailboxes,
+            counters: RwLock::new(RuntimeStats::default()),
+            stack_bases,
+            stack_bytes,
+            handler_insts: (0..workers).map(|_| RwLock::new(0)).collect(),
+            victim_order,
+        }
+    }
+
+    fn parent_of(&self, t: TaskId) -> Option<TaskId> {
+        self.tasks.read()[t.0 as usize].parent
+    }
+
+    fn rc_addr(&self, t: TaskId) -> bigtiny_coherence::Addr {
+        self.tasks.read()[t.0 as usize].rc_addr()
+    }
+
+    fn hsc_addr(&self, t: TaskId) -> bigtiny_coherence::Addr {
+        self.tasks.read()[t.0 as usize].hsc_addr()
+    }
+
+    /// The DTS victim-side steal handler (Figure 3(c) lines 47-53), invoked
+    /// by the engine when a ULI arrives at this worker.
+    fn handle_steal_request(&self, port: &mut CorePort, wid: usize, thief: usize) {
+        let insts_at_entry = port.instructions();
+        // Handler prologue: a handful of instructions to read the message.
+        port.advance(4);
+        let task = if self.cfg.dts_steal_from_tail {
+            self.deques[wid].pop_tail(port)
+        } else {
+            self.deques[wid].pop_head(port)
+        };
+        if let Some(t) = task {
+            // Mark the parent before exposing the task (line 50):
+            // has_stolen_child is a plain store, since the parent lives on
+            // this very core.
+            if let Some(p) = self.parent_of(t) {
+                let addr = self.hsc_addr(p);
+                port.store_words(addr, 1, || {
+                    self.tasks.write()[p.0 as usize].has_stolen_child = true;
+                });
+            }
+            // write_stolen_task (line 51): the task pointer goes through the
+            // thief's mailbox in shared memory.
+            let mb = &self.mailboxes[thief];
+            port.store_words(mb.addr, 1, || {
+                *mb.value.write() = t.to_payload();
+            });
+            // cache_flush (line 52): make the task and everything this
+            // worker produced visible to the thief.
+            if !self.cfg.skip_coherence_ops {
+                port.flush_cache();
+            }
+            self.counters.write().steals += 1;
+            port.uli_send_response(thief, 1);
+        } else {
+            port.uli_send_response(thief, 0);
+        }
+        *self.handler_insts[wid].write() += port.instructions() - insts_at_entry;
+    }
+}
+
+/// The per-worker execution context handed to every task body.
+///
+/// `TaskCx` is both the scheduler state of one worker and the TBB-like API
+/// surface of the paper's Section III-A: [`TaskCx::spawn`] and
+/// [`TaskCx::wait`], with [`crate::parallel_for`] and
+/// [`crate::parallel_invoke`] layered on top.
+pub struct TaskCx<'a> {
+    port: &'a mut CorePort,
+    rt: Arc<RtShared>,
+    wid: usize,
+    stack_top: u64,
+    inst_mark: u64,
+    current: Option<TaskId>,
+    backoff: u64,
+    victim_cursor: usize,
+}
+
+impl std::fmt::Debug for TaskCx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCx").field("worker", &self.wid).field("current", &self.current).finish()
+    }
+}
+
+impl<'a> TaskCx<'a> {
+    fn new(port: &'a mut CorePort, rt: Arc<RtShared>, wid: usize) -> Self {
+        let stack_top = rt.stack_bases[wid];
+        let backoff = rt.cfg.steal_backoff_cycles;
+        TaskCx { port, rt, wid, stack_top, inst_mark: 0, current: None, backoff, victim_cursor: 0 }
+    }
+
+    /// The simulated core this worker runs on.
+    pub fn worker_id(&self) -> usize {
+        self.wid
+    }
+
+    /// Total number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.rt.deques.len()
+    }
+
+    /// Access to the simulated core, for application data accesses.
+    pub fn port(&mut self) -> &mut CorePort {
+        self.port
+    }
+
+    // ------------------------------------------------------------------
+    // Profiling
+    // ------------------------------------------------------------------
+
+    /// Attributes instructions executed since the last mark to the current
+    /// task's serial work and path.
+    fn tally_user(&mut self) {
+        let now = self.port.instructions();
+        let handler = std::mem::take(&mut *self.rt.handler_insts[self.wid].write());
+        let delta = (now - self.inst_mark).saturating_sub(handler);
+        self.inst_mark = now;
+        if delta == 0 {
+            return;
+        }
+        if let Some(cur) = self.current {
+            let mut tasks = self.rt.tasks.write();
+            let prof = &mut tasks[cur.0 as usize].profile;
+            prof.serial_work += delta;
+            prof.path += delta;
+        }
+    }
+
+    /// Resets the mark so runtime-internal instructions are not attributed
+    /// to user work.
+    fn remark(&mut self) {
+        self.inst_mark = self.port.instructions();
+        *self.rt.handler_insts[self.wid].write() = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence helpers (no-ops in the deliberately-broken ablation)
+    // ------------------------------------------------------------------
+
+    fn cache_invalidate(&mut self) {
+        if !self.rt.cfg.skip_coherence_ops {
+            self.port.invalidate_cache();
+        }
+    }
+
+    fn cache_flush(&mut self) {
+        if !self.rt.cfg.skip_coherence_ops {
+            self.port.flush_cache();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task allocation and field access
+    // ------------------------------------------------------------------
+
+    fn alloc_task(&mut self, body: Box<dyn TaskBody>) -> TaskId {
+        // Task records live on the spawning worker's simulated stack, like
+        // the stack-allocated task objects of the paper's Figure 2.
+        let base = self.rt.stack_bases[self.wid];
+        assert!(
+            self.stack_top + field::SIZE <= base + self.rt.stack_bytes,
+            "simulated task stack overflow on worker {}",
+            self.wid
+        );
+        let addr = bigtiny_coherence::Addr(self.stack_top);
+        self.stack_top += field::SIZE;
+
+        let parent = self.current;
+        let id = {
+            let mut tasks = self.rt.tasks.write();
+            let id = TaskId(tasks.len() as u32);
+            let mut rec = TaskRecord::new(body, parent, addr);
+            if let Some(p) = parent {
+                rec.profile.spawn_path = tasks[p.0 as usize].profile.path;
+            }
+            tasks.push(rec);
+            id
+        };
+        // Constructing the task object: descriptor + parent pointer stores.
+        self.port.store_words(addr.offset(field::DESC), 2, || ());
+        self.port.store_words(addr.offset(field::PARENT), 1, || ());
+        id
+    }
+
+    fn read_rc_plain(&mut self, t: TaskId) -> u64 {
+        let addr = self.rt.rc_addr(t);
+        self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].rc)
+    }
+
+    /// A plain `rc` read that tolerates staleness: on real hardware the
+    /// cached value can only be *older* (larger) than the true count, which
+    /// at worst costs an extra wait-loop iteration (Figure 3(c) line 8).
+    fn read_rc_plain_racy(&mut self, t: TaskId) -> u64 {
+        let addr = self.rt.rc_addr(t);
+        self.port.load_words_racy(addr, 1, || self.rt.tasks.read()[t.0 as usize].rc)
+    }
+
+    fn read_rc_amo(&mut self, t: TaskId) -> u64 {
+        // The paper's `amo_or(p->rc, 0)`: an atomic read.
+        let addr = self.rt.rc_addr(t);
+        self.port.amo_word(addr, || self.rt.tasks.read()[t.0 as usize].rc)
+    }
+
+    /// Announces that the current task will spawn `n` children before its
+    /// next [`TaskCx::wait`] — the paper's `this->reference_count = n`
+    /// (Figure 2 line 16) / TBB's `set_ref_count`.
+    ///
+    /// Setting the count *before* any child is published is what makes a
+    /// plain store safe: no thief can be decrementing yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a task, with children still outstanding, or
+    /// with a previous `set_pending` budget not fully spawned.
+    pub fn set_pending(&mut self, n: u64) {
+        self.tally_user();
+        let t = self.current.expect("set_pending() must be called from within a task");
+        {
+            let mut tasks = self.rt.tasks.write();
+            let rec = &mut tasks[t.0 as usize];
+            assert_eq!(rec.rc, 0, "set_pending() with children still outstanding");
+            assert_eq!(rec.pending_budget, 0, "set_pending() before spawning the previous batch");
+            rec.rc = n;
+            rec.pending_budget = n;
+        }
+        // One plain store, as in Figure 2.
+        let addr = self.rt.rc_addr(t);
+        self.port.store_words(addr, 1, || ());
+        self.port.advance(1);
+        self.remark();
+    }
+
+    fn dec_rc_amo(&mut self, t: TaskId) {
+        let addr = self.rt.rc_addr(t);
+        self.port.amo_word(addr, || {
+            let mut tasks = self.rt.tasks.write();
+            let rc = &mut tasks[t.0 as usize].rc;
+            debug_assert!(*rc > 0, "reference count underflow");
+            *rc -= 1;
+        });
+    }
+
+    fn dec_rc_plain(&mut self, t: TaskId) {
+        let addr = self.rt.rc_addr(t);
+        self.port.load(addr);
+        self.port.store_words(addr, 1, || {
+            let mut tasks = self.rt.tasks.write();
+            let rc = &mut tasks[t.0 as usize].rc;
+            debug_assert!(*rc > 0, "reference count underflow");
+            *rc -= 1;
+        });
+    }
+
+    fn read_hsc(&mut self, t: TaskId) -> bool {
+        let addr = self.rt.hsc_addr(t);
+        self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].has_stolen_child)
+    }
+
+    // ------------------------------------------------------------------
+    // spawn — Figure 3, top half
+    // ------------------------------------------------------------------
+
+    /// Spawns `body` as a child of the current task (`task::spawn`).
+    ///
+    /// The number of children must have been announced with
+    /// [`TaskCx::set_pending`] first, mirroring the paper's Figure 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a task body or without a `set_pending`
+    /// budget.
+    pub fn spawn(&mut self, body: impl FnOnce(&mut TaskCx<'_>) + Send + 'static) {
+        self.tally_user();
+        let parent = self.current.expect("spawn() must be called from within a task");
+        {
+            let mut tasks = self.rt.tasks.write();
+            let rec = &mut tasks[parent.0 as usize];
+            assert!(rec.pending_budget > 0, "spawn() without a set_pending() budget");
+            rec.pending_budget -= 1;
+        }
+        let child = self.alloc_task(Box::new(body));
+        self.rt.counters.write().spawns += 1;
+        // A few instructions of call overhead.
+        self.port.advance(6);
+
+        let enqueued = match self.rt.cfg.kind {
+            RuntimeKind::Baseline => {
+                let dq = &self.rt.deques[self.wid];
+                match self.rt.cfg.deque_kind {
+                    DequeKind::Locked => {
+                        dq.lock(self.port);
+                        let ok = dq.push_tail(self.port, child);
+                        dq.unlock(self.port);
+                        ok
+                    }
+                    DequeKind::ChaseLev => dq.cl_push_tail(self.port, child),
+                }
+            }
+            RuntimeKind::Hcc => {
+                let rt = Arc::clone(&self.rt);
+                let dq = &rt.deques[self.wid];
+                dq.lock(self.port);
+                self.cache_invalidate();
+                let ok = dq.push_tail(self.port, child);
+                self.cache_flush();
+                dq.unlock(self.port);
+                ok
+            }
+            RuntimeKind::Dts => {
+                self.port.uli_disable();
+                let ok = self.rt.deques[self.wid].push_tail(self.port, child);
+                self.port.uli_enable();
+                ok
+            }
+        };
+        if !enqueued {
+            // Deque full: degenerate to immediate execution (depth-first),
+            // which preserves semantics.
+            self.execute_task(child);
+            self.complete_task(child);
+        }
+        self.remark();
+    }
+
+    // ------------------------------------------------------------------
+    // wait — Figure 3, bottom half
+    // ------------------------------------------------------------------
+
+    /// Waits until every child spawned by the current task has completed
+    /// (`task::wait`), scheduling other tasks meanwhile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a task body.
+    pub fn wait(&mut self) {
+        self.tally_user();
+        let p = self.current.expect("wait() must be called from within a task");
+        {
+            let budget = self.rt.tasks.read()[p.0 as usize].pending_budget;
+            assert_eq!(budget, 0, "wait() with {budget} announced children never spawned");
+        }
+        match self.rt.cfg.kind {
+            RuntimeKind::Baseline => {
+                while self.read_rc_plain(p) > 0 {
+                    self.step_baseline();
+                }
+            }
+            RuntimeKind::Hcc => {
+                while self.read_rc_amo(p) > 0 {
+                    self.step_hcc();
+                }
+                // Figure 3(b) line 40: children may have been stolen and
+                // produced data elsewhere.
+                self.cache_invalidate();
+            }
+            RuntimeKind::Dts => {
+                let mut rc = if self.rt.cfg.dts_has_stolen_child_opt {
+                    self.read_rc_plain_racy(p)
+                } else {
+                    self.read_rc_amo(p)
+                };
+                while rc > 0 {
+                    self.step_dts();
+                    rc = if self.rt.cfg.dts_has_stolen_child_opt {
+                        // Lines 37-40: AMO only when a child was stolen. The
+                        // plain read tolerates staleness (it can only be an
+                        // older, larger count; the next iteration corrects).
+                        if self.read_hsc(p) {
+                            self.read_rc_amo(p)
+                        } else {
+                            self.read_rc_plain_racy(p)
+                        }
+                    } else {
+                        self.read_rc_amo(p)
+                    };
+                }
+                // Lines 43-44: invalidate only if a child was stolen.
+                if !self.rt.cfg.dts_has_stolen_child_opt || self.read_hsc(p) {
+                    self.cache_invalidate();
+                }
+            }
+        }
+        // Merge completed children into the parent's critical path.
+        {
+            let mut tasks = self.rt.tasks.write();
+            let prof = &mut tasks[p.0 as usize].profile;
+            prof.path = prof.path.max(prof.candidate);
+        }
+        self.remark();
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling-loop steps (one iteration each)
+    // ------------------------------------------------------------------
+
+    fn execute_and_complete(&mut self, t: TaskId) {
+        self.execute_task(t);
+        self.complete_task(t);
+    }
+
+    fn step_baseline(&mut self) {
+        let dq = &self.rt.deques[self.wid];
+        let t = match self.rt.cfg.deque_kind {
+            DequeKind::Locked => {
+                dq.lock(self.port);
+                let t = dq.pop_tail(self.port);
+                dq.unlock(self.port);
+                t
+            }
+            DequeKind::ChaseLev => dq.cl_pop_tail(self.port),
+        };
+        if let Some(t) = t {
+            self.execute_and_complete(t);
+            return;
+        }
+        let vid = self.choose_victim();
+        self.rt.counters.write().steal_attempts += 1;
+        let vdq = &self.rt.deques[vid];
+        let t = match self.rt.cfg.deque_kind {
+            DequeKind::Locked => {
+                vdq.lock(self.port);
+                let t = vdq.pop_head(self.port);
+                vdq.unlock(self.port);
+                t
+            }
+            DequeKind::ChaseLev => vdq.cl_steal(self.port),
+        };
+        if let Some(t) = t {
+            self.rt.counters.write().steals += 1;
+            self.steal_succeeded();
+            self.execute_and_complete(t);
+        } else {
+            self.steal_failed();
+        }
+    }
+
+    fn step_hcc(&mut self) {
+        let rt = Arc::clone(&self.rt);
+        let dq = &rt.deques[self.wid];
+        dq.lock(self.port);
+        self.cache_invalidate();
+        let t = dq.pop_tail(self.port);
+        self.cache_flush();
+        dq.unlock(self.port);
+        if let Some(t) = t {
+            self.execute_and_complete(t);
+            return;
+        }
+        let vid = self.choose_victim();
+        self.rt.counters.write().steal_attempts += 1;
+        let vdq = &rt.deques[vid];
+        vdq.lock(self.port);
+        self.cache_invalidate();
+        let t = vdq.pop_head(self.port);
+        self.cache_flush();
+        vdq.unlock(self.port);
+        if let Some(t) = t {
+            self.rt.counters.write().steals += 1;
+            self.steal_succeeded();
+            // Figure 3(b) lines 33-35: the stolen task's parent ran
+            // elsewhere; bracket execution with invalidate/flush.
+            self.cache_invalidate();
+            self.execute_task(t);
+            self.cache_flush();
+            self.complete_task_stolen(t);
+        } else {
+            self.steal_failed();
+        }
+    }
+
+    fn step_dts(&mut self) {
+        // Local pop: deque is private, just mask ULIs (lines 11-13).
+        self.port.uli_disable();
+        let t = self.rt.deques[self.wid].pop_tail(self.port);
+        self.port.uli_enable();
+        if let Some(t) = t {
+            self.execute_and_complete(t);
+            return;
+        }
+        // Remote steal through the ULI network (lines 24-34).
+        let vid = self.choose_victim();
+        self.rt.counters.write().steal_attempts += 1;
+        match self.port.uli_send_request(vid, self.wid as u64) {
+            UliOutcome::Sent => {
+                // Wait for the response, servicing incoming steal requests
+                // to avoid mutual-steal deadlock.
+                let resp = loop {
+                    if let Some(m) = self.port.uli_poll_response() {
+                        break Some(m);
+                    }
+                    self.port.uli_poll();
+                    if self.is_done() {
+                        break None;
+                    }
+                    self.port.wait_cycles(8, TimeCategory::UliWait);
+                };
+                match resp {
+                    Some(m) if m.payload == 1 => {
+                        // A task was handed to us: invalidate (line 30),
+                        // then read the mailbox fresh.
+                        self.cache_invalidate();
+                        let mb = &self.rt.mailboxes[self.wid];
+                        let raw = self.port.load_words(mb.addr, 1, || {
+                            let mut v = mb.value.write();
+                            std::mem::replace(&mut *v, TaskId::NONE_PAYLOAD)
+                        });
+                        let t = TaskId::from_payload(raw).expect("victim promised a task");
+                        self.steal_succeeded();
+                        self.execute_task(t);
+                        self.cache_flush(); // line 32
+                        self.complete_task_stolen(t); // line 33: amo_sub
+                    }
+                    Some(_) => {
+                        // Victim was empty.
+                        self.steal_failed();
+                    }
+                    None => {} // program finished while waiting
+                }
+            }
+            UliOutcome::Nack { .. } => {
+                self.rt.counters.write().steal_nacks += 1;
+                self.steal_failed();
+            }
+        }
+    }
+
+    /// Exponential back-off after a failed steal (reset on success), which
+    /// keeps idle thieves from saturating victims' deque locks / ULI units.
+    fn steal_failed(&mut self) {
+        self.port.idle(self.backoff);
+        self.backoff = (self.backoff * 2)
+            .min(self.rt.cfg.steal_backoff_cycles * self.rt.cfg.steal_backoff_max_factor);
+        // NearestFirst walks outward on failure.
+        self.victim_cursor += 1;
+    }
+
+    fn steal_succeeded(&mut self) {
+        self.backoff = self.rt.cfg.steal_backoff_cycles;
+        self.victim_cursor = 0;
+    }
+
+    fn choose_victim(&mut self) -> usize {
+        let n = self.num_workers();
+        debug_assert!(n > 1, "cannot steal in a single-worker system");
+        match self.rt.cfg.victim_policy {
+            VictimPolicy::Random => {
+                let mut v = self.port.rng_below(n as u64 - 1) as usize;
+                if v >= self.wid {
+                    v += 1;
+                }
+                v
+            }
+            VictimPolicy::RoundRobin => {
+                let order = &self.rt.victim_order[self.wid];
+                let v = order[self.victim_cursor % order.len()];
+                self.victim_cursor += 1;
+                v
+            }
+            VictimPolicy::NearestFirst => {
+                let order = &self.rt.victim_order[self.wid];
+                order[self.victim_cursor % order.len()]
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution and completion
+    // ------------------------------------------------------------------
+
+    fn execute_task(&mut self, t: TaskId) {
+        // Dispatch: read the task descriptor and call through it.
+        let desc = self.rt.tasks.read()[t.0 as usize].desc_addr();
+        self.port.load_words(desc, 2, || ());
+        self.port.advance(4);
+
+        let body =
+            self.rt.tasks.write()[t.0 as usize].body.take().expect("task executed twice").into_inner();
+        self.rt.counters.write().tasks_executed += 1;
+
+        let saved_current = self.current.replace(t);
+        let saved_stack = self.stack_top;
+        self.remark();
+        body.run(self);
+        self.tally_user();
+        self.stack_top = saved_stack;
+        self.current = saved_current;
+
+        // Fold this task's completed span into its parent's candidate path,
+        // and count its serial work.
+        let (span, serial, parent, spawn_path) = {
+            let tasks = self.rt.tasks.read();
+            let rec = &tasks[t.0 as usize];
+            (rec.profile.span(), rec.profile.serial_work, rec.parent, rec.profile.spawn_path)
+        };
+        {
+            let mut counters = self.rt.counters.write();
+            counters.workspan.work += serial;
+            counters.workspan.tasks += 1;
+        }
+        match parent {
+            Some(p) => {
+                let mut tasks = self.rt.tasks.write();
+                let pp = &mut tasks[p.0 as usize].profile;
+                pp.candidate = pp.candidate.max(spawn_path + span);
+            }
+            None => {
+                // Root task: its span is the program span.
+                self.rt.counters.write().workspan.span = span;
+            }
+        }
+        self.remark();
+    }
+
+    /// Completion of a locally-executed task.
+    fn complete_task(&mut self, t: TaskId) {
+        let parent = self.rt.parent_of(t);
+        let Some(p) = parent else { return };
+        match self.rt.cfg.kind {
+            RuntimeKind::Baseline | RuntimeKind::Hcc => self.dec_rc_amo(p),
+            RuntimeKind::Dts => {
+                if self.rt.cfg.dts_has_stolen_child_opt {
+                    // Figure 3(c) lines 17-20, with ULIs masked across the
+                    // check-and-decrement: a steal handler running between
+                    // the `has_stolen_child` read and a plain decrement
+                    // could otherwise lose an update to `rc` on real
+                    // hardware (the parent lives on this core, so masking
+                    // this core's ULIs is sufficient).
+                    self.port.uli_disable();
+                    if self.read_hsc(p) {
+                        self.dec_rc_amo(p);
+                    } else {
+                        self.dec_rc_plain(p);
+                    }
+                    self.port.uli_enable();
+                } else {
+                    self.dec_rc_amo(p);
+                }
+            }
+        }
+    }
+
+    /// Completion of a stolen task: always an AMO (the parent is remote).
+    fn complete_task_stolen(&mut self, t: TaskId) {
+        if let Some(p) = self.rt.parent_of(t) {
+            self.dec_rc_amo(p);
+        }
+    }
+
+    fn is_done(&mut self) -> bool {
+        self.port.is_done()
+    }
+
+    /// The outer scheduling loop for workers that do not run the program's
+    /// main thread: keep executing and stealing until the program finishes.
+    fn schedule_loop(&mut self) {
+        while !self.is_done() {
+            match self.rt.cfg.kind {
+                RuntimeKind::Baseline => self.step_baseline(),
+                RuntimeKind::Hcc => self.step_hcc(),
+                RuntimeKind::Dts => self.step_dts(),
+            }
+        }
+    }
+}
+
+/// Runs `root` as the root task of a task-parallel program on the simulated
+/// system `sys` with runtime `cfg`, using `space` for the runtime's
+/// simulated allocations (pass the same space used for application data).
+///
+/// Core 0 executes the root task (and schedules work while waiting inside
+/// it); every other core runs the scheduling loop until the root completes.
+///
+/// # Panics
+///
+/// Re-raises panics from task bodies; panics on internal invariant
+/// violations (reference-count underflow, double execution).
+pub fn run_task_parallel(
+    sys: &SystemConfig,
+    cfg: &RuntimeConfig,
+    space: &mut AddrSpace,
+    root: impl FnOnce(&mut TaskCx<'_>) + Send + 'static,
+) -> TaskRun {
+    let n = sys.num_cores();
+    assert!(n >= 1);
+    let rt = Arc::new(RtShared::new(cfg.clone(), space, n, sys.topology()));
+    let dts = cfg.kind == RuntimeKind::Dts;
+
+    let mut workers: Vec<Worker> = Vec::with_capacity(n);
+    {
+        let rt = Arc::clone(&rt);
+        workers.push(Box::new(move |port: &mut CorePort| {
+            if dts {
+                let h = Arc::clone(&rt);
+                port.set_uli_handler(Box::new(move |p, msg| {
+                    h.handle_steal_request(p, 0, msg.from)
+                }));
+                port.uli_enable();
+            }
+            let mut cx = TaskCx::new(port, Arc::clone(&rt), 0);
+            let root_id = cx.alloc_task(Box::new(root));
+            cx.remark();
+            cx.execute_task(root_id);
+            if dts {
+                cx.port.uli_disable();
+            }
+            cx.port.set_done();
+        }));
+    }
+    for wid in 1..n {
+        let rt = Arc::clone(&rt);
+        workers.push(Box::new(move |port: &mut CorePort| {
+            if dts {
+                let h = Arc::clone(&rt);
+                port.set_uli_handler(Box::new(move |p, msg| {
+                    h.handle_steal_request(p, wid, msg.from)
+                }));
+                port.uli_enable();
+            }
+            let mut cx = TaskCx::new(port, rt, wid);
+            cx.schedule_loop();
+            if dts {
+                cx.port.uli_disable();
+            }
+        }));
+    }
+
+    let report = run_system(sys, workers);
+    let stats = *rt.counters.read();
+    TaskRun { report, stats }
+}

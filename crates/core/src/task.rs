@@ -1,0 +1,247 @@
+//! The task model: task records, reference counts, and the work/span
+//! profiler.
+//!
+//! Mirrors the paper's Section III-A programming model: a task is a unit of
+//! computation with a reference count tracking unfinished children, a parent
+//! pointer, and (for DTS) a `has_stolen_child` flag. Task records live in a
+//! functional slab paired with simulated addresses so that every runtime
+//! access to `rc`, `has_stolen_child`, or the task descriptor produces the
+//! modelled memory traffic.
+
+use bigtiny_coherence::Addr;
+
+use crate::TaskCx;
+
+/// A task body: the analogue of overriding `task::execute()` in the paper's
+/// TBB-like API. Implemented for all `FnOnce(&mut TaskCx)` closures.
+pub trait TaskBody: Send {
+    /// Runs the task. Spawning and waiting go through the context.
+    fn run(self: Box<Self>, cx: &mut TaskCx<'_>);
+}
+
+impl<F> TaskBody for F
+where
+    F: FnOnce(&mut TaskCx<'_>) + Send,
+{
+    fn run(self: Box<Self>, cx: &mut TaskCx<'_>) {
+        (*self)(cx)
+    }
+}
+
+/// Index of a task record in the runtime's slab.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Sentinel encoding for "no task" in single-word mailboxes.
+    pub const NONE_PAYLOAD: u64 = u64::MAX;
+
+    /// Encodes the id as a mailbox payload word.
+    pub fn to_payload(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Decodes a mailbox payload word.
+    pub fn from_payload(p: u64) -> Option<TaskId> {
+        if p == Self::NONE_PAYLOAD {
+            None
+        } else {
+            Some(TaskId(p as u32))
+        }
+    }
+}
+
+/// Byte offsets of the simulated fields of a task record.
+pub mod field {
+    /// Reference count (word 0).
+    pub const RC: u64 = 0;
+    /// `has_stolen_child` flag (word 1).
+    pub const HAS_STOLEN_CHILD: u64 = 8;
+    /// Parent pointer (word 2).
+    pub const PARENT: u64 = 16;
+    /// Start of the user descriptor (captured state).
+    pub const DESC: u64 = 24;
+    /// Total simulated footprint of a task record.
+    pub const SIZE: u64 = 64;
+}
+
+/// A cell that is `Sync` because it only ever hands out its contents by
+/// move through an exclusive reference. Lets task bodies be plain `Send`
+/// closures while the task slab stays shareable across worker threads.
+pub struct SyncCell<T>(T);
+
+// SAFETY: the inner value is only reachable through `&mut SyncCell` /
+// owned access (`into_inner`), so shared references never touch `T`.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        SyncCell(value)
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::fmt::Debug for SyncCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SyncCell(..)")
+    }
+}
+
+/// One task's functional state.
+pub struct TaskRecord {
+    /// The body, present until the task is dispatched.
+    pub body: Option<SyncCell<Box<dyn TaskBody>>>,
+    /// Parent task, if any.
+    pub parent: Option<TaskId>,
+    /// Unfinished children (the paper's `reference_count`).
+    pub rc: u64,
+    /// Children announced by `set_pending` but not yet spawned. `spawn`
+    /// requires a positive budget: the reference count must be set *before*
+    /// children become stealable (Figure 2 line 16), or a thief's decrement
+    /// could race with the parent's update on real hardware.
+    pub pending_budget: u64,
+    /// Set by the DTS victim handler before handing a child to a thief.
+    pub has_stolen_child: bool,
+    /// Base simulated address of this record.
+    pub sim_addr: Addr,
+    /// Work/span bookkeeping.
+    pub profile: TaskProfile,
+}
+
+impl std::fmt::Debug for TaskRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRecord")
+            .field("parent", &self.parent)
+            .field("rc", &self.rc)
+            .field("has_stolen_child", &self.has_stolen_child)
+            .field("sim_addr", &self.sim_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskRecord {
+    /// Creates a record for `body` at `sim_addr`.
+    pub fn new(body: Box<dyn TaskBody>, parent: Option<TaskId>, sim_addr: Addr) -> Self {
+        TaskRecord {
+            body: Some(SyncCell::new(body)),
+            parent,
+            rc: 0,
+            pending_budget: 0,
+            has_stolen_child: false,
+            sim_addr,
+            profile: TaskProfile::default(),
+        }
+    }
+
+    /// Simulated address of the reference count.
+    pub fn rc_addr(&self) -> Addr {
+        self.sim_addr.offset(field::RC)
+    }
+
+    /// Simulated address of the `has_stolen_child` flag.
+    pub fn hsc_addr(&self) -> Addr {
+        self.sim_addr.offset(field::HAS_STOLEN_CHILD)
+    }
+
+    /// Simulated address of the descriptor words.
+    pub fn desc_addr(&self) -> Addr {
+        self.sim_addr.offset(field::DESC)
+    }
+}
+
+/// Cilkview-style work/span bookkeeping for one task (Section V-D: the
+/// Work, Span, and Parallelism columns of Table III).
+///
+/// `path` is the length, in instructions, of the longest chain through this
+/// task's subgraph that ends at the task's current execution point; it
+/// accumulates the task's own serial instructions and, at each `wait`,
+/// merges the longest completed child chain (`candidate`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TaskProfile {
+    /// Longest instruction chain ending at the current point of this task.
+    pub path: u64,
+    /// Max over completed children of `spawn_path + child_span`.
+    pub candidate: u64,
+    /// Parent's `path` at the moment this task was spawned.
+    pub spawn_path: u64,
+    /// This task's serial instructions (excluding children).
+    pub serial_work: u64,
+}
+
+impl TaskProfile {
+    /// The task's span once it has completed.
+    pub fn span(&self) -> u64 {
+        self.path.max(self.candidate)
+    }
+}
+
+/// Aggregated work/span numbers for a whole run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct WorkSpan {
+    /// Total user instructions across all tasks.
+    pub work: u64,
+    /// Critical-path length in instructions.
+    pub span: u64,
+    /// Number of tasks executed.
+    pub tasks: u64,
+}
+
+impl WorkSpan {
+    /// Logical parallelism (work / span).
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+
+    /// Average instructions per task (the paper's IPT column).
+    pub fn instructions_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.tasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trip() {
+        assert_eq!(TaskId::from_payload(TaskId(7).to_payload()), Some(TaskId(7)));
+        assert_eq!(TaskId::from_payload(TaskId::NONE_PAYLOAD), None);
+    }
+
+    #[test]
+    fn record_field_addresses() {
+        let r = TaskRecord::new(Box::new(|_: &mut TaskCx<'_>| {}), None, Addr(0x1000));
+        assert_eq!(r.rc_addr(), Addr(0x1000));
+        assert_eq!(r.hsc_addr(), Addr(0x1008));
+        assert_eq!(r.desc_addr(), Addr(0x1018));
+    }
+
+    #[test]
+    fn workspan_ratios() {
+        let ws = WorkSpan { work: 1000, span: 100, tasks: 10 };
+        assert!((ws.parallelism() - 10.0).abs() < 1e-12);
+        assert!((ws.instructions_per_task() - 100.0).abs() < 1e-12);
+        let empty = WorkSpan::default();
+        assert_eq!(empty.parallelism(), 0.0);
+        assert_eq!(empty.instructions_per_task(), 0.0);
+    }
+
+    #[test]
+    fn profile_span_takes_max_of_path_and_candidate() {
+        let p = TaskProfile { path: 50, candidate: 80, spawn_path: 0, serial_work: 50 };
+        assert_eq!(p.span(), 80);
+    }
+}

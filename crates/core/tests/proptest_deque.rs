@@ -1,0 +1,142 @@
+//! Property test: the simulated work-stealing deque behaves exactly like a
+//! reference double-ended queue for any sequence of owner/thief operations.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bigtiny_core::{SimDeque, TaskId};
+use bigtiny_engine::{run_system, AddrSpace, SystemConfig, Worker};
+
+#[derive(Clone, Copy, Debug)]
+enum DqOp {
+    PushTail(u32),
+    PopTail,
+    PopHead,
+}
+
+fn op_strategy() -> impl Strategy<Value = DqOp> {
+    prop_oneof![
+        (0u32..10_000).prop_map(DqOp::PushTail),
+        Just(DqOp::PopTail),
+        Just(DqOp::PopHead),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn deque_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..32)
+    {
+        let mut space = AddrSpace::new();
+        let dq = Arc::new(SimDeque::new(&mut space, capacity));
+        let d = Arc::clone(&dq);
+        let results: Arc<std::sync::Mutex<Vec<Option<Option<u32>>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&results);
+        let ops2 = ops.clone();
+
+        let config = SystemConfig::o3(1);
+        let workers: Vec<Worker> = vec![Box::new(move |port| {
+            for op in ops2 {
+                let outcome = match op {
+                    DqOp::PushTail(v) => {
+                        let ok = d.push_tail(port, TaskId(v));
+                        if ok { None } else { Some(None) } // encode "full"
+                    }
+                    DqOp::PopTail => Some(d.pop_tail(port).map(|t| t.0)),
+                    DqOp::PopHead => Some(d.pop_head(port).map(|t| t.0)),
+                };
+                r2.lock().unwrap().push(outcome);
+            }
+            port.set_done();
+        })];
+        run_system(&config, workers);
+
+        // Replay against the reference model.
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let got = results.lock().unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DqOp::PushTail(v) => {
+                    if model.len() < capacity {
+                        model.push_back(*v);
+                        prop_assert_eq!(got[i], None, "push {} accepted", i);
+                    } else {
+                        prop_assert_eq!(got[i], Some(None), "push {} rejected when full", i);
+                    }
+                }
+                DqOp::PopTail => {
+                    prop_assert_eq!(got[i], Some(model.pop_back()), "pop_tail {}", i);
+                }
+                DqOp::PopHead => {
+                    prop_assert_eq!(got[i], Some(model.pop_front()), "pop_head {}", i);
+                }
+            }
+        }
+        prop_assert_eq!(dq.host_len(), model.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Chase-Lev operations obey the same reference-deque semantics as
+    /// the lock-based ones for any single-threaded op sequence.
+    #[test]
+    fn chase_lev_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..32)
+    {
+        let mut space = AddrSpace::new();
+        let dq = Arc::new(SimDeque::new(&mut space, capacity));
+        let d = Arc::clone(&dq);
+        let results: Arc<std::sync::Mutex<Vec<Option<Option<u32>>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&results);
+        let ops2 = ops.clone();
+
+        let config = SystemConfig::o3(1);
+        let workers: Vec<Worker> = vec![Box::new(move |port| {
+            for op in ops2 {
+                let outcome = match op {
+                    DqOp::PushTail(v) => {
+                        let ok = d.cl_push_tail(port, TaskId(v));
+                        if ok { None } else { Some(None) }
+                    }
+                    DqOp::PopTail => Some(d.cl_pop_tail(port).map(|t| t.0)),
+                    DqOp::PopHead => Some(d.cl_steal(port).map(|t| t.0)),
+                };
+                r2.lock().unwrap().push(outcome);
+            }
+            port.set_done();
+        })];
+        run_system(&config, workers);
+
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let got = results.lock().unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DqOp::PushTail(v) => {
+                    if model.len() < capacity {
+                        model.push_back(*v);
+                        prop_assert_eq!(got[i], None, "cl push {} accepted", i);
+                    } else {
+                        prop_assert_eq!(got[i], Some(None), "cl push {} rejected when full", i);
+                    }
+                }
+                DqOp::PopTail => {
+                    prop_assert_eq!(got[i], Some(model.pop_back()), "cl pop_tail {}", i);
+                }
+                DqOp::PopHead => {
+                    prop_assert_eq!(got[i], Some(model.pop_front()), "cl steal {}", i);
+                }
+            }
+        }
+        prop_assert_eq!(dq.host_len(), model.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-core execution-time breakdown, as reported in Figure 7 of the paper.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Where a core's cycles went.
+///
+/// The paper's Figure 7 reports six groups for the tiny cores: *Inst Fetch*,
+/// *Data Load*, *Data Store*, *Atomic*, *Flush*, *Others*. The simulator
+/// tracks a finer split and [`TimeBreakdown::paper_groups`] folds it into
+/// the paper's legend.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimeCategory {
+    /// Instruction execution (maps to the paper's "Inst Fetch" on the
+    /// single-issue tiny cores, where every instruction occupies the front
+    /// end for one cycle).
+    Compute,
+    /// Stalls on demand loads.
+    Load,
+    /// Stalls on demand stores.
+    Store,
+    /// Stalls on atomic memory operations.
+    Atomic,
+    /// Bulk cache flushes (`cache_flush`).
+    Flush,
+    /// Bulk self-invalidations (`cache_invalidate`).
+    Invalidate,
+    /// ULI send/receive/handler overhead.
+    Uli,
+    /// Waiting for a ULI steal response.
+    UliWait,
+    /// Idle: steal back-off and waiting for work.
+    Idle,
+}
+
+/// All categories in display order.
+pub const TIME_CATEGORIES: [TimeCategory; 9] = [
+    TimeCategory::Compute,
+    TimeCategory::Load,
+    TimeCategory::Store,
+    TimeCategory::Atomic,
+    TimeCategory::Flush,
+    TimeCategory::Invalidate,
+    TimeCategory::Uli,
+    TimeCategory::UliWait,
+    TimeCategory::Idle,
+];
+
+impl TimeCategory {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::Compute => "compute",
+            TimeCategory::Load => "load",
+            TimeCategory::Store => "store",
+            TimeCategory::Atomic => "atomic",
+            TimeCategory::Flush => "flush",
+            TimeCategory::Invalidate => "invalidate",
+            TimeCategory::Uli => "uli",
+            TimeCategory::UliWait => "uli_wait",
+            TimeCategory::Idle => "idle",
+        }
+    }
+
+    fn index(self) -> usize {
+        TIME_CATEGORIES.iter().position(|c| *c == self).expect("listed")
+    }
+}
+
+/// Cycles attributed per [`TimeCategory`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TimeBreakdown {
+    cycles: [u64; 9],
+}
+
+impl TimeBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `category`.
+    pub fn add(&mut self, category: TimeCategory, cycles: u64) {
+        self.cycles[category.index()] += cycles;
+    }
+
+    /// Cycles in `category`.
+    pub fn get(&self, category: TimeCategory) -> u64 {
+        self.cycles[category.index()]
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Folds the fine categories into the paper's Figure 7 legend:
+    /// `(inst_fetch, data_load, data_store, atomic, flush, others)`.
+    pub fn paper_groups(&self) -> [(&'static str, u64); 6] {
+        [
+            ("Inst Fetch", self.get(TimeCategory::Compute)),
+            ("Data Load", self.get(TimeCategory::Load)),
+            ("Data Store", self.get(TimeCategory::Store)),
+            ("Atomic", self.get(TimeCategory::Atomic)),
+            ("Flush", self.get(TimeCategory::Flush)),
+            (
+                "Others",
+                self.get(TimeCategory::Invalidate)
+                    + self.get(TimeCategory::Uli)
+                    + self.get(TimeCategory::UliWait)
+                    + self.get(TimeCategory::Idle),
+            ),
+        ]
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        for i in 0..self.cycles.len() {
+            self.cycles[i] += rhs.cycles[i];
+        }
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        for c in TIME_CATEGORIES {
+            let v = self.get(c);
+            if v > 0 {
+                writeln!(f, "{:>10}: {:>12} ({:5.1}%)", c.label(), v, 100.0 * v as f64 / total as f64)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::Compute, 100);
+        b.add(TimeCategory::Load, 40);
+        b.add(TimeCategory::Compute, 10);
+        assert_eq!(b.get(TimeCategory::Compute), 110);
+        assert_eq!(b.total(), 150);
+    }
+
+    #[test]
+    fn paper_groups_fold_others() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::Idle, 5);
+        b.add(TimeCategory::Uli, 3);
+        b.add(TimeCategory::Invalidate, 2);
+        b.add(TimeCategory::Flush, 7);
+        let g = b.paper_groups();
+        assert_eq!(g[4], ("Flush", 7));
+        assert_eq!(g[5], ("Others", 10));
+    }
+
+    #[test]
+    fn merge_breakdowns() {
+        let mut a = TimeBreakdown::new();
+        a.add(TimeCategory::Store, 1);
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::Store, 2);
+        a += b;
+        assert_eq!(a.get(TimeCategory::Store), 3);
+    }
+}

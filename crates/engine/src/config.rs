@@ -1,0 +1,218 @@
+//! System configurations, including every named configuration the paper
+//! evaluates (Table II, Section V-A).
+
+use bigtiny_coherence::{CoreMemConfig, MemConfig, Protocol};
+use bigtiny_mesh::{MeshConfig, Topology};
+
+/// Core microarchitecture class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoreKind {
+    /// 4-way out-of-order, 64 KB L1, hardware (MESI) coherence.
+    Big,
+    /// Single-issue in-order, 4 KB L1, per-configuration coherence.
+    Tiny,
+}
+
+/// Configuration of one simulated core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoreConfig {
+    /// Microarchitecture class.
+    pub kind: CoreKind,
+    /// Private-cache configuration.
+    pub mem: CoreMemConfig,
+}
+
+impl CoreConfig {
+    /// The paper's big core (MESI, 64 KB L1D).
+    pub fn big() -> Self {
+        CoreConfig { kind: CoreKind::Big, mem: CoreMemConfig::big() }
+    }
+
+    /// The paper's tiny core with protocol `protocol` (4 KB L1D).
+    pub fn tiny(protocol: Protocol) -> Self {
+        CoreConfig { kind: CoreKind::Tiny, mem: CoreMemConfig::tiny(protocol) }
+    }
+}
+
+/// Full simulated-system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Human-readable name, e.g. `b.T/HCC-gwb` or `O3x8`.
+    pub name: String,
+    /// Data-OCN configuration (fixes topology and bank count).
+    pub mesh: MeshConfig,
+    /// Cores, in core-id order. Core 0 runs the program's main thread.
+    pub cores: Vec<CoreConfig>,
+    /// Issue width of big cores (compute IPC).
+    pub big_issue_width: u64,
+    /// Divisor applied to big-core memory stall latency, modelling the
+    /// out-of-order window overlapping misses with execution.
+    pub big_overlap_div: u64,
+    /// Cycles to interrupt a tiny core for a ULI (paper: "a few cycles").
+    pub uli_cost_tiny: u64,
+    /// Cycles to interrupt a big core (paper: 10-50 cycles to drain the
+    /// out-of-order pipeline).
+    pub uli_cost_big: u64,
+    /// Global seed for deterministic pseudo-randomness.
+    pub seed: u64,
+    /// Enable the stale-read checker.
+    pub track_staleness: bool,
+    /// Record per-core execution traces (see [`crate::render_timeline`]).
+    pub trace: bool,
+}
+
+impl SystemConfig {
+    fn new(name: &str, mesh: MeshConfig, cores: Vec<CoreConfig>) -> Self {
+        SystemConfig {
+            name: name.to_owned(),
+            mesh,
+            cores,
+            big_issue_width: 4,
+            big_overlap_div: 2,
+            uli_cost_tiny: 5,
+            uli_cost_big: 30,
+            seed: 0x5eed,
+            track_staleness: true,
+            trace: false,
+        }
+    }
+
+    /// A traditional multicore with `n` big out-of-order cores (the paper's
+    /// `O3x1`, `O3x4`, `O3x8` comparison points).
+    pub fn o3(n: usize) -> Self {
+        assert!((1..=64).contains(&n));
+        Self::new(&format!("O3x{n}"), MeshConfig::paper_64_core(), vec![CoreConfig::big(); n])
+    }
+
+    /// A big.TINY system: `num_big` big cores followed by `num_tiny` tiny
+    /// cores running `tiny_protocol`, on `mesh`.
+    pub fn big_tiny(name: &str, mesh: MeshConfig, num_big: usize, num_tiny: usize, tiny_protocol: Protocol) -> Self {
+        assert!(num_big + num_tiny <= mesh.topology.num_tiles(), "too many cores for the mesh");
+        let mut cores = vec![CoreConfig::big(); num_big];
+        cores.extend(std::iter::repeat_n(CoreConfig::tiny(tiny_protocol), num_tiny));
+        Self::new(name, mesh, cores)
+    }
+
+    /// The paper's 64-core `big.TINY/MESI`: 4 big + 60 tiny, all MESI.
+    pub fn big_tiny_mesi() -> Self {
+        Self::big_tiny("b.T/MESI", MeshConfig::paper_64_core(), 4, 60, Protocol::Mesi)
+    }
+
+    /// The paper's 64-core `big.TINY/HCC-*`: 4 big MESI cores + 60 tiny
+    /// cores running the given software-centric protocol.
+    pub fn big_tiny_hcc(tiny_protocol: Protocol) -> Self {
+        assert_ne!(tiny_protocol, Protocol::Mesi, "use big_tiny_mesi() for the MESI configuration");
+        Self::big_tiny(
+            &format!("b.T/HCC-{}", tiny_protocol.label()),
+            MeshConfig::paper_64_core(),
+            4,
+            60,
+            tiny_protocol,
+        )
+    }
+
+    /// The paper's 256-core system (Table V): 4 big + 252 tiny on an 8×32
+    /// mesh with 32 L2 banks and 4× the DRAM bandwidth.
+    pub fn big_tiny_256(tiny_protocol: Protocol) -> Self {
+        let name = if tiny_protocol == Protocol::Mesi {
+            "b.T-256/MESI".to_owned()
+        } else {
+            format!("b.T-256/HCC-{}", tiny_protocol.label())
+        };
+        Self::big_tiny(&name, MeshConfig::paper_256_core(), 4, 252, tiny_protocol)
+    }
+
+    /// A 64-tiny-core system (used by the Figure 4 granularity study).
+    pub fn tiny_only(n: usize, protocol: Protocol) -> Self {
+        assert!((1..=64).contains(&n));
+        Self::big_tiny(&format!("tiny{n}/{}", protocol.label()), MeshConfig::paper_64_core(), 0, n, protocol)
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of big cores.
+    pub fn num_big(&self) -> usize {
+        self.cores.iter().filter(|c| c.kind == CoreKind::Big).count()
+    }
+
+    /// Ids of tiny cores.
+    pub fn tiny_cores(&self) -> Vec<usize> {
+        (0..self.cores.len()).filter(|i| self.cores[*i].kind == CoreKind::Tiny).collect()
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> Topology {
+        self.mesh.topology
+    }
+
+    /// Derives the memory-system configuration.
+    pub fn mem_config(&self) -> MemConfig {
+        let mut cfg = MemConfig::paper(self.mesh, self.cores.iter().map(|c| c.mem).collect());
+        cfg.track_staleness = self.track_staleness;
+        cfg
+    }
+
+    /// Returns a copy with a different seed (for replicated experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_64_core_shape() {
+        let c = SystemConfig::big_tiny_mesi();
+        assert_eq!(c.num_cores(), 64);
+        assert_eq!(c.num_big(), 4);
+        assert_eq!(c.tiny_cores().len(), 60);
+        assert_eq!(c.topology().num_banks(), 8);
+    }
+
+    #[test]
+    fn hcc_configs_name_protocols() {
+        assert_eq!(SystemConfig::big_tiny_hcc(Protocol::DeNovo).name, "b.T/HCC-dnv");
+        assert_eq!(SystemConfig::big_tiny_hcc(Protocol::GpuWt).name, "b.T/HCC-gwt");
+        assert_eq!(SystemConfig::big_tiny_hcc(Protocol::GpuWb).name, "b.T/HCC-gwb");
+    }
+
+    #[test]
+    fn o3_systems_are_all_big() {
+        let c = SystemConfig::o3(8);
+        assert_eq!(c.num_cores(), 8);
+        assert_eq!(c.num_big(), 8);
+        assert!(c.cores.iter().all(|cc| cc.mem.protocol == Protocol::Mesi));
+    }
+
+    #[test]
+    fn large_system_shape() {
+        let c = SystemConfig::big_tiny_256(Protocol::GpuWb);
+        assert_eq!(c.num_cores(), 256);
+        assert_eq!(c.topology().num_banks(), 32);
+        assert_eq!(c.name, "b.T-256/HCC-gwb");
+    }
+
+    #[test]
+    #[should_panic(expected = "use big_tiny_mesi")]
+    fn hcc_with_mesi_rejected() {
+        SystemConfig::big_tiny_hcc(Protocol::Mesi);
+    }
+
+    #[test]
+    fn area_equivalence_of_o3x8() {
+        // The paper sizes O3x8 by total L1 capacity: 8 big L1s ~= 4 big + 60
+        // tiny L1s (64KB*8 = 512KB vs 64KB*4 + 4KB*60 = 496KB).
+        let o3 = SystemConfig::o3(8);
+        let bt = SystemConfig::big_tiny_mesi();
+        let cap = |c: &SystemConfig| c.cores.iter().map(|x| x.mem.l1_bytes).sum::<usize>();
+        let (a, b) = (cap(&o3), cap(&bt));
+        let ratio = a as f64 / b as f64;
+        assert!((0.9..1.1).contains(&ratio), "L1 area ratio {ratio}");
+    }
+}

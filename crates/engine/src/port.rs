@@ -1,0 +1,480 @@
+//! The per-core operation interface.
+//!
+//! A [`CorePort`] is handed to each worker closure and is the only way to
+//! act on the simulated machine: compute, loads/stores/AMOs on simulated
+//! addresses, bulk cache operations, and user-level interrupts. Every
+//! operation advances the core's local clock; operations on shared state are
+//! serialized by the global [`Sequencer`](crate::sequencer::Sequencer) in
+//! simulated-time order.
+//!
+//! **Locking discipline:** a sequenced operation may park the calling
+//! thread until its simulated turn. Never hold a lock (or a guard
+//! temporary) across a `CorePort` call — bind values out of guards first —
+//! or a token holder blocking on that lock deadlocks the simulation.
+//!
+//! ULIs are delivered at instruction boundaries: every sequenced operation
+//! checks (inside the same critical section, at no extra cost) whether an
+//! enabled ULI request has arrived, and if so invokes the installed handler
+//! after charging the architectural interrupt cost.
+
+use std::sync::Arc;
+
+use bigtiny_coherence::Addr;
+use bigtiny_mesh::{UliMessage, UliOutcome};
+
+use crate::breakdown::{TimeBreakdown, TimeCategory};
+use crate::config::CoreKind;
+use crate::rng::XorShift64;
+use crate::system::{GlobalState, Shared};
+
+/// A ULI handler installed by the runtime: invoked with the port and the
+/// incoming request message (the thief's core id is `msg.from`).
+pub type UliHandler = Box<dyn FnMut(&mut CorePort, UliMessage) + Send>;
+
+/// Entries in each core's store buffer: stores retire into the buffer and
+/// only stall the core when it is full (or at drain points: AMOs, flushes).
+const STORE_BUFFER_ENTRIES: usize = 8;
+
+/// Handle through which a worker drives one simulated core.
+pub struct CorePort {
+    core: usize,
+    kind: CoreKind,
+    clock: u64,
+    instructions: u64,
+    /// Completion times of in-flight stores.
+    store_buffer: std::collections::VecDeque<u64>,
+    /// Compute cycles accumulated since the last ULI-delivery opportunity;
+    /// long pure-compute stretches poll at this granularity so a core stays
+    /// interruptible (ULIs are delivered at instruction granularity on real
+    /// hardware).
+    compute_since_poll: u64,
+    breakdown: TimeBreakdown,
+    trace: Option<Vec<crate::trace::TraceEvent>>,
+    rng: XorShift64,
+    shared: Arc<Shared>,
+    handler: Option<UliHandler>,
+    in_handler: bool,
+    issue_width: u64,
+    overlap_div: u64,
+    uli_cost: u64,
+    num_cores: usize,
+}
+
+impl std::fmt::Debug for CorePort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorePort")
+            .field("core", &self.core)
+            .field("kind", &self.kind)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CorePort {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        core: usize,
+        kind: CoreKind,
+        shared: Arc<Shared>,
+        seed: u64,
+        issue_width: u64,
+        overlap_div: u64,
+        uli_cost: u64,
+        num_cores: usize,
+    ) -> Self {
+        CorePort {
+            core,
+            kind,
+            clock: 0,
+            instructions: 0,
+            store_buffer: std::collections::VecDeque::new(),
+            compute_since_poll: 0,
+            breakdown: TimeBreakdown::new(),
+            trace: None,
+            rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
+            shared,
+            handler: None,
+            in_handler: false,
+            issue_width,
+            overlap_div,
+            uli_cost,
+            num_cores,
+        }
+    }
+
+    /// This core's id.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Number of cores in the system.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// This core's microarchitecture class.
+    pub fn kind(&self) -> CoreKind {
+        self.kind
+    }
+
+    /// Current local simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Instructions retired so far (used for work/span accounting).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The accumulated execution-time breakdown.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+
+    /// Deterministic per-core random value in `0..bound`.
+    pub fn rng_below(&mut self, bound: u64) -> u64 {
+        self.rng.next_below(bound)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Runs `f` on the global state under the token, delivering at most one
+    /// pending ULI observed in the same critical section.
+    fn seq<R>(&mut self, f: impl FnOnce(&mut GlobalState, u64, usize) -> R) -> R {
+        let check_uli = self.handler.is_some() && !self.in_handler;
+        let (r, msg) = {
+            self.shared.seq.enter(self.core, self.clock);
+            let mut st = self.shared.state.lock();
+            let r = f(&mut st, self.clock, self.core);
+            let msg = if check_uli { st.uli.take_request(self.core, self.clock) } else { None };
+            drop(st);
+            self.shared.seq.leave(self.core);
+            (r, msg)
+        };
+        // Every sequenced operation is a ULI-delivery opportunity.
+        self.compute_since_poll = 0;
+        if let Some(m) = msg {
+            self.dispatch_uli(m);
+        }
+        r
+    }
+
+    fn dispatch_uli(&mut self, msg: UliMessage) {
+        // Architectural interrupt cost: drain in-flight instructions and
+        // vector to the user-level handler.
+        self.breakdown.add(TimeCategory::Uli, self.uli_cost);
+        self.clock += self.uli_cost;
+        let mut h = self.handler.take().expect("handler present when dispatching");
+        self.in_handler = true;
+        h(self, msg);
+        self.in_handler = false;
+        self.handler = Some(h);
+    }
+
+    /// Memory-stall latency as seen by this core: big out-of-order cores
+    /// overlap part of every miss with independent work.
+    fn mem_latency(&self, raw: u64) -> u64 {
+        match self.kind {
+            CoreKind::Big => (raw / self.overlap_div).max(1),
+            CoreKind::Tiny => raw,
+        }
+    }
+
+    fn charge(&mut self, cat: TimeCategory, cycles: u64) {
+        if cycles > 0 {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(crate::trace::TraceEvent { start: self.clock, cycles, category: cat });
+            }
+        }
+        self.breakdown.add(cat, cycles);
+        self.clock += cycles;
+    }
+
+    /// Enables trace recording on this port (set by the engine when the
+    /// system configuration requests traces).
+    pub(crate) fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    // ------------------------------------------------------------------
+    // Compute and idling
+    // ------------------------------------------------------------------
+
+    /// Executes `insts` non-memory instructions (purely local: no
+    /// sequencing). Big cores retire `issue_width` per cycle.
+    pub fn advance(&mut self, insts: u64) {
+        self.instructions += insts;
+        let cycles = match self.kind {
+            CoreKind::Big => insts.div_ceil(self.issue_width),
+            CoreKind::Tiny => insts,
+        };
+        self.charge(TimeCategory::Compute, cycles);
+        // Long pure-compute stretches must remain interruptible: poll for
+        // ULIs every ~256 accumulated compute cycles.
+        if self.handler.is_some() && !self.in_handler {
+            self.compute_since_poll += cycles;
+            if self.compute_since_poll >= 256 {
+                self.uli_poll();
+            }
+        }
+    }
+
+    /// Burns `cycles` in the given accounting category (back-off, waits).
+    pub fn wait_cycles(&mut self, cycles: u64, cat: TimeCategory) {
+        self.charge(cat, cycles);
+    }
+
+    /// Burns `cycles` as idle time.
+    pub fn idle(&mut self, cycles: u64) {
+        self.charge(TimeCategory::Idle, cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations
+    // ------------------------------------------------------------------
+
+    /// Loads `words` consecutive words starting at `addr`; `f` produces the
+    /// functional value and runs race-free under the global token.
+    pub fn load_words<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
+        self.load_words_impl(addr, words, false, f)
+    }
+
+    /// Like [`CorePort::load_words`], but exempt from the staleness checker:
+    /// for algorithmically benign races (Ligra-style monotone updates).
+    pub fn load_words_racy<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
+        self.load_words_impl(addr, words, true, f)
+    }
+
+    fn load_words_impl<R>(&mut self, addr: Addr, words: u64, racy: bool, f: impl FnOnce() -> R) -> R {
+        assert!(words >= 1, "load of zero words");
+        for w in 0..words - 1 {
+            let a = addr.offset(w * 8);
+            let lat = self.seq(move |st, now, core| {
+                if racy {
+                    st.mem.load_racy(core, a, now)
+                } else {
+                    st.mem.load(core, a, now)
+                }
+            });
+            let lat = self.mem_latency(lat);
+            self.charge(TimeCategory::Load, lat);
+        }
+        let a = addr.offset((words - 1) * 8);
+        let mut out = None;
+        let lat = {
+            let out_ref = &mut out;
+            self.seq(move |st, now, core| {
+                let l = if racy {
+                    st.mem.load_racy(core, a, now)
+                } else {
+                    st.mem.load(core, a, now)
+                };
+                *out_ref = Some(f());
+                l
+            })
+        };
+        let lat = self.mem_latency(lat);
+        self.charge(TimeCategory::Load, lat);
+        self.instructions += words;
+        out.expect("functional closure ran")
+    }
+
+    /// Loads one word at `addr` for timing only.
+    pub fn load(&mut self, addr: Addr) {
+        self.load_words(addr, 1, || ());
+    }
+
+    /// Retires a store of raw latency `raw` into the store buffer,
+    /// returning the cycles the core actually stalls: one issue cycle plus
+    /// any wait for a free buffer entry.
+    fn buffer_store(&mut self, raw: u64) -> u64 {
+        let now = self.clock;
+        while self.store_buffer.front().is_some_and(|done| *done <= now) {
+            self.store_buffer.pop_front();
+        }
+        let stall = if self.store_buffer.len() >= STORE_BUFFER_ENTRIES {
+            let head = self.store_buffer.pop_front().expect("nonempty");
+            head.saturating_sub(now)
+        } else {
+            0
+        };
+        self.store_buffer.push_back(now + stall + 1 + raw);
+        stall + 1
+    }
+
+    /// Cycles until every buffered store has completed (drain at AMOs and
+    /// flush points, which have release semantics).
+    fn drain_store_buffer(&mut self) -> u64 {
+        let last = self.store_buffer.back().copied().unwrap_or(0);
+        self.store_buffer.clear();
+        last.saturating_sub(self.clock)
+    }
+
+    /// Stores `words` consecutive words starting at `addr`; `f` applies the
+    /// functional effect under the global token. Stores retire through a
+    /// bounded store buffer: the core stalls only when the buffer is full.
+    pub fn store_words<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
+        assert!(words >= 1, "store of zero words");
+        for w in 0..words - 1 {
+            let a = addr.offset(w * 8);
+            let lat = self.seq(move |st, now, core| st.mem.store(core, a, now));
+            let lat = self.mem_latency(lat);
+            let charged = self.buffer_store(lat);
+            self.charge(TimeCategory::Store, charged);
+        }
+        let a = addr.offset((words - 1) * 8);
+        let mut out = None;
+        let lat = {
+            let out_ref = &mut out;
+            self.seq(move |st, now, core| {
+                let l = st.mem.store(core, a, now);
+                *out_ref = Some(f());
+                l
+            })
+        };
+        let lat = self.mem_latency(lat);
+        let charged = self.buffer_store(lat);
+        self.charge(TimeCategory::Store, charged);
+        self.instructions += words;
+        out.expect("functional closure ran")
+    }
+
+    /// Stores one word at `addr` for timing only.
+    pub fn store(&mut self, addr: Addr) {
+        self.store_words(addr, 1, || ());
+    }
+
+    /// Atomic read-modify-write of the word at `addr`; `f` applies the
+    /// functional effect atomically under the global token. Atomics have
+    /// release semantics: the store buffer drains first.
+    pub fn amo_word<R>(&mut self, addr: Addr, f: impl FnOnce() -> R) -> R {
+        let drain = self.drain_store_buffer();
+        self.charge(TimeCategory::Atomic, drain);
+        let mut out = None;
+        let lat = {
+            let out_ref = &mut out;
+            self.seq(move |st, now, core| {
+                let l = st.mem.amo(core, addr, now);
+                *out_ref = Some(f());
+                l
+            })
+        };
+        let lat = self.mem_latency(lat);
+        self.charge(TimeCategory::Atomic, lat);
+        self.instructions += 1;
+        out.expect("functional closure ran")
+    }
+
+    /// Bulk self-invalidation of clean data in this core's L1
+    /// (`cache_invalidate`; a no-op under MESI). Returns lines invalidated.
+    pub fn invalidate_cache(&mut self) -> u64 {
+        let (lat, lines) = self.seq(|st, now, core| st.mem.invalidate_all(core, now));
+        self.charge(TimeCategory::Invalidate, lat);
+        self.instructions += 1;
+        lines
+    }
+
+    /// Bulk write-back of dirty data in this core's L1 (`cache_flush`; a
+    /// no-op under MESI/DeNovo, a store-buffer drain under GPU-WT). Returns
+    /// lines flushed.
+    pub fn flush_cache(&mut self) -> u64 {
+        let drain = self.drain_store_buffer();
+        self.charge(TimeCategory::Flush, drain);
+        let (lat, lines) = self.seq(|st, now, core| st.mem.flush_all(core, now));
+        self.charge(TimeCategory::Flush, lat);
+        self.instructions += 1;
+        lines
+    }
+
+    // ------------------------------------------------------------------
+    // User-level interrupts
+    // ------------------------------------------------------------------
+
+    /// Installs the ULI handler for this core (the runtime's steal handler).
+    pub fn set_uli_handler(&mut self, handler: UliHandler) {
+        self.handler = Some(handler);
+    }
+
+    /// Enables ULI reception.
+    pub fn uli_enable(&mut self) {
+        self.seq(|st, _, core| st.uli.set_enabled(core, true));
+        self.charge(TimeCategory::Uli, 1);
+        self.instructions += 1;
+    }
+
+    /// Disables ULI reception (requests arriving while disabled are NACKed
+    /// or deferred per the ULI network model).
+    pub fn uli_disable(&mut self) {
+        self.seq(|st, _, core| st.uli.set_enabled(core, false));
+        self.charge(TimeCategory::Uli, 1);
+        self.instructions += 1;
+    }
+
+    /// Sends a ULI request to `victim`. On NACK the core stalls until the
+    /// NACK returns. The response must be collected with
+    /// [`CorePort::uli_poll_response`].
+    pub fn uli_send_request(&mut self, victim: usize, payload: u64) -> UliOutcome {
+        let out = self.seq(move |st, now, core| st.uli.try_send_request(core, victim, payload, now));
+        self.charge(TimeCategory::Uli, 1);
+        self.instructions += 1;
+        if let UliOutcome::Nack { reply_at } = out {
+            let wait = reply_at.saturating_sub(self.clock);
+            self.charge(TimeCategory::UliWait, wait);
+        }
+        out
+    }
+
+    /// Sends a ULI response back to `thief` (from inside a handler).
+    pub fn uli_send_response(&mut self, thief: usize, payload: u64) {
+        self.seq(move |st, now, core| st.uli.send_response(core, thief, payload, now));
+        self.charge(TimeCategory::Uli, 1);
+        self.instructions += 1;
+    }
+
+    /// Collects a ULI response if one has arrived.
+    pub fn uli_poll_response(&mut self) -> Option<UliMessage> {
+        let msg = self.seq(|st, now, core| st.uli.take_response(core, now));
+        self.charge(TimeCategory::UliWait, 1);
+        self.instructions += 1;
+        msg
+    }
+
+    /// Explicitly polls for an incoming ULI request and services it (used in
+    /// wait loops; ordinary sequenced operations poll automatically).
+    pub fn uli_poll(&mut self) {
+        if self.handler.is_none() || self.in_handler {
+            return;
+        }
+        let msg = self.seq(|st, now, core| st.uli.take_request(core, now));
+        if let Some(m) = msg {
+            self.dispatch_uli(m);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program lifecycle
+    // ------------------------------------------------------------------
+
+    /// Signals global completion (called by the main worker when the
+    /// program's root task finishes).
+    pub fn set_done(&mut self) {
+        self.seq(|st, now, _| {
+            st.done = true;
+            st.done_time = st.done_time.max(now);
+        });
+    }
+
+    /// Whether global completion has been signalled.
+    pub fn is_done(&mut self) -> bool {
+        let d = self.seq(|st, _, _| st.done);
+        self.charge(TimeCategory::Idle, 1);
+        d
+    }
+
+    pub(crate) fn into_report(self) -> (u64, TimeBreakdown, u64, Vec<crate::trace::TraceEvent>) {
+        (self.clock, self.breakdown, self.instructions, self.trace.unwrap_or_default())
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic min-time token sequencing of simulated cores.
+//!
+//! Each simulated core runs on its own OS thread so that arbitrarily nested
+//! task execution keeps a real call stack, but **at most one core thread
+//! executes at a time**: before any operation that touches shared simulated
+//! state, a core enters the sequencer with its local clock and is granted
+//! the token only when it holds the globally minimum `(time, core_id)`.
+//! This makes the whole simulation a single logical thread of execution in
+//! simulated-time order — bit-for-bit deterministic and free of data races
+//! by construction.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+
+#[derive(Debug)]
+struct Inner {
+    /// Cores blocked in `enter`, keyed by (time, core) for min dispatch.
+    waiting: BTreeSet<(u64, usize)>,
+    /// Cores currently executing user code (not waiting, not retired).
+    running: usize,
+    /// Core currently granted the token (inside its sequenced section or
+    /// running user code after `leave`).
+    current: Option<usize>,
+    poisoned: bool,
+}
+
+/// The token scheduler. See the module docs.
+#[derive(Debug)]
+pub struct Sequencer {
+    inner: Mutex<Inner>,
+    cvs: Box<[Condvar]>,
+}
+
+impl Sequencer {
+    /// Creates a sequencer for `num_cores` cores, all initially running.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0);
+        Sequencer {
+            inner: Mutex::new(Inner {
+                waiting: BTreeSet::new(),
+                running: num_cores,
+                current: None,
+                poisoned: false,
+            }),
+            cvs: (0..num_cores).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    fn dispatch(&self, inner: &mut Inner) {
+        debug_assert!(inner.current.is_none());
+        if let Some(&(_, core)) = inner.waiting.iter().next() {
+            inner.current = Some(core);
+            self.cvs[core].notify_one();
+        }
+    }
+
+    /// Blocks until `core` (at simulated time `time`) holds the global
+    /// minimum and is granted the token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation was poisoned by a panic on another core.
+    pub fn enter(&self, core: usize, time: u64) {
+        let mut g = self.inner.lock();
+        assert!(!g.poisoned, "simulation poisoned by a panic on another core");
+        g.waiting.insert((time, core));
+        g.running -= 1;
+        if g.running == 0 {
+            self.dispatch(&mut g);
+        }
+        while g.current != Some(core) {
+            self.cvs[core].wait(&mut g);
+            assert!(!g.poisoned, "simulation poisoned by a panic on another core");
+        }
+        let removed = g.waiting.remove(&(time, core));
+        debug_assert!(removed, "granted core must be in the waiting set");
+        g.running += 1;
+    }
+
+    /// Releases the token after a sequenced section. The core keeps running
+    /// user code exclusively until its next `enter`.
+    pub fn leave(&self, core: usize) {
+        let mut g = self.inner.lock();
+        if g.poisoned {
+            return;
+        }
+        debug_assert_eq!(g.current, Some(core), "leave() by a core that does not hold the token");
+        g.current = None;
+    }
+
+    /// Removes `core` from the simulation (its worker returned).
+    pub fn retire(&self, _core: usize) {
+        let mut g = self.inner.lock();
+        if g.poisoned {
+            return;
+        }
+        g.running -= 1;
+        if g.running == 0 && g.current.is_none() {
+            self.dispatch(&mut g);
+        }
+    }
+
+    /// Marks the simulation as failed (a core panicked) and wakes every
+    /// waiting core so its `enter` panics too, unwinding all threads.
+    pub fn poison(&self) {
+        let mut g = self.inner.lock();
+        g.poisoned = true;
+        for cv in self.cvs.iter() {
+            cv.notify_all();
+        }
+    }
+
+    /// Whether the simulation has been poisoned.
+    #[cfg(test)]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Three cores perform interleaved sequenced ops; the observed global
+    /// order must be exactly ascending (time, core).
+    #[test]
+    fn grants_follow_time_order() {
+        let seq = Arc::new(Sequencer::new(3));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for core in 0..3usize {
+            let seq = Arc::clone(&seq);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                let mut t = core as u64; // staggered start times
+                for _ in 0..50 {
+                    seq.enter(core, t);
+                    log.lock().push((t, core));
+                    seq.leave(core);
+                    t += 3; // all cores advance at the same rate
+                }
+                seq.retire(core);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = log.lock();
+        assert_eq!(log.len(), 150);
+        let mut sorted = log.clone();
+        sorted.sort();
+        assert_eq!(*log, sorted, "grants must be in global (time, core) order");
+    }
+
+    #[test]
+    fn single_core_never_blocks() {
+        let seq = Sequencer::new(1);
+        for t in 0..10 {
+            seq.enter(0, t);
+            seq.leave(0);
+        }
+        seq.retire(0);
+    }
+
+    #[test]
+    fn retire_unblocks_waiters() {
+        let seq = Arc::new(Sequencer::new(2));
+        let seq2 = Arc::clone(&seq);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            // Core 1 waits at a later time than core 0 will ever reach; it
+            // can only be granted after core 0 retires.
+            seq2.enter(1, 1_000_000);
+            done2.store(1, Ordering::SeqCst);
+            seq2.leave(1);
+            seq2.retire(1);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "core 1 must still be waiting");
+        seq.retire(0);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn poison_unblocks_with_panic() {
+        let seq = Arc::new(Sequencer::new(2));
+        let seq2 = Arc::clone(&seq);
+        let h = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                seq2.enter(1, 42);
+            }));
+            assert!(r.is_err(), "poisoned enter must panic");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        seq.poison();
+        h.join().unwrap();
+        assert!(seq.is_poisoned());
+    }
+
+    #[test]
+    fn ties_break_by_core_id() {
+        let seq = Arc::new(Sequencer::new(2));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for core in [1usize, 0usize] {
+            let seq = Arc::clone(&seq);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                seq.enter(core, 5);
+                log.lock().push(core);
+                seq.leave(core);
+                seq.retire(core);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*log.lock(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulated address space and typed shared data.
+//!
+//! Applications and the runtime operate on real Rust values (so results can
+//! be checked functionally) that are *paired with simulated addresses* (so
+//! every access produces the right cache/coherence/network behaviour).
+//! [`ShVec`] is the core abstraction: a shared, fixed-length array whose
+//! element accesses go through a [`CorePort`](crate::CorePort) and therefore
+//! cost simulated time and traffic.
+
+use parking_lot::RwLock;
+
+use bigtiny_coherence::Addr;
+
+use crate::port::CorePort;
+
+/// A bump allocator for simulated physical addresses.
+///
+/// Allocation only assigns address ranges; there is no simulated backing
+/// store to initialize (functional data lives in the [`ShVec`]s themselves).
+#[derive(Debug)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// Creates an empty address space (allocation starts above page zero).
+    pub fn new() -> Self {
+        AddrSpace { next: 0x1_0000 }
+    }
+
+    /// Reserves `bytes` with the given power-of-two `align`ment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn reserve(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.next = (self.next + align - 1) & !(align - 1);
+        let base = self.next;
+        self.next += bytes;
+        Addr(base)
+    }
+
+    /// Reserves a line-aligned region (64-byte alignment), the common case
+    /// for arrays whose false sharing we do not want to model accidentally.
+    pub fn reserve_lines(&mut self, bytes: u64) -> Addr {
+        self.reserve(bytes, 64)
+    }
+
+    /// Total bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Number of 8-byte words an element of size `bytes` occupies.
+fn words_for(bytes: usize) -> u64 {
+    (bytes.max(1) as u64).div_ceil(8)
+}
+
+/// A shared, fixed-length array in simulated memory.
+///
+/// Elements are word-aligned (stride is `size_of::<T>()` rounded up to 8
+/// bytes), so neighbouring elements of small types share cache lines just
+/// as a real array of words would. All simulated accesses take a
+/// [`CorePort`] and charge the issuing core the modelled latency; the
+/// functional value is read/written under the engine's global token, making
+/// the data race-free.
+///
+/// Host-side accessors ([`ShVec::snapshot`], [`ShVec::host_write`]) are for
+/// setup and verification outside simulation; they take the same lock, so
+/// they are safe (though meaningless for timing) at any point.
+#[derive(Debug)]
+pub struct ShVec<T> {
+    base: u64,
+    stride: u64,
+    data: RwLock<Box<[T]>>,
+}
+
+impl<T: Clone + Send + Sync> ShVec<T> {
+    /// Allocates a length-`len` array filled with `init` at a fresh
+    /// simulated address.
+    pub fn new(space: &mut AddrSpace, len: usize, init: T) -> Self {
+        Self::from_vec(space, vec![init; len])
+    }
+
+    /// Allocates an array with the given initial contents.
+    pub fn from_vec(space: &mut AddrSpace, data: Vec<T>) -> Self {
+        let stride = words_for(std::mem::size_of::<T>()) * 8;
+        let base = space.reserve_lines(stride * data.len().max(1) as u64);
+        ShVec { base: base.0, stride, data: RwLock::new(data.into_boxed_slice()) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulated address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        Addr(self.base + i as u64 * self.stride)
+    }
+
+    /// Words per element (each one is a separate simulated access).
+    fn words(&self) -> u64 {
+        self.stride / 8
+    }
+
+    /// Simulated load of element `i` by the core behind `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn read(&self, cpu: &mut CorePort, i: usize) -> T {
+        cpu.load_words(self.addr(i), self.words(), || self.data.read()[i].clone())
+    }
+
+    /// Simulated load of element `i` that tolerates stale data on real
+    /// hardware: identical timing, but exempt from the staleness checker.
+    /// Use only where the algorithm is correct under stale reads (e.g.
+    /// Ligra's monotone relaxations, where a CAS/AMO decides the winner).
+    pub fn read_racy(&self, cpu: &mut CorePort, i: usize) -> T {
+        cpu.load_words_racy(self.addr(i), self.words(), || self.data.read()[i].clone())
+    }
+
+    /// Simulated store of `v` into element `i`.
+    pub fn write(&self, cpu: &mut CorePort, i: usize, v: T) {
+        cpu.store_words(self.addr(i), self.words(), || self.data.write()[i] = v);
+    }
+
+    /// Simulated atomic read-modify-write of element `i`: applies `f` to the
+    /// element under the AMO timing path and returns `f`'s result.
+    pub fn amo<R>(&self, cpu: &mut CorePort, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let addr = self.addr(i);
+        cpu.amo_word(addr, || f(&mut self.data.write()[i]))
+    }
+
+    /// Simulated compare-and-swap (an AMO): if element `i` equals
+    /// `expected`, replaces it with `new` and returns `true`.
+    pub fn cas(&self, cpu: &mut CorePort, i: usize, expected: T, new: T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.amo(cpu, i, |v| {
+            if *v == expected {
+                *v = new;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Host-side (non-simulated) read, for setup and verification.
+    pub fn host_read(&self, i: usize) -> T {
+        self.data.read()[i].clone()
+    }
+
+    /// Host-side (non-simulated) write, for setup.
+    pub fn host_write(&self, i: usize, v: T) {
+        self.data.write()[i] = v;
+    }
+
+    /// Host-side copy of the whole array, for verification after a run.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.data.read().to_vec()
+    }
+}
+
+/// A single shared value in simulated memory (a length-1 [`ShVec`]).
+#[derive(Debug)]
+pub struct ShScalar<T> {
+    inner: ShVec<T>,
+}
+
+impl<T: Clone + Send + Sync> ShScalar<T> {
+    /// Allocates the scalar with initial value `init`.
+    pub fn new(space: &mut AddrSpace, init: T) -> Self {
+        ShScalar { inner: ShVec::new(space, 1, init) }
+    }
+
+    /// Simulated address of the value.
+    pub fn addr(&self) -> Addr {
+        self.inner.addr(0)
+    }
+
+    /// Simulated load.
+    pub fn read(&self, cpu: &mut CorePort) -> T {
+        self.inner.read(cpu, 0)
+    }
+
+    /// Simulated store.
+    pub fn write(&self, cpu: &mut CorePort, v: T) {
+        self.inner.write(cpu, 0, v)
+    }
+
+    /// Simulated atomic read-modify-write.
+    pub fn amo<R>(&self, cpu: &mut CorePort, f: impl FnOnce(&mut T) -> R) -> R {
+        self.inner.amo(cpu, 0, f)
+    }
+
+    /// Host-side read for verification.
+    pub fn host_read(&self) -> T {
+        self.inner.host_read(0)
+    }
+
+    /// Host-side write for setup.
+    pub fn host_write(&self, v: T) {
+        self.inner.host_write(0, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_respects_alignment() {
+        let mut s = AddrSpace::new();
+        s.reserve(3, 1);
+        let a = s.reserve(10, 64);
+        assert_eq!(a.0 % 64, 0);
+        let b = s.reserve(1, 8);
+        assert!(b.0 >= a.0 + 10);
+    }
+
+    #[test]
+    fn shvec_addresses_are_word_strided() {
+        let mut s = AddrSpace::new();
+        let v: ShVec<u32> = ShVec::new(&mut s, 10, 0);
+        // u32 elements still occupy one word each.
+        assert_eq!(v.addr(1).0 - v.addr(0).0, 8);
+        let w: ShVec<[u64; 3]> = ShVec::new(&mut s, 4, [0; 3]);
+        assert_eq!(w.addr(1).0 - w.addr(0).0, 24);
+        assert_ne!(v.addr(0).line(), w.addr(0).line(), "distinct allocations");
+    }
+
+    #[test]
+    fn host_access_round_trips() {
+        let mut s = AddrSpace::new();
+        let v = ShVec::from_vec(&mut s, vec![1u64, 2, 3]);
+        assert_eq!(v.len(), 3);
+        v.host_write(1, 42);
+        assert_eq!(v.host_read(1), 42);
+        assert_eq!(v.snapshot(), vec![1, 42, 3]);
+    }
+
+    #[test]
+    fn scalar_wraps_single_element() {
+        let mut s = AddrSpace::new();
+        let x = ShScalar::new(&mut s, 7i64);
+        assert_eq!(x.host_read(), 7);
+        x.host_write(-1);
+        assert_eq!(x.host_read(), -1);
+        assert_eq!(x.addr().0 % 8, 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! System assembly and the simulation driver.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bigtiny_coherence::{CoreMemStats, MemorySystem};
+use bigtiny_mesh::{TrafficStats, UliNetwork};
+
+use crate::breakdown::TimeBreakdown;
+use crate::config::SystemConfig;
+use crate::port::CorePort;
+use crate::sequencer::Sequencer;
+
+/// All mutable simulated state, accessed only under the sequencer token.
+pub(crate) struct GlobalState {
+    pub mem: MemorySystem,
+    pub uli: UliNetwork,
+    pub done: bool,
+    pub done_time: u64,
+}
+
+/// State shared by every core thread.
+pub(crate) struct Shared {
+    pub seq: Sequencer,
+    pub state: Mutex<GlobalState>,
+}
+
+/// A worker body: the code one simulated core runs.
+pub type Worker = Box<dyn FnOnce(&mut CorePort) + Send + 'static>;
+
+/// Summary of the ULI network's activity during a run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct UliReport {
+    /// Total ULI messages (requests, responses, NACKs).
+    pub messages: u64,
+    /// NACKed steal requests.
+    pub nacks: u64,
+    /// Mean message latency in cycles.
+    pub mean_latency: f64,
+    /// Mean message hop count.
+    pub mean_hops: f64,
+    /// ULI bytes transferred.
+    pub bytes: u64,
+    /// Link utilization of the ULI mesh over the run, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Everything measured during one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Name of the configuration that produced this run.
+    pub config_name: String,
+    /// Cycle at which the program signalled completion.
+    pub completion_cycles: u64,
+    /// Final local clock of each core.
+    pub core_cycles: Vec<u64>,
+    /// Execution-time breakdown of each core.
+    pub breakdowns: Vec<TimeBreakdown>,
+    /// Instructions retired by each core.
+    pub instructions: Vec<u64>,
+    /// Per-core memory statistics.
+    pub mem_stats: Vec<CoreMemStats>,
+    /// Data-OCN traffic.
+    pub traffic: TrafficStats,
+    /// ULI network summary.
+    pub uli: UliReport,
+    /// Stale reads detected (must be zero for a correct runtime).
+    pub stale_reads: u64,
+    /// Per-core execution traces (empty unless `SystemConfig::trace`).
+    pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+}
+
+impl RunReport {
+    /// Total instructions retired across all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+
+    /// Aggregate L1D hit rate over the given cores.
+    pub fn l1d_hit_rate(&self, cores: &[usize]) -> f64 {
+        bigtiny_coherence::aggregate(cores.iter().map(|c| &self.mem_stats[*c])).l1d_hit_rate()
+    }
+
+    /// Aggregate memory stats over the given cores.
+    pub fn mem_stats_over(&self, cores: &[usize]) -> CoreMemStats {
+        bigtiny_coherence::aggregate(cores.iter().map(|c| &self.mem_stats[*c]))
+    }
+
+    /// Aggregate time breakdown over the given cores.
+    pub fn breakdown_over(&self, cores: &[usize]) -> TimeBreakdown {
+        let mut total = TimeBreakdown::new();
+        for c in cores {
+            total += self.breakdowns[*c];
+        }
+        total
+    }
+
+    /// Total data-OCN bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.traffic.total_data_bytes()
+    }
+}
+
+const POISON_MSG: &str = "simulation poisoned by a panic on another core";
+
+/// Runs `workers[i]` on core `i` of a system configured by `config` and
+/// collects a [`RunReport`].
+///
+/// The simulation is deterministic: the same configuration (including its
+/// seed) and the same worker code produce identical reports.
+///
+/// # Panics
+///
+/// Panics if `workers.len() != config.num_cores()`, or re-raises the first
+/// panic raised by any worker.
+pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
+    assert_eq!(workers.len(), config.num_cores(), "one worker per core required");
+    let num_cores = config.num_cores();
+    let shared = Arc::new(Shared {
+        seq: Sequencer::new(num_cores),
+        state: Mutex::new(GlobalState {
+            mem: MemorySystem::new(&config.mem_config()),
+            uli: UliNetwork::new(config.topology(), num_cores),
+            done: false,
+            done_time: 0,
+        }),
+    });
+
+    type PortReports = Arc<Mutex<Vec<Option<(u64, TimeBreakdown, u64, Vec<crate::trace::TraceEvent>)>>>>;
+    let reports: PortReports = Arc::new(Mutex::new(vec![None; num_cores]));
+    let panics: Arc<Mutex<Vec<Box<dyn std::any::Any + Send>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::with_capacity(num_cores);
+    for (core, worker) in workers.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let reports = Arc::clone(&reports);
+        let panics = Arc::clone(&panics);
+        let kind = config.cores[core].kind;
+        let seed = config.seed;
+        let issue_width = config.big_issue_width;
+        let overlap_div = config.big_overlap_div;
+        let uli_cost = match kind {
+            crate::config::CoreKind::Big => config.uli_cost_big,
+            crate::config::CoreKind::Tiny => config.uli_cost_tiny,
+        };
+        let trace = config.trace;
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-core-{core}"))
+            .stack_size(32 * 1024 * 1024)
+            .spawn(move || {
+                let mut port = CorePort::new(
+                    core,
+                    kind,
+                    Arc::clone(&shared),
+                    seed,
+                    issue_width,
+                    overlap_div,
+                    uli_cost,
+                    num_cores,
+                );
+                if trace {
+                    port.enable_trace();
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker(&mut port);
+                }));
+                match result {
+                    Ok(()) => {
+                        shared.seq.retire(core);
+                        reports.lock()[core] = Some(port.into_report());
+                    }
+                    Err(payload) => {
+                        panics.lock().push(payload);
+                        shared.seq.poison();
+                    }
+                }
+            })
+            .expect("spawn simulated core thread");
+        handles.push(handle);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    // Re-raise the most meaningful panic (prefer original over cascaded
+    // poison panics).
+    let mut panics = std::mem::take(&mut *panics.lock());
+    if !panics.is_empty() {
+        let idx = panics
+            .iter()
+            .position(|p| {
+                p.downcast_ref::<&str>().is_none_or(|s| !s.contains(POISON_MSG))
+                    && p.downcast_ref::<String>().is_none_or(|s| !s.contains(POISON_MSG))
+            })
+            .unwrap_or(0);
+        std::panic::resume_unwind(panics.swap_remove(idx));
+    }
+
+    let reports = std::mem::take(&mut *reports.lock());
+    let mut core_cycles = Vec::with_capacity(num_cores);
+    let mut breakdowns = Vec::with_capacity(num_cores);
+    let mut instructions = Vec::with_capacity(num_cores);
+    let mut traces = Vec::with_capacity(num_cores);
+    for r in reports {
+        let (clock, breakdown, insts, trace) = r.expect("every worker reported");
+        core_cycles.push(clock);
+        breakdowns.push(breakdown);
+        instructions.push(insts);
+        traces.push(trace);
+    }
+
+    let st = shared.state.lock();
+    let completion =
+        if st.done_time > 0 { st.done_time } else { core_cycles.iter().copied().max().unwrap_or(0) };
+    let uli_links = {
+        let r = config.topology().rows() as u64;
+        let c = config.topology().cols() as u64;
+        2 * (r * (c - 1) + c * (r - 1)).max(1)
+    };
+    let uli = UliReport {
+        messages: st.uli.message_count(),
+        nacks: st.uli.nack_count(),
+        mean_latency: st.uli.mean_latency(),
+        mean_hops: st.uli.mean_hops(),
+        bytes: st.uli.stats().bytes(bigtiny_mesh::TrafficClass::Uli),
+        utilization: st.uli.stats().utilization(completion.max(1), uli_links),
+    };
+    RunReport {
+        config_name: config.name.clone(),
+        completion_cycles: completion,
+        core_cycles,
+        breakdowns,
+        instructions,
+        mem_stats: st.mem.all_stats().to_vec(),
+        traffic: *st.mem.traffic(),
+        uli,
+        stale_reads: st.mem.total_stale_reads(),
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{AddrSpace, ShScalar, ShVec};
+    use bigtiny_coherence::Protocol;
+    use bigtiny_mesh::UliOutcome;
+
+    fn small_config(tiny_proto: Protocol) -> SystemConfig {
+        let mut c = SystemConfig::big_tiny(
+            "test4",
+            bigtiny_mesh::MeshConfig::with_topology(bigtiny_mesh::Topology::new(2, 2)),
+            1,
+            3,
+            tiny_proto,
+        );
+        c.seed = 1234;
+        c
+    }
+
+    /// Four cores sum disjoint slices of a shared vector.
+    fn parallel_sum(tiny_proto: Protocol) -> RunReport {
+        let config = small_config(tiny_proto);
+        let mut space = AddrSpace::new();
+        let n = 256;
+        let data = Arc::new(ShVec::from_vec(&mut space, (0..n as u64).collect()));
+        let out = Arc::new(ShVec::new(&mut space, 4, 0u64));
+        let done = Arc::new(ShScalar::new(&mut space, 0u64));
+
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            let data = Arc::clone(&data);
+            let out = Arc::clone(&out);
+            let done = Arc::clone(&done);
+            workers.push(Box::new(move |port| {
+                let chunk = n / 4;
+                let mut sum = 0u64;
+                for i in core * chunk..(core + 1) * chunk {
+                    sum += data.read(port, i);
+                    port.advance(2);
+                }
+                out.write(port, core, sum);
+                port.flush_cache();
+                done.amo(port, |d| *d += 1);
+                if core == 0 {
+                    // Main core waits for everyone then signals completion.
+                    while done.amo(port, |d| *d) < 4 {
+                        port.idle(20);
+                    }
+                    port.set_done();
+                }
+            }));
+        }
+        let report = run_system(&config, workers);
+        let total: u64 = out.snapshot().iter().sum();
+        assert_eq!(total, (0..n as u64).sum::<u64>(), "functional result correct");
+        report
+    }
+
+    #[test]
+    fn parallel_sum_runs_on_all_protocols() {
+        for proto in [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
+            let r = parallel_sum(proto);
+            assert!(r.completion_cycles > 0);
+            assert!(r.total_instructions() > 4 * 64 * 2);
+            assert!(r.traffic.total_data_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = parallel_sum(Protocol::GpuWb);
+        let b = parallel_sum(Protocol::GpuWb);
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let config = small_config(Protocol::Mesi);
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            workers.push(Box::new(move |port| {
+                let mut t = 0;
+                loop {
+                    port.idle(10);
+                    t += 1;
+                    if core == 2 && t == 5 {
+                        panic!("worker exploded");
+                    }
+                    if t > 1000 {
+                        return;
+                    }
+                }
+            }));
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
+        let err = r.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("worker exploded"), "got: {msg}");
+    }
+
+    /// A two-party ULI steal handshake through the engine.
+    #[test]
+    fn uli_request_response_round_trip() {
+        let config = small_config(Protocol::GpuWb);
+        let mut space = AddrSpace::new();
+        let mailbox = Arc::new(ShVec::new(&mut space, 4, 0u64));
+
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            let mailbox = Arc::clone(&mailbox);
+            workers.push(Box::new(move |port| {
+                match core {
+                    1 => {
+                        // Victim: install a handler that writes to the
+                        // thief's mailbox and responds; then compute.
+                        let mb = Arc::clone(&mailbox);
+                        port.set_uli_handler(Box::new(move |p, msg| {
+                            mb.write(p, msg.from, 0xfeed);
+                            // Figure 3(c) line 52: flush after writing the
+                            // stolen task so the thief sees it.
+                            p.flush_cache();
+                            p.uli_send_response(msg.from, 1);
+                        }));
+                        port.uli_enable();
+                        for _ in 0..200 {
+                            port.advance(5);
+                            port.load(bigtiny_coherence::Addr(0x9000));
+                        }
+                        port.uli_disable();
+                    }
+                    2 => {
+                        // Thief: wait a bit, then steal from core 1.
+                        port.idle(50);
+                        let out = port.uli_send_request(1, 42);
+                        assert_eq!(out, UliOutcome::Sent);
+                        let resp = loop {
+                            if let Some(m) = port.uli_poll_response() {
+                                break m;
+                            }
+                            port.idle(4);
+                        };
+                        assert_eq!(resp.from, 1);
+                        assert_eq!(resp.payload, 1);
+                        let got = mailbox.read(port, 2);
+                        assert_eq!(got, 0xfeed, "victim delivered through shared memory");
+                        port.set_done();
+                    }
+                    _ => {
+                        port.idle(1);
+                    }
+                }
+            }));
+        }
+        let r = run_system(&config, workers);
+        assert!(r.uli.messages >= 2);
+        assert_eq!(r.stale_reads, 0);
+    }
+
+    #[test]
+    fn uli_nack_when_disabled() {
+        let config = small_config(Protocol::GpuWb);
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            workers.push(Box::new(move |port| {
+                if core == 2 {
+                    port.idle(10);
+                    let out = port.uli_send_request(3, 0);
+                    assert!(matches!(out, UliOutcome::Nack { .. }), "victim never enabled ULI");
+                    port.set_done();
+                } else {
+                    port.idle(500);
+                }
+            }));
+        }
+        let r = run_system(&config, workers);
+        assert_eq!(r.uli.nacks, 1);
+    }
+
+    #[test]
+    fn completion_time_is_done_time_not_stragglers() {
+        let config = small_config(Protocol::Mesi);
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            workers.push(Box::new(move |port| {
+                if core == 0 {
+                    port.idle(100);
+                    port.set_done();
+                } else {
+                    port.idle(10_000); // stragglers idle long past completion
+                }
+            }));
+        }
+        let r = run_system(&config, workers);
+        assert!(r.completion_cycles >= 100 && r.completion_cycles < 1000, "{}", r.completion_cycles);
+    }
+}

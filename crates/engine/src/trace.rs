@@ -1,0 +1,128 @@
+//! Optional per-core execution traces and an ASCII timeline renderer.
+//!
+//! When [`SystemConfig::trace`](crate::SystemConfig) is enabled, every
+//! charge to a core's clock is recorded as a [`TraceEvent`]; the collected
+//! traces come back in [`RunReport::traces`](crate::RunReport) and can be
+//! rendered as a per-core timeline with [`render_timeline`] — handy for
+//! seeing steal storms, flush stalls, or idle tails at a glance.
+
+use crate::breakdown::TimeCategory;
+
+/// One contiguous span of a core's time attributed to a single category.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub cycles: u64,
+    /// What the core was doing.
+    pub category: TimeCategory,
+}
+
+/// Single-character glyph per category for the timeline.
+fn glyph(cat: TimeCategory) -> char {
+    match cat {
+        TimeCategory::Compute => '#',
+        TimeCategory::Load => 'L',
+        TimeCategory::Store => 'S',
+        TimeCategory::Atomic => 'A',
+        TimeCategory::Flush => 'F',
+        TimeCategory::Invalidate => 'I',
+        TimeCategory::Uli => 'U',
+        TimeCategory::UliWait => 'w',
+        TimeCategory::Idle => '.',
+    }
+}
+
+/// Renders per-core traces as an ASCII timeline covering
+/// `[from, from + columns * cycles_per_col)`; each column shows the
+/// category that dominated that time slice (' ' = nothing recorded).
+///
+/// # Panics
+///
+/// Panics if `cycles_per_col` or `columns` is zero.
+pub fn render_timeline(
+    traces: &[Vec<TraceEvent>],
+    from: u64,
+    cycles_per_col: u64,
+    columns: usize,
+) -> String {
+    assert!(cycles_per_col > 0 && columns > 0);
+    let mut out = String::new();
+    let to = from + cycles_per_col * columns as u64;
+    out.push_str(&format!(
+        "cycles {from}..{to} ({cycles_per_col}/col)  legend: #=compute L=load S=store A=atomic F=flush I=inv U=uli w=uli-wait .=idle\n"
+    ));
+    for (core, trace) in traces.iter().enumerate() {
+        let mut buckets = vec![[0u64; 9]; columns];
+        for ev in trace {
+            if ev.cycles == 0 || ev.start >= to || ev.start + ev.cycles <= from {
+                continue;
+            }
+            let s = ev.start.max(from);
+            let e = (ev.start + ev.cycles).min(to);
+            let cat_idx = crate::breakdown::TIME_CATEGORIES
+                .iter()
+                .position(|c| *c == ev.category)
+                .expect("listed category");
+            let mut c = s;
+            while c < e {
+                let col = ((c - from) / cycles_per_col) as usize;
+                let col_end = from + (col as u64 + 1) * cycles_per_col;
+                let span = e.min(col_end) - c;
+                buckets[col][cat_idx] += span;
+                c += span;
+            }
+        }
+        let row: String = buckets
+            .iter()
+            .map(|b| {
+                match b.iter().enumerate().max_by_key(|(_, v)| **v) {
+                    Some((i, v)) if *v > 0 => glyph(crate::breakdown::TIME_CATEGORIES[i]),
+                    _ => ' ',
+                }
+            })
+            .collect();
+        out.push_str(&format!("core {core:>3} |{row}|\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_buckets_dominant_category() {
+        let traces = vec![vec![
+            TraceEvent { start: 0, cycles: 10, category: TimeCategory::Compute },
+            TraceEvent { start: 10, cycles: 30, category: TimeCategory::Load },
+            TraceEvent { start: 40, cycles: 60, category: TimeCategory::Idle },
+        ]];
+        let s = render_timeline(&traces, 0, 10, 10);
+        let row = s.lines().nth(1).unwrap();
+        let cells: Vec<char> = row.chars().skip_while(|c| *c != '|').skip(1).take(10).collect();
+        assert_eq!(cells[0], '#');
+        assert_eq!(cells[1], 'L');
+        assert_eq!(cells[2], 'L');
+        assert_eq!(cells[3], 'L');
+        assert_eq!(cells[4], '.');
+        assert_eq!(cells[9], '.');
+    }
+
+    #[test]
+    fn events_spanning_columns_are_split() {
+        let traces = vec![vec![TraceEvent { start: 5, cycles: 10, category: TimeCategory::Flush }]];
+        let s = render_timeline(&traces, 0, 10, 2);
+        let row = s.lines().nth(1).unwrap();
+        // 5 cycles in each column: flush dominates both (nothing else).
+        assert!(row.contains("FF"), "{row}");
+    }
+
+    #[test]
+    fn empty_trace_renders_blank() {
+        let traces = vec![Vec::new()];
+        let s = render_timeline(&traces, 0, 10, 4);
+        assert!(s.lines().nth(1).unwrap().contains("|    |"));
+    }
+}

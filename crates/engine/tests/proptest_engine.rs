@@ -1,0 +1,171 @@
+//! Property tests of the simulation engine: accounting invariants, shared-
+//! array semantics, and determinism under arbitrary operation streams.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bigtiny_engine::{
+    run_system, AddrSpace, Protocol, RunReport, ShVec, SystemConfig, TimeCategory, Worker,
+};
+use bigtiny_mesh::{MeshConfig, Topology};
+
+#[derive(Clone, Copy, Debug)]
+enum PortOp {
+    Advance(u16),
+    Load(u16),
+    Store(u16),
+    Amo(u16),
+    Invalidate,
+    Flush,
+    Idle(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = PortOp> {
+    prop_oneof![
+        (1u16..300).prop_map(PortOp::Advance),
+        (0u16..64).prop_map(PortOp::Load),
+        (0u16..64).prop_map(PortOp::Store),
+        (0u16..16).prop_map(PortOp::Amo),
+        Just(PortOp::Invalidate),
+        Just(PortOp::Flush),
+        (1u16..50).prop_map(PortOp::Idle),
+    ]
+}
+
+fn sys(tiny: Protocol) -> SystemConfig {
+    SystemConfig::big_tiny("prop", MeshConfig::with_topology(Topology::new(2, 2)), 1, 3, tiny)
+}
+
+fn run_ops(tiny: Protocol, per_core_ops: &[Vec<PortOp>]) -> RunReport {
+    let config = sys(tiny);
+    let mut space = AddrSpace::new();
+    let data = Arc::new(ShVec::new(&mut space, 64, 0u64));
+    let mut workers: Vec<Worker> = Vec::new();
+    for ops in per_core_ops.iter().cloned() {
+        let data = Arc::clone(&data);
+        workers.push(Box::new(move |port| {
+            for op in ops {
+                match op {
+                    PortOp::Advance(n) => port.advance(n as u64),
+                    PortOp::Load(i) => {
+                        data.read(port, i as usize);
+                    }
+                    PortOp::Store(i) => data.write(port, i as usize, 7),
+                    PortOp::Amo(i) => {
+                        data.amo(port, i as usize, |v| *v += 1);
+                    }
+                    PortOp::Invalidate => {
+                        port.invalidate_cache();
+                    }
+                    PortOp::Flush => {
+                        port.flush_cache();
+                    }
+                    PortOp::Idle(n) => port.idle(n as u64),
+                }
+            }
+            if port.core() == 0 {
+                port.set_done();
+            }
+        }));
+    }
+    run_system(&config, workers)
+}
+
+fn protocols() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Mesi),
+        Just(Protocol::DeNovo),
+        Just(Protocol::GpuWt),
+        Just(Protocol::GpuWb),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A core's final clock equals the sum of its time-breakdown categories:
+    /// every cycle is attributed to exactly one category.
+    #[test]
+    fn clock_equals_breakdown_total(
+        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..60), 4..=4),
+        tiny in protocols())
+    {
+        let report = run_ops(tiny, &ops);
+        for core in 0..4 {
+            prop_assert_eq!(
+                report.core_cycles[core],
+                report.breakdowns[core].total(),
+                "core {} clock vs breakdown", core
+            );
+        }
+    }
+
+    /// The same operation streams produce bit-identical reports.
+    #[test]
+    fn arbitrary_streams_are_deterministic(
+        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..40), 4..=4),
+        tiny in protocols())
+    {
+        let a = run_ops(tiny, &ops);
+        let b = run_ops(tiny, &ops);
+        prop_assert_eq!(a.core_cycles, b.core_cycles);
+        prop_assert_eq!(a.traffic, b.traffic);
+        prop_assert_eq!(a.instructions, b.instructions);
+    }
+
+    /// ShVec is a faithful memory: after any interleaving of single-writer
+    /// per-slot updates, the final contents match a sequential model.
+    #[test]
+    fn shvec_single_writer_contents(values in proptest::collection::vec(0u64..1000, 1..32)) {
+        let config = sys(Protocol::GpuWb);
+        let mut space = AddrSpace::new();
+        let data = Arc::new(ShVec::new(&mut space, values.len(), 0u64));
+        // Each core writes a disjoint stripe; core 0 waits then checks.
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            let data = Arc::clone(&data);
+            let values = values.clone();
+            workers.push(Box::new(move |port| {
+                for (i, v) in values.iter().enumerate() {
+                    if i % 4 == core {
+                        data.write(port, i, *v);
+                    }
+                }
+                port.flush_cache();
+                if core == 0 {
+                    port.set_done();
+                }
+            }));
+        }
+        run_system(&config, workers);
+        prop_assert_eq!(data.snapshot(), values);
+    }
+
+    /// Instructions are monotone in the op stream: appending operations can
+    /// only increase a core's instruction count.
+    #[test]
+    fn instructions_monotone(ops in proptest::collection::vec(op_strategy(), 1..40), tiny in protocols()) {
+        let shorter = vec![ops[..ops.len() / 2].to_vec(), vec![], vec![], vec![]];
+        let longer = vec![ops, vec![], vec![], vec![]];
+        let a = run_ops(tiny, &shorter);
+        let b = run_ops(tiny, &longer);
+        prop_assert!(b.instructions[0] >= a.instructions[0]);
+    }
+
+    /// Idle cycles are attributed to the Idle category exactly.
+    #[test]
+    fn idle_accounting_exact(cycles in 1u64..10_000) {
+        let config = sys(Protocol::Mesi);
+        let c2 = cycles;
+        let mut workers: Vec<Worker> = vec![Box::new(move |port| {
+            port.idle(c2);
+            port.set_done();
+        })];
+        for _ in 1..4 {
+            workers.push(Box::new(|port| port.idle(1)));
+        }
+        let report = run_system(&config, workers);
+        prop_assert_eq!(report.breakdowns[0].get(TimeCategory::Idle), cycles);
+    }
+}

@@ -1,0 +1,428 @@
+//! The data OCN latency/accounting model and the dedicated ULI network.
+
+use crate::topology::{Tile, Topology};
+use crate::traffic::{TrafficClass, TrafficStats};
+
+/// Parameters of the data on-chip network.
+///
+/// Defaults mirror Table II of the paper: XY routing, 16-byte flits, 1-cycle
+/// channel latency, 1-cycle router latency, 8-byte message headers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MeshConfig {
+    /// Physical layout of the mesh.
+    pub topology: Topology,
+    /// Cycles spent in each router on the path.
+    pub router_cycles: u64,
+    /// Cycles spent on each channel on the path.
+    pub channel_cycles: u64,
+    /// Flit width in bytes (serialization granularity).
+    pub flit_bytes: u64,
+    /// Per-message header/control overhead in bytes.
+    pub header_bytes: u64,
+}
+
+impl MeshConfig {
+    /// The 64-core system of Table II: an 8×8 mesh.
+    pub fn paper_64_core() -> Self {
+        MeshConfig {
+            topology: Topology::new(8, 8),
+            router_cycles: 1,
+            channel_cycles: 1,
+            flit_bytes: 16,
+            header_bytes: 8,
+        }
+    }
+
+    /// The 256-core system of Table V: an 8-row, 32-column mesh.
+    pub fn paper_256_core() -> Self {
+        MeshConfig { topology: Topology::new(8, 32), ..Self::paper_64_core() }
+    }
+
+    /// A custom mesh with default timing parameters.
+    pub fn with_topology(topology: Topology) -> Self {
+        MeshConfig { topology, ..Self::paper_64_core() }
+    }
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        Self::paper_64_core()
+    }
+}
+
+/// The data on-chip network: computes message latencies and accounts traffic.
+///
+/// This is a latency-only model (no cycle-accurate link arbitration): a
+/// message from `a` to `b` carrying `p` payload bytes takes
+///
+/// ```text
+/// hops(a,b) * (router + channel) + (flits - 1) * channel + 1
+/// ```
+///
+/// cycles, where `flits = ceil((p + header) / flit_bytes)`. Contention is
+/// modelled downstream by the L2 bank and DRAM queueing in
+/// `bigtiny-coherence`, which is where the paper's workloads actually queue.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    config: MeshConfig,
+    stats: TrafficStats,
+}
+
+impl Mesh {
+    /// Creates a mesh network with the given configuration.
+    pub fn new(config: MeshConfig) -> Self {
+        Mesh { config, stats: TrafficStats::new() }
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> Topology {
+        self.config.topology
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Latency in cycles for a message of `total_bytes` from `from` to `to`,
+    /// without recording it.
+    pub fn latency(&self, from: Tile, to: Tile, total_bytes: u64) -> u64 {
+        let hops = from.hops_to(to) as u64;
+        let flits = total_bytes.div_ceil(self.config.flit_bytes).max(1);
+        hops * (self.config.router_cycles + self.config.channel_cycles)
+            + (flits - 1) * self.config.channel_cycles
+            + 1
+    }
+
+    /// Sends a message: records its bytes under `class` and returns its
+    /// latency in cycles. `payload_bytes` excludes the header, which is added
+    /// automatically.
+    pub fn send(&mut self, from: Tile, to: Tile, class: TrafficClass, payload_bytes: u64) -> u64 {
+        let total = payload_bytes + self.config.header_bytes;
+        let hops = from.hops_to(to);
+        self.stats.record(class, total, hops);
+        self.latency(from, to, total)
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::new();
+    }
+
+    /// Number of unidirectional core-to-core links (for utilization).
+    pub fn links(&self) -> u64 {
+        let r = self.config.topology.rows() as u64;
+        let c = self.config.topology.cols() as u64;
+        // Horizontal links + vertical links (including the edge row), twice
+        // for the two directions.
+        2 * ((r + 1) * (c - 1) + c * r)
+    }
+}
+
+/// A single-word user-level interrupt message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UliMessage {
+    /// Sending core.
+    pub from: usize,
+    /// One machine word of payload (the paper's messages are single-word).
+    pub payload: u64,
+    /// Simulated cycle at which the message arrives at its destination.
+    pub arrives_at: u64,
+}
+
+/// Result of attempting to send a ULI request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UliOutcome {
+    /// The request was accepted and will be observed by the receiver.
+    Sent,
+    /// The receiver has ULI disabled or its request buffer is full; a NACK
+    /// arrives back at the sender at `reply_at`.
+    Nack {
+        /// Cycle at which the sender observes the NACK.
+        reply_at: u64,
+    },
+}
+
+/// Per-core ULI unit state.
+#[derive(Clone, Debug, Default)]
+struct UliUnit {
+    enabled: bool,
+    pending_req: Option<UliMessage>,
+    pending_resp: Option<UliMessage>,
+}
+
+/// The dedicated ULI mesh of Section IV: two virtual channels (request and
+/// response), single-word messages, one buffered request and one buffered
+/// response per core, NACK when the receiver is disabled or busy.
+#[derive(Clone, Debug)]
+pub struct UliNetwork {
+    topology: Topology,
+    per_hop_cycles: u64,
+    units: Vec<UliUnit>,
+    stats: TrafficStats,
+    total_latency: u64,
+    total_hops: u64,
+    nacks: u64,
+}
+
+/// Payload + header size of a ULI message in bytes (one word + routing info).
+const ULI_MESSAGE_BYTES: u64 = 8;
+
+impl UliNetwork {
+    /// Creates a ULI network over `topology` with `num_cores` endpoints.
+    ///
+    /// All cores start with ULI **disabled**; the runtime enables ULI when a
+    /// worker enters its scheduling loop.
+    pub fn new(topology: Topology, num_cores: usize) -> Self {
+        assert!(num_cores <= topology.num_tiles(), "more cores than tiles");
+        UliNetwork {
+            topology,
+            per_hop_cycles: 2, // 1-cycle router + 1-cycle channel, as Table II
+            units: vec![UliUnit::default(); num_cores],
+            stats: TrafficStats::new(),
+            total_latency: 0,
+            total_hops: 0,
+            nacks: 0,
+        }
+    }
+
+    fn latency(&self, from: usize, to: usize) -> (u64, u32) {
+        let hops = self.topology.core_tile(from).hops_to(self.topology.core_tile(to));
+        ((hops as u64) * self.per_hop_cycles + 1, hops)
+    }
+
+    fn record(&mut self, from: usize, to: usize) -> u64 {
+        let (lat, hops) = self.latency(from, to);
+        self.stats.record(TrafficClass::Uli, ULI_MESSAGE_BYTES, hops);
+        self.total_latency += lat;
+        self.total_hops += hops as u64;
+        lat
+    }
+
+    /// Enables or disables ULI reception on `core`.
+    pub fn set_enabled(&mut self, core: usize, enabled: bool) {
+        self.units[core].enabled = enabled;
+    }
+
+    /// Whether `core` currently accepts ULIs.
+    pub fn is_enabled(&self, core: usize) -> bool {
+        self.units[core].enabled
+    }
+
+    /// Attempts to deliver a ULI request from core `from` to core `to` at
+    /// cycle `now`.
+    ///
+    /// Returns [`UliOutcome::Nack`] if the receiver has ULI disabled or
+    /// already has a buffered request; the NACK consumes a round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` — a core never interrupts itself.
+    pub fn try_send_request(&mut self, from: usize, to: usize, payload: u64, now: u64) -> UliOutcome {
+        assert_ne!(from, to, "a core cannot send a ULI to itself");
+        let lat = self.record(from, to);
+        let unit = &self.units[to];
+        if !unit.enabled || unit.pending_req.is_some() {
+            let back = self.record(to, from);
+            self.nacks += 1;
+            return UliOutcome::Nack { reply_at: now + lat + back };
+        }
+        self.units[to].pending_req = Some(UliMessage { from, payload, arrives_at: now + lat });
+        UliOutcome::Sent
+    }
+
+    /// Removes and returns the pending request at `core` if one has arrived
+    /// by cycle `now` **and** the core has ULI enabled.
+    pub fn take_request(&mut self, core: usize, now: u64) -> Option<UliMessage> {
+        if !self.units[core].enabled {
+            return None;
+        }
+        match self.units[core].pending_req {
+            Some(m) if m.arrives_at <= now => self.units[core].pending_req.take(),
+            _ => None,
+        }
+    }
+
+    /// Whether a request is buffered at `core` (arrived or in flight).
+    pub fn has_pending_request(&self, core: usize) -> bool {
+        self.units[core].pending_req.is_some()
+    }
+
+    /// Sends a ULI response from `from` back to `to` (the original thief).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` already has a buffered response — the protocol allows a
+    /// single outstanding steal per thief, so this indicates a runtime bug.
+    pub fn send_response(&mut self, from: usize, to: usize, payload: u64, now: u64) {
+        let lat = self.record(from, to);
+        let unit = &mut self.units[to];
+        assert!(unit.pending_resp.is_none(), "thief core {to} already has a buffered ULI response");
+        unit.pending_resp = Some(UliMessage { from, payload, arrives_at: now + lat });
+    }
+
+    /// Removes and returns the response buffered at `core` if it has arrived
+    /// by cycle `now`. Responses are accepted even while ULI is disabled.
+    pub fn take_response(&mut self, core: usize, now: u64) -> Option<UliMessage> {
+        match self.units[core].pending_resp {
+            Some(m) if m.arrives_at <= now => self.units[core].pending_resp.take(),
+            _ => None,
+        }
+    }
+
+    /// Accumulated ULI traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Total ULI messages sent (requests, responses, and NACK replies).
+    pub fn message_count(&self) -> u64 {
+        self.stats.messages(TrafficClass::Uli)
+    }
+
+    /// Number of NACKed requests.
+    pub fn nack_count(&self) -> u64 {
+        self.nacks
+    }
+
+    /// Mean per-message latency in cycles (0 when no messages were sent).
+    pub fn mean_latency(&self) -> f64 {
+        let n = self.message_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / n as f64
+        }
+    }
+
+    /// Mean per-message hop count.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.message_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig::paper_64_core())
+    }
+
+    #[test]
+    fn zero_hop_message_still_costs_a_cycle() {
+        let m = mesh();
+        let t = Tile::new(2, 2);
+        assert_eq!(m.latency(t, t, 8), 1);
+    }
+
+    #[test]
+    fn latency_scales_with_hops_and_flits() {
+        let m = mesh();
+        let a = Tile::new(0, 0);
+        let b = Tile::new(3, 0);
+        // 3 hops * 2 cycles + 0 extra flits + 1
+        assert_eq!(m.latency(a, b, 16), 7);
+        // 72 bytes = 5 flits -> 4 extra serialization cycles
+        assert_eq!(m.latency(a, b, 72), 11);
+    }
+
+    #[test]
+    fn send_records_header_plus_payload() {
+        let mut m = mesh();
+        m.send(Tile::new(0, 0), Tile::new(1, 0), TrafficClass::WbReq, 64);
+        assert_eq!(m.stats().bytes(TrafficClass::WbReq), 72);
+        assert_eq!(m.stats().messages(TrafficClass::WbReq), 1);
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut m = mesh();
+        m.send(Tile::new(0, 0), Tile::new(1, 0), TrafficClass::CpuReq, 0);
+        m.reset_stats();
+        assert_eq!(m.stats().total_data_bytes(), 0);
+    }
+
+    #[test]
+    fn uli_send_to_enabled_core_is_delivered_after_latency() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(5, true);
+        assert_eq!(u.try_send_request(0, 5, 42, 100), UliOutcome::Sent);
+        // 5 hops * 2 + 1 = 11 cycles
+        assert!(u.take_request(5, 105).is_none(), "must not arrive early");
+        let m = u.take_request(5, 111).expect("arrived");
+        assert_eq!(m.from, 0);
+        assert_eq!(m.payload, 42);
+        assert!(u.take_request(5, 200).is_none(), "taken exactly once");
+    }
+
+    #[test]
+    fn uli_send_to_disabled_core_nacks() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        match u.try_send_request(0, 1, 7, 0) {
+            UliOutcome::Nack { reply_at } => assert_eq!(reply_at, 6), // 1 hop each way: (2+1)*2
+            other => panic!("expected NACK, got {other:?}"),
+        }
+        assert_eq!(u.nack_count(), 1);
+    }
+
+    #[test]
+    fn uli_busy_receiver_nacks_second_request() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(9, true);
+        assert_eq!(u.try_send_request(0, 9, 1, 0), UliOutcome::Sent);
+        assert!(matches!(u.try_send_request(2, 9, 2, 0), UliOutcome::Nack { .. }));
+    }
+
+    #[test]
+    fn uli_disabled_receiver_defers_buffered_request() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(1, true);
+        assert_eq!(u.try_send_request(0, 1, 3, 0), UliOutcome::Sent);
+        u.set_enabled(1, false);
+        assert!(u.take_request(1, 1000).is_none(), "disabled core does not service");
+        u.set_enabled(1, true);
+        assert!(u.take_request(1, 1000).is_some());
+    }
+
+    #[test]
+    fn uli_response_round_trip() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(8, true);
+        u.try_send_request(0, 8, 0xdead, 0);
+        let req = u.take_request(8, 100).unwrap();
+        u.send_response(8, req.from, 0xbeef, 100);
+        assert!(u.take_response(0, 100).is_none());
+        let resp = u.take_response(0, 103).expect("1 hop back: 2+1 cycles");
+        assert_eq!(resp.payload, 0xbeef);
+        assert_eq!(resp.from, 8);
+    }
+
+    #[test]
+    fn uli_stats_accumulate() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(63, true);
+        u.try_send_request(0, 63, 0, 0);
+        u.send_response(63, 0, 0, 50);
+        assert_eq!(u.message_count(), 2);
+        assert!(u.mean_hops() > 13.9 && u.mean_hops() < 14.1);
+        assert!(u.mean_latency() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send a ULI to itself")]
+    fn uli_self_send_panics() {
+        let mut u = UliNetwork::new(Topology::new(2, 2), 4);
+        u.try_send_request(1, 1, 0, 0);
+    }
+}

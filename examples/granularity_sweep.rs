@@ -1,0 +1,50 @@
+//! Task-granularity sweep (the paper's Figure 4 in miniature): sweep the
+//! grain of a parallel triangle count on 64 tiny cores and watch the
+//! speedup/parallelism trade-off play out.
+//!
+//! ```text
+//! cargo run --release -p bigtiny-apps --example granularity_sweep
+//! ```
+
+use std::sync::Arc;
+
+use bigtiny_apps::graph::Graph;
+use bigtiny_apps::ligra_apps::tc::{host_triangles, run_tc};
+use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+use bigtiny_engine::{AddrSpace, Protocol, ShScalar, SystemConfig};
+
+fn count_triangles(sys: &SystemConfig, grain: usize) -> (u64, bigtiny_core::TaskRun) {
+    let mut space = AddrSpace::new();
+    let g = Arc::new(Graph::rmat(&mut space, 512, 8, 0x716));
+    let count = Arc::new(ShScalar::new(&mut space, 0u64));
+    let want = host_triangles(&g.host_adjacency());
+    let (g2, c2) = (Arc::clone(&g), Arc::clone(&count));
+    let run = run_task_parallel(sys, &RuntimeConfig::new(RuntimeKind::Baseline), &mut space, move |cx| {
+        run_tc(cx, &g2, &c2, grain);
+    });
+    assert_eq!(count.host_read(), want, "triangle count verified");
+    (run.report.completion_cycles, run)
+}
+
+fn main() {
+    let serial_sys = SystemConfig::tiny_only(1, Protocol::Mesi);
+    let (serial, _) = count_triangles(&serial_sys, usize::MAX >> 1);
+    println!("serial (1 tiny core): {serial} cycles\n");
+
+    let parallel_sys = SystemConfig::tiny_only(64, Protocol::Mesi);
+    println!("{:>6} {:>10} {:>9} {:>13} {:>7} {:>6}", "grain", "cycles", "speedup", "parallelism", "tasks", "IPT");
+    for grain in [1usize, 4, 16, 64, 256] {
+        let (cycles, run) = count_triangles(&parallel_sys, grain);
+        let ws = run.stats.workspan;
+        println!(
+            "{:>6} {:>10} {:>8.2}x {:>13.1} {:>7} {:>6.0}",
+            grain,
+            cycles,
+            serial as f64 / cycles as f64,
+            ws.parallelism(),
+            ws.tasks,
+            ws.instructions_per_task(),
+        );
+    }
+    println!("\nToo fine a grain pays runtime overhead; too coarse a grain starves the cores.");
+}

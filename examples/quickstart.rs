@@ -1,0 +1,61 @@
+//! Quickstart: run a parallel Fibonacci (the paper's Figure 2 example) on a
+//! simulated big.TINY system with the DTS runtime, and print what the
+//! simulator measured.
+//!
+//! ```text
+//! cargo run --release -p bigtiny-apps --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx};
+use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
+
+/// Figure 2 of the paper, in this library's API: each task spawns two
+/// children, waits for them, and combines their results through simulated
+/// shared memory.
+fn fib(cx: &mut TaskCx<'_>, out: Arc<ShVec<u64>>, slot: usize, n: u64) {
+    cx.port().advance(6); // a few instructions of control flow
+    if n < 2 {
+        out.write(cx.port(), slot, n);
+        return;
+    }
+    let (a, b) = (Arc::clone(&out), Arc::clone(&out));
+    let (sa, sb) = (2 * slot + 1, 2 * slot + 2);
+    parallel_invoke(cx, move |cx| fib(cx, a, sa, n - 1), move |cx| fib(cx, b, sb, n - 2));
+    let x = out.read(cx.port(), sa);
+    let y = out.read(cx.port(), sb);
+    out.write(cx.port(), slot, x + y);
+}
+
+fn main() {
+    // A 64-core big.TINY machine: 4 big MESI cores + 60 tiny GPU-WB cores,
+    // with the direct-task-stealing runtime.
+    let system = SystemConfig::big_tiny_hcc(Protocol::GpuWb);
+    let runtime = RuntimeConfig::new(RuntimeKind::Dts);
+
+    // Application data lives in simulated memory: every access costs cycles
+    // and produces coherence traffic.
+    let n = 16u64;
+    let mut space = AddrSpace::new();
+    let out = Arc::new(ShVec::new(&mut space, 1 << (n + 1), 0u64));
+
+    let o = Arc::clone(&out);
+    let run = run_task_parallel(&system, &runtime, &mut space, move |cx| fib(cx, o, 0, n));
+
+    println!("fib({n}) = {}", out.host_read(0));
+    println!("configuration:        {}", run.report.config_name);
+    println!("simulated cycles:     {}", run.report.completion_cycles);
+    println!("tasks executed:       {}", run.stats.tasks_executed);
+    println!("steals (ULI):         {} ({} messages)", run.stats.steals, run.report.uli.messages);
+    println!(
+        "work/span:            {} / {} insts  (parallelism {:.1})",
+        run.stats.workspan.work,
+        run.stats.workspan.span,
+        run.stats.workspan.parallelism()
+    );
+    println!("OCN traffic:          {} bytes", run.report.total_traffic_bytes());
+    println!("stale reads:          {} (must be 0)", run.report.stale_reads);
+    assert_eq!(out.host_read(0), 987);
+    assert_eq!(run.report.stale_reads, 0);
+}

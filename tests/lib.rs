@@ -1,0 +1,1 @@
+//! Workspace-level integration tests for the big.TINY reproduction.
