@@ -1,65 +1,86 @@
-//! Property tests of the application substrates: graph construction
-//! invariants and functional correctness of kernels on arbitrary inputs.
+//! Randomized-but-deterministic tests of the application substrates: graph
+//! construction invariants and functional correctness of kernels.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! simulator's own seeded [`XorShift64`] so the workspace has no external
+//! dependencies and every CI run explores exactly the same cases.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use bigtiny_apps::graph::Graph;
 use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx};
-use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
+use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig, XorShift64};
 use bigtiny_mesh::{MeshConfig, Topology};
 
 fn sys() -> SystemConfig {
-    SystemConfig::big_tiny("prop", MeshConfig::with_topology(Topology::new(2, 2)), 1, 3, Protocol::GpuWb)
+    SystemConfig::big_tiny(
+        "prop",
+        MeshConfig::with_topology(Topology::new(2, 2)),
+        1,
+        3,
+        Protocol::GpuWb,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_edges(rng: &mut XorShift64, n: usize, max_edges: u64) -> Vec<(u32, u32)> {
+    (0..rng.next_below(max_edges))
+        .map(|_| (rng.next_below(n as u64) as u32, rng.next_below(n as u64) as u32))
+        .collect()
+}
 
-    /// Graphs built from arbitrary edge lists are symmetric, deduplicated,
-    /// self-loop free, and have consistent CSR offsets.
-    #[test]
-    fn graph_construction_invariants(
-        n in 2usize..40,
-        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120))
-    {
-        let edges: Vec<(u32, u32)> =
-            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+/// Graphs built from arbitrary edge lists are symmetric, deduplicated,
+/// self-loop free, and have consistent CSR offsets.
+#[test]
+fn graph_construction_invariants() {
+    let mut rng = XorShift64::new(0x4150_5031);
+    for _ in 0..32 {
+        let n = 2 + rng.next_below(38) as usize;
+        let edges = random_edges(&mut rng, n, 120);
         let mut space = AddrSpace::new();
         let g = Graph::from_edge_list(&mut space, n, &edges);
         let adj = g.host_adjacency();
-        prop_assert_eq!(adj.len(), n);
+        assert_eq!(adj.len(), n);
         for (v, nv) in adj.iter().enumerate() {
             // Sorted, unique, no self loops.
-            prop_assert!(nv.windows(2).all(|w| w[0] < w[1]), "sorted unique");
-            prop_assert!(!nv.contains(&v), "no self loop at {}", v);
+            assert!(nv.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(!nv.contains(&v), "no self loop at {v}");
             // Symmetry.
             for &u in nv {
-                prop_assert!(adj[u].contains(&v), "edge ({}, {}) symmetric", v, u);
+                assert!(adj[u].contains(&v), "edge ({v}, {u}) symmetric");
             }
         }
         let total: usize = adj.iter().map(|a| a.len()).sum();
-        prop_assert_eq!(total, g.num_edges());
+        assert_eq!(total, g.num_edges());
     }
+}
 
-    /// rMAT generation is deterministic in its seed and respects the vertex
-    /// budget.
-    #[test]
-    fn rmat_deterministic(n in 4usize..128, ef in 1usize..6, seed in any::<u64>()) {
+/// rMAT generation is deterministic in its seed and respects the vertex
+/// budget.
+#[test]
+fn rmat_deterministic() {
+    let mut rng = XorShift64::new(0x4150_5032);
+    for _ in 0..32 {
+        let n = 4 + rng.next_below(124) as usize;
+        let ef = 1 + rng.next_below(5) as usize;
+        let seed = rng.next_u64();
         let mut s1 = AddrSpace::new();
         let g1 = Graph::rmat(&mut s1, n, ef, seed);
         let mut s2 = AddrSpace::new();
         let g2 = Graph::rmat(&mut s2, n, ef, seed);
-        prop_assert_eq!(g1.host_adjacency(), g2.host_adjacency());
-        prop_assert!(g1.num_vertices() >= n);
-        prop_assert!(g1.num_vertices() <= 2 * n.next_power_of_two());
+        assert_eq!(g1.host_adjacency(), g2.host_adjacency());
+        assert!(g1.num_vertices() >= n);
+        assert!(g1.num_vertices() <= 2 * n.next_power_of_two());
     }
+}
 
-    /// The simulated parallel mergesort sorts arbitrary inputs (checked by
-    /// running the whole machine, not just the algorithm).
-    #[test]
-    fn parallel_sort_sorts_anything(mut input in proptest::collection::vec(any::<u64>(), 1..120)) {
+/// The simulated parallel mergesort sorts arbitrary inputs (checked by
+/// running the whole machine, not just the algorithm).
+#[test]
+fn parallel_sort_sorts_anything() {
+    let mut rng = XorShift64::new(0x4150_5033);
+    for _ in 0..8 {
+        let mut input: Vec<u64> =
+            (0..1 + rng.next_below(119)).map(|_| rng.next_u64()).collect();
         let mut space = AddrSpace::new();
         let n = input.len();
         let a = Arc::new(ShVec::from_vec(&mut space, input.clone()));
@@ -74,19 +95,19 @@ proptest! {
             },
         );
         input.sort_unstable();
-        prop_assert_eq!(a.snapshot(), input);
-        prop_assert_eq!(run.report.stale_reads, 0);
+        assert_eq!(a.snapshot(), input);
+        assert_eq!(run.report.stale_reads, 0);
     }
+}
 
-    /// Triangle counting by intersection equals a brute-force count on
-    /// arbitrary small graphs.
-    #[test]
-    fn triangle_count_equals_brute_force(
-        n in 3usize..24,
-        edges in proptest::collection::vec((0u32..24, 0u32..24), 0..80))
-    {
-        let edges: Vec<(u32, u32)> =
-            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+/// Triangle counting by intersection equals a brute-force count on
+/// arbitrary small graphs.
+#[test]
+fn triangle_count_equals_brute_force() {
+    let mut rng = XorShift64::new(0x4150_5034);
+    for _ in 0..32 {
+        let n = 3 + rng.next_below(21) as usize;
+        let edges = random_edges(&mut rng, n, 80);
         let mut space = AddrSpace::new();
         let g = Graph::from_edge_list(&mut space, n, &edges);
         let adj = g.host_adjacency();
@@ -104,6 +125,6 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(bigtiny_apps::ligra_apps::tc::host_triangles(&adj), brute);
+        assert_eq!(bigtiny_apps::ligra_apps::tc::host_triangles(&adj), brute);
     }
 }

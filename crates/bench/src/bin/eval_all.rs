@@ -6,7 +6,7 @@ use bigtiny_bench::{
     apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix,
     size_from_env, Setup, TrafficClass,
 };
-use bigtiny_engine::Protocol;
+use bigtiny_engine::{FaultPlan, Protocol};
 
 const CLASSES: [TrafficClass; 9] = [
     TrafficClass::CpuReq,
@@ -20,10 +20,94 @@ const CLASSES: [TrafficClass; 9] = [
     TrafficClass::DramResp,
 ];
 
+/// Options parsed from the command line (sizes and app lists stay on the
+/// `BIGTINY_*` environment variables so existing scripts keep working).
+struct CliOpts {
+    /// Fault-plan name for `FaultPlan::by_name` (implies `hostile` when only
+    /// a seed is given).
+    fault_plan: Option<String>,
+    fault_seed: u64,
+    watchdog_budget: Option<u64>,
+}
+
+const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan NAME] [--watchdog-budget N]
+  --fault-seed N       arm deterministic fault injection with seed N
+                       (plan defaults to `hostile` unless --fault-plan is given)
+  --fault-plan NAME    one of: none, uli-drop-storm, steal-miss-storm,
+                       mesh-latency-spikes, hostile
+  --watchdog-budget N  abort with per-core diagnostics after N sequenced
+                       grants without runtime progress
+sizes and app selection come from BIGTINY_SIZE / BIGTINY_APPS / BIGTINY_JSON";
+
+fn parse_cli() -> CliOpts {
+    let mut opts = CliOpts { fault_plan: None, fault_seed: 1, watchdog_budget: None };
+    let mut args = std::env::args().skip(1);
+    let mut seed_given = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--fault-seed" => {
+                let v = value("--fault-seed");
+                opts.fault_seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fault-seed: `{v}` is not a u64\n{USAGE}");
+                    std::process::exit(2);
+                });
+                seed_given = true;
+            }
+            "--fault-plan" => {
+                let v = value("--fault-plan");
+                if FaultPlan::by_name(&v, 1).is_none() {
+                    eprintln!("--fault-plan: unknown plan `{v}`\n{USAGE}");
+                    std::process::exit(2);
+                }
+                opts.fault_plan = Some(v);
+            }
+            "--watchdog-budget" => {
+                let v = value("--watchdog-budget");
+                opts.watchdog_budget = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--watchdog-budget: `{v}` is not a u64\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if seed_given && opts.fault_plan.is_none() {
+        opts.fault_plan = Some("hostile".to_owned());
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_cli();
     let size = size_from_env();
     let apps = apps_from_env();
-    let setups = Setup::big_tiny_matrix();
+    let mut setups = Setup::big_tiny_matrix();
+    if let Some(plan) = &opts.fault_plan {
+        let fp = FaultPlan::by_name(plan, opts.fault_seed).expect("plan validated in parse_cli");
+        for s in &mut setups {
+            s.sys = s.sys.clone().with_faults(fp);
+        }
+        println!("[faults] plan={plan} seed={:#x} armed on every configuration", opts.fault_seed);
+    }
+    if let Some(budget) = opts.watchdog_budget {
+        for s in &mut setups {
+            s.sys = s.sys.clone().with_watchdog(budget);
+        }
+        println!("[watchdog] liveness budget: {budget} sequenced grants without progress");
+    }
     let results = run_matrix(&setups, &apps, size);
 
     // ---------------- Figure 5 ----------------
@@ -172,5 +256,31 @@ fn main() {
                 );
             }
         }
+    }
+
+    // ---------------- Fault-injection summary (only when armed) ----------
+    if opts.fault_plan.is_some() {
+        let header: Vec<String> = [
+            "Name", "Config", "Injected", "MeshSpikes", "UliTimeouts", "Fallbacks", "ForcedMiss",
+        ]
+        .map(String::from)
+        .to_vec();
+        let mut rows = Vec::new();
+        for app in &apps {
+            for setup in &setups {
+                let r = find_result(&results, app.name, &setup.label);
+                rows.push(vec![
+                    app.name.to_owned(),
+                    setup.label.clone(),
+                    r.run.report.fault_counters.total().to_string(),
+                    r.run.report.mesh_fault_spikes.to_string(),
+                    r.run.stats.uli_timeouts.to_string(),
+                    r.run.stats.fallback_steals.to_string(),
+                    r.run.stats.forced_steal_misses.to_string(),
+                ]);
+            }
+        }
+        println!("== Fault injection summary ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
     }
 }

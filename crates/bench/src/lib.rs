@@ -163,8 +163,9 @@ pub fn run_app(setup: &Setup, app: &AppSpec, size: AppSize, grain: usize) -> App
 
 /// A machine-readable summary of one run, for downstream analysis
 /// (`BIGTINY_JSON=<path>` makes [`run_matrix`] append one JSON object per
-/// line).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+/// line). Serialized by [`ResultRecord::to_json_line`] — the workspace is
+/// dependency-free, and the record is flat, so the JSON is hand-rolled.
+#[derive(Clone, Debug)]
 pub struct ResultRecord {
     /// Kernel name.
     pub app: String,
@@ -194,6 +195,18 @@ pub struct ResultRecord {
     pub span: u64,
     /// Tasks executed.
     pub tasks: u64,
+    /// Total injected faults (0 on a golden-path run).
+    pub faults_injected: u64,
+    /// Injected data-OCN latency spikes.
+    pub mesh_fault_spikes: u64,
+    /// ULI steal responses the hardened runtime timed out on.
+    pub uli_timeouts: u64,
+    /// Shared-memory fallback steals the hardened DTS runtime performed.
+    pub fallback_steals: u64,
+    /// Steal attempts the fault plan forced to miss.
+    pub forced_steal_misses: u64,
+    /// Total sequencer token grants (the unit of the watchdog budget).
+    pub seq_grants: u64,
 }
 
 impl From<&AppResult> for ResultRecord {
@@ -215,7 +228,66 @@ impl From<&AppResult> for ResultRecord {
             work: ws.work,
             span: ws.span,
             tasks: ws.tasks,
+            faults_injected: r.run.report.fault_counters.total(),
+            mesh_fault_spikes: r.run.report.mesh_fault_spikes,
+            uli_timeouts: r.run.stats.uli_timeouts,
+            fallback_steals: r.run.stats.fallback_steals,
+            forced_steal_misses: r.run.stats.forced_steal_misses,
+            seq_grants: r.run.report.seq_grants,
         }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ResultRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"app\":\"{}\",\"setup\":\"{}\",\"cycles\":{},\"instructions\":{},",
+                "\"l1d_hit_rate\":{},\"lines_invalidated\":{},\"lines_flushed\":{},",
+                "\"amos\":{},\"traffic_bytes\":{},\"uli_messages\":{},\"steals\":{},",
+                "\"work\":{},\"span\":{},\"tasks\":{},\"faults_injected\":{},",
+                "\"mesh_fault_spikes\":{},\"uli_timeouts\":{},\"fallback_steals\":{},",
+                "\"forced_steal_misses\":{},\"seq_grants\":{}}}"
+            ),
+            json_escape(&self.app),
+            json_escape(&self.setup),
+            self.cycles,
+            self.instructions,
+            self.l1d_hit_rate,
+            self.lines_invalidated,
+            self.lines_flushed,
+            self.amos,
+            self.traffic_bytes,
+            self.uli_messages,
+            self.steals,
+            self.work,
+            self.span,
+            self.tasks,
+            self.faults_injected,
+            self.mesh_fault_spikes,
+            self.uli_timeouts,
+            self.fallback_steals,
+            self.forced_steal_misses,
+            self.seq_grants,
+        )
     }
 }
 
@@ -245,8 +317,7 @@ pub fn run_matrix(setups: &[Setup], apps: &[AppSpec], size: AppSize) -> Vec<AppR
             );
             if let Some(f) = json_out.as_mut() {
                 let rec = ResultRecord::from(&r);
-                let line = serde_json::to_string(&rec).expect("serializable record");
-                writeln!(f, "{line}").expect("write JSON record");
+                writeln!(f, "{}", rec.to_json_line()).expect("write JSON record");
             }
             out.push(r);
         }
@@ -388,17 +459,44 @@ mod tests {
 mod json_tests {
     use super::*;
 
+    /// Extracts the value of a numeric or string field from a flat
+    /// single-line JSON object (enough of a parser for our own encoder).
+    fn field<'a>(line: &'a str, key: &str) -> &'a str {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat).unwrap_or_else(|| panic!("missing key {key}")) + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .char_indices()
+            .find(|(i, c)| (*c == ',' || *c == '}') && !rest[..*i].ends_with('\\'))
+            .map(|(i, _)| i)
+            .unwrap();
+        rest[..end].trim_matches('"')
+    }
+
     #[test]
-    fn result_records_round_trip_as_json() {
+    fn result_records_serialize_as_json_lines() {
         let app = bigtiny_apps::app_by_name("cilk5-nq").unwrap();
         let setup = Setup::bt_hcc(Protocol::GpuWb, true);
         let r = run_app(&setup, &app, AppSize::Test, 0);
         let rec = ResultRecord::from(&r);
-        let line = serde_json::to_string(&rec).unwrap();
-        let back: ResultRecord = serde_json::from_str(&line).unwrap();
-        assert_eq!(back.app, "cilk5-nq");
-        assert_eq!(back.cycles, r.cycles);
-        assert_eq!(back.steals, r.run.stats.steals);
-        assert!(back.span <= back.work);
+        let line = rec.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert_eq!(field(&line, "app"), "cilk5-nq");
+        assert_eq!(field(&line, "cycles"), r.cycles.to_string());
+        assert_eq!(field(&line, "steals"), r.run.stats.steals.to_string());
+        assert_eq!(field(&line, "faults_injected"), "0", "golden path injects nothing");
+        assert_eq!(field(&line, "seq_grants"), r.run.report.seq_grants.to_string());
+        let span: u64 = field(&line, "span").parse().unwrap();
+        let work: u64 = field(&line, "work").parse().unwrap();
+        assert!(span <= work);
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

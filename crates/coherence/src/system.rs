@@ -178,6 +178,63 @@ impl MemorySystem {
         self.stats.iter().map(|s| s.stale_reads).sum()
     }
 
+    /// Arms (or, with `None`, disarms) deterministic latency-spike fault
+    /// injection on the data OCN. Zero-cost when disarmed.
+    pub fn set_mesh_faults(&mut self, faults: Option<bigtiny_mesh::MeshFaults>) {
+        self.mesh.set_faults(faults);
+    }
+
+    /// Latency spikes injected on the data OCN so far.
+    pub fn mesh_fault_spikes(&self) -> u64 {
+        self.mesh.fault_spikes()
+    }
+
+    /// Checks structural cache invariants that must hold on *every* path,
+    /// including the degraded (fallback-steal, fault-injected) paths the
+    /// runtime only takes under adversarial schedules:
+    ///
+    /// * every dirty word is valid (a cache never writes back garbage);
+    /// * MESI lines are always whole-line valid, and dirty data only exists
+    ///   in `Modified` state;
+    /// * no line is resident twice in one L1.
+    ///
+    /// Returns a description of the first violation, if any. Chaos tests
+    /// call this on the final state of every fault-injected run.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (core, l1) in self.l1s.iter().enumerate() {
+            let proto = self.protocols[core];
+            let mut seen = std::collections::HashSet::new();
+            for e in l1.iter() {
+                if !seen.insert(e.line) {
+                    return Err(format!("core {core}: line {} resident twice", e.line));
+                }
+                for w in e.dirty.iter() {
+                    if !e.valid.contains(w) {
+                        return Err(format!(
+                            "core {core}: line {} word {w} dirty but not valid",
+                            e.line
+                        ));
+                    }
+                }
+                if proto == Protocol::Mesi {
+                    if e.valid != crate::addr::WordMask::FULL {
+                        return Err(format!(
+                            "core {core}: MESI line {} partially valid",
+                            e.line
+                        ));
+                    }
+                    if !e.dirty.is_empty() && e.mesi != crate::l1::MesiState::Modified {
+                        return Err(format!(
+                            "core {core}: MESI line {} dirty in state {:?}",
+                            e.line, e.mesi
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn core_tile(&self, core: usize) -> Tile {
         self.mesh.topology().core_tile(core)
     }

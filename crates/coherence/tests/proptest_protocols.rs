@@ -1,11 +1,13 @@
-//! Property-based tests of the coherence protocols: for *any* sequence of
-//! memory operations, the disciplined-use invariants of the paper's
-//! Section III must hold.
-
-use proptest::prelude::*;
+//! Randomized-but-deterministic tests of the coherence protocols: for the
+//! explored sequences of memory operations, the disciplined-use invariants
+//! of the paper's Section III must hold.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! simulator's own seeded [`XorShift64`] so the workspace has no external
+//! dependencies and every CI run explores exactly the same cases.
 
 use bigtiny_coherence::{Addr, CoreMemConfig, MemConfig, MemorySystem, Protocol};
-use bigtiny_mesh::{MeshConfig, Topology};
+use bigtiny_mesh::{MeshConfig, Topology, XorShift64};
 
 const CORES: usize = 4;
 
@@ -31,84 +33,107 @@ enum Op {
     Flush { core: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let core = 0..CORES;
-    let slot = 0u64..48;
-    prop_oneof![
-        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Load { core, slot }),
-        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Store { core, slot }),
-        (core.clone(), slot.clone()).prop_map(|(core, slot)| Op::Amo { core, slot }),
-        core.clone().prop_map(|core| Op::Invalidate { core }),
-        core.prop_map(|core| Op::Flush { core }),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    let core = rng.next_below(CORES as u64) as usize;
+    let slot = rng.next_below(48);
+    match rng.next_below(5) {
+        0 => Op::Load { core, slot },
+        1 => Op::Store { core, slot },
+        2 => Op::Amo { core, slot },
+        3 => Op::Invalidate { core },
+        _ => Op::Flush { core },
+    }
 }
 
 fn addr(slot: u64) -> Addr {
     Addr(0x10000 + slot * 8)
 }
 
-fn protocols() -> impl Strategy<Value = Protocol> {
-    prop_oneof![
-        Just(Protocol::Mesi),
-        Just(Protocol::DeNovo),
-        Just(Protocol::GpuWt),
-        Just(Protocol::GpuWb),
-    ]
+const PROTOCOLS: [Protocol; 4] =
+    [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb];
+
+fn random_protocol(rng: &mut XorShift64) -> Protocol {
+    PROTOCOLS[rng.next_below(4) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Structural cache invariants must hold after any operation sequence.
+fn assert_invariants(m: &MemorySystem) {
+    if let Err(e) = m.check_invariants() {
+        panic!("cache invariant violated: {e}");
+    }
+}
 
-    /// In an all-MESI system, *no* access pattern can ever read stale data:
-    /// writer-initiated invalidation needs no software discipline at all.
-    #[test]
-    fn all_mesi_never_stale(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// In an all-MESI system, *no* access pattern can ever read stale data:
+/// writer-initiated invalidation needs no software discipline at all.
+#[test]
+fn all_mesi_never_stale() {
+    let mut rng = XorShift64::new(0x434f_4831);
+    for _ in 0..64 {
         let mut m = system(Protocol::Mesi);
         let mut t = 0u64;
-        for op in ops {
+        for _ in 0..1 + rng.next_below(199) {
             t += 10;
-            match op {
-                Op::Load { core, slot } => { m.load(core, addr(slot), t); }
-                Op::Store { core, slot } => { m.store(core, addr(slot), t); }
-                Op::Amo { core, slot } => { m.amo(core, addr(slot), t); }
-                Op::Invalidate { core } => { m.invalidate_all(core, t); }
-                Op::Flush { core } => { m.flush_all(core, t); }
+            match random_op(&mut rng) {
+                Op::Load { core, slot } => {
+                    m.load(core, addr(slot), t);
+                }
+                Op::Store { core, slot } => {
+                    m.store(core, addr(slot), t);
+                }
+                Op::Amo { core, slot } => {
+                    m.amo(core, addr(slot), t);
+                }
+                Op::Invalidate { core } => {
+                    m.invalidate_all(core, t);
+                }
+                Op::Flush { core } => {
+                    m.flush_all(core, t);
+                }
             }
         }
-        prop_assert_eq!(m.total_stale_reads(), 0);
+        assert_eq!(m.total_stale_reads(), 0);
+        assert_invariants(&m);
     }
+}
 
-    /// In an HCC system, the hardware-coherent core stays fresh as long as
-    /// the software-centric writers *flush after writing* — MESI readers
-    /// need no self-invalidation of their own (the flush commit invalidates
-    /// their copies through the directory).
-    #[test]
-    fn mesi_fresh_against_flushing_writers(
-        seq in proptest::collection::vec((1..CORES, 0u64..32), 1..100),
-        tiny in protocols())
-    {
+/// In an HCC system, the hardware-coherent core stays fresh as long as the
+/// software-centric writers *flush after writing* — MESI readers need no
+/// self-invalidation of their own (the flush commit invalidates their copies
+/// through the directory).
+#[test]
+fn mesi_fresh_against_flushing_writers() {
+    let mut rng = XorShift64::new(0x434f_4832);
+    for _ in 0..64 {
+        let tiny = random_protocol(&mut rng);
         let mut m = system(tiny);
         let mut t = 0u64;
-        for (writer, slot) in seq {
+        for _ in 0..1 + rng.next_below(99) {
+            let writer = 1 + rng.next_below(CORES as u64 - 1) as usize;
+            let slot = rng.next_below(32);
             t += 20;
             m.store(writer, addr(slot), t);
             m.flush_all(writer, t + 2);
             m.load(0, addr(slot), t + 10); // core 0 is MESI; no invalidate needed
         }
-        prop_assert_eq!(m.core_stats(0).stale_reads, 0, "core 0 is MESI");
+        assert_eq!(m.core_stats(0).stale_reads, 0, "core 0 is MESI");
+        assert_invariants(&m);
     }
+}
 
-    /// Disciplined use — every writer flushes after writing, every reader
-    /// self-invalidates before reading remote data — never reads stale, on
-    /// any protocol. This is the DAG-consistency discipline of Section III.
-    #[test]
-    fn disciplined_use_is_never_stale(
-        seq in proptest::collection::vec((0..CORES, 0u64..32, any::<bool>()), 1..100),
-        tiny in protocols())
-    {
+/// Disciplined use — every writer flushes after writing, every reader
+/// self-invalidates before reading remote data — never reads stale, on any
+/// protocol. This is the DAG-consistency discipline of Section III.
+#[test]
+fn disciplined_use_is_never_stale() {
+    let mut rng = XorShift64::new(0x434f_4833);
+    for _ in 0..64 {
+        let tiny = random_protocol(&mut rng);
         let mut m = system(tiny);
         let mut t = 0u64;
-        for (core, slot, is_write) in seq {
+        for _ in 0..1 + rng.next_below(99) {
+            let core = rng.next_below(CORES as u64) as usize;
+            let slot = rng.next_below(32);
+            let is_write = rng.next_below(2) == 0;
             t += 10;
             if is_write {
                 // Acquire-like: invalidate before the read-modify-write.
@@ -122,50 +147,64 @@ proptest! {
                 m.load(core, addr(slot), t + 1);
             }
         }
-        prop_assert_eq!(m.total_stale_reads(), 0);
+        assert_eq!(m.total_stale_reads(), 0);
+        assert_invariants(&m);
     }
+}
 
-    /// AMOs are always coherent: a sequence of AMOs from arbitrary cores
-    /// never produces stale reads via subsequent invalidate+load.
-    #[test]
-    fn amo_then_disciplined_read_is_fresh(
-        seq in proptest::collection::vec((0..CORES, 0u64..16), 1..80),
-        tiny in protocols())
-    {
+/// AMOs are always coherent: a sequence of AMOs from arbitrary cores never
+/// produces stale reads via subsequent invalidate+load.
+#[test]
+fn amo_then_disciplined_read_is_fresh() {
+    let mut rng = XorShift64::new(0x434f_4834);
+    for _ in 0..64 {
+        let tiny = random_protocol(&mut rng);
         let mut m = system(tiny);
         let mut t = 0u64;
-        for (core, slot) in seq {
+        for _ in 0..1 + rng.next_below(79) {
+            let core = rng.next_below(CORES as u64) as usize;
+            let slot = rng.next_below(16);
             t += 20;
             m.amo(core, addr(slot), t);
             let reader = (core + 1) % CORES;
             m.invalidate_all(reader, t + 5);
             m.load(reader, addr(slot), t + 6);
         }
-        prop_assert_eq!(m.total_stale_reads(), 0);
+        assert_eq!(m.total_stale_reads(), 0);
+        assert_invariants(&m);
     }
+}
 
-    /// Latencies are always positive and hits are cheaper than the first
-    /// (cold) access.
-    #[test]
-    fn hits_never_cost_more_than_misses(core in 0..CORES, slot in 0u64..64, tiny in protocols()) {
+/// Latencies are always positive and hits are cheaper than the first (cold)
+/// access.
+#[test]
+fn hits_never_cost_more_than_misses() {
+    let mut rng = XorShift64::new(0x434f_4835);
+    for _ in 0..64 {
+        let tiny = random_protocol(&mut rng);
+        let core = rng.next_below(CORES as u64) as usize;
+        let slot = rng.next_below(64);
         let mut m = system(tiny);
         let miss = m.load(core, addr(slot), 0);
         let hit = m.load(core, addr(slot), miss + 1);
-        prop_assert!(miss >= 1 && hit >= 1);
-        prop_assert!(hit <= miss, "hit {} vs cold miss {}", hit, miss);
+        assert!(miss >= 1 && hit >= 1);
+        assert!(hit <= miss, "hit {hit} vs cold miss {miss}");
     }
+}
 
-    /// Bulk operations never report negative effects and respect the no-op
-    /// table: MESI invalidates/flushes nothing; DeNovo and GPU-WT flush
-    /// nothing.
-    #[test]
-    fn bulk_ops_respect_noop_table(
-        writes in proptest::collection::vec((0..CORES, 0u64..32), 0..40),
-        tiny in protocols())
-    {
+/// Bulk operations never report negative effects and respect the no-op
+/// table: MESI invalidates/flushes nothing; DeNovo and GPU-WT flush
+/// nothing.
+#[test]
+fn bulk_ops_respect_noop_table() {
+    let mut rng = XorShift64::new(0x434f_4836);
+    for _ in 0..64 {
+        let tiny = random_protocol(&mut rng);
         let mut m = system(tiny);
         let mut t = 0;
-        for (core, slot) in writes {
+        for _ in 0..rng.next_below(40) {
+            let core = rng.next_below(CORES as u64) as usize;
+            let slot = rng.next_below(32);
             t += 10;
             m.store(core, addr(slot), t);
         }
@@ -174,11 +213,12 @@ proptest! {
             let (_, flushed) = m.flush_all(core, t + 100);
             let (_, dropped) = m.invalidate_all(core, t + 200);
             if proto.flush_is_noop() {
-                prop_assert_eq!(flushed, 0, "{:?}", proto);
+                assert_eq!(flushed, 0, "{proto:?}");
             }
             if proto.invalidate_is_noop() {
-                prop_assert_eq!(dropped, 0, "{:?}", proto);
+                assert_eq!(dropped, 0, "{proto:?}");
             }
         }
+        assert_invariants(&m);
     }
 }

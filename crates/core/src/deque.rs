@@ -8,7 +8,7 @@
 //! line bouncing between thief and victim under MESI, and the
 //! invalidate/flush pairs HCC adds around each access.
 
-use parking_lot::RwLock;
+use bigtiny_engine::sync::RwLock;
 
 use bigtiny_coherence::Addr;
 use bigtiny_engine::{AddrSpace, CorePort, TimeCategory};

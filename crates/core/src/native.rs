@@ -3,21 +3,28 @@
 //!
 //! The paper validates its baseline runtime by comparing against Intel TBB
 //! and Cilk Plus natively (Section V-B). This module plays that role for the
-//! reproduction: the Criterion benches compare `NativePool` against serial
+//! reproduction: the timing benches compare `NativePool` against serial
 //! execution and a naive thread-per-task scheme on real hardware.
+//!
+//! The deques are plain `Mutex<VecDeque>`s rather than lock-free Chase-Lev
+//! structures: the workspace is deliberately dependency-free, and for the
+//! task granularities the benches use, lock overhead is not the bottleneck.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::deque::{Injector, Stealer, Worker as CbWorker};
-use parking_lot::{Condvar, Mutex};
+use bigtiny_engine::sync::{Condvar, Mutex};
 
 /// A task submitted to the native pool.
 pub type NativeTask = Box<dyn FnOnce(&NativeCtx<'_>) + Send + 'static>;
 
 struct PoolShared {
-    injector: Injector<NativeTask>,
-    stealers: Vec<Stealer<NativeTask>>,
+    /// Global submission queue (roots go here).
+    injector: Mutex<VecDeque<NativeTask>>,
+    /// Per-worker deques: owner pushes/pops at the back, thieves steal from
+    /// the front.
+    deques: Vec<Mutex<VecDeque<NativeTask>>>,
     pending: AtomicU64,
     shutdown: AtomicBool,
     idle_lock: Mutex<()>,
@@ -27,14 +34,14 @@ struct PoolShared {
 /// Context passed to every native task, used to spawn more tasks.
 pub struct NativeCtx<'a> {
     shared: &'a PoolShared,
-    local: &'a CbWorker<NativeTask>,
+    me: usize,
 }
 
 impl NativeCtx<'_> {
     /// Spawns a child task onto this worker's deque.
     pub fn spawn(&self, f: impl FnOnce(&NativeCtx<'_>) + Send + 'static) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.local.push(Box::new(f));
+        self.shared.deques[self.me].lock().push_back(Box::new(f));
         self.shared.idle_cv.notify_one();
     }
 }
@@ -63,24 +70,20 @@ impl NativePool {
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "pool needs at least one thread");
-        let workers: Vec<CbWorker<NativeTask>> = (0..threads).map(|_| CbWorker::new_lifo()).collect();
-        let stealers = workers.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(PoolShared {
-            injector: Injector::new(),
-            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
         });
-        let handles = workers
-            .into_iter()
-            .enumerate()
-            .map(|(i, local)| {
+        let handles = (0..threads)
+            .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("native-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &local, i))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn native worker")
             })
             .collect();
@@ -91,7 +94,7 @@ impl NativePool {
     /// spawned have completed.
     pub fn run(&self, root: impl FnOnce(&NativeCtx<'_>) + Send + 'static) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.push(Box::new(root));
+        self.shared.injector.lock().push_back(Box::new(root));
         self.shared.idle_cv.notify_all();
         // Wait for quiescence.
         let mut guard = self.shared.idle_lock.lock();
@@ -116,36 +119,29 @@ impl Drop for NativePool {
     }
 }
 
-fn find_task(shared: &PoolShared, local: &CbWorker<NativeTask>, me: usize) -> Option<NativeTask> {
-    if let Some(t) = local.pop() {
+fn find_task(shared: &PoolShared, me: usize) -> Option<NativeTask> {
+    // Own deque first (LIFO), then the injector, then steal round-robin
+    // from peers (FIFO).
+    if let Some(t) = shared.deques[me].lock().pop_back() {
         return Some(t);
     }
-    // Injector first, then steal round-robin from peers.
-    loop {
-        match shared.injector.steal_batch_and_pop(local) {
-            crossbeam::deque::Steal::Success(t) => return Some(t),
-            crossbeam::deque::Steal::Retry => continue,
-            crossbeam::deque::Steal::Empty => break,
-        }
+    if let Some(t) = shared.injector.lock().pop_front() {
+        return Some(t);
     }
-    let n = shared.stealers.len();
+    let n = shared.deques.len();
     for k in 1..n {
         let v = (me + k) % n;
-        loop {
-            match shared.stealers[v].steal() {
-                crossbeam::deque::Steal::Success(t) => return Some(t),
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
-            }
+        if let Some(t) = shared.deques[v].lock().pop_front() {
+            return Some(t);
         }
     }
     None
 }
 
-fn worker_loop(shared: &PoolShared, local: &CbWorker<NativeTask>, me: usize) {
+fn worker_loop(shared: &PoolShared, me: usize) {
     loop {
-        if let Some(task) = find_task(shared, local, me) {
-            let cx = NativeCtx { shared, local };
+        if let Some(task) = find_task(shared, me) {
+            let cx = NativeCtx { shared, me };
             task(&cx);
             if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                 shared.idle_cv.notify_all();

@@ -15,12 +15,14 @@
 //!   `has_stolen_child` flag elides AMOs, flushes, and invalidates entirely
 //!   when no child of a task was ever stolen.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use bigtiny_engine::sync::RwLock;
 
 use bigtiny_engine::{
-    run_system, AddrSpace, CorePort, RunReport, SystemConfig, TimeCategory, UliOutcome, Worker,
+    run_system, AddrSpace, CorePort, RunReport, SystemConfig, TimeCategory, UliMessage,
+    UliOutcome, Worker, WATCHDOG_MSG,
 };
 
 use crate::deque::SimDeque;
@@ -102,6 +104,15 @@ pub struct RuntimeConfig {
     /// exists to demonstrate that the staleness checker catches the bugs the
     /// paper's protocol prevents. Never enable outside tests/ablations.
     pub skip_coherence_ops: bool,
+    /// Hardened DTS only (active when a fault plan is armed): cycles a thief
+    /// waits for a ULI steal response before declaring it lost. Must exceed
+    /// the worst-case request + handler + response latency or healthy steals
+    /// are misclassified as timeouts.
+    pub uli_response_timeout_cycles: u64,
+    /// Hardened DTS only: consecutive failed ULI steal attempts (NACKs,
+    /// empty victims, timeouts) before a thief gives up on direct task
+    /// stealing for one round and steals through shared memory instead.
+    pub uli_giveup_attempts: u64,
 }
 
 impl RuntimeConfig {
@@ -117,6 +128,8 @@ impl RuntimeConfig {
             dts_steal_from_tail: false,
             dts_has_stolen_child_opt: true,
             skip_coherence_ops: false,
+            uli_response_timeout_cycles: 4096,
+            uli_giveup_attempts: 4,
         }
     }
 }
@@ -134,6 +147,15 @@ pub struct RuntimeStats {
     pub steals: u64,
     /// ULI steal requests that were NACKed (DTS only).
     pub steal_nacks: u64,
+    /// ULI steal responses that never arrived within the hardened-mode
+    /// timeout (only possible under an armed fault plan).
+    pub uli_timeouts: u64,
+    /// Steals performed through the shared-memory fallback path after the
+    /// DTS runtime gave up on ULI for a round (hardened mode only).
+    pub fallback_steals: u64,
+    /// Steal attempts that the fault plan forced to miss before any deque
+    /// or ULI traffic.
+    pub forced_steal_misses: u64,
     /// Work/span profile of the task graph.
     pub workspan: WorkSpan,
 }
@@ -165,9 +187,15 @@ pub(crate) struct RtShared {
     victim_order: Vec<Vec<usize>>,
 }
 
+/// A thief's steal mailbox. Functionally a queue rather than a single word:
+/// under fault injection a thief can time out on a steal request whose
+/// victim nevertheless services it later, so a second victim's task may be
+/// delivered while the first still sits unclaimed. ULI responses and mailbox
+/// pushes happen in the same (token-ordered) handler executions, so queue
+/// order always matches response order.
 struct Mailbox {
     addr: bigtiny_coherence::Addr,
-    value: RwLock<u64>,
+    value: RwLock<VecDeque<u64>>,
 }
 
 impl RtShared {
@@ -179,7 +207,7 @@ impl RtShared {
     ) -> Self {
         let deques = (0..workers).map(|_| SimDeque::new(space, cfg.deque_capacity)).collect();
         let mailboxes = (0..workers)
-            .map(|_| Mailbox { addr: space.reserve_lines(64), value: RwLock::new(TaskId::NONE_PAYLOAD) })
+            .map(|_| Mailbox { addr: space.reserve_lines(64), value: RwLock::new(VecDeque::new()) })
             .collect();
         let stack_bytes = 1 << 20;
         let stack_bases = (0..workers).map(|_| space.reserve_lines(stack_bytes).0).collect();
@@ -222,10 +250,30 @@ impl RtShared {
         let insts_at_entry = port.instructions();
         // Handler prologue: a handful of instructions to read the message.
         port.advance(4);
-        let task = if self.cfg.dts_steal_from_tail {
-            self.deques[wid].pop_tail(port)
+        let take = |dq: &SimDeque, port: &mut CorePort| {
+            if self.cfg.dts_steal_from_tail {
+                dq.pop_tail(port)
+            } else {
+                dq.pop_head(port)
+            }
+        };
+        let task = if port.faults_active() {
+            // Hardened mode: fallback thieves may touch this deque through
+            // shared memory, so the handler takes the lock and brackets the
+            // access HCC-style (see `TaskCx::fallback_steal`).
+            let dq = &self.deques[wid];
+            dq.lock(port);
+            if !self.cfg.skip_coherence_ops {
+                port.invalidate_cache();
+            }
+            let t = take(dq, port);
+            if !self.cfg.skip_coherence_ops {
+                port.flush_cache();
+            }
+            dq.unlock(port);
+            t
         } else {
-            self.deques[wid].pop_head(port)
+            take(&self.deques[wid], port)
         };
         if let Some(t) = task {
             // Mark the parent before exposing the task (line 50):
@@ -241,7 +289,7 @@ impl RtShared {
             // thief's mailbox in shared memory.
             let mb = &self.mailboxes[thief];
             port.store_words(mb.addr, 1, || {
-                *mb.value.write() = t.to_payload();
+                mb.value.write().push_back(t.to_payload());
             });
             // cache_flush (line 52): make the task and everything this
             // worker produced visible to the thief.
@@ -272,6 +320,10 @@ pub struct TaskCx<'a> {
     current: Option<TaskId>,
     backoff: u64,
     victim_cursor: usize,
+    /// Consecutive failed ULI steal attempts (hardened DTS only); reaching
+    /// `RuntimeConfig::uli_giveup_attempts` triggers one shared-memory
+    /// fallback steal, after which the count restarts.
+    uli_fail_streak: u64,
 }
 
 impl std::fmt::Debug for TaskCx<'_> {
@@ -284,7 +336,25 @@ impl<'a> TaskCx<'a> {
     fn new(port: &'a mut CorePort, rt: Arc<RtShared>, wid: usize) -> Self {
         let stack_top = rt.stack_bases[wid];
         let backoff = rt.cfg.steal_backoff_cycles;
-        TaskCx { port, rt, wid, stack_top, inst_mark: 0, current: None, backoff, victim_cursor: 0 }
+        TaskCx {
+            port,
+            rt,
+            wid,
+            stack_top,
+            inst_mark: 0,
+            current: None,
+            backoff,
+            victim_cursor: 0,
+            uli_fail_streak: 0,
+        }
+    }
+
+    /// Whether the `has_stolen_child` elision is in force. Under an armed
+    /// fault plan it is disabled: fallback steals bypass the victim-side
+    /// handler that maintains the flag, so hardened DTS always uses the
+    /// conservative AMO + unconditional-invalidate protocol.
+    fn dts_hsc_opt(&self) -> bool {
+        self.rt.cfg.dts_has_stolen_child_opt && !self.port.faults_active()
     }
 
     /// The simulated core this worker runs on.
@@ -506,7 +576,20 @@ impl<'a> TaskCx<'a> {
             }
             RuntimeKind::Dts => {
                 self.port.uli_disable();
-                let ok = self.rt.deques[self.wid].push_tail(self.port, child);
+                let ok = if self.port.faults_active() {
+                    // Hardened mode: the deque is no longer private (see
+                    // `fallback_steal`), so guard it HCC-style.
+                    let rt = Arc::clone(&self.rt);
+                    let dq = &rt.deques[self.wid];
+                    dq.lock(self.port);
+                    self.cache_invalidate();
+                    let ok = dq.push_tail(self.port, child);
+                    self.cache_flush();
+                    dq.unlock(self.port);
+                    ok
+                } else {
+                    self.rt.deques[self.wid].push_tail(self.port, child)
+                };
                 self.port.uli_enable();
                 ok
             }
@@ -552,14 +635,14 @@ impl<'a> TaskCx<'a> {
                 self.cache_invalidate();
             }
             RuntimeKind::Dts => {
-                let mut rc = if self.rt.cfg.dts_has_stolen_child_opt {
+                let mut rc = if self.dts_hsc_opt() {
                     self.read_rc_plain_racy(p)
                 } else {
                     self.read_rc_amo(p)
                 };
                 while rc > 0 {
                     self.step_dts();
-                    rc = if self.rt.cfg.dts_has_stolen_child_opt {
+                    rc = if self.dts_hsc_opt() {
                         // Lines 37-40: AMO only when a child was stolen. The
                         // plain read tolerates staleness (it can only be an
                         // older, larger count; the next iteration corrects).
@@ -573,7 +656,7 @@ impl<'a> TaskCx<'a> {
                     };
                 }
                 // Lines 43-44: invalidate only if a child was stolen.
-                if !self.rt.cfg.dts_has_stolen_child_opt || self.read_hsc(p) {
+                if !self.dts_hsc_opt() || self.read_hsc(p) {
                     self.cache_invalidate();
                 }
             }
@@ -613,6 +696,9 @@ impl<'a> TaskCx<'a> {
         }
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
+        if self.forced_miss() {
+            return;
+        }
         let vdq = &self.rt.deques[vid];
         let t = match self.rt.cfg.deque_kind {
             DequeKind::Locked => {
@@ -646,6 +732,9 @@ impl<'a> TaskCx<'a> {
         }
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
+        if self.forced_miss() {
+            return;
+        }
         let vdq = &rt.deques[vid];
         vdq.lock(self.port);
         self.cache_invalidate();
@@ -667,9 +756,38 @@ impl<'a> TaskCx<'a> {
     }
 
     fn step_dts(&mut self) {
-        // Local pop: deque is private, just mask ULIs (lines 11-13).
+        let hardened = self.port.faults_active();
+        // Under faults, a response to a steal request this worker timed out
+        // on can arrive arbitrarily late; its task is already queued in our
+        // mailbox and would be lost if never claimed. Drain before anything
+        // else.
+        if hardened {
+            if let Some(m) = self.port.uli_poll_response() {
+                if m.payload == 1 {
+                    self.claim_stolen_task();
+                } else {
+                    self.uli_fail_streak += 1;
+                    self.steal_failed();
+                }
+                return;
+            }
+        }
+        // Local pop: deque is private, just mask ULIs (lines 11-13). In
+        // hardened mode fallback thieves also touch this deque through
+        // shared memory, so the owner locks and brackets HCC-style.
         self.port.uli_disable();
-        let t = self.rt.deques[self.wid].pop_tail(self.port);
+        let t = if hardened {
+            let rt = Arc::clone(&self.rt);
+            let dq = &rt.deques[self.wid];
+            dq.lock(self.port);
+            self.cache_invalidate();
+            let t = dq.pop_tail(self.port);
+            self.cache_flush();
+            dq.unlock(self.port);
+            t
+        } else {
+            self.rt.deques[self.wid].pop_tail(self.port)
+        };
         self.port.uli_enable();
         if let Some(t) = t {
             self.execute_and_complete(t);
@@ -678,47 +796,126 @@ impl<'a> TaskCx<'a> {
         // Remote steal through the ULI network (lines 24-34).
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
+        if self.forced_miss() {
+            self.uli_fail_streak += 1;
+            return;
+        }
+        if hardened && self.uli_fail_streak >= self.rt.cfg.uli_giveup_attempts {
+            // Give up on ULI for one round and steal through shared memory.
+            self.uli_fail_streak = 0;
+            self.fallback_steal(vid);
+            return;
+        }
+        enum Resp {
+            Got(UliMessage),
+            Done,
+            TimedOut,
+        }
         match self.port.uli_send_request(vid, self.wid as u64) {
             UliOutcome::Sent => {
                 // Wait for the response, servicing incoming steal requests
-                // to avoid mutual-steal deadlock.
+                // to avoid mutual-steal deadlock. Without faults a response
+                // is guaranteed; hardened mode bounds the wait because the
+                // request may have been dropped in flight.
+                let deadline = self.port.now() + self.rt.cfg.uli_response_timeout_cycles;
                 let resp = loop {
                     if let Some(m) = self.port.uli_poll_response() {
-                        break Some(m);
+                        break Resp::Got(m);
                     }
                     self.port.uli_poll();
                     if self.is_done() {
-                        break None;
+                        break Resp::Done;
+                    }
+                    if hardened && self.port.now() >= deadline {
+                        break Resp::TimedOut;
                     }
                     self.port.wait_cycles(8, TimeCategory::UliWait);
                 };
                 match resp {
-                    Some(m) if m.payload == 1 => {
-                        // A task was handed to us: invalidate (line 30),
-                        // then read the mailbox fresh.
-                        self.cache_invalidate();
-                        let mb = &self.rt.mailboxes[self.wid];
-                        let raw = self.port.load_words(mb.addr, 1, || {
-                            let mut v = mb.value.write();
-                            std::mem::replace(&mut *v, TaskId::NONE_PAYLOAD)
-                        });
-                        let t = TaskId::from_payload(raw).expect("victim promised a task");
-                        self.steal_succeeded();
-                        self.execute_task(t);
-                        self.cache_flush(); // line 32
-                        self.complete_task_stolen(t); // line 33: amo_sub
-                    }
-                    Some(_) => {
+                    Resp::Got(m) if m.payload == 1 => self.claim_stolen_task(),
+                    Resp::Got(_) => {
                         // Victim was empty.
+                        self.uli_fail_streak += 1;
                         self.steal_failed();
                     }
-                    None => {} // program finished while waiting
+                    Resp::TimedOut => {
+                        // The request (or its response) was lost or badly
+                        // delayed; back off and try elsewhere. If it was
+                        // merely delayed, the eventual response is handled
+                        // by the drain at the top of this function.
+                        self.rt.counters.write().uli_timeouts += 1;
+                        self.uli_fail_streak += 1;
+                        self.steal_failed();
+                    }
+                    Resp::Done => {} // program finished while waiting
                 }
             }
             UliOutcome::Nack { .. } => {
                 self.rt.counters.write().steal_nacks += 1;
+                self.uli_fail_streak += 1;
                 self.steal_failed();
             }
+        }
+    }
+
+    /// Claims a task a victim handed over through this worker's mailbox
+    /// (from a fresh or late ULI response with payload 1), executes it, and
+    /// decrements its parent.
+    fn claim_stolen_task(&mut self) {
+        // Invalidate (line 30), then read the mailbox fresh.
+        self.cache_invalidate();
+        let mb = &self.rt.mailboxes[self.wid];
+        let raw = self.port.load_words(mb.addr, 1, || {
+            mb.value.write().pop_front().unwrap_or(TaskId::NONE_PAYLOAD)
+        });
+        let t = TaskId::from_payload(raw).expect("victim promised a task");
+        self.uli_fail_streak = 0;
+        self.steal_succeeded();
+        self.port.mark_progress();
+        self.execute_task(t);
+        self.cache_flush(); // line 32
+        self.complete_task_stolen(t); // line 33: amo_sub
+    }
+
+    /// Degraded shared-memory steal for hardened DTS: lock the victim's
+    /// deque and take its head, bracketed with invalidate/flush exactly like
+    /// the HCC runtime. Functionally safe under any fault plan because every
+    /// DTS deque access (owner, handler, fallback thief) takes the lock
+    /// while a plan is armed, and hardened mode always runs the conservative
+    /// AMO + unconditional-invalidate completion protocol (see
+    /// [`TaskCx::dts_hsc_opt`]), so no `has_stolen_child` bookkeeping is
+    /// required on this path.
+    fn fallback_steal(&mut self, vid: usize) {
+        self.rt.counters.write().fallback_steals += 1;
+        let rt = Arc::clone(&self.rt);
+        let vdq = &rt.deques[vid];
+        vdq.lock(self.port);
+        self.cache_invalidate();
+        let t = vdq.pop_head(self.port);
+        self.cache_flush();
+        vdq.unlock(self.port);
+        if let Some(t) = t {
+            self.rt.counters.write().steals += 1;
+            self.steal_succeeded();
+            self.port.mark_progress();
+            self.cache_invalidate();
+            self.execute_task(t);
+            self.cache_flush();
+            self.complete_task_stolen(t);
+        } else {
+            self.steal_failed();
+        }
+    }
+
+    /// Consults the fault plan's forced-miss hook; on a forced miss the
+    /// steal attempt is abandoned before any deque or ULI traffic.
+    fn forced_miss(&mut self) -> bool {
+        if self.port.fault_steal_miss() {
+            self.rt.counters.write().forced_steal_misses += 1;
+            self.steal_failed();
+            true
+        } else {
+            false
         }
     }
 
@@ -766,6 +963,9 @@ impl<'a> TaskCx<'a> {
     // ------------------------------------------------------------------
 
     fn execute_task(&mut self, t: TaskId) {
+        // Task execution is real forward progress: let the liveness
+        // watchdog know (free when no watchdog is armed).
+        self.port.mark_progress();
         // Dispatch: read the task descriptor and call through it.
         let desc = self.rt.tasks.read()[t.0 as usize].desc_addr();
         self.port.load_words(desc, 2, || ());
@@ -816,7 +1016,7 @@ impl<'a> TaskCx<'a> {
         match self.rt.cfg.kind {
             RuntimeKind::Baseline | RuntimeKind::Hcc => self.dec_rc_amo(p),
             RuntimeKind::Dts => {
-                if self.rt.cfg.dts_has_stolen_child_opt {
+                if self.dts_hsc_opt() {
                     // Figure 3(c) lines 17-20, with ULIs masked across the
                     // check-and-decrement: a steal handler running between
                     // the `has_stolen_child` read and a plain decrement
@@ -922,7 +1122,49 @@ pub fn run_task_parallel(
         }));
     }
 
-    let report = run_system(sys, workers);
+    // If the engine's liveness watchdog aborts the run, enrich its
+    // diagnostic bundle with the runtime-level picture (deque depths and
+    // unclaimed mailbox entries) before re-raising: by far the most common
+    // cause of a hung run is work parked where no live worker looks.
+    let report = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_system(sys, workers)
+    })) {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied());
+            match msg {
+                Some(m) if m.contains(WATCHDOG_MSG) => {
+                    let mut out = String::from(m);
+                    out.push_str("\nruntime state:\n");
+                    for (w, dq) in rt.deques.iter().enumerate() {
+                        let mb = rt.mailboxes[w].value.read().len();
+                        out.push_str(&format!(
+                            "  worker {w}: deque depth {}{}, {mb} unclaimed mailbox task(s)\n",
+                            dq.host_len(),
+                            if dq.host_locked() { " (locked)" } else { "" },
+                        ));
+                    }
+                    let c = rt.counters.read();
+                    out.push_str(&format!(
+                        "  tasks: {} spawned, {} executed; steals: {} ok / {} attempts, \
+                         {} nacks, {} timeouts, {} fallback\n",
+                        c.spawns,
+                        c.tasks_executed,
+                        c.steals,
+                        c.steal_attempts,
+                        c.steal_nacks,
+                        c.uli_timeouts,
+                        c.fallback_steals,
+                    ));
+                    std::panic::panic_any(out)
+                }
+                _ => std::panic::resume_unwind(payload),
+            }
+        }
+    };
     let stats = *rt.counters.read();
     TaskRun { report, stats }
 }

@@ -1,13 +1,16 @@
-//! Property test: the simulated work-stealing deque behaves exactly like a
-//! reference double-ended queue for any sequence of owner/thief operations.
+//! Randomized-but-deterministic test: the simulated work-stealing deque
+//! behaves exactly like a reference double-ended queue for any sequence of
+//! owner/thief operations.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! simulator's own seeded [`XorShift64`] so the workspace has no external
+//! dependencies and every CI run explores exactly the same cases.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use bigtiny_core::{SimDeque, TaskId};
-use bigtiny_engine::{run_system, AddrSpace, SystemConfig, Worker};
+use bigtiny_engine::{run_system, AddrSpace, SystemConfig, Worker, XorShift64};
 
 #[derive(Clone, Copy, Debug)]
 enum DqOp {
@@ -16,127 +19,97 @@ enum DqOp {
     PopHead,
 }
 
-fn op_strategy() -> impl Strategy<Value = DqOp> {
-    prop_oneof![
-        (0u32..10_000).prop_map(DqOp::PushTail),
-        Just(DqOp::PopTail),
-        Just(DqOp::PopHead),
-    ]
+fn random_ops(rng: &mut XorShift64) -> (Vec<DqOp>, usize) {
+    let capacity = 1 + rng.next_below(31) as usize;
+    let len = 1 + rng.next_below(119);
+    let ops = (0..len)
+        .map(|_| match rng.next_below(3) {
+            0 => DqOp::PushTail(rng.next_below(10_000) as u32),
+            1 => DqOp::PopTail,
+            _ => DqOp::PopHead,
+        })
+        .collect();
+    (ops, capacity)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `ops` against the simulated deque on one core; `chase_lev` selects
+/// the lock-free entry points. Returns the observed outcomes:
+/// `None` = push accepted, `Some(x)` = pop result (or rejected push).
+fn run_deque(ops: &[DqOp], capacity: usize, chase_lev: bool) -> (Arc<SimDeque>, Vec<Option<Option<u32>>>) {
+    let mut space = AddrSpace::new();
+    let dq = Arc::new(SimDeque::new(&mut space, capacity));
+    let d = Arc::clone(&dq);
+    let results: Arc<std::sync::Mutex<Vec<Option<Option<u32>>>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let r2 = Arc::clone(&results);
+    let ops2 = ops.to_vec();
 
-    #[test]
-    fn deque_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        capacity in 1usize..32)
-    {
-        let mut space = AddrSpace::new();
-        let dq = Arc::new(SimDeque::new(&mut space, capacity));
-        let d = Arc::clone(&dq);
-        let results: Arc<std::sync::Mutex<Vec<Option<Option<u32>>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
-        let r2 = Arc::clone(&results);
-        let ops2 = ops.clone();
-
-        let config = SystemConfig::o3(1);
-        let workers: Vec<Worker> = vec![Box::new(move |port| {
-            for op in ops2 {
-                let outcome = match op {
-                    DqOp::PushTail(v) => {
-                        let ok = d.push_tail(port, TaskId(v));
-                        if ok { None } else { Some(None) } // encode "full"
-                    }
-                    DqOp::PopTail => Some(d.pop_tail(port).map(|t| t.0)),
-                    DqOp::PopHead => Some(d.pop_head(port).map(|t| t.0)),
-                };
-                r2.lock().unwrap().push(outcome);
-            }
-            port.set_done();
-        })];
-        run_system(&config, workers);
-
-        // Replay against the reference model.
-        let mut model: VecDeque<u32> = VecDeque::new();
-        let got = results.lock().unwrap();
-        for (i, op) in ops.iter().enumerate() {
-            match op {
+    let config = SystemConfig::o3(1);
+    let workers: Vec<Worker> = vec![Box::new(move |port| {
+        for op in ops2 {
+            let outcome = match op {
                 DqOp::PushTail(v) => {
-                    if model.len() < capacity {
-                        model.push_back(*v);
-                        prop_assert_eq!(got[i], None, "push {} accepted", i);
+                    let ok = if chase_lev {
+                        d.cl_push_tail(port, TaskId(v))
                     } else {
-                        prop_assert_eq!(got[i], Some(None), "push {} rejected when full", i);
-                    }
+                        d.push_tail(port, TaskId(v))
+                    };
+                    if ok { None } else { Some(None) } // encode "full"
                 }
-                DqOp::PopTail => {
-                    prop_assert_eq!(got[i], Some(model.pop_back()), "pop_tail {}", i);
-                }
-                DqOp::PopHead => {
-                    prop_assert_eq!(got[i], Some(model.pop_front()), "pop_head {}", i);
+                DqOp::PopTail => Some(
+                    if chase_lev { d.cl_pop_tail(port) } else { d.pop_tail(port) }.map(|t| t.0),
+                ),
+                DqOp::PopHead => Some(
+                    if chase_lev { d.cl_steal(port) } else { d.pop_head(port) }.map(|t| t.0),
+                ),
+            };
+            r2.lock().unwrap().push(outcome);
+        }
+        port.set_done();
+    })];
+    run_system(&config, workers);
+    let got = results.lock().unwrap().clone();
+    (dq, got)
+}
+
+/// Replays `ops` against a host `VecDeque` and checks each observed outcome.
+fn check_against_model(ops: &[DqOp], capacity: usize, got: &[Option<Option<u32>>], final_len: usize) {
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            DqOp::PushTail(v) => {
+                if model.len() < capacity {
+                    model.push_back(*v);
+                    assert_eq!(got[i], None, "push {i} accepted");
+                } else {
+                    assert_eq!(got[i], Some(None), "push {i} rejected when full");
                 }
             }
+            DqOp::PopTail => assert_eq!(got[i], Some(model.pop_back()), "pop_tail {i}"),
+            DqOp::PopHead => assert_eq!(got[i], Some(model.pop_front()), "pop_head {i}"),
         }
-        prop_assert_eq!(dq.host_len(), model.len());
+    }
+    assert_eq!(final_len, model.len());
+}
+
+#[test]
+fn deque_matches_reference_model() {
+    let mut rng = XorShift64::new(0x4445_5155_0001);
+    for _ in 0..48 {
+        let (ops, capacity) = random_ops(&mut rng);
+        let (dq, got) = run_deque(&ops, capacity, false);
+        check_against_model(&ops, capacity, &got, dq.host_len());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The Chase-Lev operations obey the same reference-deque semantics as
-    /// the lock-based ones for any single-threaded op sequence.
-    #[test]
-    fn chase_lev_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        capacity in 1usize..32)
-    {
-        let mut space = AddrSpace::new();
-        let dq = Arc::new(SimDeque::new(&mut space, capacity));
-        let d = Arc::clone(&dq);
-        let results: Arc<std::sync::Mutex<Vec<Option<Option<u32>>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
-        let r2 = Arc::clone(&results);
-        let ops2 = ops.clone();
-
-        let config = SystemConfig::o3(1);
-        let workers: Vec<Worker> = vec![Box::new(move |port| {
-            for op in ops2 {
-                let outcome = match op {
-                    DqOp::PushTail(v) => {
-                        let ok = d.cl_push_tail(port, TaskId(v));
-                        if ok { None } else { Some(None) }
-                    }
-                    DqOp::PopTail => Some(d.cl_pop_tail(port).map(|t| t.0)),
-                    DqOp::PopHead => Some(d.cl_steal(port).map(|t| t.0)),
-                };
-                r2.lock().unwrap().push(outcome);
-            }
-            port.set_done();
-        })];
-        run_system(&config, workers);
-
-        let mut model: VecDeque<u32> = VecDeque::new();
-        let got = results.lock().unwrap();
-        for (i, op) in ops.iter().enumerate() {
-            match op {
-                DqOp::PushTail(v) => {
-                    if model.len() < capacity {
-                        model.push_back(*v);
-                        prop_assert_eq!(got[i], None, "cl push {} accepted", i);
-                    } else {
-                        prop_assert_eq!(got[i], Some(None), "cl push {} rejected when full", i);
-                    }
-                }
-                DqOp::PopTail => {
-                    prop_assert_eq!(got[i], Some(model.pop_back()), "cl pop_tail {}", i);
-                }
-                DqOp::PopHead => {
-                    prop_assert_eq!(got[i], Some(model.pop_front()), "cl steal {}", i);
-                }
-            }
-        }
-        prop_assert_eq!(dq.host_len(), model.len());
+/// The Chase-Lev operations obey the same reference-deque semantics as the
+/// lock-based ones for any single-threaded op sequence.
+#[test]
+fn chase_lev_matches_reference_model() {
+    let mut rng = XorShift64::new(0x4445_5155_0002);
+    for _ in 0..48 {
+        let (ops, capacity) = random_ops(&mut rng);
+        let (dq, got) = run_deque(&ops, capacity, true);
+        check_against_model(&ops, capacity, &got, dq.host_len());
     }
 }

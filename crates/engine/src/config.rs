@@ -4,6 +4,8 @@
 use bigtiny_coherence::{CoreMemConfig, MemConfig, Protocol};
 use bigtiny_mesh::{MeshConfig, Topology};
 
+use crate::fault::FaultPlan;
+
 /// Core microarchitecture class.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CoreKind {
@@ -59,6 +61,17 @@ pub struct SystemConfig {
     pub track_staleness: bool,
     /// Record per-core execution traces (see [`crate::render_timeline`]).
     pub trace: bool,
+    /// Fault-injection plan. Defaults to [`FaultPlan::none()`], which is
+    /// zero-cost: no fault code runs and timing is bit-for-bit unchanged.
+    pub faults: FaultPlan,
+    /// Liveness watchdog: maximum sequencer grants between runtime
+    /// progress marks before the run is declared stuck. `None` (default)
+    /// disables the watchdog entirely.
+    pub watchdog_budget: Option<u64>,
+    /// Wall-clock fallback window of the watchdog in milliseconds (only
+    /// meaningful with `watchdog_budget` set). Trips when no sequencer
+    /// grant happens at all for this long.
+    pub watchdog_wall_ms: u64,
 }
 
 impl SystemConfig {
@@ -74,6 +87,9 @@ impl SystemConfig {
             seed: 0x5eed,
             track_staleness: true,
             trace: false,
+            faults: FaultPlan::none(),
+            watchdog_budget: None,
+            watchdog_wall_ms: 5_000,
         }
     }
 
@@ -158,6 +174,19 @@ impl SystemConfig {
     /// Returns a copy with a different seed (for replicated experiments).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given fault plan armed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns a copy with the liveness watchdog armed at `budget`
+    /// sequencer grants between progress marks.
+    pub fn with_watchdog(mut self, budget: u64) -> Self {
+        self.watchdog_budget = Some(budget);
         self
     }
 }

@@ -1,0 +1,332 @@
+//! Deterministic fault injection for adversarial-schedule testing.
+//!
+//! A [`FaultPlan`] describes which faults to inject and how often; it is
+//! part of [`SystemConfig`](crate::SystemConfig) and defaults to
+//! [`FaultPlan::none()`], in which case **no fault code runs at all**: the
+//! golden path is bit-for-bit identical to a build without this module.
+//!
+//! Determinism: every fault decision is a roll on a seeded xorshift stream.
+//! Each core owns its own stream (seeded from the plan seed and the core
+//! id) consumed in that core's program order, and the data-OCN owns one
+//! stream consumed in message order — both orders are fixed by the global
+//! token sequencer, so the same seed injects the same faults at the same
+//! points on every run, even though faults change timing.
+//!
+//! The fault taxonomy (see DESIGN.md, "Fault model & liveness"):
+//!
+//! * **ULI request drop** — the thief's steal request is charged to the
+//!   network but never arrives and no NACK returns; the thief believes the
+//!   send succeeded and must time out.
+//! * **ULI forced NACK** — the request bounces as if the victim's buffer
+//!   were full, exercising the NACK-retry path far beyond its natural rate.
+//! * **ULI delivery delay** — the request arrives late by a fixed number of
+//!   cycles, widening steal/termination race windows.
+//! * **ULI receive drop** — the victim's ULI unit takes the request but the
+//!   handler never sees it (a lost interrupt).
+//! * **Steal-victim miss** — the runtime's victim selection is forced to
+//!   report an empty deque, starving thieves into long retry storms.
+//! * **Mesh latency spike** — a data-OCN message suffers a large extra
+//!   latency, perturbing every memory-system timing assumption.
+
+use bigtiny_mesh::{MeshFaults, XorShift64};
+
+/// A deterministic fault-injection plan (see the module docs).
+///
+/// All probabilities are in thousandths: `0` disables that fault, `1000`
+/// fires on every opportunity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Probability a ULI request is silently dropped in the network.
+    pub uli_drop_per_mille: u32,
+    /// Probability a ULI request is force-NACKed.
+    pub uli_nack_per_mille: u32,
+    /// Probability a delivered ULI request is delayed by
+    /// [`FaultPlan::uli_delay_cycles`].
+    pub uli_delay_per_mille: u32,
+    /// Extra delivery delay for delayed requests, in cycles.
+    pub uli_delay_cycles: u64,
+    /// Probability an arrived ULI request is dropped at the receiver
+    /// instead of being dispatched to the handler.
+    pub uli_rx_drop_per_mille: u32,
+    /// Probability a steal-victim lookup is forced to miss (runtime-level).
+    pub steal_miss_per_mille: u32,
+    /// Probability a data-OCN message suffers a latency spike.
+    pub mesh_spike_per_mille: u32,
+    /// Extra latency of a spiked data-OCN message, in cycles.
+    pub mesh_spike_cycles: u64,
+    /// Seed of every fault decision stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults: the zero-cost default. With this plan the simulator's
+    /// timing and determinism are bit-for-bit unchanged.
+    pub const fn none() -> Self {
+        FaultPlan {
+            uli_drop_per_mille: 0,
+            uli_nack_per_mille: 0,
+            uli_delay_per_mille: 0,
+            uli_delay_cycles: 0,
+            uli_rx_drop_per_mille: 0,
+            steal_miss_per_mille: 0,
+            mesh_spike_per_mille: 0,
+            mesh_spike_cycles: 0,
+            seed: 0,
+        }
+    }
+
+    /// ULI drop-storm: a quarter of steal requests vanish in the network
+    /// and some arrive but are lost at the receiver.
+    pub const fn uli_drop_storm(seed: u64) -> Self {
+        FaultPlan {
+            uli_drop_per_mille: 250,
+            uli_nack_per_mille: 150,
+            uli_rx_drop_per_mille: 100,
+            ..Self::none_seeded(seed)
+        }
+    }
+
+    /// Steal-miss storm: most victim lookups are forced empty, with extra
+    /// ULI delivery delay widening the retry windows.
+    pub const fn steal_miss_storm(seed: u64) -> Self {
+        FaultPlan {
+            steal_miss_per_mille: 600,
+            uli_delay_per_mille: 200,
+            uli_delay_cycles: 400,
+            ..Self::none_seeded(seed)
+        }
+    }
+
+    /// Mesh latency spikes: 5% of data-OCN messages take an extra 500
+    /// cycles.
+    pub const fn mesh_latency_spikes(seed: u64) -> Self {
+        FaultPlan { mesh_spike_per_mille: 50, mesh_spike_cycles: 500, ..Self::none_seeded(seed) }
+    }
+
+    /// Everything at once: the hostile plan used by the chaos integration
+    /// tests.
+    pub const fn hostile(seed: u64) -> Self {
+        FaultPlan {
+            uli_drop_per_mille: 200,
+            uli_nack_per_mille: 150,
+            uli_delay_per_mille: 150,
+            uli_delay_cycles: 300,
+            uli_rx_drop_per_mille: 80,
+            steal_miss_per_mille: 300,
+            mesh_spike_per_mille: 30,
+            mesh_spike_cycles: 400,
+            ..Self::none_seeded(seed)
+        }
+    }
+
+    const fn none_seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::none() }
+    }
+
+    /// Whether any fault is armed. `false` guarantees the golden path.
+    pub fn is_active(&self) -> bool {
+        self.uli_drop_per_mille > 0
+            || self.uli_nack_per_mille > 0
+            || self.uli_delay_per_mille > 0
+            || self.uli_rx_drop_per_mille > 0
+            || self.steal_miss_per_mille > 0
+            || self.mesh_spike_per_mille > 0
+    }
+
+    /// The plan's data-OCN spike component, if armed.
+    pub fn mesh_faults(&self) -> Option<MeshFaults> {
+        (self.mesh_spike_per_mille > 0).then_some(MeshFaults {
+            spike_per_mille: self.mesh_spike_per_mille,
+            spike_cycles: self.mesh_spike_cycles,
+            seed: self.seed,
+        })
+    }
+
+    /// Looks up a named plan (`none`, `uli-drop-storm`, `steal-miss-storm`,
+    /// `mesh-latency-spikes`, `hostile`) for CLI use.
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "uli-drop-storm" => Some(Self::uli_drop_storm(seed)),
+            "steal-miss-storm" => Some(Self::steal_miss_storm(seed)),
+            "mesh-latency-spikes" => Some(Self::mesh_latency_spikes(seed)),
+            "hostile" => Some(Self::hostile(seed)),
+            _ => None,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Per-core injected-fault counts, reported through
+/// [`RunReport`](crate::RunReport) for ablations and regression tracking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounters {
+    /// ULI requests silently dropped in the network.
+    pub uli_drops: u64,
+    /// ULI requests force-NACKed.
+    pub uli_nacks: u64,
+    /// ULI requests delivered late.
+    pub uli_delays: u64,
+    /// ULI requests dropped at the receiver.
+    pub uli_rx_drops: u64,
+    /// Steal-victim lookups forced to miss.
+    pub steal_misses: u64,
+}
+
+impl FaultCounters {
+    /// Sum of all injected faults.
+    pub fn total(&self) -> u64 {
+        self.uli_drops + self.uli_nacks + self.uli_delays + self.uli_rx_drops + self.steal_misses
+    }
+}
+
+impl std::ops::AddAssign for FaultCounters {
+    fn add_assign(&mut self, o: Self) {
+        self.uli_drops += o.uli_drops;
+        self.uli_nacks += o.uli_nacks;
+        self.uli_delays += o.uli_delays;
+        self.uli_rx_drops += o.uli_rx_drops;
+        self.steal_misses += o.steal_misses;
+    }
+}
+
+/// One core's fault-decision state: a dedicated xorshift stream plus the
+/// counts of what it injected. Inactive plans never touch the stream.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    active: bool,
+    rng: XorShift64,
+    pub counters: FaultCounters,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, core: usize) -> Self {
+        FaultState {
+            plan,
+            active: plan.is_active(),
+            rng: XorShift64::new(
+                plan.seed ^ (core as u64 + 1).wrapping_mul(0x666c_745f_636f_7265),
+            ),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    fn roll(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.rng.next_below(1000) < per_mille as u64
+    }
+
+    /// Decides the fate of an outgoing ULI request.
+    pub fn on_uli_send(&mut self) -> UliSendFault {
+        if !self.active {
+            return UliSendFault::None;
+        }
+        if self.roll(self.plan.uli_drop_per_mille) {
+            self.counters.uli_drops += 1;
+            return UliSendFault::Drop;
+        }
+        if self.roll(self.plan.uli_nack_per_mille) {
+            self.counters.uli_nacks += 1;
+            return UliSendFault::Nack;
+        }
+        if self.roll(self.plan.uli_delay_per_mille) {
+            self.counters.uli_delays += 1;
+            return UliSendFault::Delay(self.plan.uli_delay_cycles);
+        }
+        UliSendFault::None
+    }
+
+    /// Whether an arrived ULI request should be dropped at the receiver.
+    pub fn on_uli_receive(&mut self) -> bool {
+        if self.active && self.roll(self.plan.uli_rx_drop_per_mille) {
+            self.counters.uli_rx_drops += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether a steal-victim lookup should be forced to miss.
+    pub fn on_steal_lookup(&mut self) -> bool {
+        if self.active && self.roll(self.plan.steal_miss_per_mille) {
+            self.counters.steal_misses += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// Fate of one outgoing ULI request under fault injection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum UliSendFault {
+    /// Deliver normally.
+    None,
+    /// Drop silently (sender believes it was sent).
+    Drop,
+    /// Bounce with a forced NACK.
+    Nack,
+    /// Deliver, but `0.cycles` late.
+    Delay(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_rolls_nothing() {
+        let mut s = FaultState::new(FaultPlan::none(), 3);
+        for _ in 0..100 {
+            assert_eq!(s.on_uli_send(), UliSendFault::None);
+            assert!(!s.on_uli_receive());
+            assert!(!s.on_steal_lookup());
+        }
+        assert_eq!(s.counters.total(), 0);
+    }
+
+    #[test]
+    fn decision_streams_are_deterministic_per_core() {
+        let decisions = |core| {
+            let mut s = FaultState::new(FaultPlan::hostile(42), core);
+            (0..200).map(|_| s.on_uli_send()).collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(1), decisions(1), "same core, same stream");
+        assert_ne!(decisions(1), decisions(2), "cores have independent streams");
+    }
+
+    #[test]
+    fn storm_plans_fire_at_roughly_configured_rates() {
+        let mut s = FaultState::new(FaultPlan::uli_drop_storm(7), 0);
+        for _ in 0..1000 {
+            let _ = s.on_uli_send();
+        }
+        let drops = s.counters.uli_drops;
+        assert!((150..350).contains(&drops), "250/1000 nominal, got {drops}");
+    }
+
+    #[test]
+    fn named_plans_resolve() {
+        for name in ["none", "uli-drop-storm", "steal-miss-storm", "mesh-latency-spikes", "hostile"] {
+            assert!(FaultPlan::by_name(name, 1).is_some(), "{name}");
+        }
+        assert!(FaultPlan::by_name("bogus", 1).is_none());
+        assert!(!FaultPlan::by_name("none", 1).unwrap().is_active());
+        assert!(FaultPlan::by_name("hostile", 1).unwrap().is_active());
+    }
+
+    #[test]
+    fn mesh_component_extracted_only_when_armed() {
+        assert!(FaultPlan::none().mesh_faults().is_none());
+        let f = FaultPlan::mesh_latency_spikes(9).mesh_faults().unwrap();
+        assert_eq!(f.spike_per_mille, 50);
+        assert_eq!(f.seed, 9);
+    }
+}

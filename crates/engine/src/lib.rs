@@ -46,22 +46,27 @@
 mod breakdown;
 mod config;
 mod energy;
+mod fault;
 mod port;
-mod rng;
 mod sequencer;
 mod space;
+pub mod sync;
 mod system;
 mod trace;
+mod watchdog;
 
 pub use breakdown::{TimeBreakdown, TimeCategory, TIME_CATEGORIES};
 pub use config::{CoreConfig, CoreKind, SystemConfig};
 pub use energy::{EnergyModel, EnergyReport};
+pub use fault::{FaultCounters, FaultPlan};
 pub use port::{CorePort, UliHandler};
-pub use rng::XorShift64;
 pub use space::{AddrSpace, ShScalar, ShVec};
 pub use system::{run_system, RunReport, UliReport, Worker};
 pub use trace::{render_timeline, TraceEvent};
+pub use watchdog::{
+    CoreDiag, DiagnosticBundle, PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG,
+};
 
 // Re-export the vocabulary types callers need alongside the engine.
 pub use bigtiny_coherence::{Addr, CoreMemStats, Protocol};
-pub use bigtiny_mesh::{TrafficClass, UliMessage, UliOutcome};
+pub use bigtiny_mesh::{TrafficClass, UliCoreState, UliMessage, UliOutcome, XorShift64};

@@ -20,11 +20,11 @@
 use std::sync::Arc;
 
 use bigtiny_coherence::Addr;
-use bigtiny_mesh::{UliMessage, UliOutcome};
+use bigtiny_mesh::{UliMessage, UliOutcome, XorShift64};
 
 use crate::breakdown::{TimeBreakdown, TimeCategory};
 use crate::config::CoreKind;
-use crate::rng::XorShift64;
+use crate::fault::{FaultCounters, FaultPlan, FaultState, UliSendFault};
 use crate::system::{GlobalState, Shared};
 
 /// A ULI handler installed by the runtime: invoked with the port and the
@@ -51,6 +51,7 @@ pub struct CorePort {
     breakdown: TimeBreakdown,
     trace: Option<Vec<crate::trace::TraceEvent>>,
     rng: XorShift64,
+    faults: FaultState,
     shared: Arc<Shared>,
     handler: Option<UliHandler>,
     in_handler: bool,
@@ -77,6 +78,7 @@ impl CorePort {
         kind: CoreKind,
         shared: Arc<Shared>,
         seed: u64,
+        faults: FaultPlan,
         issue_width: u64,
         overlap_div: u64,
         uli_cost: u64,
@@ -92,6 +94,7 @@ impl CorePort {
             breakdown: TimeBreakdown::new(),
             trace: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
+            faults: FaultState::new(faults, core),
             shared,
             handler: None,
             in_handler: false,
@@ -157,7 +160,11 @@ impl CorePort {
         // Every sequenced operation is a ULI-delivery opportunity.
         self.compute_since_poll = 0;
         if let Some(m) = msg {
-            self.dispatch_uli(m);
+            // Fault injection: a taken request can be lost before the
+            // handler sees it (a dropped interrupt).
+            if !self.faults.on_uli_receive() {
+                self.dispatch_uli(m);
+            }
         }
         r
     }
@@ -185,6 +192,12 @@ impl CorePort {
 
     fn charge(&mut self, cat: TimeCategory, cycles: u64) {
         if cycles > 0 {
+            // A core looping on purely local time (back-off, spin-waits)
+            // never takes the sequencer lock, so it must poll the poison
+            // flag here or a poisoned run could not unwind it.
+            if self.shared.seq.check_poison() {
+                panic!("{}", crate::sequencer::POISON_MSG);
+            }
             if let Some(t) = self.trace.as_mut() {
                 t.push(crate::trace::TraceEvent { start: self.clock, cycles, category: cat });
             }
@@ -416,8 +429,30 @@ impl CorePort {
     /// Sends a ULI request to `victim`. On NACK the core stalls until the
     /// NACK returns. The response must be collected with
     /// [`CorePort::uli_poll_response`].
+    ///
+    /// Under an armed [`FaultPlan`] the request may be silently dropped
+    /// (the caller still observes [`UliOutcome::Sent`] — only a response
+    /// timeout reveals the loss), force-NACKed, or delivered late.
     pub fn uli_send_request(&mut self, victim: usize, payload: u64) -> UliOutcome {
-        let out = self.seq(move |st, now, core| st.uli.try_send_request(core, victim, payload, now));
+        let out = match self.faults.on_uli_send() {
+            UliSendFault::None => {
+                self.seq(move |st, now, core| st.uli.try_send_request(core, victim, payload, now))
+            }
+            UliSendFault::Drop => self.seq(move |st, _, core| {
+                st.uli.drop_request(core, victim);
+                UliOutcome::Sent
+            }),
+            UliSendFault::Nack => {
+                self.seq(move |st, now, core| st.uli.forced_nack(core, victim, now))
+            }
+            UliSendFault::Delay(extra) => self.seq(move |st, now, core| {
+                let out = st.uli.try_send_request(core, victim, payload, now);
+                if out == UliOutcome::Sent {
+                    st.uli.delay_request(victim, extra);
+                }
+                out
+            }),
+        };
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
         if let UliOutcome::Nack { reply_at } = out {
@@ -448,10 +483,8 @@ impl CorePort {
         if self.handler.is_none() || self.in_handler {
             return;
         }
-        let msg = self.seq(|st, now, core| st.uli.take_request(core, now));
-        if let Some(m) = msg {
-            self.dispatch_uli(m);
-        }
+        // `seq` itself delivers (or fault-drops) any pending request.
+        self.seq(|_, _, _| ());
     }
 
     // ------------------------------------------------------------------
@@ -465,6 +498,32 @@ impl CorePort {
             st.done = true;
             st.done_time = st.done_time.max(now);
         });
+        self.mark_progress();
+    }
+
+    /// Tells the liveness watchdog that real forward progress happened
+    /// (a task executed, a steal completed). Free when no watchdog is
+    /// armed; never affects simulated timing.
+    pub fn mark_progress(&mut self) {
+        self.shared.seq.mark_progress();
+    }
+
+    /// Whether a fault plan is armed on this run. Runtimes use this to
+    /// switch on their hardened (timeout + fallback) protocols, which cost
+    /// extra bookkeeping and are kept off the golden path.
+    pub fn faults_active(&self) -> bool {
+        self.faults.active()
+    }
+
+    /// Fault-injection hook for the runtime's victim selection: `true`
+    /// forces this lookup to miss. Always `false` without an armed plan.
+    pub fn fault_steal_miss(&mut self) -> bool {
+        self.faults.on_steal_lookup()
+    }
+
+    /// Faults injected on this core so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters
     }
 
     /// Whether global completion has been signalled.
@@ -474,7 +533,23 @@ impl CorePort {
         d
     }
 
-    pub(crate) fn into_report(self) -> (u64, TimeBreakdown, u64, Vec<crate::trace::TraceEvent>) {
-        (self.clock, self.breakdown, self.instructions, self.trace.unwrap_or_default())
+    pub(crate) fn into_report(self) -> PortReport {
+        PortReport {
+            clock: self.clock,
+            breakdown: self.breakdown,
+            instructions: self.instructions,
+            trace: self.trace.unwrap_or_default(),
+            faults: self.faults.counters,
+        }
     }
+}
+
+/// Everything one core hands back to the system driver, including partial
+/// state from a panicked or watchdog-aborted worker.
+pub(crate) struct PortReport {
+    pub clock: u64,
+    pub breakdown: TimeBreakdown,
+    pub instructions: u64,
+    pub trace: Vec<crate::trace::TraceEvent>,
+    pub faults: FaultCounters,
 }

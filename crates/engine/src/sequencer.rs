@@ -8,9 +8,28 @@
 //! This makes the whole simulation a single logical thread of execution in
 //! simulated-time order — bit-for-bit deterministic and free of data races
 //! by construction.
+//!
+//! The sequencer doubles as the attachment point of the liveness
+//! [`watchdog`](crate::watchdog): every grant is counted, and if too many
+//! grants pass without a progress mark (or a parked core observes no grant
+//! activity at all for the wall-clock fallback window) the sequencer is
+//! poisoned with [`PoisonReason::Watchdog`] and every core unwinds.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::sync::{Condvar, Mutex};
+use crate::watchdog::{PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG};
+
+pub(crate) const POISON_MSG: &str = "simulation poisoned by a panic on another core";
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CoreState {
+    grants: u64,
+    last_time: u64,
+    retired: bool,
+}
 
 #[derive(Debug)]
 struct Inner {
@@ -22,6 +41,8 @@ struct Inner {
     /// running user code after `leave`).
     current: Option<usize>,
     poisoned: bool,
+    reason: Option<PoisonReason>,
+    cores: Vec<CoreState>,
 }
 
 /// The token scheduler. See the module docs.
@@ -29,6 +50,15 @@ struct Inner {
 pub struct Sequencer {
     inner: Mutex<Inner>,
     cvs: Box<[Condvar]>,
+    watchdog: Option<WatchdogConfig>,
+    /// Grants since the last progress mark (watchdog budget counter).
+    since_progress: AtomicU64,
+    /// Total grants over the run (wall-clock stall discriminator + stats).
+    total_grants: AtomicU64,
+    /// Lock-free mirror of `Inner::poisoned`, so cores spinning in purely
+    /// local operations (which never take the sequencer lock) can still
+    /// observe the poison and unwind.
+    poison_flag: AtomicBool,
 }
 
 impl Sequencer {
@@ -41,9 +71,22 @@ impl Sequencer {
                 running: num_cores,
                 current: None,
                 poisoned: false,
+                reason: None,
+                cores: vec![CoreState::default(); num_cores],
             }),
             cvs: (0..num_cores).map(|_| Condvar::new()).collect(),
+            watchdog: None,
+            since_progress: AtomicU64::new(0),
+            total_grants: AtomicU64::new(0),
+            poison_flag: AtomicBool::new(false),
         }
+    }
+
+    /// Arms the liveness watchdog. Must be called before core threads
+    /// start.
+    pub fn set_watchdog(&mut self, config: WatchdogConfig) {
+        assert!(config.budget > 0, "watchdog budget must be positive");
+        self.watchdog = Some(config);
     }
 
     fn dispatch(&self, inner: &mut Inner) {
@@ -54,27 +97,64 @@ impl Sequencer {
         }
     }
 
+    /// Poisons with a watchdog reason and panics on the calling thread.
+    fn trip(&self, g: &mut Inner, core: usize, time: u64) -> ! {
+        g.poisoned = true;
+        g.reason.get_or_insert(PoisonReason::Watchdog { core, time });
+        self.poison_flag.store(true, Ordering::Relaxed);
+        for cv in self.cvs.iter() {
+            cv.notify_all();
+        }
+        panic!("{WATCHDOG_MSG} (tripped on core {core} at cycle {time})");
+    }
+
     /// Blocks until `core` (at simulated time `time`) holds the global
     /// minimum and is granted the token.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation was poisoned by a panic on another core.
+    /// Panics if the simulation was poisoned by a panic on another core, or
+    /// if the armed watchdog finds the simulation stuck.
     pub fn enter(&self, core: usize, time: u64) {
         let mut g = self.inner.lock();
-        assert!(!g.poisoned, "simulation poisoned by a panic on another core");
+        assert!(!g.poisoned, "{}", POISON_MSG);
         g.waiting.insert((time, core));
         g.running -= 1;
         if g.running == 0 {
             self.dispatch(&mut g);
         }
         while g.current != Some(core) {
-            self.cvs[core].wait(&mut g);
-            assert!(!g.poisoned, "simulation poisoned by a panic on another core");
+            match self.watchdog {
+                None => self.cvs[core].wait(&mut g),
+                Some(wd) => {
+                    let before = self.total_grants.load(Ordering::Relaxed);
+                    let timed_out =
+                        self.cvs[core].wait_for(&mut g, Duration::from_millis(wd.wall_ms));
+                    if timed_out
+                        && !g.poisoned
+                        && g.current != Some(core)
+                        && self.total_grants.load(Ordering::Relaxed) == before
+                    {
+                        // Nothing was granted anywhere for the whole window:
+                        // the token holder is stuck outside the sequencer.
+                        self.trip(&mut g, core, time);
+                    }
+                }
+            }
+            assert!(!g.poisoned, "{}", POISON_MSG);
         }
         let removed = g.waiting.remove(&(time, core));
         debug_assert!(removed, "granted core must be in the waiting set");
         g.running += 1;
+        g.cores[core].grants += 1;
+        g.cores[core].last_time = time;
+        self.total_grants.fetch_add(1, Ordering::Relaxed);
+        if let Some(wd) = self.watchdog {
+            let since = self.since_progress.fetch_add(1, Ordering::Relaxed) + 1;
+            if since > wd.budget {
+                self.trip(&mut g, core, time);
+            }
+        }
     }
 
     /// Releases the token after a sequenced section. The core keeps running
@@ -89,8 +169,9 @@ impl Sequencer {
     }
 
     /// Removes `core` from the simulation (its worker returned).
-    pub fn retire(&self, _core: usize) {
+    pub fn retire(&self, core: usize) {
         let mut g = self.inner.lock();
+        g.cores[core].retired = true;
         if g.poisoned {
             return;
         }
@@ -100,20 +181,67 @@ impl Sequencer {
         }
     }
 
+    /// Resets the watchdog's no-progress counter. Called by the runtime
+    /// whenever real forward progress happens (a task ran, a steal
+    /// completed, completion was signalled). Free when no watchdog is
+    /// armed.
+    pub fn mark_progress(&self) {
+        if self.watchdog.is_some() {
+            self.since_progress.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Total token grants so far.
+    pub fn total_grants(&self) -> u64 {
+        self.total_grants.load(Ordering::Relaxed)
+    }
+
     /// Marks the simulation as failed (a core panicked) and wakes every
     /// waiting core so its `enter` panics too, unwinding all threads.
     pub fn poison(&self) {
         let mut g = self.inner.lock();
         g.poisoned = true;
+        g.reason.get_or_insert(PoisonReason::WorkerPanic);
+        self.poison_flag.store(true, Ordering::Relaxed);
         for cv in self.cvs.iter() {
             cv.notify_all();
         }
+    }
+
+    /// Lock-free poison check for hot purely-local paths (see
+    /// [`poison_flag`](Self::poison_flag) on the field). A core that only
+    /// burns local cycles between sequenced operations polls this so a
+    /// poisoned run unwinds it too instead of letting it spin forever.
+    pub(crate) fn check_poison(&self) -> bool {
+        self.poison_flag.load(Ordering::Relaxed)
+    }
+
+    /// Why the simulation was poisoned (`None` if it was not).
+    pub fn poison_reason(&self) -> Option<PoisonReason> {
+        self.inner.lock().reason
     }
 
     /// Whether the simulation has been poisoned.
     #[cfg(test)]
     pub fn is_poisoned(&self) -> bool {
         self.inner.lock().poisoned
+    }
+
+    /// Per-core sequencer diagnostics (for the crash bundle).
+    pub fn core_diag(&self) -> Vec<SeqCoreDiag> {
+        let g = self.inner.lock();
+        let waiting: std::collections::HashMap<usize, u64> =
+            g.waiting.iter().map(|&(t, c)| (c, t)).collect();
+        g.cores
+            .iter()
+            .enumerate()
+            .map(|(core, s)| SeqCoreDiag {
+                waiting_at: waiting.get(&core).copied(),
+                grants: s.grants,
+                last_time: s.last_time,
+                retired: s.retired,
+            })
+            .collect()
     }
 }
 
@@ -199,6 +327,7 @@ mod tests {
         seq.poison();
         h.join().unwrap();
         assert!(seq.is_poisoned());
+        assert_eq!(seq.poison_reason(), Some(PoisonReason::WorkerPanic));
     }
 
     #[test]
@@ -220,5 +349,69 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*log.lock(), vec![0, 1]);
+    }
+
+    #[test]
+    fn watchdog_trips_on_grant_budget() {
+        let mut seq = Sequencer::new(1);
+        seq.set_watchdog(WatchdogConfig { budget: 10, wall_ms: 60_000 });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for t in 0..100 {
+                seq.enter(0, t);
+                seq.leave(0);
+            }
+        }));
+        let err = r.expect_err("budget of 10 must trip within 100 grants");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(WATCHDOG_MSG), "got: {msg}");
+        assert!(matches!(seq.poison_reason(), Some(PoisonReason::Watchdog { core: 0, .. })));
+    }
+
+    #[test]
+    fn progress_marks_keep_watchdog_quiet() {
+        let mut seq = Sequencer::new(1);
+        seq.set_watchdog(WatchdogConfig { budget: 10, wall_ms: 60_000 });
+        for t in 0..100 {
+            seq.enter(0, t);
+            seq.leave(0);
+            if t % 5 == 0 {
+                seq.mark_progress();
+            }
+        }
+        seq.retire(0);
+        assert!(!seq.is_poisoned());
+        assert_eq!(seq.total_grants(), 100);
+    }
+
+    #[test]
+    fn wall_clock_fallback_trips_when_nothing_is_granted() {
+        let mut seq = Sequencer::new(2);
+        seq.set_watchdog(WatchdogConfig { budget: 1_000_000, wall_ms: 30 });
+        let seq = Arc::new(seq);
+        let seq2 = Arc::clone(&seq);
+        // Core 1 parks; core 0 never enters or retires (simulating a core
+        // stuck in host-level code while holding the logical token).
+        let h = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                seq2.enter(1, 0);
+            }));
+            assert!(r.is_err(), "stalled run must trip the wall-clock fallback");
+        });
+        h.join().unwrap();
+        assert!(matches!(seq.poison_reason(), Some(PoisonReason::Watchdog { .. })));
+    }
+
+    #[test]
+    fn core_diag_reflects_state() {
+        let seq = Sequencer::new(2);
+        // Core 1 retires first so core 0's enter can be granted.
+        seq.retire(1);
+        seq.enter(0, 7);
+        seq.leave(0);
+        let d = seq.core_diag();
+        assert_eq!(d[0].grants, 1);
+        assert_eq!(d[0].last_time, 7);
+        assert!(!d[0].retired);
+        assert!(d[1].retired);
     }
 }

@@ -7,7 +7,7 @@
 //! element accesses go through a [`CorePort`](crate::CorePort) and therefore
 //! cost simulated time and traffic.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use bigtiny_coherence::Addr;
 

@@ -2,15 +2,16 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use bigtiny_coherence::{CoreMemStats, MemorySystem};
 use bigtiny_mesh::{TrafficStats, UliNetwork};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::SystemConfig;
-use crate::port::CorePort;
-use crate::sequencer::Sequencer;
+use crate::fault::FaultCounters;
+use crate::port::{CorePort, PortReport};
+use crate::sequencer::{Sequencer, POISON_MSG};
+use crate::sync::Mutex;
+use crate::watchdog::{DiagnosticBundle, PoisonReason, WatchdogConfig, WATCHDOG_MSG};
 
 /// All mutable simulated state, accessed only under the sequencer token.
 pub(crate) struct GlobalState {
@@ -69,6 +70,13 @@ pub struct RunReport {
     pub stale_reads: u64,
     /// Per-core execution traces (empty unless `SystemConfig::trace`).
     pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+    /// Faults injected over the run, summed across cores (all zero with
+    /// [`FaultPlan::none()`](crate::FaultPlan::none)).
+    pub fault_counters: FaultCounters,
+    /// Latency spikes injected on the data OCN.
+    pub mesh_fault_spikes: u64,
+    /// Total sequencer token grants (the unit of the watchdog budget).
+    pub seq_grants: u64,
 }
 
 impl RunReport {
@@ -102,33 +110,40 @@ impl RunReport {
     }
 }
 
-const POISON_MSG: &str = "simulation poisoned by a panic on another core";
-
 /// Runs `workers[i]` on core `i` of a system configured by `config` and
 /// collects a [`RunReport`].
 ///
 /// The simulation is deterministic: the same configuration (including its
-/// seed) and the same worker code produce identical reports.
+/// seed and fault plan) and the same worker code produce identical reports.
 ///
 /// # Panics
 ///
-/// Panics if `workers.len() != config.num_cores()`, or re-raises the first
-/// panic raised by any worker.
+/// Panics if `workers.len() != config.num_cores()`, re-raises the first
+/// panic raised by any worker, or — when the configured liveness watchdog
+/// trips — panics with a message starting with
+/// [`WATCHDOG_MSG`](crate::WATCHDOG_MSG) followed by a rendered
+/// [`DiagnosticBundle`].
 pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     assert_eq!(workers.len(), config.num_cores(), "one worker per core required");
     let num_cores = config.num_cores();
+    let mut seq = Sequencer::new(num_cores);
+    if let Some(budget) = config.watchdog_budget {
+        seq.set_watchdog(WatchdogConfig { budget, wall_ms: config.watchdog_wall_ms });
+    }
+    let mut mem = MemorySystem::new(&config.mem_config());
+    mem.set_mesh_faults(config.faults.mesh_faults());
     let shared = Arc::new(Shared {
-        seq: Sequencer::new(num_cores),
+        seq,
         state: Mutex::new(GlobalState {
-            mem: MemorySystem::new(&config.mem_config()),
+            mem,
             uli: UliNetwork::new(config.topology(), num_cores),
             done: false,
             done_time: 0,
         }),
     });
 
-    type PortReports = Arc<Mutex<Vec<Option<(u64, TimeBreakdown, u64, Vec<crate::trace::TraceEvent>)>>>>;
-    let reports: PortReports = Arc::new(Mutex::new(vec![None; num_cores]));
+    type PortReports = Arc<Mutex<Vec<Option<PortReport>>>>;
+    let reports: PortReports = Arc::new(Mutex::new((0..num_cores).map(|_| None).collect()));
     let panics: Arc<Mutex<Vec<Box<dyn std::any::Any + Send>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut handles = Vec::with_capacity(num_cores);
@@ -138,6 +153,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         let panics = Arc::clone(&panics);
         let kind = config.cores[core].kind;
         let seed = config.seed;
+        let faults = config.faults;
         let issue_width = config.big_issue_width;
         let overlap_div = config.big_overlap_div;
         let uli_cost = match kind {
@@ -154,6 +170,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
                     kind,
                     Arc::clone(&shared),
                     seed,
+                    faults,
                     issue_width,
                     overlap_div,
                     uli_cost,
@@ -173,6 +190,9 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
                     Err(payload) => {
                         panics.lock().push(payload);
                         shared.seq.poison();
+                        // Keep the partial report: the crash diagnostic is
+                        // assembled from it after every thread has unwound.
+                        reports.lock()[core] = Some(port.into_report());
                     }
                 }
             })
@@ -183,10 +203,16 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         let _ = h.join();
     }
 
-    // Re-raise the most meaningful panic (prefer original over cascaded
-    // poison panics).
     let mut panics = std::mem::take(&mut *panics.lock());
     if !panics.is_empty() {
+        // Watchdog trip: every thread has unwound and stored its partial
+        // report, so the diagnostic bundle is crash-consistent.
+        if let Some(PoisonReason::Watchdog { .. }) = shared.seq.poison_reason() {
+            let bundle = build_bundle(&shared, &reports.lock());
+            panic!("{WATCHDOG_MSG}\n{bundle}");
+        }
+        // Re-raise the most meaningful panic (prefer original over cascaded
+        // poison panics).
         let idx = panics
             .iter()
             .position(|p| {
@@ -202,12 +228,14 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut breakdowns = Vec::with_capacity(num_cores);
     let mut instructions = Vec::with_capacity(num_cores);
     let mut traces = Vec::with_capacity(num_cores);
+    let mut fault_counters = FaultCounters::default();
     for r in reports {
-        let (clock, breakdown, insts, trace) = r.expect("every worker reported");
-        core_cycles.push(clock);
-        breakdowns.push(breakdown);
-        instructions.push(insts);
-        traces.push(trace);
+        let r = r.expect("every worker reported");
+        core_cycles.push(r.clock);
+        breakdowns.push(r.breakdown);
+        instructions.push(r.instructions);
+        traces.push(r.trace);
+        fault_counters += r.faults;
     }
 
     let st = shared.state.lock();
@@ -237,6 +265,32 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         uli,
         stale_reads: st.mem.total_stale_reads(),
         traces,
+        fault_counters,
+        mesh_fault_spikes: st.mem.mesh_fault_spikes(),
+        seq_grants: shared.seq.total_grants(),
+    }
+}
+
+/// Assembles the crash-consistent diagnostic bundle after all core threads
+/// have joined.
+fn build_bundle(shared: &Shared, reports: &[Option<PortReport>]) -> DiagnosticBundle {
+    let st = shared.state.lock();
+    let seq_diag = shared.seq.core_diag();
+    let cores = reports
+        .iter()
+        .enumerate()
+        .filter_map(|(core, r)| {
+            r.as_ref().map(|r| {
+                DiagnosticBundle::core_diag(core, r, seq_diag[core], st.uli.unit_state(core))
+            })
+        })
+        .collect();
+    DiagnosticBundle {
+        reason: shared.seq.poison_reason().unwrap_or(PoisonReason::WorkerPanic),
+        cores,
+        uli_messages: st.uli.message_count(),
+        uli_nacks: st.uli.nack_count(),
+        total_grants: shared.seq.total_grants(),
     }
 }
 

@@ -1,12 +1,16 @@
-//! Property tests of the simulation engine: accounting invariants, shared-
-//! array semantics, and determinism under arbitrary operation streams.
+//! Randomized-but-deterministic tests of the simulation engine: accounting
+//! invariants, shared-array semantics, and determinism under arbitrary
+//! operation streams.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! simulator's own seeded [`XorShift64`] so the workspace has no external
+//! dependencies and every CI run explores exactly the same cases.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use bigtiny_engine::{
     run_system, AddrSpace, Protocol, RunReport, ShVec, SystemConfig, TimeCategory, Worker,
+    XorShift64,
 };
 use bigtiny_mesh::{MeshConfig, Topology};
 
@@ -21,16 +25,27 @@ enum PortOp {
     Idle(u16),
 }
 
-fn op_strategy() -> impl Strategy<Value = PortOp> {
-    prop_oneof![
-        (1u16..300).prop_map(PortOp::Advance),
-        (0u16..64).prop_map(PortOp::Load),
-        (0u16..64).prop_map(PortOp::Store),
-        (0u16..16).prop_map(PortOp::Amo),
-        Just(PortOp::Invalidate),
-        Just(PortOp::Flush),
-        (1u16..50).prop_map(PortOp::Idle),
-    ]
+fn random_op(rng: &mut XorShift64) -> PortOp {
+    match rng.next_below(7) {
+        0 => PortOp::Advance(1 + rng.next_below(299) as u16),
+        1 => PortOp::Load(rng.next_below(64) as u16),
+        2 => PortOp::Store(rng.next_below(64) as u16),
+        3 => PortOp::Amo(rng.next_below(16) as u16),
+        4 => PortOp::Invalidate,
+        5 => PortOp::Flush,
+        _ => PortOp::Idle(1 + rng.next_below(49) as u16),
+    }
+}
+
+fn random_ops(rng: &mut XorShift64, max: u64) -> Vec<PortOp> {
+    (0..rng.next_below(max)).map(|_| random_op(rng)).collect()
+}
+
+const PROTOCOLS: [Protocol; 4] =
+    [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb];
+
+fn random_protocol(rng: &mut XorShift64) -> Protocol {
+    PROTOCOLS[rng.next_below(4) as usize]
 }
 
 fn sys(tiny: Protocol) -> SystemConfig {
@@ -72,52 +87,48 @@ fn run_ops(tiny: Protocol, per_core_ops: &[Vec<PortOp>]) -> RunReport {
     run_system(&config, workers)
 }
 
-fn protocols() -> impl Strategy<Value = Protocol> {
-    prop_oneof![
-        Just(Protocol::Mesi),
-        Just(Protocol::DeNovo),
-        Just(Protocol::GpuWt),
-        Just(Protocol::GpuWb),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A core's final clock equals the sum of its time-breakdown categories:
-    /// every cycle is attributed to exactly one category.
-    #[test]
-    fn clock_equals_breakdown_total(
-        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..60), 4..=4),
-        tiny in protocols())
-    {
+/// A core's final clock equals the sum of its time-breakdown categories:
+/// every cycle is attributed to exactly one category.
+#[test]
+fn clock_equals_breakdown_total() {
+    let mut rng = XorShift64::new(0x454e_4731);
+    for _ in 0..12 {
+        let ops: Vec<Vec<PortOp>> = (0..4).map(|_| random_ops(&mut rng, 60)).collect();
+        let tiny = random_protocol(&mut rng);
         let report = run_ops(tiny, &ops);
         for core in 0..4 {
-            prop_assert_eq!(
+            assert_eq!(
                 report.core_cycles[core],
                 report.breakdowns[core].total(),
-                "core {} clock vs breakdown", core
+                "core {core} clock vs breakdown"
             );
         }
     }
+}
 
-    /// The same operation streams produce bit-identical reports.
-    #[test]
-    fn arbitrary_streams_are_deterministic(
-        ops in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..40), 4..=4),
-        tiny in protocols())
-    {
+/// The same operation streams produce bit-identical reports.
+#[test]
+fn arbitrary_streams_are_deterministic() {
+    let mut rng = XorShift64::new(0x454e_4732);
+    for _ in 0..8 {
+        let ops: Vec<Vec<PortOp>> = (0..4).map(|_| random_ops(&mut rng, 40)).collect();
+        let tiny = random_protocol(&mut rng);
         let a = run_ops(tiny, &ops);
         let b = run_ops(tiny, &ops);
-        prop_assert_eq!(a.core_cycles, b.core_cycles);
-        prop_assert_eq!(a.traffic, b.traffic);
-        prop_assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.instructions, b.instructions);
     }
+}
 
-    /// ShVec is a faithful memory: after any interleaving of single-writer
-    /// per-slot updates, the final contents match a sequential model.
-    #[test]
-    fn shvec_single_writer_contents(values in proptest::collection::vec(0u64..1000, 1..32)) {
+/// ShVec is a faithful memory: after any interleaving of single-writer
+/// per-slot updates, the final contents match a sequential model.
+#[test]
+fn shvec_single_writer_contents() {
+    let mut rng = XorShift64::new(0x454e_4733);
+    for _ in 0..8 {
+        let values: Vec<u64> =
+            (0..1 + rng.next_below(31)).map(|_| rng.next_below(1000)).collect();
         let config = sys(Protocol::GpuWb);
         let mut space = AddrSpace::new();
         let data = Arc::new(ShVec::new(&mut space, values.len(), 0u64));
@@ -139,33 +150,44 @@ proptest! {
             }));
         }
         run_system(&config, workers);
-        prop_assert_eq!(data.snapshot(), values);
+        assert_eq!(data.snapshot(), values);
     }
+}
 
-    /// Instructions are monotone in the op stream: appending operations can
-    /// only increase a core's instruction count.
-    #[test]
-    fn instructions_monotone(ops in proptest::collection::vec(op_strategy(), 1..40), tiny in protocols()) {
+/// Instructions are monotone in the op stream: appending operations can
+/// only increase a core's instruction count.
+#[test]
+fn instructions_monotone() {
+    let mut rng = XorShift64::new(0x454e_4734);
+    for _ in 0..8 {
+        let mut ops = random_ops(&mut rng, 40);
+        if ops.is_empty() {
+            ops.push(PortOp::Advance(1));
+        }
+        let tiny = random_protocol(&mut rng);
         let shorter = vec![ops[..ops.len() / 2].to_vec(), vec![], vec![], vec![]];
         let longer = vec![ops, vec![], vec![], vec![]];
         let a = run_ops(tiny, &shorter);
         let b = run_ops(tiny, &longer);
-        prop_assert!(b.instructions[0] >= a.instructions[0]);
+        assert!(b.instructions[0] >= a.instructions[0]);
     }
+}
 
-    /// Idle cycles are attributed to the Idle category exactly.
-    #[test]
-    fn idle_accounting_exact(cycles in 1u64..10_000) {
+/// Idle cycles are attributed to the Idle category exactly.
+#[test]
+fn idle_accounting_exact() {
+    let mut rng = XorShift64::new(0x454e_4735);
+    for _ in 0..8 {
+        let cycles = 1 + rng.next_below(9_999);
         let config = sys(Protocol::Mesi);
-        let c2 = cycles;
         let mut workers: Vec<Worker> = vec![Box::new(move |port| {
-            port.idle(c2);
+            port.idle(cycles);
             port.set_done();
         })];
         for _ in 1..4 {
             workers.push(Box::new(|port| port.idle(1)));
         }
         let report = run_system(&config, workers);
-        prop_assert_eq!(report.breakdowns[0].get(TimeCategory::Idle), cycles);
+        assert_eq!(report.breakdowns[0].get(TimeCategory::Idle), cycles);
     }
 }

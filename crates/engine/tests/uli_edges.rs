@@ -1,0 +1,133 @@
+//! ULI edge cases through the full engine (CorePort + sequencer + network),
+//! not just the network model: NACK-on-disabled-receiver retry, the
+//! one-request-in-flight limit, and polling a response after the victim has
+//! already retired.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bigtiny_engine::{run_system, SystemConfig, UliOutcome, Worker};
+
+/// A thief whose first request is NACKed (receiver still disabled) succeeds
+/// by retrying once the victim has enabled reception and gets the handler's
+/// response back.
+#[test]
+fn nack_on_disabled_receiver_then_retry_gets_served() {
+    let config = SystemConfig::o3(2);
+    let first_outcome = Arc::new(AtomicU64::new(0));
+    let first = Arc::clone(&first_outcome);
+
+    let victim: Worker = Box::new(|port| {
+        // Stay disabled long enough that the thief's first send NACKs.
+        port.idle(200);
+        port.set_uli_handler(Box::new(|port, msg| {
+            port.uli_send_response(msg.from, msg.payload + 1);
+        }));
+        port.uli_enable();
+        while !port.is_done() {
+            port.uli_poll();
+            port.idle(5);
+        }
+    });
+    let thief: Worker = Box::new(move |port| {
+        let mut sends = 0u64;
+        loop {
+            sends += 1;
+            match port.uli_send_request(0, 41) {
+                UliOutcome::Sent => break,
+                UliOutcome::Nack { .. } => {
+                    if first.load(Ordering::Relaxed) == 0 {
+                        first.store(1, Ordering::Relaxed); // first attempt NACKed
+                    }
+                    port.idle(20);
+                }
+            }
+        }
+        assert!(sends > 1, "first send must have been NACKed and retried");
+        let resp = loop {
+            if let Some(m) = port.uli_poll_response() {
+                break m;
+            }
+            port.idle(5);
+        };
+        assert_eq!(resp.payload, 42, "handler response made it back");
+        port.set_done();
+    });
+    run_system(&config, vec![victim, thief]);
+    assert_eq!(first_outcome.load(Ordering::Relaxed), 1, "first attempt observed a NACK");
+}
+
+/// Receivers accept one request in flight: with a pending unserviced
+/// request, a second thief is NACKed even though the receiver is enabled.
+#[test]
+fn one_in_flight_request_per_receiver() {
+    let config = SystemConfig::o3(3);
+    // Victim is core 0 so its enable sequences before the thieves' sends
+    // (ties at cycle 0 break by core id); thief 1 sends before thief 2.
+    let victim: Worker = Box::new(|port| {
+        port.uli_enable(); // enabled, but no handler: the request stays pending
+        while !port.is_done() {
+            port.idle(10);
+        }
+    });
+    let thief1: Worker = Box::new(|port| {
+        assert_eq!(port.uli_send_request(0, 1), UliOutcome::Sent, "slot was free");
+        while !port.is_done() {
+            port.idle(10);
+        }
+    });
+    let thief2: Worker = Box::new(|port| {
+        port.idle(50); // well after thief 1's request is in flight
+        assert!(
+            matches!(port.uli_send_request(0, 2), UliOutcome::Nack { .. }),
+            "second in-flight request must NACK"
+        );
+        port.set_done();
+    });
+    run_system(&config, vec![victim, thief1, thief2]);
+}
+
+/// A response sent just before the victim disables its receiver and retires
+/// is still collectable by the thief arbitrarily later — victim death never
+/// strands a response on the wire.
+#[test]
+fn uli_poll_response_after_victim_death() {
+    let config = SystemConfig::o3(2);
+    let served = Arc::new(AtomicBool::new(false));
+    let served_v = Arc::clone(&served);
+
+    let victim: Worker = Box::new(move |port| {
+        let flag = Arc::clone(&served_v);
+        port.set_uli_handler(Box::new(move |port, msg| {
+            port.uli_send_response(msg.from, msg.payload * 2);
+            flag.store(true, Ordering::Relaxed);
+        }));
+        port.uli_enable();
+        while !served_v.load(Ordering::Relaxed) {
+            port.uli_poll();
+            port.idle(5);
+        }
+        port.uli_disable();
+        // Worker returns: the core retires from the sequencer ("dies").
+    });
+    let thief: Worker = Box::new(|port| {
+        loop {
+            match port.uli_send_request(0, 21) {
+                UliOutcome::Sent => break,
+                UliOutcome::Nack { .. } => port.idle(10),
+            }
+        }
+        // Let the victim respond, tear down, and retire before polling.
+        port.idle(10_000);
+        let resp = loop {
+            if let Some(m) = port.uli_poll_response() {
+                break m;
+            }
+            port.idle(5);
+        };
+        assert_eq!((resp.from, resp.payload), (0, 42));
+        port.set_done();
+    });
+    run_system(&config, vec![victim, thief]);
+    assert!(served.load(Ordering::Relaxed));
+}

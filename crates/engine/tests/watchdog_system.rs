@@ -1,0 +1,63 @@
+//! Watchdog behaviour through `run_system`: the wall-clock fallback catches
+//! a core that spins in purely local (unsequenced) host code, and the whole
+//! machine unwinds into a diagnostic bundle instead of hanging.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bigtiny_engine::{run_system, SystemConfig, TimeCategory, Worker, WATCHDOG_MSG};
+
+/// Core 1 burns local cycles forever and never enters the sequencer, so no
+/// grant can ever happen; the wall-clock fallback trips on the parked core
+/// and the poison flag unwinds the spinner (which holds no lock) too.
+#[test]
+fn host_spin_outside_sequencer_trips_wall_clock_and_unwinds() {
+    let mut config = SystemConfig::o3(2).with_watchdog(1_000_000);
+    config.watchdog_wall_ms = 200;
+
+    let waiter: Worker = Box::new(|port| {
+        while !port.is_done() {
+            port.idle(50);
+        }
+    });
+    let spinner: Worker = Box::new(|port| {
+        loop {
+            port.wait_cycles(1024, TimeCategory::Idle);
+        }
+    });
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_system(&config, vec![waiter, spinner]);
+    }));
+    let payload = result.expect_err("a grant-free run must trip the wall-clock fallback");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("watchdog panic carries the diagnostic bundle");
+    assert!(msg.contains(WATCHDOG_MSG), "got: {msg}");
+    assert!(msg.contains("core   0"), "per-core state for core 0: {msg}");
+    assert!(msg.contains("core   1"), "per-core state for core 1: {msg}");
+}
+
+/// The same machine with the spin replaced by a finishing worker completes
+/// without tripping: the wall-clock fallback only fires when *nothing* is
+/// granted for the whole window.
+#[test]
+fn finishing_run_never_trips_wall_clock() {
+    let mut config = SystemConfig::o3(2).with_watchdog(1_000_000);
+    config.watchdog_wall_ms = 200;
+
+    let a: Worker = Box::new(|port| {
+        for _ in 0..100 {
+            port.advance(10);
+            port.is_done(); // sequenced op: keeps grants flowing
+        }
+        port.set_done();
+    });
+    let b: Worker = Box::new(|port| {
+        while !port.is_done() {
+            port.idle(10);
+        }
+    });
+    let report = run_system(&config, vec![a, b]);
+    assert!(report.seq_grants > 0);
+}

@@ -34,9 +34,11 @@
 //! ```
 
 mod network;
+mod rng;
 mod topology;
 mod traffic;
 
-pub use network::{Mesh, MeshConfig, UliMessage, UliNetwork, UliOutcome};
+pub use network::{Mesh, MeshConfig, MeshFaults, UliCoreState, UliMessage, UliNetwork, UliOutcome};
+pub use rng::XorShift64;
 pub use topology::{Tile, Topology};
 pub use traffic::{TrafficClass, TrafficStats, TRAFFIC_CLASSES};

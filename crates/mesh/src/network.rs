@@ -1,5 +1,8 @@
 //! The data OCN latency/accounting model and the dedicated ULI network.
 
+use std::collections::VecDeque;
+
+use crate::rng::XorShift64;
 use crate::topology::{Tile, Topology};
 use crate::traffic::{TrafficClass, TrafficStats};
 
@@ -66,12 +69,54 @@ impl Default for MeshConfig {
 pub struct Mesh {
     config: MeshConfig,
     stats: TrafficStats,
+    faults: Option<SpikeState>,
+}
+
+/// Deterministic latency-spike injection for a [`Mesh`] (fault testing).
+///
+/// Each sent message independently suffers an extra `spike_cycles` of latency
+/// with probability `spike_per_mille`/1000, decided by a seeded xorshift
+/// stream. Message order on a mesh is deterministic under the simulator's
+/// global token sequencing, so a given seed always spikes the same messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MeshFaults {
+    /// Per-message spike probability in thousandths (0 = never, 1000 = all).
+    pub spike_per_mille: u32,
+    /// Extra cycles added to a spiked message's latency.
+    pub spike_cycles: u64,
+    /// Seed of the decision stream.
+    pub seed: u64,
+}
+
+#[derive(Clone, Debug)]
+struct SpikeState {
+    per_mille: u32,
+    extra: u64,
+    rng: XorShift64,
+    spikes: u64,
 }
 
 impl Mesh {
     /// Creates a mesh network with the given configuration.
     pub fn new(config: MeshConfig) -> Self {
-        Mesh { config, stats: TrafficStats::new() }
+        Mesh { config, stats: TrafficStats::new(), faults: None }
+    }
+
+    /// Arms (or, with `None`, disarms) deterministic latency-spike
+    /// injection. The golden path — no faults armed — is entirely
+    /// unaffected.
+    pub fn set_faults(&mut self, faults: Option<MeshFaults>) {
+        self.faults = faults.filter(|f| f.spike_per_mille > 0).map(|f| SpikeState {
+            per_mille: f.spike_per_mille.min(1000),
+            extra: f.spike_cycles,
+            rng: XorShift64::new(f.seed ^ 0x6d65_7368_5f66_6c74),
+            spikes: 0,
+        });
+    }
+
+    /// Number of injected latency spikes so far (0 when faults are off).
+    pub fn fault_spikes(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |s| s.spikes)
     }
 
     /// The configured topology.
@@ -101,7 +146,14 @@ impl Mesh {
         let total = payload_bytes + self.config.header_bytes;
         let hops = from.hops_to(to);
         self.stats.record(class, total, hops);
-        self.latency(from, to, total)
+        let mut lat = self.latency(from, to, total);
+        if let Some(f) = self.faults.as_mut() {
+            if f.rng.next_below(1000) < f.per_mille as u64 {
+                f.spikes += 1;
+                lat += f.extra;
+            }
+        }
+        lat
     }
 
     /// Accumulated traffic statistics.
@@ -153,7 +205,29 @@ pub enum UliOutcome {
 struct UliUnit {
     enabled: bool,
     pending_req: Option<UliMessage>,
-    pending_resp: Option<UliMessage>,
+    pending_resp: VecDeque<UliMessage>,
+}
+
+/// Upper bound on buffered responses at one thief core.
+///
+/// On the golden path the protocol allows a single outstanding steal per
+/// thief, so at most one response is ever in flight. Under fault injection a
+/// thief may time out on a slow steal and issue a new one before the stale
+/// response drains, so a small queue is needed; anything deeper than this cap
+/// indicates a runtime bug, not a fault.
+const ULI_RESP_QUEUE_CAP: usize = 4;
+
+/// A crash-consistent snapshot of one core's ULI unit, for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UliCoreState {
+    /// Whether the core currently accepts ULI requests.
+    pub enabled: bool,
+    /// Origin core of the buffered request, if any.
+    pub pending_req_from: Option<usize>,
+    /// Arrival cycle of the buffered request, if any.
+    pub pending_req_arrives_at: Option<u64>,
+    /// Number of responses buffered at (in flight to) this core.
+    pub pending_responses: usize,
 }
 
 /// The dedicated ULI mesh of Section IV: two virtual channels (request and
@@ -168,6 +242,7 @@ pub struct UliNetwork {
     total_latency: u64,
     total_hops: u64,
     nacks: u64,
+    drops: u64,
 }
 
 /// Payload + header size of a ULI message in bytes (one word + routing info).
@@ -188,6 +263,7 @@ impl UliNetwork {
             total_latency: 0,
             total_hops: 0,
             nacks: 0,
+            drops: 0,
         }
     }
 
@@ -255,23 +331,77 @@ impl UliNetwork {
 
     /// Sends a ULI response from `from` back to `to` (the original thief).
     ///
+    /// Responses queue in arrival order. On the golden path at most one is
+    /// ever buffered (one outstanding steal per thief); under fault injection
+    /// a stale response from a timed-out steal can coexist briefly with a
+    /// fresh one.
+    ///
     /// # Panics
     ///
-    /// Panics if `to` already has a buffered response — the protocol allows a
-    /// single outstanding steal per thief, so this indicates a runtime bug.
+    /// Panics if `to` has more than [`ULI_RESP_QUEUE_CAP`] responses buffered
+    /// — that is a runtime bug, not a reachable fault state.
     pub fn send_response(&mut self, from: usize, to: usize, payload: u64, now: u64) {
         let lat = self.record(from, to);
         let unit = &mut self.units[to];
-        assert!(unit.pending_resp.is_none(), "thief core {to} already has a buffered ULI response");
-        unit.pending_resp = Some(UliMessage { from, payload, arrives_at: now + lat });
+        assert!(
+            unit.pending_resp.len() < ULI_RESP_QUEUE_CAP,
+            "thief core {to} has {} buffered ULI responses (runtime bug)",
+            unit.pending_resp.len()
+        );
+        unit.pending_resp.push_back(UliMessage { from, payload, arrives_at: now + lat });
     }
 
-    /// Removes and returns the response buffered at `core` if it has arrived
-    /// by cycle `now`. Responses are accepted even while ULI is disabled.
+    /// Removes and returns the oldest response buffered at `core` if it has
+    /// arrived by cycle `now`. Responses are accepted even while ULI is
+    /// disabled.
     pub fn take_response(&mut self, core: usize, now: u64) -> Option<UliMessage> {
-        match self.units[core].pending_resp {
-            Some(m) if m.arrives_at <= now => self.units[core].pending_resp.take(),
+        match self.units[core].pending_resp.front() {
+            Some(m) if m.arrives_at <= now => self.units[core].pending_resp.pop_front(),
             _ => None,
+        }
+    }
+
+    /// Silently drops a request from `from` to `to`: the request's bytes are
+    /// charged to the network but the receiver never observes it and no NACK
+    /// comes back. Used by fault injection to model a lost message; the
+    /// sender believes the send succeeded.
+    pub fn drop_request(&mut self, from: usize, to: usize) {
+        let _ = self.record(from, to);
+        self.drops += 1;
+    }
+
+    /// Number of requests silently dropped by fault injection.
+    pub fn drop_count(&self) -> u64 {
+        self.drops
+    }
+
+    /// Injects a forced NACK for a request from `from` to `to`: the request
+    /// and its NACK reply are charged to the network as usual, but the
+    /// receiver never observes the request. Used by fault injection to model
+    /// a receiver whose request buffer appears full.
+    pub fn forced_nack(&mut self, from: usize, to: usize, now: u64) -> UliOutcome {
+        let lat = self.record(from, to);
+        let back = self.record(to, from);
+        self.nacks += 1;
+        UliOutcome::Nack { reply_at: now + lat + back }
+    }
+
+    /// Delays the request currently buffered at `core` by `extra` cycles, if
+    /// one exists. Used by fault injection to model in-network delay.
+    pub fn delay_request(&mut self, core: usize, extra: u64) {
+        if let Some(m) = self.units[core].pending_req.as_mut() {
+            m.arrives_at += extra;
+        }
+    }
+
+    /// A crash-consistent snapshot of `core`'s ULI unit for diagnostics.
+    pub fn unit_state(&self, core: usize) -> UliCoreState {
+        let u = &self.units[core];
+        UliCoreState {
+            enabled: u.enabled,
+            pending_req_from: u.pending_req.map(|m| m.from),
+            pending_req_arrives_at: u.pending_req.map(|m| m.arrives_at),
+            pending_responses: u.pending_resp.len(),
         }
     }
 
@@ -424,5 +554,93 @@ mod tests {
     fn uli_self_send_panics() {
         let mut u = UliNetwork::new(Topology::new(2, 2), 4);
         u.try_send_request(1, 1, 0, 0);
+    }
+
+    #[test]
+    fn uli_responses_queue_in_order() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.send_response(1, 0, 10, 0);
+        u.send_response(2, 0, 20, 0);
+        let a = u.take_response(0, 1000).unwrap();
+        let b = u.take_response(0, 1000).unwrap();
+        assert_eq!((a.payload, b.payload), (10, 20));
+        assert!(u.take_response(0, 1000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime bug")]
+    fn uli_response_queue_overflow_panics() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        for i in 0..5 {
+            u.send_response(1, 0, i, 0);
+        }
+    }
+
+    #[test]
+    fn forced_nack_charges_round_trip_and_counts() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(1, true);
+        match u.forced_nack(0, 1, 0) {
+            UliOutcome::Nack { reply_at } => assert_eq!(reply_at, 6),
+            other => panic!("expected NACK, got {other:?}"),
+        }
+        assert_eq!(u.nack_count(), 1);
+        assert_eq!(u.message_count(), 2);
+        assert!(!u.has_pending_request(1), "receiver never sees the request");
+    }
+
+    #[test]
+    fn delay_request_pushes_arrival_out() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(1, true);
+        assert_eq!(u.try_send_request(0, 1, 5, 0), UliOutcome::Sent);
+        u.delay_request(1, 100);
+        assert!(u.take_request(1, 50).is_none(), "delayed past original arrival");
+        assert!(u.take_request(1, 103).is_some());
+    }
+
+    #[test]
+    fn unit_state_snapshots_pending_work() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(3, true);
+        u.try_send_request(0, 3, 1, 0);
+        u.send_response(3, 0, 2, 0);
+        let s = u.unit_state(3);
+        assert!(s.enabled);
+        assert_eq!(s.pending_req_from, Some(0));
+        assert!(s.pending_req_arrives_at.is_some());
+        let thief = u.unit_state(0);
+        assert_eq!(thief.pending_responses, 1);
+    }
+
+    #[test]
+    fn mesh_spikes_are_deterministic_and_counted() {
+        let run = |seed| {
+            let mut m = mesh();
+            m.set_faults(Some(MeshFaults { spike_per_mille: 500, spike_cycles: 40, seed }));
+            let mut lats = Vec::new();
+            for i in 0..64u64 {
+                let a = Tile::new((i % 8) as u16, 0);
+                let b = Tile::new(0, (i % 8) as u16);
+                lats.push(m.send(a, b, TrafficClass::CpuReq, 16));
+            }
+            (lats, m.fault_spikes())
+        };
+        let (l1, s1) = run(7);
+        let (l2, s2) = run(7);
+        assert_eq!(l1, l2, "same seed, same spikes");
+        assert_eq!(s1, s2);
+        assert!(s1 > 0, "a 50% plan must spike some of 64 messages");
+        let (l3, _) = run(8);
+        assert_ne!(l1, l3, "different seed, different spike pattern");
+    }
+
+    #[test]
+    fn mesh_without_faults_never_spikes() {
+        let mut m = mesh();
+        m.set_faults(Some(MeshFaults { spike_per_mille: 0, spike_cycles: 40, seed: 1 }));
+        let base = m.latency(Tile::new(0, 0), Tile::new(3, 0), 24);
+        assert_eq!(m.send(Tile::new(0, 0), Tile::new(3, 0), TrafficClass::CpuReq, 16), base);
+        assert_eq!(m.fault_spikes(), 0);
     }
 }
