@@ -23,18 +23,19 @@ const CLASSES: [TrafficClass; 9] = [
 /// Options parsed from the command line (sizes and app lists stay on the
 /// `BIGTINY_*` environment variables so existing scripts keep working).
 struct CliOpts {
-    /// Fault-plan name for `FaultPlan::by_name` (implies `hostile` when only
-    /// a seed is given).
+    /// Fault-plan name for `FaultPlan::by_name`. Never implied: without an
+    /// explicit `--fault-plan`, no faults are armed (a bare `--fault-seed`
+    /// is inert).
     fault_plan: Option<String>,
     fault_seed: u64,
     watchdog_budget: Option<u64>,
 }
 
 const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan NAME] [--watchdog-budget N]
-  --fault-seed N       arm deterministic fault injection with seed N
-                       (plan defaults to `hostile` unless --fault-plan is given)
-  --fault-plan NAME    one of: none, uli-drop-storm, steal-miss-storm,
-                       mesh-latency-spikes, hostile
+  --fault-seed N       seed for deterministic fault injection; inert unless
+                       --fault-plan is also given (no plan is ever implied)
+  --fault-plan NAME    arm fault injection: none, uli-drop-storm,
+                       steal-miss-storm, mesh-latency-spikes, hostile
   --watchdog-budget N  abort with per-core diagnostics after N sequenced
                        grants without runtime progress
 sizes and app selection come from BIGTINY_SIZE / BIGTINY_APPS / BIGTINY_JSON";
@@ -85,7 +86,10 @@ fn parse_cli() -> CliOpts {
         }
     }
     if seed_given && opts.fault_plan.is_none() {
-        opts.fault_plan = Some("hostile".to_owned());
+        eprintln!(
+            "[faults] --fault-seed given without --fault-plan: running fault-free \
+             (pass --fault-plan to arm injection)"
+        );
     }
     opts
 }

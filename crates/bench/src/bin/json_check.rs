@@ -1,0 +1,38 @@
+//! Validates a JSON-lines results file (as written via `BIGTINY_JSON`) with
+//! the strict flat-object parser, so CI fails loudly on an unparseable
+//! record (e.g. a bare `NaN`) instead of shipping a corrupt artifact.
+
+use bigtiny_bench::parse_json_line;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: json_check <results.jsonl>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("json_check: {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut records = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_json_line(line) {
+            Ok(kv) if kv.is_empty() => {
+                eprintln!("{path}:{}: empty record", idx + 1);
+                std::process::exit(1);
+            }
+            Ok(_) => records += 1,
+            Err(e) => {
+                eprintln!("{path}:{}: invalid JSON line: {e}\n  {line}", idx + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if records == 0 {
+        eprintln!("json_check: {path}: no records");
+        std::process::exit(1);
+    }
+    println!("{path}: {records} valid records");
+}

@@ -49,9 +49,23 @@ impl CoreSet {
         self.words.iter().all(|w| *w == 0)
     }
 
-    /// Iterates over members in ascending order.
+    /// Iterates over members in ascending order by bit-scanning the
+    /// backing words (cost scales with membership, not capacity — sharer
+    /// sets are consulted on every store under the write-through
+    /// protocols, so an empty set must cost four word loads, not 256
+    /// `contains` probes).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..Self::CAPACITY).filter(move |c| self.contains(*c))
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(i * 64 + bit)
+            })
+        })
     }
 
     /// Removes and returns all members.

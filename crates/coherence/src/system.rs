@@ -114,9 +114,37 @@ pub struct MemorySystem {
     stats: Vec<CoreMemStats>,
 
     track_staleness: bool,
-    latest: HashMap<u64, u64>,
-    committed: HashMap<u64, u64>,
+    latest: VersionMap,
+    committed: VersionMap,
 }
+
+/// Deterministic single-round multiply-xor hasher for the word-address
+/// version maps. These maps sit on the per-access staleness-check path (one
+/// probe per load hit, several per store) and are keyed by u64 word
+/// addresses that are never attacker-controlled, so SipHash's DoS
+/// resistance buys nothing here; they are also never iterated, so hash
+/// order cannot leak into simulated behaviour.
+#[derive(Clone, Copy, Default)]
+struct WordHasher(u64);
+
+impl std::hash::Hasher for WordHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let x = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
+type VersionMap = HashMap<u64, u64, std::hash::BuildHasherDefault<WordHasher>>;
 
 impl MemorySystem {
     /// Builds the memory system for `config`.
@@ -138,8 +166,8 @@ impl MemorySystem {
             mesh: Mesh::new(config.mesh),
             stats: vec![CoreMemStats::default(); config.cores.len()],
             track_staleness: config.track_staleness,
-            latest: HashMap::new(),
-            committed: HashMap::new(),
+            latest: VersionMap::default(),
+            committed: VersionMap::default(),
         }
     }
 
@@ -283,24 +311,27 @@ impl MemorySystem {
     /// parallel invalidation round trips from `bank`. Returns the time at
     /// which all acknowledgements have arrived.
     fn invalidate_sharers(&mut self, line: LineAddr, bank: usize, t: u64, except: usize) -> u64 {
-        let sharers: Vec<usize> = match self.l2.peek(line) {
-            Some(e) => e.sharers.iter().filter(|c| *c != except).collect(),
+        // CoreSet is a small Copy bitset: snapshot it instead of collecting
+        // members into a Vec — this runs on every write-through store.
+        let mut sharers = match self.l2.peek(line) {
+            Some(e) => e.sharers,
             None => return t,
         };
+        sharers.remove(except);
         if sharers.is_empty() {
             return t;
         }
         let bank_tile = self.bank_tile(bank);
         let mut done = t;
-        for core in &sharers {
-            let tile = self.core_tile(*core);
+        for core in sharers.iter() {
+            let tile = self.core_tile(core);
             let leg = self.mesh.send(bank_tile, tile, TrafficClass::CohReq, 0);
             let ack = self.mesh.send(tile, bank_tile, TrafficClass::CohResp, 0);
             done = done.max(t + leg + ack);
-            self.l1s[*core].remove(line);
+            self.l1s[core].remove(line);
         }
         let entry = self.l2.lookup(line).expect("sharers imply residency");
-        for core in sharers {
+        for core in sharers.iter() {
             entry.sharers.remove(core);
         }
         done

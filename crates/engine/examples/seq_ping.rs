@@ -1,0 +1,90 @@
+//! Micro-benchmark of the raw sequencer grant paths.
+//!
+//! `self`: one core enter/leave in a loop — every grant takes the fast
+//! re-grant path. `pingpong`: two cores alternate strictly — every grant
+//! is a cross-thread handoff (park + wake + context switch). The gap
+//! between the two is the cost the fast path removes; the `pingpong`
+//! number is the hard floor for cross-core sequenced ops on this host.
+//!
+//! Run: `cargo run --release -p bigtiny-engine --example seq_ping`
+
+use bigtiny_engine::Sequencer;
+use std::sync::Arc;
+use std::time::Instant;
+
+const OPS: u64 = 200_000;
+
+fn main() {
+    // Self re-grant: single core, always the global minimum.
+    let seq = Sequencer::new(1);
+    let t0 = Instant::now();
+    for t in 0..OPS {
+        seq.enter(0, t);
+        seq.leave(0);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "self:     {OPS} ops in {dt:.3}s  ({:.0} ops/s, {:.0} ns/op, {:.1}% fast)",
+        OPS as f64 / dt,
+        dt * 1e9 / OPS as f64,
+        100.0 * seq.fast_grants() as f64 / seq.total_grants() as f64
+    );
+    seq.retire(0);
+
+    // Ping-pong: two cores with interleaved times force a handoff per op.
+    let seq = Arc::new(Sequencer::new(2));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for core in 0..2usize {
+        let seq = Arc::clone(&seq);
+        handles.push(std::thread::spawn(move || {
+            let mut t = core as u64;
+            for _ in 0..OPS / 2 {
+                seq.enter(core, t);
+                seq.leave(core);
+                t += 2;
+            }
+            seq.retire(core);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "pingpong: {OPS} ops in {dt:.3}s  ({:.0} ops/s, {:.0} ns/op, {:.1}% fast)",
+        OPS as f64 / dt,
+        dt * 1e9 / OPS as f64,
+        100.0 * seq.fast_grants() as f64 / seq.total_grants() as f64
+    );
+
+    // Raw std mutex+condvar ping-pong: the host's floor for a strict
+    // two-thread lockstep handoff, for comparison against the sequencer.
+    let state = Arc::new((std::sync::Mutex::new(0u64), std::sync::Condvar::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for parity in 0..2u64 {
+        let state = Arc::clone(&state);
+        handles.push(std::thread::spawn(move || {
+            let (m, cv) = &*state;
+            let mut g = m.lock().unwrap();
+            while *g < OPS {
+                if *g % 2 == parity {
+                    *g += 1;
+                    cv.notify_one();
+                } else {
+                    g = cv.wait(g).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "raw cv:   {OPS} ops in {dt:.3}s  ({:.0} ops/s, {:.0} ns/op)",
+        OPS as f64 / dt,
+        dt * 1e9 / OPS as f64,
+    );
+}

@@ -62,8 +62,21 @@ impl TimeCategory {
         }
     }
 
+    /// Index into [`TIME_CATEGORIES`] / the breakdown array. A direct match
+    /// (this runs on every cycle charge; a linear scan over the category
+    /// table showed up in engine profiles).
     fn index(self) -> usize {
-        TIME_CATEGORIES.iter().position(|c| *c == self).expect("listed")
+        match self {
+            TimeCategory::Compute => 0,
+            TimeCategory::Load => 1,
+            TimeCategory::Store => 2,
+            TimeCategory::Atomic => 3,
+            TimeCategory::Flush => 4,
+            TimeCategory::Invalidate => 5,
+            TimeCategory::Uli => 6,
+            TimeCategory::UliWait => 7,
+            TimeCategory::Idle => 8,
+        }
     }
 }
 
@@ -138,6 +151,13 @@ impl fmt::Display for TimeBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_display_order() {
+        for (i, c) in TIME_CATEGORIES.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} must map to its display position");
+        }
+    }
 
     #[test]
     fn add_and_total() {

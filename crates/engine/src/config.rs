@@ -6,6 +6,25 @@ use bigtiny_mesh::{MeshConfig, Topology};
 
 use crate::fault::FaultPlan;
 
+/// Host execution backend for the simulated cores. Both backends produce
+/// the identical sequenced-op stream (pinned by the golden-trace tests);
+/// they differ only in host wall clock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecBackend {
+    /// Pick automatically: fibers where supported (x86_64 Linux, watchdog
+    /// disarmed, `BIGTINY_BACKEND` not set to `threads`), else threads.
+    #[default]
+    Auto,
+    /// One OS thread per simulated core. Portable, and required by the
+    /// watchdog's wall-clock fallback (a stalled run can only be observed
+    /// from a second runnable thread).
+    Threads,
+    /// Every core as a stackful fiber on the simulation thread: a token
+    /// handoff is a user-space stack switch instead of a futex wake plus a
+    /// kernel context switch. Panics at run start where unsupported.
+    Fibers,
+}
+
 /// Core microarchitecture class.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CoreKind {
@@ -72,6 +91,9 @@ pub struct SystemConfig {
     /// meaningful with `watchdog_budget` set). Trips when no sequencer
     /// grant happens at all for this long.
     pub watchdog_wall_ms: u64,
+    /// Host execution backend (fibers vs one thread per core). Simulated
+    /// results are identical either way; see [`ExecBackend`].
+    pub backend: ExecBackend,
 }
 
 impl SystemConfig {
@@ -90,6 +112,7 @@ impl SystemConfig {
             faults: FaultPlan::none(),
             watchdog_budget: None,
             watchdog_wall_ms: 5_000,
+            backend: ExecBackend::Auto,
         }
     }
 
@@ -187,6 +210,12 @@ impl SystemConfig {
     /// sequencer grants between progress marks.
     pub fn with_watchdog(mut self, budget: u64) -> Self {
         self.watchdog_budget = Some(budget);
+        self
+    }
+
+    /// Returns a copy pinned to the given host execution backend.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
         self
     }
 }

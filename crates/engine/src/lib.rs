@@ -47,6 +47,8 @@ mod breakdown;
 mod config;
 mod energy;
 mod fault;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod fiber;
 mod port;
 mod sequencer;
 mod space;
@@ -56,10 +58,11 @@ mod trace;
 mod watchdog;
 
 pub use breakdown::{TimeBreakdown, TimeCategory, TIME_CATEGORIES};
-pub use config::{CoreConfig, CoreKind, SystemConfig};
+pub use config::{CoreConfig, CoreKind, ExecBackend, SystemConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use fault::{FaultCounters, FaultPlan};
 pub use port::{CorePort, UliHandler};
+pub use sequencer::Sequencer;
 pub use space::{AddrSpace, ShScalar, ShVec};
 pub use system::{run_system, RunReport, UliReport, Worker};
 pub use trace::{render_timeline, TraceEvent};

@@ -35,6 +35,14 @@ pub type UliHandler = Box<dyn FnMut(&mut CorePort, UliMessage) + Send>;
 /// only stall the core when it is full (or at drain points: AMOs, flushes).
 const STORE_BUFFER_ENTRIES: usize = 8;
 
+/// Bound on coalesced-but-uncharged compute cycles. Coalescing defers the
+/// bookkeeping of consecutive pure-compute advances, and the flush is also
+/// where the poison flag is polled — so an unbounded accumulation on a core
+/// with no ULI handler could spin forever in a poisoned run. The bound is
+/// far above any real kernel's inter-operation compute stretch, so it only
+/// exists as that safety valve.
+const MAX_PENDING_COMPUTE: u64 = 4096;
+
 /// Handle through which a worker drives one simulated core.
 pub struct CorePort {
     core: usize,
@@ -48,6 +56,13 @@ pub struct CorePort {
     /// interruptible (ULIs are delivered at instruction granularity on real
     /// hardware).
     compute_since_poll: u64,
+    /// Compute cycles accumulated by consecutive [`CorePort::advance`]
+    /// calls but not yet folded into `clock`/`breakdown`/trace (compute
+    /// coalescing). Flushed before anything observes the clock: sequenced
+    /// ops, non-compute charges, store-buffer arithmetic, [`CorePort::now`],
+    /// and the final report. Timing-invisible by construction — only the
+    /// number of bookkeeping operations changes, never their sum.
+    pending_compute: u64,
     breakdown: TimeBreakdown,
     trace: Option<Vec<crate::trace::TraceEvent>>,
     rng: XorShift64,
@@ -91,6 +106,7 @@ impl CorePort {
             instructions: 0,
             store_buffer: std::collections::VecDeque::new(),
             compute_since_poll: 0,
+            pending_compute: 0,
             breakdown: TimeBreakdown::new(),
             trace: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
@@ -122,7 +138,7 @@ impl CorePort {
 
     /// Current local simulated time in cycles.
     pub fn now(&self) -> u64 {
-        self.clock
+        self.clock + self.pending_compute
     }
 
     /// Instructions retired so far (used for work/span accounting).
@@ -130,9 +146,12 @@ impl CorePort {
         self.instructions
     }
 
-    /// The accumulated execution-time breakdown.
-    pub fn breakdown(&self) -> &TimeBreakdown {
-        &self.breakdown
+    /// The accumulated execution-time breakdown, including compute cycles
+    /// still coalesced (not yet folded into the clock).
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let mut b = self.breakdown;
+        b.add(TimeCategory::Compute, self.pending_compute);
+        b
     }
 
     /// Deterministic per-core random value in `0..bound`.
@@ -147,6 +166,7 @@ impl CorePort {
     /// Runs `f` on the global state under the token, delivering at most one
     /// pending ULI observed in the same critical section.
     fn seq<R>(&mut self, f: impl FnOnce(&mut GlobalState, u64, usize) -> R) -> R {
+        self.flush_compute();
         let check_uli = self.handler.is_some() && !self.in_handler;
         let (r, msg) = {
             self.shared.seq.enter(self.core, self.clock);
@@ -191,12 +211,34 @@ impl CorePort {
     }
 
     fn charge(&mut self, cat: TimeCategory, cycles: u64) {
+        self.flush_compute();
+        self.charge_now(cat, cycles);
+    }
+
+    /// Folds any coalesced compute into the clock/breakdown/trace. Between
+    /// the first deferred `advance` and this flush the clock never moves
+    /// (every other charge flushes first), so the single merged trace event
+    /// spans exactly the cycles the individual events would have.
+    fn flush_compute(&mut self) {
+        let pending = std::mem::take(&mut self.pending_compute);
+        if pending > 0 {
+            self.charge_now(TimeCategory::Compute, pending);
+        }
+    }
+
+    fn charge_now(&mut self, cat: TimeCategory, cycles: u64) {
         if cycles > 0 {
             // A core looping on purely local time (back-off, spin-waits)
             // never takes the sequencer lock, so it must poll the poison
             // flag here or a poisoned run could not unwind it.
             if self.shared.seq.check_poison() {
                 panic!("{}", crate::sequencer::POISON_MSG);
+            }
+            // Productive local cycles are liveness evidence for the
+            // watchdog's wall-clock fallback; idle spinning is not (it only
+            // waits on sequenced state, which needs a grant to change).
+            if cat != TimeCategory::Idle {
+                self.shared.seq.note_local_progress();
             }
             if let Some(t) = self.trace.as_mut() {
                 t.push(crate::trace::TraceEvent { start: self.clock, cycles, category: cat });
@@ -224,7 +266,14 @@ impl CorePort {
             CoreKind::Big => insts.div_ceil(self.issue_width),
             CoreKind::Tiny => insts,
         };
-        self.charge(TimeCategory::Compute, cycles);
+        // Coalesce consecutive pure-compute advances into one deferred
+        // clock bump; the ULI-delivery boundary below is still checked on
+        // the accumulated total, so delivery opportunities land at the same
+        // simulated cycle they always did.
+        self.pending_compute += cycles;
+        if self.pending_compute >= MAX_PENDING_COMPUTE {
+            self.flush_compute();
+        }
         // Long pure-compute stretches must remain interruptible: poll for
         // ULIs every ~256 accumulated compute cycles.
         if self.handler.is_some() && !self.in_handler {
@@ -304,6 +353,7 @@ impl CorePort {
     /// returning the cycles the core actually stalls: one issue cycle plus
     /// any wait for a free buffer entry.
     fn buffer_store(&mut self, raw: u64) -> u64 {
+        self.flush_compute();
         let now = self.clock;
         while self.store_buffer.front().is_some_and(|done| *done <= now) {
             self.store_buffer.pop_front();
@@ -321,6 +371,7 @@ impl CorePort {
     /// Cycles until every buffered store has completed (drain at AMOs and
     /// flush points, which have release semantics).
     fn drain_store_buffer(&mut self) -> u64 {
+        self.flush_compute();
         let last = self.store_buffer.back().copied().unwrap_or(0);
         self.store_buffer.clear();
         last.saturating_sub(self.clock)
@@ -533,7 +584,23 @@ impl CorePort {
         d
     }
 
-    pub(crate) fn into_report(self) -> PortReport {
+    pub(crate) fn into_report(mut self) -> PortReport {
+        // Terminal flush: fold any coalesced compute without the poison
+        // poll — report assembly runs after a worker has already unwound,
+        // and panicking here again would lose the report (and abort the
+        // process on the fiber backend).
+        let pending = std::mem::take(&mut self.pending_compute);
+        if pending > 0 {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(crate::trace::TraceEvent {
+                    start: self.clock,
+                    cycles: pending,
+                    category: TimeCategory::Compute,
+                });
+            }
+            self.breakdown.add(TimeCategory::Compute, pending);
+            self.clock += pending;
+        }
         PortReport {
             clock: self.clock,
             breakdown: self.breakdown,

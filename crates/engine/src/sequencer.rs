@@ -17,9 +17,11 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::sync::{Condvar, Mutex};
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+use crate::fiber::{FiberId, FiberRt};
+use crate::sync::Mutex;
 use crate::watchdog::{PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG};
 
 pub(crate) const POISON_MSG: &str = "simulation poisoned by a panic on another core";
@@ -43,22 +45,66 @@ struct Inner {
     poisoned: bool,
     reason: Option<PoisonReason>,
     cores: Vec<CoreState>,
+    /// OS thread driving each core, registered on the core's first `enter`.
+    /// Token handoff uses `Thread::unpark` *after* the sequencer lock is
+    /// released: waking a core through a condvar while still holding the
+    /// lock made the woken thread contend on it (an extra futex round trip
+    /// and context switch per handoff on a loaded host).
+    threads: Vec<Option<std::thread::Thread>>,
+    /// Order-sensitive FNV-1a fold of every `(time, core)` grant: the
+    /// fingerprint of the sequenced-op stream. Golden-trace tests pin this
+    /// to prove engine optimizations never reorder or change a single
+    /// simulated operation.
+    op_hash: u64,
+}
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `(time, core)` grant into the op-stream hash.
+#[inline]
+fn fold_grant(h: u64, time: u64, core: usize) -> u64 {
+    let h = (h ^ time).wrapping_mul(FNV_PRIME);
+    (h ^ core as u64).wrapping_mul(FNV_PRIME)
 }
 
 /// The token scheduler. See the module docs.
 #[derive(Debug)]
 pub struct Sequencer {
     inner: Mutex<Inner>,
-    cvs: Box<[Condvar]>,
     watchdog: Option<WatchdogConfig>,
     /// Grants since the last progress mark (watchdog budget counter).
     since_progress: AtomicU64,
     /// Total grants over the run (wall-clock stall discriminator + stats).
     total_grants: AtomicU64,
+    /// Grants taken through the inline fast re-grant path (no waiting-set
+    /// churn, no condvar). Diagnostic for the perf harness: fast-path hit
+    /// rate is the fraction of sequenced ops that avoid the parked path.
+    fast_grants: AtomicU64,
+    /// Host-level liveness ticks from purely local *productive* work
+    /// (compute/memory charging between sequenced ops). Only bumped while a
+    /// watchdog is armed. The wall-clock fallback requires *both* this and
+    /// `total_grants` to stand still for a full window before poisoning, so
+    /// a slow-but-progressing run on an overloaded host (long local
+    /// compute, no grants) is never killed. Idle charges deliberately do
+    /// not count: an idle-spinning core is waiting on sequenced state,
+    /// which cannot change without a grant, so idle loops with zero grants
+    /// are a real deadlock and must still trip.
+    activity: AtomicU64,
     /// Lock-free mirror of `Inner::poisoned`, so cores spinning in purely
     /// local operations (which never take the sequencer lock) can still
     /// observe the poison and unwind.
     poison_flag: AtomicBool,
+    /// Fiber-backend contexts: when set, cores are stackful fibers on one
+    /// OS thread and a blocked `enter` *switches stacks* to the dispatched
+    /// core instead of parking — no futex, no kernel context switch. The
+    /// grant-selection logic is shared with the thread backend, so both
+    /// produce the identical sequenced-op stream (pinned by the golden
+    /// hashes). Mutually exclusive with the watchdog: its wall-clock
+    /// fallback needs a second runnable thread.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fiber: Option<FiberRt>,
 }
 
 impl Sequencer {
@@ -73,12 +119,17 @@ impl Sequencer {
                 poisoned: false,
                 reason: None,
                 cores: vec![CoreState::default(); num_cores],
+                threads: (0..num_cores).map(|_| None).collect(),
+                op_hash: FNV_OFFSET,
             }),
-            cvs: (0..num_cores).map(|_| Condvar::new()).collect(),
             watchdog: None,
             since_progress: AtomicU64::new(0),
             total_grants: AtomicU64::new(0),
+            fast_grants: AtomicU64::new(0),
+            activity: AtomicU64::new(0),
             poison_flag: AtomicBool::new(false),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            fiber: None,
         }
     }
 
@@ -86,14 +137,63 @@ impl Sequencer {
     /// start.
     pub fn set_watchdog(&mut self, config: WatchdogConfig) {
         assert!(config.budget > 0, "watchdog budget must be positive");
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(self.fiber.is_none(), "the watchdog requires the thread backend");
         self.watchdog = Some(config);
     }
 
-    fn dispatch(&self, inner: &mut Inner) {
+    /// Switches this sequencer to the fiber backend. Must be called before
+    /// the run starts; incompatible with an armed watchdog (the wall-clock
+    /// fallback needs a second runnable thread to observe a stall).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn set_fiber_backend(&mut self, rt: FiberRt) {
+        assert!(self.watchdog.is_none(), "fiber backend is incompatible with the watchdog");
+        self.fiber = Some(rt);
+    }
+
+    /// The fiber-backend runtime, if this sequencer uses fibers.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn fiber_rt(&self) -> Option<&FiberRt> {
+        self.fiber.as_ref()
+    }
+
+    /// Grants the token to the minimum-`(time, core)` waiter, if any.
+    /// This is the single grant-selection rule shared by both execution
+    /// backends, so threads and fibers produce the identical op stream.
+    fn pick_next(inner: &mut Inner) -> Option<usize> {
         debug_assert!(inner.current.is_none());
-        if let Some(&(_, core)) = inner.waiting.iter().next() {
-            inner.current = Some(core);
-            self.cvs[core].notify_one();
+        let &(_, core) = inner.waiting.iter().next()?;
+        inner.current = Some(core);
+        Some(core)
+    }
+
+    /// Thread backend: picks the next waiter and returns the thread to
+    /// unpark — the caller must deliver the unpark AFTER releasing the
+    /// sequencer lock, so the woken core never contends on it. When the
+    /// caller selects itself, no wake is needed: it re-checks `current`
+    /// before parking.
+    #[must_use]
+    fn dispatch(&self, inner: &mut Inner, caller: Option<usize>) -> Option<std::thread::Thread> {
+        let core = Self::pick_next(inner)?;
+        if caller == Some(core) {
+            return None;
+        }
+        Some(inner.threads[core].clone().expect("waiting core has registered its thread"))
+    }
+
+    /// Per-grant bookkeeping: stats, the op-stream hash fold, and the
+    /// watchdog budget check. Shared by the parked and fast re-grant paths
+    /// so both produce the identical op stream.
+    fn record_grant(&self, g: &mut Inner, core: usize, time: u64) {
+        g.cores[core].grants += 1;
+        g.cores[core].last_time = time;
+        g.op_hash = fold_grant(g.op_hash, time, core);
+        self.total_grants.fetch_add(1, Ordering::Relaxed);
+        if let Some(wd) = self.watchdog {
+            let since = self.since_progress.fetch_add(1, Ordering::Relaxed) + 1;
+            if since > wd.budget {
+                self.trip(g, core, time);
+            }
         }
     }
 
@@ -102,8 +202,8 @@ impl Sequencer {
         g.poisoned = true;
         g.reason.get_or_insert(PoisonReason::Watchdog { core, time });
         self.poison_flag.store(true, Ordering::Relaxed);
-        for cv in self.cvs.iter() {
-            cv.notify_all();
+        for t in g.threads.iter().flatten() {
+            t.unpark();
         }
         panic!("{WATCHDOG_MSG} (tripped on core {core} at cycle {time})");
     }
@@ -118,43 +218,134 @@ impl Sequencer {
     pub fn enter(&self, core: usize, time: u64) {
         let mut g = self.inner.lock();
         assert!(!g.poisoned, "{}", POISON_MSG);
+        // Fast re-grant: this core is the only one running, nobody holds
+        // the token, and every parked core waits at a later `(time, core)`
+        // — dispatch would pick this core right back. Grant inline and skip
+        // the waiting-set churn and park/unpark round trip entirely. This
+        // is the steady state of steal-free inner loops and serial phases.
+        if g.running == 1
+            && g.current.is_none()
+            && g.waiting.first().is_none_or(|&min| (time, core) < min)
+        {
+            g.current = Some(core);
+            self.fast_grants.fetch_add(1, Ordering::Relaxed);
+            self.record_grant(&mut g, core, time);
+            return;
+        }
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if self.fiber.is_some() {
+            return self.enter_fiber(g, core, time);
+        }
+        if g.threads[core].is_none() {
+            g.threads[core] = Some(std::thread::current());
+        }
         g.waiting.insert((time, core));
         g.running -= 1;
         if g.running == 0 {
-            self.dispatch(&mut g);
+            if let Some(next) = self.dispatch(&mut g, Some(core)) {
+                drop(g);
+                next.unpark();
+                g = self.inner.lock();
+            }
         }
         while g.current != Some(core) {
+            assert!(!g.poisoned, "{}", POISON_MSG);
             match self.watchdog {
-                None => self.cvs[core].wait(&mut g),
+                None => {
+                    drop(g);
+                    std::thread::park();
+                    g = self.inner.lock();
+                }
                 Some(wd) => {
                     let before = self.total_grants.load(Ordering::Relaxed);
-                    let timed_out =
-                        self.cvs[core].wait_for(&mut g, Duration::from_millis(wd.wall_ms));
+                    let before_act = self.activity.load(Ordering::Relaxed);
+                    let window = Duration::from_millis(wd.wall_ms);
+                    let t0 = Instant::now();
+                    drop(g);
+                    std::thread::park_timeout(window);
+                    let timed_out = t0.elapsed() >= window;
+                    g = self.inner.lock();
                     if timed_out
                         && !g.poisoned
                         && g.current != Some(core)
                         && self.total_grants.load(Ordering::Relaxed) == before
+                        && self.activity.load(Ordering::Relaxed) == before_act
                     {
-                        // Nothing was granted anywhere for the whole window:
-                        // the token holder is stuck outside the sequencer.
+                        // Nothing was granted anywhere AND no core did any
+                        // productive local work for the whole window: the
+                        // run is stuck, not slow.
                         self.trip(&mut g, core, time);
                     }
                 }
             }
-            assert!(!g.poisoned, "{}", POISON_MSG);
         }
+        assert!(!g.poisoned, "{}", POISON_MSG);
         let removed = g.waiting.remove(&(time, core));
         debug_assert!(removed, "granted core must be in the waiting set");
         g.running += 1;
-        g.cores[core].grants += 1;
-        g.cores[core].last_time = time;
-        self.total_grants.fetch_add(1, Ordering::Relaxed);
-        if let Some(wd) = self.watchdog {
-            let since = self.since_progress.fetch_add(1, Ordering::Relaxed) + 1;
-            if since > wd.budget {
-                self.trip(&mut g, core, time);
+        self.record_grant(&mut g, core, time);
+    }
+
+    /// Fiber-backend slow path of [`Sequencer::enter`]: same bookkeeping
+    /// and grant-selection as the thread path, but "parking" is a direct
+    /// user-space stack switch to the dispatched core (or to the launcher
+    /// while cores are still being started), and "unparking" is someone
+    /// switching back to us.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn enter_fiber<'a>(&'a self, mut g: crate::sync::MutexGuard<'a, Inner>, core: usize, time: u64) {
+        let rt = self.fiber.as_ref().expect("fiber backend armed");
+        g.waiting.insert((time, core));
+        g.running -= 1;
+        loop {
+            if g.current == Some(core) {
+                break;
+            }
+            assert!(!g.poisoned, "{}", POISON_MSG);
+            // `running > 0` here means unstarted fibers remain (a started,
+            // live, non-waiting fiber is the caller itself): hand control
+            // back to the launcher so it can start them. Otherwise dispatch
+            // the minimum waiter and jump straight onto its stack.
+            let target = if g.running == 0 && g.current.is_none() {
+                match Self::pick_next(&mut g) {
+                    Some(c) if c == core => continue, // re-granted ourselves
+                    Some(c) => FiberId::Core(c),
+                    None => unreachable!("we inserted ourselves into the waiting set"),
+                }
+            } else {
+                FiberId::Launcher
+            };
+            drop(g);
+            // SAFETY: single simulation thread, no guard held, target is a
+            // live suspended context (the dispatched waiter or launcher).
+            unsafe { rt.switch(FiberId::Core(core), target) };
+            g = self.inner.lock();
+        }
+        assert!(!g.poisoned, "{}", POISON_MSG);
+        let removed = g.waiting.remove(&(time, core));
+        debug_assert!(removed, "granted core must be in the waiting set");
+        g.running += 1;
+        self.record_grant(&mut g, core, time);
+    }
+
+    /// Fiber-backend retirement: the usual bookkeeping, plus the choice of
+    /// where the finished fiber must switch next — the dispatched minimum
+    /// waiter, or the launcher when none exists (run over, or poison drain
+    /// in progress). The caller performs the switch after storing its
+    /// report, because nothing else runs until it yields the thread.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn retire_fiber_target(&self, core: usize) -> FiberId {
+        let mut g = self.inner.lock();
+        g.cores[core].retired = true;
+        if g.poisoned {
+            return FiberId::Launcher;
+        }
+        g.running -= 1;
+        if g.running == 0 && g.current.is_none() {
+            if let Some(c) = Self::pick_next(&mut g) {
+                return FiberId::Core(c);
             }
         }
+        FiberId::Launcher
     }
 
     /// Releases the token after a sequenced section. The core keeps running
@@ -176,8 +367,14 @@ impl Sequencer {
             return;
         }
         g.running -= 1;
-        if g.running == 0 && g.current.is_none() {
-            self.dispatch(&mut g);
+        let next = if g.running == 0 && g.current.is_none() {
+            self.dispatch(&mut g, None)
+        } else {
+            None
+        };
+        drop(g);
+        if let Some(t) = next {
+            t.unpark();
         }
     }
 
@@ -196,6 +393,16 @@ impl Sequencer {
         self.total_grants.load(Ordering::Relaxed)
     }
 
+    /// Grants that took the inline fast re-grant path.
+    pub fn fast_grants(&self) -> u64 {
+        self.fast_grants.load(Ordering::Relaxed)
+    }
+
+    /// Order-sensitive hash of the `(time, core)` grant stream so far.
+    pub fn op_hash(&self) -> u64 {
+        self.inner.lock().op_hash
+    }
+
     /// Marks the simulation as failed (a core panicked) and wakes every
     /// waiting core so its `enter` panics too, unwinding all threads.
     pub fn poison(&self) {
@@ -203,8 +410,8 @@ impl Sequencer {
         g.poisoned = true;
         g.reason.get_or_insert(PoisonReason::WorkerPanic);
         self.poison_flag.store(true, Ordering::Relaxed);
-        for cv in self.cvs.iter() {
-            cv.notify_all();
+        for t in g.threads.iter().flatten() {
+            t.unpark();
         }
     }
 
@@ -214,6 +421,18 @@ impl Sequencer {
     /// poisoned run unwinds it too instead of letting it spin forever.
     pub(crate) fn check_poison(&self) -> bool {
         self.poison_flag.load(Ordering::Relaxed)
+    }
+
+    /// Records liveness evidence from a purely local *productive* charge
+    /// (compute, memory, ULI work — anything but idling), feeding the
+    /// wall-clock fallback's activity discriminator. Free when no watchdog
+    /// is armed. Callers must not report idle charges: idle cycles only
+    /// pass while waiting for sequenced state, which cannot change without
+    /// a grant, so an idle spinner with zero grants is genuinely stuck.
+    pub(crate) fn note_local_progress(&self) {
+        if self.watchdog.is_some() {
+            self.activity.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Why the simulation was poisoned (`None` if it was not).

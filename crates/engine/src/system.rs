@@ -6,8 +6,8 @@ use bigtiny_coherence::{CoreMemStats, MemorySystem};
 use bigtiny_mesh::{TrafficStats, UliNetwork};
 
 use crate::breakdown::TimeBreakdown;
-use crate::config::SystemConfig;
-use crate::fault::FaultCounters;
+use crate::config::{ExecBackend, SystemConfig};
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::port::{CorePort, PortReport};
 use crate::sequencer::{Sequencer, POISON_MSG};
 use crate::sync::Mutex;
@@ -29,6 +29,211 @@ pub(crate) struct Shared {
 
 /// A worker body: the code one simulated core runs.
 pub type Worker = Box<dyn FnOnce(&mut CorePort) + Send + 'static>;
+
+type PortReports = Arc<Mutex<Vec<Option<PortReport>>>>;
+type Panics = Arc<Mutex<Vec<Box<dyn std::any::Any + Send>>>>;
+
+/// Host stack size of one simulated core (thread or fiber). Fiber stacks
+/// are lazily committed, so large configurations only pay virtual space.
+const CORE_STACK_BYTES: usize = 32 * 1024 * 1024;
+
+/// The per-core configuration a core execution context needs, extracted so
+/// it can move into a `'static` closure.
+#[derive(Clone, Copy)]
+struct CoreParams {
+    kind: crate::config::CoreKind,
+    seed: u64,
+    faults: FaultPlan,
+    issue_width: u64,
+    overlap_div: u64,
+    uli_cost: u64,
+    trace: bool,
+    num_cores: usize,
+}
+
+impl CoreParams {
+    fn of(config: &SystemConfig, core: usize) -> Self {
+        let kind = config.cores[core].kind;
+        CoreParams {
+            kind,
+            seed: config.seed,
+            faults: config.faults,
+            issue_width: config.big_issue_width,
+            overlap_div: config.big_overlap_div,
+            uli_cost: match kind {
+                crate::config::CoreKind::Big => config.uli_cost_big,
+                crate::config::CoreKind::Tiny => config.uli_cost_tiny,
+            },
+            trace: config.trace,
+            num_cores: config.num_cores(),
+        }
+    }
+
+    fn build_port(self, core: usize, shared: &Arc<Shared>) -> CorePort {
+        let mut port = CorePort::new(
+            core,
+            self.kind,
+            Arc::clone(shared),
+            self.seed,
+            self.faults,
+            self.issue_width,
+            self.overlap_div,
+            self.uli_cost,
+            self.num_cores,
+        );
+        if self.trace {
+            port.enable_trace();
+        }
+        port
+    }
+}
+
+/// Decides whether this run executes cores on fibers (see [`ExecBackend`]).
+fn resolve_backend(config: &SystemConfig) -> bool {
+    let supported = cfg!(all(target_os = "linux", target_arch = "x86_64"));
+    match config.backend {
+        ExecBackend::Threads => false,
+        ExecBackend::Fibers => {
+            assert!(supported, "ExecBackend::Fibers requires x86_64 Linux");
+            true
+        }
+        ExecBackend::Auto => {
+            supported
+                && config.watchdog_budget.is_none()
+                && !std::env::var("BIGTINY_BACKEND").is_ok_and(|v| v == "threads")
+        }
+    }
+}
+
+/// Runs every core on its own OS thread (the portable backend, and the only
+/// one compatible with the watchdog's wall-clock fallback).
+fn run_cores_on_threads(
+    config: &SystemConfig,
+    workers: Vec<Worker>,
+    shared: &Arc<Shared>,
+    reports: &PortReports,
+    panics: &Panics,
+) {
+    let mut handles = Vec::with_capacity(workers.len());
+    for (core, worker) in workers.into_iter().enumerate() {
+        let shared = Arc::clone(shared);
+        let reports = Arc::clone(reports);
+        let panics = Arc::clone(panics);
+        let params = CoreParams::of(config, core);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-core-{core}"))
+            .stack_size(CORE_STACK_BYTES)
+            .spawn(move || {
+                let mut port = params.build_port(core, &shared);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker(&mut port);
+                }));
+                match result {
+                    Ok(()) => {
+                        shared.seq.retire(core);
+                        reports.lock()[core] = Some(port.into_report());
+                    }
+                    Err(payload) => {
+                        panics.lock().push(payload);
+                        shared.seq.poison();
+                        // Keep the partial report: the crash diagnostic is
+                        // assembled from it after every thread has unwound.
+                        reports.lock()[core] = Some(port.into_report());
+                    }
+                }
+            })
+            .expect("spawn simulated core thread");
+        handles.push(handle);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Runs every core as a stackful fiber on the calling thread. A token
+/// handoff is a user-space stack switch, with no kernel involvement; the
+/// sequenced-op stream is identical to the threaded backend's because both
+/// share the sequencer's grant-selection logic.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn run_cores_on_fibers(
+    config: &SystemConfig,
+    workers: Vec<Worker>,
+    shared: &Arc<Shared>,
+    reports: &PortReports,
+    panics: &Panics,
+) {
+    use crate::fiber::{Fiber, FiberId, FiberRt};
+
+    let num_cores = workers.len();
+    // The runtime outlives every fiber switch: `shared` is kept alive by the
+    // caller's Arc until after this function returns, by which point all
+    // fibers are done.
+    let rt_ptr: *const FiberRt = shared.seq.fiber_rt().expect("fiber backend installed");
+
+    let mut fibers = Vec::with_capacity(num_cores);
+    for (core, worker) in workers.into_iter().enumerate() {
+        let shared = Arc::clone(shared);
+        let reports = Arc::clone(reports);
+        let panics = Arc::clone(panics);
+        let params = CoreParams::of(config, core);
+        let entry = Box::new(move || {
+            let mut port = params.build_port(core, &shared);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker(&mut port);
+            }));
+            let next = match result {
+                Ok(()) => shared.seq.retire_fiber_target(core),
+                Err(payload) => {
+                    panics.lock().push(payload);
+                    shared.seq.poison();
+                    FiberId::Launcher
+                }
+            };
+            reports.lock()[core] = Some(port.into_report());
+            // Control never returns to this closure, so its captured state
+            // would otherwise leak: drop every owned handle before the final
+            // switch. Nothing else runs concurrently, so the order is safe.
+            drop(shared);
+            drop(reports);
+            drop(panics);
+            // SAFETY: `rt_ptr` stays valid (see above); this fiber is marked
+            // done and is never resumed, so switching away without a saved
+            // return path is fine.
+            unsafe {
+                (*rt_ptr).mark_done(core);
+                (*rt_ptr).switch(FiberId::Core(core), next);
+            }
+            unreachable!("a finished fiber must never be resumed");
+        });
+        fibers.push(Fiber::new(CORE_STACK_BYTES, entry));
+    }
+
+    let rt = shared.seq.fiber_rt().expect("fiber backend installed");
+    for (core, fiber) in fibers.iter().enumerate() {
+        rt.set_initial(core, fiber.initial_ctx());
+    }
+
+    // Launcher loop. First start every fiber in core order (the threaded
+    // backend's spawn order); each runs until its first suspension. After
+    // that, control only comes back here when all fibers are done or — under
+    // poison — when a retiring/panicking fiber has nobody to hand the token
+    // to; resuming a still-waiting fiber then makes its sequencer re-entry
+    // observe the poison and unwind, draining the run.
+    let mut next_start = 0;
+    loop {
+        let target = if next_start < num_cores {
+            next_start += 1;
+            Some(next_start - 1)
+        } else {
+            (0..num_cores).find(|&c| !rt.is_done(c))
+        };
+        let Some(core) = target else { break };
+        // SAFETY: the target fiber is live (not done) and suspended (or
+        // unstarted), and we are the only thread that ever switches fibers.
+        unsafe { rt.switch(FiberId::Launcher, FiberId::Core(core)) };
+    }
+    // Dropping `fibers` unmaps every stack; all fibers are done here.
+}
 
 /// Summary of the ULI network's activity during a run.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -77,6 +282,14 @@ pub struct RunReport {
     pub mesh_fault_spikes: u64,
     /// Total sequencer token grants (the unit of the watchdog budget).
     pub seq_grants: u64,
+    /// Grants that took the sequencer's inline fast re-grant path (a
+    /// host-performance diagnostic; has no simulated-time meaning).
+    pub seq_fast_grants: u64,
+    /// Order-sensitive hash of the sequenced-op stream (every `(time,
+    /// core)` token grant, in grant order). Identical runs produce
+    /// identical hashes; golden-trace tests pin this value to prove engine
+    /// wall-clock optimizations are invisible to simulated results.
+    pub seq_op_hash: u64,
 }
 
 impl RunReport {
@@ -126,9 +339,15 @@ impl RunReport {
 pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     assert_eq!(workers.len(), config.num_cores(), "one worker per core required");
     let num_cores = config.num_cores();
+    let use_fibers = resolve_backend(config);
+    #[allow(unused_mut)]
     let mut seq = Sequencer::new(num_cores);
     if let Some(budget) = config.watchdog_budget {
         seq.set_watchdog(WatchdogConfig { budget, wall_ms: config.watchdog_wall_ms });
+    }
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    if use_fibers {
+        seq.set_fiber_backend(crate::fiber::FiberRt::new(num_cores));
     }
     let mut mem = MemorySystem::new(&config.mem_config());
     mem.set_mesh_faults(config.faults.mesh_faults());
@@ -142,65 +361,19 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         }),
     });
 
-    type PortReports = Arc<Mutex<Vec<Option<PortReport>>>>;
     let reports: PortReports = Arc::new(Mutex::new((0..num_cores).map(|_| None).collect()));
-    let panics: Arc<Mutex<Vec<Box<dyn std::any::Any + Send>>>> = Arc::new(Mutex::new(Vec::new()));
+    let panics: Panics = Arc::new(Mutex::new(Vec::new()));
 
-    let mut handles = Vec::with_capacity(num_cores);
-    for (core, worker) in workers.into_iter().enumerate() {
-        let shared = Arc::clone(&shared);
-        let reports = Arc::clone(&reports);
-        let panics = Arc::clone(&panics);
-        let kind = config.cores[core].kind;
-        let seed = config.seed;
-        let faults = config.faults;
-        let issue_width = config.big_issue_width;
-        let overlap_div = config.big_overlap_div;
-        let uli_cost = match kind {
-            crate::config::CoreKind::Big => config.uli_cost_big,
-            crate::config::CoreKind::Tiny => config.uli_cost_tiny,
-        };
-        let trace = config.trace;
-        let handle = std::thread::Builder::new()
-            .name(format!("sim-core-{core}"))
-            .stack_size(32 * 1024 * 1024)
-            .spawn(move || {
-                let mut port = CorePort::new(
-                    core,
-                    kind,
-                    Arc::clone(&shared),
-                    seed,
-                    faults,
-                    issue_width,
-                    overlap_div,
-                    uli_cost,
-                    num_cores,
-                );
-                if trace {
-                    port.enable_trace();
-                }
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker(&mut port);
-                }));
-                match result {
-                    Ok(()) => {
-                        shared.seq.retire(core);
-                        reports.lock()[core] = Some(port.into_report());
-                    }
-                    Err(payload) => {
-                        panics.lock().push(payload);
-                        shared.seq.poison();
-                        // Keep the partial report: the crash diagnostic is
-                        // assembled from it after every thread has unwound.
-                        reports.lock()[core] = Some(port.into_report());
-                    }
-                }
-            })
-            .expect("spawn simulated core thread");
-        handles.push(handle);
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    if use_fibers {
+        run_cores_on_fibers(config, workers, &shared, &reports, &panics);
+    } else {
+        run_cores_on_threads(config, workers, &shared, &reports, &panics);
     }
-    for h in handles {
-        let _ = h.join();
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = use_fibers;
+        run_cores_on_threads(config, workers, &shared, &reports, &panics);
     }
 
     let mut panics = std::mem::take(&mut *panics.lock());
@@ -268,6 +441,8 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         fault_counters,
         mesh_fault_spikes: st.mem.mesh_fault_spikes(),
         seq_grants: shared.seq.total_grants(),
+        seq_fast_grants: shared.seq.fast_grants(),
+        seq_op_hash: shared.seq.op_hash(),
     }
 }
 

@@ -38,6 +38,40 @@ fn host_spin_outside_sequencer_trips_wall_clock_and_unwinds() {
     assert!(msg.contains("core   1"), "per-core state for core 1: {msg}");
 }
 
+/// A slow-but-progressing run must never be poisoned: here grants trickle
+/// in slower than the wall-clock window (the token holder spends several
+/// windows of host time on purely local compute between sequenced ops,
+/// while the other core sits parked in the sequencer), yet the run
+/// completes because productive local charges count as liveness evidence.
+#[test]
+fn grants_slower_than_wall_clock_window_complete_unpoisoned() {
+    let mut config = SystemConfig::o3(2).with_watchdog(1_000_000);
+    config.watchdog_wall_ms = 25;
+
+    let slow: Worker = Box::new(|port| {
+        for _ in 0..3 {
+            // >2 full wall-clock windows of host time with no grant
+            // anywhere, but with local compute trickling in (each advance
+            // exceeds the coalescing threshold, so it charges immediately).
+            for _ in 0..12 {
+                port.advance(20_000);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            port.is_done(); // one sequenced op: a trickling grant
+        }
+        port.set_done();
+    });
+    let waiter: Worker = Box::new(|port| {
+        // Parks in the sequencer far in the future; its wall-clock windows
+        // keep timing out with zero grants while the slow core computes.
+        while !port.is_done() {
+            port.idle(1_000_000);
+        }
+    });
+    let report = run_system(&config, vec![slow, waiter]);
+    assert!(report.seq_grants > 0);
+}
+
 /// The same machine with the spin replaced by a finishing worker completes
 /// without tripping: the wall-clock fallback only fires when *nothing* is
 /// granted for the whole window.

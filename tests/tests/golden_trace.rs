@@ -1,0 +1,114 @@
+//! Golden determinism pins for the engine.
+//!
+//! Each entry hashes the full sequenced-op stream — every `(time, core)`
+//! token grant the `Sequencer` issues, in grant order — for one protocol ×
+//! representative kernel at the fixed default seed, plus the end-to-end
+//! simulated cycle count. The hashes below were captured before the engine
+//! fast paths (sequencer re-grant, compute coalescing) landed, so a match
+//! proves those wall-clock optimizations are bit-for-bit invisible to
+//! simulated results. Future engine PRs inherit the guard: if a change is
+//! *meant* to alter simulated timing, re-capture with
+//! `BIGTINY_SIZE=test cargo run --release --bin perf_regress` and update
+//! the table with a note in the PR; if it isn't, a mismatch here is a bug.
+
+use bigtiny_apps::{app_by_name, AppSize};
+use bigtiny_bench::{run_app, Setup};
+use bigtiny_engine::Protocol;
+
+/// `(kernel, setup label, simulated cycles, sequenced-op-stream hash)` at
+/// `AppSize::Test`, default seed, default grain.
+const GOLDEN: &[(&str, &str, u64, u64)] = &[
+    ("cilk5-nq", "b.T/MESI", 8166, 0x7a5b_548b_12b2_90de),
+    ("cilk5-nq", "b.T/HCC-DTS-dnv", 11110, 0x5078_a230_f73b_fc48),
+    ("cilk5-nq", "b.T/HCC-DTS-gwt", 10271, 0x49be_61e8_4257_bb4f),
+    ("cilk5-nq", "b.T/HCC-DTS-gwb", 11102, 0x539b_3eec_06a3_ddd2),
+    ("cilk5-mm", "b.T/MESI", 17000, 0x63c9_0ddb_29fb_7035),
+    ("cilk5-mm", "b.T/HCC-DTS-dnv", 16781, 0x91b5_3ab6_61df_c838),
+    ("cilk5-mm", "b.T/HCC-DTS-gwt", 17531, 0x5311_8468_369a_19db),
+    ("cilk5-mm", "b.T/HCC-DTS-gwb", 19227, 0xadf2_ba2b_2ec5_a127),
+    ("ligra-bfs", "b.T/MESI", 19945, 0xf532_cb4f_96b3_9f7c),
+    ("ligra-bfs", "b.T/HCC-DTS-dnv", 23200, 0x6860_8335_6e60_d76a),
+    ("ligra-bfs", "b.T/HCC-DTS-gwt", 22096, 0x4814_806a_746e_12f9),
+    ("ligra-bfs", "b.T/HCC-DTS-gwb", 22190, 0x32b3_7afd_1f96_2a4b),
+];
+
+fn setup_by_label(label: &str) -> Setup {
+    match label {
+        "b.T/MESI" => Setup::bt_mesi(),
+        "b.T/HCC-DTS-dnv" => Setup::bt_hcc(Protocol::DeNovo, true),
+        "b.T/HCC-DTS-gwt" => Setup::bt_hcc(Protocol::GpuWt, true),
+        "b.T/HCC-DTS-gwb" => Setup::bt_hcc(Protocol::GpuWb, true),
+        other => panic!("unknown golden setup {other}"),
+    }
+}
+
+#[test]
+fn sequenced_op_stream_matches_golden_hashes() {
+    let mut failures = Vec::new();
+    for &(app_name, setup_label, want_cycles, want_hash) in GOLDEN {
+        let app = app_by_name(app_name).unwrap();
+        let setup = setup_by_label(setup_label);
+        let r = run_app(&setup, &app, AppSize::Test, 0);
+        let got_hash = r.run.report.seq_op_hash;
+        if r.cycles != want_cycles || got_hash != want_hash {
+            failures.push(format!(
+                "{app_name} on {setup_label}: cycles {} (want {want_cycles}), \
+                 op hash {got_hash:#018x} (want {want_hash:#018x})",
+                r.cycles
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sequenced-op stream diverged from golden pins:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// Both execution backends (one OS thread per core vs stackful fibers on
+/// one thread) must replay the exact same grant stream: they share the
+/// sequencer's grant-selection rule and differ only in how a blocked core
+/// yields the host CPU. Pinning both against the same table proves the
+/// fiber fast path cannot change a single simulated cycle.
+#[test]
+fn both_backends_produce_identical_op_streams() {
+    use bigtiny_engine::ExecBackend;
+    let fibers_supported = cfg!(all(target_os = "linux", target_arch = "x86_64"));
+    let mut failures = Vec::new();
+    for &(app_name, setup_label, want_cycles, want_hash) in
+        GOLDEN.iter().filter(|g| g.0 == "cilk5-nq")
+    {
+        let app = app_by_name(app_name).unwrap();
+        for backend in [ExecBackend::Threads, ExecBackend::Fibers] {
+            if backend == ExecBackend::Fibers && !fibers_supported {
+                continue;
+            }
+            let mut setup = setup_by_label(setup_label);
+            setup.sys = setup.sys.clone().with_backend(backend);
+            let r = run_app(&setup, &app, AppSize::Test, 0);
+            if r.cycles != want_cycles || r.run.report.seq_op_hash != want_hash {
+                failures.push(format!(
+                    "{app_name} on {setup_label} with {backend:?}: cycles {} (want \
+                     {want_cycles}), op hash {:#018x} (want {want_hash:#018x})",
+                    r.cycles, r.run.report.seq_op_hash
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "backends diverged from golden pins:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn op_hash_is_run_to_run_stable() {
+    let app = app_by_name("cilk5-nq").unwrap();
+    let setup = Setup::bt_hcc(Protocol::DeNovo, true);
+    let a = run_app(&setup, &app, AppSize::Test, 0);
+    let b = run_app(&setup, &app, AppSize::Test, 0);
+    assert_eq!(a.run.report.seq_op_hash, b.run.report.seq_op_hash);
+    assert_eq!(a.cycles, b.cycles);
+    assert_ne!(a.run.report.seq_op_hash, 0, "hash must fold real grants");
+}
