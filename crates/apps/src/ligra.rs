@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use bigtiny_core::{parallel_for, TaskCx};
-use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShScalar, ShVec};
 
 use crate::graph::SharedGraph;
 
@@ -74,13 +74,18 @@ impl VertexSubset {
     /// Membership test tolerating same-round insertions by other tasks (the
     /// dedup check inside `edge_map` races benignly with concurrent
     /// inserts).
+    // Benign race (LigraDedupFlag): flags only go 0 -> 1 within a round; a
+    // stale 0 at worst duplicates work that insert() makes idempotent.
     pub fn contains_racy(&self, cx: &mut TaskCx<'_>, v: usize) -> bool {
-        self.flags.read_racy(cx.port(), v) != 0
+        self.flags.read_racy(cx.port(), v, RacyTag::LigraDedupFlag) != 0
     }
 
     /// Simulated insertion (benign write-write races allowed, as in Ligra).
+    // Benign race (LigraDedupFlag): when several update calls succeed for
+    // the same destination in one round (e.g. Radii's bit-mask OR), each
+    // winner stores the same value 1; flags only go 0 -> 1 within a round.
     pub fn insert(&self, cx: &mut TaskCx<'_>, v: usize) {
-        self.flags.write(cx.port(), v, 1);
+        self.flags.write_racy(cx.port(), v, 1, RacyTag::LigraDedupFlag);
     }
 
     /// Simulated count read (one load; the count is reduced per leaf task
@@ -543,7 +548,9 @@ mod tests {
                     &cur,
                     &nxt,
                     16,
-                    move |cx, d| vc.read_racy(cx.port(), d) == 0,
+                    // Benign race (LigraCondProbe): a stale `visited` flag
+                    // only lets the CAS below decide the winner.
+                    move |cx, d| vc.read_racy(cx.port(), d, RacyTag::LigraCondProbe) == 0,
                     move |cx, _s, d, _| vu.cas(cx.port(), d, 0, 1),
                 );
                 if nxt.count(cx) == 0 {

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use bigtiny_engine::{AddrSpace, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
@@ -53,13 +53,19 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 // cond: not yet settled at a shallower level (racy probe;
                 // the claim below decides).
                 move |cx, d| {
-                    let l = lr.read_racy(cx.port(), d);
+                    // Benign race (LigraCondProbe): stale level only admits
+                    // extra candidates; the CAS claim decides.
+                    let l = lr.read_racy(cx.port(), d, RacyTag::LigraCondProbe);
                     l == UNSET || l == this_depth
                 },
                 move |cx, s, d, _| {
                     // Claim d for this level (idempotent for this round).
                     let fresh = lu.cas(cx.port(), d, UNSET, this_depth);
-                    let lvl = lu.read_racy(cx.port(), d);
+                    // Benign race (LigraClaimedLevel): once claimed this
+                    // round, the level is immutable for the round, so a
+                    // stale read can only miss the claim and skip the
+                    // (idempotent-per-round) accumulation it guards.
+                    let lvl = lu.read_racy(cx.port(), d, RacyTag::LigraClaimedLevel);
                     if lvl == this_depth {
                         // Accumulate path counts: sigma[d] += sigma[s].
                         // sigma[s] was finalized in the previous round.

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use bigtiny_engine::{AddrSpace, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
@@ -45,10 +45,12 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 &nxt,
                 grain,
                 |_, _| true,
-                // Relax: dist[d] = min(dist[d], dist[s] + w). The read of
-                // dist[s] is racy-benign (monotone; a later round repairs).
+                // Relax: dist[d] = min(dist[d], dist[s] + w). Benign race
+                // (LigraMonotoneSrc): dist[s] only decreases, so a stale
+                // read relaxes with an older (larger) distance that a later
+                // round repairs.
                 move |cx, s, d, eidx| {
-                    let ds = dr.read_racy(cx.port(), s);
+                    let ds = dr.read_racy(cx.port(), s, RacyTag::LigraMonotoneSrc);
                     let w = gr.weight(cx, eidx);
                     let nd = ds.saturating_add(w);
                     cx.port().advance(2);

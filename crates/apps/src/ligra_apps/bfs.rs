@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use bigtiny_core::TaskCx;
-use bigtiny_engine::{AddrSpace, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
@@ -75,9 +75,10 @@ pub fn run_bfs(
             &cur,
             &nxt,
             grain,
-            // cond: unvisited (racy: same-round CAS winners may already have
-            // claimed the vertex, which the CAS below detects anyway).
-            move |cx, d| pc.read_racy(cx.port(), d) == UNVISITED,
+            // cond: unvisited. Benign race (LigraCondProbe): same-round CAS
+            // winners may already have claimed the vertex, which the CAS
+            // below detects anyway.
+            move |cx, d| pc.read_racy(cx.port(), d, RacyTag::LigraCondProbe) == UNVISITED,
             // update: claim the vertex.
             move |cx, s, d, _| pu.cas(cx.port(), d, UNVISITED, s as u64),
         );

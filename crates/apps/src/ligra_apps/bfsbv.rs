@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use bigtiny_core::TaskCx;
-use bigtiny_engine::{AddrSpace, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
@@ -42,8 +42,11 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 &cur,
                 &nxt,
                 grain,
-                // cond: bit not yet set (racy probe).
-                move |cx, d| vc.read_racy(cx.port(), d / 64) & (1 << (d % 64)) == 0,
+                // cond: bit not yet set. Benign race (LigraCondProbe): a
+                // stale word only admits a loser the AMO below rejects.
+                move |cx, d| {
+                    vc.read_racy(cx.port(), d / 64, RacyTag::LigraCondProbe) & (1 << (d % 64)) == 0
+                },
                 // update: claim the bit atomically.
                 move |cx, _s, d, _| {
                     let mask = 1u64 << (d % 64);

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use bigtiny_engine::{AddrSpace, ShVec};
+use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
@@ -41,9 +41,12 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 &nxt,
                 grain,
                 |_, _| true,
-                // Propagate the smaller label; racy read + atomic write-min.
+                // Propagate the smaller label. Benign race
+                // (LigraMonotoneSrc): labels only decrease, so a stale read
+                // propagates an older (larger) label and a later round
+                // repairs; the atomic write-min decides.
                 move |cx, s, d, _| {
-                    let ls = ir.read_racy(cx.port(), s);
+                    let ls = ir.read_racy(cx.port(), s, RacyTag::LigraMonotoneSrc);
                     cx.port().advance(1);
                     iu.amo(cx.port(), d, |x| {
                         if ls < *x {

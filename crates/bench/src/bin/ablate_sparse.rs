@@ -8,7 +8,7 @@ use bigtiny_apps::graph::Graph;
 use bigtiny_apps::ligra::{edge_map, edge_map_auto, VertexSubset};
 use bigtiny_bench::{render_table, Setup};
 use bigtiny_core::run_task_parallel;
-use bigtiny_engine::{AddrSpace, Protocol, ShVec};
+use bigtiny_engine::{AddrSpace, Protocol, RacyTag, ShVec};
 
 const UNVISITED: u64 = u64::MAX;
 
@@ -30,8 +30,9 @@ fn bfs_run(setup: &Setup, n: usize, ef: usize, auto: bool) -> (u64, u64) {
         let mut nxt = nxt;
         loop {
             let (pc, pu) = (Arc::clone(&p0), Arc::clone(&p0));
+            // Benign race (LigraCondProbe): stale probe; the CAS decides.
             let cond = move |cx: &mut bigtiny_core::TaskCx<'_>, d: usize| {
-                pc.read_racy(cx.port(), d) == UNVISITED
+                pc.read_racy(cx.port(), d, RacyTag::LigraCondProbe) == UNVISITED
             };
             let update = move |cx: &mut bigtiny_core::TaskCx<'_>, s: usize, d: usize, _| {
                 pu.cas(cx.port(), d, UNVISITED, s as u64)

@@ -1,0 +1,106 @@
+//! `check_all`: runs every kernel under every setup of the paper matrix
+//! with the DRF conformance checker armed, and emits a JSON verdict table.
+//!
+//! This is the oracle sweep: MESI baseline plus HCC / HCC-DTS on the
+//! three software-centric protocols, each kernel verified against its
+//! host reference *and* its op stream replayed through the checker's
+//! happens-before, staleness, and sync-discipline passes. A healthy tree
+//! produces an all-clean table; any violation prints its first finding
+//! (core, cycle, address) and the run exits nonzero.
+//!
+//! Writes one flat JSON object per (kernel × setup) line to
+//! `CHECK_verdicts.json` at the repo root (or `$BIGTINY_CHECK_OUT`) —
+//! validated in CI with the `json_check` bin. `BIGTINY_SIZE` /
+//! `BIGTINY_APPS` restrict the sweep as for the other harness bins.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin check_all                 # full eval sweep
+//! BIGTINY_SIZE=test cargo run --release --bin check_all   # CI smoke
+//! ```
+
+use bigtiny_bench::{apps_from_env, render_table, run_app, size_from_env, Setup};
+use bigtiny_checker::{check_run, CheckReport, ViolationKind};
+use bigtiny_engine::{CheckMode, RacyTag};
+
+fn json_line(app: &str, setup: &str, report: &CheckReport) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"app\":\"{app}\",\"setup\":\"{setup}\""));
+    s.push_str(&format!(",\"events\":{}", report.events));
+    s.push_str(&format!(",\"clean\":{}", u8::from(report.is_clean())));
+    s.push_str(&format!(",\"violations\":{}", report.violations.len()));
+    s.push_str(&format!(",\"suppressed\":{}", report.suppressed));
+    for kind in ViolationKind::ALL {
+        s.push_str(&format!(",\"{}\":{}", kind.label(), report.count(kind)));
+    }
+    for (tag, n) in RacyTag::ALL.iter().zip(report.racy_loads) {
+        s.push_str(&format!(",\"racy-{}\":{n}", tag.label()));
+    }
+    s.push_str(&format!(",\"verdict_hash\":\"{:#018x}\"", report.verdict_hash()));
+    s.push('}');
+    s
+}
+
+fn main() {
+    let size = size_from_env();
+    let apps = apps_from_env();
+    let setups: Vec<Setup> = Setup::big_tiny_matrix()
+        .into_iter()
+        .map(|mut s| {
+            s.sys = s.sys.with_check(CheckMode::Full);
+            s
+        })
+        .collect();
+
+    let header: Vec<String> =
+        ["app", "setup", "events", "racy loads", "verdict"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    let mut dirty = 0usize;
+
+    for app in &apps {
+        for setup in &setups {
+            let r = run_app(setup, app, size, 0);
+            let report = check_run(&setup.sys, &r.run.report);
+            eprintln!(
+                "[check_all] {:<12} {:<16} {:>9} events  {}",
+                r.app,
+                setup.label,
+                report.events,
+                if report.is_clean() { "clean" } else { "VIOLATIONS" }
+            );
+            if !report.is_clean() {
+                dirty += 1;
+                eprint!("{}", report.render());
+            }
+            rows.push(vec![
+                r.app.to_owned(),
+                setup.label.clone(),
+                report.events.to_string(),
+                report.racy_total().to_string(),
+                if report.is_clean() {
+                    "clean".to_owned()
+                } else {
+                    format!("{} violation(s)", report.violations.len())
+                },
+            ]);
+            lines.push(json_line(r.app, &setup.label, &report));
+        }
+    }
+
+    println!("DRF conformance sweep ({} kernels x {} setups)\n", apps.len(), setups.len());
+    println!("{}", render_table(&header, &rows));
+
+    let out_path =
+        std::env::var("BIGTINY_CHECK_OUT").unwrap_or_else(|_| "CHECK_verdicts.json".to_owned());
+    let body = lines.join("\n") + "\n";
+    std::fs::write(&out_path, body).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("[check_all] wrote {out_path}");
+
+    if dirty > 0 {
+        eprintln!("[check_all] {dirty} run(s) had violations");
+        std::process::exit(1);
+    }
+    println!("all {} runs clean", rows.len());
+}

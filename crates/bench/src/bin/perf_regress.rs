@@ -52,6 +52,17 @@ struct PerfRow {
 fn main() {
     let size = size_from_env();
     let setups = pinned_setups();
+    // Zero-overhead guard: timed runs must never carry an armed checker —
+    // event recording would perturb wall time and allocation behaviour,
+    // and an armed run is not comparable with the historical series.
+    for setup in &setups {
+        assert_eq!(
+            setup.sys.check,
+            bigtiny_engine::CheckMode::Off,
+            "{}: perf_regress setups must run with the checker off",
+            setup.label
+        );
+    }
     let mut rows: Vec<PerfRow> = Vec::new();
 
     let t_total = Instant::now();

@@ -1,0 +1,131 @@
+//! Sync-discipline lint: checks the Figure 3 structure literally.
+//!
+//! The staleness pass proves *semantic* safety; this pass checks the
+//! *shape* the paper argues from, using the runtime's own annotations:
+//!
+//! * Every [`SyncNote::DequeAcquire`] must be followed by a
+//!   `cache_invalidate` before the first data access (Figure 3(b)
+//!   line 3) — on protocols where the invalidate is not a no-op.
+//! * Every [`SyncNote::DequeRelease`] must find no dirty data since the
+//!   last `cache_flush` (Figure 3(b) lines 4 and 9) — on protocols where
+//!   the flush is not a no-op. A store dirties; an AMO dirties only on
+//!   protocols that execute AMOs in the L1.
+//! * A [`SyncNote::HscElide`] may only name a task whose children were
+//!   never stolen (Figure 3(c) line 8): any earlier
+//!   [`SyncNote::HscSet`] for the same task convicts it. Both notes are
+//!   emitted by the task's owning core (the DTS steal handler runs on
+//!   the victim), so stream order is program order and no clock
+//!   reasoning is needed.
+
+use std::collections::HashSet;
+
+use bigtiny_coherence::{Addr, Protocol};
+use bigtiny_engine::{MemEvent, MemOp, SyncNote};
+
+use crate::{Collector, ViolationKind};
+
+/// The sync-discipline lint pass.
+pub(crate) struct LintPass {
+    protocols: Vec<Protocol>,
+    /// Armed at a lock acquire on a protocol needing invalidation:
+    /// `(lock word, acquire cycle)`. Disarmed by `InvalidateAll`; any data
+    /// access first is the violation.
+    pending_inval: Vec<Option<(u64, u64)>>,
+    /// Has this core dirtied its cache since its last `cache_flush`?
+    /// Deliberately *not* cleared at a release: the unlock store itself
+    /// re-dirties, so a mutated (flush-dropped) critical section stays
+    /// convictable at the next release even if it wrote nothing else.
+    dirty_since_flush: Vec<bool>,
+    /// Task ids that had a child stolen (`HscSet` observed).
+    stolen: HashSet<u32>,
+}
+
+impl LintPass {
+    pub(crate) fn new(protocols: &[Protocol]) -> Self {
+        LintPass {
+            protocols: protocols.to_vec(),
+            pending_inval: vec![None; protocols.len()],
+            dirty_since_flush: vec![false; protocols.len()],
+            stolen: HashSet::new(),
+        }
+    }
+
+    /// A data access while an invalidate is owed is the violation.
+    fn access(&mut self, core: usize, cycle: u64, addr: Addr, col: &mut Collector) {
+        if let Some((lock, acq)) = self.pending_inval[core].take() {
+            col.report(
+                ViolationKind::LintAcquireNoInvalidate,
+                core,
+                cycle,
+                Some(addr),
+                lock,
+                format!(
+                    "first access after acquiring deque lock {} at cycle {acq} \
+                     with no cache_invalidate in between",
+                    Addr(lock)
+                ),
+            );
+        }
+    }
+
+    pub(crate) fn step(&mut self, ev: &MemEvent, col: &mut Collector) {
+        let (core, cycle) = (ev.core, ev.cycle);
+        match ev.op {
+            MemOp::Load { addr, .. } => self.access(core, cycle, addr, col),
+            MemOp::Store { addr, .. } => {
+                self.access(core, cycle, addr, col);
+                self.dirty_since_flush[core] = true;
+            }
+            MemOp::Amo { addr } => {
+                self.access(core, cycle, addr, col);
+                if self.protocols[core].amo_in_l1() {
+                    self.dirty_since_flush[core] = true;
+                }
+            }
+            MemOp::InvalidateAll => self.pending_inval[core] = None,
+            MemOp::FlushAll => self.dirty_since_flush[core] = false,
+            MemOp::Sync(note) => match note {
+                SyncNote::DequeAcquire { lock } => {
+                    if !self.protocols[core].invalidate_is_noop() {
+                        self.pending_inval[core] = Some((lock.0, cycle));
+                    }
+                }
+                SyncNote::DequeRelease { lock } => {
+                    if self.dirty_since_flush[core] && !self.protocols[core].flush_is_noop() {
+                        col.report(
+                            ViolationKind::LintReleaseNoFlush,
+                            core,
+                            cycle,
+                            Some(lock),
+                            lock.0,
+                            "deque lock released with dirty data and no cache_flush since"
+                                .to_string(),
+                        );
+                    }
+                }
+                SyncNote::HscSet { task } => {
+                    self.stolen.insert(task);
+                }
+                SyncNote::HscElide { task } => {
+                    if self.stolen.contains(&task) {
+                        col.report(
+                            ViolationKind::LintHscElideAfterSteal,
+                            core,
+                            cycle,
+                            None,
+                            u64::from(task),
+                            format!(
+                                "has_stolen_child elision for task {task}, whose children were \
+                                 stolen (invalidate/AMO join skipped on a steal-tainted join)"
+                            ),
+                        );
+                    }
+                }
+                SyncNote::UliReqSend { .. }
+                | SyncNote::UliRespSend { .. }
+                | SyncNote::UliRespRecv { .. }
+                | SyncNote::HandlerEnter { .. } => {}
+            },
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Staleness oracle: replays each protocol's visibility rules from
+//! `bigtiny-coherence` over the op stream and flags every non-exempt load
+//! that could legally observe stale data.
+//!
+//! The model is word-granular and eviction-blind: each word has a global
+//! `latest` version (bumped by every store/AMO), a `committed` version
+//! (what the shared L2 would supply on a miss), a last `writer` for blame,
+//! and an optional ownership pin (MESI Modified / DeNovo registration);
+//! each core holds a set of word copies `{version, dirty}`. Protocol
+//! effects mirror `coherence::system`:
+//!
+//! * **MESI** stores commit and invalidate other *MESI* copies (hardware
+//!   tracks MESI sharers in the directory; software-centric caches are
+//!   deliberately untracked — that is the whole reason Figure 3 needs
+//!   self-invalidation).
+//! * **DeNovo** stores commit and register ownership; the owned copy is
+//!   immune to self-invalidation.
+//! * **GPU-WT** stores commit (write-through) without allocating.
+//! * **GPU-WB** stores only dirty the local copy; `committed` advances at
+//!   the next `cache_flush` — so a remote miss in between is served stale.
+//! * **AMOs** execute at the point of coherence (L1 for MESI/DeNovo, L2
+//!   for the GPU protocols) and always commit. AMO reads are never
+//!   staleness-checked: in the simulator the L2 AMO observes `latest`
+//!   directly, so e.g. a GPU-WB lock handoff whose unlock store is still
+//!   unflushed is correct, and flagging it would condemn every clean run.
+//!
+//! Two checks fire, matching the two halves of Figure 3's discipline:
+//! a *hit* on an unpinned copy older than `latest` is a missing
+//! invalidate (acquire side); a *miss* while `committed < latest` is a
+//! missing flush (release side, blamed on the delinquent writer). The
+//! miss check also covers MESI readers — the simulator skips it there
+//! (`check_stale_read` trusts MESI fills), but a MESI big core reading a
+//! word some tiny core left unflushed is the same runtime bug, and clean
+//! runs never trip it because clean remote reads happen only after a
+//! flush-and-release.
+//!
+//! Word granularity and eviction blindness can only *miss* violations
+//! (a reused or evicted line hides a stale copy), never invent them, so
+//! a clean verdict is trustworthy modulo that documented slack.
+
+use std::collections::HashMap;
+
+use bigtiny_coherence::Protocol;
+use bigtiny_engine::{MemEvent, MemOp};
+
+use crate::{Collector, ViolationKind};
+
+/// One core's cached copy of a word.
+#[derive(Clone, Copy)]
+struct Copy {
+    version: u64,
+    dirty: bool,
+}
+
+/// The staleness pass.
+pub(crate) struct StalePass {
+    protocols: Vec<Protocol>,
+    /// Global version per word (every store/AMO bumps it).
+    latest: HashMap<u64, u64>,
+    /// Version the shared L2 would supply on a miss.
+    committed: HashMap<u64, u64>,
+    /// Last writer `(core, cycle)` of each word, for blame.
+    writer: HashMap<u64, (usize, u64)>,
+    /// Ownership pin: MESI Modified or DeNovo registration.
+    owner: HashMap<u64, usize>,
+    /// Per-core word copies.
+    copies: Vec<HashMap<u64, Copy>>,
+}
+
+impl StalePass {
+    pub(crate) fn new(protocols: &[Protocol]) -> Self {
+        StalePass {
+            protocols: protocols.to_vec(),
+            latest: HashMap::new(),
+            committed: HashMap::new(),
+            writer: HashMap::new(),
+            owner: HashMap::new(),
+            copies: vec![HashMap::new(); protocols.len()],
+        }
+    }
+
+    fn latest_of(&self, w: u64) -> u64 {
+        self.latest.get(&w).copied().unwrap_or(0)
+    }
+
+    fn committed_of(&self, w: u64) -> u64 {
+        self.committed.get(&w).copied().unwrap_or(0)
+    }
+
+    fn blame(&self, w: u64) -> String {
+        match self.writer.get(&w) {
+            Some((c, cy)) => format!("core {c} at cycle {cy}"),
+            None => "host initialization".to_string(),
+        }
+    }
+
+    /// Invalidate other MESI cores' copies of `w` (the directory tracks
+    /// MESI sharers only) and clear a MESI ownership pin.
+    fn drop_other_mesi(&mut self, w: u64, except: usize) {
+        for d in 0..self.protocols.len() {
+            if d != except && self.protocols[d] == Protocol::Mesi {
+                self.copies[d].remove(&w);
+                if self.owner.get(&w) == Some(&d) {
+                    self.owner.remove(&w);
+                }
+            }
+        }
+    }
+
+    /// Post-commit effects of an L1-coherent write (MESI / DeNovo store,
+    /// or an AMO on those protocols).
+    fn own_after_commit(&mut self, core: usize, w: u64, version: u64) {
+        match self.protocols[core] {
+            Protocol::Mesi => {
+                self.drop_other_mesi(w, core);
+                // A software-centric owner is unpinned (the directory
+                // recall commits nothing new) but keeps its — now stale —
+                // copy; only its own invalidate can clear it.
+                if self.owner.get(&w).is_some_and(|&o| o != core) {
+                    self.owner.remove(&w);
+                }
+                self.copies[core].insert(w, Copy { version, dirty: false });
+                self.owner.insert(w, core);
+            }
+            Protocol::DeNovo => {
+                // Ownership fetch only on the not-yet-owned path.
+                if self.owner.get(&w) != Some(&core) {
+                    self.drop_other_mesi(w, core);
+                    self.owner.insert(w, core);
+                }
+                self.copies[core].insert(w, Copy { version, dirty: false });
+            }
+            Protocol::GpuWt | Protocol::GpuWb => unreachable!("L2-coherent protocol"),
+        }
+    }
+
+    pub(crate) fn step(&mut self, ev: &MemEvent, col: &mut Collector) {
+        let (core, cycle) = (ev.core, ev.cycle);
+        match ev.op {
+            MemOp::Load { addr, racy } => {
+                let w = addr.0;
+                let lat = self.latest_of(w);
+                match self.copies[core].get(&w).copied() {
+                    Some(cp) => {
+                        // Pinned copies (owned, or dirty under GPU-WB) are
+                        // the word's freshest value by construction.
+                        let pinned = self.owner.get(&w) == Some(&core) || cp.dirty;
+                        if racy.is_none() && !pinned && cp.version < lat {
+                            col.report(
+                                ViolationKind::StaleMissingInvalidate,
+                                core,
+                                cycle,
+                                Some(addr),
+                                w,
+                                format!(
+                                    "load hit cached version {} but version {} was written by {} \
+                                     with no cache_invalidate on this core since",
+                                    cp.version,
+                                    lat,
+                                    self.blame(w)
+                                ),
+                            );
+                        }
+                    }
+                    None => {
+                        let com = self.committed_of(w);
+                        if racy.is_none() && com < lat {
+                            col.report(
+                                ViolationKind::StaleMissingFlush,
+                                core,
+                                cycle,
+                                Some(addr),
+                                w,
+                                format!(
+                                    "load missed and the L2 can only supply version {com}, but \
+                                     version {lat} written by {} is still unflushed",
+                                    self.blame(w)
+                                ),
+                            );
+                        }
+                        // Fill. A MESI reader revokes a software-centric
+                        // owner (directory recall); a software-centric
+                        // reader downgrades a MESI owner to Shared.
+                        if let Some(&o) = self.owner.get(&w) {
+                            if o != core
+                                && (self.protocols[core] == Protocol::Mesi
+                                    || self.protocols[o] == Protocol::Mesi)
+                            {
+                                self.owner.remove(&w);
+                            }
+                        }
+                        self.copies[core].insert(w, Copy { version: com, dirty: false });
+                    }
+                }
+            }
+            MemOp::Store { addr, .. } => {
+                let w = addr.0;
+                let lat = {
+                    let e = self.latest.entry(w).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                self.writer.insert(w, (core, cycle));
+                match self.protocols[core] {
+                    Protocol::Mesi | Protocol::DeNovo => {
+                        self.committed.insert(w, lat);
+                        self.own_after_commit(core, w, lat);
+                    }
+                    Protocol::GpuWt => {
+                        // Write-through, no-allocate: commits immediately,
+                        // invalidates tracked (MESI) sharers, updates a
+                        // resident copy but does not install one.
+                        self.committed.insert(w, lat);
+                        self.drop_other_mesi(w, core);
+                        self.owner.remove(&w);
+                        if let Some(cp) = self.copies[core].get_mut(&w) {
+                            cp.version = lat;
+                        }
+                    }
+                    Protocol::GpuWb => {
+                        // Write-back: dirty in L1 only. No commit and no
+                        // remote effects until the flush — which is what
+                        // makes a dropped flush observable.
+                        self.copies[core].insert(w, Copy { version: lat, dirty: true });
+                    }
+                }
+            }
+            MemOp::Amo { addr } => {
+                // AMOs always commit at their point of coherence; the
+                // read side is never staleness-checked (see module docs).
+                let w = addr.0;
+                let lat = {
+                    let e = self.latest.entry(w).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                self.committed.insert(w, lat);
+                self.writer.insert(w, (core, cycle));
+                if self.protocols[core].amo_in_l1() {
+                    self.own_after_commit(core, w, lat);
+                } else {
+                    // Executed at the L2: tracked sharers are invalidated,
+                    // any owner recalled, and the issuing core's own copy
+                    // is invalidated (the sim drops the word from its L1).
+                    self.drop_other_mesi(w, core);
+                    self.owner.remove(&w);
+                    self.copies[core].remove(&w);
+                }
+            }
+            MemOp::InvalidateAll => match self.protocols[core] {
+                // MESI caches are hardware-coherent; the runtime call is a
+                // no-op. DeNovo keeps owned words, GPU-WT drops
+                // everything, GPU-WB keeps only dirty words.
+                Protocol::Mesi => {}
+                Protocol::DeNovo => {
+                    let owner = &self.owner;
+                    self.copies[core].retain(|w, _| owner.get(w) == Some(&core));
+                }
+                Protocol::GpuWt => self.copies[core].clear(),
+                Protocol::GpuWb => self.copies[core].retain(|_, cp| cp.dirty),
+            },
+            MemOp::FlushAll => {
+                // Only GPU-WB buffers dirty data in the L1; everything
+                // else already committed at store time.
+                if self.protocols[core] == Protocol::GpuWb {
+                    let dirty: Vec<u64> = self.copies[core]
+                        .iter()
+                        .filter(|(_, cp)| cp.dirty)
+                        .map(|(w, _)| *w)
+                        .collect();
+                    for w in dirty {
+                        let lat = self.latest_of(w);
+                        self.committed.insert(w, lat);
+                        if let Some(cp) = self.copies[core].get_mut(&w) {
+                            cp.dirty = false;
+                        }
+                        // The write-back recalls/invalidates tracked
+                        // sharers so MESI cores refetch the fresh value.
+                        self.drop_other_mesi(w, core);
+                    }
+                }
+            }
+            MemOp::Sync(_) => {}
+        }
+    }
+}

@@ -11,7 +11,7 @@
 use bigtiny_engine::sync::RwLock;
 
 use bigtiny_coherence::Addr;
-use bigtiny_engine::{AddrSpace, CorePort, TimeCategory};
+use bigtiny_engine::{AddrSpace, CorePort, SyncNote, TimeCategory};
 
 use crate::task::TaskId;
 
@@ -63,7 +63,7 @@ impl SimDeque {
 
     /// One attempt to acquire the deque lock (an AMO on the lock word).
     pub fn try_lock(&self, port: &mut CorePort) -> bool {
-        port.amo_word(self.lock_addr, || {
+        let got = port.amo_word(self.lock_addr, || {
             let mut st = self.state.write();
             if st.locked {
                 false
@@ -71,7 +71,11 @@ impl SimDeque {
                 st.locked = true;
                 true
             }
-        })
+        });
+        if got {
+            port.annotate_sync(SyncNote::DequeAcquire { lock: self.lock_addr });
+        }
+        got
     }
 
     /// Acquires the deque lock, spinning with a small back-off.
@@ -84,6 +88,10 @@ impl SimDeque {
     /// Releases the deque lock (a plain store: release on these systems is a
     /// store preceded by the caller's flush where required).
     pub fn unlock(&self, port: &mut CorePort) {
+        // The note marks the *next* store to the lock word by this core as
+        // the release store, so the checker gives it atomic-release (not
+        // plain-store) semantics in the happens-before pass.
+        port.annotate_sync(SyncNote::DequeRelease { lock: self.lock_addr });
         port.store_words(self.lock_addr, 1, || {
             let mut st = self.state.write();
             debug_assert!(st.locked, "unlock of an unlocked deque");

@@ -69,5 +69,8 @@ mod task;
 pub use deque::SimDeque;
 pub use native::{native_fib, NativeCtx, NativePool, NativeTask};
 pub use patterns::{parallel_for, parallel_invoke, parallel_invoke3};
-pub use runtime::{run_task_parallel, DequeKind, RuntimeConfig, RuntimeKind, RuntimeStats, TaskCx, TaskRun, VictimPolicy};
+pub use runtime::{
+    run_task_parallel, DequeKind, Mutation, MutationKind, RuntimeConfig, RuntimeKind,
+    RuntimeStats, TaskCx, TaskRun, VictimPolicy,
+};
 pub use task::{TaskBody, TaskId, TaskProfile, TaskRecord, WorkSpan};

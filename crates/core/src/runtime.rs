@@ -21,8 +21,8 @@ use std::sync::Arc;
 use bigtiny_engine::sync::RwLock;
 
 use bigtiny_engine::{
-    run_system, AddrSpace, CorePort, RunReport, SystemConfig, TimeCategory, UliMessage,
-    UliOutcome, Worker, WATCHDOG_MSG,
+    run_system, AddrSpace, CorePort, RacyTag, RunReport, SyncNote, SystemConfig, TimeCategory,
+    UliMessage, UliOutcome, Worker, WATCHDOG_MSG,
 };
 
 use crate::deque::SimDeque;
@@ -76,6 +76,40 @@ pub enum VictimPolicy {
     NearestFirst,
 }
 
+/// A seeded sync-discipline bug, for exercising the DRF conformance
+/// checker (`bigtiny-checker`). The mutation drops or corrupts exactly one
+/// protocol-relevant operation; the functional result of the run is still
+/// correct (host state is updated under the engine's global token), but on
+/// real hardware the mutated schedule could observe stale data — which is
+/// precisely what the checker must flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mutation {
+    /// What to break.
+    pub kind: MutationKind,
+    /// Worker (core id) whose operation is mutated.
+    pub core: usize,
+    /// Which occurrence on that core to hit (0 = first), counted per
+    /// mutation kind in program order. Ignored by the `HscStuck*` kinds,
+    /// which corrupt every `has_stolen_child` read on the core.
+    pub nth: u64,
+}
+
+/// The kinds of seeded sync-discipline bugs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// Skip one `cache_flush` (Figure 3's release-side writeback).
+    DropFlush,
+    /// Skip one `cache_invalidate` (Figure 3's acquire-side self-invalidate).
+    DropInvalidate,
+    /// Every `has_stolen_child` read returns `false`: the DTS runtime elides
+    /// AMOs and invalidates even for joins whose children *were* stolen.
+    /// This is the dangerous direction of a stuck-at fault on the flag.
+    HscStuckFalse,
+    /// Every `has_stolen_child` read returns `true`: the elision never
+    /// fires. Slower, but conservative — the checker must stay clean.
+    HscStuckTrue,
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -113,6 +147,9 @@ pub struct RuntimeConfig {
     /// empty victims, timeouts) before a thief gives up on direct task
     /// stealing for one round and steals through shared memory instead.
     pub uli_giveup_attempts: u64,
+    /// Seeded sync-discipline bug for checker tests (see [`Mutation`]).
+    /// `None` (the default) adds no code to any hot path.
+    pub mutation: Option<Mutation>,
 }
 
 impl RuntimeConfig {
@@ -130,6 +167,7 @@ impl RuntimeConfig {
             skip_coherence_ops: false,
             uli_response_timeout_cycles: 4096,
             uli_giveup_attempts: 4,
+            mutation: None,
         }
     }
 }
@@ -185,6 +223,10 @@ pub(crate) struct RtShared {
     /// Per-worker victim preference order (nearest mesh neighbours first),
     /// used by [`VictimPolicy::NearestFirst`] and `RoundRobin`.
     victim_order: Vec<Vec<usize>>,
+    /// Per-worker occurrence counters for the armed [`Mutation`] (bumped
+    /// only while a mutation targets that worker's coherence ops, so the
+    /// un-mutated hot path never touches them).
+    mut_counters: Vec<RwLock<u64>>,
 }
 
 /// A thief's steal mailbox. Functionally a queue rather than a single word:
@@ -229,7 +271,40 @@ impl RtShared {
             stack_bytes,
             handler_insts: (0..workers).map(|_| RwLock::new(0)).collect(),
             victim_order,
+            mut_counters: (0..workers).map(|_| RwLock::new(0)).collect(),
         }
+    }
+
+    /// True exactly when this call is the armed mutation's target (the
+    /// `nth` occurrence of `kind` on worker `wid`, in program order).
+    fn mutation_hits(&self, kind: MutationKind, wid: usize) -> bool {
+        let Some(m) = self.cfg.mutation else { return false };
+        if m.kind != kind || m.core != wid {
+            return false;
+        }
+        let mut c = self.mut_counters[wid].write();
+        let n = *c;
+        *c += 1;
+        n == m.nth
+    }
+
+    /// Figure 3's `cache_invalidate`, with the ablation and mutation hooks.
+    /// All runtime-issued invalidates route through here so both the
+    /// `skip_coherence_ops` ablation and a seeded [`MutationKind::DropInvalidate`]
+    /// cover every site, including the victim-side steal handler.
+    fn cache_invalidate(&self, port: &mut CorePort, wid: usize) {
+        if self.cfg.skip_coherence_ops || self.mutation_hits(MutationKind::DropInvalidate, wid) {
+            return;
+        }
+        port.invalidate_cache();
+    }
+
+    /// Figure 3's `cache_flush`; see [`RtShared::cache_invalidate`].
+    fn cache_flush(&self, port: &mut CorePort, wid: usize) {
+        if self.cfg.skip_coherence_ops || self.mutation_hits(MutationKind::DropFlush, wid) {
+            return;
+        }
+        port.flush_cache();
     }
 
     fn parent_of(&self, t: TaskId) -> Option<TaskId> {
@@ -263,13 +338,9 @@ impl RtShared {
             // access HCC-style (see `TaskCx::fallback_steal`).
             let dq = &self.deques[wid];
             dq.lock(port);
-            if !self.cfg.skip_coherence_ops {
-                port.invalidate_cache();
-            }
+            self.cache_invalidate(port, wid);
             let t = take(dq, port);
-            if !self.cfg.skip_coherence_ops {
-                port.flush_cache();
-            }
+            self.cache_flush(port, wid);
             dq.unlock(port);
             t
         } else {
@@ -284,6 +355,7 @@ impl RtShared {
                 port.store_words(addr, 1, || {
                     self.tasks.write()[p.0 as usize].has_stolen_child = true;
                 });
+                port.annotate_sync(SyncNote::HscSet { task: p.0 });
             }
             // write_stolen_task (line 51): the task pointer goes through the
             // thief's mailbox in shared memory.
@@ -293,9 +365,7 @@ impl RtShared {
             });
             // cache_flush (line 52): make the task and everything this
             // worker produced visible to the thief.
-            if !self.cfg.skip_coherence_ops {
-                port.flush_cache();
-            }
+            self.cache_flush(port, wid);
             self.counters.write().steals += 1;
             port.uli_send_response(thief, 1);
         } else {
@@ -402,19 +472,16 @@ impl<'a> TaskCx<'a> {
     }
 
     // ------------------------------------------------------------------
-    // Coherence helpers (no-ops in the deliberately-broken ablation)
+    // Coherence helpers (no-ops in the deliberately-broken ablation;
+    // individual calls droppable by a seeded checker mutation)
     // ------------------------------------------------------------------
 
     fn cache_invalidate(&mut self) {
-        if !self.rt.cfg.skip_coherence_ops {
-            self.port.invalidate_cache();
-        }
+        self.rt.cache_invalidate(self.port, self.wid);
     }
 
     fn cache_flush(&mut self) {
-        if !self.rt.cfg.skip_coherence_ops {
-            self.port.flush_cache();
-        }
+        self.rt.cache_flush(self.port, self.wid);
     }
 
     // ------------------------------------------------------------------
@@ -450,17 +517,18 @@ impl<'a> TaskCx<'a> {
         id
     }
 
-    fn read_rc_plain(&mut self, t: TaskId) -> u64 {
-        let addr = self.rt.rc_addr(t);
-        self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].rc)
-    }
-
     /// A plain `rc` read that tolerates staleness: on real hardware the
     /// cached value can only be *older* (larger) than the true count, which
     /// at worst costs an extra wait-loop iteration (Figure 3(c) line 8).
+    /// Benign race: the join-counter spin. Remote decrements arrive by AMO
+    /// (releases); the terminal read that observes zero synchronizes with
+    /// them, so the checker treats [`RacyTag::RcWaitLoop`] loads as acquire
+    /// reads of the counter's sync clock.
     fn read_rc_plain_racy(&mut self, t: TaskId) -> u64 {
         let addr = self.rt.rc_addr(t);
-        self.port.load_words_racy(addr, 1, || self.rt.tasks.read()[t.0 as usize].rc)
+        self.port.load_words_racy(addr, 1, RacyTag::RcWaitLoop, || {
+            self.rt.tasks.read()[t.0 as usize].rc
+        })
     }
 
     fn read_rc_amo(&mut self, t: TaskId) -> u64 {
@@ -521,7 +589,15 @@ impl<'a> TaskCx<'a> {
 
     fn read_hsc(&mut self, t: TaskId) -> bool {
         let addr = self.rt.hsc_addr(t);
-        self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].has_stolen_child)
+        let v = self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].has_stolen_child);
+        // Seeded stuck-at fault on the flag (checker test fixture): the
+        // load still happens (same timing, same event stream shape); only
+        // the value the runtime acts on is corrupted.
+        match self.rt.cfg.mutation {
+            Some(m) if m.core == self.wid && m.kind == MutationKind::HscStuckFalse => false,
+            Some(m) if m.core == self.wid && m.kind == MutationKind::HscStuckTrue => true,
+            _ => v,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -622,7 +698,10 @@ impl<'a> TaskCx<'a> {
         }
         match self.rt.cfg.kind {
             RuntimeKind::Baseline => {
-                while self.read_rc_plain(p) > 0 {
+                // Benign race (RcWaitLoop): Figure 3(a)'s plain spin on the
+                // join counter, safe under hardware coherence; see
+                // `read_rc_plain_racy`.
+                while self.read_rc_plain_racy(p) > 0 {
                     self.step_baseline();
                 }
             }
@@ -658,6 +737,8 @@ impl<'a> TaskCx<'a> {
                 // Lines 43-44: invalidate only if a child was stolen.
                 if !self.dts_hsc_opt() || self.read_hsc(p) {
                     self.cache_invalidate();
+                } else {
+                    self.port.annotate_sync(SyncNote::HscElide { task: p.0 });
                 }
             }
         }
@@ -1027,6 +1108,7 @@ impl<'a> TaskCx<'a> {
                     if self.read_hsc(p) {
                         self.dec_rc_amo(p);
                     } else {
+                        self.port.annotate_sync(SyncNote::HscElide { task: p.0 });
                         self.dec_rc_plain(p);
                     }
                     self.port.uli_enable();

@@ -4,6 +4,7 @@
 use bigtiny_coherence::{CoreMemConfig, MemConfig, Protocol};
 use bigtiny_mesh::{MeshConfig, Topology};
 
+use crate::event::CheckMode;
 use crate::fault::FaultPlan;
 
 /// Host execution backend for the simulated cores. Both backends produce
@@ -94,6 +95,11 @@ pub struct SystemConfig {
     /// Host execution backend (fibers vs one thread per core). Simulated
     /// results are identical either way; see [`ExecBackend`].
     pub backend: ExecBackend,
+    /// DRF conformance checking. `Off` (default) collects nothing and is
+    /// bit-for-bit invisible; armed modes buffer the addressed per-op
+    /// event stream in [`crate::RunReport::mem_events`] without changing a
+    /// single simulated cycle or op-stream hash.
+    pub check: CheckMode,
 }
 
 impl SystemConfig {
@@ -113,6 +119,7 @@ impl SystemConfig {
             watchdog_budget: None,
             watchdog_wall_ms: 5_000,
             backend: ExecBackend::Auto,
+            check: CheckMode::Off,
         }
     }
 
@@ -216,6 +223,12 @@ impl SystemConfig {
     /// Returns a copy pinned to the given host execution backend.
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Returns a copy with the DRF conformance checker armed at `check`.
+    pub fn with_check(mut self, check: CheckMode) -> Self {
+        self.check = check;
         self
     }
 }

@@ -1,0 +1,63 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! The sequencer's op-stream fingerprint, the checker's verdict hash, and
+//! any test that wants to pin a byte stream all fold through these
+//! functions, so "two components hashed the same data" is checkable by
+//! construction rather than by keeping copy-pasted constants in sync.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, starting from [`FNV_OFFSET`].
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a fold over more bytes.
+#[inline]
+pub fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one 64-bit word into an FNV-1a-style hash in a single step.
+///
+/// This is the whole-word variant the sequencer has always used for its
+/// `(time, core)` grant stream: one xor-multiply per word rather than
+/// eight per-byte rounds. It is *not* byte-wise FNV-1a, so it must never
+/// be mixed into the same fold as [`fnv1a_continue`] for the same data —
+/// pick one per stream. Kept because the golden op-stream hashes pin it.
+#[inline]
+pub fn fold_u64(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn continue_composes() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_continue(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn fold_u64_is_one_xor_multiply() {
+        assert_eq!(fold_u64(FNV_OFFSET, 0), FNV_OFFSET.wrapping_mul(FNV_PRIME));
+    }
+}

@@ -46,9 +46,11 @@
 mod breakdown;
 mod config;
 mod energy;
+mod event;
 mod fault;
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 mod fiber;
+pub mod hash;
 mod port;
 mod sequencer;
 mod space;
@@ -60,6 +62,7 @@ mod watchdog;
 pub use breakdown::{TimeBreakdown, TimeCategory, TIME_CATEGORIES};
 pub use config::{CoreConfig, CoreKind, ExecBackend, SystemConfig};
 pub use energy::{EnergyModel, EnergyReport};
+pub use event::{CheckMode, MemEvent, MemOp, RacyTag, SyncNote};
 pub use fault::{FaultCounters, FaultPlan};
 pub use port::{CorePort, UliHandler};
 pub use sequencer::Sequencer;

@@ -24,6 +24,7 @@ use bigtiny_mesh::{UliMessage, UliOutcome, XorShift64};
 
 use crate::breakdown::{TimeBreakdown, TimeCategory};
 use crate::config::CoreKind;
+use crate::event::{MemEvent, MemOp, RacyTag, SyncNote};
 use crate::fault::{FaultCounters, FaultPlan, FaultState, UliSendFault};
 use crate::system::{GlobalState, Shared};
 
@@ -65,6 +66,11 @@ pub struct CorePort {
     pending_compute: u64,
     breakdown: TimeBreakdown,
     trace: Option<Vec<crate::trace::TraceEvent>>,
+    /// Checker event stream, buffered per core when a
+    /// [`CheckMode`](crate::CheckMode) is armed. `None` (the default) makes
+    /// every emission a single never-taken branch, so unarmed timing and
+    /// grant streams are bit-for-bit unchanged.
+    events: Option<Vec<MemEvent>>,
     rng: XorShift64,
     faults: FaultState,
     shared: Arc<Shared>,
@@ -109,6 +115,7 @@ impl CorePort {
             pending_compute: 0,
             breakdown: TimeBreakdown::new(),
             trace: None,
+            events: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
             faults: FaultState::new(faults, core),
             shared,
@@ -166,6 +173,20 @@ impl CorePort {
     /// Runs `f` on the global state under the token, delivering at most one
     /// pending ULI observed in the same critical section.
     fn seq<R>(&mut self, f: impl FnOnce(&mut GlobalState, u64, usize) -> R) -> R {
+        self.seq_with(f, |_| None)
+    }
+
+    /// [`CorePort::seq`] plus checker-event emission: `op_of` maps the
+    /// sequenced result to the event to record, evaluated only when events
+    /// are armed. The event must be recorded *here* — after the grant,
+    /// before any ULI delivered in the same critical section runs — or a
+    /// handler's own events would precede the operation that admitted the
+    /// interrupt, and the recorded cycle would include handler time.
+    fn seq_with<R>(
+        &mut self,
+        f: impl FnOnce(&mut GlobalState, u64, usize) -> R,
+        op_of: impl FnOnce(&R) -> Option<MemOp>,
+    ) -> R {
         self.flush_compute();
         let check_uli = self.handler.is_some() && !self.in_handler;
         let (r, msg) = {
@@ -177,6 +198,11 @@ impl CorePort {
             self.shared.seq.leave(self.core);
             (r, msg)
         };
+        if self.events.is_some() {
+            if let Some(op) = op_of(&r) {
+                self.emit(op);
+            }
+        }
         // Every sequenced operation is a ULI-delivery opportunity.
         self.compute_since_poll = 0;
         if let Some(m) = msg {
@@ -194,6 +220,7 @@ impl CorePort {
         // vector to the user-level handler.
         self.breakdown.add(TimeCategory::Uli, self.uli_cost);
         self.clock += self.uli_cost;
+        self.emit(MemOp::Sync(SyncNote::HandlerEnter { from: msg.from }));
         let mut h = self.handler.take().expect("handler present when dispatching");
         self.in_handler = true;
         h(self, msg);
@@ -254,6 +281,43 @@ impl CorePort {
         self.trace = Some(Vec::new());
     }
 
+    /// Enables checker event collection on this port (set by the engine
+    /// when [`crate::SystemConfig::check`] is armed).
+    pub(crate) fn enable_events(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    /// Records one checker event at the current clock. Called right after
+    /// a sequenced operation returns — before its latency is charged — so
+    /// `self.clock` is exactly the grant time of the operation. Never
+    /// sequences and never charges: with events disabled this is one
+    /// never-taken branch.
+    #[inline]
+    fn emit(&mut self, op: MemOp) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(MemEvent { cycle: self.clock, core: self.core, op });
+        }
+    }
+
+    /// Inserts a zero-cost synchronization annotation into the checker
+    /// event stream (deque acquire/release, `has_stolen_child`
+    /// transitions). Pure metadata: takes no sequencer grant, charges no
+    /// cycles, and compiles to a never-taken branch when checking is off —
+    /// so annotating the runtime cannot perturb any golden hash.
+    pub fn annotate_sync(&mut self, note: SyncNote) {
+        if let Some(ev) = self.events.as_mut() {
+            let cycle = self.clock + self.pending_compute;
+            ev.push(MemEvent { cycle, core: self.core, op: MemOp::Sync(note) });
+        }
+    }
+
+    /// Whether checker event collection is armed on this port. Lets the
+    /// runtime skip work that only feeds annotations (it currently never
+    /// needs to — annotations are themselves free).
+    pub fn events_armed(&self) -> bool {
+        self.events.is_some()
+    }
+
     // ------------------------------------------------------------------
     // Compute and idling
     // ------------------------------------------------------------------
@@ -301,26 +365,38 @@ impl CorePort {
     /// Loads `words` consecutive words starting at `addr`; `f` produces the
     /// functional value and runs race-free under the global token.
     pub fn load_words<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
-        self.load_words_impl(addr, words, false, f)
+        self.load_words_impl(addr, words, None, f)
     }
 
-    /// Like [`CorePort::load_words`], but exempt from the staleness checker:
-    /// for algorithmically benign races (Ligra-style monotone updates).
-    pub fn load_words_racy<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
-        self.load_words_impl(addr, words, true, f)
+    /// Like [`CorePort::load_words`], but a declared benign race: exempt
+    /// from the runtime staleness counter and race-whitelisted in the DRF
+    /// checker's happens-before pass under the audited `tag` (the staleness
+    /// pass still counts it per tag). Timing is identical to
+    /// [`CorePort::load_words`].
+    pub fn load_words_racy<R>(&mut self, addr: Addr, words: u64, tag: RacyTag, f: impl FnOnce() -> R) -> R {
+        self.load_words_impl(addr, words, Some(tag), f)
     }
 
-    fn load_words_impl<R>(&mut self, addr: Addr, words: u64, racy: bool, f: impl FnOnce() -> R) -> R {
+    fn load_words_impl<R>(
+        &mut self,
+        addr: Addr,
+        words: u64,
+        racy: Option<RacyTag>,
+        f: impl FnOnce() -> R,
+    ) -> R {
         assert!(words >= 1, "load of zero words");
         for w in 0..words - 1 {
             let a = addr.offset(w * 8);
-            let lat = self.seq(move |st, now, core| {
-                if racy {
-                    st.mem.load_racy(core, a, now)
-                } else {
-                    st.mem.load(core, a, now)
-                }
-            });
+            let lat = self.seq_with(
+                move |st, now, core| {
+                    if racy.is_some() {
+                        st.mem.load_racy(core, a, now)
+                    } else {
+                        st.mem.load(core, a, now)
+                    }
+                },
+                |_| Some(MemOp::Load { addr: a, racy }),
+            );
             let lat = self.mem_latency(lat);
             self.charge(TimeCategory::Load, lat);
         }
@@ -328,15 +404,18 @@ impl CorePort {
         let mut out = None;
         let lat = {
             let out_ref = &mut out;
-            self.seq(move |st, now, core| {
-                let l = if racy {
-                    st.mem.load_racy(core, a, now)
-                } else {
-                    st.mem.load(core, a, now)
-                };
-                *out_ref = Some(f());
-                l
-            })
+            self.seq_with(
+                move |st, now, core| {
+                    let l = if racy.is_some() {
+                        st.mem.load_racy(core, a, now)
+                    } else {
+                        st.mem.load(core, a, now)
+                    };
+                    *out_ref = Some(f());
+                    l
+                },
+                |_| Some(MemOp::Load { addr: a, racy }),
+            )
         };
         let lat = self.mem_latency(lat);
         self.charge(TimeCategory::Load, lat);
@@ -381,10 +460,39 @@ impl CorePort {
     /// functional effect under the global token. Stores retire through a
     /// bounded store buffer: the core stalls only when the buffer is full.
     pub fn store_words<R>(&mut self, addr: Addr, words: u64, f: impl FnOnce() -> R) -> R {
+        self.store_words_impl(addr, words, None, f)
+    }
+
+    /// Like [`CorePort::store_words`], but a declared benign write-write
+    /// race (concurrent same-value idempotent stores): the DRF checker's
+    /// happens-before pass treats it as an atomic-like write under the
+    /// audited `tag` — no race against other audited accesses, still a
+    /// race against unordered plain accesses. Timing is identical to
+    /// [`CorePort::store_words`].
+    pub fn store_words_racy<R>(
+        &mut self,
+        addr: Addr,
+        words: u64,
+        tag: RacyTag,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        self.store_words_impl(addr, words, Some(tag), f)
+    }
+
+    fn store_words_impl<R>(
+        &mut self,
+        addr: Addr,
+        words: u64,
+        racy: Option<RacyTag>,
+        f: impl FnOnce() -> R,
+    ) -> R {
         assert!(words >= 1, "store of zero words");
         for w in 0..words - 1 {
             let a = addr.offset(w * 8);
-            let lat = self.seq(move |st, now, core| st.mem.store(core, a, now));
+            let lat = self.seq_with(
+                move |st, now, core| st.mem.store(core, a, now),
+                |_| Some(MemOp::Store { addr: a, racy }),
+            );
             let lat = self.mem_latency(lat);
             let charged = self.buffer_store(lat);
             self.charge(TimeCategory::Store, charged);
@@ -393,11 +501,14 @@ impl CorePort {
         let mut out = None;
         let lat = {
             let out_ref = &mut out;
-            self.seq(move |st, now, core| {
-                let l = st.mem.store(core, a, now);
-                *out_ref = Some(f());
-                l
-            })
+            self.seq_with(
+                move |st, now, core| {
+                    let l = st.mem.store(core, a, now);
+                    *out_ref = Some(f());
+                    l
+                },
+                |_| Some(MemOp::Store { addr: a, racy }),
+            )
         };
         let lat = self.mem_latency(lat);
         let charged = self.buffer_store(lat);
@@ -420,11 +531,14 @@ impl CorePort {
         let mut out = None;
         let lat = {
             let out_ref = &mut out;
-            self.seq(move |st, now, core| {
-                let l = st.mem.amo(core, addr, now);
-                *out_ref = Some(f());
-                l
-            })
+            self.seq_with(
+                move |st, now, core| {
+                    let l = st.mem.amo(core, addr, now);
+                    *out_ref = Some(f());
+                    l
+                },
+                |_| Some(MemOp::Amo { addr }),
+            )
         };
         let lat = self.mem_latency(lat);
         self.charge(TimeCategory::Atomic, lat);
@@ -435,7 +549,10 @@ impl CorePort {
     /// Bulk self-invalidation of clean data in this core's L1
     /// (`cache_invalidate`; a no-op under MESI). Returns lines invalidated.
     pub fn invalidate_cache(&mut self) -> u64 {
-        let (lat, lines) = self.seq(|st, now, core| st.mem.invalidate_all(core, now));
+        let (lat, lines) = self.seq_with(
+            |st, now, core| st.mem.invalidate_all(core, now),
+            |_| Some(MemOp::InvalidateAll),
+        );
         self.charge(TimeCategory::Invalidate, lat);
         self.instructions += 1;
         lines
@@ -447,7 +564,10 @@ impl CorePort {
     pub fn flush_cache(&mut self) -> u64 {
         let drain = self.drain_store_buffer();
         self.charge(TimeCategory::Flush, drain);
-        let (lat, lines) = self.seq(|st, now, core| st.mem.flush_all(core, now));
+        let (lat, lines) = self.seq_with(
+            |st, now, core| st.mem.flush_all(core, now),
+            |_| Some(MemOp::FlushAll),
+        );
         self.charge(TimeCategory::Flush, lat);
         self.instructions += 1;
         lines
@@ -486,9 +606,12 @@ impl CorePort {
     /// timeout reveals the loss), force-NACKed, or delivered late.
     pub fn uli_send_request(&mut self, victim: usize, payload: u64) -> UliOutcome {
         let out = match self.faults.on_uli_send() {
-            UliSendFault::None => {
-                self.seq(move |st, now, core| st.uli.try_send_request(core, victim, payload, now))
-            }
+            UliSendFault::None => self.seq_with(
+                move |st, now, core| st.uli.try_send_request(core, victim, payload, now),
+                |out| {
+                    (*out == UliOutcome::Sent).then_some(MemOp::Sync(SyncNote::UliReqSend { to: victim }))
+                },
+            ),
             UliSendFault::Drop => self.seq(move |st, _, core| {
                 st.uli.drop_request(core, victim);
                 UliOutcome::Sent
@@ -515,14 +638,22 @@ impl CorePort {
 
     /// Sends a ULI response back to `thief` (from inside a handler).
     pub fn uli_send_response(&mut self, thief: usize, payload: u64) {
-        self.seq(move |st, now, core| st.uli.send_response(core, thief, payload, now));
+        self.seq_with(
+            move |st, now, core| st.uli.send_response(core, thief, payload, now),
+            |_| Some(MemOp::Sync(SyncNote::UliRespSend { to: thief })),
+        );
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
     }
 
     /// Collects a ULI response if one has arrived.
     pub fn uli_poll_response(&mut self) -> Option<UliMessage> {
-        let msg = self.seq(|st, now, core| st.uli.take_response(core, now));
+        let msg = self.seq_with(
+            |st, now, core| st.uli.take_response(core, now),
+            |m: &Option<UliMessage>| {
+                m.as_ref().map(|m| MemOp::Sync(SyncNote::UliRespRecv { from: m.from }))
+            },
+        );
         self.charge(TimeCategory::UliWait, 1);
         self.instructions += 1;
         msg
@@ -607,6 +738,7 @@ impl CorePort {
             instructions: self.instructions,
             trace: self.trace.unwrap_or_default(),
             faults: self.faults.counters,
+            events: self.events.unwrap_or_default(),
         }
     }
 }
@@ -619,4 +751,5 @@ pub(crate) struct PortReport {
     pub instructions: u64,
     pub trace: Vec<crate::trace::TraceEvent>,
     pub faults: FaultCounters,
+    pub events: Vec<MemEvent>,
 }

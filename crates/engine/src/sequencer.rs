@@ -58,15 +58,12 @@ struct Inner {
     op_hash: u64,
 }
 
-/// FNV-1a offset basis / prime (64-bit).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+use crate::hash::{fold_u64, FNV_OFFSET};
 
 /// Folds one `(time, core)` grant into the op-stream hash.
 #[inline]
 fn fold_grant(h: u64, time: u64, core: usize) -> u64 {
-    let h = (h ^ time).wrapping_mul(FNV_PRIME);
-    (h ^ core as u64).wrapping_mul(FNV_PRIME)
+    fold_u64(fold_u64(h, time), core as u64)
 }
 
 /// The token scheduler. See the module docs.

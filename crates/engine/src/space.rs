@@ -130,13 +130,22 @@ impl<T: Clone + Send + Sync> ShVec<T> {
     /// hardware: identical timing, but exempt from the staleness checker.
     /// Use only where the algorithm is correct under stale reads (e.g.
     /// Ligra's monotone relaxations, where a CAS/AMO decides the winner).
-    pub fn read_racy(&self, cpu: &mut CorePort, i: usize) -> T {
-        cpu.load_words_racy(self.addr(i), self.words(), || self.data.read()[i].clone())
+    /// The `tag` names the audited benign-race pattern for the DRF checker.
+    pub fn read_racy(&self, cpu: &mut CorePort, i: usize, tag: crate::event::RacyTag) -> T {
+        cpu.load_words_racy(self.addr(i), self.words(), tag, || self.data.read()[i].clone())
     }
 
     /// Simulated store of `v` into element `i`.
     pub fn write(&self, cpu: &mut CorePort, i: usize, v: T) {
         cpu.store_words(self.addr(i), self.words(), || self.data.write()[i] = v);
+    }
+
+    /// Simulated store of `v` into element `i` as a declared benign
+    /// write-write race (concurrent same-value idempotent stores),
+    /// race-whitelisted in the DRF checker under the audited `tag`.
+    /// Timing is identical to [`ShVec::write`].
+    pub fn write_racy(&self, cpu: &mut CorePort, i: usize, v: T, tag: crate::event::RacyTag) {
+        cpu.store_words_racy(self.addr(i), self.words(), tag, || self.data.write()[i] = v);
     }
 
     /// Simulated atomic read-modify-write of element `i`: applies `f` to the

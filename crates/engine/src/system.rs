@@ -7,6 +7,7 @@ use bigtiny_mesh::{TrafficStats, UliNetwork};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::{ExecBackend, SystemConfig};
+use crate::event::{CheckMode, MemEvent};
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::port::{CorePort, PortReport};
 use crate::sequencer::{Sequencer, POISON_MSG};
@@ -48,6 +49,7 @@ struct CoreParams {
     overlap_div: u64,
     uli_cost: u64,
     trace: bool,
+    check: bool,
     num_cores: usize,
 }
 
@@ -65,6 +67,7 @@ impl CoreParams {
                 crate::config::CoreKind::Tiny => config.uli_cost_tiny,
             },
             trace: config.trace,
+            check: config.check.armed(),
             num_cores: config.num_cores(),
         }
     }
@@ -83,6 +86,9 @@ impl CoreParams {
         );
         if self.trace {
             port.enable_trace();
+        }
+        if self.check {
+            port.enable_events();
         }
         port
     }
@@ -290,6 +296,12 @@ pub struct RunReport {
     /// identical hashes; golden-trace tests pin this value to prove engine
     /// wall-clock optimizations are invisible to simulated results.
     pub seq_op_hash: u64,
+    /// The DRF checker's event stream, in sequenced (grant) order. Empty
+    /// unless [`SystemConfig::check`] is armed: collection buffers events
+    /// per core and merges them here by `(cycle, core, per-core index)`,
+    /// which reproduces grant order because per-core clocks are
+    /// nondecreasing and the sequencer breaks time ties by core id.
+    pub mem_events: Vec<MemEvent>,
 }
 
 impl RunReport {
@@ -338,6 +350,14 @@ impl RunReport {
 /// [`DiagnosticBundle`].
 pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     assert_eq!(workers.len(), config.num_cores(), "one worker per core required");
+    // Fault injection can drop ULI messages after the sender has already
+    // recorded the send, which would break the checker's FIFO pairing of
+    // request/response edges; chaos runs and conformance runs are
+    // different experiments, so just forbid the combination.
+    assert!(
+        config.check == CheckMode::Off || !config.faults.is_active(),
+        "DRF checking cannot be combined with fault injection"
+    );
     let num_cores = config.num_cores();
     let use_fibers = resolve_backend(config);
     #[allow(unused_mut)]
@@ -402,6 +422,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut instructions = Vec::with_capacity(num_cores);
     let mut traces = Vec::with_capacity(num_cores);
     let mut fault_counters = FaultCounters::default();
+    let mut mem_events: Vec<MemEvent> = Vec::new();
     for r in reports {
         let r = r.expect("every worker reported");
         core_cycles.push(r.clock);
@@ -409,7 +430,13 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         instructions.push(r.instructions);
         traces.push(r.trace);
         fault_counters += r.faults;
+        mem_events.extend(r.events);
     }
+    // Reconstruct sequenced order from the per-core buffers: per-core
+    // clocks are nondecreasing and the sequencer grants the minimum
+    // `(time, core)`, so this stable sort (which preserves each core's
+    // emission order for equal keys) replays grant order exactly.
+    mem_events.sort_by_key(|e| (e.cycle, e.core));
 
     let st = shared.state.lock();
     let completion =
@@ -443,6 +470,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         seq_grants: shared.seq.total_grants(),
         seq_fast_grants: shared.seq.fast_grants(),
         seq_op_hash: shared.seq.op_hash(),
+        mem_events,
     }
 }
 

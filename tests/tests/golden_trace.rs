@@ -102,6 +102,44 @@ fn both_backends_produce_identical_op_streams() {
     );
 }
 
+/// Arming the DRF checker must be bit-for-bit invisible to simulation:
+/// event capture observes the op stream but never perturbs timing, so a
+/// fully armed run replays the exact golden cycles and grant hashes while
+/// actually collecting (and passing judgment on) a non-empty event stream.
+#[test]
+fn armed_checker_changes_no_golden_pin() {
+    use bigtiny_checker::check_run;
+    use bigtiny_engine::CheckMode;
+    let mut failures = Vec::new();
+    for &(app_name, setup_label, want_cycles, want_hash) in
+        GOLDEN.iter().filter(|g| g.0 == "cilk5-nq" || g.0 == "ligra-bfs")
+    {
+        let app = app_by_name(app_name).unwrap();
+        let mut setup = setup_by_label(setup_label);
+        setup.sys = setup.sys.clone().with_check(CheckMode::Full);
+        let r = run_app(&setup, &app, AppSize::Test, 0);
+        if r.cycles != want_cycles || r.run.report.seq_op_hash != want_hash {
+            failures.push(format!(
+                "{app_name} on {setup_label} armed: cycles {} (want {want_cycles}), \
+                 op hash {:#018x} (want {want_hash:#018x})",
+                r.cycles, r.run.report.seq_op_hash
+            ));
+        }
+        let report = check_run(&setup.sys, &r.run.report);
+        assert!(report.events > 0, "{app_name} on {setup_label}: armed run captured no events");
+        assert!(
+            report.is_clean(),
+            "{app_name} on {setup_label}:\n{}",
+            report.render()
+        );
+    }
+    assert!(
+        failures.is_empty(),
+        "arming the checker perturbed simulated results:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
 #[test]
 fn op_hash_is_run_to_run_stable() {
     let app = app_by_name("cilk5-nq").unwrap();
