@@ -7,6 +7,7 @@ use bigtiny_bench::{
     size_from_env, Setup, TrafficClass,
 };
 use bigtiny_engine::{FaultPlan, Protocol};
+use bigtiny_obs::{export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics, TraceRun};
 
 const CLASSES: [TrafficClass; 9] = [
     TrafficClass::CpuReq,
@@ -29,19 +30,36 @@ struct CliOpts {
     fault_plan: Option<String>,
     fault_seed: u64,
     watchdog_budget: Option<u64>,
+    /// Write the unified metrics document (every run's breakdown,
+    /// coherence, mesh, fault/watchdog, and steal-telemetry sections) here.
+    metrics_out: Option<String>,
+    /// Write a Chrome trace-event document (load in `ui.perfetto.dev`)
+    /// here; arms per-core tracing and task-event recording on every setup.
+    trace_out: Option<String>,
 }
 
 const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan NAME] [--watchdog-budget N]
+                [--metrics-out PATH] [--trace-out PATH]
   --fault-seed N       seed for deterministic fault injection; inert unless
                        --fault-plan is also given (no plan is ever implied)
   --fault-plan NAME    arm fault injection: none, uli-drop-storm,
                        steal-miss-storm, mesh-latency-spikes, hostile
   --watchdog-budget N  abort with per-core diagnostics after N sequenced
                        grants without runtime progress
+  --metrics-out PATH   write the unified bigtiny-obs metrics JSON document
+                       (one object per (app, setup) run) to PATH
+  --trace-out PATH     write a Chrome trace-event JSON document to PATH
+                       (arms tracing + task events; load in ui.perfetto.dev)
 sizes and app selection come from BIGTINY_SIZE / BIGTINY_APPS / BIGTINY_JSON";
 
 fn parse_cli() -> CliOpts {
-    let mut opts = CliOpts { fault_plan: None, fault_seed: 1, watchdog_budget: None };
+    let mut opts = CliOpts {
+        fault_plan: None,
+        fault_seed: 1,
+        watchdog_budget: None,
+        metrics_out: None,
+        trace_out: None,
+    };
     let mut args = std::env::args().skip(1);
     let mut seed_given = false;
     while let Some(arg) = args.next() {
@@ -75,6 +93,8 @@ fn parse_cli() -> CliOpts {
                     std::process::exit(2);
                 }));
             }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -112,7 +132,41 @@ fn main() {
         }
         println!("[watchdog] liveness budget: {budget} sequenced grants without progress");
     }
+    if opts.trace_out.is_some() {
+        for s in &mut setups {
+            s.sys.trace = true;
+            s.rt.record_task_events = true;
+        }
+        println!("[obs] per-core tracing + task-event recording armed (--trace-out)");
+    }
     let results = run_matrix(&setups, &apps, size);
+
+    if let Some(path) = &opts.metrics_out {
+        let runs: Vec<RunMetrics<'_>> = results
+            .iter()
+            .map(|r| RunMetrics { app: r.app, setup: &r.setup, run: &r.run, tiny_cores: &r.tiny_cores })
+            .collect();
+        let doc = metrics_document(&runs);
+        std::fs::write(path, doc.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("--metrics-out {path}: {e}"));
+        println!("[obs] metrics document ({} runs) -> {path}", results.len());
+    }
+    if let Some(path) = &opts.trace_out {
+        let runs: Vec<TraceRun<'_>> = results
+            .iter()
+            .map(|r| TraceRun { app: r.app, setup: &r.setup, run: &r.run })
+            .collect();
+        let doc = export_chrome_trace(&runs);
+        let summary = validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("--trace-out produced an invalid document: {e}"));
+        std::fs::write(path, doc.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("--trace-out {path}: {e}"));
+        println!(
+            "[obs] chrome trace ({} spans, {} task lifetimes, {} flows) -> {path} \
+             (load in ui.perfetto.dev)",
+            summary.complete, summary.async_pairs, summary.flows
+        );
+    }
 
     // ---------------- Figure 5 ----------------
     {

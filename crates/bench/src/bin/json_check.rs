@@ -1,18 +1,50 @@
-//! Validates a JSON-lines results file (as written via `BIGTINY_JSON`) with
-//! the strict flat-object parser, so CI fails loudly on an unparseable
-//! record (e.g. a bare `NaN`) instead of shipping a corrupt artifact.
+//! Validates a JSON results artifact before CI ships it.
+//!
+//! Two shapes are accepted:
+//!
+//! * a single nested document (what `eval_all --metrics-out` writes) —
+//!   strictly parsed whole-file with the `bigtiny-obs` parser; a metrics
+//!   document additionally needs a non-empty `runs` array;
+//! * a JSON-lines file (as written via `BIGTINY_JSON`) — every line run
+//!   through the strict flat-object parser, so an unparseable record (e.g.
+//!   a bare `NaN`) fails loudly instead of corrupting downstream analysis.
 
 use bigtiny_bench::parse_json_line;
+use bigtiny_obs::{parse_json, Json};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: json_check <results.jsonl>");
+        eprintln!("usage: json_check <results.jsonl | metrics.json>");
         std::process::exit(2);
     });
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("json_check: {path}: {e}");
         std::process::exit(2);
     });
+
+    // A nested container document (metrics or trace output) parses
+    // whole-file; flat records — even a single-line file — fall through to
+    // the stricter line parser.
+    let nested = |doc: &Json| match doc {
+        Json::Arr(_) => true,
+        Json::Obj(kv) => kv.iter().any(|(_, v)| matches!(v, Json::Obj(_) | Json::Arr(_))),
+        _ => false,
+    };
+    if let Some(doc) = parse_json(text.trim_end()).ok().filter(nested) {
+        if let Some(runs) = doc.get("runs") {
+            let n = runs.as_arr().map(<[Json]>::len).unwrap_or(0);
+            if n == 0 {
+                eprintln!("json_check: {path}: document has an empty or non-array `runs`");
+                std::process::exit(1);
+            }
+            let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("(none)");
+            println!("{path}: valid document, schema {schema}, {n} runs");
+        } else {
+            println!("{path}: valid JSON document");
+        }
+        return;
+    }
+
     let mut records = 0usize;
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {

@@ -343,13 +343,27 @@ pub fn parse_json_line(line: &str) -> Result<Vec<(String, JsonScalar)>, String> 
                         }
                     }
                     b if b < 0x20 => return Err("raw control character in string".to_owned()),
+                    b if b < 0x80 => out.push(b as char),
                     _ => {
-                        // Re-decode from the byte position to keep UTF-8 intact.
-                        let rest = std::str::from_utf8(&self.s[self.i - 1..])
-                            .map_err(|_| "invalid UTF-8 in string")?;
-                        let c = rest.chars().next().expect("nonempty");
+                        // Decode exactly one UTF-8 scalar from its leading
+                        // byte; validating the whole remaining line here
+                        // would make parsing quadratic in line length.
+                        let start = self.i - 1;
+                        let len = match b {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            0xf0..=0xf7 => 4,
+                            _ => return Err("invalid UTF-8 in string".to_owned()),
+                        };
+                        let bytes =
+                            self.s.get(start..start + len).ok_or("truncated UTF-8")?;
+                        let c = std::str::from_utf8(bytes)
+                            .map_err(|_| "invalid UTF-8 in string")?
+                            .chars()
+                            .next()
+                            .expect("nonempty");
                         out.push(c);
-                        self.i += c.len_utf8() - 1;
+                        self.i = start + len;
                     }
                 }
             }
@@ -708,6 +722,21 @@ mod json_tests {
         // Escaped strings decode back to the original text.
         assert_eq!(*value_of(&kv, "app"), JsonScalar::Str("synthetic \"app\"\n".to_owned()));
         assert_eq!(*value_of(&kv, "cycles"), JsonScalar::Num(123.0));
+    }
+
+    /// Control characters below 0x20 (a fault-plan or app name can carry
+    /// them) must serialize as `\u00XX` escapes and decode back exactly —
+    /// an unescaped control byte makes the line invalid JSON that
+    /// [`parse_json_line`] rejects.
+    #[test]
+    fn control_characters_round_trip_through_json_lines() {
+        let all_controls: String = (0u32..0x20).map(|cp| char::from_u32(cp).unwrap()).collect();
+        let mut rec = synthetic_record(0.5);
+        rec.app = format!("ctl[{all_controls}]\u{7f}end");
+        let line = rec.to_json_line();
+        assert!(!line.bytes().any(|b| b < 0x20), "raw control byte escaped into {line:?}");
+        let kv = parse_json_line(&line).expect("control-character record parses strictly");
+        assert_eq!(*value_of(&kv, "app"), JsonScalar::Str(rec.app.clone()), "{line}");
     }
 
     #[test]

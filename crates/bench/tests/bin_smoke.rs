@@ -1,0 +1,227 @@
+//! Tier-1 smoke tests for every figure/table binary: each one runs on a
+//! tiny input and must exit cleanly with a rendered table, and every
+//! machine-readable artifact it writes must survive the strict parsers.
+//! Before this suite, the `fig4`–`fig8`/`table1`–`table5` bins wrote
+//! result files no tool validated, so bin rot only surfaced when someone
+//! tried to regenerate a paper figure.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bigtiny_bench::parse_json_line;
+use bigtiny_obs::{parse_json, validate_chrome_trace, METRICS_SCHEMA};
+
+/// Runs a binary with the given env, asserting success; returns stdout.
+fn run_bin(exe: &str, env: &[(&str, &str)], args: &[&str]) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .envs(env.iter().copied())
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+/// A fresh scratch path that does not survive the test on success.
+fn scratch(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("bigtiny-bin-smoke-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The tiny-input environment for matrix-driven bins: Test size, one
+/// kernel, so a full 7-setup matrix stays subsecond.
+const TINY: &[(&str, &str)] = &[("BIGTINY_SIZE", "test"), ("BIGTINY_APPS", "cilk5-nq")];
+
+/// A rendered table has a header row, a dashed rule, and data rows.
+fn assert_renders_table(stdout: &str, bin: &str, marker: &str) {
+    assert!(stdout.contains(marker), "{bin}: missing {marker:?} in output:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.chars().filter(|&c| c == '-').count() > 10),
+        "{bin}: no table rule in output:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.contains("cilk5-nq") || l.contains("ligra") || l.contains("MESI")),
+        "{bin}: no data row in output:\n{stdout}"
+    );
+}
+
+/// Matrix bins also write `BIGTINY_JSON` records; every line must satisfy
+/// the strict flat parser.
+fn assert_json_lines_valid(path: &PathBuf, bin: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{bin}: reading {}: {e}", path.display()));
+    let mut records = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let kv = parse_json_line(line)
+            .unwrap_or_else(|e| panic!("{bin}: invalid BIGTINY_JSON line: {e}\n  {line}"));
+        assert!(!kv.is_empty(), "{bin}: empty BIGTINY_JSON record");
+        records += 1;
+    }
+    assert!(records > 0, "{bin}: BIGTINY_JSON wrote no records");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn table1_renders_protocol_classification() {
+    let out = run_bin(env!("CARGO_BIN_EXE_table1"), &[], &[]);
+    assert_renders_table(&out, "table1", "Table I");
+}
+
+#[test]
+fn table2_renders_simulator_configuration() {
+    let out = run_bin(env!("CARGO_BIN_EXE_table2"), &[], &[]);
+    assert!(out.contains("Table II"), "missing title:\n{out}");
+    assert!(out.contains("Tiny Core") && out.contains("Big Core"), "missing rows:\n{out}");
+}
+
+#[test]
+fn fig4_renders_granularity_sweep() {
+    // fig4 is fixed to ligra-tc; only the size knob applies.
+    let out = run_bin(env!("CARGO_BIN_EXE_fig4"), &[("BIGTINY_SIZE", "test")], &[]);
+    assert!(out.contains("Figure 4"), "missing title:\n{out}");
+    assert!(out.contains("Task Granularity"), "missing header:\n{out}");
+}
+
+#[test]
+fn fig5_renders_speedups_and_valid_json() {
+    let json = scratch("fig5.jsonl");
+    let mut env = TINY.to_vec();
+    let json_s = json.to_str().unwrap().to_owned();
+    env.push(("BIGTINY_JSON", &json_s));
+    let out = run_bin(env!("CARGO_BIN_EXE_fig5"), &env, &[]);
+    assert_renders_table(&out, "fig5", "Figure 5");
+    assert!(out.contains("geomean"), "missing geomean row:\n{out}");
+    assert_json_lines_valid(&json, "fig5");
+}
+
+#[test]
+fn fig6_renders_hit_rates() {
+    let out = run_bin(env!("CARGO_BIN_EXE_fig6"), TINY, &[]);
+    assert_renders_table(&out, "fig6", "Figure 6");
+    assert!(out.contains('%'), "hit rates should be percentages:\n{out}");
+}
+
+#[test]
+fn fig7_renders_time_breakdowns() {
+    let out = run_bin(env!("CARGO_BIN_EXE_fig7"), TINY, &[]);
+    assert_renders_table(&out, "fig7", "Figure 7");
+    assert!(out.contains("Flush"), "missing breakdown category:\n{out}");
+}
+
+#[test]
+fn fig8_renders_traffic_and_valid_json() {
+    let json = scratch("fig8.jsonl");
+    let mut env = TINY.to_vec();
+    let json_s = json.to_str().unwrap().to_owned();
+    env.push(("BIGTINY_JSON", &json_s));
+    let out = run_bin(env!("CARGO_BIN_EXE_fig8"), &env, &[]);
+    assert_renders_table(&out, "fig8", "Figure 8");
+    assert_json_lines_valid(&json, "fig8");
+}
+
+#[test]
+fn table3_renders_serial_and_o3_comparison() {
+    let out = run_bin(env!("CARGO_BIN_EXE_table3"), TINY, &[]);
+    assert_renders_table(&out, "table3", "Table III");
+}
+
+#[test]
+fn table4_renders_dts_reductions() {
+    let out = run_bin(env!("CARGO_BIN_EXE_table4"), TINY, &[]);
+    assert_renders_table(&out, "table4", "Table IV");
+}
+
+#[test]
+fn table5_renders_256_core_results() {
+    // table5 runs a fixed 5-kernel list on the 256-core setups; Test size
+    // keeps it to a couple of seconds.
+    let out = run_bin(env!("CARGO_BIN_EXE_table5"), &[("BIGTINY_SIZE", "test")], &[]);
+    assert_renders_table(&out, "table5", "Table V");
+}
+
+#[test]
+fn eval_all_emits_valid_metrics_and_trace_documents() {
+    let metrics = scratch("eval-metrics.json");
+    let trace = scratch("eval-trace.json");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_eval_all"),
+        TINY,
+        &[
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert!(out.contains("Figure 5") && out.contains("Table IV"), "missing sections:\n{out}");
+
+    let mdoc = parse_json(std::fs::read_to_string(&metrics).unwrap().trim_end())
+        .expect("metrics document parses strictly");
+    assert_eq!(mdoc.get("schema").and_then(|s| s.as_str()), Some(METRICS_SCHEMA));
+    let runs = mdoc.get("runs").and_then(|r| r.as_arr()).expect("runs array");
+    assert_eq!(runs.len(), 7, "one run per (app, setup): 1 app x 7 setups");
+    for r in runs {
+        for section in ["breakdown", "coherence", "mesh", "uli", "faults", "watchdog", "steals"] {
+            assert!(
+                r.get(section).is_some(),
+                "run {}/{} missing section {section}",
+                r.get("app").and_then(|v| v.as_str()).unwrap_or("?"),
+                r.get("setup").and_then(|v| v.as_str()).unwrap_or("?"),
+            );
+        }
+    }
+
+    let tdoc = parse_json(std::fs::read_to_string(&trace).unwrap().trim_end())
+        .expect("trace document parses strictly");
+    let s = validate_chrome_trace(&tdoc).expect("trace validates structurally");
+    assert!(s.complete > 0 && s.async_pairs > 0 && s.flows > 0, "trace is empty: {s:?}");
+
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn trace_smoke_passes_and_writes_artifacts() {
+    let metrics = scratch("smoke-metrics.json");
+    let trace = scratch("smoke-trace.json");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_trace_smoke"),
+        &[],
+        &[
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert!(out.contains("[trace_smoke] OK"), "missing OK marker:\n{out}");
+    assert!(out.contains("zero-overhead pin holds"), "missing pin line:\n{out}");
+    assert!(metrics.exists() && trace.exists(), "artifacts not written");
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn json_check_accepts_nested_documents_and_rejects_garbage() {
+    let good = scratch("check-good.json");
+    std::fs::write(&good, "{\"schema\":\"x\",\"runs\":[{\"app\":\"a\"}]}\n").unwrap();
+    let out = run_bin(env!("CARGO_BIN_EXE_json_check"), &[], &[good.to_str().unwrap()]);
+    assert!(out.contains("1 runs"), "nested document not recognized:\n{out}");
+    let _ = std::fs::remove_file(&good);
+
+    let bad = scratch("check-bad.json");
+    std::fs::write(&bad, "{\"schema\":\"x\",\"runs\":[}\n").unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_json_check"))
+        .arg(bad.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!status.status.success(), "json_check accepted a malformed document");
+    let _ = std::fs::remove_file(&bad);
+}

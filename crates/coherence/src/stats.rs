@@ -42,6 +42,24 @@ impl CoreMemStats {
             (self.load_hits + self.store_hits) as f64 / acc as f64
         }
     }
+
+    /// All `(label, count)` pairs in declaration order — the stable
+    /// iteration surface the metrics exporter keys its schema on.
+    pub fn pairs(&self) -> [(&'static str, u64); 11] {
+        [
+            ("loads", self.loads),
+            ("load_hits", self.load_hits),
+            ("stores", self.stores),
+            ("store_hits", self.store_hits),
+            ("amos", self.amos),
+            ("invalidate_ops", self.invalidate_ops),
+            ("flush_ops", self.flush_ops),
+            ("lines_invalidated", self.lines_invalidated),
+            ("lines_flushed", self.lines_flushed),
+            ("words_flushed", self.words_flushed),
+            ("stale_reads", self.stale_reads),
+        ]
+    }
 }
 
 impl AddAssign for CoreMemStats {
@@ -82,6 +100,28 @@ mod tests {
         s.stores = 2;
         s.store_hits = 0;
         assert!((s.l1d_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    /// Regression pin: a core that made no memory accesses must report a
+    /// finite hit rate (1.0 by convention), never NaN from 0/0 — idle
+    /// cores in big configurations hit this constantly.
+    #[test]
+    fn zero_access_hit_rate_is_finite() {
+        let rate = CoreMemStats::default().l1d_hit_rate();
+        assert!(rate.is_finite(), "0-access hit rate must not be NaN");
+        assert_eq!(rate, 1.0);
+        // Aggregating only idle cores keeps the guarantee.
+        let agg = aggregate([&CoreMemStats::default(), &CoreMemStats::default()]);
+        assert!(agg.l1d_hit_rate().is_finite());
+    }
+
+    #[test]
+    fn pairs_cover_every_field() {
+        let s = CoreMemStats { loads: 1, stale_reads: 9, ..Default::default() };
+        let p = s.pairs();
+        assert_eq!(p.len(), 11);
+        assert_eq!(p[0], ("loads", 1));
+        assert_eq!(p[10], ("stale_reads", 9));
     }
 
     #[test]

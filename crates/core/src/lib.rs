@@ -65,6 +65,7 @@ mod native;
 mod patterns;
 mod runtime;
 mod task;
+mod telemetry;
 
 pub use deque::SimDeque;
 pub use native::{native_fib, NativeCtx, NativePool, NativeTask};
@@ -74,3 +75,4 @@ pub use runtime::{
     RuntimeStats, TaskCx, TaskRun, VictimPolicy,
 };
 pub use task::{TaskBody, TaskId, TaskProfile, TaskRecord, WorkSpan};
+pub use telemetry::{Log2Histogram, StealTelemetry, TaskEvent, TaskEventKind, VictimCounters};

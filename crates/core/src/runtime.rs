@@ -27,6 +27,7 @@ use bigtiny_engine::{
 
 use crate::deque::SimDeque;
 use crate::task::{field, TaskBody, TaskId, TaskRecord, WorkSpan};
+use crate::telemetry::{StealTelemetry, TaskEvent, TaskEventKind};
 
 /// Which of the paper's three runtime implementations to use.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -150,6 +151,11 @@ pub struct RuntimeConfig {
     /// Seeded sync-discipline bug for checker tests (see [`Mutation`]).
     /// `None` (the default) adds no code to any hot path.
     pub mutation: Option<Mutation>,
+    /// Record per-task lifecycle events ([`TaskEvent`]) for trace export.
+    /// Host-side only: recording reads clocks the simulation already
+    /// computed and never charges a cycle, so it cannot perturb simulated
+    /// results; `false` (the default) allocates no buffers at all.
+    pub record_task_events: bool,
 }
 
 impl RuntimeConfig {
@@ -168,6 +174,7 @@ impl RuntimeConfig {
             uli_response_timeout_cycles: 4096,
             uli_giveup_attempts: 4,
             mutation: None,
+            record_task_events: false,
         }
     }
 }
@@ -205,6 +212,12 @@ pub struct TaskRun {
     pub report: RunReport,
     /// Runtime-level measurements (tasks, steals, work/span).
     pub stats: RuntimeStats,
+    /// Scheduler telemetry: per-victim steal outcomes, ULI round-trip
+    /// latency histogram, `has_stolen_child` elisions, joins.
+    pub telemetry: StealTelemetry,
+    /// Task lifecycle events in `(cycle, core)` order; empty unless
+    /// [`RuntimeConfig::record_task_events`] was set.
+    pub task_events: Vec<TaskEvent>,
 }
 
 /// Functional state shared by all workers.
@@ -227,6 +240,13 @@ pub(crate) struct RtShared {
     /// only while a mutation targets that worker's coherence ops, so the
     /// un-mutated hot path never touches them).
     mut_counters: Vec<RwLock<u64>>,
+    /// Steal telemetry (always collected — pure host-side counters).
+    tel: RwLock<StealTelemetry>,
+    /// Per-worker task-event buffers; `None` unless
+    /// [`RuntimeConfig::record_task_events`]. Per-worker so each buffer's
+    /// order is that worker's deterministic program order — a single
+    /// shared vector would interleave by host scheduling.
+    task_events: Option<Vec<RwLock<Vec<TaskEvent>>>>,
 }
 
 /// A thief's steal mailbox. Functionally a queue rather than a single word:
@@ -261,6 +281,9 @@ impl RtShared {
                 order
             })
             .collect();
+        let task_events = cfg
+            .record_task_events
+            .then(|| (0..workers).map(|_| RwLock::new(Vec::new())).collect());
         RtShared {
             cfg,
             deques,
@@ -272,6 +295,8 @@ impl RtShared {
             handler_insts: (0..workers).map(|_| RwLock::new(0)).collect(),
             victim_order,
             mut_counters: (0..workers).map(|_| RwLock::new(0)).collect(),
+            tel: RwLock::new(StealTelemetry::new(workers)),
+            task_events,
         }
     }
 
@@ -485,6 +510,35 @@ impl<'a> TaskCx<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry (host-side only: no sequenced operations, no cycle
+    // charges — see `crate::telemetry`)
+    // ------------------------------------------------------------------
+
+    /// Records one task lifecycle event when event recording is on.
+    fn record_event(&mut self, task: u32, kind: TaskEventKind) {
+        if let Some(bufs) = &self.rt.task_events {
+            let cycle = self.port.now();
+            bufs[self.wid].write().push(TaskEvent { cycle, core: self.wid, task, kind });
+        }
+    }
+
+    /// Counts one steal attempt against `vid`.
+    fn tel_attempt(&mut self, vid: usize) {
+        self.rt.tel.write().per_victim[vid].attempts += 1;
+    }
+
+    /// Counts one successful steal from `vid`.
+    fn tel_hit(&mut self, vid: usize) {
+        self.rt.tel.write().per_victim[vid].hits += 1;
+    }
+
+    /// Counts one failed steal against `vid` (empty victim, NACK, timeout,
+    /// or fault-forced miss).
+    fn tel_miss(&mut self, vid: usize) {
+        self.rt.tel.write().per_victim[vid].misses += 1;
+    }
+
+    // ------------------------------------------------------------------
     // Task allocation and field access
     // ------------------------------------------------------------------
 
@@ -514,6 +568,7 @@ impl<'a> TaskCx<'a> {
         // Constructing the task object: descriptor + parent pointer stores.
         self.port.store_words(addr.offset(field::DESC), 2, || ());
         self.port.store_words(addr.offset(field::PARENT), 1, || ());
+        self.record_event(id.0, TaskEventKind::Spawn);
         id
     }
 
@@ -739,6 +794,7 @@ impl<'a> TaskCx<'a> {
                     self.cache_invalidate();
                 } else {
                     self.port.annotate_sync(SyncNote::HscElide { task: p.0 });
+                    self.rt.tel.write().hsc_elisions += 1;
                 }
             }
         }
@@ -748,6 +804,8 @@ impl<'a> TaskCx<'a> {
             let prof = &mut tasks[p.0 as usize].profile;
             prof.path = prof.path.max(prof.candidate);
         }
+        self.rt.tel.write().joins += 1;
+        self.record_event(p.0, TaskEventKind::Join);
         self.remark();
     }
 
@@ -777,7 +835,8 @@ impl<'a> TaskCx<'a> {
         }
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
-        if self.forced_miss() {
+        self.tel_attempt(vid);
+        if self.forced_miss(vid) {
             return;
         }
         let vdq = &self.rt.deques[vid];
@@ -792,9 +851,12 @@ impl<'a> TaskCx<'a> {
         };
         if let Some(t) = t {
             self.rt.counters.write().steals += 1;
+            self.tel_hit(vid);
+            self.record_event(t.0, TaskEventKind::Stolen { from: vid });
             self.steal_succeeded();
             self.execute_and_complete(t);
         } else {
+            self.tel_miss(vid);
             self.steal_failed();
         }
     }
@@ -813,7 +875,8 @@ impl<'a> TaskCx<'a> {
         }
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
-        if self.forced_miss() {
+        self.tel_attempt(vid);
+        if self.forced_miss(vid) {
             return;
         }
         let vdq = &rt.deques[vid];
@@ -824,6 +887,8 @@ impl<'a> TaskCx<'a> {
         vdq.unlock(self.port);
         if let Some(t) = t {
             self.rt.counters.write().steals += 1;
+            self.tel_hit(vid);
+            self.record_event(t.0, TaskEventKind::Stolen { from: vid });
             self.steal_succeeded();
             // Figure 3(b) lines 33-35: the stolen task's parent ran
             // elsewhere; bracket execution with invalidate/flush.
@@ -832,6 +897,7 @@ impl<'a> TaskCx<'a> {
             self.cache_flush();
             self.complete_task_stolen(t);
         } else {
+            self.tel_miss(vid);
             self.steal_failed();
         }
     }
@@ -845,8 +911,9 @@ impl<'a> TaskCx<'a> {
         if hardened {
             if let Some(m) = self.port.uli_poll_response() {
                 if m.payload == 1 {
-                    self.claim_stolen_task();
+                    self.claim_stolen_task(m.from);
                 } else {
+                    self.tel_miss(m.from);
                     self.uli_fail_streak += 1;
                     self.steal_failed();
                 }
@@ -877,7 +944,8 @@ impl<'a> TaskCx<'a> {
         // Remote steal through the ULI network (lines 24-34).
         let vid = self.choose_victim();
         self.rt.counters.write().steal_attempts += 1;
-        if self.forced_miss() {
+        self.tel_attempt(vid);
+        if self.forced_miss(vid) {
             self.uli_fail_streak += 1;
             return;
         }
@@ -892,6 +960,9 @@ impl<'a> TaskCx<'a> {
             Done,
             TimedOut,
         }
+        // Round-trip start: the simulated time at which the request leaves
+        // (a pure clock read — telemetry must not charge cycles).
+        let rtt_start = self.port.now();
         match self.port.uli_send_request(vid, self.wid as u64) {
             UliOutcome::Sent => {
                 // Wait for the response, servicing incoming steal requests
@@ -912,10 +983,14 @@ impl<'a> TaskCx<'a> {
                     }
                     self.port.wait_cycles(8, TimeCategory::UliWait);
                 };
+                if let Resp::Got(_) = &resp {
+                    self.rt.tel.write().uli_rtt.record(self.port.now() - rtt_start);
+                }
                 match resp {
-                    Resp::Got(m) if m.payload == 1 => self.claim_stolen_task(),
-                    Resp::Got(_) => {
+                    Resp::Got(m) if m.payload == 1 => self.claim_stolen_task(m.from),
+                    Resp::Got(m) => {
                         // Victim was empty.
+                        self.tel_miss(m.from);
                         self.uli_fail_streak += 1;
                         self.steal_failed();
                     }
@@ -925,6 +1000,7 @@ impl<'a> TaskCx<'a> {
                         // merely delayed, the eventual response is handled
                         // by the drain at the top of this function.
                         self.rt.counters.write().uli_timeouts += 1;
+                        self.tel_miss(vid);
                         self.uli_fail_streak += 1;
                         self.steal_failed();
                     }
@@ -933,16 +1009,17 @@ impl<'a> TaskCx<'a> {
             }
             UliOutcome::Nack { .. } => {
                 self.rt.counters.write().steal_nacks += 1;
+                self.tel_miss(vid);
                 self.uli_fail_streak += 1;
                 self.steal_failed();
             }
         }
     }
 
-    /// Claims a task a victim handed over through this worker's mailbox
-    /// (from a fresh or late ULI response with payload 1), executes it, and
-    /// decrements its parent.
-    fn claim_stolen_task(&mut self) {
+    /// Claims a task the victim `from` handed over through this worker's
+    /// mailbox (from a fresh or late ULI response with payload 1),
+    /// executes it, and decrements its parent.
+    fn claim_stolen_task(&mut self, from: usize) {
         // Invalidate (line 30), then read the mailbox fresh.
         self.cache_invalidate();
         let mb = &self.rt.mailboxes[self.wid];
@@ -951,6 +1028,8 @@ impl<'a> TaskCx<'a> {
         });
         let t = TaskId::from_payload(raw).expect("victim promised a task");
         self.uli_fail_streak = 0;
+        self.tel_hit(from);
+        self.record_event(t.0, TaskEventKind::Stolen { from });
         self.steal_succeeded();
         self.port.mark_progress();
         self.execute_task(t);
@@ -977,6 +1056,8 @@ impl<'a> TaskCx<'a> {
         vdq.unlock(self.port);
         if let Some(t) = t {
             self.rt.counters.write().steals += 1;
+            self.tel_hit(vid);
+            self.record_event(t.0, TaskEventKind::Stolen { from: vid });
             self.steal_succeeded();
             self.port.mark_progress();
             self.cache_invalidate();
@@ -984,15 +1065,18 @@ impl<'a> TaskCx<'a> {
             self.cache_flush();
             self.complete_task_stolen(t);
         } else {
+            self.tel_miss(vid);
             self.steal_failed();
         }
     }
 
     /// Consults the fault plan's forced-miss hook; on a forced miss the
-    /// steal attempt is abandoned before any deque or ULI traffic.
-    fn forced_miss(&mut self) -> bool {
+    /// steal attempt against `vid` is abandoned before any deque or ULI
+    /// traffic.
+    fn forced_miss(&mut self, vid: usize) -> bool {
         if self.port.fault_steal_miss() {
             self.rt.counters.write().forced_steal_misses += 1;
+            self.tel_miss(vid);
             self.steal_failed();
             true
         } else {
@@ -1058,9 +1142,11 @@ impl<'a> TaskCx<'a> {
 
         let saved_current = self.current.replace(t);
         let saved_stack = self.stack_top;
+        self.record_event(t.0, TaskEventKind::ExecBegin);
         self.remark();
         body.run(self);
         self.tally_user();
+        self.record_event(t.0, TaskEventKind::ExecEnd);
         self.stack_top = saved_stack;
         self.current = saved_current;
 
@@ -1109,6 +1195,7 @@ impl<'a> TaskCx<'a> {
                         self.dec_rc_amo(p);
                     } else {
                         self.port.annotate_sync(SyncNote::HscElide { task: p.0 });
+                        self.rt.tel.write().hsc_elisions += 1;
                         self.dec_rc_plain(p);
                     }
                     self.port.uli_enable();
@@ -1248,5 +1335,19 @@ pub fn run_task_parallel(
         }
     };
     let stats = *rt.counters.read();
-    TaskRun { report, stats }
+    let telemetry = rt.tel.read().clone();
+    let task_events = match &rt.task_events {
+        Some(bufs) => {
+            // Concatenate the per-worker buffers (each in its worker's
+            // deterministic program order) and stable-sort by (cycle,
+            // core): ties keep per-core order, so the merged stream is
+            // deterministic too.
+            let mut evs: Vec<TaskEvent> =
+                bufs.iter().flat_map(|b| b.read().iter().copied().collect::<Vec<_>>()).collect();
+            evs.sort_by_key(|e| (e.cycle, e.core));
+            evs
+        }
+        None => Vec::new(),
+    };
+    TaskRun { report, stats, telemetry, task_events }
 }

@@ -1,0 +1,261 @@
+//! Host-side scheduler telemetry: per-victim steal counters, ULI
+//! round-trip latency histograms, `has_stolen_child` elision counts, and
+//! (optionally) per-task lifecycle events for trace export.
+//!
+//! Everything in this module is pure host-side bookkeeping. Recording
+//! never sequences an operation, never charges a cycle, and only reads
+//! clocks the simulation already computed (`port.now()`), so telemetry is
+//! bit-for-bit invisible to simulated results — the golden-trace pins in
+//! `tests/tests/golden_trace.rs` hold it to that.
+
+/// A fixed-bucket log2 latency histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))`, with bucket 0 covering `{0, 1}` and the last bucket
+/// open-ended. The bucket layout is part of the metrics schema, so it
+/// never changes with the data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; Self::NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; Self::NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// Number of buckets. 32 covers latencies up to `2^31` cycles before
+    /// the open-ended last bucket — far beyond any simulated round trip.
+    pub const NUM_BUCKETS: usize = 32;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a value lands in.
+    fn bucket_of(v: u64) -> usize {
+        if v < 2 {
+            0
+        } else {
+            ((63 - v.leading_zeros()) as usize).min(Self::NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub fn buckets(&self) -> &[u64; Self::NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1 << i
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values; 0.0 when empty (never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Steal-attempt outcomes against one victim, summed over all thieves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VictimCounters {
+    /// Steal attempts directed at this victim (lock-and-look, or a ULI
+    /// request issued / forced to miss before any traffic).
+    pub attempts: u64,
+    /// Attempts that came back with a task.
+    pub hits: u64,
+    /// Attempts that came back empty (including NACKs, timeouts, and
+    /// fault-forced misses).
+    pub misses: u64,
+}
+
+/// Scheduler telemetry for one run, collected host-side while the
+/// simulation executes and reported through
+/// [`TaskRun::telemetry`](crate::TaskRun).
+///
+/// Under an armed fault plan, a timed-out steal whose response arrives
+/// late is counted as both a miss (at the timeout) and a hit (at the late
+/// claim), so `hits + misses` can slightly exceed `attempts`. A DTS steal
+/// abandoned because the program completed while the thief awaited its
+/// response resolves as neither (at most one per worker). Without faults,
+/// those completion-race attempts are the only imbalance.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct StealTelemetry {
+    /// Per-victim steal outcomes, indexed by victim core id.
+    pub per_victim: Vec<VictimCounters>,
+    /// ULI steal round-trip latency (request send to response receipt on
+    /// the thief), DTS only.
+    pub uli_rtt: Log2Histogram,
+    /// `has_stolen_child` elisions: joins and completions that skipped the
+    /// conservative AMO/invalidate protocol because no child was stolen
+    /// (Section IV-C of the paper).
+    pub hsc_elisions: u64,
+    /// Completed `wait()` joins.
+    pub joins: u64,
+}
+
+impl StealTelemetry {
+    /// An empty telemetry record for `workers` cores.
+    pub fn new(workers: usize) -> Self {
+        StealTelemetry {
+            per_victim: vec![VictimCounters::default(); workers],
+            ..Self::default()
+        }
+    }
+
+    /// Total steal attempts across victims.
+    pub fn total_attempts(&self) -> u64 {
+        self.per_victim.iter().map(|v| v.attempts).sum()
+    }
+
+    /// Total steal hits across victims.
+    pub fn total_hits(&self) -> u64 {
+        self.per_victim.iter().map(|v| v.hits).sum()
+    }
+
+    /// Total steal misses across victims.
+    pub fn total_misses(&self) -> u64 {
+        self.per_victim.iter().map(|v| v.misses).sum()
+    }
+}
+
+/// One task lifecycle event, recorded only when
+/// [`RuntimeConfig::record_task_events`](crate::RuntimeConfig) is set. The
+/// trace exporter turns Spawn..ExecEnd into async task-lifetime spans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaskEvent {
+    /// Simulated cycle on the recording core.
+    pub cycle: u64,
+    /// Core that recorded the event.
+    pub core: usize,
+    /// Task id the event concerns.
+    pub task: u32,
+    /// What happened.
+    pub kind: TaskEventKind,
+}
+
+/// The task lifecycle points recorded as [`TaskEvent`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskEventKind {
+    /// The task was created (`spawn`, or the root's allocation).
+    Spawn,
+    /// A worker began executing the task body.
+    ExecBegin,
+    /// The task body returned.
+    ExecEnd,
+    /// A thief claimed the task from victim `from`.
+    Stolen {
+        /// Victim core the task was taken from.
+        from: usize,
+    },
+    /// The task's `wait()` returned — all children joined.
+    Join,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_cover_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        assert_eq!(Log2Histogram::bucket_of(3), 1);
+        assert_eq!(Log2Histogram::bucket_of(4), 2);
+        assert_eq!(Log2Histogram::bucket_of(1023), 9);
+        assert_eq!(Log2Histogram::bucket_of(1024), 10);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), Log2Histogram::NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_stats_track_records() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.mean(), 0.0, "empty histogram must not be NaN");
+        h.record(4);
+        h.record(8);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.mean(), 6.0);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn histogram_merge_adds_everything() {
+        let mut a = Log2Histogram::new();
+        a.record(2);
+        let mut b = Log2Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 102);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn bucket_bounds_are_schema_stable() {
+        assert_eq!(Log2Histogram::bucket_lo(0), 0);
+        assert_eq!(Log2Histogram::bucket_lo(1), 2);
+        assert_eq!(Log2Histogram::bucket_lo(5), 32);
+    }
+
+    #[test]
+    fn telemetry_totals_sum_victims() {
+        let mut t = StealTelemetry::new(3);
+        t.per_victim[1].attempts = 5;
+        t.per_victim[1].hits = 3;
+        t.per_victim[2].attempts = 2;
+        t.per_victim[2].misses = 2;
+        assert_eq!(t.total_attempts(), 7);
+        assert_eq!(t.total_hits(), 3);
+        assert_eq!(t.total_misses(), 2);
+    }
+}

@@ -418,3 +418,72 @@ fn chase_lev_baseline_correct_and_cheaper_on_atomics() {
         "Chase-Lev must issue fewer atomics: {amos_cl} vs {amos_locked}"
     );
 }
+
+/// Steal telemetry is collected on every run (it is pure host-side
+/// bookkeeping), is consistent with the coarse runtime counters, and DTS
+/// runs populate the ULI round-trip histogram.
+#[test]
+fn steal_telemetry_matches_counters() {
+    use bigtiny_core::TaskEventKind;
+    let s = sys(1, 7, Protocol::GpuWb);
+    for kind in [RuntimeKind::Baseline, RuntimeKind::Hcc, RuntimeKind::Dts] {
+        let run = run_fib(&s, &RuntimeConfig::new(kind), 12).1;
+        let tel = &run.telemetry;
+        assert_eq!(tel.per_victim.len(), 8, "one victim slot per core");
+        assert_eq!(
+            tel.total_attempts(),
+            run.stats.steal_attempts,
+            "{kind:?}: per-victim attempts must sum to the coarse counter"
+        );
+        assert_eq!(
+            tel.total_hits(),
+            run.stats.steals,
+            "{kind:?}: per-victim hits must sum to the coarse counter"
+        );
+        // Without faults every attempt resolves at most once; the only
+        // unresolved ones are DTS steals abandoned because the program
+        // completed while the thief awaited its response (at most one per
+        // worker).
+        let resolved = tel.total_hits() + tel.total_misses();
+        assert!(resolved <= tel.total_attempts(), "{kind:?}");
+        assert!(tel.total_attempts() - resolved <= 8, "{kind:?}");
+        assert!(tel.joins > 0, "{kind:?}: fib joins many times");
+        // A worker never steals from itself.
+        for (v, c) in tel.per_victim.iter().enumerate() {
+            assert!(c.hits <= c.attempts, "victim {v}");
+        }
+        if kind == RuntimeKind::Dts {
+            assert!(tel.uli_rtt.count() > 0, "DTS steals round-trip over ULI");
+            assert!(tel.uli_rtt.mean() > 0.0);
+            assert!(tel.hsc_elisions > 0, "fib elides on never-stolen parents");
+        } else {
+            assert_eq!(tel.uli_rtt.count(), 0, "{kind:?} never uses ULI");
+        }
+        // Task events are off by default.
+        assert!(run.task_events.is_empty());
+    }
+
+    // With recording on, lifecycle events are present, balanced, and sorted.
+    let mut cfg = RuntimeConfig::new(RuntimeKind::Dts);
+    cfg.record_task_events = true;
+    let (val, run) = run_fib(&s, &cfg, 12);
+    assert_eq!(val, serial_fib(12));
+    let evs = &run.task_events;
+    assert!(!evs.is_empty());
+    let count = |k: fn(&TaskEventKind) -> bool| evs.iter().filter(|e| k(&e.kind)).count();
+    let begins = count(|k| matches!(k, TaskEventKind::ExecBegin));
+    let ends = count(|k| matches!(k, TaskEventKind::ExecEnd));
+    let spawns = count(|k| matches!(k, TaskEventKind::Spawn));
+    assert_eq!(begins, ends, "every started task finishes");
+    assert_eq!(spawns as u64, run.stats.spawns + 1, "spawn events cover children plus the root");
+    assert_eq!(
+        count(|k| matches!(k, TaskEventKind::Stolen { .. })) as u64,
+        run.stats.steals,
+        "one Stolen event per successful steal"
+    );
+    assert!(evs.windows(2).all(|w| (w[0].cycle, w[0].core) <= (w[1].cycle, w[1].core)));
+    // Recording events must not change simulated results.
+    let base = run_fib(&s, &RuntimeConfig::new(RuntimeKind::Dts), 12).1;
+    assert_eq!(base.report.completion_cycles, run.report.completion_cycles);
+    assert_eq!(base.report.seq_op_hash, run.report.seq_op_hash);
+}

@@ -107,6 +107,13 @@ impl TimeBreakdown {
         self.cycles.iter().sum()
     }
 
+    /// All `(label, cycles)` pairs in display order, including zero
+    /// categories — the stable iteration surface the metrics exporter keys
+    /// its schema on.
+    pub fn pairs(&self) -> [(&'static str, u64); 9] {
+        TIME_CATEGORIES.map(|c| (c.label(), self.get(c)))
+    }
+
     /// Folds the fine categories into the paper's Figure 7 legend:
     /// `(inst_fetch, data_load, data_store, atomic, flush, others)`.
     pub fn paper_groups(&self) -> [(&'static str, u64); 6] {
@@ -179,6 +186,34 @@ mod tests {
         let g = b.paper_groups();
         assert_eq!(g[4], ("Flush", 7));
         assert_eq!(g[5], ("Others", 10));
+    }
+
+    /// Regression pin: a zero-total breakdown must render without `NaN%`
+    /// (the percentage denominator is clamped to 1) and an all-zero
+    /// breakdown simply prints nothing rather than nine NaN rows.
+    #[test]
+    fn zero_total_display_has_no_nan() {
+        let b = TimeBreakdown::new();
+        let s = format!("{b}");
+        assert!(!s.contains("NaN"), "zero-total display produced NaN: {s:?}");
+        assert!(s.is_empty(), "all-zero breakdown prints no rows: {s:?}");
+        // A breakdown with cycles still shows sane percentages.
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::Compute, 3);
+        let s = format!("{b}");
+        assert!(s.contains("100.0%"), "{s:?}");
+        assert!(!s.contains("NaN"), "{s:?}");
+    }
+
+    #[test]
+    fn pairs_cover_all_categories_in_order() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCategory::Load, 7);
+        let p = b.pairs();
+        assert_eq!(p.len(), TIME_CATEGORIES.len());
+        assert_eq!(p[0], ("compute", 0));
+        assert_eq!(p[1], ("load", 7));
+        assert_eq!(p[8], ("idle", 0));
     }
 
     #[test]

@@ -183,6 +183,18 @@ impl FaultCounters {
     pub fn total(&self) -> u64 {
         self.uli_drops + self.uli_nacks + self.uli_delays + self.uli_rx_drops + self.steal_misses
     }
+
+    /// All `(label, count)` pairs — the stable iteration surface the
+    /// metrics exporter keys its schema on.
+    pub fn pairs(&self) -> [(&'static str, u64); 5] {
+        [
+            ("uli_drops", self.uli_drops),
+            ("uli_nacks", self.uli_nacks),
+            ("uli_delays", self.uli_delays),
+            ("uli_rx_drops", self.uli_rx_drops),
+            ("steal_misses", self.steal_misses),
+        ]
+    }
 }
 
 impl std::ops::AddAssign for FaultCounters {

@@ -68,7 +68,7 @@ pub use port::{CorePort, UliHandler};
 pub use sequencer::Sequencer;
 pub use space::{AddrSpace, ShScalar, ShVec};
 pub use system::{run_system, RunReport, UliReport, Worker};
-pub use trace::{render_timeline, TraceEvent};
+pub use trace::{render_timeline, TraceEvent, UliMark, UliMarkKind};
 pub use watchdog::{
     CoreDiag, DiagnosticBundle, PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG,
 };

@@ -27,6 +27,7 @@ use crate::config::CoreKind;
 use crate::event::{MemEvent, MemOp, RacyTag, SyncNote};
 use crate::fault::{FaultCounters, FaultPlan, FaultState, UliSendFault};
 use crate::system::{GlobalState, Shared};
+use crate::trace::{UliMark, UliMarkKind};
 
 /// A ULI handler installed by the runtime: invoked with the port and the
 /// incoming request message (the thief's core id is `msg.from`).
@@ -66,6 +67,11 @@ pub struct CorePort {
     pending_compute: u64,
     breakdown: TimeBreakdown,
     trace: Option<Vec<crate::trace::TraceEvent>>,
+    /// ULI protocol marks for the trace exporter's flow arrows, buffered
+    /// only while tracing is enabled (same zero-overhead discipline as
+    /// `trace`: disabled recording is one never-taken branch, and marks are
+    /// stamped with cycles the simulation already computed).
+    uli_marks: Option<Vec<UliMark>>,
     /// Checker event stream, buffered per core when a
     /// [`CheckMode`](crate::CheckMode) is armed. `None` (the default) makes
     /// every emission a single never-taken branch, so unarmed timing and
@@ -115,6 +121,7 @@ impl CorePort {
             pending_compute: 0,
             breakdown: TimeBreakdown::new(),
             trace: None,
+            uli_marks: None,
             events: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
             faults: FaultState::new(faults, core),
@@ -220,6 +227,7 @@ impl CorePort {
         // vector to the user-level handler.
         self.breakdown.add(TimeCategory::Uli, self.uli_cost);
         self.clock += self.uli_cost;
+        self.mark_uli(self.clock, UliMarkKind::ReqRecv { from: msg.from });
         self.emit(MemOp::Sync(SyncNote::HandlerEnter { from: msg.from }));
         let mut h = self.handler.take().expect("handler present when dispatching");
         self.in_handler = true;
@@ -279,6 +287,17 @@ impl CorePort {
     /// system configuration requests traces).
     pub(crate) fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
+        self.uli_marks = Some(Vec::new());
+    }
+
+    /// Records one ULI protocol mark at `cycle` (a grant or dispatch time
+    /// the simulation already computed). Never sequences and never charges:
+    /// with tracing disabled this is one never-taken branch.
+    #[inline]
+    fn mark_uli(&mut self, cycle: u64, kind: UliMarkKind) {
+        if let Some(m) = self.uli_marks.as_mut() {
+            m.push(UliMark { cycle, kind });
+        }
     }
 
     /// Enables checker event collection on this port (set by the engine
@@ -605,13 +624,23 @@ impl CorePort {
     /// (the caller still observes [`UliOutcome::Sent`] — only a response
     /// timeout reveals the loss), force-NACKed, or delivered late.
     pub fn uli_send_request(&mut self, victim: usize, payload: u64) -> UliOutcome {
+        // Grant time of the send, captured before `seq_with` folds pending
+        // compute and possibly dispatches an incoming ULI (which would move
+        // the clock past the send itself).
+        let send_cycle = self.now();
         let out = match self.faults.on_uli_send() {
-            UliSendFault::None => self.seq_with(
-                move |st, now, core| st.uli.try_send_request(core, victim, payload, now),
-                |out| {
-                    (*out == UliOutcome::Sent).then_some(MemOp::Sync(SyncNote::UliReqSend { to: victim }))
-                },
-            ),
+            UliSendFault::None => {
+                let out = self.seq_with(
+                    move |st, now, core| st.uli.try_send_request(core, victim, payload, now),
+                    |out| {
+                        (*out == UliOutcome::Sent).then_some(MemOp::Sync(SyncNote::UliReqSend { to: victim }))
+                    },
+                );
+                if out == UliOutcome::Sent {
+                    self.mark_uli(send_cycle, UliMarkKind::ReqSend { to: victim });
+                }
+                out
+            }
             UliSendFault::Drop => self.seq(move |st, _, core| {
                 st.uli.drop_request(core, victim);
                 UliOutcome::Sent
@@ -638,22 +667,28 @@ impl CorePort {
 
     /// Sends a ULI response back to `thief` (from inside a handler).
     pub fn uli_send_response(&mut self, thief: usize, payload: u64) {
+        let send_cycle = self.now();
         self.seq_with(
             move |st, now, core| st.uli.send_response(core, thief, payload, now),
             |_| Some(MemOp::Sync(SyncNote::UliRespSend { to: thief })),
         );
+        self.mark_uli(send_cycle, UliMarkKind::RespSend { to: thief });
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
     }
 
     /// Collects a ULI response if one has arrived.
     pub fn uli_poll_response(&mut self) -> Option<UliMessage> {
+        let poll_cycle = self.now();
         let msg = self.seq_with(
             |st, now, core| st.uli.take_response(core, now),
             |m: &Option<UliMessage>| {
                 m.as_ref().map(|m| MemOp::Sync(SyncNote::UliRespRecv { from: m.from }))
             },
         );
+        if let Some(m) = &msg {
+            self.mark_uli(poll_cycle, UliMarkKind::RespRecv { from: m.from });
+        }
         self.charge(TimeCategory::UliWait, 1);
         self.instructions += 1;
         msg
@@ -737,6 +772,7 @@ impl CorePort {
             breakdown: self.breakdown,
             instructions: self.instructions,
             trace: self.trace.unwrap_or_default(),
+            uli_marks: self.uli_marks.unwrap_or_default(),
             faults: self.faults.counters,
             events: self.events.unwrap_or_default(),
         }
@@ -750,6 +786,7 @@ pub(crate) struct PortReport {
     pub breakdown: TimeBreakdown,
     pub instructions: u64,
     pub trace: Vec<crate::trace::TraceEvent>,
+    pub uli_marks: Vec<UliMark>,
     pub faults: FaultCounters,
     pub events: Vec<MemEvent>,
 }

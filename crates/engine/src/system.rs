@@ -281,6 +281,9 @@ pub struct RunReport {
     pub stale_reads: u64,
     /// Per-core execution traces (empty unless `SystemConfig::trace`).
     pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+    /// Per-core ULI protocol marks for the trace exporter's flow arrows
+    /// (empty unless `SystemConfig::trace`).
+    pub uli_marks: Vec<Vec<crate::trace::UliMark>>,
     /// Faults injected over the run, summed across cores (all zero with
     /// [`FaultPlan::none()`](crate::FaultPlan::none)).
     pub fault_counters: FaultCounters,
@@ -421,6 +424,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut breakdowns = Vec::with_capacity(num_cores);
     let mut instructions = Vec::with_capacity(num_cores);
     let mut traces = Vec::with_capacity(num_cores);
+    let mut uli_marks = Vec::with_capacity(num_cores);
     let mut fault_counters = FaultCounters::default();
     let mut mem_events: Vec<MemEvent> = Vec::new();
     for r in reports {
@@ -429,6 +433,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         breakdowns.push(r.breakdown);
         instructions.push(r.instructions);
         traces.push(r.trace);
+        uli_marks.push(r.uli_marks);
         fault_counters += r.faults;
         mem_events.extend(r.events);
     }
@@ -465,6 +470,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         uli,
         stale_reads: st.mem.total_stale_reads(),
         traces,
+        uli_marks,
         fault_counters,
         mesh_fault_spikes: st.mem.mesh_fault_spikes(),
         seq_grants: shared.seq.total_grants(),

@@ -549,6 +549,17 @@ mod tests {
         assert!(u.mean_latency() > 0.0);
     }
 
+    /// Regression pin: a quiet ULI network (idle runtimes, baseline setups)
+    /// must report finite means, never NaN from 0/0.
+    #[test]
+    fn uli_zero_message_means_are_finite() {
+        let u = UliNetwork::new(Topology::new(8, 8), 64);
+        assert_eq!(u.message_count(), 0);
+        assert_eq!(u.mean_latency(), 0.0);
+        assert_eq!(u.mean_hops(), 0.0);
+        assert!(u.mean_latency().is_finite() && u.mean_hops().is_finite());
+    }
+
     #[test]
     #[should_panic(expected = "cannot send a ULI to itself")]
     fn uli_self_send_panics() {

@@ -148,6 +148,13 @@ impl TrafficStats {
         self.hop_cycles
     }
 
+    /// All `(label, bytes, messages)` triples in display order, including
+    /// zero classes — the stable iteration surface the metrics exporter
+    /// keys its schema on.
+    pub fn by_class(&self) -> [(&'static str, u64, u64); 10] {
+        TRAFFIC_CLASSES.map(|c| (c.label(), self.bytes(c), self.messages(c)))
+    }
+
     /// Link utilization of the network given total `cycles` elapsed and
     /// `links` unidirectional links, in `[0, 1]` (may exceed 1 when the
     /// latency-only model over-commits; callers report it as-is).
@@ -242,5 +249,16 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(TrafficClass::CpuReq.label(), "cpu_req");
         assert_eq!(TrafficClass::DramResp.to_string(), "dram_resp");
+    }
+
+    #[test]
+    fn by_class_is_schema_stable() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::WbReq, 72, 3);
+        let rows = s.by_class();
+        assert_eq!(rows.len(), TRAFFIC_CLASSES.len());
+        assert_eq!(rows[0], ("cpu_req", 0, 0), "zero classes still listed");
+        assert_eq!(rows[1], ("wb_req", 72, 1));
+        assert_eq!(rows[9].0, "uli");
     }
 }

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Unified observability for the big.TINY reproduction.
+//!
+//! Three pieces, all host-side and bit-for-bit invisible to simulated
+//! cycles (the golden-trace pins in `tests/tests/golden_trace.rs` hold the
+//! whole stack to that):
+//!
+//! * [`metrics_document`] — one schema-stable JSON document per harness
+//!   invocation gathering time breakdowns, coherence counters, mesh
+//!   traffic, ULI/fault/watchdog counters, and the scheduler's steal
+//!   telemetry for every `(app, setup)` run (`eval_all --metrics-out`).
+//! * [`export_chrome_trace`] / [`validate_chrome_trace`] — Chrome
+//!   trace-event export of core spans, task lifetimes, and ULI flow
+//!   arrows, loadable in `ui.perfetto.dev` (`eval_all --trace-out`), with
+//!   a structural validator CI gates on.
+//! * [`Json`] / [`parse_json`] — the dependency-free nested JSON value,
+//!   strict parser, and deterministic serializer underneath both.
+
+mod json;
+mod metrics;
+mod perfetto;
+#[cfg(test)]
+mod testutil;
+
+pub use json::{parse_json, Json};
+pub use metrics::{metrics_document, RunMetrics, METRICS_SCHEMA};
+pub use perfetto::{
+    export_chrome_trace, validate_chrome_trace, TraceRun, TraceSummary, TRACE_SCHEMA,
+};

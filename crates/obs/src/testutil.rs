@@ -1,0 +1,45 @@
+//! Shared test fixture: a small fib run on a 1-big + 7-tiny GPU-WB system.
+
+use std::sync::Arc;
+
+use bigtiny_core::{parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx, TaskRun};
+use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
+use bigtiny_mesh::{MeshConfig, Topology};
+
+fn fib(cx: &mut TaskCx<'_>, out: Arc<ShVec<u64>>, slot: usize, n: u64) {
+    cx.port().advance(6);
+    if n < 2 {
+        out.write(cx.port(), slot, n);
+        return;
+    }
+    let (a, b) = (Arc::clone(&out), Arc::clone(&out));
+    let (sa, sb) = (2 * slot + 1, 2 * slot + 2);
+    parallel_invoke(cx, move |cx| fib(cx, a, sa, n - 1), move |cx| fib(cx, b, sb, n - 2));
+    let x = out.read(cx.port(), sa);
+    let y = out.read(cx.port(), sb);
+    out.write(cx.port(), slot, x + y);
+}
+
+/// Runs fib(`n`) under `kind` on a 2×4-mesh 1-big/7-tiny GPU-WB machine,
+/// with optional tracing and task-event recording.
+pub fn small_run_n(kind: RuntimeKind, n: u64, trace: bool, record_events: bool) -> TaskRun {
+    let mut sys = SystemConfig::big_tiny(
+        "obs-test",
+        MeshConfig::with_topology(Topology::new(2, 4)),
+        1,
+        7,
+        Protocol::GpuWb,
+    );
+    sys.trace = trace;
+    let mut rt = RuntimeConfig::new(kind);
+    rt.record_task_events = record_events;
+    let mut space = AddrSpace::new();
+    let out = Arc::new(ShVec::new(&mut space, 1 << (n + 1), 0u64));
+    let o = Arc::clone(&out);
+    run_task_parallel(&sys, &rt, &mut space, move |cx| fib(cx, o, 0, n))
+}
+
+/// [`small_run_n`] at fib(10) without tracing.
+pub fn small_run(kind: RuntimeKind) -> TaskRun {
+    small_run_n(kind, 10, false, false)
+}

@@ -140,6 +140,48 @@ fn armed_checker_changes_no_golden_pin() {
     );
 }
 
+/// Arming the full observability stack — per-core tracing, ULI protocol
+/// marks, and task-event recording — must likewise be bit-for-bit
+/// invisible: telemetry only ever reads the simulated clock and writes
+/// host-side buffers. An armed run replays the exact golden cycles and
+/// grant hashes while actually collecting a non-empty trace, ULI marks,
+/// and task events.
+#[test]
+fn armed_observability_changes_no_golden_pin() {
+    let mut failures = Vec::new();
+    for &(app_name, setup_label, want_cycles, want_hash) in
+        GOLDEN.iter().filter(|g| g.0 == "cilk5-nq" || g.0 == "ligra-bfs")
+    {
+        let app = app_by_name(app_name).unwrap();
+        let mut setup = setup_by_label(setup_label);
+        setup.sys.trace = true;
+        setup.rt.record_task_events = true;
+        let r = run_app(&setup, &app, AppSize::Test, 0);
+        if r.cycles != want_cycles || r.run.report.seq_op_hash != want_hash {
+            failures.push(format!(
+                "{app_name} on {setup_label} armed: cycles {} (want {want_cycles}), \
+                 op hash {:#018x} (want {want_hash:#018x})",
+                r.cycles, r.run.report.seq_op_hash
+            ));
+        }
+        let spans: usize = r.run.report.traces.iter().map(Vec::len).sum();
+        assert!(spans > 0, "{app_name} on {setup_label}: armed run captured no trace spans");
+        assert!(
+            !r.run.task_events.is_empty(),
+            "{app_name} on {setup_label}: armed run recorded no task events"
+        );
+        if setup_label != "b.T/MESI" {
+            let marks: usize = r.run.report.uli_marks.iter().map(Vec::len).sum();
+            assert!(marks > 0, "{app_name} on {setup_label}: DTS run recorded no ULI marks");
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "arming observability perturbed simulated results:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
 #[test]
 fn op_hash_is_run_to_run_stable() {
     let app = app_by_name("cilk5-nq").unwrap();
