@@ -135,9 +135,12 @@ fn main() {
     if opts.trace_out.is_some() {
         for s in &mut setups {
             s.sys.trace = true;
+            s.sys.attr = true;
             s.rt.record_task_events = true;
         }
-        println!("[obs] per-core tracing + task-event recording armed (--trace-out)");
+        println!(
+            "[obs] per-core tracing + task events + cycle attribution armed (--trace-out)"
+        );
     }
     let results = run_matrix(&setups, &apps, size);
 

@@ -10,7 +10,7 @@
 //!   a bare `NaN`) fails loudly instead of corrupting downstream analysis.
 
 use bigtiny_bench::parse_json_line;
-use bigtiny_obs::{parse_json, Json};
+use bigtiny_obs::{parse_json, Json, METRICS_SCHEMAS_ACCEPTED};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -38,6 +38,18 @@ fn main() {
                 std::process::exit(1);
             }
             let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("(none)");
+            // Metrics documents must carry a schema version readers
+            // understand; anything else under the metrics prefix is a
+            // silent-drift hazard.
+            if schema.starts_with("bigtiny-obs-metrics-")
+                && !METRICS_SCHEMAS_ACCEPTED.contains(&schema)
+            {
+                eprintln!(
+                    "json_check: {path}: unknown metrics schema `{schema}` (accepted: {})",
+                    METRICS_SCHEMAS_ACCEPTED.join(", ")
+                );
+                std::process::exit(1);
+            }
             println!("{path}: valid document, schema {schema}, {n} runs");
         } else {
             println!("{path}: valid JSON document");

@@ -1,0 +1,159 @@
+//! Compares two bigtiny-obs metrics documents and flags regressions.
+//!
+//! Reads a baseline and a new document (schema v1 or v2 — the diff only
+//! touches keys both versions carry), matches runs by `(app, setup)`, and
+//! prints per-run deltas for completion cycles and steal traffic. Exits
+//! nonzero when any common run's cycle count moved by more than
+//! `--threshold` percent, so CI can gate on a committed baseline.
+//!
+//! Runs present on only one side are reported but never fail the check —
+//! growing the kernel matrix must not require regenerating history.
+
+use bigtiny_bench::render_table;
+use bigtiny_obs::{parse_json, Json, METRICS_SCHEMAS_ACCEPTED};
+
+const USAGE: &str = "usage: metrics_diff BASELINE.json NEW.json [--threshold PCT]
+  --threshold PCT  maximum |cycle delta| per run, in percent (default 0:
+                   any cycle movement fails — the simulator is deterministic)";
+
+struct Run {
+    app: String,
+    setup: String,
+    cycles: f64,
+    steal_attempts: f64,
+    steal_hits: f64,
+}
+
+fn load(path: &str) -> Vec<Run> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("metrics_diff: {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = parse_json(text.trim_end()).unwrap_or_else(|e| {
+        eprintln!("metrics_diff: {path}: invalid JSON: {e}");
+        std::process::exit(2);
+    });
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("(none)");
+    if !METRICS_SCHEMAS_ACCEPTED.contains(&schema) {
+        eprintln!(
+            "metrics_diff: {path}: unsupported schema `{schema}` (accepted: {})",
+            METRICS_SCHEMAS_ACCEPTED.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let runs = doc.get("runs").and_then(Json::as_arr).unwrap_or_else(|| {
+        eprintln!("metrics_diff: {path}: document has no `runs` array");
+        std::process::exit(2);
+    });
+    let num = |r: &Json, path: &[&str]| -> f64 {
+        let mut cur = r.clone();
+        for k in path {
+            match cur.get(k) {
+                Some(v) => cur = v.clone(),
+                None => return 0.0,
+            }
+        }
+        cur.as_num().unwrap_or(0.0)
+    };
+    runs.iter()
+        .map(|r| Run {
+            app: r.get("app").and_then(Json::as_str).unwrap_or("?").to_owned(),
+            setup: r.get("setup").and_then(Json::as_str).unwrap_or("?").to_owned(),
+            cycles: num(r, &["cycles"]),
+            steal_attempts: num(r, &["steals", "attempts"]),
+            steal_hits: num(r, &["steals", "hits"]),
+        })
+        .collect()
+}
+
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--threshold needs a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                threshold = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold: `{v}` is not a number\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [base_path, new_path] = positional.as_slice() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let base = load(base_path);
+    let new = load(new_path);
+
+    let pct = |old: f64, new: f64| -> f64 {
+        if old == 0.0 {
+            if new == 0.0 { 0.0 } else { f64::INFINITY }
+        } else {
+            100.0 * (new - old) / old
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    let mut common = 0usize;
+    for b in &base {
+        let Some(n) = new.iter().find(|n| n.app == b.app && n.setup == b.setup) else {
+            println!("[metrics_diff] only in baseline: {} @ {}", b.app, b.setup);
+            continue;
+        };
+        common += 1;
+        let dc = pct(b.cycles, n.cycles);
+        worst = worst.max(dc.abs());
+        rows.push(vec![
+            b.app.clone(),
+            b.setup.clone(),
+            format!("{}", b.cycles),
+            format!("{}", n.cycles),
+            format!("{dc:+.3}%"),
+            format!("{:+.0}", n.steal_attempts - b.steal_attempts),
+            format!("{:+.0}", n.steal_hits - b.steal_hits),
+        ]);
+    }
+    for n in &new {
+        if !base.iter().any(|b| b.app == n.app && b.setup == n.setup) {
+            println!("[metrics_diff] only in new: {} @ {}", n.app, n.setup);
+        }
+    }
+
+    let header: Vec<String> =
+        ["App", "Config", "cycles(base)", "cycles(new)", "delta", "d-attempts", "d-hits"]
+            .map(String::from)
+            .to_vec();
+    println!("{}", render_table(&header, &rows));
+
+    if common == 0 {
+        eprintln!("[metrics_diff] FAIL: no common (app, setup) runs between the two documents");
+        std::process::exit(1);
+    }
+    if worst > threshold {
+        eprintln!(
+            "[metrics_diff] FAIL: worst cycle delta {worst:.3}% exceeds threshold {threshold}%"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[metrics_diff] OK: {common} runs compared, worst cycle delta {worst:.3}% \
+         (threshold {threshold}%)"
+    );
+}

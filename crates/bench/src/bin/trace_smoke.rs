@@ -54,6 +54,7 @@ fn main() {
     let plain_setup = Setup::bt_hcc(Protocol::GpuWb, true);
     let mut armed_setup = plain_setup.clone();
     armed_setup.sys.trace = true;
+    armed_setup.sys.attr = true;
     armed_setup.rt.record_task_events = true;
 
     let plain = run_app(&plain_setup, &app, AppSize::Test, 0);
@@ -107,12 +108,24 @@ fn main() {
     let back = parse_json(&metrics_text).expect("metrics survive the strict parser");
     assert_eq!(back.get("schema").and_then(|s| s.as_str()), Some(METRICS_SCHEMA));
     let run0 = &back.get("runs").and_then(|r| r.as_arr()).expect("runs array")[0];
-    for section in ["breakdown", "coherence", "mesh", "uli", "faults", "watchdog", "steals"] {
+    let sections =
+        ["breakdown", "coherence", "mesh", "uli", "faults", "watchdog", "steals", "critpath"];
+    for section in sections {
         assert!(run0.get(section).is_some(), "metrics document missing section {section}");
     }
     assert!(
         run0.get("steals").unwrap().get("attempts").unwrap().as_num().unwrap() > 0.0,
         "DTS run recorded no steal attempts"
+    );
+    // With attribution armed the critical-path profile must be live: the
+    // conservation table holds and the burdened span is positive.
+    let cp = run0.get("critpath").expect("critpath section");
+    assert_eq!(cp.get("profiled").map(|p| p.to_json()), Some("true".into()), "run not profiled");
+    assert!(cp.get("span").unwrap().as_num().unwrap() > 0.0, "profiled run has a zero span");
+    assert_eq!(
+        cp.get("conservation").unwrap().get("holds").map(|h| h.to_json()),
+        Some("true".into()),
+        "cycle-conservation invariant violated"
     );
     println!("[trace_smoke] metrics valid: schema {METRICS_SCHEMA}, all sections present");
 

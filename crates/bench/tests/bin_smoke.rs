@@ -209,6 +209,81 @@ fn trace_smoke_passes_and_writes_artifacts() {
 }
 
 #[test]
+fn profile_run_reports_and_writes_valid_v2_metrics() {
+    let metrics = scratch("profile-metrics.json");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_profile_run"),
+        &[("BIGTINY_SIZE", "test")],
+        &["--app", "cilk5-nq", "--dts-only", "--out", metrics.to_str().unwrap()],
+    );
+    assert!(out.contains("[profile_run] OK"), "missing OK marker:\n{out}");
+    assert_renders_table(&out, "profile_run", "Critical-path profile");
+    assert!(out.contains("Cycle conservation"), "missing conservation table:\n{out}");
+    assert!(out.contains("Burden on the critical path"), "missing burden section:\n{out}");
+
+    let doc = parse_json(std::fs::read_to_string(&metrics).unwrap().trim_end())
+        .expect("profile_run metrics parse strictly");
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(METRICS_SCHEMA));
+    for r in doc.get("runs").and_then(|r| r.as_arr()).expect("runs array") {
+        let cp = r.get("critpath").expect("critpath section");
+        assert_eq!(cp.get("profiled").map(|p| p.to_json()), Some("true".into()));
+        assert!(cp.get("span").unwrap().as_num().unwrap() > 0.0, "zero span");
+    }
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn metrics_diff_passes_identical_documents_and_gates_regressions() {
+    let base = scratch("diff-base.json");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_eval_all"),
+        TINY,
+        &["--metrics-out", base.to_str().unwrap()],
+    );
+    assert!(out.contains("Figure 5"), "eval_all produced no output:\n{out}");
+
+    // Identical documents diff clean at the strict default threshold.
+    let same = run_bin(
+        env!("CARGO_BIN_EXE_metrics_diff"),
+        &[],
+        &[base.to_str().unwrap(), base.to_str().unwrap()],
+    );
+    assert!(same.contains("[metrics_diff] OK"), "identical docs failed diff:\n{same}");
+    assert!(same.contains("0.000%"), "identical docs show a nonzero delta:\n{same}");
+
+    // A doctored cycle count must fail the gate (serializer is compact:
+    // `"cycles":N`), and pass again once the threshold allows it.
+    let text = std::fs::read_to_string(&base).unwrap();
+    let (prefix, rest) = text.split_once("\"cycles\":").expect("cycles key present");
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let old: u64 = digits.parse().expect("cycles is an integer");
+    let doctored_path = scratch("diff-doctored.json");
+    let doctored =
+        format!("{prefix}\"cycles\":{}{}", old * 2, rest.strip_prefix(&digits).unwrap());
+    std::fs::write(&doctored_path, doctored).unwrap();
+
+    let gate = Command::new(env!("CARGO_BIN_EXE_metrics_diff"))
+        .args([base.to_str().unwrap(), doctored_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!gate.status.success(), "metrics_diff missed a 100% cycle regression");
+    assert!(
+        String::from_utf8_lossy(&gate.stderr).contains("exceeds threshold"),
+        "wrong failure mode: {}",
+        String::from_utf8_lossy(&gate.stderr)
+    );
+    let lax = run_bin(
+        env!("CARGO_BIN_EXE_metrics_diff"),
+        &[],
+        &[base.to_str().unwrap(), doctored_path.to_str().unwrap(), "--threshold", "150"],
+    );
+    assert!(lax.contains("[metrics_diff] OK"), "generous threshold still failed:\n{lax}");
+
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&doctored_path);
+}
+
+#[test]
 fn json_check_accepts_nested_documents_and_rejects_garbage() {
     let good = scratch("check-good.json");
     std::fs::write(&good, "{\"schema\":\"x\",\"runs\":[{\"app\":\"a\"}]}\n").unwrap();
@@ -224,4 +299,24 @@ fn json_check_accepts_nested_documents_and_rejects_garbage() {
         .unwrap();
     assert!(!status.status.success(), "json_check accepted a malformed document");
     let _ = std::fs::remove_file(&bad);
+
+    // A metrics document claiming a schema version no reader understands
+    // must be rejected, not silently passed through to CI artifacts.
+    let drift = scratch("check-drift.json");
+    std::fs::write(
+        &drift,
+        "{\"schema\":\"bigtiny-obs-metrics-v9\",\"runs\":[{\"app\":\"a\"}]}\n",
+    )
+    .unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_json_check"))
+        .arg(drift.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!status.status.success(), "json_check accepted an unknown metrics schema");
+    assert!(
+        String::from_utf8_lossy(&status.stderr).contains("unknown metrics schema"),
+        "wrong failure mode: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let _ = std::fs::remove_file(&drift);
 }

@@ -514,8 +514,13 @@ impl<'a> TaskCx<'a> {
     // charges — see `crate::telemetry`)
     // ------------------------------------------------------------------
 
-    /// Records one task lifecycle event when event recording is on.
+    /// Records one task lifecycle event when event recording is on. Also
+    /// closes/reopens the port's open attribution span (a no-op unless
+    /// attribution is armed) so every recorded event cycle is a span
+    /// boundary — the critical-path replay can then walk spans and events
+    /// in lockstep without ever splitting a span.
     fn record_event(&mut self, task: u32, kind: TaskEventKind) {
+        self.port.attr_mark();
         if let Some(bufs) = &self.rt.task_events {
             let cycle = self.port.now();
             bufs[self.wid].write().push(TaskEvent { cycle, core: self.wid, task, kind });
@@ -568,7 +573,7 @@ impl<'a> TaskCx<'a> {
         // Constructing the task object: descriptor + parent pointer stores.
         self.port.store_words(addr.offset(field::DESC), 2, || ());
         self.port.store_words(addr.offset(field::PARENT), 1, || ());
-        self.record_event(id.0, TaskEventKind::Spawn);
+        self.record_event(id.0, TaskEventKind::Spawn { parent: parent.map(|p| p.0) });
         id
     }
 
@@ -1131,6 +1136,9 @@ impl<'a> TaskCx<'a> {
         // Task execution is real forward progress: let the liveness
         // watchdog know (free when no watchdog is armed).
         self.port.mark_progress();
+        // Attribute everything from dispatch to the post-body profile fold
+        // to this task (save/restore nests across inlined child execution).
+        let saved_attr = self.port.attr_switch(Some(t.0));
         // Dispatch: read the task descriptor and call through it.
         let desc = self.rt.tasks.read()[t.0 as usize].desc_addr();
         self.port.load_words(desc, 2, || ());
@@ -1149,6 +1157,7 @@ impl<'a> TaskCx<'a> {
         self.record_event(t.0, TaskEventKind::ExecEnd);
         self.stack_top = saved_stack;
         self.current = saved_current;
+        self.port.attr_switch(saved_attr);
 
         // Fold this task's completed span into its parent's candidate path,
         // and count its serial work.
@@ -1256,6 +1265,13 @@ pub fn run_task_parallel(
     {
         let rt = Arc::clone(&rt);
         workers.push(Box::new(move |port: &mut CorePort| {
+            // Attribute core 0's whole timeline — first cycle through
+            // `set_done` — to the root task (id 0). With nothing charged
+            // after `set_done`, core 0's final clock equals the completion
+            // time exactly, which is what makes the profiler's measured-Tp
+            // bounds (`ceil(T1/P) <= Tp <= T1`) exact rather than
+            // approximate. No-op unless `sys.attr` is armed.
+            port.attr_switch(Some(0));
             if dts {
                 let h = Arc::clone(&rt);
                 port.set_uli_handler(Box::new(move |p, msg| {

@@ -91,6 +91,53 @@ impl Log2Histogram {
         }
     }
 
+    /// Estimates the `p`-th percentile (`p` in `[0, 100]`) by rank-walking
+    /// the buckets and interpolating linearly inside the target bucket
+    /// (between its lower bound and its upper bound, clamped to the
+    /// recorded maximum). Resolution is therefore the bucket width — exact
+    /// for the bucket, approximate within it. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = Self::bucket_lo(i);
+                let hi = if i + 1 < Self::NUM_BUCKETS {
+                    Self::bucket_lo(i + 1) - 1
+                } else {
+                    self.max
+                };
+                let hi = hi.min(self.max).max(lo);
+                let frac = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Log2Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate (see [`Log2Histogram::percentile`]).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate (see [`Log2Histogram::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -184,7 +231,10 @@ pub struct TaskEvent {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TaskEventKind {
     /// The task was created (`spawn`, or the root's allocation).
-    Spawn,
+    Spawn {
+        /// Task id of the spawning task, `None` only for the root.
+        parent: Option<u32>,
+    },
     /// A worker began executing the task body.
     ExecBegin,
     /// The task body returned.
@@ -245,6 +295,48 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_lo(0), 0);
         assert_eq!(Log2Histogram::bucket_lo(1), 2);
         assert_eq!(Log2Histogram::bucket_lo(5), 32);
+    }
+
+    #[test]
+    fn percentiles_empty_and_single() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        // A single value is exact at every percentile: the interpolation
+        // upper bound clamps to the recorded max.
+        let mut h = Log2Histogram::new();
+        h.record(100);
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.p90(), 100);
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max(), "{p50} {p90} {p99}");
+        // Bucket-resolution accuracy: the true percentiles are 500/900/990,
+        // so the estimates must land in the same power-of-two bucket.
+        assert_eq!(Log2Histogram::bucket_of(p50), Log2Histogram::bucket_of(500));
+        assert_eq!(Log2Histogram::bucket_of(p90), Log2Histogram::bucket_of(900));
+        assert_eq!(Log2Histogram::bucket_of(p99), Log2Histogram::bucket_of(990));
+    }
+
+    #[test]
+    fn percentiles_pick_heavy_tail() {
+        // 99 fast values and one slow outlier: p50 stays in the fast
+        // bucket, p99 crosses into the outlier's reach.
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(100_000);
+        assert!(h.p50() < 16, "{}", h.p50());
+        assert!(h.percentile(100.0) == 100_000, "{}", h.percentile(100.0));
     }
 
     #[test]

@@ -473,7 +473,7 @@ fn steal_telemetry_matches_counters() {
     let count = |k: fn(&TaskEventKind) -> bool| evs.iter().filter(|e| k(&e.kind)).count();
     let begins = count(|k| matches!(k, TaskEventKind::ExecBegin));
     let ends = count(|k| matches!(k, TaskEventKind::ExecEnd));
-    let spawns = count(|k| matches!(k, TaskEventKind::Spawn));
+    let spawns = count(|k| matches!(k, TaskEventKind::Spawn { .. }));
     assert_eq!(begins, ends, "every started task finishes");
     assert_eq!(spawns as u64, run.stats.spawns + 1, "spawn events cover children plus the root");
     assert_eq!(

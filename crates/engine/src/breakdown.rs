@@ -114,6 +114,21 @@ impl TimeBreakdown {
         TIME_CATEGORIES.map(|c| (c.label(), self.get(c)))
     }
 
+    /// Category-wise difference `self - earlier`, for turning two
+    /// monotonically growing snapshots of the same core's breakdown into
+    /// the breakdown of the interval between them.
+    pub fn diff(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = TimeBreakdown::new();
+        for i in 0..self.cycles.len() {
+            debug_assert!(
+                self.cycles[i] >= earlier.cycles[i],
+                "breakdown snapshots taken out of order"
+            );
+            out.cycles[i] = self.cycles[i] - earlier.cycles[i];
+        }
+        out
+    }
+
     /// Folds the fine categories into the paper's Figure 7 legend:
     /// `(inst_fetch, data_load, data_store, atomic, flush, others)`.
     pub fn paper_groups(&self) -> [(&'static str, u64); 6] {

@@ -81,6 +81,11 @@ pub struct SystemConfig {
     pub track_staleness: bool,
     /// Record per-core execution traces (see [`crate::render_timeline`]).
     pub trace: bool,
+    /// Record per-task attribution spans (see [`crate::AttrSpan`]): which
+    /// task each core's cycles belong to, with a full [`TimeBreakdown`]
+    /// per span. Off by default; recording only reads already-computed
+    /// clocks and is bit-for-bit invisible to simulated timing.
+    pub attr: bool,
     /// Fault-injection plan. Defaults to [`FaultPlan::none()`], which is
     /// zero-cost: no fault code runs and timing is bit-for-bit unchanged.
     pub faults: FaultPlan,
@@ -115,6 +120,7 @@ impl SystemConfig {
             seed: 0x5eed,
             track_staleness: true,
             trace: false,
+            attr: false,
             faults: FaultPlan::none(),
             watchdog_budget: None,
             watchdog_wall_ms: 5_000,
@@ -229,6 +235,12 @@ impl SystemConfig {
     /// Returns a copy with the DRF conformance checker armed at `check`.
     pub fn with_check(mut self, check: CheckMode) -> Self {
         self.check = check;
+        self
+    }
+
+    /// Returns a copy with per-task attribution-span recording armed.
+    pub fn with_attr(mut self) -> Self {
+        self.attr = true;
         self
     }
 }

@@ -64,7 +64,7 @@ pub use config::{CoreConfig, CoreKind, ExecBackend, SystemConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{CheckMode, MemEvent, MemOp, RacyTag, SyncNote};
 pub use fault::{FaultCounters, FaultPlan};
-pub use port::{CorePort, UliHandler};
+pub use port::{AttrSpan, CorePort, UliHandler};
 pub use sequencer::Sequencer;
 pub use space::{AddrSpace, ShScalar, ShVec};
 pub use system::{run_system, RunReport, UliReport, Worker};

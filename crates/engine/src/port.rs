@@ -45,6 +45,35 @@ const STORE_BUFFER_ENTRIES: usize = 8;
 /// exists as that safety valve.
 const MAX_PENDING_COMPUTE: u64 = 4096;
 
+/// One contiguous stretch of a core's timeline attributed to a single task
+/// (or to no task — scheduler time between tasks: steal loops, idling,
+/// runtime bookkeeping). Recorded when [`crate::SystemConfig::attr`] is
+/// armed; the spans of one core tile its timeline without gaps or overlap,
+/// and each span carries the [`TimeBreakdown`] of exactly its interval, so
+/// summing span breakdowns reproduces the core's report breakdown.
+#[derive(Clone, Debug)]
+pub struct AttrSpan {
+    /// The task this interval's cycles belong to, or `None` for scheduler
+    /// time outside any task body.
+    pub task: Option<u32>,
+    /// First cycle of the interval (inclusive).
+    pub start: u64,
+    /// One past the last cycle of the interval (`end - start` cycles).
+    pub end: u64,
+    /// Where the interval's cycles went; totals exactly `end - start`.
+    pub breakdown: TimeBreakdown,
+}
+
+/// Recorder state for attribution spans: the open span's owner plus the
+/// clock/breakdown snapshot at its start. Same zero-overhead discipline as
+/// the trace buffer — snapshots are pure reads of already-computed values.
+struct AttrState {
+    current: Option<u32>,
+    mark_clock: u64,
+    mark_breakdown: TimeBreakdown,
+    spans: Vec<AttrSpan>,
+}
+
 /// Handle through which a worker drives one simulated core.
 pub struct CorePort {
     core: usize,
@@ -77,6 +106,10 @@ pub struct CorePort {
     /// every emission a single never-taken branch, so unarmed timing and
     /// grant streams are bit-for-bit unchanged.
     events: Option<Vec<MemEvent>>,
+    /// Per-task attribution spans, buffered when
+    /// [`crate::SystemConfig::attr`] is armed. `None` (the default) makes
+    /// every switch/mark a single never-taken branch.
+    attr: Option<AttrState>,
     rng: XorShift64,
     faults: FaultState,
     shared: Arc<Shared>,
@@ -123,6 +156,7 @@ impl CorePort {
             trace: None,
             uli_marks: None,
             events: None,
+            attr: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
             faults: FaultState::new(faults, core),
             shared,
@@ -335,6 +369,59 @@ impl CorePort {
     /// needs to — annotations are themselves free).
     pub fn events_armed(&self) -> bool {
         self.events.is_some()
+    }
+
+    /// Enables attribution-span recording on this port (set by the engine
+    /// when [`crate::SystemConfig::attr`] is armed).
+    pub(crate) fn enable_attr(&mut self) {
+        self.attr = Some(AttrState {
+            current: None,
+            mark_clock: 0,
+            mark_breakdown: TimeBreakdown::new(),
+            spans: Vec::new(),
+        });
+    }
+
+    /// Switches the open attribution span to `task`, returning the previous
+    /// owner so callers can save/restore around nested task execution.
+    /// Closes the span in flight at the current clock (empty spans are
+    /// dropped) and opens a new one. Never sequences, never charges, and
+    /// reads the clock and breakdown *with* coalesced compute folded in
+    /// (without flushing it), so arming attribution is bit-for-bit
+    /// invisible to simulated timing. Returns `None` when disarmed.
+    pub fn attr_switch(&mut self, task: Option<u32>) -> Option<u32> {
+        let now = self.clock + self.pending_compute;
+        let breakdown = self.breakdown();
+        if let Some(a) = self.attr.as_mut() {
+            let prev = a.current;
+            if now > a.mark_clock {
+                a.spans.push(AttrSpan {
+                    task: prev,
+                    start: a.mark_clock,
+                    end: now,
+                    breakdown: breakdown.diff(&a.mark_breakdown),
+                });
+            }
+            a.current = task;
+            a.mark_clock = now;
+            a.mark_breakdown = breakdown;
+            prev
+        } else {
+            None
+        }
+    }
+
+    /// Closes and reopens the current attribution span at the current
+    /// clock without changing its owner. Called at task-lifecycle event
+    /// points so every recorded event cycle is also a span boundary — the
+    /// DAG replay can then apportion a task's cycles across its events
+    /// exactly, never splitting a span.
+    #[inline]
+    pub fn attr_mark(&mut self) {
+        if self.attr.is_some() {
+            let cur = self.attr.as_ref().and_then(|a| a.current);
+            self.attr_switch(cur);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -767,6 +854,21 @@ impl CorePort {
             self.breakdown.add(TimeCategory::Compute, pending);
             self.clock += pending;
         }
+        // Close the final attribution span so the spans tile [0, clock].
+        let attr_spans = match self.attr.take() {
+            Some(mut a) => {
+                if self.clock > a.mark_clock {
+                    a.spans.push(AttrSpan {
+                        task: a.current,
+                        start: a.mark_clock,
+                        end: self.clock,
+                        breakdown: self.breakdown.diff(&a.mark_breakdown),
+                    });
+                }
+                a.spans
+            }
+            None => Vec::new(),
+        };
         PortReport {
             clock: self.clock,
             breakdown: self.breakdown,
@@ -775,6 +877,7 @@ impl CorePort {
             uli_marks: self.uli_marks.unwrap_or_default(),
             faults: self.faults.counters,
             events: self.events.unwrap_or_default(),
+            attr_spans,
         }
     }
 }
@@ -789,4 +892,5 @@ pub(crate) struct PortReport {
     pub uli_marks: Vec<UliMark>,
     pub faults: FaultCounters,
     pub events: Vec<MemEvent>,
+    pub attr_spans: Vec<AttrSpan>,
 }

@@ -50,6 +50,7 @@ struct CoreParams {
     uli_cost: u64,
     trace: bool,
     check: bool,
+    attr: bool,
     num_cores: usize,
 }
 
@@ -68,6 +69,7 @@ impl CoreParams {
             },
             trace: config.trace,
             check: config.check.armed(),
+            attr: config.attr,
             num_cores: config.num_cores(),
         }
     }
@@ -89,6 +91,9 @@ impl CoreParams {
         }
         if self.check {
             port.enable_events();
+        }
+        if self.attr {
+            port.enable_attr();
         }
         port
     }
@@ -299,6 +304,11 @@ pub struct RunReport {
     /// identical hashes; golden-trace tests pin this value to prove engine
     /// wall-clock optimizations are invisible to simulated results.
     pub seq_op_hash: u64,
+    /// Per-core per-task attribution spans (empty unless
+    /// [`SystemConfig::attr`]): each core's spans tile `[0, clock]`
+    /// without gaps or overlap, each carrying the [`TimeBreakdown`] of its
+    /// interval.
+    pub attr_spans: Vec<Vec<crate::port::AttrSpan>>,
     /// The DRF checker's event stream, in sequenced (grant) order. Empty
     /// unless [`SystemConfig::check`] is armed: collection buffers events
     /// per core and merges them here by `(cycle, core, per-core index)`,
@@ -425,6 +435,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut instructions = Vec::with_capacity(num_cores);
     let mut traces = Vec::with_capacity(num_cores);
     let mut uli_marks = Vec::with_capacity(num_cores);
+    let mut attr_spans = Vec::with_capacity(num_cores);
     let mut fault_counters = FaultCounters::default();
     let mut mem_events: Vec<MemEvent> = Vec::new();
     for r in reports {
@@ -434,6 +445,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         instructions.push(r.instructions);
         traces.push(r.trace);
         uli_marks.push(r.uli_marks);
+        attr_spans.push(r.attr_spans);
         fault_counters += r.faults;
         mem_events.extend(r.events);
     }
@@ -471,6 +483,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         stale_reads: st.mem.total_stale_reads(),
         traces,
         uli_marks,
+        attr_spans,
         fault_counters,
         mesh_fault_spikes: st.mem.mesh_fault_spikes(),
         seq_grants: shared.seq.total_grants(),

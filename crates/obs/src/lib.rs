@@ -16,15 +16,26 @@
 //!   a structural validator CI gates on.
 //! * [`Json`] / [`parse_json`] — the dependency-free nested JSON value,
 //!   strict parser, and deterministic serializer underneath both.
+//! * [`replay`] / [`WhatIf`] — the critical-path profiler: cycle-accurate
+//!   work/span analysis replayed over the task DAG from lifecycle events
+//!   and per-task attribution spans, the cycle-conservation table, and
+//!   what-if projections (zero-cost steals, zero coherence overhead,
+//!   ideal P-core greedy bound).
 
+mod attribution;
+mod critpath;
 mod json;
 mod metrics;
 mod perfetto;
 #[cfg(test)]
 mod testutil;
 
+pub use attribution::{verify_attr_spans, CycleConservation, Projection, WhatIf};
+pub use critpath::{
+    check_task_dag, profiled, replay, replay_run, ChainLink, CritPath, CycleLens, DagCheck,
+};
 pub use json::{parse_json, Json};
-pub use metrics::{metrics_document, RunMetrics, METRICS_SCHEMA};
+pub use metrics::{metrics_document, RunMetrics, METRICS_SCHEMA, METRICS_SCHEMAS_ACCEPTED};
 pub use perfetto::{
     export_chrome_trace, validate_chrome_trace, TraceRun, TraceSummary, TRACE_SCHEMA,
 };

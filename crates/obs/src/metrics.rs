@@ -11,11 +11,21 @@
 
 use bigtiny_core::{Log2Histogram, StealTelemetry, TaskRun};
 
+use crate::attribution::{CycleConservation, Projection, WhatIf};
 use crate::json::Json;
 
 /// Schema tag carried in the document's `schema` field. Bump on any
 /// structural change to the document.
-pub const METRICS_SCHEMA: &str = "bigtiny-obs-metrics-v1";
+///
+/// History: `v1` → `v2` added the per-run `critpath` section
+/// (cycle-conservation table, work/span profile, what-if projections)
+/// and `p50`/`p90`/`p99` keys on every histogram object. Readers
+/// ([`crate::parse_json`] consumers like `metrics_diff` and `json_check`)
+/// accept both; `v1` documents simply lack the added keys.
+pub const METRICS_SCHEMA: &str = "bigtiny-obs-metrics-v2";
+
+/// Every schema tag readers must accept, oldest first.
+pub const METRICS_SCHEMAS_ACCEPTED: [&str; 2] = ["bigtiny-obs-metrics-v1", METRICS_SCHEMA];
 
 /// One run to include in a metrics document.
 pub struct RunMetrics<'a> {
@@ -53,6 +63,7 @@ fn run_object(r: &RunMetrics<'_>) -> Json {
         ("faults".into(), faults_section(r)),
         ("watchdog".into(), watchdog_section(r)),
         ("steals".into(), steals_section(r)),
+        ("critpath".into(), critpath_section(r)),
     ])
 }
 
@@ -182,11 +193,87 @@ fn histogram_object(h: &Log2Histogram) -> Json {
         ("sum".into(), Json::u64(h.sum())),
         ("max".into(), Json::u64(h.max())),
         ("mean".into(), Json::f64(h.mean())),
+        ("p50".into(), Json::u64(h.p50())),
+        ("p90".into(), Json::u64(h.p90())),
+        ("p99".into(), Json::u64(h.p99())),
         (
             "bucket_lo".into(),
             Json::Arr((0..Log2Histogram::NUM_BUCKETS).map(Log2Histogram::bucket_lo).map(Json::u64).collect()),
         ),
         ("buckets".into(), Json::Arr(h.buckets().iter().map(|&c| Json::u64(c)).collect())),
+    ])
+}
+
+/// Critical-path profile (schema v2). The cycle-conservation table is
+/// always present — the per-core breakdowns it folds are always measured.
+/// The work/span profile and what-if projections need the run profiled
+/// (task events + attribution spans armed); unprofiled runs emit the same
+/// key set with `profiled: false` and zeros, so the schema's shape never
+/// depends on the data.
+fn critpath_section(r: &RunMetrics<'_>) -> Json {
+    let cons = CycleConservation::from_report(&r.run.report);
+    let mut cons_kv: Vec<(String, Json)> =
+        cons.pairs().into_iter().map(|(k, v)| (k.to_owned(), Json::u64(v))).collect();
+    cons_kv.push(("total_core_cycles".into(), Json::u64(cons.total_core_cycles)));
+    cons_kv.push(("holds".into(), Json::Bool(cons.holds())));
+
+    let what_if = if crate::critpath::profiled(r.run) { WhatIf::project(r.run).ok() } else { None };
+    let mut kv = vec![
+        ("conservation".into(), Json::Obj(cons_kv)),
+        ("profiled".into(), Json::Bool(what_if.is_some())),
+    ];
+    match &what_if {
+        Some(w) => {
+            kv.push(("work".into(), Json::u64(w.burdened.work)));
+            kv.push(("span".into(), Json::u64(w.burdened.span)));
+            kv.push(("parallelism".into(), Json::f64(w.burdened.parallelism())));
+            kv.push(("measured_tp".into(), Json::u64(w.measured_tp)));
+            kv.push(("workers".into(), Json::u64(w.workers)));
+            kv.push(("span_breakdown".into(), pairs_object(w.burdened.span_breakdown.pairs())));
+            kv.push(("chain_tasks".into(), Json::u64(w.burdened.chain.len() as u64)));
+            kv.push(("chain_steals".into(), Json::u64(w.burdened.chain_steals())));
+            let what_if = w
+                .projections()
+                .into_iter()
+                .map(|p| (p.lens.label().to_owned(), projection_object(p)))
+                .collect();
+            kv.push(("what_if".into(), Json::Obj(what_if)));
+        }
+        None => {
+            let zero = Projection {
+                lens: crate::critpath::CycleLens::Burdened,
+                work: 0,
+                span: 0,
+                greedy_bound: 0,
+                speedup_bound: 0.0,
+            };
+            kv.push(("work".into(), Json::u64(0)));
+            kv.push(("span".into(), Json::u64(0)));
+            kv.push(("parallelism".into(), Json::f64(0.0)));
+            kv.push(("measured_tp".into(), Json::u64(r.run.report.completion_cycles)));
+            kv.push(("workers".into(), Json::u64(r.run.report.core_cycles.len() as u64)));
+            kv.push((
+                "span_breakdown".into(),
+                pairs_object(bigtiny_engine::TimeBreakdown::new().pairs()),
+            ));
+            kv.push(("chain_tasks".into(), Json::u64(0)));
+            kv.push(("chain_steals".into(), Json::u64(0)));
+            let what_if = ["zero_steal", "zero_coherence", "work_only"]
+                .into_iter()
+                .map(|k| (k.to_owned(), projection_object(&zero)))
+                .collect();
+            kv.push(("what_if".into(), Json::Obj(what_if)));
+        }
+    }
+    Json::Obj(kv)
+}
+
+fn projection_object(p: &Projection) -> Json {
+    Json::Obj(vec![
+        ("work".into(), Json::u64(p.work)),
+        ("span".into(), Json::u64(p.span)),
+        ("greedy_bound".into(), Json::u64(p.greedy_bound)),
+        ("speedup_bound".into(), Json::f64(p.speedup_bound)),
     ])
 }
 
@@ -221,7 +308,9 @@ mod tests {
         let runs = back.get("runs").unwrap().as_arr().unwrap();
         assert_eq!(runs.len(), 1);
         let r = &runs[0];
-        for section in ["breakdown", "coherence", "mesh", "uli", "faults", "watchdog", "steals"] {
+        let sections =
+            ["breakdown", "coherence", "mesh", "uli", "faults", "watchdog", "steals", "critpath"];
+        for section in sections {
             assert!(r.get(section).is_some(), "missing section {section}");
         }
         // The steal section carries real DTS telemetry.
@@ -243,6 +332,47 @@ mod tests {
         assert_eq!(r.get("coherence").unwrap().get("per_core").unwrap().as_arr().unwrap().len(), cores);
         // Mesh lists all ten classes regardless of data.
         assert_eq!(r.get("mesh").unwrap().get("classes").unwrap().as_arr().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn critpath_section_is_schema_stable_profiled_or_not() {
+        // Unprofiled run: conservation present and holding, profiled:false,
+        // every profile key present but zero.
+        let plain = small_run(RuntimeKind::Dts);
+        let rm = RunMetrics { app: "fib", setup: "dts", run: &plain, tiny_cores: &[1] };
+        let doc = parse_json(&metrics_document(&[rm]).to_json()).unwrap();
+        let cp = doc.get("runs").unwrap().as_arr().unwrap()[0].get("critpath").unwrap().clone();
+        assert_eq!(cp.get("profiled").and_then(|v| v.as_num()), None, "profiled is a bool");
+        assert!(matches!(cp.get("profiled"), Some(Json::Bool(false))));
+        assert!(matches!(cp.get("conservation").unwrap().get("holds"), Some(Json::Bool(true))));
+        assert_eq!(cp.get("span").unwrap().as_num(), Some(0.0));
+
+        // Profiled run: the same key set, now populated, with the what-if
+        // object carrying all three lenses.
+        let prof = crate::testutil::small_run_profiled(RuntimeKind::Dts, 10);
+        let rm = RunMetrics { app: "fib", setup: "dts", run: &prof, tiny_cores: &[1] };
+        let doc = parse_json(&metrics_document(&[rm]).to_json()).unwrap();
+        let pcp = doc.get("runs").unwrap().as_arr().unwrap()[0].get("critpath").unwrap().clone();
+        assert!(matches!(pcp.get("profiled"), Some(Json::Bool(true))));
+        assert!(pcp.get("span").unwrap().as_num().unwrap() > 0.0);
+        assert!(pcp.get("work").unwrap().as_num().unwrap() >= pcp.get("span").unwrap().as_num().unwrap());
+        let keys = |j: &Json| -> Vec<String> {
+            match j {
+                Json::Obj(kv) => kv.iter().map(|(k, _)| k.clone()).collect(),
+                _ => Vec::new(),
+            }
+        };
+        assert_eq!(keys(&cp), keys(&pcp), "profiled and unprofiled sections must share a key set");
+        for lens in ["zero_steal", "zero_coherence", "work_only"] {
+            let p = pcp.get("what_if").unwrap().get(lens).unwrap();
+            assert!(p.get("greedy_bound").unwrap().as_num().unwrap() > 0.0, "{lens}");
+        }
+        // Histograms now carry percentile keys.
+        let steals = doc.get("runs").unwrap().as_arr().unwrap()[0].get("steals").unwrap().clone();
+        let rtt = steals.get("uli_rtt").unwrap();
+        for k in ["p50", "p90", "p99"] {
+            assert!(rtt.get(k).and_then(Json::as_num).is_some(), "uli_rtt missing {k}");
+        }
     }
 
     #[test]

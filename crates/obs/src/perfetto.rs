@@ -52,6 +52,7 @@ pub fn export_chrome_trace(runs: &[TraceRun<'_>]) -> Json {
         emit_core_spans(&mut events, pid, r);
         emit_task_lifetimes(&mut events, pid, r);
         emit_uli_flows(&mut events, pid, r, &mut flow_id);
+        emit_critpath_track(&mut events, pid, r);
     }
     Json::Obj(vec![
         ("traceEvents".into(), Json::Arr(events)),
@@ -155,6 +156,50 @@ fn emit_task_lifetimes(events: &mut Vec<Json>, pid: u64, r: &TraceRun<'_>) {
             ("ts", Json::u64(t1)),
             ("pid", Json::u64(pid)),
             ("tid", Json::u64(c1 as u64)),
+        ]));
+    }
+}
+
+/// The burdened critical-path chain as a highlighted extra track.
+///
+/// Emitted only for profiled runs (task events + attribution spans both
+/// recorded): one thread per run, tid one past the last core, carrying an
+/// `"X"` span per chain task over its execution window. Parent windows
+/// contain the child windows they descend into, so the track renders as a
+/// nested flame of the chain in the Perfetto UI; `args` carry the task id,
+/// executing core, and whether the task was stolen (a core crossing on
+/// the path).
+fn emit_critpath_track(events: &mut Vec<Json>, pid: u64, r: &TraceRun<'_>) {
+    if !crate::critpath::profiled(r.run) {
+        return;
+    }
+    let Ok(cp) = crate::critpath::replay_run(r.run, crate::critpath::CycleLens::Burdened) else {
+        return;
+    };
+    let tid = r.run.report.core_cycles.len() as u64;
+    events.push(ev(vec![
+        ("name", Json::str("thread_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::u64(pid)),
+        ("tid", Json::u64(tid)),
+        ("args", Json::Obj(vec![("name".into(), Json::str("critical path"))])),
+    ]));
+    for link in &cp.chain {
+        events.push(ev(vec![
+            ("name", Json::str(format!("task {}", link.task))),
+            ("cat", Json::str("critpath")),
+            ("ph", Json::str("X")),
+            ("ts", Json::u64(link.exec_begin)),
+            ("dur", Json::u64(link.exec_end.saturating_sub(link.exec_begin))),
+            ("pid", Json::u64(pid)),
+            ("tid", Json::u64(tid)),
+            (
+                "args",
+                Json::Obj(vec![
+                    ("core".into(), Json::u64(link.core as u64)),
+                    ("stolen".into(), Json::Bool(link.stolen)),
+                ]),
+            ),
         ]));
     }
 }
@@ -409,6 +454,27 @@ mod tests {
         assert!(bad(r#"[{"ph":"X","pid":1,"ts":0,"dur":-1}]"#).contains("negative dur"));
         assert!(bad(r#"[{"ph":"??","pid":1,"ts":0}]"#).contains("unknown event phase"));
         assert!(validate_chrome_trace(&parse_json(r#"{"traceEvents":[]}"#).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn profiled_run_gets_a_critical_path_track() {
+        use crate::critpath::{replay_run, CycleLens};
+        use crate::testutil::small_run_profiled;
+        let run = small_run_profiled(RuntimeKind::Dts, 10);
+        let doc = export_chrome_trace(&[TraceRun { app: "fib", setup: "dts", run: &run }]);
+        let s = validate_chrome_trace(&doc).expect("profiled trace validates");
+        let cp = replay_run(&run, CycleLens::Burdened).unwrap();
+        assert!(!cp.chain.is_empty(), "burdened replay yields a chain");
+        // Per-core tracing is off, so the only X spans are the chain's, and
+        // the metadata adds the critical-path thread name.
+        assert_eq!(s.complete, cp.chain.len());
+        assert_eq!(s.metadata, 1 + run.report.traces.len() + 1);
+        // An unprofiled run of the same shape emits no critpath track.
+        let plain = small_run_n(RuntimeKind::Dts, 10, false, true);
+        let doc = export_chrome_trace(&[TraceRun { app: "fib", setup: "dts", run: &plain }]);
+        let s = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(s.complete, 0);
+        assert_eq!(s.metadata, 1 + plain.report.traces.len());
     }
 
     #[test]

@@ -43,3 +43,22 @@ pub fn small_run_n(kind: RuntimeKind, n: u64, trace: bool, record_events: bool) 
 pub fn small_run(kind: RuntimeKind) -> TaskRun {
     small_run_n(kind, 10, false, false)
 }
+
+/// Runs fib(`n`) under `kind` with everything the critical-path profiler
+/// needs armed: task-event recording and per-task attribution spans.
+pub fn small_run_profiled(kind: RuntimeKind, n: u64) -> TaskRun {
+    let mut sys = SystemConfig::big_tiny(
+        "obs-test",
+        MeshConfig::with_topology(Topology::new(2, 4)),
+        1,
+        7,
+        Protocol::GpuWb,
+    );
+    sys.attr = true;
+    let mut rt = RuntimeConfig::new(kind);
+    rt.record_task_events = true;
+    let mut space = AddrSpace::new();
+    let out = Arc::new(ShVec::new(&mut space, 1 << (n + 1), 0u64));
+    let o = Arc::clone(&out);
+    run_task_parallel(&sys, &rt, &mut space, move |cx| fib(cx, o, 0, n))
+}

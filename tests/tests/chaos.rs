@@ -143,6 +143,73 @@ fn cilksort_survives_hostile_faults_on_all_protocols() {
     }
 }
 
+/// Telemetry stays trustworthy under fault injection. Steal counters obey
+/// the *adjusted* accounting invariant — `hits + misses` may exceed
+/// `attempts` by at most the timed-out-then-late-hit double counts
+/// (bounded by `uli_timeouts`), and may fall short by at most one
+/// completion-race attempt per worker — and the recorded task-event
+/// stream still reconstructs a well-formed spawn/join DAG even while ULI
+/// drops, NACKs, and mesh spikes mangle the steal protocol underneath.
+#[test]
+fn telemetry_survives_fault_injection_with_consistent_accounting() {
+    let plans = [
+        ("uli-drop-storm", FaultPlan::uli_drop_storm(0xC0FF_EE01)),
+        ("hostile", FaultPlan::hostile(0x0BAD_5EED)),
+    ];
+    let app = app_by_name("cilk5-nq").unwrap();
+    for (label, plan) in plans {
+        let cfg = sys(1, 7, Protocol::GpuWb).with_faults(plan);
+        let mut rt = RuntimeConfig::new(RuntimeKind::Dts);
+        rt.record_task_events = true;
+        let mut space = AddrSpace::new();
+        let prepared = app.prepare_default(&mut space, AppSize::Test);
+        let r = run_task_parallel(&cfg, &rt, &mut space, prepared.root);
+        if let Err(e) = (prepared.verify)() {
+            panic!("{} under {label}: {e}", app.name);
+        }
+
+        let t = &r.telemetry;
+        let workers = t.per_victim.len() as u64;
+        let (attempts, hits, misses) = (t.total_attempts(), t.total_hits(), t.total_misses());
+        let resolved = hits + misses;
+        assert!(
+            resolved + workers >= attempts,
+            "{label}: {resolved} resolved outcomes for {attempts} attempts — more than \
+             {workers} completion-race attempts vanished"
+        );
+        assert!(
+            resolved <= attempts + r.stats.uli_timeouts,
+            "{label}: {resolved} resolved outcomes exceed {attempts} attempts plus \
+             {} timeout double counts",
+            r.stats.uli_timeouts
+        );
+        assert!(
+            r.stats.steal_nacks <= misses,
+            "{label}: {} NACKs but only {misses} misses — NACKs must count as misses",
+            r.stats.steal_nacks
+        );
+        // The victim-side grant counter can exceed thief-side hits only by
+        // unclaimed completion-race grants (at most one per worker).
+        assert!(
+            hits <= r.stats.steals && r.stats.steals <= hits + workers,
+            "{label}: {hits} claimed hits vs {} granted steals (workers {workers})",
+            r.stats.steals
+        );
+        assert!(
+            r.report.fault_counters.total() > 0,
+            "{label}: plan injected nothing; the test is vacuous"
+        );
+
+        // The DAG checker must accept the stream recorded under fire:
+        // faults may reorder and retry steals, never corrupt lifecycle
+        // bookkeeping.
+        let dag = bigtiny_obs::check_task_dag(&r.task_events)
+            .unwrap_or_else(|e| panic!("{label}: malformed task DAG under faults: {e}"));
+        assert_eq!(dag.tasks, dag.executed, "{label}: {dag:?} — spawned tasks never executed");
+        assert_eq!(dag.steals, hits, "{label}: Stolen events must match claimed hits");
+    }
+}
+
 /// A deliberately deadlocked program — the root waits on a child that never
 /// completes — is detected by the watchdog, and the panic message carries
 /// crash-consistent per-core state — sequencer position, clocks, deque

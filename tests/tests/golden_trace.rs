@@ -141,11 +141,11 @@ fn armed_checker_changes_no_golden_pin() {
 }
 
 /// Arming the full observability stack — per-core tracing, ULI protocol
-/// marks, and task-event recording — must likewise be bit-for-bit
-/// invisible: telemetry only ever reads the simulated clock and writes
-/// host-side buffers. An armed run replays the exact golden cycles and
-/// grant hashes while actually collecting a non-empty trace, ULI marks,
-/// and task events.
+/// marks, task-event recording, and per-task cycle attribution — must
+/// likewise be bit-for-bit invisible: telemetry only ever reads the
+/// simulated clock and writes host-side buffers. An armed run replays the
+/// exact golden cycles and grant hashes while actually collecting a
+/// non-empty trace, ULI marks, task events, and attribution spans.
 #[test]
 fn armed_observability_changes_no_golden_pin() {
     let mut failures = Vec::new();
@@ -155,6 +155,7 @@ fn armed_observability_changes_no_golden_pin() {
         let app = app_by_name(app_name).unwrap();
         let mut setup = setup_by_label(setup_label);
         setup.sys.trace = true;
+        setup.sys.attr = true;
         setup.rt.record_task_events = true;
         let r = run_app(&setup, &app, AppSize::Test, 0);
         if r.cycles != want_cycles || r.run.report.seq_op_hash != want_hash {
@@ -169,6 +170,10 @@ fn armed_observability_changes_no_golden_pin() {
         assert!(
             !r.run.task_events.is_empty(),
             "{app_name} on {setup_label}: armed run recorded no task events"
+        );
+        assert!(
+            r.run.report.attr_spans.iter().any(|s| !s.is_empty()),
+            "{app_name} on {setup_label}: armed run recorded no attribution spans"
         );
         if setup_label != "b.T/MESI" {
             let marks: usize = r.run.report.uli_marks.iter().map(Vec::len).sum();
