@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use bigtiny_core::{parallel_for, TaskCx};
-use bigtiny_engine::{AddrSpace, ShScalar};
+use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
 
 use crate::registry::{AppSize, Prepared};
 
@@ -42,7 +42,12 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let grain = if grain == 0 { 3 } else { grain };
 
     let count = Arc::new(ShScalar::new(space, 0u64));
+    // Crash-tolerant side-effect slots: one per leaf range, keyed by the
+    // range start (leaf ranges partition the prefix list, so starts are
+    // unique). n^3 bounds the number of PREFIX_ROWS-deep prefixes.
+    let slots = Arc::new(ShVec::new(space, n * n * n, 0u64));
     let c2 = Arc::clone(&count);
+    let sl2 = Arc::clone(&slots);
     let root: crate::RootFn = Box::new(move |cx| {
         // Enumerate valid prefixes of the first PREFIX_ROWS rows.
         let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
@@ -63,18 +68,28 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         let prefixes = Arc::new(prefixes);
         let total = prefixes.len();
         let count = Arc::clone(&c2);
+        let slots = Arc::clone(&sl2);
         parallel_for(cx, 0..total, grain, move |cx, r| {
+            let start = r.start;
             let mut local = 0u64;
             for i in r {
                 local += serial_search(cx, prefixes[i].clone(), n);
             }
             if local > 0 {
-                count.amo(cx.port(), |c| *c += local);
+                // Under a crash plan a re-executed subtree may run this
+                // leaf twice: land the count in the leaf's own slot (same
+                // value every time) instead of accumulating.
+                if cx.crash_tolerant() {
+                    slots.write(cx.port(), start, local);
+                } else {
+                    count.amo(cx.port(), |c| *c += local);
+                }
             }
         });
     });
     let verify = Box::new(move || {
-        let got = count.host_read();
+        // Exactly one of the two sinks is populated per run.
+        let got = count.host_read() + slots.snapshot().iter().sum::<u64>();
         let want = known_solutions(n);
         if got == want {
             Ok(())

@@ -39,6 +39,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         let mut cur = cur;
         let mut nxt = nxt;
         // Forward phase: level-synchronous BFS accumulating path counts.
+        let pull_sigma = cx.crash_tolerant();
         let mut depth = 0u64;
         loop {
             depth += 1;
@@ -61,20 +62,47 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 move |cx, s, d, _| {
                     // Claim d for this level (idempotent for this round).
                     let fresh = lu.cas(cx.port(), d, UNSET, this_depth);
-                    // Benign race (LigraClaimedLevel): once claimed this
-                    // round, the level is immutable for the round, so a
-                    // stale read can only miss the claim and skip the
-                    // (idempotent-per-round) accumulation it guards.
-                    let lvl = lu.read_racy(cx.port(), d, RacyTag::LigraClaimedLevel);
-                    if lvl == this_depth {
-                        // Accumulate path counts: sigma[d] += sigma[s].
-                        // sigma[s] was finalized in the previous round.
-                        let ss = sr.read(cx.port(), s);
-                        su.amo(cx.port(), d, |x| *x += ss);
+                    if !pull_sigma {
+                        // Benign race (LigraClaimedLevel): once claimed this
+                        // round, the level is immutable for the round, so a
+                        // stale read can only miss the claim and skip the
+                        // (idempotent-per-round) accumulation it guards.
+                        let lvl = lu.read_racy(cx.port(), d, RacyTag::LigraClaimedLevel);
+                        if lvl == this_depth {
+                            // Accumulate path counts: sigma[d] += sigma[s].
+                            // sigma[s] was finalized in the previous round.
+                            let ss = sr.read(cx.port(), s);
+                            su.amo(cx.port(), d, |x| *x += ss);
+                        }
                     }
                     fresh
                 },
             );
+            if pull_sigma {
+                // At-least-once mode: the push accumulation above would
+                // double-add under subtree re-execution. Instead, with the
+                // round's level claims settled, every newly-claimed vertex
+                // pulls its path count from its parents — a write of a
+                // recomputable value, idempotent under duplicates.
+                let (gp, lp, sp, sw) =
+                    (Arc::clone(&g2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&s2));
+                crate::ligra::for_each_vertex_by_degree(cx, &g2, grain, move |cx, v| {
+                    if lp.read(cx.port(), v) != this_depth {
+                        return;
+                    }
+                    let lo = gp.offset(cx, v);
+                    let hi = gp.offset(cx, v + 1);
+                    let mut acc = 0.0;
+                    for i in lo..hi {
+                        let u = gp.edge(cx, i);
+                        cx.port().advance(3);
+                        if lp.read(cx.port(), u) == this_depth - 1 {
+                            acc += sp.read(cx.port(), u);
+                        }
+                    }
+                    sw.write(cx.port(), v, acc);
+                });
+            }
             if nxt.count(cx) == 0 {
                 break;
             }

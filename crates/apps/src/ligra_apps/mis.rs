@@ -43,8 +43,26 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         Arc::clone(&undecided),
     );
     let root: crate::RootFn = Box::new(move |cx| {
-        while u2.read(cx.port()) > 0 {
-            round(cx, &g2, &p2, &s2, &j2, &u2, grain);
+        if cx.crash_tolerant() {
+            // At-least-once mode: a re-executed subtree could decrement
+            // the shared countdown twice, so the crash-immune root
+            // recounts the undecided set itself after each round.
+            loop {
+                round(cx, &g2, &p2, &s2, &j2, &u2, grain);
+                let mut undec = 0u64;
+                for v in 0..s2.len() {
+                    if s2.read(cx.port(), v) == UNDECIDED {
+                        undec += 1;
+                    }
+                }
+                if undec == 0 {
+                    break;
+                }
+            }
+        } else {
+            while u2.read(cx.port()) > 0 {
+                round(cx, &g2, &p2, &s2, &j2, &u2, grain);
+            }
         }
     });
     let verify = Box::new(move || {
@@ -117,21 +135,31 @@ fn round(
             let mut decided = 0u64;
             if j1.read(cx.port(), v) != 0 {
                 j1.write(cx.port(), v, 0);
-                s1.write(cx.port(), v, IN);
-                decided += 1;
-                let lo = g1.offset(cx, v);
-                let hi = g1.offset(cx, v + 1);
-                for i in lo..hi {
-                    let u = g1.edge(cx, i);
-                    cx.port().advance(2);
-                    // Neighbours of two joiners race benignly to OUT: the
-                    // CAS makes the count exact.
-                    if s1.cas(cx.port(), u, UNDECIDED, OUT) {
-                        decided += 1;
+                let entered = if cx.crash_tolerant() {
+                    // A re-executed duplicate of a *different* leaf may
+                    // have left a stale join flag behind after v was
+                    // knocked out: only enter the set from UNDECIDED.
+                    s1.cas(cx.port(), v, UNDECIDED, IN)
+                } else {
+                    s1.write(cx.port(), v, IN);
+                    true
+                };
+                if entered {
+                    decided += 1;
+                    let lo = g1.offset(cx, v);
+                    let hi = g1.offset(cx, v + 1);
+                    for i in lo..hi {
+                        let u = g1.edge(cx, i);
+                        cx.port().advance(2);
+                        // Neighbours of two joiners race benignly to OUT:
+                        // the CAS makes the count exact.
+                        if s1.cas(cx.port(), u, UNDECIDED, OUT) {
+                            decided += 1;
+                        }
                     }
                 }
             }
-            if decided > 0 {
+            if decided > 0 && !cx.crash_tolerant() {
                 u1.amo(cx.port(), |c| *c -= decided);
             }
         });

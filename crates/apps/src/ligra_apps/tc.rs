@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use bigtiny_core::TaskCx;
-use bigtiny_engine::{AddrSpace, ShScalar};
+use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
 
 use crate::graph::Graph;
 use crate::registry::{AppSize, Prepared};
@@ -19,14 +19,24 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let grain = if grain == 0 { 64 } else { grain };
     let g = Arc::new(Graph::rmat(space, n, ef, 0x7c));
     let count = Arc::new(ShScalar::new(space, 0u64));
+    // Crash-tolerant slots: vertex-range leaves land their count keyed by
+    // the range's first vertex, heavy-vertex edge leaves by the slice's
+    // first edge slot. Both leaf families partition their index space, so
+    // the keys are unique and re-execution rewrites the same value.
+    let slots = Arc::new(TcSlots {
+        by_vertex: ShVec::new(space, g.num_vertices(), 0u64),
+        by_edge: ShVec::new(space, g.num_edges(), 0u64),
+    });
 
-    let (g2, c2) = (Arc::clone(&g), Arc::clone(&count));
+    let (g2, c2, sl2) = (Arc::clone(&g), Arc::clone(&count), Arc::clone(&slots));
     let root: crate::RootFn = Box::new(move |cx| {
-        run_tc(cx, &g2, &c2, grain);
+        run_tc(cx, &g2, &c2, &sl2, grain);
     });
     let verify = Box::new(move || {
         let want = host_triangles(&g.host_adjacency());
-        let got = count.host_read();
+        let got = count.host_read()
+            + slots.by_vertex.snapshot().iter().sum::<u64>()
+            + slots.by_edge.snapshot().iter().sum::<u64>();
         if got == want {
             Ok(())
         } else {
@@ -36,21 +46,52 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     Prepared { root, verify }
 }
 
-/// Counts triangles into `count`; `grain` is the number of edge slots
-/// (intersection units) per leaf task — the paper's Figure 4 granularity
-/// knob ("the number of triangles processed by each task" in spirit).
+/// Crash-tolerant leaf-count slots for `run_tc_with_slots`.
+pub struct TcSlots {
+    /// Vertex-range leaf counts, keyed by the range's first vertex.
+    pub by_vertex: ShVec<u64>,
+    /// Heavy-vertex edge-slice counts, keyed by the slice's first edge.
+    pub by_edge: ShVec<u64>,
+}
+
+/// Counts triangles; `grain` is the number of edge slots (intersection
+/// units) per leaf task — the paper's Figure 4 granularity knob ("the
+/// number of triangles processed by each task" in spirit). Leaves publish
+/// into `count` by AMO accumulation, or — on a crash-armed run — into
+/// `slots` with idempotent per-leaf writes (re-executed subtrees rewrite
+/// the same values), so the total is `count` plus the slot sums.
 ///
 /// Like the Ligra `edge_map`, the vertex range splits by degree sum and a
 /// heavy vertex's own edge list splits recursively, so rMAT hubs do not
 /// serialize the count.
-pub fn run_tc(cx: &mut TaskCx<'_>, g: &Arc<Graph>, count: &Arc<ShScalar<u64>>, grain: usize) {
-    tc_split(cx, g, count, 0, g.num_vertices(), grain.max(1));
+pub fn run_tc(
+    cx: &mut TaskCx<'_>,
+    g: &Arc<Graph>,
+    count: &Arc<ShScalar<u64>>,
+    slots: &Arc<TcSlots>,
+    grain: usize,
+) {
+    tc_split(cx, g, count, slots, 0, g.num_vertices(), grain.max(1));
+}
+
+/// Publishes one leaf's count: a slot write when crash plans are armed,
+/// the plain accumulate otherwise.
+fn publish(cx: &mut TaskCx<'_>, count: &ShScalar<u64>, slot: (&ShVec<u64>, usize), local: u64) {
+    if local == 0 {
+        return;
+    }
+    if cx.crash_tolerant() {
+        slot.0.write(cx.port(), slot.1, local);
+    } else {
+        count.amo(cx.port(), |c| *c += local);
+    }
 }
 
 fn tc_split(
     cx: &mut TaskCx<'_>,
     g: &Arc<Graph>,
     count: &Arc<ShScalar<u64>>,
+    slots: &Arc<TcSlots>,
     lo: usize,
     hi: usize,
     grain: usize,
@@ -62,12 +103,10 @@ fn tc_split(
     let e_hi = g.offset(cx, hi);
     if hi - lo == 1 {
         if e_hi - e_lo > 2 * grain {
-            tc_split_edges(cx, g, count, lo, e_lo, e_hi, grain);
+            tc_split_edges(cx, g, count, slots, lo, e_lo, e_hi, grain);
         } else {
             let local = triangles_at(cx, g, lo);
-            if local > 0 {
-                count.amo(cx.port(), |c| *c += local);
-            }
+            publish(cx, count, (&slots.by_vertex, lo), local);
         }
         return;
     }
@@ -76,25 +115,25 @@ fn tc_split(
         for v in lo..hi {
             local += triangles_at(cx, g, v);
         }
-        if local > 0 {
-            count.amo(cx.port(), |c| *c += local);
-        }
+        publish(cx, count, (&slots.by_vertex, lo), local);
         return;
     }
     let mid = lo + (hi - lo) / 2;
-    let (g1, c1) = (Arc::clone(g), Arc::clone(count));
-    let (g2, c2) = (Arc::clone(g), Arc::clone(count));
+    let (g1, c1, s1) = (Arc::clone(g), Arc::clone(count), Arc::clone(slots));
+    let (g2, c2, s2) = (Arc::clone(g), Arc::clone(count), Arc::clone(slots));
     cx.set_pending(2);
-    cx.spawn(move |cx| tc_split(cx, &g1, &c1, lo, mid, grain));
-    cx.spawn(move |cx| tc_split(cx, &g2, &c2, mid, hi, grain));
+    cx.spawn(move |cx| tc_split(cx, &g1, &c1, &s1, lo, mid, grain));
+    cx.spawn(move |cx| tc_split(cx, &g2, &c2, &s2, mid, hi, grain));
     cx.wait();
 }
 
 /// Splits the intersection work of one heavy vertex over its edge slots.
+#[allow(clippy::too_many_arguments)]
 fn tc_split_edges(
     cx: &mut TaskCx<'_>,
     g: &Arc<Graph>,
     count: &Arc<ShScalar<u64>>,
+    slots: &Arc<TcSlots>,
     v: usize,
     e0: usize,
     e1: usize,
@@ -106,17 +145,15 @@ fn tc_split_edges(
         for i in e0..e1 {
             local += intersect_one(cx, g, v, i, hi_v);
         }
-        if local > 0 {
-            count.amo(cx.port(), |c| *c += local);
-        }
+        publish(cx, count, (&slots.by_edge, e0), local);
         return;
     }
     let mid = e0 + (e1 - e0) / 2;
-    let (g1, c1) = (Arc::clone(g), Arc::clone(count));
-    let (g2, c2) = (Arc::clone(g), Arc::clone(count));
+    let (g1, c1, s1) = (Arc::clone(g), Arc::clone(count), Arc::clone(slots));
+    let (g2, c2, s2) = (Arc::clone(g), Arc::clone(count), Arc::clone(slots));
     cx.set_pending(2);
-    cx.spawn(move |cx| tc_split_edges(cx, &g1, &c1, v, e0, mid, grain));
-    cx.spawn(move |cx| tc_split_edges(cx, &g2, &c2, v, mid, e1, grain));
+    cx.spawn(move |cx| tc_split_edges(cx, &g1, &c1, &s1, v, e0, mid, grain));
+    cx.spawn(move |cx| tc_split_edges(cx, &g2, &c2, &s2, v, mid, e1, grain));
     cx.wait();
 }
 

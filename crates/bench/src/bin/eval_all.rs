@@ -6,6 +6,7 @@ use bigtiny_bench::{
     apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix,
     size_from_env, Setup, TrafficClass,
 };
+use bigtiny_checker::audit_task_events;
 use bigtiny_engine::{FaultPlan, Protocol};
 use bigtiny_obs::{export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics, TraceRun};
 
@@ -38,12 +39,18 @@ struct CliOpts {
     trace_out: Option<String>,
 }
 
-const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan NAME] [--watchdog-budget N]
+const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan PLAN] [--watchdog-budget N]
                 [--metrics-out PATH] [--trace-out PATH]
   --fault-seed N       seed for deterministic fault injection; inert unless
                        --fault-plan is also given (no plan is ever implied)
-  --fault-plan NAME    arm fault injection: none, uli-drop-storm,
-                       steal-miss-storm, mesh-latency-spikes, hostile
+  --fault-plan PLAN    arm fault injection: a named plan (none,
+                       uli-drop-storm, steal-miss-storm,
+                       mesh-latency-spikes, hostile, crash-one,
+                       crash-storm, crash-revive, crash-hostile) or a
+                       key=value spec as printed by chaos_fuzz minimal
+                       reproducers, e.g. crash_cores=0x20,crash_at=1500.
+                       Crash-armed plans also record task events and gate
+                       the run on a clean crash-recovery audit
   --watchdog-budget N  abort with per-core diagnostics after N sequenced
                        grants without runtime progress
   --metrics-out PATH   write the unified bigtiny-obs metrics JSON document
@@ -80,8 +87,13 @@ fn parse_cli() -> CliOpts {
             }
             "--fault-plan" => {
                 let v = value("--fault-plan");
-                if FaultPlan::by_name(&v, 1).is_none() {
-                    eprintln!("--fault-plan: unknown plan `{v}`\n{USAGE}");
+                if FaultPlan::parse(&v, 1).is_none() {
+                    eprintln!(
+                        "--fault-plan: unknown plan `{v}`\n  named plans: {}\n  or a \
+                         `key=value,...` spec (FaultPlan::to_spec form), e.g. \
+                         crash_cores=0x20,crash_at=1500\n{USAGE}",
+                        FaultPlan::NAMES.join(", ")
+                    );
                     std::process::exit(2);
                 }
                 opts.fault_plan = Some(v);
@@ -119,12 +131,19 @@ fn main() {
     let size = size_from_env();
     let apps = apps_from_env();
     let mut setups = Setup::big_tiny_matrix();
+    let mut crash_armed = false;
     if let Some(plan) = &opts.fault_plan {
-        let fp = FaultPlan::by_name(plan, opts.fault_seed).expect("plan validated in parse_cli");
+        let fp = FaultPlan::parse(plan, opts.fault_seed).expect("plan validated in parse_cli");
+        crash_armed = fp.crash_armed();
         for s in &mut setups {
             s.sys = s.sys.clone().with_faults(fp);
+            // The crash audit needs the task-lifecycle stream.
+            s.rt.record_task_events |= crash_armed;
         }
         println!("[faults] plan={plan} seed={:#x} armed on every configuration", opts.fault_seed);
+        if crash_armed {
+            println!("[faults] crash dimension armed: task events recorded, audit gated");
+        }
     }
     if let Some(budget) = opts.watchdog_budget {
         for s in &mut setups {
@@ -323,6 +342,7 @@ fn main() {
     if opts.fault_plan.is_some() {
         let header: Vec<String> = [
             "Name", "Config", "Injected", "MeshSpikes", "UliTimeouts", "Fallbacks", "ForcedMiss",
+            "Crashes", "Orphans", "Rescues", "Reexec", "JoinsFix", "Quar", "Reviv",
         ]
         .map(String::from)
         .to_vec();
@@ -338,10 +358,62 @@ fn main() {
                     r.run.stats.uli_timeouts.to_string(),
                     r.run.stats.fallback_steals.to_string(),
                     r.run.stats.forced_steal_misses.to_string(),
+                    r.run.report.fault_counters.crashes.to_string(),
+                    r.run.stats.orphans_reclaimed.to_string(),
+                    r.run.stats.mailbox_rescues.to_string(),
+                    r.run.stats.reexecutions.to_string(),
+                    r.run.stats.joins_repaired.to_string(),
+                    r.run.stats.quarantines.to_string(),
+                    r.run.stats.revivals.to_string(),
                 ]);
             }
         }
         println!("== Fault injection summary ({size:?}) ==\n");
         println!("{}", render_table(&header, &rows));
+    }
+
+    // ---------------- Crash-recovery audit (only when crash-armed) -------
+    // Every run's task-event stream must audit clean: at-least-once with
+    // full recovery accounting (a mid-execution death is acceptable only if
+    // covered by a respawn; re-execution only for idempotency-whitelisted
+    // kernels). A dirty audit fails the whole evaluation.
+    if crash_armed {
+        let header: Vec<String> =
+            ["Name", "Config", "Tasks", "Respawns", "Discards", "Recovered", "Verdict"]
+                .map(String::from)
+                .to_vec();
+        let mut rows = Vec::new();
+        let mut dirty = 0usize;
+        for app in &apps {
+            for setup in &setups {
+                let r = find_result(&results, app.name, &setup.label);
+                let audit = audit_task_events(&r.run.task_events, true, r.app);
+                if !audit.is_clean() {
+                    dirty += 1;
+                    eprintln!("[audit] {} on {}:", r.app, setup.label);
+                    eprint!("{}", audit.render());
+                }
+                rows.push(vec![
+                    app.name.to_owned(),
+                    setup.label.clone(),
+                    audit.tasks.to_string(),
+                    audit.respawns.to_string(),
+                    audit.discards.to_string(),
+                    audit.recovered.to_string(),
+                    if audit.is_clean() {
+                        format!("clean {:#018x}", audit.verdict_hash())
+                    } else {
+                        format!("{} violation(s)", audit.violations.len())
+                    },
+                ]);
+            }
+        }
+        println!("== Crash-recovery audit ({size:?}) ==\n");
+        println!("{}", render_table(&header, &rows));
+        if dirty > 0 {
+            eprintln!("[audit] {dirty} run(s) failed the crash-recovery audit");
+            std::process::exit(1);
+        }
+        println!("all {} crash-armed runs audited clean", rows.len());
     }
 }

@@ -17,6 +17,8 @@ use bigtiny_apps::{all_apps, AppSize, AppSpec};
 use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskRun};
 use bigtiny_engine::{AddrSpace, Protocol, SystemConfig, TimeCategory};
 
+pub mod fuzz;
+
 /// A machine + runtime pairing with a display label.
 #[derive(Clone, Debug)]
 pub struct Setup {
@@ -205,6 +207,20 @@ pub struct ResultRecord {
     pub fallback_steals: u64,
     /// Steal attempts the fault plan forced to miss.
     pub forced_steal_misses: u64,
+    /// Fail-stop crashes taken (0 unless a crash dimension was armed).
+    pub crashes: u64,
+    /// Unstarted tasks discarded from fail-stopped cores' deques.
+    pub orphans_reclaimed: u64,
+    /// Stolen tasks rescued from fail-stopped thieves' mailboxes.
+    pub mailbox_rescues: u64,
+    /// Tasks re-spawned because their executor fail-stopped mid-body.
+    pub reexecutions: u64,
+    /// Join counters repaired by a re-spawned task.
+    pub joins_repaired: u64,
+    /// Victim-quarantine events on dead cores.
+    pub quarantines: u64,
+    /// Cores that revived and rejoined scheduling.
+    pub revivals: u64,
     /// Total sequencer token grants (the unit of the watchdog budget).
     pub seq_grants: u64,
 }
@@ -233,6 +249,13 @@ impl From<&AppResult> for ResultRecord {
             uli_timeouts: r.run.stats.uli_timeouts,
             fallback_steals: r.run.stats.fallback_steals,
             forced_steal_misses: r.run.stats.forced_steal_misses,
+            crashes: r.run.report.fault_counters.crashes,
+            orphans_reclaimed: r.run.stats.orphans_reclaimed,
+            mailbox_rescues: r.run.stats.mailbox_rescues,
+            reexecutions: r.run.stats.reexecutions,
+            joins_repaired: r.run.stats.joins_repaired,
+            quarantines: r.run.stats.quarantines,
+            revivals: r.run.stats.revivals,
             seq_grants: r.run.report.seq_grants,
         }
     }
@@ -442,7 +465,9 @@ impl ResultRecord {
                 "\"amos\":{},\"traffic_bytes\":{},\"uli_messages\":{},\"steals\":{},",
                 "\"work\":{},\"span\":{},\"tasks\":{},\"faults_injected\":{},",
                 "\"mesh_fault_spikes\":{},\"uli_timeouts\":{},\"fallback_steals\":{},",
-                "\"forced_steal_misses\":{},\"seq_grants\":{}}}"
+                "\"forced_steal_misses\":{},\"crashes\":{},\"orphans_reclaimed\":{},",
+                "\"mailbox_rescues\":{},\"reexecutions\":{},\"joins_repaired\":{},",
+                "\"quarantines\":{},\"revivals\":{},\"seq_grants\":{}}}"
             ),
             json_escape(&self.app),
             json_escape(&self.setup),
@@ -463,6 +488,13 @@ impl ResultRecord {
             self.uli_timeouts,
             self.fallback_steals,
             self.forced_steal_misses,
+            self.crashes,
+            self.orphans_reclaimed,
+            self.mailbox_rescues,
+            self.reexecutions,
+            self.joins_repaired,
+            self.quarantines,
+            self.revivals,
             self.seq_grants,
         )
     }
@@ -698,6 +730,13 @@ mod json_tests {
             uli_timeouts: 0,
             fallback_steals: 0,
             forced_steal_misses: 0,
+            crashes: 0,
+            orphans_reclaimed: 0,
+            mailbox_rescues: 0,
+            reexecutions: 0,
+            joins_repaired: 0,
+            quarantines: 0,
+            revivals: 0,
             seq_grants: 9,
         }
     }

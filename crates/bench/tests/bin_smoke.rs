@@ -284,6 +284,86 @@ fn metrics_diff_passes_identical_documents_and_gates_regressions() {
 }
 
 #[test]
+fn ablate_faults_renders_every_plan_row() {
+    let out = run_bin(env!("CARGO_BIN_EXE_ablate_faults"), TINY, &[]);
+    assert_renders_table(&out, "ablate_faults", "Fault-plan ablation");
+    for plan in ["none", "uli-drop-storm", "steal-miss-storm", "mesh-latency-spikes", "hostile"] {
+        assert!(out.contains(plan), "ablate_faults: missing plan row {plan:?}:\n{out}");
+    }
+    assert!(out.contains("golden path"), "missing golden-path note:\n{out}");
+}
+
+#[test]
+fn check_all_runs_clean_and_writes_strict_verdict_lines() {
+    let verdicts = scratch("check-verdicts.json");
+    let mut env = TINY.to_vec();
+    let v_s = verdicts.to_str().unwrap().to_owned();
+    env.push(("BIGTINY_CHECK_OUT", &v_s));
+    let out = run_bin(env!("CARGO_BIN_EXE_check_all"), &env, &[]);
+    assert!(out.contains("DRF conformance sweep"), "missing sweep title:\n{out}");
+    assert!(out.contains("all 7 runs clean"), "sweep not clean:\n{out}");
+    let text = std::fs::read_to_string(&verdicts).expect("verdict file written");
+    let mut lines = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let kv = parse_json_line(line)
+            .unwrap_or_else(|e| panic!("check_all: invalid verdict line: {e}\n  {line}"));
+        assert!(
+            kv.iter().any(|(k, _)| k == "verdict_hash"),
+            "check_all: verdict line missing hash: {line}"
+        );
+        lines += 1;
+    }
+    assert_eq!(lines, 7, "one verdict per (kernel x setup)");
+    let _ = std::fs::remove_file(&verdicts);
+}
+
+/// Pin: the `--fault-plan` error must enumerate every named plan (the
+/// crash plans included) so a typo shows the full valid vocabulary.
+#[test]
+fn eval_all_rejects_unknown_fault_plans_listing_every_name() {
+    let out = Command::new(env!("CARGO_BIN_EXE_eval_all"))
+        .args(["--fault-plan", "bogus-plan"])
+        .envs(TINY.iter().copied())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown plan `bogus-plan`"), "wrong error:\n{stderr}");
+    for name in bigtiny_engine::FaultPlan::NAMES {
+        assert!(stderr.contains(name), "error does not list plan {name:?}:\n{stderr}");
+    }
+    assert!(stderr.contains("key=value"), "error does not mention spec form:\n{stderr}");
+}
+
+/// `--fault-plan` also accepts the `key=value` spec form the chaos fuzzer
+/// prints, arming the crash audit when the spec has a crash dimension.
+#[test]
+fn eval_all_accepts_fuzzer_specs_and_audits_crash_runs() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_eval_all"),
+        TINY,
+        &["--fault-plan", "crash_cores=0x20,crash_at=1500", "--fault-seed", "3"],
+    );
+    assert!(out.contains("crash dimension armed"), "crash arming not announced:\n{out}");
+    assert!(out.contains("Fault injection summary"), "missing fault summary:\n{out}");
+    assert!(out.contains("Crash-recovery audit"), "missing audit table:\n{out}");
+    assert!(out.contains("all 7 crash-armed runs audited clean"), "audit not clean:\n{out}");
+}
+
+#[test]
+fn chaos_fuzz_survives_a_tiny_budget() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_chaos_fuzz"),
+        TINY,
+        &["--budget", "2", "--seed", "1"],
+    );
+    assert!(
+        out.contains("all 2 sampled plans survived"),
+        "chaos_fuzz did not complete its budget:\n{out}"
+    );
+}
+
+#[test]
 fn json_check_accepts_nested_documents_and_rejects_garbage() {
     let good = scratch("check-good.json");
     std::fs::write(&good, "{\"schema\":\"x\",\"runs\":[{\"app\":\"a\"}]}\n").unwrap();

@@ -1,0 +1,543 @@
+//! Exactly-once / at-least-once execution audit over the task-event
+//! stream.
+//!
+//! The DRF passes in this crate need the per-op memory stream, which is
+//! incompatible with fault injection (`run_system` rejects armed checkers
+//! under an active [`bigtiny_engine::FaultPlan`] because faults perturb
+//! the schedule the oracle replays). Crash runs are instead audited at the
+//! *task* level, from the lifecycle events a
+//! [`bigtiny_core::RuntimeConfig::record_task_events`] run records:
+//!
+//! * **Crash-free runs are exactly-once**: every spawned task executes to
+//!   completion exactly once; any respawn or discard is a violation.
+//! * **Crash runs are at-least-once with accounting**: a task may stop
+//!   mid-execution only if a [`TaskEventKind::Respawn`] covers it or an
+//!   ancestor (the replacement re-runs the subtree); a task may be
+//!   [`TaskEventKind::Discarded`] only if it never began executing; a
+//!   subtree that re-executes is flagged as a *duplicated effect* unless
+//!   the kernel is on the idempotence whitelist
+//!   ([`IDEMPOTENT_KERNELS`]) — i.e. its side effects are written so that
+//!   running a subtree twice lands the same final state.
+//!
+//! The audit is deterministic (one linear pass, no hash-order iteration),
+//! so [`AuditReport::verdict_hash`] is a stable fingerprint of the
+//! verdict: the chaos fuzzer and the golden-trace determinism pins compare
+//! it across runs and backends.
+
+use bigtiny_core::{TaskEvent, TaskEventKind};
+use bigtiny_engine::hash;
+
+/// Kernels whose side effects are idempotent under subtree re-execution:
+/// every shared write is a pure function of the task's identity (slot
+/// writes, CAS-claimed flags), never a read-modify-write accumulation.
+/// Re-executing any subtree of these kernels lands the same final state,
+/// so duplicated effects are not violations for them.
+///
+/// This list is a *claim* audited by the crash-matrix acceptance tests:
+/// every kernel here must produce correct output under the crash-storm
+/// plan on every setup.
+pub const IDEMPOTENT_KERNELS: [&str; 13] = [
+    "cilk5-cs",
+    "cilk5-lu",
+    "cilk5-mm",
+    "cilk5-mt",
+    "cilk5-nq",
+    "ligra-bc",
+    "ligra-bf",
+    "ligra-bfs",
+    "ligra-bfsbv",
+    "ligra-cc",
+    "ligra-mis",
+    "ligra-radii",
+    "ligra-tc",
+];
+
+/// Whether `kernel` declares its side effects idempotent under subtree
+/// re-execution.
+pub fn kernel_is_idempotent(kernel: &str) -> bool {
+    IDEMPOTENT_KERNELS.contains(&kernel)
+}
+
+/// What the audit found wrong with one task's lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuditViolationKind {
+    /// Spawned (or respawned), never executed, never discarded: the task
+    /// was lost — dropped from a deque or mailbox without recovery.
+    Lost,
+    /// Began executing but never finished, and no respawn covers it or an
+    /// ancestor: the crash consumed the task without a replacement.
+    Unrecovered,
+    /// Discarded after it began executing: recovery threw away a task
+    /// whose partial effects are already visible.
+    DiscardedMidExec,
+    /// Executed to completion more than once (two `ExecEnd`s for one id) —
+    /// forbidden even under at-least-once, which duplicates *subtrees*
+    /// under fresh ids, never one record.
+    DoubleExec,
+    /// A respawn or discard appeared in a run whose fault plan has no
+    /// crash dimension armed.
+    UnexpectedRecovery,
+    /// Subtree re-execution happened but the kernel is not on the
+    /// idempotence whitelist: its duplicated side effects are unaudited.
+    NonIdempotentReexec,
+    /// The event stream itself is malformed (respawn of an unknown task,
+    /// events for a task never spawned).
+    MalformedStream,
+}
+
+impl AuditViolationKind {
+    /// Stable label used in reports and the verdict hash.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditViolationKind::Lost => "lost",
+            AuditViolationKind::Unrecovered => "unrecovered",
+            AuditViolationKind::DiscardedMidExec => "discarded-mid-exec",
+            AuditViolationKind::DoubleExec => "double-exec",
+            AuditViolationKind::UnexpectedRecovery => "unexpected-recovery",
+            AuditViolationKind::NonIdempotentReexec => "non-idempotent-reexec",
+            AuditViolationKind::MalformedStream => "malformed-stream",
+        }
+    }
+}
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct AuditViolation {
+    /// What rule was broken.
+    pub kind: AuditViolationKind,
+    /// Task the finding concerns.
+    pub task: u32,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] task {}: {}", self.kind.label(), self.task, self.detail)
+    }
+}
+
+/// The result of auditing one run's task-event stream.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Whether the run's fault plan had a crash dimension armed (sets the
+    /// exactly-once vs at-least-once expectation).
+    pub crash_armed: bool,
+    /// Tasks spawned (including respawn replacements).
+    pub tasks: u64,
+    /// Tasks that executed to completion.
+    pub completed: u64,
+    /// Respawn replacements seen.
+    pub respawns: u64,
+    /// Orphans discarded without executing.
+    pub discards: u64,
+    /// Tasks that died mid-execution and are covered by a respawn.
+    pub recovered: u64,
+    /// Findings, in task-id order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// No violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of findings of one kind.
+    pub fn count(&self, kind: AuditViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+
+    /// FNV-1a fingerprint of the verdict: folds the lifecycle counts and
+    /// every finding's kind and task. Deterministic runs produce identical
+    /// hashes; any audit-visible divergence changes it.
+    pub fn verdict_hash(&self) -> u64 {
+        let mut h = hash::FNV_OFFSET;
+        for n in [
+            self.crash_armed as u64,
+            self.tasks,
+            self.completed,
+            self.respawns,
+            self.discards,
+            self.recovered,
+        ] {
+            h = hash::fnv1a_continue(h, &n.to_le_bytes());
+        }
+        for v in &self.violations {
+            h = hash::fnv1a_continue(h, v.kind.label().as_bytes());
+            h = hash::fnv1a_continue(h, &(v.task as u64).to_le_bytes());
+        }
+        h
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} tasks, {} completed, {} respawns, {} discards, {} recovered\n",
+            if self.is_clean() { "clean" } else { "VIOLATIONS" },
+            self.tasks,
+            self.completed,
+            self.respawns,
+            self.discards,
+            self.recovered,
+        );
+        for v in &self.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+        out
+    }
+}
+
+/// Per-task lifecycle state accumulated by the linear pass.
+#[derive(Clone, Copy, Default)]
+struct TaskState {
+    spawned: bool,
+    began: bool,
+    ended: u32,
+    discarded: bool,
+    parent: Option<u32>,
+    /// A respawn named this task as the one that died mid-execution.
+    respawned_of: bool,
+}
+
+/// Audits a task-event stream for exactly-once (crash-free) or accounted
+/// at-least-once (crash-armed) execution.
+///
+/// `kernel` selects the idempotence expectation for re-executed subtrees;
+/// pass the registry name (e.g. `cilk5-nq`) or any other label — unknown
+/// names are simply not whitelisted.
+pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) -> AuditReport {
+    let mut states: Vec<TaskState> = Vec::new();
+    let mut report = AuditReport {
+        crash_armed,
+        tasks: 0,
+        completed: 0,
+        respawns: 0,
+        discards: 0,
+        recovered: 0,
+        violations: Vec::new(),
+    };
+    fn flag(violations: &mut Vec<AuditViolation>, kind: AuditViolationKind, task: u32, detail: String) {
+        violations.push(AuditViolation { kind, task, detail });
+    }
+
+    fn state(states: &mut Vec<TaskState>, id: u32) -> &mut TaskState {
+        let id = id as usize;
+        if states.len() <= id {
+            states.resize(id + 1, TaskState::default());
+        }
+        &mut states[id]
+    }
+
+    for e in events {
+        match e.kind {
+            TaskEventKind::Spawn { parent } => {
+                let s = state(&mut states, e.task);
+                if s.spawned {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::MalformedStream,
+                        e.task,
+                        "spawned twice".into(),
+                    );
+                }
+                s.spawned = true;
+                s.parent = parent;
+                report.tasks += 1;
+            }
+            TaskEventKind::Respawn { of } => {
+                let known = states.get(of as usize).is_some_and(|s| s.spawned);
+                if !known {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::MalformedStream,
+                        e.task,
+                        format!("respawns unknown task {of}"),
+                    );
+                }
+                let parent = states.get(of as usize).and_then(|s| s.parent);
+                {
+                    let of_state = state(&mut states, of);
+                    of_state.respawned_of = true;
+                }
+                let s = state(&mut states, e.task);
+                s.spawned = true;
+                s.parent = parent;
+                report.tasks += 1;
+                report.respawns += 1;
+            }
+            TaskEventKind::ExecBegin => {
+                let s = state(&mut states, e.task);
+                if !s.spawned {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::MalformedStream,
+                        e.task,
+                        "executed without a spawn".into(),
+                    );
+                }
+                s.began = true;
+            }
+            TaskEventKind::ExecEnd => {
+                let s = state(&mut states, e.task);
+                s.ended += 1;
+                report.completed += 1;
+                if s.ended == 2 {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::DoubleExec,
+                        e.task,
+                        "one task record completed twice".into(),
+                    );
+                }
+            }
+            TaskEventKind::Discarded => {
+                let s = state(&mut states, e.task);
+                if s.began {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::DiscardedMidExec,
+                        e.task,
+                        "discarded after its body began executing".into(),
+                    );
+                }
+                s.discarded = true;
+                report.discards += 1;
+            }
+            TaskEventKind::Stolen { .. } | TaskEventKind::Join => {}
+        }
+    }
+
+    if !crash_armed && (report.respawns > 0 || report.discards > 0) {
+        flag(
+            &mut report.violations,
+            AuditViolationKind::UnexpectedRecovery,
+            0,
+            format!(
+                "{} respawns and {} discards in a crash-free run",
+                report.respawns, report.discards
+            ),
+        );
+    }
+
+    // A task that stopped mid-execution is accounted for iff a respawn
+    // covers it or one of its ancestors (the replacement re-runs the whole
+    // subtree, recreating descendants under fresh ids).
+    let covered = |mut t: usize| -> bool {
+        loop {
+            if states[t].respawned_of {
+                return true;
+            }
+            match states[t].parent {
+                Some(p) => t = p as usize,
+                None => return false,
+            }
+        }
+    };
+    for (id, &s) in states.iter().enumerate() {
+        if !s.spawned {
+            continue;
+        }
+        if s.began && s.ended == 0 {
+            if covered(id) {
+                report.recovered += 1;
+            } else {
+                flag(
+                    &mut report.violations,
+                    AuditViolationKind::Unrecovered,
+                    id as u32,
+                    "died mid-execution with no covering respawn".into(),
+                );
+            }
+        }
+        if !s.began && !s.discarded && !covered(id) {
+            flag(
+                &mut report.violations,
+                AuditViolationKind::Lost,
+                id as u32,
+                "spawned but never executed nor discarded".into(),
+            );
+        }
+    }
+
+    if report.respawns > 0 && !kernel_is_idempotent(kernel) {
+        flag(
+            &mut report.violations,
+            AuditViolationKind::NonIdempotentReexec,
+            0,
+            format!("{} subtree re-executions but kernel {kernel:?} is not whitelisted", report.respawns),
+        );
+    }
+
+    report.violations.sort_by_key(|v| (v.task, v.kind.label()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, core: usize, task: u32, kind: TaskEventKind) -> TaskEvent {
+        TaskEvent { cycle, core, task, kind }
+    }
+
+    /// A clean crash-free stream: root spawns one child, both complete.
+    fn clean_stream() -> Vec<TaskEvent> {
+        use TaskEventKind::*;
+        vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, Stolen { from: 0 }),
+            ev(4, 1, 1, ExecBegin),
+            ev(8, 1, 1, ExecEnd),
+            ev(9, 0, 0, Join),
+            ev(10, 0, 0, ExecEnd),
+        ]
+    }
+
+    #[test]
+    fn clean_stream_is_exactly_once() {
+        let r = audit_task_events(&clean_stream(), false, "cilk5-nq");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!((r.tasks, r.completed, r.respawns, r.discards), (2, 2, 0, 0));
+    }
+
+    #[test]
+    fn recovery_in_a_crash_free_run_is_flagged() {
+        use TaskEventKind::*;
+        let mut events = clean_stream();
+        events.push(ev(11, 2, 2, Respawn { of: 1 }));
+        events.push(ev(12, 2, 2, ExecBegin));
+        events.push(ev(13, 2, 2, ExecEnd));
+        let r = audit_task_events(&events, false, "cilk5-nq");
+        assert_eq!(r.count(AuditViolationKind::UnexpectedRecovery), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn crash_with_covering_respawn_is_accounted() {
+        use TaskEventKind::*;
+        // Task 1 dies mid-execution; its child 2 sat in the dead deque and
+        // is discarded; task 3 respawns task 1 and completes the subtree.
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, Stolen { from: 0 }),
+            ev(4, 1, 1, ExecBegin),
+            ev(5, 1, 2, Spawn { parent: Some(1) }),
+            // core 1 crashes here
+            ev(9, 2, 2, Discarded),
+            ev(10, 2, 3, Respawn { of: 1 }),
+            ev(11, 2, 3, ExecBegin),
+            ev(12, 2, 4, Spawn { parent: Some(3) }),
+            ev(13, 2, 4, ExecBegin),
+            ev(14, 2, 4, ExecEnd),
+            ev(15, 2, 3, ExecEnd),
+            ev(16, 0, 0, Join),
+            ev(17, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events(&events, true, "cilk5-nq");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!((r.tasks, r.respawns, r.discards, r.recovered), (5, 1, 1, 1));
+    }
+
+    #[test]
+    fn uncovered_death_and_lost_tasks_are_violations() {
+        use TaskEventKind::*;
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, ExecBegin),
+            // core 1 crashes; nobody respawns task 1
+            ev(9, 0, 2, Spawn { parent: Some(0) }),
+            // task 2 is never executed nor discarded
+            ev(17, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events(&events, true, "cilk5-nq");
+        assert_eq!(r.count(AuditViolationKind::Unrecovered), 1, "{}", r.render());
+        assert_eq!(r.count(AuditViolationKind::Lost), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn descendants_of_a_respawned_task_are_covered() {
+        use TaskEventKind::*;
+        // Task 2 (child of dead task 1) also began and never ended — the
+        // ancestor's respawn covers it.
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, ExecBegin),
+            ev(4, 1, 2, Spawn { parent: Some(1) }),
+            ev(5, 1, 2, ExecBegin),
+            // core 1 crashes with both 1 and 2 on its stack
+            ev(10, 2, 3, Respawn { of: 1 }),
+            ev(11, 2, 3, ExecBegin),
+            ev(15, 2, 3, ExecEnd),
+            ev(17, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events(&events, true, "cilk5-nq");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.recovered, 2);
+    }
+
+    #[test]
+    fn discard_mid_exec_and_double_exec_are_violations() {
+        use TaskEventKind::*;
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, ExecBegin),
+            ev(4, 2, 1, Discarded),
+            ev(5, 0, 0, ExecEnd),
+            ev(6, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events(&events, true, "cilk5-nq");
+        assert_eq!(r.count(AuditViolationKind::DiscardedMidExec), 1, "{}", r.render());
+        assert_eq!(r.count(AuditViolationKind::DoubleExec), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn reexecution_outside_the_whitelist_is_flagged() {
+        use TaskEventKind::*;
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, ExecBegin),
+            ev(10, 2, 2, Respawn { of: 1 }),
+            ev(11, 2, 2, ExecBegin),
+            ev(12, 2, 2, ExecEnd),
+            ev(17, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events(&events, true, "my-accumulating-kernel");
+        assert_eq!(r.count(AuditViolationKind::NonIdempotentReexec), 1, "{}", r.render());
+        let r = audit_task_events(&events, true, "ligra-tc");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn whitelist_is_pinned_to_the_kernel_registry_names() {
+        // The whitelist is sorted and duplicate-free so membership checks
+        // and the acceptance matrix agree on one canonical spelling.
+        let mut sorted = IDEMPOTENT_KERNELS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, IDEMPOTENT_KERNELS);
+        assert!(kernel_is_idempotent("cilk5-nq"));
+        assert!(!kernel_is_idempotent("nqueens"));
+    }
+
+    #[test]
+    fn verdict_hash_is_stable_and_sensitive() {
+        let a = audit_task_events(&clean_stream(), false, "cilk5-nq");
+        let b = audit_task_events(&clean_stream(), false, "cilk5-nq");
+        assert_eq!(a.verdict_hash(), b.verdict_hash());
+        let mut broken = clean_stream();
+        broken.truncate(broken.len() - 1); // drop the root's ExecEnd
+        let c = audit_task_events(&broken, false, "cilk5-nq");
+        assert_ne!(a.verdict_hash(), c.verdict_hash());
+    }
+}

@@ -36,9 +36,15 @@
 //! hashing-order-dependent iteration, so the same run always yields the
 //! same report and the same [`CheckReport::verdict_hash`].
 
+pub mod audit;
 mod hb;
 mod lint;
 mod stale;
+
+pub use audit::{
+    audit_task_events, kernel_is_idempotent, AuditReport, AuditViolation, AuditViolationKind,
+    IDEMPOTENT_KERNELS,
+};
 
 use bigtiny_coherence::{Addr, Protocol};
 use bigtiny_engine::{hash, CheckMode, MemEvent, MemOp, RacyTag, RunReport, SystemConfig};

@@ -8,11 +8,12 @@ use std::sync::Arc;
 use crate::runtime::TaskCx;
 
 /// Runs two closures as parallel tasks and waits for both
-/// (`parallel_invoke` in Figure 2(b)).
+/// (`parallel_invoke` in Figure 2(b)). `Clone` is inherited from
+/// [`TaskCx::spawn`]'s crash-recovery factory requirement.
 pub fn parallel_invoke<A, B>(cx: &mut TaskCx<'_>, a: A, b: B)
 where
-    A: FnOnce(&mut TaskCx<'_>) + Send + 'static,
-    B: FnOnce(&mut TaskCx<'_>) + Send + 'static,
+    A: FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static,
+    B: FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static,
 {
     cx.set_pending(2);
     cx.spawn(a);
@@ -23,9 +24,9 @@ where
 /// Runs three closures as parallel tasks and waits for all of them.
 pub fn parallel_invoke3<A, B, C>(cx: &mut TaskCx<'_>, a: A, b: B, c: C)
 where
-    A: FnOnce(&mut TaskCx<'_>) + Send + 'static,
-    B: FnOnce(&mut TaskCx<'_>) + Send + 'static,
-    C: FnOnce(&mut TaskCx<'_>) + Send + 'static,
+    A: FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static,
+    B: FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static,
+    C: FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static,
 {
     cx.set_pending(3);
     cx.spawn(a);

@@ -14,6 +14,28 @@
 //!   the victim steals on behalf of the thief inside the ULI handler; the
 //!   `has_stolen_child` flag elides AMOs, flushes, and invalidates entirely
 //!   when no child of a task was ever stolen.
+//!
+//! # Fail-stop crashes and self-healing recovery
+//!
+//! When the armed fault plan includes a crash dimension
+//! (`FaultPlan::crash_armed()`), crash-eligible tiny cores can fail-stop
+//! mid-run. A crash is polled only at scheduler safe points (top of a
+//! scheduling step, spawn entry) where no simulated or host lock is held;
+//! it marks the core's ULI unit dead in sequenced order and unwinds the
+//! worker to `run_task_parallel`, which either retires the core's
+//! sequencer token (permanent crash) or parks it in a sequenced dormant
+//! loop until its scheduled revival. Survivors observe the death through
+//! a `Dead` steal reply or a periodic sequenced `dead_mask` scan, race a
+//! sequenced claim word (first grant wins, so recovery is deterministic),
+//! and the winner then: discards the dead core's deque (every entry
+//! descends from a task frozen on its execution stack), rescues unclaimed
+//! mailbox tasks (they belong to live families), and re-spawns the bottom
+//! task of the frozen stack from its recorded body factory — the
+//! replacement inherits the original's parent and join obligation, so no
+//! join counter is left short. Recovery gives at-least-once execution:
+//! subtrees can run twice, which is why crash-tolerant applications gate
+//! their side effects on [`TaskCx::crash_tolerant`] (idempotent slot
+//! writes instead of read-modify-write accumulation).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -26,8 +48,13 @@ use bigtiny_engine::{
 };
 
 use crate::deque::SimDeque;
-use crate::task::{field, TaskBody, TaskId, TaskRecord, WorkSpan};
+use crate::task::{field, RespawnFn, TaskBody, TaskId, TaskRecord, WorkSpan};
 use crate::telemetry::{StealTelemetry, TaskEvent, TaskEventKind};
+
+/// Panic payload used to unwind a fail-stopped worker's stack down to the
+/// catch in `run_task_parallel`. Private to the runtime: any other payload
+/// crossing that catch is re-raised untouched.
+struct CrashToken;
 
 /// Which of the paper's three runtime implementations to use.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -201,6 +228,25 @@ pub struct RuntimeStats {
     /// Steal attempts that the fault plan forced to miss before any deque
     /// or ULI traffic.
     pub forced_steal_misses: u64,
+    /// Crash recovery: unstarted tasks discarded from fail-stopped cores'
+    /// deques (their subtrees are recreated by re-execution).
+    pub orphans_reclaimed: u64,
+    /// Crash recovery: stolen tasks rescued from fail-stopped thieves'
+    /// mailboxes and requeued on the recovering core.
+    pub mailbox_rescues: u64,
+    /// Crash recovery: tasks re-spawned because their executor fail-stopped
+    /// mid-body (at-least-once re-executions).
+    pub reexecutions: u64,
+    /// Crash recovery: join counters repaired by a re-spawned task
+    /// inheriting the dead original's pending decrement.
+    pub joins_repaired: u64,
+    /// Crash recovery: victim-quarantine events (a worker removing a dead
+    /// core from its victim set, or doubling an existing quarantine's
+    /// re-probe backoff).
+    pub quarantines: u64,
+    /// Crash recovery: cores that came back from a fail-stop and rejoined
+    /// scheduling.
+    pub revivals: u64,
     /// Work/span profile of the task graph.
     pub workspan: WorkSpan,
 }
@@ -247,6 +293,33 @@ pub(crate) struct RtShared {
     /// order is that worker's deterministic program order — a single
     /// shared vector would interleave by host scheduling.
     task_events: Option<Vec<RwLock<Vec<TaskEvent>>>>,
+    // Crash-recovery state: allocated/used only when the fault plan can
+    // fail-stop cores, so crash support adds nothing — not even simulated
+    // address-space layout changes — to other runs.
+    /// Host-side per-worker stacks of currently-executing task ids. A
+    /// crash unwind skips the pops, freezing the snapshot recovery reads.
+    exec_stacks: Vec<RwLock<Vec<u32>>>,
+    /// Per-core recovery claim words (simulated address + host state); the
+    /// first worker to win the sequenced AMO on a dead core's claim owns
+    /// its recovery.
+    claims: Vec<Claim>,
+    /// Dedicated arena for respawned task records. Separate from worker
+    /// stacks: the winner's `stack_top` is save/restored by frame exit, so
+    /// carving respawn records from it would alias live allocations.
+    respawn_base: u64,
+    respawn_bytes: u64,
+    respawn_cursor_addr: bigtiny_coherence::Addr,
+    respawn_cursor: RwLock<u64>,
+}
+
+/// One core's recovery claim.
+struct Claim {
+    addr: bigtiny_coherence::Addr,
+    owner: RwLock<Option<usize>>,
+    /// Set by the claim winner once recovery finished; a revivable core
+    /// stays dormant until then so its fresh work cannot be mistaken for
+    /// pre-crash orphans.
+    done: RwLock<bool>,
 }
 
 /// A thief's steal mailbox. Functionally a queue rather than a single word:
@@ -258,6 +331,11 @@ pub(crate) struct RtShared {
 struct Mailbox {
     addr: bigtiny_coherence::Addr,
     value: RwLock<VecDeque<u64>>,
+    /// Set (inside the same sequenced AMO that drains the queue) when
+    /// crash recovery reclaims this mailbox: a victim handler whose push
+    /// sequences after the seal keeps its task instead of stranding it.
+    /// Cleared if the owner revives.
+    sealed: RwLock<bool>,
 }
 
 impl RtShared {
@@ -266,11 +344,33 @@ impl RtShared {
         space: &mut AddrSpace,
         workers: usize,
         topology: bigtiny_mesh::Topology,
+        crash_armed: bool,
     ) -> Self {
         let deques = (0..workers).map(|_| SimDeque::new(space, cfg.deque_capacity)).collect();
         let mailboxes = (0..workers)
-            .map(|_| Mailbox { addr: space.reserve_lines(64), value: RwLock::new(VecDeque::new()) })
+            .map(|_| Mailbox {
+                addr: space.reserve_lines(64),
+                value: RwLock::new(VecDeque::new()),
+                sealed: RwLock::new(false),
+            })
             .collect();
+        // Crash-only allocations come last and only when armed, so the
+        // simulated address layout of every other run is untouched.
+        let (claims, respawn_cursor_addr, respawn_base, respawn_bytes) = if crash_armed {
+            let claims = (0..workers)
+                .map(|_| Claim {
+                    addr: space.reserve_lines(64),
+                    owner: RwLock::new(None),
+                    done: RwLock::new(false),
+                })
+                .collect();
+            let cursor = space.reserve_lines(64);
+            let bytes = 1u64 << 18;
+            let base = space.reserve_lines(bytes).0;
+            (claims, cursor, base, bytes)
+        } else {
+            (Vec::new(), bigtiny_coherence::Addr(0), 0, 0)
+        };
         let stack_bytes = 1 << 20;
         let stack_bases = (0..workers).map(|_| space.reserve_lines(stack_bytes).0).collect();
         let victim_order = (0..workers)
@@ -297,6 +397,12 @@ impl RtShared {
             mut_counters: (0..workers).map(|_| RwLock::new(0)).collect(),
             tel: RwLock::new(StealTelemetry::new(workers)),
             task_events,
+            exec_stacks: (0..workers).map(|_| RwLock::new(Vec::new())).collect(),
+            claims,
+            respawn_base,
+            respawn_bytes,
+            respawn_cursor_addr,
+            respawn_cursor: RwLock::new(0),
         }
     }
 
@@ -383,16 +489,36 @@ impl RtShared {
                 port.annotate_sync(SyncNote::HscSet { task: p.0 });
             }
             // write_stolen_task (line 51): the task pointer goes through the
-            // thief's mailbox in shared memory.
+            // thief's mailbox in shared memory. The seal check shares the
+            // push's sequenced critical section: it either lands before
+            // recovery's drain-and-seal (and is rescued) or bounces here.
             let mb = &self.mailboxes[thief];
+            let mut bounced = false;
             port.store_words(mb.addr, 1, || {
-                mb.value.write().push_back(t.to_payload());
+                if *mb.sealed.read() {
+                    bounced = true;
+                } else {
+                    mb.value.write().push_back(t.to_payload());
+                }
             });
-            // cache_flush (line 52): make the task and everything this
-            // worker produced visible to the thief.
-            self.cache_flush(port, wid);
-            self.counters.write().steals += 1;
-            port.uli_send_response(thief, 1);
+            if bounced {
+                // The thief fail-stopped and its mailbox was already
+                // reclaimed: keep the task (one slot is free — we just
+                // popped it) and answer "empty".
+                let dq = &self.deques[wid];
+                dq.lock(port);
+                self.cache_invalidate(port, wid);
+                assert!(dq.push_tail(port, t), "bounced steal no longer fits its own deque");
+                self.cache_flush(port, wid);
+                dq.unlock(port);
+                port.uli_send_response(thief, 0);
+            } else {
+                // cache_flush (line 52): make the task and everything this
+                // worker produced visible to the thief.
+                self.cache_flush(port, wid);
+                self.counters.write().steals += 1;
+                port.uli_send_response(thief, 1);
+            }
         } else {
             port.uli_send_response(thief, 0);
         }
@@ -419,6 +545,34 @@ pub struct TaskCx<'a> {
     /// `RuntimeConfig::uli_giveup_attempts` triggers one shared-memory
     /// fallback steal, after which the count restarts.
     uli_fail_streak: u64,
+    /// Whether the fault plan can fail-stop cores (cached from the port).
+    /// Every crash/recovery hook below no-ops when false.
+    crash_armed: bool,
+    /// Scheduling-step counter driving the periodic sequenced dead-core
+    /// scan (every 64th step).
+    tick: u64,
+    /// Cores this worker currently believes dead (from `Dead` replies or
+    /// `dead_mask` scans); a cleared mask bit on a later scan is how
+    /// revival is observed.
+    known_dead: u64,
+    /// Cores whose recovery claim this worker already raced (win or lose),
+    /// so each death costs at most one claim AMO per worker.
+    claim_tried: u64,
+    /// Number of currently-quarantined victims (fast path: victim
+    /// selection is untouched while zero).
+    quarantined_count: usize,
+    /// Per-victim quarantine state.
+    health: Vec<VictimHealth>,
+}
+
+/// One victim's quarantine state, local to a thief.
+#[derive(Clone, Copy, Default)]
+struct VictimHealth {
+    quarantined: bool,
+    /// Local cycle at which the thief will probe the victim again.
+    reprobe_at: u64,
+    /// Current re-probe backoff, doubled on every failed probe.
+    backoff: u64,
 }
 
 impl std::fmt::Debug for TaskCx<'_> {
@@ -431,6 +585,8 @@ impl<'a> TaskCx<'a> {
     fn new(port: &'a mut CorePort, rt: Arc<RtShared>, wid: usize) -> Self {
         let stack_top = rt.stack_bases[wid];
         let backoff = rt.cfg.steal_backoff_cycles;
+        let crash_armed = port.crash_armed();
+        let health = vec![VictimHealth::default(); rt.deques.len()];
         TaskCx {
             port,
             rt,
@@ -441,6 +597,12 @@ impl<'a> TaskCx<'a> {
             backoff,
             victim_cursor: 0,
             uli_fail_streak: 0,
+            crash_armed,
+            tick: 0,
+            known_dead: 0,
+            claim_tried: 0,
+            quarantined_count: 0,
+            health,
         }
     }
 
@@ -450,6 +612,14 @@ impl<'a> TaskCx<'a> {
     /// conservative AMO + unconditional-invalidate protocol.
     fn dts_hsc_opt(&self) -> bool {
         self.rt.cfg.dts_has_stolen_child_opt && !self.port.faults_active()
+    }
+
+    /// True when a fail-stop crash plan is armed. Recovery re-executes the
+    /// task a dead core was running, so subtrees can run more than once:
+    /// crash-tolerant applications gate their side effects on this
+    /// (idempotent slot writes instead of read-modify-write accumulation).
+    pub fn crash_tolerant(&self) -> bool {
+        self.crash_armed
     }
 
     /// The simulated core this worker runs on.
@@ -547,7 +717,7 @@ impl<'a> TaskCx<'a> {
     // Task allocation and field access
     // ------------------------------------------------------------------
 
-    fn alloc_task(&mut self, body: Box<dyn TaskBody>) -> TaskId {
+    fn alloc_task(&mut self, body: Box<dyn TaskBody>, respawn: Option<RespawnFn>) -> TaskId {
         // Task records live on the spawning worker's simulated stack, like
         // the stack-allocated task objects of the paper's Figure 2.
         let base = self.rt.stack_bases[self.wid];
@@ -564,6 +734,7 @@ impl<'a> TaskCx<'a> {
             let mut tasks = self.rt.tasks.write();
             let id = TaskId(tasks.len() as u32);
             let mut rec = TaskRecord::new(body, parent, addr);
+            rec.respawn = respawn;
             if let Some(p) = parent {
                 rec.profile.spawn_path = tasks[p.0 as usize].profile.path;
             }
@@ -669,11 +840,16 @@ impl<'a> TaskCx<'a> {
     /// The number of children must have been announced with
     /// [`TaskCx::set_pending`] first, mirroring the paper's Figure 2.
     ///
+    /// Bodies must be `Clone` so that, when a crash plan is armed, a
+    /// factory can re-create the body if the core executing the task
+    /// fail-stops (the clone is only taken in that mode).
+    ///
     /// # Panics
     ///
     /// Panics if called outside a task body or without a `set_pending`
     /// budget.
-    pub fn spawn(&mut self, body: impl FnOnce(&mut TaskCx<'_>) + Send + 'static) {
+    pub fn spawn(&mut self, body: impl FnOnce(&mut TaskCx<'_>) + Clone + Send + 'static) {
+        self.maybe_crash();
         self.tally_user();
         let parent = self.current.expect("spawn() must be called from within a task");
         {
@@ -682,7 +858,15 @@ impl<'a> TaskCx<'a> {
             assert!(rec.pending_budget > 0, "spawn() without a set_pending() budget");
             rec.pending_budget -= 1;
         }
-        let child = self.alloc_task(Box::new(body));
+        let respawn: Option<RespawnFn> = if self.crash_armed {
+            let b = body.clone();
+            let f: Box<dyn FnMut() -> Box<dyn TaskBody> + Send> =
+                Box::new(move || Box::new(b.clone()));
+            Some(Arc::new(std::sync::Mutex::new(f)))
+        } else {
+            None
+        };
+        let child = self.alloc_task(Box::new(body), respawn);
         self.rt.counters.write().spawns += 1;
         // A few instructions of call overhead.
         self.port.advance(6);
@@ -824,6 +1008,7 @@ impl<'a> TaskCx<'a> {
     }
 
     fn step_baseline(&mut self) {
+        self.hardened_tick();
         let dq = &self.rt.deques[self.wid];
         let t = match self.rt.cfg.deque_kind {
             DequeKind::Locked => {
@@ -862,11 +1047,13 @@ impl<'a> TaskCx<'a> {
             self.execute_and_complete(t);
         } else {
             self.tel_miss(vid);
+            self.requarantine_if_dead(vid);
             self.steal_failed();
         }
     }
 
     fn step_hcc(&mut self) {
+        self.hardened_tick();
         let rt = Arc::clone(&self.rt);
         let dq = &rt.deques[self.wid];
         dq.lock(self.port);
@@ -903,11 +1090,13 @@ impl<'a> TaskCx<'a> {
             self.complete_task_stolen(t);
         } else {
             self.tel_miss(vid);
+            self.requarantine_if_dead(vid);
             self.steal_failed();
         }
     }
 
     fn step_dts(&mut self) {
+        self.hardened_tick();
         let hardened = self.port.faults_active();
         // Under faults, a response to a steal request this worker timed out
         // on can arrive arbitrarily late; its task is already queued in our
@@ -970,6 +1159,9 @@ impl<'a> TaskCx<'a> {
         let rtt_start = self.port.now();
         match self.port.uli_send_request(vid, self.wid as u64) {
             UliOutcome::Sent => {
+                // The unit accepted the request, so the victim is alive:
+                // a re-probe of a quarantined core succeeded.
+                self.unquarantine(vid);
                 // Wait for the response, servicing incoming steal requests
                 // to avoid mutual-steal deadlock. Without faults a response
                 // is guaranteed; hardened mode bounds the wait because the
@@ -1016,6 +1208,19 @@ impl<'a> TaskCx<'a> {
                 self.rt.counters.write().steal_nacks += 1;
                 self.tel_miss(vid);
                 self.uli_fail_streak += 1;
+                self.steal_failed();
+            }
+            UliOutcome::Dead { .. } => {
+                // The victim fail-stopped: quarantine it (with backoff
+                // re-probe so a revived core rejoins the victim set) and
+                // volunteer for its recovery.
+                self.tel_miss(vid);
+                self.uli_fail_streak += 1;
+                if vid < 64 {
+                    self.known_dead |= 1 << vid;
+                }
+                self.quarantine(vid);
+                self.try_recover(vid);
                 self.steal_failed();
             }
         }
@@ -1071,6 +1276,7 @@ impl<'a> TaskCx<'a> {
             self.complete_task_stolen(t);
         } else {
             self.tel_miss(vid);
+            self.requarantine_if_dead(vid);
             self.steal_failed();
         }
     }
@@ -1107,6 +1313,11 @@ impl<'a> TaskCx<'a> {
     fn choose_victim(&mut self) -> usize {
         let n = self.num_workers();
         debug_assert!(n > 1, "cannot steal in a single-worker system");
+        if self.quarantined_count > 0 {
+            if let Some(v) = self.choose_live_victim(n) {
+                return v;
+            }
+        }
         match self.rt.cfg.victim_policy {
             VictimPolicy::Random => {
                 let mut v = self.port.rng_below(n as u64 - 1) as usize;
@@ -1126,6 +1337,352 @@ impl<'a> TaskCx<'a> {
                 order[self.victim_cursor % order.len()]
             }
         }
+    }
+
+    /// Victim selection while quarantines are active: skip quarantined
+    /// victims whose re-probe time has not arrived. Falls back to the
+    /// normal policy (`None`) when no victim is currently eligible.
+    fn choose_live_victim(&mut self, n: usize) -> Option<usize> {
+        let now = self.port.now();
+        let eligible =
+            |h: &VictimHealth| !h.quarantined || now >= h.reprobe_at;
+        match self.rt.cfg.victim_policy {
+            VictimPolicy::Random => {
+                let cands: Vec<usize> = (0..n)
+                    .filter(|v| *v != self.wid && eligible(&self.health[*v]))
+                    .collect();
+                if cands.is_empty() {
+                    None
+                } else {
+                    Some(cands[self.port.rng_below(cands.len() as u64) as usize])
+                }
+            }
+            VictimPolicy::RoundRobin => {
+                let order = &self.rt.victim_order[self.wid];
+                for _ in 0..order.len() {
+                    let v = order[self.victim_cursor % order.len()];
+                    self.victim_cursor += 1;
+                    if eligible(&self.health[v]) {
+                        return Some(v);
+                    }
+                }
+                None
+            }
+            VictimPolicy::NearestFirst => {
+                let order = &self.rt.victim_order[self.wid];
+                (0..order.len())
+                    .map(|i| order[(self.victim_cursor + i) % order.len()])
+                    .find(|v| eligible(&self.health[*v]))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fail-stop crashes and recovery (all no-ops unless the fault plan's
+    // crash dimension is armed — see the module docs)
+    // ------------------------------------------------------------------
+
+    /// Safe-point crash poll: if this core's scheduled fail-stop cycle has
+    /// passed, mark its ULI unit dead (a sequenced op — all future steal
+    /// requests get `Dead` replies) and unwind to `run_task_parallel`. No
+    /// simulated or host lock is held at any poll site.
+    fn maybe_crash(&mut self) {
+        if self.crash_armed && self.port.crash_pending() {
+            self.port.crash_now();
+            std::panic::panic_any(CrashToken);
+        }
+    }
+
+    /// Per-scheduling-step crash hook: poll for this core's own crash,
+    /// and every 64th step scan the sequenced dead mask for other cores'
+    /// deaths (the only discovery path for the Baseline/Hcc runtimes, and
+    /// the join-counter-timeout backstop for DTS).
+    fn hardened_tick(&mut self) {
+        if !self.crash_armed {
+            return;
+        }
+        self.maybe_crash();
+        self.tick = self.tick.wrapping_add(1);
+        if self.tick.is_multiple_of(64) {
+            self.observe_dead();
+        }
+    }
+
+    /// Reads the sequenced dead mask and reconciles it with this worker's
+    /// view: newly-dead cores are quarantined and their recovery raced;
+    /// cleared bits (revived cores) are unquarantined.
+    fn observe_dead(&mut self) {
+        let mask = self.port.dead_mask();
+        let fresh = mask & !self.known_dead;
+        let revived = self.known_dead & !mask;
+        self.known_dead = mask;
+        let mut v = fresh;
+        while v != 0 {
+            let d = v.trailing_zeros() as usize;
+            v &= v - 1;
+            if d < self.health.len() && d != self.wid {
+                self.quarantine(d);
+                self.try_recover(d);
+            }
+        }
+        let mut v = revived;
+        while v != 0 {
+            let d = v.trailing_zeros() as usize;
+            v &= v - 1;
+            if d < self.health.len() {
+                self.unquarantine(d);
+            }
+        }
+    }
+
+    /// Removes `d` from this worker's victim set, or doubles the re-probe
+    /// backoff if it already was removed (a probe just failed again).
+    fn quarantine(&mut self, d: usize) {
+        let base = self.rt.cfg.steal_backoff_cycles.max(1) * 16;
+        let h = &mut self.health[d];
+        if h.quarantined {
+            h.backoff = (h.backoff * 2).min(1 << 16);
+        } else {
+            h.quarantined = true;
+            h.backoff = base;
+            self.quarantined_count += 1;
+        }
+        h.reprobe_at = self.port.now() + h.backoff;
+        self.rt.counters.write().quarantines += 1;
+    }
+
+    /// Returns `d` to this worker's victim set (it revived, or a probe
+    /// succeeded).
+    fn unquarantine(&mut self, d: usize) {
+        let h = &mut self.health[d];
+        if h.quarantined {
+            h.quarantined = false;
+            self.quarantined_count -= 1;
+        }
+    }
+
+    /// Doubles the re-probe backoff after a failed steal against a
+    /// quarantined victim — the Baseline/Hcc equivalent of a `Dead` reply
+    /// re-arming the quarantine.
+    fn requarantine_if_dead(&mut self, vid: usize) {
+        if self.crash_armed && self.health[vid].quarantined {
+            self.quarantine(vid);
+        }
+    }
+
+    /// Races the recovery claim for dead core `d` (at most once per worker
+    /// per death); the sequenced AMO makes the winner the first claimant
+    /// in grant order, so recovery is deterministic.
+    fn try_recover(&mut self, d: usize) {
+        if d >= 64 || self.claim_tried & (1u64 << d) != 0 {
+            return;
+        }
+        self.claim_tried |= 1 << d;
+        let rt = Arc::clone(&self.rt);
+        let claim = &rt.claims[d];
+        let won = self.port.amo_word(claim.addr, || {
+            let mut o = claim.owner.write();
+            if o.is_none() {
+                *o = Some(self.wid);
+                1
+            } else {
+                0
+            }
+        });
+        if won == 1 {
+            self.recover_core(d);
+        }
+    }
+
+    /// Recovers dead core `d`: reclaim its deque orphans, rescue its
+    /// unclaimed mailbox tasks, re-spawn the task it died inside, then
+    /// publish completion (a revivable core stays dormant until then).
+    fn recover_core(&mut self, d: usize) {
+        let rt = Arc::clone(&self.rt);
+
+        // (1) Orphan reclamation. Every task parked in the dead core's
+        // deque was spawned by a task frozen on its execution stack (a
+        // spawner cannot leave the stack before its children join), so the
+        // bottom respawn in step (3) recreates all of them: discard.
+        let dq = &rt.deques[d];
+        let mut orphans = 0u64;
+        if self.rt.cfg.kind == RuntimeKind::Baseline
+            && self.rt.cfg.deque_kind == DequeKind::ChaseLev
+        {
+            while let Some(t) = dq.cl_steal(self.port) {
+                self.record_event(t.0, TaskEventKind::Discarded);
+                orphans += 1;
+            }
+        } else {
+            dq.lock(self.port);
+            self.cache_invalidate();
+            while let Some(t) = dq.pop_head(self.port) {
+                self.record_event(t.0, TaskEventKind::Discarded);
+                orphans += 1;
+            }
+            self.cache_flush();
+            dq.unlock(self.port);
+        }
+        if orphans > 0 {
+            self.rt.counters.write().orphans_reclaimed += orphans;
+        }
+
+        // (2) Mailbox rescue. Tasks victims handed to the dead thief that
+        // it never claimed belong to *live* families — requeue them here.
+        // Drain-and-seal is one sequenced AMO, so a concurrent victim
+        // handler either lands before it (rescued) or bounces and keeps
+        // its task.
+        let mb = &rt.mailboxes[d];
+        let mut rescued: Vec<TaskId> = Vec::new();
+        self.port.amo_word(mb.addr, || {
+            let mut q = mb.value.write();
+            *mb.sealed.write() = true;
+            while let Some(p) = q.pop_front() {
+                if let Some(t) = TaskId::from_payload(p) {
+                    rescued.push(t);
+                }
+            }
+            rescued.len() as u64
+        });
+        if !rescued.is_empty() {
+            self.rt.counters.write().mailbox_rescues += rescued.len() as u64;
+        }
+        for t in rescued {
+            self.enqueue_recovered(t);
+        }
+
+        // (3) Re-execute the task the core died inside.
+        self.respawn_bottom(d);
+
+        *rt.claims[d].done.write() = true;
+        self.port.mark_progress();
+    }
+
+    /// Re-spawns the bottom task of dead core `d`'s frozen execution
+    /// stack. The bottom task always has a remote parent (a non-empty
+    /// stack bottom arrives by steal, rescue, or respawn), so the
+    /// replacement — which inherits that parent and its un-decremented
+    /// join count — repairs the join the dead original left short. Tasks
+    /// higher on the frozen stack are descendants of the bottom and are
+    /// recreated by its re-execution.
+    fn respawn_bottom(&mut self, d: usize) {
+        let bottom = {
+            let mut st = self.rt.exec_stacks[d].write();
+            let b = st.first().copied();
+            st.clear();
+            b
+        };
+        let Some(b) = bottom else { return };
+        let (parent, factory) = {
+            let tasks = self.rt.tasks.read();
+            let rec = &tasks[b as usize];
+            (rec.parent, rec.respawn.clone())
+        };
+        // Core 0 is never crash-eligible, so the dead task is never the
+        // root: it came through `spawn`, which records a factory whenever
+        // crashes are armed.
+        let factory = factory.expect("crashed task lacks a respawn factory");
+        let body = {
+            let mut f = factory.lock().unwrap_or_else(|e| e.into_inner());
+            (*f)()
+        };
+        let addr = self.alloc_respawn_slot();
+        let id = {
+            let mut tasks = self.rt.tasks.write();
+            let id = TaskId(tasks.len() as u32);
+            let mut rec = TaskRecord::new(body, parent, addr);
+            rec.respawn = Some(factory);
+            if let Some(p) = parent {
+                rec.profile.spawn_path = tasks[p.0 as usize].profile.path;
+            }
+            tasks.push(rec);
+            id
+        };
+        self.port.store_words(addr.offset(field::DESC), 2, || ());
+        self.port.store_words(addr.offset(field::PARENT), 1, || ());
+        self.record_event(id.0, TaskEventKind::Respawn { of: b });
+        {
+            let mut c = self.rt.counters.write();
+            c.reexecutions += 1;
+            c.joins_repaired += 1;
+        }
+        self.enqueue_recovered(id);
+    }
+
+    /// Allocates one record-sized slot in the respawn arena through a
+    /// sequenced AMO cursor (winners for different dead cores can race).
+    fn alloc_respawn_slot(&mut self) -> bigtiny_coherence::Addr {
+        let rt = Arc::clone(&self.rt);
+        let slot = self.port.amo_word(rt.respawn_cursor_addr, || {
+            let mut c = rt.respawn_cursor.write();
+            let s = *c;
+            *c += 1;
+            s
+        });
+        assert!((slot + 1) * field::SIZE <= rt.respawn_bytes, "respawn arena exhausted");
+        bigtiny_coherence::Addr(rt.respawn_base + slot * field::SIZE)
+    }
+
+    /// Queues a rescued or re-spawned task on this worker's own deque
+    /// (falling back to immediate execution if full). Recovered tasks
+    /// always have remote parents, so the inline path completes with an
+    /// AMO like a stolen task.
+    fn enqueue_recovered(&mut self, t: TaskId) {
+        let rt = Arc::clone(&self.rt);
+        let dq = &rt.deques[self.wid];
+        let dts = self.rt.cfg.kind == RuntimeKind::Dts;
+        if dts {
+            self.port.uli_disable();
+        }
+        let ok = match self.rt.cfg.kind {
+            RuntimeKind::Baseline => match self.rt.cfg.deque_kind {
+                DequeKind::Locked => {
+                    dq.lock(self.port);
+                    let ok = dq.push_tail(self.port, t);
+                    dq.unlock(self.port);
+                    ok
+                }
+                DequeKind::ChaseLev => dq.cl_push_tail(self.port, t),
+            },
+            RuntimeKind::Hcc | RuntimeKind::Dts => {
+                dq.lock(self.port);
+                self.cache_invalidate();
+                let ok = dq.push_tail(self.port, t);
+                self.cache_flush();
+                dq.unlock(self.port);
+                ok
+            }
+        };
+        if dts {
+            self.port.uli_enable();
+        }
+        if !ok {
+            self.cache_invalidate();
+            self.execute_task(t);
+            self.cache_flush();
+            self.complete_task_stolen(t);
+        }
+    }
+
+    /// Host-side check the dormant revival loop polls: has this core's
+    /// recovery finished?
+    fn recovery_done(&self) -> bool {
+        *self.rt.claims[self.wid].done.read()
+    }
+
+    /// Rejoins scheduling after a revival: clear the state the crash
+    /// unwind left behind, unseal the mailbox, and mark the ULI unit
+    /// alive again (sequenced, so thieves' next probes see it). The stack
+    /// region below the frozen `stack_top` is leaked — in-flight
+    /// decrements against dead task records may still touch it.
+    fn rejoin_after_revival(&mut self) {
+        self.current = None;
+        self.uli_fail_streak = 0;
+        self.backoff = self.rt.cfg.steal_backoff_cycles;
+        self.rt.exec_stacks[self.wid].write().clear();
+        *self.rt.mailboxes[self.wid].sealed.write() = false;
+        self.port.revive_now();
+        self.rt.counters.write().revivals += 1;
     }
 
     // ------------------------------------------------------------------
@@ -1150,11 +1707,20 @@ impl<'a> TaskCx<'a> {
 
         let saved_current = self.current.replace(t);
         let saved_stack = self.stack_top;
+        if self.crash_armed {
+            // Crash bookkeeping: an unwind skips the pop below, freezing
+            // this worker's execution stack for recovery to read.
+            self.rt.exec_stacks[self.wid].write().push(t.0);
+        }
         self.record_event(t.0, TaskEventKind::ExecBegin);
         self.remark();
         body.run(self);
         self.tally_user();
         self.record_event(t.0, TaskEventKind::ExecEnd);
+        if self.crash_armed {
+            let popped = self.rt.exec_stacks[self.wid].write().pop();
+            debug_assert_eq!(popped, Some(t.0));
+        }
         self.stack_top = saved_stack;
         self.current = saved_current;
         self.port.attr_switch(saved_attr);
@@ -1258,7 +1824,8 @@ pub fn run_task_parallel(
 ) -> TaskRun {
     let n = sys.num_cores();
     assert!(n >= 1);
-    let rt = Arc::new(RtShared::new(cfg.clone(), space, n, sys.topology()));
+    let crash_armed = sys.faults.crash_armed();
+    let rt = Arc::new(RtShared::new(cfg.clone(), space, n, sys.topology(), crash_armed));
     let dts = cfg.kind == RuntimeKind::Dts;
 
     let mut workers: Vec<Worker> = Vec::with_capacity(n);
@@ -1280,7 +1847,8 @@ pub fn run_task_parallel(
                 port.uli_enable();
             }
             let mut cx = TaskCx::new(port, Arc::clone(&rt), 0);
-            let root_id = cx.alloc_task(Box::new(root));
+            // No respawn factory: core 0 is never crash-eligible.
+            let root_id = cx.alloc_task(Box::new(root), None);
             cx.remark();
             cx.execute_task(root_id);
             if dts {
@@ -1300,7 +1868,39 @@ pub fn run_task_parallel(
                 port.uli_enable();
             }
             let mut cx = TaskCx::new(port, rt, wid);
-            cx.schedule_loop();
+            if !cx.crash_armed {
+                cx.schedule_loop();
+            } else {
+                // A fail-stopping worker unwinds to here with `CrashToken`.
+                // Permanent crash: return, retiring this core's sequencer
+                // token so the grant rotation never waits on it again.
+                // Revivable crash: dormant sequenced-idle loop (grants keep
+                // flowing) until the scheduled revival cycle AND the
+                // survivors' recovery of this core have both passed, then
+                // rejoin with a fresh scheduling loop.
+                while let Err(payload) = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(|| cx.schedule_loop()),
+                ) {
+                    if !payload.is::<CrashToken>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    let after = cx.port.revive_after();
+                    if after == 0 {
+                        return;
+                    }
+                    let revive_at = cx.port.now().saturating_add(after);
+                    loop {
+                        if cx.is_done() {
+                            return;
+                        }
+                        if cx.port.now() >= revive_at && cx.recovery_done() {
+                            break;
+                        }
+                        cx.port.idle(256);
+                    }
+                    cx.rejoin_after_revival();
+                }
+            }
             if dts {
                 cx.port.uli_disable();
             }
@@ -1344,6 +1944,17 @@ pub fn run_task_parallel(
                         c.uli_timeouts,
                         c.fallback_steals,
                     ));
+                    if sys.faults.crash_armed() {
+                        out.push_str(&format!(
+                            "  recovery: {} orphans discarded, {} mailbox rescues, \
+                             {} re-executions, {} quarantines, {} revivals\n",
+                            c.orphans_reclaimed,
+                            c.mailbox_rescues,
+                            c.reexecutions,
+                            c.quarantines,
+                            c.revivals,
+                        ));
+                    }
                     std::panic::panic_any(out)
                 }
                 _ => std::panic::resume_unwind(payload),

@@ -92,10 +92,20 @@ impl<T> std::fmt::Debug for SyncCell<T> {
     }
 }
 
+/// A factory that re-creates a task's body for crash recovery. Shared
+/// (`Arc`) so a respawned task can itself be respawned if its executor
+/// later fail-stops too; the `Mutex` keeps the factory `Sync` without
+/// demanding `Sync` closures from applications.
+pub type RespawnFn = std::sync::Arc<std::sync::Mutex<Box<dyn FnMut() -> Box<dyn TaskBody> + Send>>>;
+
 /// One task's functional state.
 pub struct TaskRecord {
     /// The body, present until the task is dispatched.
     pub body: Option<SyncCell<Box<dyn TaskBody>>>,
+    /// Re-creates the body after a core crash. `None` unless a crash plan
+    /// is armed (the factory costs a clone of the closure's captures) or
+    /// for the root task (core 0 is never crash-eligible).
+    pub respawn: Option<RespawnFn>,
     /// Parent task, if any.
     pub parent: Option<TaskId>,
     /// Unfinished children (the paper's `reference_count`).
@@ -129,6 +139,7 @@ impl TaskRecord {
     pub fn new(body: Box<dyn TaskBody>, parent: Option<TaskId>, sim_addr: Addr) -> Self {
         TaskRecord {
             body: Some(SyncCell::new(body)),
+            respawn: None,
             parent,
             rc: 0,
             pending_budget: 0,

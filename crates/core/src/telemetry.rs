@@ -246,6 +246,18 @@ pub enum TaskEventKind {
     },
     /// The task's `wait()` returned — all children joined.
     Join,
+    /// Crash recovery re-created the task: this event's task id is the
+    /// replacement, `of` is the task that was executing on the fail-stopped
+    /// core. The replacement inherits `of`'s parent and join obligation.
+    Respawn {
+        /// Task id of the original that died mid-execution.
+        of: u32,
+    },
+    /// Crash recovery discarded the task without executing it: it sat
+    /// unstarted in a fail-stopped core's deque, and every such orphan is a
+    /// descendant of a task frozen on that core's execution stack, so
+    /// re-executing the stack bottom recreates it.
+    Discarded,
 }
 
 #[cfg(test)]

@@ -158,7 +158,10 @@ impl CorePort {
             events: None,
             attr: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
-            faults: FaultState::new(faults, core),
+            // Only tiny cores other than core 0 are crash-eligible: core 0
+            // runs the program's root task, and the paper's big cores are
+            // the reliable hosts of last resort.
+            faults: FaultState::new(faults, core, kind == CoreKind::Tiny && core != 0),
             shared,
             handler: None,
             in_handler: false,
@@ -745,7 +748,7 @@ impl CorePort {
         };
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
-        if let UliOutcome::Nack { reply_at } = out {
+        if let UliOutcome::Nack { reply_at } | UliOutcome::Dead { reply_at } = out {
             let wait = reply_at.saturating_sub(self.clock);
             self.charge(TimeCategory::UliWait, wait);
         }
@@ -823,6 +826,59 @@ impl CorePort {
     /// forces this lookup to miss. Always `false` without an armed plan.
     pub fn fault_steal_miss(&mut self) -> bool {
         self.faults.on_steal_lookup()
+    }
+
+    /// Whether fail-stop crashes are armed in this run's fault plan (on
+    /// any core). Runtimes gate their crash-recovery machinery on this;
+    /// `false` guarantees none of it runs and the golden path is
+    /// bit-for-bit unchanged.
+    pub fn crash_armed(&self) -> bool {
+        self.faults.crash_armed()
+    }
+
+    /// Whether this core's scheduled fail-stop is due. A pure host-side
+    /// check (no sequencing, no cycle charge): runtimes poll it at
+    /// scheduler safe points — never inside a ULI handler or while holding
+    /// a simulated lock — and take the crash with [`CorePort::crash_now`].
+    pub fn crash_pending(&self) -> bool {
+        !self.in_handler && self.faults.crash_pending(self.now())
+    }
+
+    /// Takes this core's fail-stop: a sequenced operation that marks the
+    /// core's ULI unit dead (all future steal requests answer
+    /// [`UliOutcome::Dead`]) and records the crash. The caller — the
+    /// runtime's scheduler loop — then unwinds its own task frames and
+    /// either retires the core (permanent crash) or goes dormant until
+    /// [`CorePort::revive_now`].
+    pub fn crash_now(&mut self) {
+        self.seq(|st, now, core| st.uli.set_dead(core, now));
+        self.faults.note_crashed();
+        // A crash is liveness-relevant: survivors need watchdog budget to
+        // observe it and run recovery.
+        self.mark_progress();
+    }
+
+    /// Revives this core after a crash (the `revive_after_cycles`
+    /// rejoin): a sequenced operation clearing the dead flag. The runtime
+    /// then re-enters its scheduler loop as a fresh worker.
+    pub fn revive_now(&mut self) {
+        self.seq(|st, _, core| st.uli.set_alive(core));
+        self.mark_progress();
+    }
+
+    /// Cycles after its crash at which this core revives (0 = permanent).
+    pub fn revive_after(&self) -> u64 {
+        self.faults.revive_after()
+    }
+
+    /// Sequenced read of the dead-core bitmask (bit `i` = core `i` has
+    /// fail-stopped). The universal crash observer: survivors poll this in
+    /// their wait loops to detect deaths even on runtimes that never send
+    /// ULIs. Charges one idle cycle, like [`CorePort::is_done`].
+    pub fn dead_mask(&mut self) -> u64 {
+        let m = self.seq(|st, _, _| st.uli.dead_mask());
+        self.charge(TimeCategory::Idle, 1);
+        m
     }
 
     /// Faults injected on this core so far.

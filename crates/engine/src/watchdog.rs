@@ -146,7 +146,12 @@ impl std::fmt::Display for DiagnosticBundle {
         }
         writeln!(f, "uli: {} messages, {} nacks", self.uli_messages, self.uli_nacks)?;
         for c in &self.cores {
-            let state = if c.seq.retired {
+            // A fail-stopped core is *expected*-silent: its worker either
+            // retired (permanent crash) or idles awaiting revival. Label it
+            // distinctly from a hung core so the bundle reads correctly.
+            let state = if c.uli.dead {
+                if c.seq.retired { "dead".to_owned() } else { "dead(revivable)".to_owned() }
+            } else if c.seq.retired {
                 "retired".to_owned()
             } else if let Some(t) = c.seq.waiting_at {
                 format!("waiting@{t}")

@@ -41,6 +41,7 @@ fn nack_on_disabled_receiver_then_retry_gets_served() {
                     }
                     port.idle(20);
                 }
+                UliOutcome::Dead { .. } => panic!("no crash plan armed"),
             }
         }
         assert!(sends > 1, "first send must have been NACKed and retried");
@@ -115,6 +116,7 @@ fn uli_poll_response_after_victim_death() {
             match port.uli_send_request(0, 21) {
                 UliOutcome::Sent => break,
                 UliOutcome::Nack { .. } => port.idle(10),
+                UliOutcome::Dead { .. } => panic!("no crash plan armed"),
             }
         }
         // Let the victim respond, tear down, and retire before polling.

@@ -72,6 +72,64 @@ fn grants_slower_than_wall_clock_window_complete_unpoisoned() {
     assert!(report.seq_grants > 0);
 }
 
+/// A core that fail-stops mid-run goes permanently silent — no grants, no
+/// activity, ever again — but its silence is *expected* and must not trip
+/// the wall-clock fallback or wedge dispatch: the survivor keeps granting
+/// against an aggressive wall window and completes. (Before dead-core
+/// retirement was taught to the sequencer, a mid-run exit like this could
+/// leave the waiting set expecting a grant that never comes.)
+#[test]
+fn quarantined_dead_core_never_trips_wall_clock_fallback() {
+    let mut config = SystemConfig::o3(2).with_watchdog(1_000_000);
+    config.watchdog_wall_ms = 100;
+
+    let survivor: Worker = Box::new(|port| {
+        for _ in 0..500 {
+            port.advance(10);
+            port.is_done(); // sequenced op: the only grant source once core 1 dies
+        }
+        port.set_done();
+    });
+    let dier: Worker = Box::new(|port| {
+        port.advance(50);
+        port.crash_now();
+        // Permanent fail-stop: the worker retires and never grants again.
+    });
+    let report = run_system(&config, vec![survivor, dier]);
+    assert!(report.seq_grants > 0);
+    assert_eq!(report.fault_counters.crashes, 1, "the crash was taken and counted");
+}
+
+/// The flip side: a dead core must never *mask* a genuine hang. With core 1
+/// dead and the survivor spinning idle without ever marking progress, the
+/// deterministic budget still trips — and the diagnostic bundle labels the
+/// dead core as dead, not as a suspect hung core.
+#[test]
+fn idle_spinning_survivor_still_trips_watchdog_despite_dead_core() {
+    let mut config = SystemConfig::o3(2).with_watchdog(5_000);
+    config.watchdog_wall_ms = 60_000;
+
+    let spinner: Worker = Box::new(|port| {
+        while !port.is_done() {
+            port.idle(50); // grants flow, but no progress is ever marked
+        }
+    });
+    let dier: Worker = Box::new(|port| {
+        port.advance(50);
+        port.crash_now();
+    });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_system(&config, vec![spinner, dier]);
+    }));
+    let payload = result.expect_err("a progress-free spin must trip the budget watchdog");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("watchdog panic carries the diagnostic bundle");
+    assert!(msg.contains(WATCHDOG_MSG), "got: {msg}");
+    assert!(msg.contains("[dead"), "bundle labels the fail-stopped core as dead: {msg}");
+}
+
 /// The same machine with the spin replaced by a finishing worker completes
 /// without tripping: the wall-clock fallback only fires when *nothing* is
 /// granted for the whole window.

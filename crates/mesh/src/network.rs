@@ -198,12 +198,22 @@ pub enum UliOutcome {
         /// Cycle at which the sender observes the NACK.
         reply_at: u64,
     },
+    /// The receiver's core has fail-stopped: its ULI unit answers with a
+    /// dead indication (distinguishable from a busy NACK, so thieves can
+    /// quarantine the victim and trigger recovery instead of retrying).
+    Dead {
+        /// Cycle at which the sender observes the dead reply.
+        reply_at: u64,
+    },
 }
 
 /// Per-core ULI unit state.
 #[derive(Clone, Debug, Default)]
 struct UliUnit {
     enabled: bool,
+    /// The core fail-stopped: every future request is answered with
+    /// [`UliOutcome::Dead`] and buffered requests are never serviced.
+    dead: bool,
     pending_req: Option<UliMessage>,
     pending_resp: VecDeque<UliMessage>,
 }
@@ -222,6 +232,9 @@ const ULI_RESP_QUEUE_CAP: usize = 4;
 pub struct UliCoreState {
     /// Whether the core currently accepts ULI requests.
     pub enabled: bool,
+    /// Whether the core has fail-stopped (quarantined, expected-silent —
+    /// distinct from a hung core, which the watchdog poisons).
+    pub dead: bool,
     /// Origin core of the buffered request, if any.
     pub pending_req_from: Option<usize>,
     /// Arrival cycle of the buffered request, if any.
@@ -303,6 +316,10 @@ impl UliNetwork {
         assert_ne!(from, to, "a core cannot send a ULI to itself");
         let lat = self.record(from, to);
         let unit = &self.units[to];
+        if unit.dead {
+            let back = self.record(to, from);
+            return UliOutcome::Dead { reply_at: now + lat + back };
+        }
         if !unit.enabled || unit.pending_req.is_some() {
             let back = self.record(to, from);
             self.nacks += 1;
@@ -315,7 +332,7 @@ impl UliNetwork {
     /// Removes and returns the pending request at `core` if one has arrived
     /// by cycle `now` **and** the core has ULI enabled.
     pub fn take_request(&mut self, core: usize, now: u64) -> Option<UliMessage> {
-        if !self.units[core].enabled {
+        if !self.units[core].enabled || self.units[core].dead {
             return None;
         }
         match self.units[core].pending_req {
@@ -394,11 +411,47 @@ impl UliNetwork {
         }
     }
 
+    /// Fail-stops `core`'s ULI unit at cycle `now`: every future request
+    /// is answered [`UliOutcome::Dead`], and buffered requests are never
+    /// serviced. A request already buffered (its sender is committed to
+    /// waiting for a response) is answered with an immediate payload-0
+    /// "miss" response so the waiting thief unblocks — it learns the
+    /// victim is dead on its next attempt.
+    pub fn set_dead(&mut self, core: usize, now: u64) {
+        self.units[core].dead = true;
+        if let Some(req) = self.units[core].pending_req.take() {
+            self.send_response(core, req.from, 0, now);
+        }
+    }
+
+    /// Revives `core`'s ULI unit (the core rejoins the computation). ULI
+    /// reception stays disabled until the core re-enables it.
+    pub fn set_alive(&mut self, core: usize) {
+        self.units[core].dead = false;
+    }
+
+    /// Whether `core`'s ULI unit has fail-stopped.
+    pub fn is_dead(&self, core: usize) -> bool {
+        self.units[core].dead
+    }
+
+    /// Bitmask of currently-dead cores (bit `i` = core `i`; cores ≥ 64
+    /// are not representable, and crash eligibility keeps them alive).
+    pub fn dead_mask(&self) -> u64 {
+        self.units
+            .iter()
+            .enumerate()
+            .take(64)
+            .filter(|(_, u)| u.dead)
+            .fold(0u64, |m, (i, _)| m | (1 << i))
+    }
+
     /// A crash-consistent snapshot of `core`'s ULI unit for diagnostics.
     pub fn unit_state(&self, core: usize) -> UliCoreState {
         let u = &self.units[core];
         UliCoreState {
             enabled: u.enabled,
+            dead: u.dead,
             pending_req_from: u.pending_req.map(|m| m.from),
             pending_req_arrives_at: u.pending_req.map(|m| m.arrives_at),
             pending_responses: u.pending_resp.len(),
@@ -622,6 +675,38 @@ mod tests {
         assert!(s.pending_req_arrives_at.is_some());
         let thief = u.unit_state(0);
         assert_eq!(thief.pending_responses, 1);
+    }
+
+    #[test]
+    fn dead_unit_answers_dead_and_never_services() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(1, true);
+        u.set_dead(1, 100);
+        assert!(u.is_dead(1));
+        assert_eq!(u.dead_mask(), 1 << 1);
+        match u.try_send_request(0, 1, 7, 100) {
+            UliOutcome::Dead { reply_at } => assert_eq!(reply_at, 106), // 1 hop each way
+            other => panic!("expected Dead, got {other:?}"),
+        }
+        assert!(u.take_request(1, 10_000).is_none(), "a dead core services nothing");
+        u.set_alive(1);
+        assert!(!u.is_dead(1));
+        assert_eq!(u.dead_mask(), 0);
+        assert_eq!(u.try_send_request(0, 1, 7, 200), UliOutcome::Sent);
+    }
+
+    #[test]
+    fn death_with_buffered_request_unblocks_the_waiting_thief() {
+        let mut u = UliNetwork::new(Topology::new(8, 8), 64);
+        u.set_enabled(1, true);
+        assert_eq!(u.try_send_request(0, 1, 7, 0), UliOutcome::Sent);
+        u.set_dead(1, 50);
+        // The committed thief gets a payload-0 miss response instead of
+        // waiting forever on a core that will never service the request.
+        let resp = u.take_response(0, 60).expect("unblocking response");
+        assert_eq!(resp.payload, 0);
+        assert_eq!(resp.from, 1);
+        assert!(!u.has_pending_request(1));
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn uli_single_buffering() {
             match uli.try_send_request(*s, victim, i as u64, 100 * i as u64) {
                 UliOutcome::Sent => successes += 1,
                 UliOutcome::Nack { reply_at } => assert!(reply_at > 100 * i as u64),
+                UliOutcome::Dead { .. } => panic!("no core was marked dead"),
             }
         }
         assert_eq!(successes, 1, "single request buffer");

@@ -151,6 +151,10 @@ pub struct DagCheck {
     pub steals: u64,
     /// Completed `wait()` joins.
     pub joins: u64,
+    /// Crash-recovery re-spawns of tasks lost on dead cores.
+    pub respawns: u64,
+    /// Orphan tasks discarded from dead cores' deques.
+    pub discards: u64,
 }
 
 /// Checks that a recorded task-event stream describes a well-formed
@@ -162,9 +166,17 @@ pub struct DagCheck {
 /// * each task begins and ends execution at most once, in order, and
 ///   never ends without beginning;
 /// * event cycles are non-decreasing per core.
+///
+/// Crash-recovery streams stay well-formed under two relaxations: a task
+/// that began but never ended is accepted when it — or an ancestor — was
+/// covered by a `Respawn` (its core fail-stopped mid-execution and a
+/// replacement re-runs the subtree), and `Discarded` orphans are accepted
+/// as terminal without ever executing.
 pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
     // Task id -> (spawned, began, ended); ids are dense.
     let mut state: Vec<(bool, bool, bool)> = Vec::new();
+    let mut parents: Vec<Option<u32>> = Vec::new();
+    let mut respawned_of: Vec<bool> = Vec::new();
     let mut last_cycle_per_core: Vec<u64> = Vec::new();
     let mut check = DagCheck::default();
     let mut roots = 0u64;
@@ -172,6 +184,8 @@ pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
         let id = e.task as usize;
         if state.len() <= id {
             state.resize(id + 1, (false, false, false));
+            parents.resize(id + 1, None);
+            respawned_of.resize(id + 1, false);
         }
         if last_cycle_per_core.len() <= e.core {
             last_cycle_per_core.resize(e.core + 1, 0);
@@ -189,6 +203,7 @@ pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
                     return Err(format!("task {id} spawned twice"));
                 }
                 state[id].0 = true;
+                parents[id] = parent;
                 check.tasks += 1;
                 match parent {
                     None => roots += 1,
@@ -203,6 +218,30 @@ pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
                         }
                     }
                 }
+            }
+            TaskEventKind::Respawn { of } => {
+                if state[id].0 {
+                    return Err(format!("task {id} spawned twice"));
+                }
+                if !state.get(of as usize).is_some_and(|s| s.0) {
+                    return Err(format!("task {id} respawns task {of}, which was never spawned"));
+                }
+                state[id].0 = true;
+                // The replacement re-runs the dead task's subtree in its
+                // parent's stead.
+                parents[id] = parents[of as usize];
+                respawned_of[of as usize] = true;
+                check.tasks += 1;
+                check.respawns += 1;
+            }
+            TaskEventKind::Discarded => {
+                if !state[id].0 {
+                    return Err(format!("task {id} discarded without a Spawn"));
+                }
+                if state[id].1 {
+                    return Err(format!("task {id} discarded after it began executing"));
+                }
+                check.discards += 1;
             }
             TaskEventKind::ExecBegin => {
                 if !state[id].0 {
@@ -240,8 +279,21 @@ pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
     if !events.is_empty() && roots != 1 {
         return Err(format!("expected exactly one parentless root task, found {roots}"));
     }
+    // A task lost mid-execution is accounted for iff a Respawn covers it
+    // or one of its ancestors (the re-executed subtree recreates it).
+    let covered = |mut t: usize| -> bool {
+        loop {
+            if respawned_of[t] {
+                return true;
+            }
+            match parents[t] {
+                Some(p) => t = p as usize,
+                None => return false,
+            }
+        }
+    };
     for (id, (_, began, ended)) in state.iter().enumerate() {
-        if *began && !*ended {
+        if *began && !*ended && !covered(id) {
             return Err(format!("task {id} began executing but never ended"));
         }
     }
@@ -436,6 +488,28 @@ pub fn replay(
                         pn.cand_via = Some(Rc::new(ViaNode { task: e.task, prev: spawn_via }));
                     }
                 }
+            }
+            TaskEventKind::Respawn { of } => {
+                // A crash-recovery replacement: re-enters the DAG under
+                // the dead task's parent, snapshotting that parent at the
+                // respawn like a fresh spawn.
+                let parent = nodes.get(of as usize).and_then(|n| n.parent);
+                let snapshot = parent.map(|p| {
+                    let pn = node(&mut nodes, p);
+                    (pn.path, pn.path_bd, pn.via.clone())
+                });
+                let n = node(&mut nodes, e.task);
+                n.spawned = true;
+                n.parent = parent;
+                if let Some((path, bd, via)) = snapshot {
+                    n.spawn_path = path;
+                    n.spawn_bd = bd;
+                    n.spawn_via = via;
+                }
+            }
+            TaskEventKind::Discarded => {
+                // Orphans reclaimed from a dead core's deque never ran:
+                // nothing accrues.
             }
             TaskEventKind::Stolen { .. } => {
                 node(&mut nodes, e.task).stolen = true;
@@ -642,7 +716,10 @@ mod tests {
         assert!(err(&[root, event(1, 0, 1, Spawn { parent: None })]).contains("root"));
         let (events, _) = fixture();
         let check = check_task_dag(&events).unwrap();
-        assert_eq!(check, DagCheck { tasks: 3, executed: 3, steals: 1, joins: 1 });
+        assert_eq!(
+            check,
+            DagCheck { tasks: 3, executed: 3, steals: 1, joins: 1, respawns: 0, discards: 0 }
+        );
     }
 
     /// A real profiled run obeys the work/span laws: `T∞ ≤ Tp ≤ T1` (the

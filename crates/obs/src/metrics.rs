@@ -145,6 +145,13 @@ fn faults_section(r: &RunMetrics<'_>) -> Json {
     kv.push(("uli_timeouts".into(), Json::u64(st.uli_timeouts)));
     kv.push(("fallback_steals".into(), Json::u64(st.fallback_steals)));
     kv.push(("forced_steal_misses".into(), Json::u64(st.forced_steal_misses)));
+    // Crash-recovery counters (additive; zero on crash-free runs).
+    kv.push(("orphans_reclaimed".into(), Json::u64(st.orphans_reclaimed)));
+    kv.push(("mailbox_rescues".into(), Json::u64(st.mailbox_rescues)));
+    kv.push(("reexecutions".into(), Json::u64(st.reexecutions)));
+    kv.push(("joins_repaired".into(), Json::u64(st.joins_repaired)));
+    kv.push(("quarantines".into(), Json::u64(st.quarantines)));
+    kv.push(("revivals".into(), Json::u64(st.revivals)));
     Json::Obj(kv)
 }
 

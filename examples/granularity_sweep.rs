@@ -9,7 +9,8 @@
 use std::sync::Arc;
 
 use bigtiny_apps::graph::Graph;
-use bigtiny_apps::ligra_apps::tc::{host_triangles, run_tc};
+use bigtiny_apps::ligra_apps::tc::{host_triangles, run_tc, TcSlots};
+use bigtiny_engine::ShVec;
 use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
 use bigtiny_engine::{AddrSpace, Protocol, ShScalar, SystemConfig};
 
@@ -17,10 +18,14 @@ fn count_triangles(sys: &SystemConfig, grain: usize) -> (u64, bigtiny_core::Task
     let mut space = AddrSpace::new();
     let g = Arc::new(Graph::rmat(&mut space, 512, 8, 0x716));
     let count = Arc::new(ShScalar::new(&mut space, 0u64));
+    let slots = Arc::new(TcSlots {
+        by_vertex: ShVec::new(&mut space, g.num_vertices(), 0u64),
+        by_edge: ShVec::new(&mut space, g.num_edges(), 0u64),
+    });
     let want = host_triangles(&g.host_adjacency());
-    let (g2, c2) = (Arc::clone(&g), Arc::clone(&count));
+    let (g2, c2, s2) = (Arc::clone(&g), Arc::clone(&count), Arc::clone(&slots));
     let run = run_task_parallel(sys, &RuntimeConfig::new(RuntimeKind::Baseline), &mut space, move |cx| {
-        run_tc(cx, &g2, &c2, grain);
+        run_tc(cx, &g2, &c2, &s2, grain);
     });
     assert_eq!(count.host_read(), want, "triangle count verified");
     (run.report.completion_cycles, run)
