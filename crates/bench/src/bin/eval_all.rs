@@ -37,10 +37,12 @@ struct CliOpts {
     /// Write a Chrome trace-event document (load in `ui.perfetto.dev`)
     /// here; arms per-core tracing and task-event recording on every setup.
     trace_out: Option<String>,
+    /// Run the 256-core Table V machines instead of the 64-core matrix.
+    setups_256: bool,
 }
 
 const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan PLAN] [--watchdog-budget N]
-                [--metrics-out PATH] [--trace-out PATH]
+                [--metrics-out PATH] [--trace-out PATH] [--setups-256]
   --fault-seed N       seed for deterministic fault injection; inert unless
                        --fault-plan is also given (no plan is ever implied)
   --fault-plan PLAN    arm fault injection: a named plan (none,
@@ -57,6 +59,10 @@ const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan PLAN] [--wat
                        (one object per (app, setup) run) to PATH
   --trace-out PATH     write a Chrome trace-event JSON document to PATH
                        (arms tracing + task events; load in ui.perfetto.dev)
+  --setups-256         run the 256-core Table V machines (b.T-256/MESI,
+                       b.T-256/HCC-gwb, b.T-256/HCC-DTS-gwb) instead of
+                       the 64-core matrix; combine with BIGTINY_SIZE=test
+                       and BIGTINY_BACKEND=sharded for backend smoke runs
 sizes and app selection come from BIGTINY_SIZE / BIGTINY_APPS / BIGTINY_JSON";
 
 fn parse_cli() -> CliOpts {
@@ -66,6 +72,7 @@ fn parse_cli() -> CliOpts {
         watchdog_budget: None,
         metrics_out: None,
         trace_out: None,
+        setups_256: false,
     };
     let mut args = std::env::args().skip(1);
     let mut seed_given = false;
@@ -107,6 +114,7 @@ fn parse_cli() -> CliOpts {
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--setups-256" => opts.setups_256 = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -130,13 +138,26 @@ fn main() {
     let opts = parse_cli();
     let size = size_from_env();
     let apps = apps_from_env();
-    let mut setups = Setup::big_tiny_matrix();
+    let mut setups = if opts.setups_256 {
+        // The Table V machines, smallest-first so the speedup columns
+        // (everything vs the leading MESI baseline) keep their meaning.
+        vec![
+            Setup::bt_256(Protocol::Mesi, bigtiny_core::RuntimeKind::Baseline),
+            Setup::bt_256(Protocol::GpuWb, bigtiny_core::RuntimeKind::Hcc),
+            Setup::bt_256(Protocol::GpuWb, bigtiny_core::RuntimeKind::Dts),
+        ]
+    } else {
+        Setup::big_tiny_matrix()
+    };
+    // Every figure normalizes to the leading MESI baseline of whichever
+    // matrix is running.
+    let mesi_label = setups[0].label.clone();
     let mut crash_armed = false;
     if let Some(plan) = &opts.fault_plan {
         let fp = FaultPlan::parse(plan, opts.fault_seed).expect("plan validated in parse_cli");
         crash_armed = fp.crash_armed();
         for s in &mut setups {
-            s.sys = s.sys.clone().with_faults(fp);
+            s.sys = s.sys.clone().with_faults(fp.clone());
             // The crash audit needs the task-lifecycle stream.
             s.rt.record_task_events |= crash_armed;
         }
@@ -198,7 +219,7 @@ fn main() {
         let mut rows = Vec::new();
         let mut geo: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
         for app in &apps {
-            let mesi = find_result(&results, app.name, "b.T/MESI").cycles as f64;
+            let mesi = find_result(&results, app.name, &mesi_label).cycles as f64;
             let mut row = vec![app.name.to_owned()];
             for (i, label) in labels.iter().enumerate() {
                 let v = mesi / find_result(&results, app.name, label).cycles as f64;
@@ -239,7 +260,7 @@ fn main() {
         let mut rows = Vec::new();
         for app in &apps {
             let mesi_total =
-                find_result(&results, app.name, "b.T/MESI").tiny_breakdown().total().max(1) as f64;
+                find_result(&results, app.name, &mesi_label).tiny_breakdown().total().max(1) as f64;
             for setup in &setups {
                 let r = find_result(&results, app.name, &setup.label);
                 let b = r.tiny_breakdown();
@@ -263,7 +284,7 @@ fn main() {
         let mut rows = Vec::new();
         for app in &apps {
             let mesi_total =
-                find_result(&results, app.name, "b.T/MESI").traffic_bytes().max(1) as f64;
+                find_result(&results, app.name, &mesi_label).traffic_bytes().max(1) as f64;
             for setup in &setups {
                 let r = find_result(&results, app.name, &setup.label);
                 let t = &r.run.report.traffic;
@@ -280,7 +301,12 @@ fn main() {
     }
 
     // ---------------- Table IV ----------------
-    {
+    // Table IV and the ULI summary compare every HCC protocol against its
+    // DTS pairing, which only the 64-core matrix runs in full.
+    if opts.setups_256 {
+        println!("(Table IV and the ULI summary need the full 64-core protocol matrix; skipped)");
+    }
+    if !opts.setups_256 {
         let header: Vec<String> = [
             "App", "InvDec dnv", "InvDec gwt", "InvDec gwb", "FlsDec gwb",
             "HitInc dnv", "HitInc gwt", "HitInc gwb",
@@ -318,7 +344,7 @@ fn main() {
     }
 
     // ---------------- ULI overhead summary (Section VI-C claims) ----------
-    {
+    if !opts.setups_256 {
         println!("== ULI network summary (DTS configurations) ==\n");
         for app in &apps {
             for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {

@@ -19,7 +19,7 @@ use bigtiny_apps::{AppSize, AppSpec};
 use bigtiny_checker::audit_task_events;
 use bigtiny_core::{RuntimeConfig, RuntimeKind};
 use bigtiny_engine::{FaultPlan, Protocol, SystemConfig, XorShift64};
-use bigtiny_mesh::{MeshConfig, Topology};
+use bigtiny_mesh::{CoreSet, MeshConfig, Topology};
 
 use crate::{run_app, Setup};
 
@@ -37,6 +37,7 @@ pub struct FuzzFailure {
 /// plan aborts (and counts as a failure) instead of wedging the fuzzer, and
 /// task events recorded for the exactly/at-least-once audit.
 pub fn fuzz_setup(plan: FaultPlan) -> Setup {
+    let label = format!("chaos[{}]", plan.to_spec());
     let sys = SystemConfig::big_tiny(
         "chaos-fuzz",
         MeshConfig::with_topology(Topology::new(4, 4)),
@@ -48,7 +49,7 @@ pub fn fuzz_setup(plan: FaultPlan) -> Setup {
     .with_watchdog(2_000_000);
     let mut rt = RuntimeConfig::new(RuntimeKind::Dts);
     rt.record_task_events = true;
-    Setup { label: format!("chaos[{}]", plan.to_spec()), sys, rt }
+    Setup { label, sys, rt }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -66,7 +67,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// and its task-event stream must audit clean (exactly-once without a crash
 /// dimension, at-least-once with full recovery accounting with one).
 pub fn check_app(plan: &FaultPlan, app: &AppSpec, size: AppSize) -> Option<FuzzFailure> {
-    let setup = fuzz_setup(*plan);
+    let setup = fuzz_setup(plan.clone());
     let r = match catch_unwind(AssertUnwindSafe(|| run_app(&setup, app, size, 0))) {
         Ok(r) => r,
         Err(payload) => {
@@ -120,7 +121,7 @@ pub fn sample_plan(rng: &mut XorShift64) -> FaultPlan {
     if rng.next_below(2) == 0 {
         // Doom one to three of the 15 tiny cores (core 0 is ineligible).
         for _ in 0..1 + rng.next_below(3) {
-            p.crash_cores |= 1u64 << (1 + rng.next_below(15));
+            p.crash_cores.insert(1 + rng.next_below(15) as usize);
         }
         p.crash_at_cycle = 500 + rng.next_below(3500);
         if rng.next_below(3) == 0 {
@@ -147,7 +148,7 @@ fn dimension_armed(p: &FaultPlan, dim: usize) -> bool {
         4 => p.steal_miss_per_mille > 0,
         5 => p.mesh_spike_per_mille > 0,
         6 => p.crash_per_mille > 0,
-        7 => p.crash_cores != 0,
+        7 => !p.crash_cores.is_empty(),
         8 => p.revive_after_cycles > 0,
         _ => false,
     }
@@ -168,7 +169,7 @@ fn clear_dimension(p: &mut FaultPlan, dim: usize) {
             p.mesh_spike_cycles = 0;
         }
         6 => p.crash_per_mille = 0,
-        7 => p.crash_cores = 0,
+        7 => p.crash_cores = CoreSet::new(),
         8 => p.revive_after_cycles = 0,
         _ => {}
     }
@@ -200,7 +201,7 @@ fn binary_shrink(
     let (mut lo, mut hi) = (1u64, top);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let mut cand = *cur;
+        let mut cand = cur.clone();
         write(&mut cand, mid);
         if fails(&cand) {
             hi = mid;
@@ -208,7 +209,7 @@ fn binary_shrink(
             lo = mid + 1;
         }
     }
-    let mut cand = *cur;
+    let mut cand = cur.clone();
     write(&mut cand, lo);
     if fails(&cand) {
         *cur = cand;
@@ -221,7 +222,7 @@ fn binary_shrink(
 /// fails the oracle and is dimension-minimal with respect to single
 /// removals.
 pub fn shrink_plan(start: &FaultPlan, fails: &mut dyn FnMut(&FaultPlan) -> bool) -> FaultPlan {
-    let mut cur = *start;
+    let mut cur = start.clone();
     // Phase 1: drop whole dimensions until no single removal still fails.
     loop {
         let mut changed = false;
@@ -229,7 +230,7 @@ pub fn shrink_plan(start: &FaultPlan, fails: &mut dyn FnMut(&FaultPlan) -> bool)
             if !dimension_armed(&cur, d) {
                 continue;
             }
-            let mut cand = cur;
+            let mut cand = cur.clone();
             clear_dimension(&mut cand, d);
             if fails(&cand) {
                 cur = cand;
@@ -240,11 +241,11 @@ pub fn shrink_plan(start: &FaultPlan, fails: &mut dyn FnMut(&FaultPlan) -> bool)
             break;
         }
     }
-    // Phase 2: bit-shrink the crash set one doomed core at a time.
-    for bit in 0..64 {
-        if cur.crash_cores & (1u64 << bit) != 0 && cur.crash_cores.count_ones() > 1 {
-            let mut cand = cur;
-            cand.crash_cores &= !(1u64 << bit);
+    // Phase 2: shrink the crash set one doomed core at a time.
+    for core in cur.crash_cores.iter().collect::<Vec<_>>() {
+        if cur.crash_cores.count() > 1 {
+            let mut cand = cur.clone();
+            cand.crash_cores.remove(core);
             if fails(&cand) {
                 cur = cand;
             }
@@ -305,10 +306,10 @@ mod tests {
     #[test]
     fn shrinker_reduces_a_seeded_known_bad_mutation_to_two_dimensions() {
         let mut fails =
-            |p: &FaultPlan| p.crash_cores & (1 << 9) != 0 && p.steal_miss_per_mille >= 200;
+            |p: &FaultPlan| p.crash_cores.contains(9) && p.steal_miss_per_mille >= 200;
         let mut seeded = FaultPlan::hostile(7);
         seeded.steal_miss_per_mille = 600;
-        seeded.crash_cores = (1 << 5) | (1 << 9) | (1 << 13);
+        seeded.crash_cores = CoreSet::from_mask((1 << 5) | (1 << 9) | (1 << 13));
         seeded.crash_at_cycle = 1500;
         seeded.revive_after_cycles = 3000;
         assert!(fails(&seeded), "seeded mutation must fail the oracle");
@@ -317,7 +318,7 @@ mod tests {
         let min = shrink_plan(&seeded, &mut fails);
         assert!(fails(&min), "the minimal plan still fails");
         assert_eq!(plan_dimensions(&min), 2, "spec: {}", min.to_spec());
-        assert_eq!(min.crash_cores, 1 << 9, "crash set bit-shrunk to the culprit");
+        assert_eq!(min.crash_cores, CoreSet::from_mask(1 << 9), "crash set shrunk to the culprit");
         assert_eq!(min.steal_miss_per_mille, 200, "magnitude binary-searched to the threshold");
         assert_eq!(min.uli_drop_per_mille, 0);
         assert_eq!(min.uli_nack_per_mille, 0);
@@ -326,7 +327,7 @@ mod tests {
         assert_eq!(min.mesh_spike_per_mille, 0);
         assert_eq!(min.revive_after_cycles, 0, "revive dropped with the rest");
         // The reproducer spec round-trips through the CLI parser.
-        assert_eq!(FaultPlan::from_spec(&min.to_spec()), Some(min));
+        assert_eq!(FaultPlan::from_spec(&min.to_spec()), Some(min.clone()));
     }
 
     #[test]
@@ -356,7 +357,7 @@ mod tests {
         // Every sampled plan's spec round-trips (the reproducer printing
         // path works for anything the sampler can draw).
         for p in &a {
-            assert_eq!(FaultPlan::from_spec(&p.to_spec()), Some(*p), "{}", p.to_spec());
+            assert_eq!(FaultPlan::from_spec(&p.to_spec()), Some(p.clone()), "{}", p.to_spec());
         }
     }
 

@@ -567,14 +567,27 @@ pub fn apps_from_env() -> Vec<AppSpec> {
     }
 }
 
-/// Geometric mean of positive values.
+/// Geometric mean of the positive values in the input.
+///
+/// Non-positive values (a degenerate run: a zero-cycle ratio, a failed
+/// normalization) are skipped with a single stderr warning reporting how
+/// many were dropped, instead of aborting a whole evaluation sweep that
+/// already holds results for every other kernel. Returns 0.0 when no
+/// positive value survives.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
+    let mut skipped = 0usize;
     for v in values {
-        assert!(v > 0.0, "geomean of non-positive value {v}");
-        log_sum += v.ln();
-        n += 1;
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!("[geomean] skipped {skipped} non-positive value(s) of {}", n + skipped);
     }
     if n == 0 {
         return 0.0;
@@ -641,6 +654,22 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn geomean_skips_non_positive_values() {
+        // A zero (degenerate ratio) must not poison the mean of the rest.
+        assert!((geomean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+        // Negative values are equally non-sensical in log space.
+        assert!((geomean([-3.0, 2.0, 8.0]) - 4.0).abs() < 1e-12);
+        // NaN is not > 0.0, so it is skipped rather than propagated.
+        assert!((geomean([f64::NAN, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_only_non_positive_values_is_zero() {
+        assert_eq!(geomean([0.0, -1.0]), 0.0);
+        assert_eq!(geomean([0.0]), 0.0);
     }
 
     #[test]

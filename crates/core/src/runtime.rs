@@ -552,12 +552,13 @@ pub struct TaskCx<'a> {
     /// scan (every 64th step).
     tick: u64,
     /// Cores this worker currently believes dead (from `Dead` replies or
-    /// `dead_mask` scans); a cleared mask bit on a later scan is how
-    /// revival is observed.
-    known_dead: u64,
+    /// `dead_mask` scans); a core leaving the set on a later scan is how
+    /// revival is observed. A growable bitset, so discovery works for
+    /// every core of a >64-core system.
+    known_dead: bigtiny_mesh::CoreSet,
     /// Cores whose recovery claim this worker already raced (win or lose),
     /// so each death costs at most one claim AMO per worker.
-    claim_tried: u64,
+    claim_tried: bigtiny_mesh::CoreSet,
     /// Number of currently-quarantined victims (fast path: victim
     /// selection is untouched while zero).
     quarantined_count: usize,
@@ -599,8 +600,8 @@ impl<'a> TaskCx<'a> {
             uli_fail_streak: 0,
             crash_armed,
             tick: 0,
-            known_dead: 0,
-            claim_tried: 0,
+            known_dead: bigtiny_mesh::CoreSet::new(),
+            claim_tried: bigtiny_mesh::CoreSet::new(),
             quarantined_count: 0,
             health,
         }
@@ -1216,9 +1217,7 @@ impl<'a> TaskCx<'a> {
                 // volunteer for its recovery.
                 self.tel_miss(vid);
                 self.uli_fail_streak += 1;
-                if vid < 64 {
-                    self.known_dead |= 1 << vid;
-                }
+                self.known_dead.insert(vid);
                 self.quarantine(vid);
                 self.try_recover(vid);
                 self.steal_failed();
@@ -1408,27 +1407,21 @@ impl<'a> TaskCx<'a> {
         }
     }
 
-    /// Reads the sequenced dead mask and reconciles it with this worker's
+    /// Reads the sequenced dead set and reconciles it with this worker's
     /// view: newly-dead cores are quarantined and their recovery raced;
-    /// cleared bits (revived cores) are unquarantined.
+    /// cores that left the set (revived) are unquarantined.
     fn observe_dead(&mut self) {
         let mask = self.port.dead_mask();
-        let fresh = mask & !self.known_dead;
-        let revived = self.known_dead & !mask;
+        let fresh = mask.difference(&self.known_dead);
+        let revived = self.known_dead.difference(&mask);
         self.known_dead = mask;
-        let mut v = fresh;
-        while v != 0 {
-            let d = v.trailing_zeros() as usize;
-            v &= v - 1;
+        for d in fresh.iter() {
             if d < self.health.len() && d != self.wid {
                 self.quarantine(d);
                 self.try_recover(d);
             }
         }
-        let mut v = revived;
-        while v != 0 {
-            let d = v.trailing_zeros() as usize;
-            v &= v - 1;
+        for d in revived.iter() {
             if d < self.health.len() {
                 self.unquarantine(d);
             }
@@ -1474,10 +1467,10 @@ impl<'a> TaskCx<'a> {
     /// per death); the sequenced AMO makes the winner the first claimant
     /// in grant order, so recovery is deterministic.
     fn try_recover(&mut self, d: usize) {
-        if d >= 64 || self.claim_tried & (1u64 << d) != 0 {
+        if d >= self.rt.claims.len() || self.claim_tried.contains(d) {
             return;
         }
-        self.claim_tried |= 1 << d;
+        self.claim_tried.insert(d);
         let rt = Arc::clone(&self.rt);
         let claim = &rt.claims[d];
         let won = self.port.amo_word(claim.addr, || {

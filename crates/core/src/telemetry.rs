@@ -45,11 +45,13 @@ impl Log2Histogram {
         }
     }
 
-    /// Records one value.
+    /// Records one value. The running sum saturates at `u64::MAX` rather
+    /// than wrapping, so `mean` degrades gracefully (reads low) if a
+    /// caller ever records astronomically large values.
     pub fn record(&mut self, v: u64) {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -116,7 +118,11 @@ impl Log2Histogram {
                 };
                 let hi = hi.min(self.max).max(lo);
                 let frac = (rank - seen) as f64 / c as f64;
-                return lo + ((hi - lo) as f64 * frac).round() as u64;
+                // The f64 round-trip of a huge `hi - lo` can land above the
+                // true width (f64 has 53 mantissa bits); clamp so `lo + off`
+                // can never overflow past `hi`.
+                let off = (((hi - lo) as f64 * frac).round() as u64).min(hi - lo);
+                return lo + off;
             }
             seen += c;
         }
@@ -349,6 +355,59 @@ mod tests {
         h.record(100_000);
         assert!(h.p50() < 16, "{}", h.p50());
         assert!(h.percentile(100.0) == 100_000, "{}", h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentile_extreme_p_values_clamp() {
+        let mut h = Log2Histogram::new();
+        for v in [3, 5, 9] {
+            h.record(v);
+        }
+        // p=0 clamps to the first recorded value's bucket floor; p=100 is
+        // the max; out-of-range inputs clamp rather than misbehave.
+        assert_eq!(h.percentile(0.0), h.percentile(-5.0));
+        assert_eq!(h.percentile(100.0), 9);
+        assert_eq!(h.percentile(250.0), 9);
+        assert!(h.percentile(0.0) <= h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentile_bucket_zero_holds_both_zero_and_one() {
+        // Bucket 0 covers {0, 1}: all-zeros must report 0, not 1.
+        let mut h = Log2Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        // A mix interpolates within the bucket but never exceeds the max.
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert!(h.p50() <= 1);
+        assert_eq!(h.percentile(100.0), 1);
+    }
+
+    #[test]
+    fn percentile_open_ended_last_bucket_does_not_overflow() {
+        // The last bucket is open-ended (everything >= 2^31 lands there);
+        // interpolation against a near-u64::MAX max must clamp instead of
+        // wrapping to a tiny value.
+        let mut h = Log2Histogram::new();
+        h.record(1u64 << 31);
+        h.record(u64::MAX);
+        let p99 = h.p99();
+        assert!(p99 >= 1u64 << 31, "interpolated percentile wrapped: {p99}");
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        // All-max histogram: estimates stay inside [bucket floor, max]
+        // (bucket resolution means p50 interpolates mid-bucket, but it must
+        // never wrap past the max).
+        let mut h = Log2Histogram::new();
+        for _ in 0..4 {
+            h.record(u64::MAX);
+        }
+        assert!(h.p50() >= 1u64 << 31);
+        assert_eq!(h.percentile(100.0), u64::MAX);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::fault::FaultPlan;
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ExecBackend {
     /// Pick automatically: fibers where supported (x86_64 Linux, watchdog
-    /// disarmed, `BIGTINY_BACKEND` not set to `threads`), else threads.
+    /// disarmed, `BIGTINY_BACKEND` not set to `threads` or `sharded`),
+    /// else threads. `BIGTINY_BACKEND=sharded` selects
+    /// [`ExecBackend::ShardedFibers`] where supported.
     #[default]
     Auto,
     /// One OS thread per simulated core. Portable, and required by the
@@ -24,6 +26,16 @@ pub enum ExecBackend {
     /// handoff is a user-space stack switch instead of a futex wake plus a
     /// kernel context switch. Panics at run start where unsupported.
     Fibers,
+    /// Cores sharded into mesh-quadrant islands, each island's fibers
+    /// driven by its own OS thread: token handoffs inside an island are
+    /// user-space stack switches, and only cross-island handoffs pay a
+    /// futex wake. Scales the fiber backend's wall-clock win to the
+    /// 256-core configuration, where one thread multiplexing every core
+    /// serializes the host. Produces the identical sequenced-op stream
+    /// (golden-pinned); supports the watchdog (the wall-clock fallback
+    /// runs in the island launchers). Panics at run start where
+    /// unsupported (non-x86_64-Linux).
+    ShardedFibers,
 }
 
 /// Core microarchitecture class.
@@ -105,6 +117,12 @@ pub struct SystemConfig {
     /// event stream in [`crate::RunReport::mem_events`] without changing a
     /// single simulated cycle or op-stream hash.
     pub check: CheckMode,
+    /// Host stack bytes reserved per simulated core (thread stack or fiber
+    /// mmap). `None` (default) picks a core-count-aware size via
+    /// [`SystemConfig::core_stack_bytes`]: big reservations are free for a
+    /// handful of cores, but 1024 × 32 MB would burn 32 GB of address
+    /// space and can exhaust `vm.max_map_count`.
+    pub stack_bytes: Option<usize>,
 }
 
 impl SystemConfig {
@@ -126,6 +144,7 @@ impl SystemConfig {
             watchdog_wall_ms: 5_000,
             backend: ExecBackend::Auto,
             check: CheckMode::Off,
+            stack_bytes: None,
         }
     }
 
@@ -243,6 +262,30 @@ impl SystemConfig {
         self.attr = true;
         self
     }
+
+    /// Returns a copy reserving `bytes` of host stack per simulated core.
+    pub fn with_core_stack(mut self, bytes: usize) -> Self {
+        self.stack_bytes = Some(bytes);
+        self
+    }
+
+    /// Host stack bytes per simulated core: the explicit
+    /// [`SystemConfig::stack_bytes`] if set, else a core-count-aware
+    /// default. Stacks are lazily committed, so the cost of a large size
+    /// is address space and mapping count, both of which scale with core
+    /// count — hence the default shrinks as the system grows: 32 MB up to
+    /// 64 cores (the historical fixed size), 8 MB up to 256, 2 MB beyond
+    /// (a 1024-core system then reserves 2 GB, not 32 GB).
+    pub fn core_stack_bytes(&self) -> usize {
+        if let Some(bytes) = self.stack_bytes {
+            return bytes;
+        }
+        match self.num_cores() {
+            0..=64 => 32 << 20,
+            65..=256 => 8 << 20,
+            _ => 2 << 20,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +328,15 @@ mod tests {
     #[should_panic(expected = "use big_tiny_mesi")]
     fn hcc_with_mesi_rejected() {
         SystemConfig::big_tiny_hcc(Protocol::Mesi);
+    }
+
+    #[test]
+    fn stack_default_shrinks_with_core_count() {
+        assert_eq!(SystemConfig::big_tiny_mesi().core_stack_bytes(), 32 << 20);
+        assert_eq!(SystemConfig::o3(4).core_stack_bytes(), 32 << 20);
+        assert_eq!(SystemConfig::big_tiny_256(Protocol::GpuWb).core_stack_bytes(), 8 << 20);
+        let c = SystemConfig::big_tiny_256(Protocol::GpuWb).with_core_stack(1 << 20);
+        assert_eq!(c.core_stack_bytes(), 1 << 20, "explicit size wins");
     }
 
     #[test]

@@ -35,13 +35,13 @@
 //!   **once per core at system start** (not per opportunity), so the crash
 //!   schedule is a pure function of the plan and seed.
 
-use bigtiny_mesh::{MeshFaults, XorShift64};
+use bigtiny_mesh::{CoreSet, MeshFaults, XorShift64};
 
 /// A deterministic fault-injection plan (see the module docs).
 ///
 /// All probabilities are in thousandths: `0` disables that fault, `1000`
 /// fires on every opportunity.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FaultPlan {
     /// Probability a ULI request is silently dropped in the network.
     pub uli_drop_per_mille: u32,
@@ -65,10 +65,11 @@ pub struct FaultPlan {
     /// start) that the core fail-stops mid-run. Crash-eligible cores are
     /// tiny cores other than core 0 (core 0 runs the program's root task).
     pub crash_per_mille: u32,
-    /// Bitmask of cores forced to fail-stop (bit `i` dooms core `i`),
-    /// independent of [`FaultPlan::crash_per_mille`]. Bits naming
-    /// crash-ineligible cores are ignored.
-    pub crash_cores: u64,
+    /// Set of cores forced to fail-stop, independent of
+    /// [`FaultPlan::crash_per_mille`]. Unbounded in core index (a 256-core
+    /// plan can doom core 200); entries naming crash-ineligible cores are
+    /// ignored.
+    pub crash_cores: CoreSet,
     /// Cycle at which doomed cores fail-stop (each dies at its first
     /// scheduler safe point at or after this cycle). `0` picks a
     /// deterministic per-core cycle in `[1024, 9216)`.
@@ -94,7 +95,7 @@ impl FaultPlan {
             mesh_spike_per_mille: 0,
             mesh_spike_cycles: 0,
             crash_per_mille: 0,
-            crash_cores: 0,
+            crash_cores: CoreSet::new(),
             crash_at_cycle: 0,
             revive_after_cycles: 0,
             seed: 0,
@@ -103,7 +104,7 @@ impl FaultPlan {
 
     /// ULI drop-storm: a quarter of steal requests vanish in the network
     /// and some arrive but are lost at the receiver.
-    pub const fn uli_drop_storm(seed: u64) -> Self {
+    pub fn uli_drop_storm(seed: u64) -> Self {
         FaultPlan {
             uli_drop_per_mille: 250,
             uli_nack_per_mille: 150,
@@ -114,7 +115,7 @@ impl FaultPlan {
 
     /// Steal-miss storm: most victim lookups are forced empty, with extra
     /// ULI delivery delay widening the retry windows.
-    pub const fn steal_miss_storm(seed: u64) -> Self {
+    pub fn steal_miss_storm(seed: u64) -> Self {
         FaultPlan {
             steal_miss_per_mille: 600,
             uli_delay_per_mille: 200,
@@ -125,13 +126,13 @@ impl FaultPlan {
 
     /// Mesh latency spikes: 5% of data-OCN messages take an extra 500
     /// cycles.
-    pub const fn mesh_latency_spikes(seed: u64) -> Self {
+    pub fn mesh_latency_spikes(seed: u64) -> Self {
         FaultPlan { mesh_spike_per_mille: 50, mesh_spike_cycles: 500, ..Self::none_seeded(seed) }
     }
 
     /// Everything at once: the hostile plan used by the chaos integration
     /// tests.
-    pub const fn hostile(seed: u64) -> Self {
+    pub fn hostile(seed: u64) -> Self {
         FaultPlan {
             uli_drop_per_mille: 200,
             uli_nack_per_mille: 150,
@@ -146,16 +147,20 @@ impl FaultPlan {
     }
 
     /// A single mid-run fail-stop: tiny core 5 dies and stays dead.
-    pub const fn crash_one(seed: u64) -> Self {
-        FaultPlan { crash_cores: 1 << 5, crash_at_cycle: 1500, ..Self::none_seeded(seed) }
+    pub fn crash_one(seed: u64) -> Self {
+        FaultPlan {
+            crash_cores: CoreSet::from_mask(1 << 5),
+            crash_at_cycle: 1500,
+            ..Self::none_seeded(seed)
+        }
     }
 
     /// The acceptance-criteria crash storm: three tiny cores (5, 9, 13 —
     /// tiny in both the 64-core paper machine and the 16-core ablation
     /// machine) all die mid-run and never return.
-    pub const fn crash_storm(seed: u64) -> Self {
+    pub fn crash_storm(seed: u64) -> Self {
         FaultPlan {
-            crash_cores: (1 << 5) | (1 << 9) | (1 << 13),
+            crash_cores: CoreSet::from_mask((1 << 5) | (1 << 9) | (1 << 13)),
             crash_at_cycle: 1500,
             ..Self::none_seeded(seed)
         }
@@ -163,9 +168,9 @@ impl FaultPlan {
 
     /// Two tiny cores die mid-run and revive 4000 cycles later, exercising
     /// the quarantine re-probe and graceful-rejoin paths.
-    pub const fn crash_revive(seed: u64) -> Self {
+    pub fn crash_revive(seed: u64) -> Self {
         FaultPlan {
-            crash_cores: (1 << 5) | (1 << 9),
+            crash_cores: CoreSet::from_mask((1 << 5) | (1 << 9)),
             crash_at_cycle: 1500,
             revive_after_cycles: 4000,
             ..Self::none_seeded(seed)
@@ -174,11 +179,15 @@ impl FaultPlan {
 
     /// Crash × transient mix: a core crash on top of the hostile transient
     /// storm — the worst chaos plan the integration tests run directly.
-    pub const fn crash_hostile(seed: u64) -> Self {
-        FaultPlan { crash_cores: 1 << 5, crash_at_cycle: 1500, ..Self::hostile(seed) }
+    pub fn crash_hostile(seed: u64) -> Self {
+        FaultPlan {
+            crash_cores: CoreSet::from_mask(1 << 5),
+            crash_at_cycle: 1500,
+            ..Self::hostile(seed)
+        }
     }
 
-    const fn none_seeded(seed: u64) -> Self {
+    fn none_seeded(seed: u64) -> Self {
         FaultPlan { seed, ..Self::none() }
     }
 
@@ -198,7 +207,7 @@ impl FaultPlan {
     /// polling) on this, the same way [`FaultPlan::is_active`] gates the
     /// transient-hardening paths.
     pub fn crash_armed(&self) -> bool {
-        self.crash_per_mille > 0 || self.crash_cores != 0
+        self.crash_per_mille > 0 || !self.crash_cores.is_empty()
     }
 
     /// The plan's data-OCN spike component, if armed.
@@ -273,8 +282,8 @@ impl FaultPlan {
         .filter(|(_, v)| *v != 0)
         .map(|(k, v)| format!("{k}={v}"))
         .collect();
-        if self.crash_cores != 0 {
-            parts.push(format!("crash_cores={:#x}", self.crash_cores));
+        if !self.crash_cores.is_empty() {
+            parts.push(format!("crash_cores={}", self.crash_cores.to_hex()));
         }
         for (k, v) in [
             ("crash", self.crash_per_mille as u64),
@@ -302,7 +311,14 @@ impl FaultPlan {
         }
         let mut p = Self::none();
         for part in spec.split(',') {
-            let (k, v) = part.split_once('=')?;
+            let (k, raw) = part.split_once('=')?;
+            let raw = raw.trim();
+            // `crash_cores` is a set of arbitrary width (hex or decimal
+            // mask); every other value is a plain u64 (with `0x` accepted).
+            if k.trim() == "crash_cores" {
+                p.crash_cores = CoreSet::parse(raw)?;
+                continue;
+            }
             let parse = |v: &str| -> Option<u64> {
                 if let Some(hex) = v.strip_prefix("0x") {
                     u64::from_str_radix(hex, 16).ok()
@@ -310,7 +326,7 @@ impl FaultPlan {
                     v.parse().ok()
                 }
             };
-            let v = parse(v.trim())?;
+            let v = parse(raw)?;
             let mille = |v: u64| -> Option<u32> { (v <= 1000).then_some(v as u32) };
             match k.trim() {
                 "uli_drop" => p.uli_drop_per_mille = mille(v)?,
@@ -322,7 +338,6 @@ impl FaultPlan {
                 "mesh_spike" => p.mesh_spike_per_mille = mille(v)?,
                 "mesh_spike_cycles" => p.mesh_spike_cycles = v,
                 "crash" => p.crash_per_mille = mille(v)?,
-                "crash_cores" => p.crash_cores = v,
                 "crash_at" => p.crash_at_cycle = v,
                 "revive_after" => p.revive_after_cycles = v,
                 "seed" => p.seed = v,
@@ -418,7 +433,7 @@ impl FaultState {
         let mut doomed = false;
         let mut crash_at = 0;
         if crash_eligible && plan.crash_armed() {
-            let forced = core < 64 && plan.crash_cores & (1u64 << core) != 0;
+            let forced = plan.crash_cores.contains(core);
             let mut crng = XorShift64::new(
                 plan.seed ^ (core as u64 + 1).wrapping_mul(0x6372_6173_685f_6174),
             );
@@ -434,11 +449,11 @@ impl FaultState {
             }
         }
         FaultState {
-            plan,
             active: plan.is_active(),
             rng: XorShift64::new(
                 plan.seed ^ (core as u64 + 1).wrapping_mul(0x666c_745f_636f_7265),
             ),
+            plan,
             doomed,
             crash_at,
             crashed: false,
@@ -598,7 +613,7 @@ mod tests {
         // cycle, regardless of how much transient stream is consumed.
         let plan = FaultPlan::crash_storm(7);
         for core in 0..16 {
-            let mut s = FaultState::new(plan, core, core != 0);
+            let mut s = FaultState::new(plan.clone(), core, core != 0);
             let doomed = core == 5 || core == 9 || core == 13;
             assert_eq!(s.crash_pending(1500), doomed, "core {core}");
             assert!(!s.crash_pending(1499), "core {core} early");
@@ -635,6 +650,21 @@ mod tests {
         assert!((5..=35).contains(&n), "300/1000 nominal over 63 cores, got {n}");
     }
 
+    /// Regression: the old `u64` crash mask had a silent `core < 64` guard,
+    /// so a plan dooming core 200 in a 256-core machine never fired.
+    #[test]
+    fn forced_crash_works_past_core_64() {
+        let mut plan = FaultPlan::none();
+        plan.crash_cores.insert(200);
+        plan.crash_at_cycle = 1500;
+        let s = FaultState::new(plan.clone(), 200, true);
+        assert!(s.crash_pending(1500), "core 200 must be doomed");
+        assert!(!s.crash_pending(1499));
+        // Only the named core is doomed.
+        assert!(!FaultState::new(plan.clone(), 199, true).crash_pending(u64::MAX));
+        assert!(!FaultState::new(plan, 201, true).crash_pending(u64::MAX));
+    }
+
     #[test]
     fn specs_round_trip() {
         assert_eq!(FaultPlan::none().to_spec(), "none");
@@ -645,8 +675,16 @@ mod tests {
         }
         let p = FaultPlan::from_spec("uli_drop=250,crash_cores=0x20,crash_at=1500").unwrap();
         assert_eq!(p.uli_drop_per_mille, 250);
-        assert_eq!(p.crash_cores, 0x20);
+        assert_eq!(p.crash_cores, CoreSet::from_mask(0x20));
         assert_eq!(p.crash_at_cycle, 1500);
+        // Wide sets (cores ≥ 64) round-trip through the hex spec too.
+        let mut wide = FaultPlan::none();
+        wide.crash_cores.insert(200);
+        wide.crash_cores.insert(5);
+        wide.crash_at_cycle = 1500;
+        assert_eq!(FaultPlan::from_spec(&wide.to_spec()), Some(wide.clone()), "{}", wide.to_spec());
+        assert!(FaultPlan::from_spec(&wide.to_spec()).unwrap().crash_cores.contains(200));
+        assert!(FaultPlan::from_spec("crash_cores=zz").is_none());
         assert!(FaultPlan::from_spec("bogus_key=1").is_none());
         assert!(FaultPlan::from_spec("uli_drop=1001").is_none(), "per-mille out of range");
         assert!(FaultPlan::from_spec("uli_drop").is_none(), "missing value");

@@ -11,8 +11,11 @@
 //!
 //! Only the switching primitive lives here; scheduling policy stays in the
 //! [`Sequencer`](crate::sequencer::Sequencer), which drives fibers through
-//! [`FiberRt`]. The implementation is x86_64-Linux-only (the module is
-//! compiled out elsewhere and the engine falls back to the thread backend):
+//! [`FiberRt`] — one runtime for the whole run on the single-threaded
+//! backend, or one per island on the sharded backend (where each runtime is
+//! still driven by exactly one OS thread: its island's launcher). The
+//! implementation is x86_64-Linux-only (the module is compiled out
+//! elsewhere and the engine falls back to the thread backend):
 //!
 //! - Stacks come from anonymous `mmap` with a `PROT_NONE` guard page at the
 //!   low end, so stack overflow faults like it does on a real thread stack
@@ -25,7 +28,9 @@
 //!   start and resume the same operation.
 //!
 //! Safety rules the callers uphold:
-//! - All fibers of a run are switched only from the one simulation thread.
+//! - All fibers of one `FiberRt` are switched only from the one OS thread
+//!   that drives that runtime (the simulation thread, or the owning
+//!   island's thread under the sharded backend).
 //! - An entry closure never returns: it must exit by switching away for
 //!   good (the trampoline aborts the process if one does return).
 //! - No lock guard is held across a switch (the target fiber may take the
@@ -205,14 +210,18 @@ pub(crate) enum FiberId {
     Launcher,
 }
 
-/// The saved contexts of one fiber-backed run. Lives inside the
+/// The saved contexts of one fiber-backed run (or of one island of a
+/// sharded run). Lives inside the
 /// [`Sequencer`](crate::sequencer::Sequencer) so token handoffs can switch
 /// directly between core fibers.
 ///
-/// All cells are only ever touched from the single simulation thread; the
-/// `Sync` impl exists because the sequencer sits in an `Arc` shared with
-/// core *threads* in the other backend, and rustc cannot see that the two
-/// backends are mutually exclusive per run.
+/// All cells of a given runtime are only ever touched from the one OS
+/// thread that drives it: the simulation thread on the single-threaded
+/// backend, or the owning island's launcher thread (and the fibers it
+/// runs) on the sharded backend. The `Send`/`Sync` impls exist because the
+/// sequencer sits in an `Arc` shared across threads — core threads on the
+/// thread backend, island threads on the sharded one — and rustc cannot
+/// see that each runtime's cells stay thread-local by construction.
 #[derive(Debug)]
 pub(crate) struct FiberRt {
     /// Saved stack pointer of each suspended core fiber (or its initial
@@ -225,7 +234,8 @@ pub(crate) struct FiberRt {
     done: Vec<Cell<bool>>,
 }
 
-// SAFETY: see the struct docs — single-thread use by construction.
+// SAFETY: see the struct docs — every runtime's cells are used from a
+// single driving thread by construction.
 unsafe impl Send for FiberRt {}
 unsafe impl Sync for FiberRt {}
 
@@ -316,10 +326,7 @@ mod tests {
         );
     }
 
-    /// Deep recursion on the fiber stack works (the frames live on the
-    /// mmap'ed stack, not the thread stack).
-    #[test]
-    fn fiber_stack_supports_recursion() {
+    fn run_recursion(stack_bytes: usize, depth: u64) {
         fn deep(n: u64) -> u64 {
             let pad = [n; 16]; // force real frame growth
             if n == 0 { pad[0] } else { deep(n - 1) + std::hint::black_box(pad)[1] }
@@ -328,8 +335,8 @@ mod tests {
         let rt2 = Rc::clone(&rt);
         let out = Rc::new(Cell::new(0u64));
         let out2 = Rc::clone(&out);
-        let fiber = Fiber::new(8 * 1024 * 1024, Box::new(move || {
-            out2.set(deep(10_000));
+        let fiber = Fiber::new(stack_bytes, Box::new(move || {
+            out2.set(deep(depth));
             rt2.mark_done(0);
             // SAFETY: single-threaded test.
             unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
@@ -340,7 +347,26 @@ mod tests {
         unsafe { rt.switch(FiberId::Launcher, FiberId::Core(0)) };
         assert!(rt.is_done(0));
         // deep(n) = n + deep(n-1), deep(0) = 0.
-        assert_eq!(out.get(), (1..=10_000u64).sum::<u64>());
+        assert_eq!(out.get(), (1..=depth).sum::<u64>());
+    }
+
+    /// Deep recursion on the fiber stack works (the frames live on the
+    /// mmap'ed stack, not the thread stack).
+    #[test]
+    fn fiber_stack_supports_recursion() {
+        run_recursion(8 * 1024 * 1024, 10_000);
+    }
+
+    /// Both stack sizes `SystemConfig::core_stack_bytes` defaults to are
+    /// usable, with recursion depth scaled to the configured size: the
+    /// guard page sits below the deepest frame either way, and the frames
+    /// of the deeper run would overrun the smaller stack's reservation if
+    /// the size knob were ignored.
+    #[test]
+    fn fiber_stack_size_is_configurable() {
+        run_recursion(32 * 1024 * 1024, 40_000); // <=64-core default
+        run_recursion(8 * 1024 * 1024, 10_000); // 256-core default
+        run_recursion(64 * 1024, 50); // a deliberately tiny explicit size
     }
 
     /// An unstarted fiber reclaims its entry closure on drop.

@@ -75,4 +75,4 @@ pub use watchdog::{
 
 // Re-export the vocabulary types callers need alongside the engine.
 pub use bigtiny_coherence::{Addr, CoreMemStats, Protocol};
-pub use bigtiny_mesh::{TrafficClass, UliCoreState, UliMessage, UliOutcome, XorShift64};
+pub use bigtiny_mesh::{CoreSet, TrafficClass, UliCoreState, UliMessage, UliOutcome, XorShift64};

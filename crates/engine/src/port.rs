@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use bigtiny_coherence::Addr;
-use bigtiny_mesh::{UliMessage, UliOutcome, XorShift64};
+use bigtiny_mesh::{CoreSet, UliMessage, UliOutcome, XorShift64};
 
 use crate::breakdown::{TimeBreakdown, TimeCategory};
 use crate::config::CoreKind;
@@ -871,11 +871,12 @@ impl CorePort {
         self.faults.revive_after()
     }
 
-    /// Sequenced read of the dead-core bitmask (bit `i` = core `i` has
-    /// fail-stopped). The universal crash observer: survivors poll this in
-    /// their wait loops to detect deaths even on runtimes that never send
-    /// ULIs. Charges one idle cycle, like [`CorePort::is_done`].
-    pub fn dead_mask(&mut self) -> u64 {
+    /// Sequenced read of the dead-core set (every core that has
+    /// fail-stopped, with no 64-core ceiling). The universal crash
+    /// observer: survivors poll this in their wait loops to detect deaths
+    /// even on runtimes that never send ULIs. Charges one idle cycle,
+    /// like [`CorePort::is_done`].
+    pub fn dead_mask(&mut self) -> CoreSet {
         let m = self.seq(|st, _, _| st.uli.dead_mask());
         self.charge(TimeCategory::Idle, 1);
         m

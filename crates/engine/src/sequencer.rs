@@ -102,6 +102,75 @@ pub struct Sequencer {
     /// fallback needs a second runnable thread.
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     fiber: Option<FiberRt>,
+    /// Sharded-backend contexts: cores are fibers partitioned into mesh
+    /// islands, each island driven by its own OS thread (see
+    /// [`ShardedRt`]). Intra-island handoffs are user-space switches;
+    /// cross-island handoffs unpark the target island's launcher thread.
+    /// Grant selection is still the single global `(time, core)` minimum,
+    /// so the op stream is identical to both other backends.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    sharded: Option<ShardedRt>,
+}
+
+/// Runtime state of the sharded fiber backend: the island partition and
+/// one [`FiberRt`] per island.
+///
+/// Unlike the single-thread fiber backend, each island's `FiberRt` is
+/// touched only by that island's OS thread (its launcher and its own
+/// fibers); the sequencer lock serializes everything else. The conservative
+/// cross-island lookahead derived from mesh hop latency is carried along as
+/// the bound a relaxed (non-bit-exact) mode could exploit — see DESIGN.md.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[derive(Debug)]
+pub(crate) struct ShardedRt {
+    /// Island index of each core.
+    island_of: Vec<usize>,
+    /// Per-island fiber runtimes. Each is sized for *global* core ids so
+    /// no id translation happens on the switch path; only the island's own
+    /// slots are ever used.
+    rts: Vec<FiberRt>,
+    /// Minimum cross-island mesh latency in cycles: no interaction between
+    /// islands can land earlier than this after it was initiated.
+    lookahead: u64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl ShardedRt {
+    /// Builds the runtime for `islands` (a partition of `0..num_cores`).
+    pub(crate) fn new(islands: &[Vec<usize>], num_cores: usize, lookahead: u64) -> Self {
+        let mut island_of = vec![usize::MAX; num_cores];
+        for (idx, isl) in islands.iter().enumerate() {
+            for &c in isl {
+                island_of[c] = idx;
+            }
+        }
+        assert!(island_of.iter().all(|&i| i != usize::MAX), "islands must partition the cores");
+        ShardedRt {
+            island_of,
+            rts: (0..islands.len()).map(|_| FiberRt::new(num_cores)).collect(),
+            lookahead,
+        }
+    }
+
+    /// Island index of `core`.
+    pub(crate) fn island_of(&self, core: usize) -> usize {
+        self.island_of[core]
+    }
+
+    /// The fiber runtime of `island`.
+    pub(crate) fn rt(&self, island: usize) -> &FiberRt {
+        &self.rts[island]
+    }
+
+    /// Number of islands.
+    pub(crate) fn num_islands(&self) -> usize {
+        self.rts.len()
+    }
+
+    /// The conservative cross-island lookahead in cycles.
+    pub(crate) fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
 }
 
 impl Sequencer {
@@ -127,6 +196,8 @@ impl Sequencer {
             poison_flag: AtomicBool::new(false),
             #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
             fiber: None,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            sharded: None,
         }
     }
 
@@ -152,6 +223,73 @@ impl Sequencer {
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     pub(crate) fn fiber_rt(&self) -> Option<&FiberRt> {
         self.fiber.as_ref()
+    }
+
+    /// Switches this sequencer to the sharded fiber backend. Must be
+    /// called before the run starts. Compatible with the watchdog: the
+    /// grant-budget check runs on whichever fiber grants (as on threads),
+    /// and the wall-clock fallback runs in the island launcher threads.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn set_sharded_backend(&mut self, rt: ShardedRt) {
+        assert!(self.fiber.is_none(), "fiber and sharded backends are mutually exclusive");
+        self.sharded = Some(rt);
+    }
+
+    /// The sharded-backend runtime, if this sequencer uses it.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn sharded_rt(&self) -> Option<&ShardedRt> {
+        self.sharded.as_ref()
+    }
+
+    /// The core currently granted the token, if it belongs to `island`.
+    /// Island launchers poll this after an unpark to learn whether a
+    /// cross-island handoff dispatched one of their fibers. Sound to act
+    /// on: a granted core of this island can only be *suspended* while its
+    /// launcher executes (fibers of an island never run concurrently with
+    /// their launcher).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn granted_core_on_island(&self, island: usize) -> Option<usize> {
+        let g = self.inner.lock();
+        let sh = self.sharded.as_ref()?;
+        match g.current {
+            Some(c) if sh.island_of[c] == island => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Non-panicking watchdog trip for island launcher threads: poisons
+    /// with a [`PoisonReason::Watchdog`] naming the earliest waiter and
+    /// wakes every thread. The launchers then drain their fibers, whose
+    /// `enter` assertions raise the panics `run_system` reports as a
+    /// watchdog diagnostic bundle. (The launcher itself must not panic —
+    /// its unwind would bypass report collection.)
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn launcher_trip(&self) {
+        let mut g = self.inner.lock();
+        if g.poisoned {
+            return;
+        }
+        let (time, core) = g.waiting.iter().next().copied().unwrap_or((0, 0));
+        g.poisoned = true;
+        g.reason.get_or_insert(PoisonReason::Watchdog { core, time });
+        self.poison_flag.store(true, Ordering::Relaxed);
+        for t in g.threads.iter().flatten() {
+            t.unpark();
+        }
+    }
+
+    /// The armed watchdog configuration, if any (island launchers read the
+    /// wall-clock window from it).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn watchdog_config(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+    }
+
+    /// Snapshot of the liveness counters island launchers compare across a
+    /// wall-clock window: `(total_grants, activity)`.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub(crate) fn liveness_snapshot(&self) -> (u64, u64) {
+        (self.total_grants.load(Ordering::Relaxed), self.activity.load(Ordering::Relaxed))
     }
 
     /// Grants the token to the minimum-`(time, core)` waiter, if any.
@@ -232,6 +370,10 @@ impl Sequencer {
         #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
         if self.fiber.is_some() {
             return self.enter_fiber(g, core, time);
+        }
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if self.sharded.is_some() {
+            return self.enter_sharded(g, core, time);
         }
         if g.threads[core].is_none() {
             g.threads[core] = Some(std::thread::current());
@@ -324,11 +466,83 @@ impl Sequencer {
         self.record_grant(&mut g, core, time);
     }
 
+    /// Sharded-backend slow path of [`Sequencer::enter`]: bookkeeping and
+    /// grant selection identical to both other backends, but the yield
+    /// depends on where the dispatched core lives. A same-island grantee
+    /// is resumed by a direct user-space stack switch; a cross-island
+    /// grantee is woken by unparking its island's thread (the one futex
+    /// point of this backend), after which the caller yields to its own
+    /// island launcher.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn enter_sharded<'a>(
+        &'a self,
+        mut g: crate::sync::MutexGuard<'a, Inner>,
+        core: usize,
+        time: u64,
+    ) {
+        let sh = self.sharded.as_ref().expect("sharded backend armed");
+        let island = sh.island_of[core];
+        let rt = &sh.rts[island];
+        // Register the island thread under this core so `poison`'s
+        // unpark-all and cross-island dispatch reach our launcher.
+        if g.threads[core].is_none() {
+            g.threads[core] = Some(std::thread::current());
+        }
+        g.waiting.insert((time, core));
+        g.running -= 1;
+        loop {
+            if g.current == Some(core) {
+                break;
+            }
+            assert!(!g.poisoned, "{}", POISON_MSG);
+            // `running > 0` means unstarted fibers remain somewhere (every
+            // started, live, non-waiting fiber is the caller itself):
+            // yield to our launcher; the token will find us by unpark.
+            if g.running == 0 && g.current.is_none() {
+                match Self::pick_next(&mut g) {
+                    Some(c) if c == core => continue, // re-granted ourselves
+                    Some(c) if sh.island_of[c] == island => {
+                        drop(g);
+                        // SAFETY: same island ⇒ same OS thread; the target
+                        // is a live suspended waiter, no guard is held.
+                        unsafe { rt.switch(FiberId::Core(core), FiberId::Core(c)) };
+                    }
+                    Some(c) => {
+                        let t = g.threads[c]
+                            .clone()
+                            .expect("waiting core has registered its island thread");
+                        drop(g);
+                        // Unpark strictly after the lock release so the
+                        // woken launcher never contends on it.
+                        t.unpark();
+                        // SAFETY: yielding to our own launcher, which is
+                        // suspended whenever one of its fibers runs.
+                        unsafe { rt.switch(FiberId::Core(core), FiberId::Launcher) };
+                    }
+                    None => unreachable!("we inserted ourselves into the waiting set"),
+                }
+            } else {
+                drop(g);
+                // SAFETY: as above — our launcher is suspended.
+                unsafe { rt.switch(FiberId::Core(core), FiberId::Launcher) };
+            }
+            g = self.inner.lock();
+        }
+        assert!(!g.poisoned, "{}", POISON_MSG);
+        let removed = g.waiting.remove(&(time, core));
+        debug_assert!(removed, "granted core must be in the waiting set");
+        g.running += 1;
+        self.record_grant(&mut g, core, time);
+    }
+
     /// Fiber-backend retirement: the usual bookkeeping, plus the choice of
     /// where the finished fiber must switch next — the dispatched minimum
     /// waiter, or the launcher when none exists (run over, or poison drain
     /// in progress). The caller performs the switch after storing its
     /// report, because nothing else runs until it yields the thread.
+    ///
+    /// Shared with the sharded backend, where a cross-island grantee is
+    /// woken through its launcher instead of switched to directly.
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     pub(crate) fn retire_fiber_target(&self, core: usize) -> FiberId {
         let mut g = self.inner.lock();
@@ -339,6 +553,16 @@ impl Sequencer {
         g.running -= 1;
         if g.running == 0 && g.current.is_none() {
             if let Some(c) = Self::pick_next(&mut g) {
+                if let Some(sh) = self.sharded.as_ref() {
+                    if sh.island_of[c] != sh.island_of[core] {
+                        let t = g.threads[c]
+                            .clone()
+                            .expect("waiting core has registered its island thread");
+                        drop(g);
+                        t.unpark();
+                        return FiberId::Launcher;
+                    }
+                }
                 return FiberId::Core(c);
             }
         }
@@ -393,6 +617,20 @@ impl Sequencer {
     /// Grants that took the inline fast re-grant path.
     pub fn fast_grants(&self) -> u64 {
         self.fast_grants.load(Ordering::Relaxed)
+    }
+
+    /// Conservative cross-island lookahead of the sharded backend in
+    /// cycles, or 0 on the other backends (and on hosts without fiber
+    /// support).
+    pub fn sharded_lookahead(&self) -> u64 {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            self.sharded.as_ref().map_or(0, |s| s.lookahead())
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            0
+        }
     }
 
     /// Order-sensitive hash of the `(time, core)` grant stream so far.

@@ -34,13 +34,9 @@ pub type Worker = Box<dyn FnOnce(&mut CorePort) + Send + 'static>;
 type PortReports = Arc<Mutex<Vec<Option<PortReport>>>>;
 type Panics = Arc<Mutex<Vec<Box<dyn std::any::Any + Send>>>>;
 
-/// Host stack size of one simulated core (thread or fiber). Fiber stacks
-/// are lazily committed, so large configurations only pay virtual space.
-const CORE_STACK_BYTES: usize = 32 * 1024 * 1024;
-
 /// The per-core configuration a core execution context needs, extracted so
 /// it can move into a `'static` closure.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct CoreParams {
     kind: crate::config::CoreKind,
     seed: u64,
@@ -60,7 +56,7 @@ impl CoreParams {
         CoreParams {
             kind,
             seed: config.seed,
-            faults: config.faults,
+            faults: config.faults.clone(),
             issue_width: config.big_issue_width,
             overlap_div: config.big_overlap_div,
             uli_cost: match kind {
@@ -99,19 +95,37 @@ impl CoreParams {
     }
 }
 
-/// Decides whether this run executes cores on fibers (see [`ExecBackend`]).
-fn resolve_backend(config: &SystemConfig) -> bool {
+/// The concrete execution backend a run resolved to (see [`ExecBackend`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Backend {
+    Threads,
+    Fibers,
+    Sharded,
+}
+
+/// Decides which backend this run executes cores on (see [`ExecBackend`]).
+fn resolve_backend(config: &SystemConfig) -> Backend {
     let supported = cfg!(all(target_os = "linux", target_arch = "x86_64"));
     match config.backend {
-        ExecBackend::Threads => false,
+        ExecBackend::Threads => Backend::Threads,
         ExecBackend::Fibers => {
             assert!(supported, "ExecBackend::Fibers requires x86_64 Linux");
-            true
+            Backend::Fibers
+        }
+        ExecBackend::ShardedFibers => {
+            assert!(supported, "ExecBackend::ShardedFibers requires x86_64 Linux");
+            Backend::Sharded
         }
         ExecBackend::Auto => {
-            supported
-                && config.watchdog_budget.is_none()
-                && !std::env::var("BIGTINY_BACKEND").is_ok_and(|v| v == "threads")
+            if !supported {
+                return Backend::Threads;
+            }
+            match std::env::var("BIGTINY_BACKEND").as_deref() {
+                Ok("threads") => Backend::Threads,
+                Ok("sharded") => Backend::Sharded,
+                _ if config.watchdog_budget.is_none() => Backend::Fibers,
+                _ => Backend::Threads,
+            }
         }
     }
 }
@@ -133,7 +147,7 @@ fn run_cores_on_threads(
         let params = CoreParams::of(config, core);
         let handle = std::thread::Builder::new()
             .name(format!("sim-core-{core}"))
-            .stack_size(CORE_STACK_BYTES)
+            .stack_size(config.core_stack_bytes())
             .spawn(move || {
                 let mut port = params.build_port(core, &shared);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -176,6 +190,7 @@ fn run_cores_on_fibers(
     use crate::fiber::{Fiber, FiberId, FiberRt};
 
     let num_cores = workers.len();
+    let stack_bytes = config.core_stack_bytes();
     // The runtime outlives every fiber switch: `shared` is kept alive by the
     // caller's Arc until after this function returns, by which point all
     // fibers are done.
@@ -216,7 +231,7 @@ fn run_cores_on_fibers(
             }
             unreachable!("a finished fiber must never be resumed");
         });
-        fibers.push(Fiber::new(CORE_STACK_BYTES, entry));
+        fibers.push(Fiber::new(stack_bytes, entry));
     }
 
     let rt = shared.seq.fiber_rt().expect("fiber backend installed");
@@ -244,6 +259,167 @@ fn run_cores_on_fibers(
         unsafe { rt.switch(FiberId::Launcher, FiberId::Core(core)) };
     }
     // Dropping `fibers` unmaps every stack; all fibers are done here.
+}
+
+/// Runs cores as stackful fibers sharded into mesh-quadrant islands, one
+/// OS thread per island. Fibers of the same island hand the token to each
+/// other with pure user-space stack switches; only a cross-island handoff
+/// pays a futex (unparking the target island's launcher thread). Grant
+/// selection is the sequencer's single global `(time, core)` minimum, so
+/// the sequenced-op stream is bit-for-bit identical to the other backends.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn run_cores_on_sharded_fibers(
+    config: &SystemConfig,
+    workers: Vec<Worker>,
+    shared: &Arc<Shared>,
+    reports: &PortReports,
+    panics: &Panics,
+) {
+    let num_islands = shared.seq.sharded_rt().expect("sharded backend installed").num_islands();
+    let mut members: Vec<Vec<(usize, Worker)>> = (0..num_islands).map(|_| Vec::new()).collect();
+    {
+        let sh = shared.seq.sharded_rt().expect("sharded backend installed");
+        for (core, worker) in workers.into_iter().enumerate() {
+            members[sh.island_of(core)].push((core, worker));
+        }
+    }
+    std::thread::scope(|scope| {
+        for (island, own) in members.into_iter().enumerate() {
+            let shared = Arc::clone(shared);
+            let reports = Arc::clone(reports);
+            let panics = Arc::clone(panics);
+            std::thread::Builder::new()
+                .name(format!("sim-island-{island}"))
+                .spawn_scoped(scope, move || {
+                    drive_island(config, island, own, shared, reports, panics);
+                })
+                .expect("spawn island launcher thread");
+        }
+    });
+}
+
+/// One island's launcher: builds the island's fibers, starts them in core
+/// order, then keeps resuming whichever of its fibers holds (or is being
+/// handed) the token until all of them are done.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn drive_island(
+    config: &SystemConfig,
+    island: usize,
+    own: Vec<(usize, Worker)>,
+    shared: Arc<Shared>,
+    reports: PortReports,
+    panics: Panics,
+) {
+    use crate::fiber::{Fiber, FiberId, FiberRt};
+    use std::time::{Duration, Instant};
+
+    let stack_bytes = config.core_stack_bytes();
+    let rt = shared.seq.sharded_rt().expect("sharded backend installed").rt(island);
+    // The runtime outlives every fiber switch: it lives inside `Shared`,
+    // which this launcher keeps alive until after all its fibers are done.
+    let rt_ptr: *const FiberRt = rt;
+    let own_cores: Vec<usize> = own.iter().map(|(c, _)| *c).collect();
+
+    let mut fibers = Vec::with_capacity(own.len());
+    for (core, worker) in own {
+        let shared = Arc::clone(&shared);
+        let reports = Arc::clone(&reports);
+        let panics = Arc::clone(&panics);
+        let params = CoreParams::of(config, core);
+        let entry = Box::new(move || {
+            let mut port = params.build_port(core, &shared);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker(&mut port);
+            }));
+            let next = match result {
+                Ok(()) => shared.seq.retire_fiber_target(core),
+                Err(payload) => {
+                    panics.lock().push(payload);
+                    shared.seq.poison();
+                    FiberId::Launcher
+                }
+            };
+            reports.lock()[core] = Some(port.into_report());
+            // Control never returns to this closure: drop every owned
+            // handle before the final switch (see `run_cores_on_fibers`).
+            drop(shared);
+            drop(reports);
+            drop(panics);
+            // SAFETY: `rt_ptr` stays valid (see above); this fiber is
+            // marked done and never resumed, and `next` is either a live
+            // same-island waiter or this island's suspended launcher.
+            unsafe {
+                (*rt_ptr).mark_done(core);
+                (*rt_ptr).switch(FiberId::Core(core), next);
+            }
+            unreachable!("a finished fiber must never be resumed");
+        });
+        let fiber = Fiber::new(stack_bytes, entry);
+        rt.set_initial(core, fiber.initial_ctx());
+        fibers.push(fiber);
+    }
+
+    // Start every own fiber in core order (the threaded backend's spawn
+    // order); each runs until its first sequencer suspension. No token can
+    // be granted anywhere before every core in the system has entered the
+    // sequencer once (`running` only reaches 0 then), so the startup wave
+    // runs concurrently across islands yet cannot reorder sequenced ops.
+    for &core in &own_cores {
+        // SAFETY: the fiber is unstarted, and only this thread ever
+        // switches fibers of this island's runtime.
+        unsafe { rt.switch(FiberId::Launcher, FiberId::Core(core)) };
+    }
+
+    loop {
+        if own_cores.iter().all(|&c| rt.is_done(c)) {
+            break;
+        }
+        if shared.seq.check_poison() {
+            // Poison drain: resume any live fiber; its sequencer re-entry
+            // observes the poison and unwinds it to done.
+            let c = own_cores.iter().copied().find(|&c| !rt.is_done(c)).unwrap();
+            // SAFETY: live suspended fiber of this island.
+            unsafe { rt.switch(FiberId::Launcher, FiberId::Core(c)) };
+            continue;
+        }
+        if let Some(c) = shared.seq.granted_core_on_island(island) {
+            // A granted core of this island is always a live, suspended
+            // waiter (it cannot retire while still holding a pending
+            // grant); the `is_done` guard is pure defensive depth.
+            if !rt.is_done(c) {
+                // SAFETY: as above.
+                unsafe { rt.switch(FiberId::Launcher, FiberId::Core(c)) };
+            }
+            continue;
+        }
+        // Nothing to run on this island: sleep until a cross-island
+        // handoff (or poison) unparks us. The unpark token is sticky, so a
+        // wake delivered between the checks above and the park is never
+        // lost. With a watchdog armed, this launcher doubles as the
+        // wall-clock stall detector (the role `enter`'s park_timeout plays
+        // on the thread backend).
+        match shared.seq.watchdog_config() {
+            None => std::thread::park(),
+            Some(wd) => {
+                let before = shared.seq.liveness_snapshot();
+                let window = Duration::from_millis(wd.wall_ms);
+                let t0 = Instant::now();
+                std::thread::park_timeout(window);
+                if t0.elapsed() >= window
+                    && !shared.seq.check_poison()
+                    && shared.seq.liveness_snapshot() == before
+                {
+                    // No grant and no productive local work anywhere for a
+                    // full window: the run is stuck, not slow. Poison
+                    // without panicking — the drained fibers raise the
+                    // panics, keeping this launcher alive to collect their
+                    // reports for the diagnostic bundle.
+                    shared.seq.launcher_trip();
+                }
+            }
+        }
+    }
+    // Dropping `fibers` unmaps the island's stacks; all are done here.
 }
 
 /// Summary of the ULI network's activity during a run.
@@ -299,6 +475,13 @@ pub struct RunReport {
     /// Grants that took the sequencer's inline fast re-grant path (a
     /// host-performance diagnostic; has no simulated-time meaning).
     pub seq_fast_grants: u64,
+    /// Conservative cross-island lookahead of the sharded backend in
+    /// cycles (0 on the other backends): the bound below which no
+    /// cross-island interaction can land, derived from the minimum
+    /// cross-island mesh hop latency. A host-level diagnostic; the
+    /// bit-exact backends never let islands run ahead, so it has no
+    /// simulated-time meaning.
+    pub seq_lookahead: u64,
     /// Order-sensitive hash of the sequenced-op stream (every `(time,
     /// core)` token grant, in grant order). Identical runs produce
     /// identical hashes; golden-trace tests pin this value to prove engine
@@ -372,15 +555,24 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         "DRF checking cannot be combined with fault injection"
     );
     let num_cores = config.num_cores();
-    let use_fibers = resolve_backend(config);
+    let backend = resolve_backend(config);
     #[allow(unused_mut)]
     let mut seq = Sequencer::new(num_cores);
     if let Some(budget) = config.watchdog_budget {
         seq.set_watchdog(WatchdogConfig { budget, wall_ms: config.watchdog_wall_ms });
     }
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-    if use_fibers {
-        seq.set_fiber_backend(crate::fiber::FiberRt::new(num_cores));
+    match backend {
+        Backend::Fibers => seq.set_fiber_backend(crate::fiber::FiberRt::new(num_cores)),
+        Backend::Sharded => {
+            let islands = config.topology().quadrant_islands(num_cores);
+            // Minimum cross-island mesh latency: one cycle per hop each
+            // way plus the receiving unit's cycle — the same formula the
+            // ULI network charges for a `hops`-hop message.
+            let lookahead = u64::from(config.topology().min_cross_island_hops(&islands)) * 2 + 1;
+            seq.set_sharded_backend(crate::sequencer::ShardedRt::new(&islands, num_cores, lookahead));
+        }
+        Backend::Threads => {}
     }
     let mut mem = MemorySystem::new(&config.mem_config());
     mem.set_mesh_faults(config.faults.mesh_faults());
@@ -398,14 +590,14 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let panics: Panics = Arc::new(Mutex::new(Vec::new()));
 
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-    if use_fibers {
-        run_cores_on_fibers(config, workers, &shared, &reports, &panics);
-    } else {
-        run_cores_on_threads(config, workers, &shared, &reports, &panics);
+    match backend {
+        Backend::Fibers => run_cores_on_fibers(config, workers, &shared, &reports, &panics),
+        Backend::Sharded => run_cores_on_sharded_fibers(config, workers, &shared, &reports, &panics),
+        Backend::Threads => run_cores_on_threads(config, workers, &shared, &reports, &panics),
     }
     #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
     {
-        let _ = use_fibers;
+        debug_assert_eq!(backend, Backend::Threads, "resolve_backend rejects fibers off-platform");
         run_cores_on_threads(config, workers, &shared, &reports, &panics);
     }
 
@@ -488,6 +680,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         mesh_fault_spikes: st.mem.mesh_fault_spikes(),
         seq_grants: shared.seq.total_grants(),
         seq_fast_grants: shared.seq.fast_grants(),
+        seq_lookahead: shared.seq.sharded_lookahead(),
         seq_op_hash: shared.seq.op_hash(),
         mem_events,
     }
@@ -537,7 +730,10 @@ mod tests {
 
     /// Four cores sum disjoint slices of a shared vector.
     fn parallel_sum(tiny_proto: Protocol) -> RunReport {
-        let config = small_config(tiny_proto);
+        parallel_sum_on(small_config(tiny_proto))
+    }
+
+    fn parallel_sum_on(config: SystemConfig) -> RunReport {
         let mut space = AddrSpace::new();
         let n = 256;
         let data = Arc::new(ShVec::from_vec(&mut space, (0..n as u64).collect()));
@@ -592,6 +788,58 @@ mod tests {
         assert_eq!(a.core_cycles, b.core_cycles);
         assert_eq!(a.instructions, b.instructions);
         assert_eq!(a.traffic, b.traffic);
+    }
+
+    /// The sharded backend must be invisible to simulated results: on a
+    /// 2x2 mesh every core is its own island, so every handoff crosses an
+    /// island boundary, making this the densest cross-island stress the
+    /// small configuration can express.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn sharded_backend_matches_threads_bit_for_bit() {
+        let run = |backend: ExecBackend| {
+            let mut config = small_config(Protocol::GpuWb);
+            config.backend = backend;
+            parallel_sum_on(config)
+        };
+        let a = run(ExecBackend::Threads);
+        let b = run(ExecBackend::ShardedFibers);
+        assert_eq!(a.seq_op_hash, b.seq_op_hash, "sequenced-op streams must be identical");
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.traffic, b.traffic);
+        // 2x2 quadrants are adjacent tiles: 1 hop -> 1*2+1 cycles.
+        assert_eq!(b.seq_lookahead, 3);
+        assert_eq!(a.seq_lookahead, 0, "thread backend reports no lookahead");
+    }
+
+    /// A worker panic under the sharded backend must drain every island
+    /// and re-raise the original panic, exactly like the other backends.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn sharded_worker_panic_propagates() {
+        let mut config = small_config(Protocol::Mesi);
+        config.backend = ExecBackend::ShardedFibers;
+        let mut workers: Vec<Worker> = Vec::new();
+        for core in 0..4usize {
+            workers.push(Box::new(move |port| {
+                for t in 0..1000 {
+                    port.idle(10);
+                    if core == 2 && t == 5 {
+                        panic!("sharded worker exploded");
+                    }
+                }
+            }));
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
+        let err = r.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("sharded worker exploded"), "got: {msg}");
     }
 
     #[test]

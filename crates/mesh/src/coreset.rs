@@ -1,0 +1,233 @@
+//! Growable core bitset.
+//!
+//! Fault plans and mesh dead-masks historically used bare `u64` bitmasks,
+//! which silently cap at core 63 — invisible until a configuration crosses
+//! 64 cores (the paper's headline config has 256). `CoreSet` is a dense
+//! bitset over `Vec<u64>` words with no upper bound on core index.
+//!
+//! The representation is kept *canonical* (no trailing zero words) so the
+//! derived `PartialEq`/`Eq`/`Hash` treat two sets with the same members as
+//! equal regardless of how they were built.
+
+/// A set of core indices, backed by 64-bit words. Grows on demand; empty
+/// set allocates nothing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CoreSet {
+    words: Vec<u64>,
+}
+
+impl CoreSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        CoreSet { words: Vec::new() }
+    }
+
+    /// A set holding exactly the bits of a legacy `u64` mask (cores 0..64).
+    pub fn from_mask(mask: u64) -> Self {
+        let mut s = CoreSet::new();
+        if mask != 0 {
+            s.words.push(mask);
+        }
+        s
+    }
+
+    /// Insert `core`. Idempotent.
+    pub fn insert(&mut self, core: usize) {
+        let w = core / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (core % 64);
+    }
+
+    /// Remove `core` if present.
+    pub fn remove(&mut self, core: usize) {
+        let w = core / 64;
+        if w < self.words.len() {
+            self.words[w] &= !(1u64 << (core % 64));
+            self.canonicalize();
+        }
+    }
+
+    /// Whether `core` is a member.
+    pub fn contains(&self, core: usize) -> bool {
+        let w = core / 64;
+        w < self.words.len() && self.words[w] & (1u64 << (core % 64)) != 0
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// Members of `self` that are not members of `other`.
+    pub fn difference(&self, other: &CoreSet) -> CoreSet {
+        let mut out = CoreSet {
+            words: self
+                .words
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0))
+                .collect(),
+        };
+        out.canonicalize();
+        out
+    }
+
+    /// Render as arbitrary-width hex (`0x0` for the empty set), matching
+    /// what [`CoreSet::parse`] accepts. Words beyond the first 64 bits
+    /// simply extend the hex string leftward.
+    pub fn to_hex(&self) -> String {
+        if self.words.is_empty() {
+            return "0x0".to_owned();
+        }
+        let mut s = String::from("0x");
+        let mut first = true;
+        for &w in self.words.iter().rev() {
+            if first {
+                s.push_str(&format!("{w:x}"));
+                first = false;
+            } else {
+                s.push_str(&format!("{w:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Parse a core set from a spec value: arbitrary-width `0x…` hex or a
+    /// decimal `u64` mask. Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            if hex.is_empty() || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return None;
+            }
+            // Consume 16 hex digits (one u64 word) at a time from the right.
+            let digits: Vec<u8> = hex.bytes().collect();
+            let mut words = Vec::new();
+            let mut end = digits.len();
+            while end > 0 {
+                let start = end.saturating_sub(16);
+                let chunk = std::str::from_utf8(&digits[start..end]).ok()?;
+                words.push(u64::from_str_radix(chunk, 16).ok()?);
+                end = start;
+            }
+            let mut out = CoreSet { words };
+            out.canonicalize();
+            Some(out)
+        } else {
+            s.parse::<u64>().ok().map(CoreSet::from_mask)
+        }
+    }
+
+    fn canonicalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_past_64() {
+        let mut s = CoreSet::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(200);
+        assert!(s.contains(5));
+        assert!(s.contains(200));
+        assert!(!s.contains(63));
+        assert!(!s.contains(1000));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 200]);
+        s.remove(200);
+        assert!(!s.contains(200));
+        assert_eq!(s.count(), 1);
+        // Canonical after removing the high bit: equal to a fresh small set.
+        assert_eq!(s, CoreSet::from_mask(1 << 5));
+    }
+
+    #[test]
+    fn from_mask_matches_inserts() {
+        let m = CoreSet::from_mask((1 << 5) | (1 << 9) | (1 << 13));
+        let mut s = CoreSet::new();
+        for c in [5, 9, 13] {
+            s.insert(c);
+        }
+        assert_eq!(m, s);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn hex_round_trips_small_and_wide() {
+        for set in [
+            CoreSet::new(),
+            CoreSet::from_mask(0x20),
+            CoreSet::from_mask(u64::MAX),
+            {
+                let mut s = CoreSet::new();
+                s.insert(200);
+                s.insert(3);
+                s
+            },
+        ] {
+            let hex = set.to_hex();
+            assert_eq!(CoreSet::parse(&hex), Some(set.clone()), "{hex}");
+        }
+        // Decimal masks are accepted for legacy specs.
+        assert_eq!(CoreSet::parse("32"), Some(CoreSet::from_mask(32)));
+        assert_eq!(CoreSet::parse("0x20"), Some(CoreSet::from_mask(0x20)));
+        assert_eq!(CoreSet::parse("0x"), None);
+        assert_eq!(CoreSet::parse("0xzz"), None);
+        assert_eq!(CoreSet::parse(""), None);
+    }
+
+    #[test]
+    fn wide_hex_places_bits_correctly() {
+        let mut s = CoreSet::new();
+        s.insert(200);
+        // Bit 200 = word 3 bit 8 → hex digit 50 positions up.
+        let parsed = CoreSet::parse(&s.to_hex()).unwrap();
+        assert!(parsed.contains(200));
+        assert_eq!(parsed.count(), 1);
+    }
+
+    #[test]
+    fn difference_finds_fresh_and_revived() {
+        let mut old = CoreSet::new();
+        old.insert(3);
+        old.insert(100);
+        let mut new = CoreSet::new();
+        new.insert(100);
+        new.insert(200);
+        let fresh = new.difference(&old);
+        assert_eq!(fresh.iter().collect::<Vec<_>>(), vec![200]);
+        let revived = old.difference(&new);
+        assert_eq!(revived.iter().collect::<Vec<_>>(), vec![3]);
+        // Difference against a longer set trims correctly.
+        assert!(new.difference(&new).is_empty());
+    }
+}

@@ -33,11 +33,13 @@
 //! assert_eq!(mesh.stats().bytes(TrafficClass::DataResp), 64 + 8);
 //! ```
 
+mod coreset;
 mod network;
 mod rng;
 mod topology;
 mod traffic;
 
+pub use coreset::CoreSet;
 pub use network::{Mesh, MeshConfig, MeshFaults, UliCoreState, UliMessage, UliNetwork, UliOutcome};
 pub use rng::XorShift64;
 pub use topology::{Tile, Topology};

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use crate::coreset::CoreSet;
 use crate::rng::XorShift64;
 use crate::topology::{Tile, Topology};
 use crate::traffic::{TrafficClass, TrafficStats};
@@ -435,15 +436,16 @@ impl UliNetwork {
         self.units[core].dead
     }
 
-    /// Bitmask of currently-dead cores (bit `i` = core `i`; cores ≥ 64
-    /// are not representable, and crash eligibility keeps them alive).
-    pub fn dead_mask(&self) -> u64 {
-        self.units
-            .iter()
-            .enumerate()
-            .take(64)
-            .filter(|(_, u)| u.dead)
-            .fold(0u64, |m, (i, _)| m | (1 << i))
+    /// Set of currently-dead cores. Unbounded in core index: a 256-core
+    /// mesh reports a quarantined core 200 just like core 2.
+    pub fn dead_mask(&self) -> CoreSet {
+        let mut dead = CoreSet::new();
+        for (i, u) in self.units.iter().enumerate() {
+            if u.dead {
+                dead.insert(i);
+            }
+        }
+        dead
     }
 
     /// A crash-consistent snapshot of `core`'s ULI unit for diagnostics.
@@ -683,7 +685,7 @@ mod tests {
         u.set_enabled(1, true);
         u.set_dead(1, 100);
         assert!(u.is_dead(1));
-        assert_eq!(u.dead_mask(), 1 << 1);
+        assert_eq!(u.dead_mask(), CoreSet::from_mask(1 << 1));
         match u.try_send_request(0, 1, 7, 100) {
             UliOutcome::Dead { reply_at } => assert_eq!(reply_at, 106), // 1 hop each way
             other => panic!("expected Dead, got {other:?}"),
@@ -691,8 +693,28 @@ mod tests {
         assert!(u.take_request(1, 10_000).is_none(), "a dead core services nothing");
         u.set_alive(1);
         assert!(!u.is_dead(1));
-        assert_eq!(u.dead_mask(), 0);
+        assert!(u.dead_mask().is_empty());
         assert_eq!(u.try_send_request(0, 1, 7, 200), UliOutcome::Sent);
+    }
+
+    /// Regression: the dead set must represent cores ≥ 64. The old `u64`
+    /// fold silently truncated at core 63, so a quarantined core 200 in a
+    /// 256-core mesh was invisible to recovery.
+    #[test]
+    fn dead_mask_represents_cores_past_64() {
+        let mut u = UliNetwork::new(Topology::new(8, 32), 256);
+        u.set_enabled(200, true);
+        u.set_dead(200, 0);
+        u.set_dead(70, 0);
+        u.set_dead(3, 0);
+        let dead = u.dead_mask();
+        assert_eq!(dead.iter().collect::<Vec<_>>(), vec![3, 70, 200]);
+        match u.try_send_request(0, 200, 7, 100) {
+            UliOutcome::Dead { .. } => {}
+            other => panic!("expected Dead, got {other:?}"),
+        }
+        u.set_alive(200);
+        assert_eq!(u.dead_mask().iter().collect::<Vec<_>>(), vec![3, 70]);
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn seeded_fault_plans_keep_every_runtime_correct() {
             (RuntimeKind::Hcc, Protocol::GpuWb),
             (RuntimeKind::Dts, Protocol::GpuWb),
         ] {
-            let cfg = sys(1, 7, proto).with_faults(plan);
+            let cfg = sys(1, 7, proto).with_faults(plan.clone());
             let r = run(&app, &cfg, kind);
             assert_eq!(r.report.stale_reads, 0, "{label}/{kind:?}: stale read under faults");
             assert!(r.report.completion_cycles > 0, "{label}/{kind:?}");

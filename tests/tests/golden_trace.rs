@@ -68,11 +68,12 @@ fn sequenced_op_stream_matches_golden_hashes() {
     );
 }
 
-/// Both execution backends (one OS thread per core vs stackful fibers on
-/// one thread) must replay the exact same grant stream: they share the
-/// sequencer's grant-selection rule and differ only in how a blocked core
-/// yields the host CPU. Pinning both against the same table proves the
-/// fiber fast path cannot change a single simulated cycle.
+/// All three execution backends (one OS thread per core, stackful fibers
+/// on one thread, island-sharded fibers on one thread per mesh quadrant)
+/// must replay the exact same grant stream: they share the sequencer's
+/// grant-selection rule and differ only in how a blocked core yields the
+/// host CPU. Pinning all of them against the same table proves the fiber
+/// and sharding fast paths cannot change a single simulated cycle.
 #[test]
 fn both_backends_produce_identical_op_streams() {
     use bigtiny_engine::ExecBackend;
@@ -82,8 +83,8 @@ fn both_backends_produce_identical_op_streams() {
         GOLDEN.iter().filter(|g| g.0 == "cilk5-nq")
     {
         let app = app_by_name(app_name).unwrap();
-        for backend in [ExecBackend::Threads, ExecBackend::Fibers] {
-            if backend == ExecBackend::Fibers && !fibers_supported {
+        for backend in [ExecBackend::Threads, ExecBackend::Fibers, ExecBackend::ShardedFibers] {
+            if backend != ExecBackend::Threads && !fibers_supported {
                 continue;
             }
             let mut setup = setup_by_label(setup_label);
@@ -209,10 +210,11 @@ fn crash_runs_pin_metrics_and_audit_verdict_across_backends() {
             .clone()
             .with_faults(FaultPlan::crash_storm(11))
             .with_backend(backend);
-        if backend == ExecBackend::Threads {
+        if backend != ExecBackend::Fibers {
             // The watchdog is observational (it never perturbs simulated
-            // results) but requires the thread backend, so only the
-            // thread legs arm it.
+            // results) but needs a second runnable thread for its
+            // wall-clock fallback, so every backend except the
+            // single-threaded fiber one arms it.
             setup.sys = setup.sys.clone().with_watchdog(2_000_000);
         }
         setup.rt.record_task_events = true;
@@ -238,7 +240,9 @@ fn crash_runs_pin_metrics_and_audit_verdict_across_backends() {
     assert_ne!(a.2, 0, "verdict hash folds real counts");
     if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
         let c = run_once(ExecBackend::Fibers);
-        assert_eq!(a, c, "backends agree bit-for-bit under a crash storm");
+        assert_eq!(a, c, "fiber backend agrees bit-for-bit under a crash storm");
+        let d = run_once(ExecBackend::ShardedFibers);
+        assert_eq!(a, d, "sharded backend agrees bit-for-bit under a crash storm");
     }
 }
 
