@@ -89,11 +89,8 @@ pub fn matmul_acc(
         cx.set_pending(4);
         for (qi, qj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
             let (a2, b2, c2) = (Arc::clone(a), Arc::clone(b), Arc::clone(c));
-            let corners = (
-                (ra + qi * h, ca + k * h),
-                (rb + k * h, cb + qj * h),
-                (rc + qi * h, cc + qj * h),
-            );
+            let corners =
+                ((ra + qi * h, ca + k * h), (rb + k * h, cb + qj * h), (rc + qi * h, cc + qj * h));
             cx.spawn(move |cx| {
                 matmul_acc(cx, &a2, &b2, &c2, corners.0, corners.1, corners.2, h, block, sign);
             });

@@ -53,7 +53,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             Err(format!("cilk5-lu: |LU - A| = {err}"))
         }
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 /// In-place LU of the `s`×`s` submatrix whose top-left corner is `(o, o)`.
@@ -123,13 +123,30 @@ fn lower_solve(
         move |cx| {
             // Same recursion on the right column half.
             lower_solve(cx, &m2, l0, (b0.0, bc1), h, block);
-            matmul_acc(cx, &m2, &m2, &m2, (l0.0 + h, l0.1), (b0.0, bc1), (b0.0 + h, bc1), h, block, -1.0);
+            matmul_acc(
+                cx,
+                &m2,
+                &m2,
+                &m2,
+                (l0.0 + h, l0.1),
+                (b0.0, bc1),
+                (b0.0 + h, bc1),
+                h,
+                block,
+                -1.0,
+            );
             lower_solve(cx, &m2, (l0.0 + h, l0.1 + h), (b0.0 + h, bc1), h, block);
         },
     );
 }
 
-fn serial_lower_solve(cx: &mut TaskCx<'_>, m: &Matrix, l0: (usize, usize), b0: (usize, usize), s: usize) {
+fn serial_lower_solve(
+    cx: &mut TaskCx<'_>,
+    m: &Matrix,
+    l0: (usize, usize),
+    b0: (usize, usize),
+    s: usize,
+) {
     for j in 0..s {
         for i in 0..s {
             let mut acc = m.get(cx, b0.0 + i, b0.1 + j);
@@ -172,13 +189,30 @@ fn upper_solve(
         },
         move |cx| {
             upper_solve(cx, &m2, u0, (br1, b0.1), h, block);
-            matmul_acc(cx, &m2, &m2, &m2, (br1, b0.1), (u0.0, u0.1 + h), (br1, b0.1 + h), h, block, -1.0);
+            matmul_acc(
+                cx,
+                &m2,
+                &m2,
+                &m2,
+                (br1, b0.1),
+                (u0.0, u0.1 + h),
+                (br1, b0.1 + h),
+                h,
+                block,
+                -1.0,
+            );
             upper_solve(cx, &m2, (u0.0 + h, u0.1 + h), (br1, b0.1 + h), h, block);
         },
     );
 }
 
-fn serial_upper_solve(cx: &mut TaskCx<'_>, m: &Matrix, u0: (usize, usize), b0: (usize, usize), s: usize) {
+fn serial_upper_solve(
+    cx: &mut TaskCx<'_>,
+    m: &Matrix,
+    u0: (usize, usize),
+    b0: (usize, usize),
+    s: usize,
+) {
     for i in 0..s {
         for j in 0..s {
             let mut acc = m.get(cx, b0.0 + i, b0.1 + j);
@@ -204,7 +238,9 @@ mod tests {
 
     #[test]
     fn lu_factors_correctly_on_hcc_and_dts() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 4);

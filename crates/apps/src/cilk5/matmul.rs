@@ -34,7 +34,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             Err(format!("cilk5-mm: |C - A*B| = {err}"))
         }
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bigtiny_core::{parallel_for, TaskCx};
 use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
 
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 /// Rows expanded by the root to form the parallel work list.
 const PREFIX_ROWS: usize = 3;
@@ -48,6 +48,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let slots = Arc::new(ShVec::new(space, n * n * n, 0u64));
     let c2 = Arc::clone(&count);
     let sl2 = Arc::clone(&slots);
+    let (c3, sl3) = (Arc::clone(&count), Arc::clone(&slots));
     let root: crate::RootFn = Box::new(move |cx| {
         // Enumerate valid prefixes of the first PREFIX_ROWS rows.
         let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
@@ -97,7 +98,9 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             Err(format!("cilk5-nq: counted {got} solutions for n={n}, expected {want}"))
         }
     });
-    Prepared { root, verify }
+    let fingerprint =
+        Box::new(move || fingerprint_words(std::iter::once(c3.host_read()).chain(sl3.snapshot())));
+    Prepared { root, verify, fingerprint: Some(fingerprint) }
 }
 
 fn safe(rows: &[u8], col: u8) -> bool {

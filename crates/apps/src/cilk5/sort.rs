@@ -7,7 +7,7 @@ use std::sync::Arc;
 use bigtiny_core::{parallel_invoke, TaskCx};
 use bigtiny_engine::{AddrSpace, ShVec, XorShift64};
 
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 /// Instantiates `cilk5-cs`: sort `n` random 64-bit keys.
 pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
@@ -27,6 +27,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let b = Arc::new(ShVec::new(space, n, 0u64));
 
     let a2 = Arc::clone(&a);
+    let a3 = Arc::clone(&a);
     let root: crate::RootFn = Box::new(move |cx| {
         msort(cx, &a2, &b, 0, n, false, grain);
     });
@@ -38,7 +39,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             Err("cilk5-cs: output not sorted or keys lost".to_owned())
         }
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: Some(Box::new(move || fingerprint_words(a3.snapshot()))) }
 }
 
 /// Sorts `a[0..n]` in place with the parallel mergesort (library entry
@@ -117,7 +118,8 @@ fn pmerge(
         return;
     }
     // Split the larger run at its midpoint and binary-search the other.
-    let ((l1, h1), (l2, h2)) = if h1 - l1 >= h2 - l2 { ((l1, h1), (l2, h2)) } else { ((l2, h2), (l1, h1)) };
+    let ((l1, h1), (l2, h2)) =
+        if h1 - l1 >= h2 - l2 { ((l1, h1), (l2, h2)) } else { ((l2, h2), (l1, h1)) };
     let m1 = (l1 + h1) / 2;
     let pivot = src.read(cx.port(), m1);
     let m2 = lower_bound(cx, src, l2, h2, pivot);
@@ -166,7 +168,13 @@ fn serial_merge(
     }
 }
 
-fn lower_bound(cx: &mut TaskCx<'_>, src: &Arc<ShVec<u64>>, mut lo: usize, mut hi: usize, key: u64) -> usize {
+fn lower_bound(
+    cx: &mut TaskCx<'_>,
+    src: &Arc<ShVec<u64>>,
+    mut lo: usize,
+    mut hi: usize,
+    key: u64,
+) -> usize {
     while lo < hi {
         let mid = (lo + hi) / 2;
         let v = src.read(cx.port(), mid);

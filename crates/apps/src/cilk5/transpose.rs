@@ -6,7 +6,7 @@ use bigtiny_core::{parallel_invoke, TaskCx};
 use bigtiny_engine::AddrSpace;
 
 use crate::cilk5::dense::Matrix;
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 /// Instantiates `cilk5-mt`: `B = A^T` for an `n`×`n` matrix.
 pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
@@ -21,6 +21,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let b = Arc::new(Matrix::zero(space, n));
 
     let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let b3 = Arc::clone(&b);
     let root: crate::RootFn = Box::new(move |cx| {
         transpose(cx, &a2, &b2, 0, 0, n, n, leaf);
     });
@@ -36,7 +37,11 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    // Pure data movement: every output bit is a copy of an input bit, so
+    // the fingerprint is schedule-deterministic despite the f64 payload.
+    let fingerprint =
+        Box::new(move || fingerprint_words(b3.snapshot().into_iter().flatten().map(f64::to_bits)));
+    Prepared { root, verify, fingerprint: Some(fingerprint) }
 }
 
 /// Transposes the `rows`×`cols` block of `a` at `(r0, c0)` into `b`,
@@ -65,24 +70,16 @@ fn transpose(
     let (a1, b1) = (Arc::clone(a), Arc::clone(b));
     if rows >= cols {
         let h = rows / 2;
-        parallel_invoke(
-            cx,
-            move |cx| transpose(cx, &a1, &b1, r0, c0, h, cols, leaf),
-            {
-                let (a2, b2) = (Arc::clone(a), Arc::clone(b));
-                move |cx| transpose(cx, &a2, &b2, r0 + h, c0, rows - h, cols, leaf)
-            },
-        );
+        parallel_invoke(cx, move |cx| transpose(cx, &a1, &b1, r0, c0, h, cols, leaf), {
+            let (a2, b2) = (Arc::clone(a), Arc::clone(b));
+            move |cx| transpose(cx, &a2, &b2, r0 + h, c0, rows - h, cols, leaf)
+        });
     } else {
         let h = cols / 2;
-        parallel_invoke(
-            cx,
-            move |cx| transpose(cx, &a1, &b1, r0, c0, rows, h, leaf),
-            {
-                let (a2, b2) = (Arc::clone(a), Arc::clone(b));
-                move |cx| transpose(cx, &a2, &b2, r0, c0 + h, rows, cols - h, leaf)
-            },
-        );
+        parallel_invoke(cx, move |cx| transpose(cx, &a1, &b1, r0, c0, rows, h, leaf), {
+            let (a2, b2) = (Arc::clone(a), Arc::clone(b));
+            move |cx| transpose(cx, &a2, &b2, r0, c0 + h, rows, cols - h, leaf)
+        });
     }
 }
 
@@ -95,10 +92,9 @@ mod tests {
 
     #[test]
     fn transpose_correct_across_runtimes() {
-        for (kind, proto) in [
-            (RuntimeKind::Hcc, Protocol::GpuWb),
-            (RuntimeKind::Dts, Protocol::GpuWt),
-        ] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 4);

@@ -63,7 +63,8 @@ impl Graph {
             .iter()
             .map(|&(a, b)| {
                 let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
-                let mut r = XorShift64::new(lo.wrapping_mul(0x9e37_79b9) ^ hi.wrapping_add(0x7f4a_7c15));
+                let mut r =
+                    XorShift64::new(lo.wrapping_mul(0x9e37_79b9) ^ hi.wrapping_add(0x7f4a_7c15));
                 r.next_below(32) + 1
             })
             .collect();

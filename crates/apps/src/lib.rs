@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The 13 dynamic task-parallel application kernels of the big.TINY
@@ -23,7 +24,9 @@ pub mod ligra;
 pub mod ligra_apps;
 mod registry;
 
-pub use registry::{all_apps, app_by_name, AppSize, AppSpec, Method, Prepared, RootFn};
+pub use registry::{
+    all_apps, app_by_name, fingerprint_words, AppSize, AppSpec, Method, Prepared, RootFn,
+};
 
 #[cfg(test)]
 mod test_support {

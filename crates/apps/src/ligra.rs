@@ -477,7 +477,8 @@ mod tests {
         let visited = Arc::new(ShVec::new(&mut space, 4, 0u64));
         visited.host_write(0, 1);
         visited.host_write(1, 1);
-        let (g2, f2, n2, v2) = (Arc::clone(&g), Arc::clone(&frontier), Arc::clone(&next), Arc::clone(&visited));
+        let (g2, f2, n2, v2) =
+            (Arc::clone(&g), Arc::clone(&frontier), Arc::clone(&next), Arc::clone(&visited));
         run_task_parallel(&s, &cfg, &mut space, move |cx| {
             let vc = Arc::clone(&v2);
             let vu = Arc::clone(&v2);
@@ -499,11 +500,18 @@ mod tests {
     fn vertex_map_touches_members_only() {
         let s = sys();
         let cfg = RuntimeConfig::new(RuntimeKind::Baseline);
-        let s = SystemConfig { cores: s.cores.iter().map(|c| {
-            let mut c = *c;
-            c.mem.protocol = Protocol::Mesi;
-            c
-        }).collect(), ..s };
+        let s = SystemConfig {
+            cores: s
+                .cores
+                .iter()
+                .map(|c| {
+                    let mut c = *c;
+                    c.mem.protocol = Protocol::Mesi;
+                    c
+                })
+                .collect(),
+            ..s
+        };
         let mut space = AddrSpace::new();
         let subset = Arc::new(VertexSubset::new(&mut space, 10));
         for v in [1, 3, 5] {
@@ -536,7 +544,8 @@ mod tests {
         let cur = Arc::new(VertexSubset::new(&mut space, n));
         let nxt = Arc::new(VertexSubset::new(&mut space, n));
         cur.host_insert(src);
-        let (g2, v2, c2, x2) = (Arc::clone(&g), Arc::clone(&visited), Arc::clone(&cur), Arc::clone(&nxt));
+        let (g2, v2, c2, x2) =
+            (Arc::clone(&g), Arc::clone(&visited), Arc::clone(&cur), Arc::clone(&nxt));
         let run = run_task_parallel(&s, &cfg, &mut space, move |cx| {
             let mut cur = c2;
             let mut nxt = x2;
@@ -609,10 +618,7 @@ mod tests {
         };
         let dense = run_once(false);
         let sparse = run_once(true);
-        assert!(
-            sparse * 3 < dense,
-            "sparse {sparse} insts should be well under dense {dense}"
-        );
+        assert!(sparse * 3 < dense, "sparse {sparse} insts should be well under dense {dense}");
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let nxt = Arc::new(VertexSubset::new(space, n));
     cur.host_insert(src);
 
-    let (g2, l2, s2, d2) = (Arc::clone(&g), Arc::clone(&level), Arc::clone(&sigma), Arc::clone(&delta));
+    let (g2, l2, s2, d2) =
+        (Arc::clone(&g), Arc::clone(&level), Arc::clone(&sigma), Arc::clone(&delta));
     let root: crate::RootFn = Box::new(move |cx| {
         let mut cur = cur;
         let mut nxt = nxt;
@@ -43,7 +44,8 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         let mut depth = 0u64;
         loop {
             depth += 1;
-            let (lr, lu, sr, su) = (Arc::clone(&l2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&s2));
+            let (lr, lu, sr, su) =
+                (Arc::clone(&l2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&s2));
             let this_depth = depth;
             edge_map(
                 cx,
@@ -112,7 +114,8 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         let max_depth = depth;
         // Backward phase: accumulate dependencies level by level.
         for lev in (1..max_depth).rev() {
-            let (gb, lb, sb, db) = (Arc::clone(&g2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&d2));
+            let (gb, lb, sb, db) =
+                (Arc::clone(&g2), Arc::clone(&l2), Arc::clone(&s2), Arc::clone(&d2));
             let gsplit = Arc::clone(&g2);
             crate::ligra::for_each_vertex_by_degree(cx, &gsplit, grain, move |cx, v| {
                 if lb.read(cx.port(), v) != lev {
@@ -157,7 +160,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 /// Serial Brandes reference: returns (sigma, delta) from `src`.
@@ -204,7 +207,9 @@ mod tests {
 
     #[test]
     fn bc_matches_brandes_reference() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 8);

@@ -9,7 +9,7 @@ use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 const INF: u64 = u64::MAX / 4;
 
@@ -32,6 +32,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     cur.host_insert(src);
 
     let (g2, d2) = (Arc::clone(&g), Arc::clone(&dist));
+    let d3 = Arc::clone(&dist);
     let root: crate::RootFn = Box::new(move |cx| {
         let mut cur = cur;
         let mut nxt = nxt;
@@ -83,7 +84,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: Some(Box::new(move || fingerprint_words(d3.snapshot()))) }
 }
 
 /// Serial Dijkstra reference.

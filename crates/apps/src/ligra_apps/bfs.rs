@@ -30,7 +30,8 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     let nxt = Arc::new(VertexSubset::new(space, n));
     cur.host_insert(src);
 
-    let (g2, p2, c2, x2) = (Arc::clone(&g), Arc::clone(&parent), Arc::clone(&cur), Arc::clone(&nxt));
+    let (g2, p2, c2, x2) =
+        (Arc::clone(&g), Arc::clone(&parent), Arc::clone(&cur), Arc::clone(&nxt));
     let root: crate::RootFn = Box::new(move |cx| {
         run_bfs(cx, &g2, &p2, c2, x2, grain);
     });
@@ -55,7 +56,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 /// The round loop, also used by the granularity-sweep harness.

@@ -80,7 +80,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 /// Exposes the visited-bit claim for tests.
@@ -105,7 +105,9 @@ mod tests {
 
     #[test]
     fn bfsbv_visits_exactly_the_reachable_set() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 8);

@@ -8,7 +8,7 @@ use bigtiny_engine::{AddrSpace, RacyTag, ShVec};
 
 use crate::graph::Graph;
 use crate::ligra::{edge_map, VertexSubset};
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 /// Instantiates `ligra-cc` on an rMAT graph.
 pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
@@ -29,6 +29,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     }
 
     let (g2, i2) = (Arc::clone(&g), Arc::clone(&ids));
+    let i3 = Arc::clone(&ids);
     let root: crate::RootFn = Box::new(move |cx| {
         let mut cur = cur;
         let mut nxt = nxt;
@@ -79,12 +80,15 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 }
             }
             if got[v] != want[v] as u64 {
-                return Err(format!("ligra-cc: label of {v} is {} expected min-id {}", got[v], want[v]));
+                return Err(format!(
+                    "ligra-cc: label of {v} is {} expected min-id {}",
+                    got[v], want[v]
+                ));
             }
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: Some(Box::new(move || fingerprint_words(i3.snapshot()))) }
 }
 
 /// Serial reference: min vertex id per component via union-find.
@@ -123,7 +127,9 @@ mod tests {
 
     #[test]
     fn labels_are_component_minima() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWt)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 8);

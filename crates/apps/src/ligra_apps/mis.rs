@@ -77,7 +77,9 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             if st[v] == IN {
                 for &u in &adj[v] {
                     if st[u] == IN {
-                        return Err(format!("ligra-mis: adjacent vertices {v} and {u} both in set"));
+                        return Err(format!(
+                            "ligra-mis: adjacent vertices {v} and {u} both in set"
+                        ));
                     }
                 }
             }
@@ -90,7 +92,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -105,7 +107,8 @@ fn round(
 ) {
     // Phase 1: undecided vertices with locally-minimal priority join.
     {
-        let (g1, p1, s1, j1) = (Arc::clone(g), Arc::clone(prio), Arc::clone(state), Arc::clone(joined));
+        let (g1, p1, s1, j1) =
+            (Arc::clone(g), Arc::clone(prio), Arc::clone(state), Arc::clone(joined));
         crate::ligra::for_each_vertex_by_degree(cx, g, grain, move |cx, v| {
             if s1.read(cx.port(), v) != UNDECIDED {
                 return;
@@ -175,7 +178,9 @@ mod tests {
 
     #[test]
     fn mis_is_independent_and_maximal() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::DeNovo), (RuntimeKind::Dts, Protocol::GpuWb)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::DeNovo), (RuntimeKind::Dts, Protocol::GpuWb)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 8);

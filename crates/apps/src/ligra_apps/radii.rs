@@ -115,7 +115,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         }
         Ok(())
     });
-    Prepared { root, verify }
+    Prepared { root, verify, fingerprint: None }
 }
 
 #[cfg(test)]
@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn radii_match_serial_multi_bfs() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::DeNovo)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::DeNovo)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 8);

@@ -7,7 +7,7 @@ use bigtiny_core::TaskCx;
 use bigtiny_engine::{AddrSpace, ShScalar, ShVec};
 
 use crate::graph::Graph;
-use crate::registry::{AppSize, Prepared};
+use crate::registry::{fingerprint_words, AppSize, Prepared};
 
 /// Instantiates `ligra-tc` on an rMAT graph.
 pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
@@ -29,6 +29,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
     });
 
     let (g2, c2, sl2) = (Arc::clone(&g), Arc::clone(&count), Arc::clone(&slots));
+    let (c3, sl3) = (Arc::clone(&count), Arc::clone(&slots));
     let root: crate::RootFn = Box::new(move |cx| {
         run_tc(cx, &g2, &c2, &sl2, grain);
     });
@@ -43,7 +44,14 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
             Err(format!("ligra-tc: counted {got} triangles, expected {want}"))
         }
     });
-    Prepared { root, verify }
+    let fingerprint = Box::new(move || {
+        fingerprint_words(
+            std::iter::once(c3.host_read())
+                .chain(sl3.by_vertex.snapshot())
+                .chain(sl3.by_edge.snapshot()),
+        )
+    });
+    Prepared { root, verify, fingerprint: Some(fingerprint) }
 }
 
 /// Crash-tolerant leaf-count slots for `run_tc_with_slots`.
@@ -240,7 +248,9 @@ mod tests {
 
     #[test]
     fn triangle_count_matches_reference() {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWt), (RuntimeKind::Dts, Protocol::GpuWb)]
+        {
             let s = sys(proto);
             let mut space = AddrSpace::new();
             let prepared = prepare(&mut space, AppSize::Test, 4);
@@ -254,7 +264,8 @@ mod tests {
     fn known_small_graphs() {
         let mut space = AddrSpace::new();
         // K4 has 4 triangles.
-        let k4 = Graph::from_edge_list(&mut space, 4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let k4 =
+            Graph::from_edge_list(&mut space, 4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(host_triangles(&k4.host_adjacency()), 4);
         // A 4-cycle has none.
         let c4 = Graph::from_edge_list(&mut space, 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);

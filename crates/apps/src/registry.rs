@@ -14,6 +14,25 @@ pub struct Prepared {
     pub root: RootFn,
     /// Post-run functional verification.
     pub verify: Box<dyn FnOnce() -> Result<(), String> + Send>,
+    /// Post-run fingerprint of the kernel's output memory, for the
+    /// schedule explorer's invariance checks. `Some` only for kernels
+    /// whose output is a schedule-deterministic function of the input
+    /// (integer results, or pure data movement); kernels with
+    /// legitimately multi-valued outputs (BFS parent trees, MIS sets) or
+    /// schedule-sensitive float accumulation orders stay `None` and are
+    /// judged by `verify` alone.
+    pub fingerprint: Option<Box<dyn Fn() -> u64 + Send>>,
+}
+
+/// FNV-1a-style fold of a word stream, for [`Prepared::fingerprint`]
+/// closures (same `fold_u64` the sequencer's op hash uses, so fingerprints
+/// are pinned by the workspace's one hash implementation).
+pub fn fingerprint_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = bigtiny_engine::hash::FNV_OFFSET;
+    for w in words {
+        h = bigtiny_engine::hash::fold_u64(h, w);
+    }
+    h
 }
 
 impl std::fmt::Debug for Prepared {
@@ -85,19 +104,67 @@ impl AppSpec {
 /// All 13 kernels, in the paper's Table III order.
 pub fn all_apps() -> Vec<AppSpec> {
     vec![
-        AppSpec { name: "cilk5-cs", method: Method::SpawnSync, prepare: crate::cilk5::sort::prepare },
+        AppSpec {
+            name: "cilk5-cs",
+            method: Method::SpawnSync,
+            prepare: crate::cilk5::sort::prepare,
+        },
         AppSpec { name: "cilk5-lu", method: Method::SpawnSync, prepare: crate::cilk5::lu::prepare },
-        AppSpec { name: "cilk5-mm", method: Method::SpawnSync, prepare: crate::cilk5::matmul::prepare },
-        AppSpec { name: "cilk5-mt", method: Method::SpawnSync, prepare: crate::cilk5::transpose::prepare },
-        AppSpec { name: "cilk5-nq", method: Method::ParallelFor, prepare: crate::cilk5::nqueens::prepare },
-        AppSpec { name: "ligra-bc", method: Method::ParallelFor, prepare: crate::ligra_apps::bc::prepare },
-        AppSpec { name: "ligra-bf", method: Method::ParallelFor, prepare: crate::ligra_apps::bf::prepare },
-        AppSpec { name: "ligra-bfs", method: Method::ParallelFor, prepare: crate::ligra_apps::bfs::prepare },
-        AppSpec { name: "ligra-bfsbv", method: Method::ParallelFor, prepare: crate::ligra_apps::bfsbv::prepare },
-        AppSpec { name: "ligra-cc", method: Method::ParallelFor, prepare: crate::ligra_apps::cc::prepare },
-        AppSpec { name: "ligra-mis", method: Method::ParallelFor, prepare: crate::ligra_apps::mis::prepare },
-        AppSpec { name: "ligra-radii", method: Method::ParallelFor, prepare: crate::ligra_apps::radii::prepare },
-        AppSpec { name: "ligra-tc", method: Method::ParallelFor, prepare: crate::ligra_apps::tc::prepare },
+        AppSpec {
+            name: "cilk5-mm",
+            method: Method::SpawnSync,
+            prepare: crate::cilk5::matmul::prepare,
+        },
+        AppSpec {
+            name: "cilk5-mt",
+            method: Method::SpawnSync,
+            prepare: crate::cilk5::transpose::prepare,
+        },
+        AppSpec {
+            name: "cilk5-nq",
+            method: Method::ParallelFor,
+            prepare: crate::cilk5::nqueens::prepare,
+        },
+        AppSpec {
+            name: "ligra-bc",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::bc::prepare,
+        },
+        AppSpec {
+            name: "ligra-bf",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::bf::prepare,
+        },
+        AppSpec {
+            name: "ligra-bfs",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::bfs::prepare,
+        },
+        AppSpec {
+            name: "ligra-bfsbv",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::bfsbv::prepare,
+        },
+        AppSpec {
+            name: "ligra-cc",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::cc::prepare,
+        },
+        AppSpec {
+            name: "ligra-mis",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::mis::prepare,
+        },
+        AppSpec {
+            name: "ligra-radii",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::radii::prepare,
+        },
+        AppSpec {
+            name: "ligra-tc",
+            method: Method::ParallelFor,
+            prepare: crate::ligra_apps::tc::prepare,
+        },
     ]
 }
 

@@ -79,8 +79,7 @@ fn rmat_deterministic() {
 fn parallel_sort_sorts_anything() {
     let mut rng = XorShift64::new(0x4150_5033);
     for _ in 0..8 {
-        let mut input: Vec<u64> =
-            (0..1 + rng.next_below(119)).map(|_| rng.next_u64()).collect();
+        let mut input: Vec<u64> = (0..1 + rng.next_below(119)).map(|_| rng.next_u64()).collect();
         let mut space = AddrSpace::new();
         let n = input.len();
         let a = Arc::new(ShVec::from_vec(&mut space, input.clone()));

@@ -17,10 +17,16 @@ fn main() {
 
     // 1. has_stolen_child optimization.
     {
-        let header: Vec<String> =
-            ["App", "cycles (opt on)", "cycles (opt off)", "slowdown off/on", "AMOs on", "AMOs off"]
-                .map(String::from)
-                .to_vec();
+        let header: Vec<String> = [
+            "App",
+            "cycles (opt on)",
+            "cycles (opt off)",
+            "slowdown off/on",
+            "AMOs on",
+            "AMOs off",
+        ]
+        .map(String::from)
+        .to_vec();
         let mut rows = Vec::new();
         for name in names {
             let app = app_by_name(name).expect("registered");
@@ -66,14 +72,16 @@ fn main() {
                 r_tail.run.stats.steals.to_string(),
             ]);
         }
-        println!("Ablation 2: victim steals head (FIFO) vs tail (LIFO)\n{}", render_table(&header, &rows));
+        println!(
+            "Ablation 2: victim steals head (FIFO) vs tail (LIFO)\n{}",
+            render_table(&header, &rows)
+        );
     }
 
     // 3. Steal back-off sweep.
     {
-        let header: Vec<String> = ["App", "backoff", "cycles", "steal attempts", "NACKs"]
-            .map(String::from)
-            .to_vec();
+        let header: Vec<String> =
+            ["App", "backoff", "cycles", "steal attempts", "NACKs"].map(String::from).to_vec();
         let mut rows = Vec::new();
         for name in names {
             let app = app_by_name(name).expect("registered");
@@ -103,7 +111,9 @@ fn main() {
         let mut rows = Vec::new();
         for name in names {
             let app = app_by_name(name).expect("registered");
-            for policy in [VictimPolicy::Random, VictimPolicy::RoundRobin, VictimPolicy::NearestFirst] {
+            for policy in
+                [VictimPolicy::Random, VictimPolicy::RoundRobin, VictimPolicy::NearestFirst]
+            {
                 let mut s = Setup::bt_hcc(Protocol::GpuWb, true);
                 s.rt.victim_policy = policy;
                 s.label = format!("{}-{policy:?}", s.label);

@@ -17,10 +17,8 @@ const PLANS: [&str; 5] =
 fn main() {
     let size = size_from_env();
     let apps = apps_from_env();
-    let seed: u64 = std::env::var("BIGTINY_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let seed: u64 =
+        std::env::var("BIGTINY_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let base = SystemConfig::big_tiny(
         "ablate-faults",
@@ -40,8 +38,15 @@ fn main() {
     let results = run_matrix(&setups, &apps, size);
 
     let header: Vec<String> = [
-        "Name", "Plan", "Cycles", "Overhead", "Injected", "MeshSpikes", "UliTimeouts",
-        "Fallbacks", "Steals",
+        "Name",
+        "Plan",
+        "Cycles",
+        "Overhead",
+        "Injected",
+        "MeshSpikes",
+        "UliTimeouts",
+        "Fallbacks",
+        "Steals",
     ]
     .map(String::from)
     .to_vec();

@@ -15,8 +15,9 @@ fn main() {
     let gwb = Setup::bt_hcc(Protocol::GpuWb, false);
     let dts = Setup::bt_hcc(Protocol::GpuWb, true);
 
-    let header: Vec<String> =
-        ["App", "grain", "MESI cycles", "gwb/MESI", "DTS-gwb/MESI", "tasks"].map(String::from).to_vec();
+    let header: Vec<String> = ["App", "grain", "MESI cycles", "gwb/MESI", "DTS-gwb/MESI", "tasks"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     for app in &apps {
         for grain in grains {

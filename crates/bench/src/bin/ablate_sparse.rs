@@ -56,10 +56,17 @@ fn bfs_run(setup: &Setup, n: usize, ef: usize, auto: bool) -> (u64, u64) {
 }
 
 fn main() {
-    let header: Vec<String> =
-        ["Config", "graph", "dense cycles", "auto cycles", "auto/dense", "dense insts", "auto insts"]
-            .map(String::from)
-            .to_vec();
+    let header: Vec<String> = [
+        "Config",
+        "graph",
+        "dense cycles",
+        "auto cycles",
+        "auto/dense",
+        "dense insts",
+        "auto insts",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     for setup in [Setup::bt_mesi(), Setup::bt_hcc(Protocol::GpuWb, true)] {
         for (n, ef) in [(4096usize, 8usize), (16384, 4)] {

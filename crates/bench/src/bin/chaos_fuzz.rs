@@ -91,8 +91,7 @@ fn main() {
                 println!("[chaos] {}: {}", failure.app, failure.message);
                 let app = bigtiny_apps::app_by_name(failure.app).expect("failing app exists");
                 println!("[chaos] shrinking against {}...", failure.app);
-                let mut fails =
-                    |p: &FaultPlan| quiet(|| check_app(p, &app, size)).is_some();
+                let mut fails = |p: &FaultPlan| quiet(|| check_app(p, &app, size)).is_some();
                 let min = shrink_plan(&plan, &mut fails);
                 println!(
                     "[chaos] minimal reproducer ({} dimension(s)): {}",

@@ -18,15 +18,22 @@
 //! ```text
 //! cargo run --release --bin check_all                 # full eval sweep
 //! BIGTINY_SIZE=test cargo run --release --bin check_all   # CI smoke
+//! cargo run --release --bin check_all -- --fail-fast  # stop at first dirty cell
 //! ```
+//!
+//! `--fail-fast` exits right after the first violating cell (the JSON
+//! written so far is still flushed), so a dirty sweep fails in seconds
+//! instead of minutes; the per-cell `wall ms` column makes slow cells
+//! visible either way.
 
 use bigtiny_bench::{apps_from_env, render_table, run_app, size_from_env, Setup};
 use bigtiny_checker::{check_run, CheckReport, ViolationKind};
 use bigtiny_engine::{CheckMode, RacyTag};
 
-fn json_line(app: &str, setup: &str, report: &CheckReport) -> String {
+fn json_line(app: &str, setup: &str, report: &CheckReport, wall_ms: u128) -> String {
     let mut s = String::from("{");
     s.push_str(&format!("\"app\":\"{app}\",\"setup\":\"{setup}\""));
+    s.push_str(&format!(",\"wall_ms\":{wall_ms}"));
     s.push_str(&format!(",\"events\":{}", report.events));
     s.push_str(&format!(",\"clean\":{}", u8::from(report.is_clean())));
     s.push_str(&format!(",\"violations\":{}", report.violations.len()));
@@ -43,6 +50,7 @@ fn json_line(app: &str, setup: &str, report: &CheckReport) -> String {
 }
 
 fn main() {
+    let fail_fast = std::env::args().any(|a| a == "--fail-fast");
     let size = size_from_env();
     let apps = apps_from_env();
     let setups: Vec<Setup> = Setup::big_tiny_matrix()
@@ -54,15 +62,17 @@ fn main() {
         .collect();
 
     let header: Vec<String> =
-        ["app", "setup", "events", "racy loads", "verdict"].map(String::from).to_vec();
+        ["app", "setup", "events", "racy loads", "wall ms", "verdict"].map(String::from).to_vec();
     let mut rows = Vec::new();
     let mut lines = Vec::new();
     let mut dirty = 0usize;
 
-    for app in &apps {
+    'sweep: for app in &apps {
         for setup in &setups {
+            let t0 = std::time::Instant::now();
             let r = run_app(setup, app, size, 0);
             let report = check_run(&setup.sys, &r.run.report);
+            let wall_ms = t0.elapsed().as_millis();
             eprintln!(
                 "[check_all] {:<12} {:<16} {:>9} events  {}",
                 r.app,
@@ -79,13 +89,18 @@ fn main() {
                 setup.label.clone(),
                 report.events.to_string(),
                 report.racy_total().to_string(),
+                wall_ms.to_string(),
                 if report.is_clean() {
                     "clean".to_owned()
                 } else {
                     format!("{} violation(s)", report.violations.len())
                 },
             ]);
-            lines.push(json_line(r.app, &setup.label, &report));
+            lines.push(json_line(r.app, &setup.label, &report, wall_ms));
+            if dirty > 0 && fail_fast {
+                eprintln!("[check_all] --fail-fast: stopping after first dirty cell");
+                break 'sweep;
+            }
         }
     }
 

@@ -2,7 +2,9 @@
 //! efficiency" claim): first-order energy estimates, normalized to
 //! `b.T/MESI`, plus an energy-efficiency view against `O3x8`.
 
-use bigtiny_bench::{apps_from_env, find_result, geomean, render_table, run_matrix, size_from_env, Setup};
+use bigtiny_bench::{
+    apps_from_env, find_result, geomean, render_table, run_matrix, size_from_env, Setup,
+};
 use bigtiny_engine::{EnergyModel, SystemConfig};
 
 fn main() {
@@ -43,5 +45,7 @@ fn main() {
     println!("Energy (total, arbitrary units) normalized to b.T/MESI ({size:?} inputs)\n");
     println!("{}", render_table(&header, &rows));
     println!("Expected shape: HCC within ~±20% of MESI; DTS recovers most of the overhead");
-    println!("(the paper: 'similar energy efficiency compared to full-system hardware coherence').");
+    println!(
+        "(the paper: 'similar energy efficiency compared to full-system hardware coherence')."
+    );
 }

@@ -3,12 +3,14 @@
 //! binaries re-run the matrix; this one is for full reproduction runs).
 
 use bigtiny_bench::{
-    apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix,
-    size_from_env, Setup, TrafficClass,
+    apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix, size_from_env,
+    Setup, TrafficClass,
 };
 use bigtiny_checker::audit_task_events;
 use bigtiny_engine::{FaultPlan, Protocol};
-use bigtiny_obs::{export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics, TraceRun};
+use bigtiny_obs::{
+    export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics, TraceRun,
+};
 
 const CLASSES: [TrafficClass; 9] = [
     TrafficClass::CpuReq,
@@ -178,16 +180,19 @@ fn main() {
             s.sys.attr = true;
             s.rt.record_task_events = true;
         }
-        println!(
-            "[obs] per-core tracing + task events + cycle attribution armed (--trace-out)"
-        );
+        println!("[obs] per-core tracing + task events + cycle attribution armed (--trace-out)");
     }
     let results = run_matrix(&setups, &apps, size);
 
     if let Some(path) = &opts.metrics_out {
         let runs: Vec<RunMetrics<'_>> = results
             .iter()
-            .map(|r| RunMetrics { app: r.app, setup: &r.setup, run: &r.run, tiny_cores: &r.tiny_cores })
+            .map(|r| RunMetrics {
+                app: r.app,
+                setup: &r.setup,
+                run: &r.run,
+                tiny_cores: &r.tiny_cores,
+            })
             .collect();
         let doc = metrics_document(&runs);
         std::fs::write(path, doc.to_json() + "\n")
@@ -195,10 +200,8 @@ fn main() {
         println!("[obs] metrics document ({} runs) -> {path}", results.len());
     }
     if let Some(path) = &opts.trace_out {
-        let runs: Vec<TraceRun<'_>> = results
-            .iter()
-            .map(|r| TraceRun { app: r.app, setup: &r.setup, run: &r.run })
-            .collect();
+        let runs: Vec<TraceRun<'_>> =
+            results.iter().map(|r| TraceRun { app: r.app, setup: &r.setup, run: &r.run }).collect();
         let doc = export_chrome_trace(&runs);
         let summary = validate_chrome_trace(&doc)
             .unwrap_or_else(|e| panic!("--trace-out produced an invalid document: {e}"));
@@ -308,8 +311,14 @@ fn main() {
     }
     if !opts.setups_256 {
         let header: Vec<String> = [
-            "App", "InvDec dnv", "InvDec gwt", "InvDec gwb", "FlsDec gwb",
-            "HitInc dnv", "HitInc gwt", "HitInc gwb",
+            "App",
+            "InvDec dnv",
+            "InvDec gwt",
+            "InvDec gwb",
+            "FlsDec gwb",
+            "HitInc dnv",
+            "HitInc gwt",
+            "HitInc gwb",
         ]
         .map(String::from)
         .to_vec();
@@ -327,7 +336,8 @@ fn main() {
             let mut fls_dec = String::new();
             for proto in [Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb] {
                 let hcc = find_result(&results, app.name, &format!("b.T/HCC-{}", proto.label()));
-                let dts = find_result(&results, app.name, &format!("b.T/HCC-DTS-{}", proto.label()));
+                let dts =
+                    find_result(&results, app.name, &format!("b.T/HCC-DTS-{}", proto.label()));
                 let (mh, md) = (hcc.tiny_mem(), dts.tiny_mem());
                 row.push(pct_dec(mh.lines_invalidated, md.lines_invalidated));
                 if proto == Protocol::GpuWb {
@@ -367,8 +377,20 @@ fn main() {
     // ---------------- Fault-injection summary (only when armed) ----------
     if opts.fault_plan.is_some() {
         let header: Vec<String> = [
-            "Name", "Config", "Injected", "MeshSpikes", "UliTimeouts", "Fallbacks", "ForcedMiss",
-            "Crashes", "Orphans", "Rescues", "Reexec", "JoinsFix", "Quar", "Reviv",
+            "Name",
+            "Config",
+            "Injected",
+            "MeshSpikes",
+            "UliTimeouts",
+            "Fallbacks",
+            "ForcedMiss",
+            "Crashes",
+            "Orphans",
+            "Rescues",
+            "Reexec",
+            "JoinsFix",
+            "Quar",
+            "Reviv",
         ]
         .map(String::from)
         .to_vec();

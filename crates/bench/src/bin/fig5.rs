@@ -1,7 +1,9 @@
 //! Figure 5: speedup of each big.TINY HCC configuration over `b.T/MESI`,
 //! per application.
 
-use bigtiny_bench::{apps_from_env, find_result, geomean, render_table, run_matrix, size_from_env, Setup};
+use bigtiny_bench::{
+    apps_from_env, find_result, geomean, render_table, run_matrix, size_from_env, Setup,
+};
 
 fn main() {
     let size = size_from_env();

@@ -23,5 +23,7 @@ fn main() {
     }
     println!("Figure 6: L1 data cache hit rate, tiny cores ({size:?} inputs)\n");
     println!("{}", render_table(&header, &rows));
-    println!("Expected shape: MESI >= DTS variants >= HCC variants; gwt lowest (no write-allocate).");
+    println!(
+        "Expected shape: MESI >= DTS variants >= HCC variants; gwt lowest (no write-allocate)."
+    );
 }

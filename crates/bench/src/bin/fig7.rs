@@ -1,7 +1,9 @@
 //! Figure 7: aggregated tiny-core execution-time breakdown, normalized to
 //! `b.T/MESI`, per application and configuration.
 
-use bigtiny_bench::{apps_from_env, breakdown_labels, find_result, render_table, run_matrix, size_from_env, Setup};
+use bigtiny_bench::{
+    apps_from_env, breakdown_labels, find_result, render_table, run_matrix, size_from_env, Setup,
+};
 
 fn main() {
     let size = size_from_env();
@@ -28,7 +30,11 @@ fn main() {
             rows.push(row);
         }
     }
-    println!("Figure 7: tiny-core execution-time breakdown, normalized to b.T/MESI ({size:?} inputs)\n");
+    println!(
+        "Figure 7: tiny-core execution-time breakdown, normalized to b.T/MESI ({size:?} inputs)\n"
+    );
     println!("{}", render_table(&header, &rows));
-    println!("Expected shape: HCC adds Flush (gwb) and Atomic (gwt/gwb) time; DTS removes most of it.");
+    println!(
+        "Expected shape: HCC adds Flush (gwb) and Atomic (gwt/gwb) time; DTS removes most of it."
+    );
 }

@@ -1,7 +1,9 @@
 //! Figure 8: total on-chip network traffic in bytes, split by message
 //! category and normalized to `b.T/MESI`, per application and configuration.
 
-use bigtiny_bench::{apps_from_env, find_result, render_table, run_matrix, size_from_env, Setup, TrafficClass};
+use bigtiny_bench::{
+    apps_from_env, find_result, render_table, run_matrix, size_from_env, Setup, TrafficClass,
+};
 
 /// Figure 8's legend order.
 const CLASSES: [TrafficClass; 9] = [

@@ -50,6 +50,33 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            // Model-check verdict documents (`model_check` bin): pin the
+            // schema version and the per-cell keys downstream tooling
+            // reads, so a silent field rename fails here instead of in
+            // analysis.
+            if schema.starts_with("bigtiny-model-check-") {
+                if schema != "bigtiny-model-check-v1" {
+                    eprintln!("json_check: {path}: unknown model-check schema `{schema}`");
+                    std::process::exit(1);
+                }
+                let required = [
+                    "app",
+                    "setup",
+                    "explored",
+                    "pruned",
+                    "truncated",
+                    "clean",
+                    "first_fail_script",
+                ];
+                for (i, run) in runs.as_arr().unwrap_or(&[]).iter().enumerate() {
+                    for key in required {
+                        if run.get(key).is_none() {
+                            eprintln!("json_check: {path}: run {i} is missing `{key}`");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             println!("{path}: valid document, schema {schema}, {n} runs");
         } else {
             println!("{path}: valid JSON document");

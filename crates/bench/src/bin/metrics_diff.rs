@@ -103,7 +103,11 @@ fn main() {
 
     let pct = |old: f64, new: f64| -> f64 {
         if old == 0.0 {
-            if new == 0.0 { 0.0 } else { f64::INFINITY }
+            if new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             100.0 * (new - old) / old
         }

@@ -153,11 +153,13 @@ fn main() {
     let total_ops: u64 = rows.iter().map(|r| r.seq_grants).sum();
     let agg_ops_per_sec = total_ops as f64 / total_wall.max(1e-9);
     let geo_ops_per_sec = geomean(rows.iter().map(|r| r.ops_per_sec));
-    println!("total:   {total_ops} sequenced ops in {total_wall:.2}s  ({agg_ops_per_sec:.0} ops/s)");
+    println!(
+        "total:   {total_ops} sequenced ops in {total_wall:.2}s  ({agg_ops_per_sec:.0} ops/s)"
+    );
     println!("geomean: {geo_ops_per_sec:.0} ops/s across runs");
 
-    let out_path = std::env::var("BIGTINY_BENCH_OUT")
-        .unwrap_or_else(|_| "BENCH_engine.json".to_owned());
+    let out_path =
+        std::env::var("BIGTINY_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_owned());
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"bench\": \"engine\",\n  \"size\": \"{}\",\n", size_label(size)));

@@ -130,8 +130,17 @@ fn main() {
     }
 
     let summary_header: Vec<String> = [
-        "App", "Config", "T1", "Tinf", "T1/Tinf", "Tp", "Tp/greedy",
-        "0-steal", "0-coh", "ideal", "path steals",
+        "App",
+        "Config",
+        "T1",
+        "Tinf",
+        "T1/Tinf",
+        "Tp",
+        "Tp/greedy",
+        "0-steal",
+        "0-coh",
+        "ideal",
+        "path steals",
     ]
     .map(String::from)
     .to_vec();
@@ -168,7 +177,12 @@ fn main() {
     if let Some(path) = &out {
         let runs: Vec<RunMetrics<'_>> = results
             .iter()
-            .map(|r| RunMetrics { app: r.app, setup: &r.setup, run: &r.run, tiny_cores: &r.tiny_cores })
+            .map(|r| RunMetrics {
+                app: r.app,
+                setup: &r.setup,
+                run: &r.run,
+                tiny_cores: &r.tiny_cores,
+            })
             .collect();
         let doc = metrics_document(&runs);
         std::fs::write(path, doc.to_json() + "\n").unwrap_or_else(|e| panic!("--out {path}: {e}"));

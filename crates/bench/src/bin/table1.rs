@@ -2,14 +2,18 @@
 //! from the implementation's own `ProtocolTraits` so that the table and the
 //! simulator can never drift apart.
 
-use bigtiny_coherence::{DirtyPropagation, Protocol, StaleInvalidation, WriteGranularity};
 use bigtiny_bench::render_table;
+use bigtiny_coherence::{DirtyPropagation, Protocol, StaleInvalidation, WriteGranularity};
 
 fn main() {
-    let header: Vec<String> =
-        ["Protocol", "Who initiates invalidation?", "How is dirty data propagated?", "Write granularity"]
-            .map(String::from)
-            .to_vec();
+    let header: Vec<String> = [
+        "Protocol",
+        "Who initiates invalidation?",
+        "How is dirty data propagated?",
+        "Write granularity",
+    ]
+    .map(String::from)
+    .to_vec();
     let rows: Vec<Vec<String>> = Protocol::ALL
         .iter()
         .map(|p| {

@@ -36,8 +36,10 @@ fn main() {
         let mesi_cycles = mesi.cycles as f64;
         let ws = mesi.run.stats.workspan;
 
-        let over_serial = |label: &str| serial / find_result(&results, app.name, label).cycles as f64;
-        let vs_mesi = |label: &str| mesi_cycles / find_result(&results, app.name, label).cycles as f64;
+        let over_serial =
+            |label: &str| serial / find_result(&results, app.name, label).cycles as f64;
+        let vs_mesi =
+            |label: &str| mesi_cycles / find_result(&results, app.name, label).cycles as f64;
 
         let cols = [
             over_serial("O3x1"),
@@ -74,11 +76,20 @@ fn main() {
             format!("{:.2}", cols[9]),
         ]);
     }
-    let mut geo_row = vec!["geomean".to_owned(), String::new(), String::new(), String::new(), String::new(), String::new()];
+    let mut geo_row = vec![
+        "geomean".to_owned(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ];
     geo_row.extend(geo.iter().map(|g| format!("{:.2}", geomean(g.iter().copied()))));
     rows.push(geo_row);
 
     println!("Table III: Simulated Application Kernels ({size:?} inputs)\n");
-    println!("Speedups: O3x* and b.T/MESI over serial-IO; protocol columns relative to b.T/MESI.\n");
+    println!(
+        "Speedups: O3x* and b.T/MESI over serial-IO; protocol columns relative to b.T/MESI.\n"
+    );
     println!("{}", render_table(&header, &rows));
 }

@@ -11,8 +11,14 @@ fn main() {
     let results = run_matrix(&setups, &apps, size);
 
     let header: Vec<String> = [
-        "App", "InvDec dnv", "InvDec gwt", "InvDec gwb", "FlsDec gwb",
-        "HitInc dnv", "HitInc gwt", "HitInc gwb",
+        "App",
+        "InvDec dnv",
+        "InvDec gwt",
+        "InvDec gwb",
+        "FlsDec gwb",
+        "HitInc dnv",
+        "HitInc gwt",
+        "HitInc gwb",
     ]
     .map(String::from)
     .to_vec();
@@ -38,10 +44,7 @@ fn main() {
             if proto == Protocol::GpuWb {
                 fls_dec = pct_dec(mh.lines_flushed, md.lines_flushed);
             }
-            hit_inc.push(format!(
-                "{:.2}%",
-                100.0 * (dts.l1d_hit_rate() - hcc.l1d_hit_rate())
-            ));
+            hit_inc.push(format!("{:.2}%", 100.0 * (dts.l1d_hit_rate() - hcc.l1d_hit_rate())));
         }
         row.push(fls_dec);
         row.extend(hit_inc);

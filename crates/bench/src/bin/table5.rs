@@ -43,6 +43,8 @@ fn main() {
     }
     println!("Table V: 256-core big.TINY system ({size:?} inputs)\n");
     println!("{}", render_table(&header, &rows));
-    println!("Expected shape: large b.T/MESI speedups over one big core; DTS clearly above plain HCC,");
+    println!(
+        "Expected shape: large b.T/MESI speedups over one big core; DTS clearly above plain HCC,"
+    );
     println!("with a larger DTS advantage than on the 64-core system (steals cost more at scale).");
 }

@@ -19,8 +19,8 @@ use bigtiny_apps::{app_by_name, AppSize};
 use bigtiny_bench::{run_app, Setup};
 use bigtiny_engine::Protocol;
 use bigtiny_obs::{
-    export_chrome_trace, metrics_document, parse_json, validate_chrome_trace, RunMetrics,
-    TraceRun, METRICS_SCHEMA,
+    export_chrome_trace, metrics_document, parse_json, validate_chrome_trace, RunMetrics, TraceRun,
+    METRICS_SCHEMA,
 };
 
 const USAGE: &str = "usage: trace_smoke [--metrics-out PATH] [--trace-out PATH]";
@@ -73,11 +73,8 @@ fn main() {
     );
 
     // Perfetto export: structurally valid and non-trivially populated.
-    let trace_doc = export_chrome_trace(&[TraceRun {
-        app: armed.app,
-        setup: &armed.setup,
-        run: &armed.run,
-    }]);
+    let trace_doc =
+        export_chrome_trace(&[TraceRun { app: armed.app, setup: &armed.setup, run: &armed.run }]);
     let s = validate_chrome_trace(&trace_doc)
         .unwrap_or_else(|e| panic!("exported trace fails structural validation: {e}"));
     assert!(s.complete > 0, "no core spans in the trace");

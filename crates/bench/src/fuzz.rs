@@ -305,8 +305,7 @@ mod tests {
     /// must shrink to exactly those two, with minimal magnitudes.
     #[test]
     fn shrinker_reduces_a_seeded_known_bad_mutation_to_two_dimensions() {
-        let mut fails =
-            |p: &FaultPlan| p.crash_cores.contains(9) && p.steal_miss_per_mille >= 200;
+        let mut fails = |p: &FaultPlan| p.crash_cores.contains(9) && p.steal_miss_per_mille >= 200;
         let mut seeded = FaultPlan::hostile(7);
         seeded.steal_miss_per_mille = 600;
         seeded.crash_cores = CoreSet::from_mask((1 << 5) | (1 << 9) | (1 << 13));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment harness for the big.TINY reproduction.
@@ -149,11 +150,7 @@ pub fn run_app(setup: &Setup, app: &AppSpec, size: AppSize, grain: usize) -> App
     if let Err(e) = (prepared.verify)() {
         panic!("{} on {}: verification failed: {e}", app.name, setup.label);
     }
-    assert_eq!(
-        run.report.stale_reads, 0,
-        "{} on {}: stale reads detected",
-        app.name, setup.label
-    );
+    assert_eq!(run.report.stale_reads, 0, "{} on {}: stale reads detected", app.name, setup.label);
     AppResult {
         app: app.name,
         setup: setup.label.clone(),
@@ -328,7 +325,12 @@ pub fn parse_json_line(line: &str) -> Result<Vec<(String, JsonScalar)>, String> 
             if got == want {
                 Ok(())
             } else {
-                Err(format!("expected {:?} at byte {}, got {:?}", want as char, self.i - 1, got as char))
+                Err(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    want as char,
+                    self.i - 1,
+                    got as char
+                ))
             }
         }
         fn string(&mut self) -> Result<String, String> {
@@ -358,7 +360,8 @@ pub fn parse_json_line(line: &str) -> Result<Vec<(String, JsonScalar)>, String> 
                                 let cp = u32::from_str_radix(hex, 16)
                                     .map_err(|_| format!("bad \\u escape {hex:?}"))?;
                                 out.push(
-                                    char::from_u32(cp).ok_or(format!("\\u{hex} is not a scalar"))?,
+                                    char::from_u32(cp)
+                                        .ok_or(format!("\\u{hex} is not a scalar"))?,
                                 );
                                 self.i += 4;
                             }
@@ -378,8 +381,7 @@ pub fn parse_json_line(line: &str) -> Result<Vec<(String, JsonScalar)>, String> 
                             0xf0..=0xf7 => 4,
                             _ => return Err("invalid UTF-8 in string".to_owned()),
                         };
-                        let bytes =
-                            self.s.get(start..start + len).ok_or("truncated UTF-8")?;
+                        let bytes = self.s.get(start..start + len).ok_or("truncated UTF-8")?;
                         let c = std::str::from_utf8(bytes)
                             .map_err(|_| "invalid UTF-8 in string")?
                             .chars()
@@ -413,9 +415,8 @@ pub fn parse_json_line(line: &str) -> Result<Vec<(String, JsonScalar)>, String> 
                         self.i += 1;
                     }
                     let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii");
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+                    let v: f64 =
+                        text.parse().map_err(|_| format!("bad number {text:?} at byte {start}"))?;
                     if !v.is_finite() {
                         return Err(format!("non-finite number {text:?}"));
                     }

@@ -153,12 +153,7 @@ fn eval_all_emits_valid_metrics_and_trace_documents() {
     let out = run_bin(
         env!("CARGO_BIN_EXE_eval_all"),
         TINY,
-        &[
-            "--metrics-out",
-            metrics.to_str().unwrap(),
-            "--trace-out",
-            trace.to_str().unwrap(),
-        ],
+        &["--metrics-out", metrics.to_str().unwrap(), "--trace-out", trace.to_str().unwrap()],
     );
     assert!(out.contains("Figure 5") && out.contains("Table IV"), "missing sections:\n{out}");
 
@@ -194,12 +189,7 @@ fn trace_smoke_passes_and_writes_artifacts() {
     let out = run_bin(
         env!("CARGO_BIN_EXE_trace_smoke"),
         &[],
-        &[
-            "--metrics-out",
-            metrics.to_str().unwrap(),
-            "--trace-out",
-            trace.to_str().unwrap(),
-        ],
+        &["--metrics-out", metrics.to_str().unwrap(), "--trace-out", trace.to_str().unwrap()],
     );
     assert!(out.contains("[trace_smoke] OK"), "missing OK marker:\n{out}");
     assert!(out.contains("zero-overhead pin holds"), "missing pin line:\n{out}");
@@ -235,11 +225,8 @@ fn profile_run_reports_and_writes_valid_v2_metrics() {
 #[test]
 fn metrics_diff_passes_identical_documents_and_gates_regressions() {
     let base = scratch("diff-base.json");
-    let out = run_bin(
-        env!("CARGO_BIN_EXE_eval_all"),
-        TINY,
-        &["--metrics-out", base.to_str().unwrap()],
-    );
+    let out =
+        run_bin(env!("CARGO_BIN_EXE_eval_all"), TINY, &["--metrics-out", base.to_str().unwrap()]);
     assert!(out.contains("Figure 5"), "eval_all produced no output:\n{out}");
 
     // Identical documents diff clean at the strict default threshold.
@@ -258,8 +245,7 @@ fn metrics_diff_passes_identical_documents_and_gates_regressions() {
     let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
     let old: u64 = digits.parse().expect("cycles is an integer");
     let doctored_path = scratch("diff-doctored.json");
-    let doctored =
-        format!("{prefix}\"cycles\":{}{}", old * 2, rest.strip_prefix(&digits).unwrap());
+    let doctored = format!("{prefix}\"cycles\":{}{}", old * 2, rest.strip_prefix(&digits).unwrap());
     std::fs::write(&doctored_path, doctored).unwrap();
 
     let gate = Command::new(env!("CARGO_BIN_EXE_metrics_diff"))
@@ -352,11 +338,7 @@ fn eval_all_accepts_fuzzer_specs_and_audits_crash_runs() {
 
 #[test]
 fn chaos_fuzz_survives_a_tiny_budget() {
-    let out = run_bin(
-        env!("CARGO_BIN_EXE_chaos_fuzz"),
-        TINY,
-        &["--budget", "2", "--seed", "1"],
-    );
+    let out = run_bin(env!("CARGO_BIN_EXE_chaos_fuzz"), TINY, &["--budget", "2", "--seed", "1"]);
     assert!(
         out.contains("all 2 sampled plans survived"),
         "chaos_fuzz did not complete its budget:\n{out}"
@@ -373,21 +355,16 @@ fn json_check_accepts_nested_documents_and_rejects_garbage() {
 
     let bad = scratch("check-bad.json");
     std::fs::write(&bad, "{\"schema\":\"x\",\"runs\":[}\n").unwrap();
-    let status = Command::new(env!("CARGO_BIN_EXE_json_check"))
-        .arg(bad.to_str().unwrap())
-        .output()
-        .unwrap();
+    let status =
+        Command::new(env!("CARGO_BIN_EXE_json_check")).arg(bad.to_str().unwrap()).output().unwrap();
     assert!(!status.status.success(), "json_check accepted a malformed document");
     let _ = std::fs::remove_file(&bad);
 
     // A metrics document claiming a schema version no reader understands
     // must be rejected, not silently passed through to CI artifacts.
     let drift = scratch("check-drift.json");
-    std::fs::write(
-        &drift,
-        "{\"schema\":\"bigtiny-obs-metrics-v9\",\"runs\":[{\"app\":\"a\"}]}\n",
-    )
-    .unwrap();
+    std::fs::write(&drift, "{\"schema\":\"bigtiny-obs-metrics-v9\",\"runs\":[{\"app\":\"a\"}]}\n")
+        .unwrap();
     let status = Command::new(env!("CARGO_BIN_EXE_json_check"))
         .arg(drift.to_str().unwrap())
         .output()

@@ -217,7 +217,12 @@ pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) 
         recovered: 0,
         violations: Vec::new(),
     };
-    fn flag(violations: &mut Vec<AuditViolation>, kind: AuditViolationKind, task: u32, detail: String) {
+    fn flag(
+        violations: &mut Vec<AuditViolation>,
+        kind: AuditViolationKind,
+        task: u32,
+        detail: String,
+    ) {
         violations.push(AuditViolation { kind, task, detail });
     }
 
@@ -365,7 +370,10 @@ pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) 
             &mut report.violations,
             AuditViolationKind::NonIdempotentReexec,
             0,
-            format!("{} subtree re-executions but kernel {kernel:?} is not whitelisted", report.respawns),
+            format!(
+                "{} subtree re-executions but kernel {kernel:?} is not whitelisted",
+                report.respawns
+            ),
         );
     }
 

@@ -1,0 +1,592 @@
+//! Stateless model checking over the sequencer's tie-break choice points.
+//!
+//! The engine is deterministic given a [`SchedulePolicy`]: the only
+//! schedule freedom the machine has is *which* of several waiters tied at
+//! the minimum time the sequencer grants first. Each such tie is a
+//! recorded [`ChoicePoint`], and a `Scripted` policy replays any chosen
+//! sequence of tie-breaks bit-exactly. That turns the schedule space of a
+//! config into a finite choice tree, and this module walks it:
+//!
+//! - **DFS over the choice tree.** The root is the empty script (which
+//!   replays the default `MinCore` tie-breaks while recording every tie).
+//!   After each run, every not-yet-pinned choice point spawns one child
+//!   script per alternative candidate; a child pins the observed prefix
+//!   and flips exactly one choice, so each node of the tree is executed
+//!   exactly once (a persistent-set walk — a flipped tie is never
+//!   re-flipped from its own subtree).
+//! - **Dynamic partial-order reduction.** Before executing a flip the
+//!   explorer asks whether it can matter: a tie grants one of several
+//!   cores first, and if the tied cores' next sequenced operations are
+//!   independent (different cores, no common address with a write, no
+//!   sync/cache-wide operation involved), the flipped schedule is
+//!   Mazurkiewicz-equivalent to the one already checked and is pruned
+//!   without running. Runs that do execute are folded to a Foata-layered
+//!   trace signature (commutative within a dependence level, ordered
+//!   across levels); a run whose signature was already seen has its
+//!   remaining subtree pruned. Both prunes are counted in
+//!   [`ExploreReport::schedules_pruned`].
+//! - **Verdicts on every schedule.** The caller's runner executes the
+//!   system under the script and reports the full battery's outcome
+//!   ([`CheckReport`], kernel `verify()`, conservation/recovery audits)
+//!   plus an optional final-memory fingerprint. The explorer aggregates
+//!   failures (each with its minimal replay script), fingerprint
+//!   invariance across schedules, and a per-[`RacyTag`]
+//!   idempotence-safety verdict: a tag whose benignity depends on the
+//!   tie-break — i.e. some schedule where it fired failed or changed the
+//!   final memory fingerprint — is flagged.
+//!
+//! Caveat: independence is judged on addresses and operation kinds, not
+//! on microarchitectural state. Two data operations on different words
+//! can still couple through shared cache occupancy and shift later
+//! *timings* (not values); a pruned flip is value-equivalent but may not
+//! be cycle-identical. See DESIGN.md for the budget and soundness
+//! discussion.
+//!
+//! [`SchedulePolicy`]: bigtiny_engine::SchedulePolicy
+
+use std::collections::{HashMap, HashSet};
+
+use bigtiny_engine::{hash, ChoicePoint, MemEvent, MemOp, RacyTag};
+
+use crate::CheckReport;
+
+/// Exploration limits. The choice tree of even a tiny config can be
+/// astronomically deep (every deque-lock handoff is a potential tie), so
+/// exhaustive exploration is always *up to a budget*; [`ExploreReport::
+/// truncated`] records whether a limit was hit.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreBudget {
+    /// Choice points beyond this depth are never flipped (the default
+    /// tie-break is used past it, as if the tree were cut at this depth).
+    pub max_choice_points: usize,
+    /// Maximum number of schedule executions (runner invocations).
+    pub max_schedules: usize,
+}
+
+impl Default for ExploreBudget {
+    fn default() -> Self {
+        ExploreBudget { max_choice_points: 10, max_schedules: 256 }
+    }
+}
+
+/// What one scripted execution observed: everything the explorer needs to
+/// judge the schedule and expand its children. Produced by the caller's
+/// runner closure, which owns system construction, `Scripted` replay,
+/// kernel `verify()`, and any extra audits.
+pub struct ScheduleOutcome {
+    /// The run's recorded tie-break choice points, in grant order
+    /// ([`bigtiny_engine::RunReport::choice_points`]).
+    pub choices: Vec<ChoicePoint>,
+    /// The run's checker event stream, in grant order.
+    pub events: Vec<MemEvent>,
+    /// The full-battery conformance verdict for this schedule.
+    pub report: CheckReport,
+    /// A failure outside the checker's scope: kernel `verify()` error,
+    /// cycle-conservation breach, recovery-audit finding, or a panic the
+    /// runner caught. `None` means those all passed.
+    pub failure: Option<String>,
+    /// Fingerprint of the kernel's final memory state, when the kernel's
+    /// output is schedule-deterministic. `None` for kernels with
+    /// legitimately multi-valued outputs (e.g. MIS, BFS parent trees),
+    /// which exempts them from fingerprint-invariance checks.
+    pub fingerprint: Option<u64>,
+}
+
+/// One failing schedule, with its replay script.
+#[derive(Clone, Debug)]
+pub struct ExploreFailure {
+    /// Minimal choice script reproducing the failure: pass it to
+    /// `SchedulePolicy::Scripted` on the same config. Trailing default
+    /// choices are stripped (absent entries replay the default
+    /// tie-break), so this is the shortest script reaching the failure
+    /// along its path.
+    pub script: Vec<u32>,
+    /// What failed (first checker violation or the runner's failure).
+    pub what: String,
+}
+
+/// Idempotence-safety verdict for one audited benign-race tag.
+#[derive(Clone, Debug)]
+pub struct TagVerdict {
+    /// The tag.
+    pub tag: RacyTag,
+    /// In how many executed schedules the tag's racy loads fired.
+    pub schedules_fired: u64,
+    /// Whether every schedule in which the tag fired passed the battery
+    /// and reproduced the baseline memory fingerprint — i.e. the race's
+    /// benignity does not depend on the default tie-break. Vacuously true
+    /// if the tag never fired.
+    pub schedule_invariant: bool,
+    /// A script witnessing the violation when `schedule_invariant` is
+    /// false.
+    pub witness: Option<Vec<u32>>,
+}
+
+/// The aggregated result of exploring one config's schedule space.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Schedules actually executed (each a distinct node of the choice
+    /// tree).
+    pub schedules_explored: u64,
+    /// Schedules skipped by partial-order reduction: independent flips
+    /// never executed, plus subtrees cut below trace-equivalent runs.
+    pub schedules_pruned: u64,
+    /// Deepest choice-point sequence observed in any run.
+    pub max_depth: usize,
+    /// Whether a budget limit cut the walk short (the report then covers
+    /// a prefix of the schedule space, not all of it).
+    pub truncated: bool,
+    /// Every failing schedule found, in discovery order.
+    pub failures: Vec<ExploreFailure>,
+    /// Whether every clean schedule with a fingerprint reproduced the
+    /// same final memory state.
+    pub fingerprint_invariant: bool,
+    /// A script whose clean run produced a different fingerprint, when
+    /// `fingerprint_invariant` is false.
+    pub divergent_fingerprint: Option<Vec<u32>>,
+    /// Per-tag idempotence-safety verdicts, in [`RacyTag::ALL`] order.
+    pub tags: Vec<TagVerdict>,
+}
+
+impl ExploreReport {
+    /// No failing schedule, fingerprints invariant, every tag
+    /// schedule-invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+            && self.fingerprint_invariant
+            && self.tags.iter().all(|t| t.schedule_invariant)
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} schedules explored, {} pruned, max depth {}{}\n",
+            if self.is_clean() { "clean" } else { "DIRTY" },
+            self.schedules_explored,
+            self.schedules_pruned,
+            self.max_depth,
+            if self.truncated { " (budget hit)" } else { "" },
+        );
+        if let Some(f) = self.failures.first() {
+            out.push_str(&format!("  first failure @ script {:?}: {}\n", f.script, f.what));
+        }
+        if let Some(s) = &self.divergent_fingerprint {
+            out.push_str(&format!("  divergent fingerprint @ script {s:?}\n"));
+        }
+        for t in &self.tags {
+            if t.schedules_fired > 0 || !t.schedule_invariant {
+                out.push_str(&format!(
+                    "  tag {}: fired in {} schedules, {}\n",
+                    t.tag.label(),
+                    t.schedules_fired,
+                    if t.schedule_invariant { "schedule-invariant" } else { "SCHEDULE-DEPENDENT" },
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Walks the schedule space of one config.
+///
+/// `run` executes the system under the given choice script (via
+/// `SystemConfig::with_schedule(SchedulePolicy::Scripted(script))`) and
+/// reports what happened; it is called once per explored schedule,
+/// starting with the empty script (the baseline: default tie-breaks,
+/// choice points recorded). The baseline's fingerprint anchors the
+/// invariance checks.
+pub fn explore(
+    budget: &ExploreBudget,
+    mut run: impl FnMut(&[u32]) -> ScheduleOutcome,
+) -> ExploreReport {
+    let mut report = ExploreReport {
+        schedules_explored: 0,
+        schedules_pruned: 0,
+        max_depth: 0,
+        truncated: false,
+        failures: Vec::new(),
+        fingerprint_invariant: true,
+        divergent_fingerprint: None,
+        tags: RacyTag::ALL
+            .iter()
+            .map(|&tag| TagVerdict {
+                tag,
+                schedules_fired: 0,
+                schedule_invariant: true,
+                witness: None,
+            })
+            .collect(),
+    };
+    let mut baseline_fp: Option<u64> = None;
+    let mut seen_sigs: HashSet<u64> = HashSet::new();
+    // LIFO stack of pending scripts = depth-first over the choice tree.
+    let mut stack: Vec<Vec<u32>> = vec![Vec::new()];
+
+    while let Some(script) = stack.pop() {
+        if report.schedules_explored as usize >= budget.max_schedules {
+            report.truncated = true;
+            break;
+        }
+        let outcome = run(&script);
+        report.schedules_explored += 1;
+        report.max_depth = report.max_depth.max(outcome.choices.len());
+        if outcome.choices.len() > budget.max_choice_points {
+            report.truncated = true;
+        }
+
+        let failure = schedule_failure(&outcome);
+        let min_script = minimize(&script);
+        if let Some(what) = &failure {
+            report.failures.push(ExploreFailure { script: min_script.clone(), what: what.clone() });
+        } else if let Some(fp) = outcome.fingerprint {
+            match baseline_fp {
+                None => baseline_fp = Some(fp),
+                Some(base) if fp != base && report.fingerprint_invariant => {
+                    report.fingerprint_invariant = false;
+                    report.divergent_fingerprint = Some(min_script.clone());
+                }
+                Some(_) => {}
+            }
+        }
+        // Idempotence-safety: a tag that fired in a failing or
+        // fingerprint-divergent schedule is only benign under schedules
+        // the default tie-break happens to produce.
+        let divergent_fp =
+            matches!((outcome.fingerprint, baseline_fp), (Some(fp), Some(base)) if fp != base);
+        for (i, t) in report.tags.iter_mut().enumerate() {
+            if outcome.report.racy_loads[i] == 0 {
+                continue;
+            }
+            t.schedules_fired += 1;
+            if (failure.is_some() || divergent_fp) && t.schedule_invariant {
+                t.schedule_invariant = false;
+                t.witness = Some(min_script.clone());
+            }
+        }
+
+        // A failing schedule's subtree is not expanded: the repro script
+        // stays minimal and the walk keeps hunting elsewhere.
+        if failure.is_some() {
+            continue;
+        }
+        let depth_cap = budget.max_choice_points.min(outcome.choices.len());
+        if !seen_sigs.insert(trace_signature(&outcome.events)) {
+            // Trace-equivalent to an already-expanded run: every flip
+            // below it reaches a subtree equivalent to one already
+            // scheduled from the first representative.
+            report.schedules_pruned += outcome.choices[script.len()..depth_cap]
+                .iter()
+                .map(|c| c.candidates.len() as u64 - 1)
+                .sum::<u64>();
+            continue;
+        }
+        let index = next_op_index(&outcome.events);
+        for depth in script.len()..depth_cap {
+            let cp = &outcome.choices[depth];
+            let granted = cp.candidates[cp.chosen as usize];
+            for (alt_idx, &alt) in cp.candidates.iter().enumerate() {
+                if alt_idx == cp.chosen as usize {
+                    continue;
+                }
+                if flip_is_independent(&index, cp.time, granted, alt) {
+                    report.schedules_pruned += 1;
+                    continue;
+                }
+                let mut child: Vec<u32> =
+                    outcome.choices[..depth].iter().map(|c| c.chosen).collect();
+                child.push(alt_idx as u32);
+                stack.push(child);
+            }
+        }
+    }
+    report.truncated |= !stack.is_empty();
+    report
+}
+
+/// The schedule's verdict: the runner's failure, or the first checker
+/// violation.
+fn schedule_failure(outcome: &ScheduleOutcome) -> Option<String> {
+    if let Some(what) = &outcome.failure {
+        return Some(what.clone());
+    }
+    outcome.report.first().map(|v| v.to_string())
+}
+
+/// Strips trailing default choices: script entries beyond the script's
+/// length replay choice index 0, so a trailing `0` never changes the run.
+fn minimize(script: &[u32]) -> Vec<u32> {
+    let len = script.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1);
+    script[..len].to_vec()
+}
+
+/// Index from `(core, cycle)` to the first sequenced operation that core
+/// performed at that local clock — the operation a tie at `cycle` granted.
+fn next_op_index(events: &[MemEvent]) -> HashMap<(usize, u64), MemOp> {
+    let mut index = HashMap::new();
+    for e in events {
+        if !matches!(e.op, MemOp::Sync(_)) {
+            index.entry((e.core, e.cycle)).or_insert(e.op);
+        }
+    }
+    index
+}
+
+/// Whether flipping the tie at `time` between the granted core and an
+/// alternative candidate provably cannot change any value: both tied
+/// operations are known and independent. Unknown operations (no event at
+/// that clock — the op predates checking, or is a pure wait) are never
+/// pruned.
+fn flip_is_independent(
+    index: &HashMap<(usize, u64), MemOp>,
+    time: u64,
+    granted: usize,
+    alt: usize,
+) -> bool {
+    match (index.get(&(granted, time)), index.get(&(alt, time))) {
+        (Some(&a), Some(&b)) => !ops_dependent(a, b),
+        _ => false,
+    }
+}
+
+/// The dependence relation for partial-order reduction, on the two tied
+/// cores' next operations (the cores are distinct by construction).
+/// Conservative: anything that is not two data accesses without a
+/// write-write/read-write conflict is dependent.
+fn ops_dependent(a: MemOp, b: MemOp) -> bool {
+    match (data_access(a), data_access(b)) {
+        (Some((addr_a, write_a)), Some((addr_b, write_b))) => {
+            addr_a == addr_b && (write_a || write_b)
+        }
+        // Sync notes, cache-wide invalidate/flush: order matters to the
+        // staleness and lint passes regardless of address.
+        _ => true,
+    }
+}
+
+/// `Some((addr, writes))` for plain per-word data accesses, `None` for
+/// everything whose footprint is not a single word.
+fn data_access(op: MemOp) -> Option<(u64, bool)> {
+    match op {
+        MemOp::Load { addr, .. } => Some((addr.0, false)),
+        MemOp::Store { addr, .. } => Some((addr.0, true)),
+        MemOp::Amo { addr } => Some((addr.0, true)),
+        MemOp::InvalidateAll | MemOp::FlushAll | MemOp::Sync(_) => None,
+    }
+}
+
+/// Foata-layered trace signature: each event's dependence depth is one
+/// past the deepest earlier event it depends on (same core, same-address
+/// conflict, or any barrier-class operation); events at the same depth
+/// commute, so their hashes fold with a commutative `wrapping_add` and
+/// the per-depth sums fold in depth order. Two executions of the same
+/// trace (same events, reordered only across independent pairs) produce
+/// the same signature; cycles are excluded because equivalent schedules
+/// need not be cycle-identical.
+fn trace_signature(events: &[MemEvent]) -> u64 {
+    let mut last_write: HashMap<u64, usize> = HashMap::new();
+    let mut last_access: HashMap<u64, usize> = HashMap::new();
+    let mut core_depth: HashMap<usize, usize> = HashMap::new();
+    let mut barrier_depth = 0usize;
+    let mut max_depth = 0usize;
+    let mut levels: Vec<u64> = Vec::new();
+    for e in events {
+        let mut d = core_depth.get(&e.core).copied().unwrap_or(0).max(barrier_depth);
+        match data_access(e.op) {
+            Some((addr, write)) => {
+                d = d.max(last_write.get(&addr).copied().unwrap_or(0));
+                if write {
+                    d = d.max(last_access.get(&addr).copied().unwrap_or(0));
+                }
+                d += 1;
+                if write {
+                    last_write.insert(addr, d);
+                }
+                let slot = last_access.entry(addr).or_insert(0);
+                *slot = (*slot).max(d);
+            }
+            None => {
+                // Barrier class: depends on everything seen, and
+                // everything after depends on it.
+                d = max_depth + 1;
+                barrier_depth = d;
+            }
+        }
+        core_depth.insert(e.core, d);
+        max_depth = max_depth.max(d);
+        if levels.len() < d {
+            levels.resize(d, 0);
+        }
+        levels[d - 1] = levels[d - 1].wrapping_add(event_hash(e));
+    }
+    let mut h = hash::FNV_OFFSET;
+    for level in levels {
+        h = hash::fold_u64(h, level);
+    }
+    h
+}
+
+/// Order-insensitive per-event hash (no cycle: see [`trace_signature`]).
+fn event_hash(e: &MemEvent) -> u64 {
+    let (kind, addr) = match e.op {
+        MemOp::Load { addr, racy } => (1 + racy.map_or(0, |t| 8 + t as u64), addr.0),
+        MemOp::Store { addr, racy } => (64 + racy.map_or(0, |t| 8 + t as u64), addr.0),
+        MemOp::Amo { addr } => (2, addr.0),
+        MemOp::InvalidateAll => (3, 0),
+        MemOp::FlushAll => (4, 0),
+        MemOp::Sync(_) => (5, 0),
+    };
+    let mut h = hash::fold_u64(hash::FNV_OFFSET, e.core as u64);
+    h = hash::fold_u64(h, kind);
+    hash::fold_u64(h, addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigtiny_coherence::Addr;
+    use bigtiny_engine::CheckMode;
+
+    fn ev(core: usize, cycle: u64, op: MemOp) -> MemEvent {
+        MemEvent { cycle, core, op }
+    }
+
+    fn load(addr: u64) -> MemOp {
+        MemOp::Load { addr: Addr(addr), racy: None }
+    }
+
+    fn store(addr: u64) -> MemOp {
+        MemOp::Store { addr: Addr(addr), racy: None }
+    }
+
+    fn clean_report() -> CheckReport {
+        CheckReport {
+            mode: CheckMode::Full,
+            events: 0,
+            violations: Vec::new(),
+            suppressed: 0,
+            racy_loads: [0; RacyTag::ALL.len()],
+        }
+    }
+
+    /// A synthetic two-core "machine": one tie whose two candidate ops
+    /// are given; the run reports the two ops in the scripted order.
+    fn tied_machine(
+        op0: MemOp,
+        op1: MemOp,
+        fp: impl Fn(u32) -> Option<u64> + Copy,
+        fail: impl Fn(u32) -> Option<String> + Copy,
+    ) -> impl FnMut(&[u32]) -> ScheduleOutcome {
+        move |script: &[u32]| {
+            let chosen = script.first().copied().unwrap_or(0).min(1);
+            let (first, second) = if chosen == 0 { (0usize, 1usize) } else { (1, 0) };
+            let ops = [op0, op1];
+            ScheduleOutcome {
+                choices: vec![ChoicePoint { time: 5, candidates: vec![0, 1], chosen }],
+                events: vec![ev(first, 5, ops[first]), ev(second, 5, ops[second])],
+                report: clean_report(),
+                failure: fail(chosen),
+                fingerprint: fp(chosen),
+            }
+        }
+    }
+
+    #[test]
+    fn independent_tie_is_pruned_without_running() {
+        let mut runs = 0u64;
+        let mut machine = tied_machine(load(8), load(16), |_| Some(7), |_| None);
+        let report = explore(&ExploreBudget::default(), |s| {
+            runs += 1;
+            machine(s)
+        });
+        assert_eq!(runs, 1, "the flip of two independent loads must not execute");
+        assert_eq!(report.schedules_explored, 1);
+        assert_eq!(report.schedules_pruned, 1);
+        assert!(report.is_clean());
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn conflicting_tie_is_explored_and_equivalent_runs_converge() {
+        let mut runs = 0u64;
+        let mut machine = tied_machine(store(8), load(8), |_| Some(7), |_| None);
+        let report = explore(&ExploreBudget::default(), |s| {
+            runs += 1;
+            machine(s)
+        });
+        assert_eq!(runs, 2, "a write-read tie must execute both orders");
+        assert_eq!(report.schedules_explored, 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn schedule_dependent_failure_yields_minimal_script() {
+        let mut machine = tied_machine(
+            store(8),
+            load(8),
+            |_| Some(7),
+            |chosen| (chosen == 1).then(|| "verify: lost update".to_string()),
+        );
+        let report = explore(&ExploreBudget::default(), |s| machine(s));
+        assert!(!report.is_clean());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].script, vec![1]);
+        assert!(report.failures[0].what.contains("lost update"));
+    }
+
+    #[test]
+    fn divergent_fingerprint_is_flagged_with_witness() {
+        let mut machine =
+            tied_machine(store(8), load(8), |chosen| Some(7 + u64::from(chosen)), |_| None);
+        let report = explore(&ExploreBudget::default(), |s| machine(s));
+        assert!(!report.fingerprint_invariant);
+        assert_eq!(report.divergent_fingerprint, Some(vec![1]));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn fired_tag_in_divergent_schedule_loses_invariance() {
+        let mut base =
+            tied_machine(store(8), load(8), |chosen| Some(7 + u64::from(chosen)), |_| None);
+        let report = explore(&ExploreBudget::default(), |s| {
+            let mut o = base(s);
+            o.report.racy_loads[0] = 3;
+            o
+        });
+        let tag = &report.tags[0];
+        assert_eq!(tag.schedules_fired, 2);
+        assert!(!tag.schedule_invariant);
+        assert_eq!(tag.witness, Some(vec![1]));
+        // A tag that never fired stays vacuously invariant.
+        assert!(report.tags[1].schedule_invariant);
+        assert_eq!(report.tags[1].schedules_fired, 0);
+    }
+
+    #[test]
+    fn schedule_budget_truncates() {
+        let mut machine = tied_machine(store(8), load(8), |_| None, |_| None);
+        let budget = ExploreBudget { max_choice_points: 10, max_schedules: 1 };
+        let report = explore(&budget, |s| machine(s));
+        assert_eq!(report.schedules_explored, 1);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn foata_signature_ignores_order_of_independent_ops_only() {
+        let a = [ev(0, 5, load(8)), ev(1, 5, load(16))];
+        let b = [ev(1, 5, load(16)), ev(0, 5, load(8))];
+        assert_eq!(trace_signature(&a), trace_signature(&b), "independent pair commutes");
+        let c = [ev(0, 5, store(8)), ev(1, 5, load(8))];
+        let d = [ev(1, 5, load(8)), ev(0, 5, store(8))];
+        assert_ne!(trace_signature(&c), trace_signature(&d), "write-read pair must not commute");
+        let e = [ev(0, 5, MemOp::FlushAll), ev(1, 5, load(8))];
+        let f = [ev(1, 5, load(8)), ev(0, 5, MemOp::FlushAll)];
+        assert_ne!(trace_signature(&e), trace_signature(&f), "barrier class must not commute");
+    }
+
+    #[test]
+    fn minimize_strips_trailing_defaults_only() {
+        assert_eq!(minimize(&[1, 0, 0]), vec![1]);
+        assert_eq!(minimize(&[0, 1]), vec![0, 1]);
+        assert_eq!(minimize(&[0, 0]), Vec::<u32>::new());
+    }
+}

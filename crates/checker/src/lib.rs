@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! DRF conformance checker for the big.TINY op stream.
@@ -37,6 +38,7 @@
 //! same report and the same [`CheckReport::verdict_hash`].
 
 pub mod audit;
+pub mod explore;
 mod hb;
 mod lint;
 mod stale;
@@ -352,12 +354,8 @@ mod tests {
     fn amo_chain_orders_accesses() {
         // Core 0 writes data, releases via AMO on a flag; core 1 acquires
         // via AMO on the same flag, then reads the data: no race.
-        let events = [
-            ev(0, 0, store(64)),
-            ev(1, 0, amo(128)),
-            ev(5, 1, amo(128)),
-            ev(6, 1, load(64)),
-        ];
+        let events =
+            [ev(0, 0, store(64)), ev(1, 0, amo(128)), ev(5, 1, amo(128)), ev(6, 1, load(64))];
         let r = check_events(&MESI2, CheckMode::Hb, &events);
         assert!(r.is_clean(), "{}", r.render());
     }
@@ -409,10 +407,7 @@ mod tests {
         let r = check_events(&MESI2, CheckMode::Hb, &events);
         assert!(r.is_clean(), "{}", r.render());
         // An unordered *plain* access still races with the audited store.
-        let events = [
-            ev(0, 0, racy_store(64, RacyTag::LigraDedupFlag)),
-            ev(5, 1, store(64)),
-        ];
+        let events = [ev(0, 0, racy_store(64, RacyTag::LigraDedupFlag)), ev(5, 1, store(64))];
         let r = check_events(&MESI2, CheckMode::Hb, &events);
         assert_eq!(r.count(ViolationKind::HbRace), 1, "{}", r.render());
     }
@@ -424,11 +419,11 @@ mod tests {
         // parent's read of the child's data (the Figure 3(c) join
         // argument).
         let events = [
-            ev(0, 1, store(64)),  // child result
-            ev(1, 1, amo(128)),   // rc decrement (release)
+            ev(0, 1, store(64)),                           // child result
+            ev(1, 1, amo(128)),                            // rc decrement (release)
             ev(5, 0, racy_load(128, RacyTag::RcWaitLoop)), // spin read sees 0
             ev(6, 0, MemOp::InvalidateAll),
-            ev(7, 0, load(64)),   // parent reads result
+            ev(7, 0, load(64)), // parent reads result
         ];
         let r = check_events(&DNV2, CheckMode::Full, &events);
         assert!(r.is_clean(), "{}", r.render());

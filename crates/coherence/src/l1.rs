@@ -84,7 +84,10 @@ impl L1Cache {
     pub fn new(protocol: Protocol, size_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "cache must have at least one way");
         let lines_total = size_bytes / crate::addr::LINE_BYTES as usize;
-        assert!(lines_total > 0 && lines_total.is_multiple_of(ways), "invalid cache geometry: {size_bytes} B / {ways} ways");
+        assert!(
+            lines_total > 0 && lines_total.is_multiple_of(ways),
+            "invalid cache geometry: {size_bytes} B / {ways} ways"
+        );
         let sets = lines_total / ways;
         L1Cache { protocol, sets, ways, lines: vec![None; lines_total], lru_clock: 0 }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Heterogeneous cache-coherence memory system for the big.TINY simulator.
@@ -48,6 +49,8 @@ mod system;
 pub use addr::{Addr, LineAddr, WordMask, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use l1::{Eviction, L1Cache, LineEntry, MesiState};
 pub use l2::{CoreSet, Dram, L2Cache, L2Eviction, L2Line};
-pub use protocol::{DirtyPropagation, Protocol, ProtocolTraits, StaleInvalidation, WriteGranularity};
+pub use protocol::{
+    DirtyPropagation, Protocol, ProtocolTraits, StaleInvalidation, WriteGranularity,
+};
 pub use stats::{aggregate, CoreMemStats};
 pub use system::{CoreMemConfig, MemConfig, MemorySystem};

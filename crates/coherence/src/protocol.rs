@@ -66,7 +66,8 @@ pub struct ProtocolTraits {
 
 impl Protocol {
     /// All four protocols, in the paper's Table-I order.
-    pub const ALL: [Protocol; 4] = [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb];
+    pub const ALL: [Protocol; 4] =
+        [Protocol::Mesi, Protocol::DeNovo, Protocol::GpuWt, Protocol::GpuWb];
 
     /// The Table-I classification of this protocol.
     pub fn traits(self) -> ProtocolTraits {

@@ -246,10 +246,7 @@ impl MemorySystem {
                 }
                 if proto == Protocol::Mesi {
                     if e.valid != crate::addr::WordMask::FULL {
-                        return Err(format!(
-                            "core {core}: MESI line {} partially valid",
-                            e.line
-                        ));
+                        return Err(format!("core {core}: MESI line {} partially valid", e.line));
                     }
                     if !e.dirty.is_empty() && e.mesi != crate::l1::MesiState::Modified {
                         return Err(format!(
@@ -352,7 +349,8 @@ impl MemorySystem {
         let owner_proto = self.protocols[owner];
         // (bytes supplied, words committed, owner becomes a MESI sharer,
         //  owner pointer survives in the directory)
-        let (payload, commit_mask, keep_as_sharer, keep_owner) = match self.l1s[owner].lookup(line) {
+        let (payload, commit_mask, keep_as_sharer, keep_owner) = match self.l1s[owner].lookup(line)
+        {
             Some(entry) => match owner_proto {
                 Protocol::Mesi => {
                     let dirty = entry.mesi == MesiState::Modified;
@@ -626,7 +624,10 @@ impl MemorySystem {
             if entry.fill_version[w] < latest {
                 self.stats[core].stale_reads += 1;
                 if std::env::var_os("BIGTINY_STALE_PANIC").is_some() {
-                    panic!("stale HIT read: core {core} addr {addr} fill {} latest {latest}", entry.fill_version[w]);
+                    panic!(
+                        "stale HIT read: core {core} addr {addr} fill {} latest {latest}",
+                        entry.fill_version[w]
+                    );
                 }
             }
         }
@@ -690,7 +691,10 @@ impl MemorySystem {
             if latest > 0 && self.committed_version(addr.word()) < latest {
                 self.stats[core].stale_reads += 1;
                 if std::env::var_os("BIGTINY_STALE_PANIC").is_some() {
-                    panic!("stale MISS read: core {core} addr {addr} committed {} latest {latest}", self.committed_version(addr.word()));
+                    panic!(
+                        "stale MISS read: core {core} addr {addr} committed {} latest {latest}",
+                        self.committed_version(addr.word())
+                    );
                 }
             }
         }
@@ -952,7 +956,12 @@ impl MemorySystem {
                     issue += 1; // one write-back issued per cycle
                     let bank = self.l2.home_bank(line);
                     let bank_tile = self.bank_tile(bank);
-                    let leg = self.mesh.send(core_tile, bank_tile, TrafficClass::WbReq, mask.count() as u64 * 8);
+                    let leg = self.mesh.send(
+                        core_tile,
+                        bank_tile,
+                        TrafficClass::WbReq,
+                        mask.count() as u64 * 8,
+                    );
                     let mut t = self.l2.access(bank, issue + leg);
                     t = self.ensure_l2_resident(line, bank, t);
                     // The flushed data supersedes any copy held by
@@ -1194,7 +1203,10 @@ mod tests {
         m.store(0, Addr(stride), 100);
         let wb_before = m.traffic().messages(TrafficClass::WbReq);
         m.store(0, Addr(2 * stride), 200);
-        assert!(m.traffic().messages(TrafficClass::WbReq) > wb_before, "dirty eviction writes back");
+        assert!(
+            m.traffic().messages(TrafficClass::WbReq) > wb_before,
+            "dirty eviction writes back"
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl SimDeque {
             tail_addr: base.offset(16),
             slots_addr: base.offset(64),
             capacity: capacity as u64,
-            state: RwLock::new(DequeState { locked: false, head: 0, tail: 0, slots: vec![None; capacity] }),
+            state: RwLock::new(DequeState {
+                locked: false,
+                head: 0,
+                tail: 0,
+                slots: vec![None; capacity],
+            }),
         }
     }
 

@@ -71,8 +71,8 @@ pub use deque::SimDeque;
 pub use native::{native_fib, NativeCtx, NativePool, NativeTask};
 pub use patterns::{parallel_for, parallel_invoke, parallel_invoke3};
 pub use runtime::{
-    run_task_parallel, DequeKind, Mutation, MutationKind, RuntimeConfig, RuntimeKind,
-    RuntimeStats, TaskCx, TaskRun, VictimPolicy,
+    run_task_parallel, DequeKind, Mutation, MutationKind, RuntimeConfig, RuntimeKind, RuntimeStats,
+    TaskCx, TaskRun, VictimPolicy,
 };
 pub use task::{TaskBody, TaskId, TaskProfile, TaskRecord, WorkSpan};
 pub use telemetry::{Log2Histogram, StealTelemetry, TaskEvent, TaskEventKind, VictimCounters};

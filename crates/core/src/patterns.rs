@@ -95,7 +95,8 @@ mod tests {
     #[test]
     fn parallel_for_covers_every_index_exactly_once() {
         for kind in [RuntimeKind::Baseline, RuntimeKind::Hcc, RuntimeKind::Dts] {
-            let proto = if kind == RuntimeKind::Baseline { Protocol::Mesi } else { Protocol::GpuWb };
+            let proto =
+                if kind == RuntimeKind::Baseline { Protocol::Mesi } else { Protocol::GpuWb };
             let sys = small_sys(proto);
             let cfg = RuntimeConfig::new(kind);
             let mut space = AddrSpace::new();
@@ -180,7 +181,10 @@ mod tests {
             assert_eq!(cell.host_read(), 64);
             counts.push(run.stats.tasks_executed);
         }
-        assert!(counts[0] > counts[1] && counts[1] > counts[2], "finer grain => more tasks: {counts:?}");
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[2],
+            "finer grain => more tasks: {counts:?}"
+        );
     }
 
     #[test]

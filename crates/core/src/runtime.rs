@@ -381,9 +381,8 @@ impl RtShared {
                 order
             })
             .collect();
-        let task_events = cfg
-            .record_task_events
-            .then(|| (0..workers).map(|_| RwLock::new(Vec::new())).collect());
+        let task_events =
+            cfg.record_task_events.then(|| (0..workers).map(|_| RwLock::new(Vec::new())).collect());
         RtShared {
             cfg,
             deques,
@@ -758,9 +757,8 @@ impl<'a> TaskCx<'a> {
     /// reads of the counter's sync clock.
     fn read_rc_plain_racy(&mut self, t: TaskId) -> u64 {
         let addr = self.rt.rc_addr(t);
-        self.port.load_words_racy(addr, 1, RacyTag::RcWaitLoop, || {
-            self.rt.tasks.read()[t.0 as usize].rc
-        })
+        self.port
+            .load_words_racy(addr, 1, RacyTag::RcWaitLoop, || self.rt.tasks.read()[t.0 as usize].rc)
     }
 
     fn read_rc_amo(&mut self, t: TaskId) -> u64 {
@@ -821,7 +819,8 @@ impl<'a> TaskCx<'a> {
 
     fn read_hsc(&mut self, t: TaskId) -> bool {
         let addr = self.rt.hsc_addr(t);
-        let v = self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].has_stolen_child);
+        let v =
+            self.port.load_words(addr, 1, || self.rt.tasks.read()[t.0 as usize].has_stolen_child);
         // Seeded stuck-at fault on the flag (checker test fixture): the
         // load still happens (same timing, same event stream shape); only
         // the value the runtime acts on is corrupted.
@@ -1343,13 +1342,11 @@ impl<'a> TaskCx<'a> {
     /// normal policy (`None`) when no victim is currently eligible.
     fn choose_live_victim(&mut self, n: usize) -> Option<usize> {
         let now = self.port.now();
-        let eligible =
-            |h: &VictimHealth| !h.quarantined || now >= h.reprobe_at;
+        let eligible = |h: &VictimHealth| !h.quarantined || now >= h.reprobe_at;
         match self.rt.cfg.victim_policy {
             VictimPolicy::Random => {
-                let cands: Vec<usize> = (0..n)
-                    .filter(|v| *v != self.wid && eligible(&self.health[*v]))
-                    .collect();
+                let cands: Vec<usize> =
+                    (0..n).filter(|v| *v != self.wid && eligible(&self.health[*v])).collect();
                 if cands.is_empty() {
                     None
                 } else {
@@ -1694,8 +1691,11 @@ impl<'a> TaskCx<'a> {
         self.port.load_words(desc, 2, || ());
         self.port.advance(4);
 
-        let body =
-            self.rt.tasks.write()[t.0 as usize].body.take().expect("task executed twice").into_inner();
+        let body = self.rt.tasks.write()[t.0 as usize]
+            .body
+            .take()
+            .expect("task executed twice")
+            .into_inner();
         self.rt.counters.write().tasks_executed += 1;
 
         let saved_current = self.current.replace(t);
@@ -1871,9 +1871,9 @@ pub fn run_task_parallel(
                 // flowing) until the scheduled revival cycle AND the
                 // survivors' recovery of this core have both passed, then
                 // rejoin with a fresh scheduling loop.
-                while let Err(payload) = std::panic::catch_unwind(
-                    std::panic::AssertUnwindSafe(|| cx.schedule_loop()),
-                ) {
+                while let Err(payload) =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cx.schedule_loop()))
+                {
                     if !payload.is::<CrashToken>() {
                         std::panic::resume_unwind(payload);
                     }
@@ -1904,56 +1904,55 @@ pub fn run_task_parallel(
     // diagnostic bundle with the runtime-level picture (deque depths and
     // unclaimed mailbox entries) before re-raising: by far the most common
     // cause of a hung run is work parked where no live worker looks.
-    let report = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_system(sys, workers)
-    })) {
-        Ok(report) => report,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&'static str>().copied());
-            match msg {
-                Some(m) if m.contains(WATCHDOG_MSG) => {
-                    let mut out = String::from(m);
-                    out.push_str("\nruntime state:\n");
-                    for (w, dq) in rt.deques.iter().enumerate() {
-                        let mb = rt.mailboxes[w].value.read().len();
+    let report =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(sys, workers))) {
+            Ok(report) => report,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied());
+                match msg {
+                    Some(m) if m.contains(WATCHDOG_MSG) => {
+                        let mut out = String::from(m);
+                        out.push_str("\nruntime state:\n");
+                        for (w, dq) in rt.deques.iter().enumerate() {
+                            let mb = rt.mailboxes[w].value.read().len();
+                            out.push_str(&format!(
+                                "  worker {w}: deque depth {}{}, {mb} unclaimed mailbox task(s)\n",
+                                dq.host_len(),
+                                if dq.host_locked() { " (locked)" } else { "" },
+                            ));
+                        }
+                        let c = rt.counters.read();
                         out.push_str(&format!(
-                            "  worker {w}: deque depth {}{}, {mb} unclaimed mailbox task(s)\n",
-                            dq.host_len(),
-                            if dq.host_locked() { " (locked)" } else { "" },
-                        ));
-                    }
-                    let c = rt.counters.read();
-                    out.push_str(&format!(
-                        "  tasks: {} spawned, {} executed; steals: {} ok / {} attempts, \
+                            "  tasks: {} spawned, {} executed; steals: {} ok / {} attempts, \
                          {} nacks, {} timeouts, {} fallback\n",
-                        c.spawns,
-                        c.tasks_executed,
-                        c.steals,
-                        c.steal_attempts,
-                        c.steal_nacks,
-                        c.uli_timeouts,
-                        c.fallback_steals,
-                    ));
-                    if sys.faults.crash_armed() {
-                        out.push_str(&format!(
-                            "  recovery: {} orphans discarded, {} mailbox rescues, \
-                             {} re-executions, {} quarantines, {} revivals\n",
-                            c.orphans_reclaimed,
-                            c.mailbox_rescues,
-                            c.reexecutions,
-                            c.quarantines,
-                            c.revivals,
+                            c.spawns,
+                            c.tasks_executed,
+                            c.steals,
+                            c.steal_attempts,
+                            c.steal_nacks,
+                            c.uli_timeouts,
+                            c.fallback_steals,
                         ));
+                        if sys.faults.crash_armed() {
+                            out.push_str(&format!(
+                                "  recovery: {} orphans discarded, {} mailbox rescues, \
+                             {} re-executions, {} quarantines, {} revivals\n",
+                                c.orphans_reclaimed,
+                                c.mailbox_rescues,
+                                c.reexecutions,
+                                c.quarantines,
+                                c.revivals,
+                            ));
+                        }
+                        std::panic::panic_any(out)
                     }
-                    std::panic::panic_any(out)
+                    _ => std::panic::resume_unwind(payload),
                 }
-                _ => std::panic::resume_unwind(payload),
             }
-        }
-    };
+        };
     let stats = *rt.counters.read();
     let telemetry = rt.tel.read().clone();
     let task_events = match &rt.task_events {

@@ -111,11 +111,8 @@ impl Log2Histogram {
             }
             if seen + c >= rank {
                 let lo = Self::bucket_lo(i);
-                let hi = if i + 1 < Self::NUM_BUCKETS {
-                    Self::bucket_lo(i + 1) - 1
-                } else {
-                    self.max
-                };
+                let hi =
+                    if i + 1 < Self::NUM_BUCKETS { Self::bucket_lo(i + 1) - 1 } else { self.max };
                 let hi = hi.min(self.max).max(lo);
                 let frac = (rank - seen) as f64 / c as f64;
                 // The f64 round-trip of a huge `hi - lo` can land above the
@@ -196,10 +193,7 @@ pub struct StealTelemetry {
 impl StealTelemetry {
     /// An empty telemetry record for `workers` cores.
     pub fn new(workers: usize) -> Self {
-        StealTelemetry {
-            per_victim: vec![VictimCounters::default(); workers],
-            ..Self::default()
-        }
+        StealTelemetry { per_victim: vec![VictimCounters::default(); workers], ..Self::default() }
     }
 
     /// Total steal attempts across victims.

@@ -35,7 +35,11 @@ fn random_ops(rng: &mut XorShift64) -> (Vec<DqOp>, usize) {
 /// Runs `ops` against the simulated deque on one core; `chase_lev` selects
 /// the lock-free entry points. Returns the observed outcomes:
 /// `None` = push accepted, `Some(x)` = pop result (or rejected push).
-fn run_deque(ops: &[DqOp], capacity: usize, chase_lev: bool) -> (Arc<SimDeque>, Vec<Option<Option<u32>>>) {
+fn run_deque(
+    ops: &[DqOp],
+    capacity: usize,
+    chase_lev: bool,
+) -> (Arc<SimDeque>, Vec<Option<Option<u32>>>) {
     let mut space = AddrSpace::new();
     let dq = Arc::new(SimDeque::new(&mut space, capacity));
     let d = Arc::clone(&dq);
@@ -54,14 +58,18 @@ fn run_deque(ops: &[DqOp], capacity: usize, chase_lev: bool) -> (Arc<SimDeque>, 
                     } else {
                         d.push_tail(port, TaskId(v))
                     };
-                    if ok { None } else { Some(None) } // encode "full"
+                    if ok {
+                        None
+                    } else {
+                        Some(None)
+                    } // encode "full"
                 }
                 DqOp::PopTail => Some(
                     if chase_lev { d.cl_pop_tail(port) } else { d.pop_tail(port) }.map(|t| t.0),
                 ),
-                DqOp::PopHead => Some(
-                    if chase_lev { d.cl_steal(port) } else { d.pop_head(port) }.map(|t| t.0),
-                ),
+                DqOp::PopHead => {
+                    Some(if chase_lev { d.cl_steal(port) } else { d.pop_head(port) }.map(|t| t.0))
+                }
             };
             r2.lock().unwrap().push(outcome);
         }
@@ -73,7 +81,12 @@ fn run_deque(ops: &[DqOp], capacity: usize, chase_lev: bool) -> (Arc<SimDeque>, 
 }
 
 /// Replays `ops` against a host `VecDeque` and checks each observed outcome.
-fn check_against_model(ops: &[DqOp], capacity: usize, got: &[Option<Option<u32>>], final_len: usize) {
+fn check_against_model(
+    ops: &[DqOp],
+    capacity: usize,
+    got: &[Option<Option<u32>>],
+    final_len: usize,
+) {
     let mut model: VecDeque<u32> = VecDeque::new();
     for (i, op) in ops.iter().enumerate() {
         match op {

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use bigtiny_core::{parallel_for, parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx, TaskRun};
+use bigtiny_core::{
+    parallel_for, parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx, TaskRun,
+};
 use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
 use bigtiny_mesh::{MeshConfig, Topology};
 
@@ -168,10 +170,8 @@ fn dts_reduces_invalidations_and_flushes() {
         (di as f64) < 0.5 * hi as f64,
         "coarse parallel_for: DTS invalidate ops {di} vs HCC {hi} should drop by >50%"
     );
-    let (hf, df) = (
-        hcc.report.mem_stats_over(&tiny).flush_ops,
-        dts.report.mem_stats_over(&tiny).flush_ops,
-    );
+    let (hf, df) =
+        (hcc.report.mem_stats_over(&tiny).flush_ops, dts.report.mem_stats_over(&tiny).flush_ops);
     assert!(
         (df as f64) < 0.5 * hf as f64,
         "coarse parallel_for: DTS flush ops {df} vs HCC {hf} should drop by >50%"

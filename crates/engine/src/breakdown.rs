@@ -163,7 +163,13 @@ impl fmt::Display for TimeBreakdown {
         for c in TIME_CATEGORIES {
             let v = self.get(c);
             if v > 0 {
-                writeln!(f, "{:>10}: {:>12} ({:5.1}%)", c.label(), v, 100.0 * v as f64 / total as f64)?;
+                writeln!(
+                    f,
+                    "{:>10}: {:>12} ({:5.1}%)",
+                    c.label(),
+                    v,
+                    100.0 * v as f64 / total as f64
+                )?;
             }
         }
         Ok(())

@@ -38,6 +38,29 @@ pub enum ExecBackend {
     ShardedFibers,
 }
 
+/// Grant tie-breaking policy of the sequencer.
+///
+/// The sequencer always grants a waiter holding the globally minimum
+/// *time*; when two or more waiters share that minimum time the choice
+/// among them is semantically free — any of them is a legal next step of
+/// the simulated machine. This policy picks.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum SchedulePolicy {
+    /// Break ties by the lowest core id (the historical behavior). Zero
+    /// cost, records nothing, and preserves every golden op-stream hash
+    /// bit for bit.
+    #[default]
+    MinCore,
+    /// Replay an explorer-chosen choice sequence: the `i`-th grant with
+    /// ≥ 2 minimum-time candidates takes the candidate (in ascending
+    /// core-id order) at index `script[i]`, and every such grant is
+    /// recorded as a [`crate::ChoicePoint`] in
+    /// [`crate::RunReport::choice_points`]. Out-of-range and exhausted
+    /// script entries fall back to index 0, so `Scripted(vec![])` replays
+    /// the `MinCore` schedule exactly while recording its choice points.
+    Scripted(Vec<u32>),
+}
+
 /// Core microarchitecture class.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CoreKind {
@@ -117,6 +140,12 @@ pub struct SystemConfig {
     /// event stream in [`crate::RunReport::mem_events`] without changing a
     /// single simulated cycle or op-stream hash.
     pub check: CheckMode,
+    /// Sequencer grant tie-breaking policy. `MinCore` (default) is the
+    /// historical lowest-core-id rule; `Scripted` replays an explicit
+    /// choice sequence and records every tie as a
+    /// [`crate::ChoicePoint`] — the hook the schedule-space explorer
+    /// (`bigtiny-checker::explore`) drives.
+    pub schedule: SchedulePolicy,
     /// Host stack bytes reserved per simulated core (thread stack or fiber
     /// mmap). `None` (default) picks a core-count-aware size via
     /// [`SystemConfig::core_stack_bytes`]: big reservations are free for a
@@ -144,6 +173,7 @@ impl SystemConfig {
             watchdog_wall_ms: 5_000,
             backend: ExecBackend::Auto,
             check: CheckMode::Off,
+            schedule: SchedulePolicy::MinCore,
             stack_bytes: None,
         }
     }
@@ -157,7 +187,13 @@ impl SystemConfig {
 
     /// A big.TINY system: `num_big` big cores followed by `num_tiny` tiny
     /// cores running `tiny_protocol`, on `mesh`.
-    pub fn big_tiny(name: &str, mesh: MeshConfig, num_big: usize, num_tiny: usize, tiny_protocol: Protocol) -> Self {
+    pub fn big_tiny(
+        name: &str,
+        mesh: MeshConfig,
+        num_big: usize,
+        num_tiny: usize,
+        tiny_protocol: Protocol,
+    ) -> Self {
         assert!(num_big + num_tiny <= mesh.topology.num_tiles(), "too many cores for the mesh");
         let mut cores = vec![CoreConfig::big(); num_big];
         cores.extend(std::iter::repeat_n(CoreConfig::tiny(tiny_protocol), num_tiny));
@@ -196,7 +232,13 @@ impl SystemConfig {
     /// A 64-tiny-core system (used by the Figure 4 granularity study).
     pub fn tiny_only(n: usize, protocol: Protocol) -> Self {
         assert!((1..=64).contains(&n));
-        Self::big_tiny(&format!("tiny{n}/{}", protocol.label()), MeshConfig::paper_64_core(), 0, n, protocol)
+        Self::big_tiny(
+            &format!("tiny{n}/{}", protocol.label()),
+            MeshConfig::paper_64_core(),
+            0,
+            n,
+            protocol,
+        )
     }
 
     /// Number of cores.
@@ -254,6 +296,12 @@ impl SystemConfig {
     /// Returns a copy with the DRF conformance checker armed at `check`.
     pub fn with_check(mut self, check: CheckMode) -> Self {
         self.check = check;
+        self
+    }
+
+    /// Returns a copy with the given sequencer tie-breaking policy.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
         self
     }
 

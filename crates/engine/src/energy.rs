@@ -77,7 +77,13 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Total energy.
     pub fn total(&self) -> f64 {
-        self.core_dynamic + self.core_static + self.l1 + self.l2 + self.dram + self.network + self.uli
+        self.core_dynamic
+            + self.core_static
+            + self.l1
+            + self.l2
+            + self.dram
+            + self.network
+            + self.uli
     }
 }
 

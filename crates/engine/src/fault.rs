@@ -254,12 +254,14 @@ impl FaultPlan {
     /// [`FaultPlan::from_spec`] `key=value` spec — the form the chaos
     /// fuzzer prints for minimal reproducers.
     pub fn parse(s: &str, seed: u64) -> Option<Self> {
-        Self::by_name(s, seed).or_else(|| Self::from_spec(s).map(|mut p| {
-            if p.seed == 0 {
-                p.seed = seed;
-            }
-            p
-        }))
+        Self::by_name(s, seed).or_else(|| {
+            Self::from_spec(s).map(|mut p| {
+                if p.seed == 0 {
+                    p.seed = seed;
+                }
+                p
+            })
+        })
     }
 
     /// Renders the plan as a comma-separated `key=value` spec listing only
@@ -434,11 +436,10 @@ impl FaultState {
         let mut crash_at = 0;
         if crash_eligible && plan.crash_armed() {
             let forced = plan.crash_cores.contains(core);
-            let mut crng = XorShift64::new(
-                plan.seed ^ (core as u64 + 1).wrapping_mul(0x6372_6173_685f_6174),
-            );
-            let rolled = plan.crash_per_mille > 0
-                && crng.next_below(1000) < plan.crash_per_mille as u64;
+            let mut crng =
+                XorShift64::new(plan.seed ^ (core as u64 + 1).wrapping_mul(0x6372_6173_685f_6174));
+            let rolled =
+                plan.crash_per_mille > 0 && crng.next_below(1000) < plan.crash_per_mille as u64;
             if forced || rolled {
                 doomed = true;
                 crash_at = if plan.crash_at_cycle > 0 {
@@ -450,9 +451,7 @@ impl FaultState {
         }
         FaultState {
             active: plan.is_active(),
-            rng: XorShift64::new(
-                plan.seed ^ (core as u64 + 1).wrapping_mul(0x666c_745f_636f_7265),
-            ),
+            rng: XorShift64::new(plan.seed ^ (core as u64 + 1).wrapping_mul(0x666c_745f_636f_7265)),
             plan,
             doomed,
             crash_at,

@@ -40,7 +40,14 @@ use std::cell::{Cell, UnsafeCell};
 use std::ffi::c_void;
 
 extern "C" {
-    fn mmap(addr: *mut c_void, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut c_void;
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
     fn munmap(addr: *mut c_void, len: usize) -> i32;
     fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
 }
@@ -65,7 +72,14 @@ impl FiberStack {
         let len = usable + PAGE;
         // SAFETY: plain anonymous mapping; failure is checked below.
         let base = unsafe {
-            mmap(std::ptr::null_mut(), len, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0)
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
         };
         assert!(base as isize != -1, "mmap of a {len}-byte fiber stack failed");
         // SAFETY: base..base+PAGE is inside the fresh mapping.
@@ -123,6 +137,13 @@ unsafe extern "sysv64" fn switch_stack(save: *mut *mut u8, load: *const *mut u8)
 /// First-start shim: [`Fiber::new`] parks the entry-closure pointer in the
 /// initial frame's `r12` slot, so after the first switch into the fiber it
 /// lands here with that pointer in `r12`. Realign, then enter Rust.
+///
+/// # Safety
+///
+/// Never called directly: reachable only by the first [`switch_stack`]
+/// into a frame built by [`Fiber::new`], which guarantees `r12` holds the
+/// `Box::into_raw`'d entry closure and `rsp` points into the fiber's own
+/// mapped stack.
 #[unsafe(naked)]
 unsafe extern "sysv64" fn fiber_trampoline() {
     core::arch::naked_asm!(
@@ -301,17 +322,20 @@ mod tests {
         let rt = Rc::new(FiberRt::new(1));
         let log = Rc::new(std::cell::RefCell::new(Vec::new()));
         let (rt2, log2) = (Rc::clone(&rt), Rc::clone(&log));
-        let fiber = Fiber::new(64 * 1024, Box::new(move || {
-            for i in 0..3 {
-                log2.borrow_mut().push(format!("fiber {i}"));
-                // SAFETY: single-threaded test; launcher context is live.
+        let fiber = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                for i in 0..3 {
+                    log2.borrow_mut().push(format!("fiber {i}"));
+                    // SAFETY: single-threaded test; launcher context is live.
+                    unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
+                }
+                rt2.mark_done(0);
+                // SAFETY: as above; never returns to this closure.
                 unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
-            }
-            rt2.mark_done(0);
-            // SAFETY: as above; never returns to this closure.
-            unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
-            unreachable!("finished fiber must never be resumed");
-        }));
+                unreachable!("finished fiber must never be resumed");
+            }),
+        );
         rt.set_initial(0, fiber.initial_ctx());
         let mut round = 0;
         while !rt.is_done(0) {
@@ -329,19 +353,26 @@ mod tests {
     fn run_recursion(stack_bytes: usize, depth: u64) {
         fn deep(n: u64) -> u64 {
             let pad = [n; 16]; // force real frame growth
-            if n == 0 { pad[0] } else { deep(n - 1) + std::hint::black_box(pad)[1] }
+            if n == 0 {
+                pad[0]
+            } else {
+                deep(n - 1) + std::hint::black_box(pad)[1]
+            }
         }
         let rt = Rc::new(FiberRt::new(1));
         let rt2 = Rc::clone(&rt);
         let out = Rc::new(Cell::new(0u64));
         let out2 = Rc::clone(&out);
-        let fiber = Fiber::new(stack_bytes, Box::new(move || {
-            out2.set(deep(depth));
-            rt2.mark_done(0);
-            // SAFETY: single-threaded test.
-            unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
-            unreachable!();
-        }));
+        let fiber = Fiber::new(
+            stack_bytes,
+            Box::new(move || {
+                out2.set(deep(depth));
+                rt2.mark_done(0);
+                // SAFETY: single-threaded test.
+                unsafe { rt2.switch(FiberId::Core(0), FiberId::Launcher) };
+                unreachable!();
+            }),
+        );
         rt.set_initial(0, fiber.initial_ctx());
         // SAFETY: single-threaded test.
         unsafe { rt.switch(FiberId::Launcher, FiberId::Core(0)) };
@@ -380,10 +411,13 @@ mod tests {
             }
         }
         let guard = SetOnDrop(Rc::clone(&flag));
-        let fiber = Fiber::new(64 * 1024, Box::new(move || {
-            let _hold = &guard;
-            unreachable!("never started");
-        }));
+        let fiber = Fiber::new(
+            64 * 1024,
+            Box::new(move || {
+                let _hold = &guard;
+                unreachable!("never started");
+            }),
+        );
         drop(fiber);
         assert!(flag.get(), "entry closure dropped with the fiber");
     }

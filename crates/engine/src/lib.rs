@@ -60,12 +60,12 @@ mod trace;
 mod watchdog;
 
 pub use breakdown::{TimeBreakdown, TimeCategory, TIME_CATEGORIES};
-pub use config::{CoreConfig, CoreKind, ExecBackend, SystemConfig};
+pub use config::{CoreConfig, CoreKind, ExecBackend, SchedulePolicy, SystemConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{CheckMode, MemEvent, MemOp, RacyTag, SyncNote};
 pub use fault::{FaultCounters, FaultPlan};
 pub use port::{AttrSpan, CorePort, UliHandler};
-pub use sequencer::Sequencer;
+pub use sequencer::{ChoicePoint, Sequencer};
 pub use space::{AddrSpace, ShScalar, ShVec};
 pub use system::{run_system, RunReport, UliReport, Worker};
 pub use trace::{render_timeline, TraceEvent, UliMark, UliMarkKind};

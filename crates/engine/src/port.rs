@@ -104,8 +104,18 @@ pub struct CorePort {
     /// Checker event stream, buffered per core when a
     /// [`CheckMode`](crate::CheckMode) is armed. `None` (the default) makes
     /// every emission a single never-taken branch, so unarmed timing and
-    /// grant streams are bit-for-bit unchanged.
-    events: Option<Vec<MemEvent>>,
+    /// grant streams are bit-for-bit unchanged. Each event carries the
+    /// sequencer's grant counter at its sequenced operation (see
+    /// `last_stamp`), letting the engine merge per-core buffers in true
+    /// grant order even under a [`crate::SchedulePolicy::Scripted`] run,
+    /// where time ties are not broken by core id.
+    events: Option<Vec<(u64, MemEvent)>>,
+    /// Sequencer grant counter captured inside the most recent sequenced
+    /// section (between `enter` and `leave`, no other core can be granted,
+    /// so the counter uniquely identifies this core's grant). Sync
+    /// annotations and handler-entry events take the stamp of the
+    /// operation they ride on.
+    last_stamp: u64,
     /// Per-task attribution spans, buffered when
     /// [`crate::SystemConfig::attr`] is armed. `None` (the default) makes
     /// every switch/mark a single never-taken branch.
@@ -156,6 +166,7 @@ impl CorePort {
             trace: None,
             uli_marks: None,
             events: None,
+            last_stamp: 0,
             attr: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
             // Only tiny cores other than core 0 are crash-eligible: core 0
@@ -235,6 +246,12 @@ impl CorePort {
         let check_uli = self.handler.is_some() && !self.in_handler;
         let (r, msg) = {
             self.shared.seq.enter(self.core, self.clock);
+            if self.events.is_some() {
+                // Between our grant and `leave` no other core can be
+                // granted, so the counter read here uniquely stamps this
+                // sequenced operation with its global grant index.
+                self.last_stamp = self.shared.seq.total_grants();
+            }
             let mut st = self.shared.state.lock();
             let r = f(&mut st, self.clock, self.core);
             let msg = if check_uli { st.uli.take_request(self.core, self.clock) } else { None };
@@ -351,7 +368,7 @@ impl CorePort {
     #[inline]
     fn emit(&mut self, op: MemOp) {
         if let Some(ev) = self.events.as_mut() {
-            ev.push(MemEvent { cycle: self.clock, core: self.core, op });
+            ev.push((self.last_stamp, MemEvent { cycle: self.clock, core: self.core, op }));
         }
     }
 
@@ -363,7 +380,7 @@ impl CorePort {
     pub fn annotate_sync(&mut self, note: SyncNote) {
         if let Some(ev) = self.events.as_mut() {
             let cycle = self.clock + self.pending_compute;
-            ev.push(MemEvent { cycle, core: self.core, op: MemOp::Sync(note) });
+            ev.push((self.last_stamp, MemEvent { cycle, core: self.core, op: MemOp::Sync(note) }));
         }
     }
 
@@ -482,7 +499,13 @@ impl CorePort {
     /// checker's happens-before pass under the audited `tag` (the staleness
     /// pass still counts it per tag). Timing is identical to
     /// [`CorePort::load_words`].
-    pub fn load_words_racy<R>(&mut self, addr: Addr, words: u64, tag: RacyTag, f: impl FnOnce() -> R) -> R {
+    pub fn load_words_racy<R>(
+        &mut self,
+        addr: Addr,
+        words: u64,
+        tag: RacyTag,
+        f: impl FnOnce() -> R,
+    ) -> R {
         self.load_words_impl(addr, words, Some(tag), f)
     }
 
@@ -673,10 +696,8 @@ impl CorePort {
     pub fn flush_cache(&mut self) -> u64 {
         let drain = self.drain_store_buffer();
         self.charge(TimeCategory::Flush, drain);
-        let (lat, lines) = self.seq_with(
-            |st, now, core| st.mem.flush_all(core, now),
-            |_| Some(MemOp::FlushAll),
-        );
+        let (lat, lines) =
+            self.seq_with(|st, now, core| st.mem.flush_all(core, now), |_| Some(MemOp::FlushAll));
         self.charge(TimeCategory::Flush, lat);
         self.instructions += 1;
         lines
@@ -723,7 +744,8 @@ impl CorePort {
                 let out = self.seq_with(
                     move |st, now, core| st.uli.try_send_request(core, victim, payload, now),
                     |out| {
-                        (*out == UliOutcome::Sent).then_some(MemOp::Sync(SyncNote::UliReqSend { to: victim }))
+                        (*out == UliOutcome::Sent)
+                            .then_some(MemOp::Sync(SyncNote::UliReqSend { to: victim }))
                     },
                 );
                 if out == UliOutcome::Sent {
@@ -948,6 +970,9 @@ pub(crate) struct PortReport {
     pub trace: Vec<crate::trace::TraceEvent>,
     pub uli_marks: Vec<UliMark>,
     pub faults: FaultCounters,
-    pub events: Vec<MemEvent>,
+    /// Checker events with their sequencer grant stamps (see
+    /// `CorePort::last_stamp`); the engine merges per-core buffers by
+    /// stamp to reconstruct grant order.
+    pub events: Vec<(u64, MemEvent)>,
     pub attr_spans: Vec<AttrSpan>,
 }

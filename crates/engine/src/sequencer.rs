@@ -33,6 +33,34 @@ struct CoreState {
     retired: bool,
 }
 
+/// One recorded grant where ≥ 2 waiters shared the minimum time — a point
+/// where the schedule could legally have gone more than one way. Recorded
+/// only under [`SchedulePolicy::Scripted`]; the schedule-space explorer
+/// enumerates alternatives by replaying a prefix of `chosen` indices with
+/// the last one flipped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChoicePoint {
+    /// The tied minimum time.
+    pub time: u64,
+    /// The tied cores, in ascending core-id order.
+    pub candidates: Vec<usize>,
+    /// Index into `candidates` that was granted (what the script chose,
+    /// clamped to the candidate range; 0 when the script was exhausted).
+    pub chosen: u32,
+}
+
+/// Scripted tie-break replay state (present only under
+/// [`SchedulePolicy::Scripted`]).
+#[derive(Debug)]
+struct ScriptState {
+    /// The choice sequence being replayed.
+    script: Vec<u32>,
+    /// Next script entry to consume.
+    pos: usize,
+    /// Every tie encountered, in grant order.
+    choices: Vec<ChoicePoint>,
+}
+
 #[derive(Debug)]
 struct Inner {
     /// Cores blocked in `enter`, keyed by (time, core) for min dispatch.
@@ -56,7 +84,13 @@ struct Inner {
     /// to prove engine optimizations never reorder or change a single
     /// simulated operation.
     op_hash: u64,
+    /// Scripted tie-break state. `None` under [`SchedulePolicy::MinCore`]:
+    /// the default policy takes the plain minimum-waiter path, records
+    /// nothing, and costs nothing.
+    script: Option<ScriptState>,
 }
+
+use crate::config::SchedulePolicy;
 
 use crate::hash::{fold_u64, FNV_OFFSET};
 
@@ -187,6 +221,7 @@ impl Sequencer {
                 cores: vec![CoreState::default(); num_cores],
                 threads: (0..num_cores).map(|_| None).collect(),
                 op_hash: FNV_OFFSET,
+                script: None,
             }),
             watchdog: None,
             since_progress: AtomicU64::new(0),
@@ -199,6 +234,26 @@ impl Sequencer {
             #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
             sharded: None,
         }
+    }
+
+    /// Installs the grant tie-breaking policy. Must be called before core
+    /// threads start. [`SchedulePolicy::MinCore`] (the initial state) is
+    /// free; [`SchedulePolicy::Scripted`] arms choice-point recording and
+    /// script replay.
+    pub fn set_policy(&self, policy: SchedulePolicy) {
+        let mut g = self.inner.lock();
+        g.script = match policy {
+            SchedulePolicy::MinCore => None,
+            SchedulePolicy::Scripted(script) => {
+                Some(ScriptState { script, pos: 0, choices: Vec::new() })
+            }
+        };
+    }
+
+    /// Every tie recorded so far, in grant order (always empty under
+    /// [`SchedulePolicy::MinCore`]).
+    pub fn choice_points(&self) -> Vec<ChoicePoint> {
+        self.inner.lock().script.as_ref().map_or_else(Vec::new, |s| s.choices.clone())
     }
 
     /// Arms the liveness watchdog. Must be called before core threads
@@ -292,14 +347,42 @@ impl Sequencer {
         (self.total_grants.load(Ordering::Relaxed), self.activity.load(Ordering::Relaxed))
     }
 
-    /// Grants the token to the minimum-`(time, core)` waiter, if any.
-    /// This is the single grant-selection rule shared by both execution
-    /// backends, so threads and fibers produce the identical op stream.
+    /// Grants the token to a minimum-*time* waiter, if any. This is the
+    /// single grant-selection rule shared by every execution backend, so
+    /// threads, fibers, and sharded fibers produce the identical op
+    /// stream. Under [`SchedulePolicy::MinCore`] a time tie goes to the
+    /// lowest core id; under [`SchedulePolicy::Scripted`] the script picks
+    /// among the tied cores and the tie is recorded as a [`ChoicePoint`].
     fn pick_next(inner: &mut Inner) -> Option<usize> {
         debug_assert!(inner.current.is_none());
-        let &(_, core) = inner.waiting.iter().next()?;
+        let core = if inner.script.is_none() {
+            inner.waiting.iter().next()?.1
+        } else {
+            Self::pick_scripted(inner)?
+        };
         inner.current = Some(core);
         Some(core)
+    }
+
+    /// Scripted grant selection: collects every waiter tied at the minimum
+    /// time, consults the script when there are at least two, and records
+    /// the tie. Grants only happen when every live core sits in the
+    /// waiting set (or via the single-runner fast path, which under
+    /// `Scripted` never fires on a tie), so the candidate set — and with
+    /// it the whole choice tree — is deterministic.
+    fn pick_scripted(inner: &mut Inner) -> Option<usize> {
+        let &(min_time, first) = inner.waiting.iter().next()?;
+        let candidates: Vec<usize> =
+            inner.waiting.iter().take_while(|&&(t, _)| t == min_time).map(|&(_, c)| c).collect();
+        if candidates.len() < 2 {
+            return Some(first);
+        }
+        let st = inner.script.as_mut().expect("scripted pick without a script");
+        let idx = st.script.get(st.pos).map_or(0, |&i| (i as usize).min(candidates.len() - 1));
+        st.pos += 1;
+        let chosen = candidates[idx];
+        st.choices.push(ChoicePoint { time: min_time, candidates, chosen: idx as u32 });
+        Some(chosen)
     }
 
     /// Thread backend: picks the next waiter and returns the thread to
@@ -358,10 +441,16 @@ impl Sequencer {
         // — dispatch would pick this core right back. Grant inline and skip
         // the waiting-set churn and park/unpark round trip entirely. This
         // is the steady state of steal-free inner loops and serial phases.
-        if g.running == 1
-            && g.current.is_none()
-            && g.waiting.first().is_none_or(|&min| (time, core) < min)
-        {
+        // Under `Scripted`, a time tie with the earliest waiter must fall
+        // through to the slow path: the tie is a choice point the script
+        // decides and the run records. `MinCore` can take the tie inline —
+        // `(time, core) < min` already encodes its lowest-core-id rule.
+        let fast_ok = if g.script.is_none() {
+            g.waiting.first().is_none_or(|&min| (time, core) < min)
+        } else {
+            g.waiting.first().is_none_or(|&min| time < min.0)
+        };
+        if g.running == 1 && g.current.is_none() && fast_ok {
             g.current = Some(core);
             self.fast_grants.fetch_add(1, Ordering::Relaxed);
             self.record_grant(&mut g, core, time);
@@ -431,7 +520,12 @@ impl Sequencer {
     /// while cores are still being started), and "unparking" is someone
     /// switching back to us.
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-    fn enter_fiber<'a>(&'a self, mut g: crate::sync::MutexGuard<'a, Inner>, core: usize, time: u64) {
+    fn enter_fiber<'a>(
+        &'a self,
+        mut g: crate::sync::MutexGuard<'a, Inner>,
+        core: usize,
+        time: u64,
+    ) {
         let rt = self.fiber.as_ref().expect("fiber backend armed");
         g.waiting.insert((time, core));
         g.running -= 1;
@@ -588,11 +682,8 @@ impl Sequencer {
             return;
         }
         g.running -= 1;
-        let next = if g.running == 0 && g.current.is_none() {
-            self.dispatch(&mut g, None)
-        } else {
-            None
-        };
+        let next =
+            if g.running == 0 && g.current.is_none() { self.dispatch(&mut g, None) } else { None };
         drop(g);
         if let Some(t) = next {
             t.unpark();
@@ -803,6 +894,75 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*log.lock(), vec![0, 1]);
+    }
+
+    /// Runs two cores that tie at time 5 under `policy` and returns the
+    /// observed grant order plus the recorded choice points.
+    fn tied_pair(policy: SchedulePolicy) -> (Vec<usize>, Vec<ChoicePoint>) {
+        let seq = Arc::new(Sequencer::new(2));
+        seq.set_policy(policy);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for core in [1usize, 0usize] {
+            let seq = Arc::clone(&seq);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                seq.enter(core, 5);
+                log.lock().push(core);
+                seq.leave(core);
+                seq.retire(core);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = log.lock().clone();
+        (order, seq.choice_points())
+    }
+
+    #[test]
+    fn scripted_tie_flip_reverses_grant_order() {
+        let (order, choices) = tied_pair(SchedulePolicy::Scripted(vec![1]));
+        assert_eq!(order, vec![1, 0]);
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0], ChoicePoint { time: 5, candidates: vec![0, 1], chosen: 1 });
+    }
+
+    #[test]
+    fn empty_script_replays_min_core_but_records_the_tie() {
+        let (order, choices) = tied_pair(SchedulePolicy::Scripted(vec![]));
+        assert_eq!(order, vec![0, 1], "exhausted script falls back to the lowest core id");
+        assert_eq!(choices.len(), 1);
+        assert_eq!(choices[0].chosen, 0);
+        // MinCore records nothing at all.
+        let (order, choices) = tied_pair(SchedulePolicy::MinCore);
+        assert_eq!(order, vec![0, 1]);
+        assert!(choices.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_script_entries_clamp_to_the_last_candidate() {
+        let (order, choices) = tied_pair(SchedulePolicy::Scripted(vec![99]));
+        assert_eq!(order, vec![1, 0]);
+        assert_eq!(choices[0].chosen, 1, "the recorded index is the clamped one");
+    }
+
+    #[test]
+    fn scripted_op_hash_matches_min_core_on_the_default_path() {
+        // A tie-free schedule must hash identically under both policies
+        // (the fast re-grant path is gated differently but grants the
+        // same stream).
+        let run = |policy: SchedulePolicy| {
+            let seq = Sequencer::new(1);
+            seq.set_policy(policy);
+            for t in 0..10 {
+                seq.enter(0, t);
+                seq.leave(0);
+            }
+            seq.retire(0);
+            seq.op_hash()
+        };
+        assert_eq!(run(SchedulePolicy::MinCore), run(SchedulePolicy::Scripted(vec![])));
     }
 
     #[test]

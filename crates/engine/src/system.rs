@@ -6,11 +6,11 @@ use bigtiny_coherence::{CoreMemStats, MemorySystem};
 use bigtiny_mesh::{TrafficStats, UliNetwork};
 
 use crate::breakdown::TimeBreakdown;
-use crate::config::{ExecBackend, SystemConfig};
+use crate::config::{ExecBackend, SchedulePolicy, SystemConfig};
 use crate::event::{CheckMode, MemEvent};
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::port::{CorePort, PortReport};
-use crate::sequencer::{Sequencer, POISON_MSG};
+use crate::sequencer::{ChoicePoint, Sequencer, POISON_MSG};
 use crate::sync::Mutex;
 use crate::watchdog::{DiagnosticBundle, PoisonReason, WatchdogConfig, WATCHDOG_MSG};
 
@@ -494,10 +494,19 @@ pub struct RunReport {
     pub attr_spans: Vec<Vec<crate::port::AttrSpan>>,
     /// The DRF checker's event stream, in sequenced (grant) order. Empty
     /// unless [`SystemConfig::check`] is armed: collection buffers events
-    /// per core and merges them here by `(cycle, core, per-core index)`,
-    /// which reproduces grant order because per-core clocks are
-    /// nondecreasing and the sequencer breaks time ties by core id.
+    /// per core and merges them here. Under the default
+    /// [`SchedulePolicy::MinCore`] the merge sorts by `(cycle, core,
+    /// per-core index)`, which reproduces grant order because per-core
+    /// clocks are nondecreasing and the sequencer breaks time ties by core
+    /// id; under [`SchedulePolicy::Scripted`] ties may be broken against
+    /// core order, so the merge instead sorts by the grant stamp each
+    /// event carries in its per-core buffer.
     pub mem_events: Vec<MemEvent>,
+    /// Every tie-break choice point the sequencer recorded, in grant
+    /// order. Always empty under [`SchedulePolicy::MinCore`]; under
+    /// [`SchedulePolicy::Scripted`] one entry per grant where two or more
+    /// waiters shared the minimum time.
+    pub choice_points: Vec<ChoicePoint>,
 }
 
 impl RunReport {
@@ -558,6 +567,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let backend = resolve_backend(config);
     #[allow(unused_mut)]
     let mut seq = Sequencer::new(num_cores);
+    seq.set_policy(config.schedule.clone());
     if let Some(budget) = config.watchdog_budget {
         seq.set_watchdog(WatchdogConfig { budget, wall_ms: config.watchdog_wall_ms });
     }
@@ -570,7 +580,9 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
             // way plus the receiving unit's cycle — the same formula the
             // ULI network charges for a `hops`-hop message.
             let lookahead = u64::from(config.topology().min_cross_island_hops(&islands)) * 2 + 1;
-            seq.set_sharded_backend(crate::sequencer::ShardedRt::new(&islands, num_cores, lookahead));
+            seq.set_sharded_backend(crate::sequencer::ShardedRt::new(
+                &islands, num_cores, lookahead,
+            ));
         }
         Backend::Threads => {}
     }
@@ -592,7 +604,9 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     match backend {
         Backend::Fibers => run_cores_on_fibers(config, workers, &shared, &reports, &panics),
-        Backend::Sharded => run_cores_on_sharded_fibers(config, workers, &shared, &reports, &panics),
+        Backend::Sharded => {
+            run_cores_on_sharded_fibers(config, workers, &shared, &reports, &panics)
+        }
         Backend::Threads => run_cores_on_threads(config, workers, &shared, &reports, &panics),
     }
     #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
@@ -629,7 +643,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut uli_marks = Vec::with_capacity(num_cores);
     let mut attr_spans = Vec::with_capacity(num_cores);
     let mut fault_counters = FaultCounters::default();
-    let mut mem_events: Vec<MemEvent> = Vec::new();
+    let mut stamped_events: Vec<(u64, MemEvent)> = Vec::new();
     for r in reports {
         let r = r.expect("every worker reported");
         core_cycles.push(r.clock);
@@ -639,17 +653,29 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         uli_marks.push(r.uli_marks);
         attr_spans.push(r.attr_spans);
         fault_counters += r.faults;
-        mem_events.extend(r.events);
+        stamped_events.extend(r.events);
     }
-    // Reconstruct sequenced order from the per-core buffers: per-core
-    // clocks are nondecreasing and the sequencer grants the minimum
-    // `(time, core)`, so this stable sort (which preserves each core's
-    // emission order for equal keys) replays grant order exactly.
-    mem_events.sort_by_key(|e| (e.cycle, e.core));
+    // Reconstruct sequenced order from the per-core buffers. Under
+    // MinCore, per-core clocks are nondecreasing and the sequencer grants
+    // the minimum `(time, core)`, so a stable `(cycle, core)` sort (which
+    // preserves each core's emission order for equal keys) replays grant
+    // order exactly. Under a Scripted policy ties may be granted against
+    // core order, so `(cycle, core)` no longer reconstructs grant order;
+    // sort by the grant stamp instead (unique per sequenced op, with a
+    // core's annotation events sharing its op's stamp and kept in
+    // emission order by sort stability).
+    match config.schedule {
+        SchedulePolicy::MinCore => stamped_events.sort_by_key(|(_, e)| (e.cycle, e.core)),
+        SchedulePolicy::Scripted(_) => stamped_events.sort_by_key(|&(stamp, _)| stamp),
+    }
+    let mem_events: Vec<MemEvent> = stamped_events.into_iter().map(|(_, e)| e).collect();
 
     let st = shared.state.lock();
-    let completion =
-        if st.done_time > 0 { st.done_time } else { core_cycles.iter().copied().max().unwrap_or(0) };
+    let completion = if st.done_time > 0 {
+        st.done_time
+    } else {
+        core_cycles.iter().copied().max().unwrap_or(0)
+    };
     let uli_links = {
         let r = config.topology().rows() as u64;
         let c = config.topology().cols() as u64;
@@ -683,6 +709,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         seq_lookahead: shared.seq.sharded_lookahead(),
         seq_op_hash: shared.seq.op_hash(),
         mem_events,
+        choice_points: shared.seq.choice_points(),
     }
 }
 
@@ -832,7 +859,8 @@ mod tests {
                 }
             }));
         }
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
         let err = r.expect_err("panic must propagate");
         let msg = err
             .downcast_ref::<&str>()
@@ -861,7 +889,8 @@ mod tests {
                 }
             }));
         }
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_system(&config, workers)));
         let err = r.expect_err("panic must propagate");
         let msg = err
             .downcast_ref::<&str>()
@@ -964,6 +993,10 @@ mod tests {
             }));
         }
         let r = run_system(&config, workers);
-        assert!(r.completion_cycles >= 100 && r.completion_cycles < 1000, "{}", r.completion_cycles);
+        assert!(
+            r.completion_cycles >= 100 && r.completion_cycles < 1000,
+            "{}",
+            r.completion_cycles
+        );
     }
 }

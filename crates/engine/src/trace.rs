@@ -111,7 +111,8 @@ pub fn render_timeline(
             let mut c = s;
             while c < e {
                 let col = ((c - from) / cycles_per_col) as usize;
-                let col_end = from.saturating_add((col as u64).saturating_add(1).saturating_mul(cycles_per_col));
+                let col_end = from
+                    .saturating_add((col as u64).saturating_add(1).saturating_mul(cycles_per_col));
                 let span = e.min(col_end) - c;
                 buckets[col][cat_idx] += span;
                 c += span;
@@ -119,11 +120,9 @@ pub fn render_timeline(
         }
         let row: String = buckets
             .iter()
-            .map(|b| {
-                match b.iter().enumerate().max_by_key(|(_, v)| **v) {
-                    Some((i, v)) if *v > 0 => glyph(crate::breakdown::TIME_CATEGORIES[i]),
-                    _ => ' ',
-                }
+            .map(|b| match b.iter().enumerate().max_by_key(|(_, v)| **v) {
+                Some((i, v)) if *v > 0 => glyph(crate::breakdown::TIME_CATEGORIES[i]),
+                _ => ' ',
             })
             .collect();
         out.push_str(&format!("core {core:>3} |{row}|\n"));

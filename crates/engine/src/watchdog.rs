@@ -150,7 +150,11 @@ impl std::fmt::Display for DiagnosticBundle {
             // retired (permanent crash) or idles awaiting revival. Label it
             // distinctly from a hung core so the bundle reads correctly.
             let state = if c.uli.dead {
-                if c.seq.retired { "dead".to_owned() } else { "dead(revivable)".to_owned() }
+                if c.seq.retired {
+                    "dead".to_owned()
+                } else {
+                    "dead(revivable)".to_owned()
+                }
             } else if c.seq.retired {
                 "retired".to_owned()
             } else if let Some(t) = c.seq.waiting_at {
@@ -167,11 +171,7 @@ impl std::fmt::Display for DiagnosticBundle {
                 write!(f, " uli=on")?;
             }
             if let Some(from) = c.uli.pending_req_from {
-                write!(
-                    f,
-                    " uli_req(from={from}@{})",
-                    c.uli.pending_req_arrives_at.unwrap_or(0)
-                )?;
+                write!(f, " uli_req(from={from}@{})", c.uli.pending_req_arrives_at.unwrap_or(0))?;
             }
             if c.uli.pending_responses > 0 {
                 write!(f, " uli_resp={}", c.uli.pending_responses)?;

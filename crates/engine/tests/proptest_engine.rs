@@ -127,8 +127,7 @@ fn arbitrary_streams_are_deterministic() {
 fn shvec_single_writer_contents() {
     let mut rng = XorShift64::new(0x454e_4733);
     for _ in 0..8 {
-        let values: Vec<u64> =
-            (0..1 + rng.next_below(31)).map(|_| rng.next_below(1000)).collect();
+        let values: Vec<u64> = (0..1 + rng.next_below(31)).map(|_| rng.next_below(1000)).collect();
         let config = sys(Protocol::GpuWb);
         let mut space = AddrSpace::new();
         let data = Arc::new(ShVec::new(&mut space, values.len(), 0u64));

@@ -3,14 +3,18 @@
 
 use std::sync::Arc;
 
-use bigtiny_engine::{
-    run_system, AddrSpace, Protocol, ShVec, SystemConfig, TimeCategory, Worker,
-};
+use bigtiny_engine::{run_system, AddrSpace, Protocol, ShVec, SystemConfig, TimeCategory, Worker};
 use bigtiny_mesh::{MeshConfig, Topology};
 
 fn two_core_sys() -> SystemConfig {
     // Core 0 big, core 1 tiny, same protocol.
-    SystemConfig::big_tiny("t2", MeshConfig::with_topology(Topology::new(2, 2)), 1, 1, Protocol::Mesi)
+    SystemConfig::big_tiny(
+        "t2",
+        MeshConfig::with_topology(Topology::new(2, 2)),
+        1,
+        1,
+        Protocol::Mesi,
+    )
 }
 
 /// Big cores retire `issue_width` instructions per cycle; tiny cores one.
@@ -130,10 +134,7 @@ fn uli_interrupt_costs_by_core_kind() {
                 port.idle(5);
                 port.uli_poll();
             }
-            assert!(
-                port.breakdown().get(TimeCategory::Uli) >= uli_big,
-                "interrupt cost charged"
-            );
+            assert!(port.breakdown().get(TimeCategory::Uli) >= uli_big, "interrupt cost charged");
             port.uli_disable();
         }),
         Box::new(move |port| {

@@ -19,10 +19,8 @@ fn host_spin_outside_sequencer_trips_wall_clock_and_unwinds() {
             port.idle(50);
         }
     });
-    let spinner: Worker = Box::new(|port| {
-        loop {
-            port.wait_cycles(1024, TimeCategory::Idle);
-        }
+    let spinner: Worker = Box::new(|port| loop {
+        port.wait_cycles(1024, TimeCategory::Idle);
     });
 
     let result = catch_unwind(AssertUnwindSafe(|| {

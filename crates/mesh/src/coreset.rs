@@ -183,17 +183,12 @@ mod tests {
 
     #[test]
     fn hex_round_trips_small_and_wide() {
-        for set in [
-            CoreSet::new(),
-            CoreSet::from_mask(0x20),
-            CoreSet::from_mask(u64::MAX),
-            {
-                let mut s = CoreSet::new();
-                s.insert(200);
-                s.insert(3);
-                s
-            },
-        ] {
+        for set in [CoreSet::new(), CoreSet::from_mask(0x20), CoreSet::from_mask(u64::MAX), {
+            let mut s = CoreSet::new();
+            s.insert(200);
+            s.insert(3);
+            s
+        }] {
             let hex = set.to_hex();
             assert_eq!(CoreSet::parse(&hex), Some(set.clone()), "{hex}");
         }

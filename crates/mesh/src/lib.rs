@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! On-chip network (OCN) model for the big.TINY simulator.

@@ -313,7 +313,13 @@ impl UliNetwork {
     /// # Panics
     ///
     /// Panics if `from == to` — a core never interrupts itself.
-    pub fn try_send_request(&mut self, from: usize, to: usize, payload: u64, now: u64) -> UliOutcome {
+    pub fn try_send_request(
+        &mut self,
+        from: usize,
+        to: usize,
+        payload: u64,
+        now: u64,
+    ) -> UliOutcome {
         assert_ne!(from, to, "a core cannot send a ULI to itself");
         let lat = self.record(from, to);
         let unit = &self.units[to];

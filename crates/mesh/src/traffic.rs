@@ -126,20 +126,12 @@ impl TrafficStats {
 
     /// Total bytes over the data OCN (everything except [`TrafficClass::Uli`]).
     pub fn total_data_bytes(&self) -> u64 {
-        TRAFFIC_CLASSES
-            .iter()
-            .filter(|c| **c != TrafficClass::Uli)
-            .map(|c| self.bytes(*c))
-            .sum()
+        TRAFFIC_CLASSES.iter().filter(|c| **c != TrafficClass::Uli).map(|c| self.bytes(*c)).sum()
     }
 
     /// Total messages over the data OCN.
     pub fn total_data_messages(&self) -> u64 {
-        TRAFFIC_CLASSES
-            .iter()
-            .filter(|c| **c != TrafficClass::Uli)
-            .map(|c| self.messages(*c))
-            .sum()
+        TRAFFIC_CLASSES.iter().filter(|c| **c != TrafficClass::Uli).map(|c| self.messages(*c)).sum()
     }
 
     /// Flit-hops accumulated (a proxy for link utilization: one unit is one
@@ -190,7 +182,13 @@ impl fmt::Display for TrafficStats {
         for class in TRAFFIC_CLASSES {
             let b = self.bytes(class);
             if b > 0 {
-                writeln!(f, "{:>10}: {:>12} B {:>10} msgs", class.label(), b, self.messages(class))?;
+                writeln!(
+                    f,
+                    "{:>10}: {:>12} B {:>10} msgs",
+                    class.label(),
+                    b,
+                    self.messages(class)
+                )?;
             }
         }
         Ok(())

@@ -5,7 +5,9 @@
 //! simulator's own seeded [`XorShift64`] so the workspace has no external
 //! dependencies and every CI run explores exactly the same cases.
 
-use bigtiny_mesh::{Mesh, MeshConfig, Tile, Topology, TrafficClass, UliNetwork, UliOutcome, XorShift64};
+use bigtiny_mesh::{
+    Mesh, MeshConfig, Tile, Topology, TrafficClass, UliNetwork, UliOutcome, XorShift64,
+};
 
 fn random_tile(rng: &mut XorShift64) -> Tile {
     Tile::new(rng.next_below(8) as u16, rng.next_below(9) as u16)

@@ -100,7 +100,10 @@ pub fn verify_attr_spans(rep: &RunReport) -> Result<(), String> {
                 ));
             }
             if s.end <= s.start {
-                return Err(format!("core {core} span {i}: empty or inverted [{}, {})", s.start, s.end));
+                return Err(format!(
+                    "core {core} span {i}: empty or inverted [{}, {})",
+                    s.start, s.end
+                ));
             }
             if s.breakdown.total() != s.end - s.start {
                 return Err(format!(
@@ -214,7 +217,12 @@ mod tests {
         for kind in [RuntimeKind::Baseline, RuntimeKind::Hcc, RuntimeKind::Dts] {
             let run = small_run(kind);
             let cons = CycleConservation::from_report(&run.report);
-            assert!(cons.holds(), "{kind:?}: buckets {} != cycles {}", cons.bucket_sum(), cons.total_core_cycles);
+            assert!(
+                cons.holds(),
+                "{kind:?}: buckets {} != cycles {}",
+                cons.bucket_sum(),
+                cons.total_core_cycles
+            );
             assert!(cons.compute > 0);
             if kind == RuntimeKind::Dts {
                 assert!(cons.steal_protocol > 0, "DTS steals ride ULI");
@@ -253,6 +261,8 @@ mod tests {
             assert!(p.speedup_bound >= w.measured.speedup_bound, "{:?}", p.lens);
         }
         // Unprofiled runs are rejected.
-        assert!(WhatIf::project(&small_run(RuntimeKind::Dts)).unwrap_err().contains("not profiled"));
+        assert!(WhatIf::project(&small_run(RuntimeKind::Dts))
+            .unwrap_err()
+            .contains("not profiled"));
     }
 }

@@ -600,7 +600,12 @@ mod tests {
         AttrSpan { task, start, end, breakdown }
     }
 
-    fn mixed_span(task: Option<u32>, start: u64, end: u64, cats: &[(TimeCategory, u64)]) -> AttrSpan {
+    fn mixed_span(
+        task: Option<u32>,
+        start: u64,
+        end: u64,
+        cats: &[(TimeCategory, u64)],
+    ) -> AttrSpan {
         let mut breakdown = TimeBreakdown::new();
         for &(c, n) in cats {
             breakdown.add(c, n);

@@ -318,7 +318,9 @@ impl Parser<'_> {
                                 .ok_or("truncated \\u escape")?;
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                            out.push(char::from_u32(cp).ok_or(format!("\\u{hex} is not a scalar"))?);
+                            out.push(
+                                char::from_u32(cp).ok_or(format!("\\u{hex} is not a scalar"))?,
+                            );
                             self.i += 4;
                         }
                         other => return Err(format!("bad escape \\{}", other as char)),

@@ -135,12 +135,8 @@ fn uli_section(r: &RunMetrics<'_>) -> Json {
 fn faults_section(r: &RunMetrics<'_>) -> Json {
     let rep = &r.run.report;
     let st = &r.run.stats;
-    let mut kv: Vec<(String, Json)> = rep
-        .fault_counters
-        .pairs()
-        .into_iter()
-        .map(|(k, v)| (k.to_owned(), Json::u64(v)))
-        .collect();
+    let mut kv: Vec<(String, Json)> =
+        rep.fault_counters.pairs().into_iter().map(|(k, v)| (k.to_owned(), Json::u64(v))).collect();
     kv.push(("mesh_fault_spikes".into(), Json::u64(rep.mesh_fault_spikes)));
     kv.push(("uli_timeouts".into(), Json::u64(st.uli_timeouts)));
     kv.push(("fallback_steals".into(), Json::u64(st.fallback_steals)));
@@ -205,7 +201,12 @@ fn histogram_object(h: &Log2Histogram) -> Json {
         ("p99".into(), Json::u64(h.p99())),
         (
             "bucket_lo".into(),
-            Json::Arr((0..Log2Histogram::NUM_BUCKETS).map(Log2Histogram::bucket_lo).map(Json::u64).collect()),
+            Json::Arr(
+                (0..Log2Histogram::NUM_BUCKETS)
+                    .map(Log2Histogram::bucket_lo)
+                    .map(Json::u64)
+                    .collect(),
+            ),
         ),
         ("buckets".into(), Json::Arr(h.buckets().iter().map(|&c| Json::u64(c)).collect())),
     ])
@@ -307,7 +308,12 @@ mod tests {
     #[test]
     fn document_has_every_section_and_round_trips() {
         let run = small_run(RuntimeKind::Dts);
-        let rm = RunMetrics { app: "fib", setup: "b.T/HCC-DTS-gwb", run: &run, tiny_cores: &[1, 2, 3, 4, 5, 6, 7] };
+        let rm = RunMetrics {
+            app: "fib",
+            setup: "b.T/HCC-DTS-gwb",
+            run: &run,
+            tiny_cores: &[1, 2, 3, 4, 5, 6, 7],
+        };
         let doc = metrics_document(&[rm]);
         let text = doc.to_json();
         let back = parse_json(&text).expect("self-emitted document parses strictly");
@@ -335,8 +341,14 @@ mod tests {
         assert_eq!(hash, format!("{:#018x}", run.report.seq_op_hash));
         // Per-core sections cover every core.
         let cores = run.report.breakdowns.len();
-        assert_eq!(r.get("breakdown").unwrap().get("per_core").unwrap().as_arr().unwrap().len(), cores);
-        assert_eq!(r.get("coherence").unwrap().get("per_core").unwrap().as_arr().unwrap().len(), cores);
+        assert_eq!(
+            r.get("breakdown").unwrap().get("per_core").unwrap().as_arr().unwrap().len(),
+            cores
+        );
+        assert_eq!(
+            r.get("coherence").unwrap().get("per_core").unwrap().as_arr().unwrap().len(),
+            cores
+        );
         // Mesh lists all ten classes regardless of data.
         assert_eq!(r.get("mesh").unwrap().get("classes").unwrap().as_arr().unwrap().len(), 10);
     }
@@ -362,7 +374,10 @@ mod tests {
         let pcp = doc.get("runs").unwrap().as_arr().unwrap()[0].get("critpath").unwrap().clone();
         assert!(matches!(pcp.get("profiled"), Some(Json::Bool(true))));
         assert!(pcp.get("span").unwrap().as_num().unwrap() > 0.0);
-        assert!(pcp.get("work").unwrap().as_num().unwrap() >= pcp.get("span").unwrap().as_num().unwrap());
+        assert!(
+            pcp.get("work").unwrap().as_num().unwrap()
+                >= pcp.get("span").unwrap().as_num().unwrap()
+        );
         let keys = |j: &Json| -> Vec<String> {
             match j {
                 Json::Obj(kv) => kv.iter().map(|(k, _)| k.clone()).collect(),

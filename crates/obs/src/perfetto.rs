@@ -276,9 +276,7 @@ pub struct TraceSummary {
 }
 
 fn num_field(e: &Json, key: &str) -> Result<f64, String> {
-    e.get(key)
-        .and_then(Json::as_num)
-        .ok_or_else(|| format!("event missing numeric {key:?}: {e}"))
+    e.get(key).and_then(Json::as_num).ok_or_else(|| format!("event missing numeric {key:?}: {e}"))
 }
 
 fn id_key(e: &Json) -> Result<String, String> {
@@ -304,10 +302,8 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
     let mut asyncs: BTreeMap<(String, String), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     let mut flows: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     for e in events {
-        let ph = e
-            .get("ph")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("event missing ph: {e}"))?;
+        let ph =
+            e.get("ph").and_then(Json::as_str).ok_or_else(|| format!("event missing ph: {e}"))?;
         num_field(e, "pid")?;
         if ph != "M" {
             let ts = num_field(e, "ts")?;

@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use bigtiny_core::{parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx, TaskRun};
+use bigtiny_core::{
+    parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx, TaskRun,
+};
 use bigtiny_engine::{AddrSpace, Protocol, ShVec, SystemConfig};
 use bigtiny_mesh::{MeshConfig, Topology};
 

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use bigtiny_apps::graph::Graph;
 use bigtiny_apps::ligra_apps::tc::{host_triangles, run_tc, TcSlots};
-use bigtiny_engine::ShVec;
 use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+use bigtiny_engine::ShVec;
 use bigtiny_engine::{AddrSpace, Protocol, ShScalar, SystemConfig};
 
 fn count_triangles(sys: &SystemConfig, grain: usize) -> (u64, bigtiny_core::TaskRun) {
@@ -24,9 +24,10 @@ fn count_triangles(sys: &SystemConfig, grain: usize) -> (u64, bigtiny_core::Task
     });
     let want = host_triangles(&g.host_adjacency());
     let (g2, c2, s2) = (Arc::clone(&g), Arc::clone(&count), Arc::clone(&slots));
-    let run = run_task_parallel(sys, &RuntimeConfig::new(RuntimeKind::Baseline), &mut space, move |cx| {
-        run_tc(cx, &g2, &c2, &s2, grain);
-    });
+    let run =
+        run_task_parallel(sys, &RuntimeConfig::new(RuntimeKind::Baseline), &mut space, move |cx| {
+            run_tc(cx, &g2, &c2, &s2, grain);
+        });
     assert_eq!(count.host_read(), want, "triangle count verified");
     (run.report.completion_cycles, run)
 }
@@ -37,7 +38,10 @@ fn main() {
     println!("serial (1 tiny core): {serial} cycles\n");
 
     let parallel_sys = SystemConfig::tiny_only(64, Protocol::Mesi);
-    println!("{:>6} {:>10} {:>9} {:>13} {:>7} {:>6}", "grain", "cycles", "speedup", "parallelism", "tasks", "IPT");
+    println!(
+        "{:>6} {:>10} {:>9} {:>13} {:>7} {:>6}",
+        "grain", "cycles", "speedup", "parallelism", "tasks", "IPT"
+    );
     for grain in [1usize, 4, 16, 64, 256] {
         let (cycles, run) = count_triangles(&parallel_sys, grain);
         let ws = run.stats.workspan;

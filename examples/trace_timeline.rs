@@ -24,7 +24,8 @@ fn main() {
     let app = app_by_name("ligra-bfs").expect("registered");
     let mut space = AddrSpace::new();
     let prepared = app.prepare_default(&mut space, AppSize::Test);
-    let run = run_task_parallel(&sys, &RuntimeConfig::new(RuntimeKind::Dts), &mut space, prepared.root);
+    let run =
+        run_task_parallel(&sys, &RuntimeConfig::new(RuntimeKind::Dts), &mut space, prepared.root);
     (prepared.verify)().expect("verified");
 
     let total = run.report.completion_cycles;
@@ -35,5 +36,7 @@ fn main() {
     // Render the whole run in ~100 columns.
     let per_col = (total / 100).max(1);
     print!("{}", render_timeline(&run.report.traces, 0, per_col, 100));
-    println!("\nCore 0 is the big core running the root task; tiny cores fill up as steals succeed.");
+    println!(
+        "\nCore 0 is the big core running the root task; tiny cores fill up as steals succeed."
+    );
 }

@@ -1,1 +1,2 @@
+#![forbid(unsafe_code)]
 //! Workspace-level integration tests for the big.TINY reproduction.

@@ -15,13 +15,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bigtiny_apps::{app_by_name, AppSize, AppSpec};
 use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskRun};
-use bigtiny_engine::{
-    AddrSpace, FaultPlan, Protocol, SystemConfig, TimeCategory, WATCHDOG_MSG,
-};
+use bigtiny_engine::{AddrSpace, FaultPlan, Protocol, SystemConfig, TimeCategory, WATCHDOG_MSG};
 use bigtiny_mesh::{MeshConfig, Topology, UliNetwork, UliOutcome};
 
 fn sys(big: usize, tiny: usize, proto: Protocol) -> SystemConfig {
-    SystemConfig::big_tiny("chaos", MeshConfig::with_topology(Topology::new(4, 4)), big, tiny, proto)
+    SystemConfig::big_tiny(
+        "chaos",
+        MeshConfig::with_topology(Topology::new(4, 4)),
+        big,
+        tiny,
+        proto,
+    )
 }
 
 fn run(app: &AppSpec, sys: &SystemConfig, kind: RuntimeKind) -> TaskRun {

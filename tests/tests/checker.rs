@@ -18,7 +18,9 @@
 
 use bigtiny_apps::{app_by_name, AppSize};
 use bigtiny_checker::{check_run, CheckReport, ViolationKind};
-use bigtiny_core::{run_task_parallel, Mutation, MutationKind, RuntimeConfig, RuntimeKind, TaskRun};
+use bigtiny_core::{
+    run_task_parallel, Mutation, MutationKind, RuntimeConfig, RuntimeKind, TaskRun,
+};
 use bigtiny_engine::{AddrSpace, CheckMode, Protocol, RacyTag, SystemConfig};
 use bigtiny_mesh::{MeshConfig, Topology};
 
@@ -73,11 +75,7 @@ fn clean_sweep_zero_findings() {
             assert_eq!(run.report.stale_reads, 0, "{name} {kind:?}/{proto:?}");
             let report = check_run(&sys, &run.report);
             assert!(report.events > 0, "{name} {kind:?}/{proto:?}: armed run produced no events");
-            assert!(
-                report.is_clean(),
-                "{name} {kind:?}/{proto:?}:\n{}",
-                report.render()
-            );
+            assert!(report.is_clean(), "{name} {kind:?}/{proto:?}:\n{}", report.render());
         }
     }
     // The audit is visible: the Ligra kernels declare benign races.
@@ -93,19 +91,15 @@ fn off_mode_collects_nothing() {
     let app = app_by_name("cilk5-nq").unwrap();
     let mut space = AddrSpace::new();
     let prepared = app.prepare_default(&mut space, AppSize::Test);
-    let run = run_task_parallel(&sys, &RuntimeConfig::new(RuntimeKind::Dts), &mut space, prepared.root);
+    let run =
+        run_task_parallel(&sys, &RuntimeConfig::new(RuntimeKind::Dts), &mut space, prepared.root);
     assert!(run.report.mem_events.is_empty());
     let report = check_run(&sys, &run.report);
     assert!(report.is_clean());
     assert_eq!(report.events, 0);
 }
 
-fn mutated(
-    name: &str,
-    proto: Protocol,
-    kind: RuntimeKind,
-    m: Mutation,
-) -> CheckReport {
+fn mutated(name: &str, proto: Protocol, kind: RuntimeKind, m: Mutation) -> CheckReport {
     let (sys, run) = run_checked(name, proto, kind, |rt| rt.mutation = Some(m));
     check_run(&sys, &run.report)
 }
@@ -172,11 +166,7 @@ fn drop_flush_is_flagged_on_writeback_only() {
         "GpuWb nth={nth}:\n{}",
         report.render()
     );
-    let v = report
-        .violations
-        .iter()
-        .find(|v| v.kind == ViolationKind::LintReleaseNoFlush)
-        .unwrap();
+    let v = report.violations.iter().find(|v| v.kind == ViolationKind::LintReleaseNoFlush).unwrap();
     assert_eq!(v.core, TINY, "mutation was seeded on core {TINY}");
     assert!(v.cycle > 0 && v.addr.is_some(), "diagnostics: {v}");
     // Everywhere else stores commit at store time: the same mutations are
@@ -185,7 +175,11 @@ fn drop_flush_is_flagged_on_writeback_only() {
         for nth in 0..SCAN {
             let m = Mutation { kind: MutationKind::DropFlush, core: TINY, nth };
             let report = mutated("cilk5-nq", proto, RuntimeKind::Hcc, m);
-            assert!(report.is_clean(), "{proto:?} nth={nth} flush is a no-op:\n{}", report.render());
+            assert!(
+                report.is_clean(),
+                "{proto:?} nth={nth} flush is a no-op:\n{}",
+                report.render()
+            );
         }
     }
 }

@@ -62,17 +62,12 @@ fn profiled_runs_satisfy_work_span_bounds() {
                 .unwrap_or_else(|e| panic!("{name} @ {}: malformed DAG: {e}", r.setup));
             assert!(dag.tasks > 0 && dag.executed == dag.tasks, "{name} @ {}: {dag:?}", r.setup);
 
-            let w = WhatIf::project(&r.run)
-                .unwrap_or_else(|e| panic!("{name} @ {}: {e}", r.setup));
+            let w = WhatIf::project(&r.run).unwrap_or_else(|e| panic!("{name} @ {}: {e}", r.setup));
             let (t1, tinf, tp, p) =
                 (w.burdened.work, w.burdened.span, w.measured_tp, w.workers.max(1));
             assert!(tinf <= tp, "{name} @ {}: span {tinf} > measured {tp}", r.setup);
             assert!(tp <= t1, "{name} @ {}: measured {tp} > work {t1}", r.setup);
-            assert!(
-                t1.div_ceil(p) <= tp,
-                "{name} @ {}: ceil({t1}/{p}) > measured {tp}",
-                r.setup
-            );
+            assert!(t1.div_ceil(p) <= tp, "{name} @ {}: ceil({t1}/{p}) > measured {tp}", r.setup);
             // The greedy bound is a lower bound, so the measured run can
             // never beat it; and stripping overhead can only shrink the DAG.
             assert!(w.measured.speedup_bound >= 1.0, "{name} @ {}: {:?}", r.setup, w.measured);

@@ -8,7 +8,13 @@ use bigtiny_engine::{AddrSpace, Protocol, SystemConfig, TrafficClass};
 use bigtiny_mesh::{MeshConfig, Topology};
 
 fn small_sys(big: usize, tiny: usize, proto: Protocol) -> SystemConfig {
-    SystemConfig::big_tiny("itest", MeshConfig::with_topology(Topology::new(4, 4)), big, tiny, proto)
+    SystemConfig::big_tiny(
+        "itest",
+        MeshConfig::with_topology(Topology::new(4, 4)),
+        big,
+        tiny,
+        proto,
+    )
 }
 
 fn run(app: &AppSpec, sys: &SystemConfig, kind: RuntimeKind) -> TaskRun {
@@ -49,7 +55,9 @@ fn all_kernels_all_runtimes() {
 #[test]
 fn system_invariants_on_full_runs() {
     for app in all_apps().into_iter().take(4) {
-        for (kind, proto) in [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWb)] {
+        for (kind, proto) in
+            [(RuntimeKind::Hcc, Protocol::GpuWb), (RuntimeKind::Dts, Protocol::GpuWb)]
+        {
             let sys = small_sys(1, 7, proto);
             let r = run(&app, &sys, kind);
             let t = &r.report.traffic;

@@ -131,11 +131,7 @@ fn armed_checker_changes_no_golden_pin() {
         }
         let report = check_run(&setup.sys, &r.run.report);
         assert!(report.events > 0, "{app_name} on {setup_label}: armed run captured no events");
-        assert!(
-            report.is_clean(),
-            "{app_name} on {setup_label}:\n{}",
-            report.render()
-        );
+        assert!(report.is_clean(), "{app_name} on {setup_label}:\n{}", report.render());
     }
     assert!(
         failures.is_empty(),
@@ -205,11 +201,7 @@ fn crash_runs_pin_metrics_and_audit_verdict_across_backends() {
     let app = app_by_name("cilk5-nq").unwrap();
     let run_once = |backend: ExecBackend| {
         let mut setup = setup_by_label("b.T/HCC-DTS-gwb");
-        setup.sys = setup
-            .sys
-            .clone()
-            .with_faults(FaultPlan::crash_storm(11))
-            .with_backend(backend);
+        setup.sys = setup.sys.clone().with_faults(FaultPlan::crash_storm(11)).with_backend(backend);
         if backend != ExecBackend::Fibers {
             // The watchdog is observational (it never perturbs simulated
             // results) but needs a second runnable thread for its

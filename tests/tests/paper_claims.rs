@@ -53,7 +53,8 @@ fn dts_exceeds_mesi_at_256_cores() {
     // The 256-core machine needs the Large inputs to have enough
     // parallelism (Table V's setup).
     let app = app_by_name("ligra-cc").unwrap();
-    let mesi = run_app(&Setup::bt_256(Protocol::Mesi, RuntimeKind::Baseline), &app, AppSize::Large, 0);
+    let mesi =
+        run_app(&Setup::bt_256(Protocol::Mesi, RuntimeKind::Baseline), &app, AppSize::Large, 0);
     let dts = run_app(&Setup::bt_256(Protocol::GpuWb, RuntimeKind::Dts), &app, AppSize::Large, 0);
     let ratio = mesi.cycles as f64 / dts.cycles as f64;
     assert!(ratio > 1.0, "256-core DTS-gwb vs MESI: {ratio:.2} must exceed 1");

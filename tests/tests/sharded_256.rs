@@ -43,7 +43,11 @@ fn crash_of_core_200_recovers_with_clean_audit() {
         "the core-200 crash must actually fire (the old u64 mask dropped it)"
     );
     let audit = audit_task_events(&r.run.task_events, true, r.app);
-    assert!(audit.is_clean(), "recovery from a core-200 crash left a dirty audit:\n{}", audit.render());
+    assert!(
+        audit.is_clean(),
+        "recovery from a core-200 crash left a dirty audit:\n{}",
+        audit.render()
+    );
 }
 
 /// The same core-200 crash schedule replays bit for bit run to run: crash
