@@ -80,7 +80,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
                 // Under a crash plan a re-executed subtree may run this
                 // leaf twice: land the count in the leaf's own slot (same
                 // value every time) instead of accumulating.
-                if cx.crash_tolerant() {
+                if cx.reexec_possible() {
                     slots.write(cx.port(), start, local);
                 } else {
                     count.amo(cx.port(), |c| *c += local);

@@ -40,7 +40,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         let mut cur = cur;
         let mut nxt = nxt;
         // Forward phase: level-synchronous BFS accumulating path counts.
-        let pull_sigma = cx.crash_tolerant();
+        let pull_sigma = cx.reexec_possible();
         let mut depth = 0u64;
         loop {
             depth += 1;

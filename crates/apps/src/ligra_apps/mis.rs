@@ -43,7 +43,7 @@ pub fn prepare(space: &mut AddrSpace, size: AppSize, grain: usize) -> Prepared {
         Arc::clone(&undecided),
     );
     let root: crate::RootFn = Box::new(move |cx| {
-        if cx.crash_tolerant() {
+        if cx.reexec_possible() {
             // At-least-once mode: a re-executed subtree could decrement
             // the shared countdown twice, so the crash-immune root
             // recounts the undecided set itself after each round.
@@ -138,7 +138,7 @@ fn round(
             let mut decided = 0u64;
             if j1.read(cx.port(), v) != 0 {
                 j1.write(cx.port(), v, 0);
-                let entered = if cx.crash_tolerant() {
+                let entered = if cx.reexec_possible() {
                     // A re-executed duplicate of a *different* leaf may
                     // have left a stale join flag behind after v was
                     // knocked out: only enter the set from UNDECIDED.
@@ -162,7 +162,7 @@ fn round(
                     }
                 }
             }
-            if decided > 0 && !cx.crash_tolerant() {
+            if decided > 0 && !cx.reexec_possible() {
                 u1.amo(cx.port(), |c| *c -= decided);
             }
         });

@@ -65,9 +65,10 @@ pub struct TcSlots {
 /// Counts triangles; `grain` is the number of edge slots (intersection
 /// units) per leaf task — the paper's Figure 4 granularity knob ("the
 /// number of triangles processed by each task" in spirit). Leaves publish
-/// into `count` by AMO accumulation, or — on a crash-armed run — into
-/// `slots` with idempotent per-leaf writes (re-executed subtrees rewrite
-/// the same values), so the total is `count` plus the slot sums.
+/// into `count` by AMO accumulation, or — when re-execution is possible
+/// (crash plan armed or a multiplicity deque policy) — into `slots` with
+/// idempotent per-leaf writes (re-executed leaves rewrite the same
+/// values), so the total is `count` plus the slot sums.
 ///
 /// Like the Ligra `edge_map`, the vertex range splits by degree sum and a
 /// heavy vertex's own edge list splits recursively, so rMAT hubs do not
@@ -82,13 +83,13 @@ pub fn run_tc(
     tc_split(cx, g, count, slots, 0, g.num_vertices(), grain.max(1));
 }
 
-/// Publishes one leaf's count: a slot write when crash plans are armed,
-/// the plain accumulate otherwise.
+/// Publishes one leaf's count: an idempotent slot write when the task may
+/// re-execute, the plain accumulate otherwise.
 fn publish(cx: &mut TaskCx<'_>, count: &ShScalar<u64>, slot: (&ShVec<u64>, usize), local: u64) {
     if local == 0 {
         return;
     }
-    if cx.crash_tolerant() {
+    if cx.reexec_possible() {
         slot.0.write(cx.port(), slot.1, local);
     } else {
         count.amo(cx.port(), |c| *c += local);

@@ -55,11 +55,11 @@ fn main() {
             // reads, so a silent field rename fails here instead of in
             // analysis.
             if schema.starts_with("bigtiny-model-check-") {
-                if schema != "bigtiny-model-check-v1" {
+                if schema != "bigtiny-model-check-v1" && schema != "bigtiny-model-check-v2" {
                     eprintln!("json_check: {path}: unknown model-check schema `{schema}`");
                     std::process::exit(1);
                 }
-                let required = [
+                let mut required = vec![
                     "app",
                     "setup",
                     "explored",
@@ -68,8 +68,12 @@ fn main() {
                     "clean",
                     "first_fail_script",
                 ];
+                if schema == "bigtiny-model-check-v2" {
+                    // v2 added the deque-policy sweep keys.
+                    required.extend(["policy", "dup_injected"]);
+                }
                 for (i, run) in runs.as_arr().unwrap_or(&[]).iter().enumerate() {
-                    for key in required {
+                    for key in &required {
                         if run.get(key).is_none() {
                             eprintln!("json_check: {path}: run {i} is missing `{key}`");
                             std::process::exit(1);

@@ -1,27 +1,52 @@
 //! Compares two bigtiny-obs metrics documents and flags regressions.
 //!
-//! Reads a baseline and a new document (schema v1 or v2 — the diff only
-//! touches keys both versions carry), matches runs by `(app, setup)`, and
+//! Reads a baseline and a new document (any accepted schema — the diff
+//! only touches keys every version carries, plus the v3 `deque_policy`
+//! label when present), matches runs by `(app, setup, deque_policy)`, and
 //! prints per-run deltas for completion cycles and steal traffic. Exits
 //! nonzero when any common run's cycle count moved by more than
-//! `--threshold` percent, so CI can gate on a committed baseline.
+//! `--threshold` percent.
 //!
-//! Runs present on only one side are reported but never fail the check —
-//! growing the kernel matrix must not require regenerating history.
+//! Runs present on only one side are reported as explicit `missing` rows
+//! and **fail the check**: a silently dropped cell is indistinguishable
+//! from a passing one, which is exactly how a gate rots. When growing the
+//! kernel matrix intentionally, pass `--allow-missing` for the one run
+//! that regenerates the baseline.
 
 use bigtiny_bench::render_table;
 use bigtiny_obs::{parse_json, Json, METRICS_SCHEMAS_ACCEPTED};
 
-const USAGE: &str = "usage: metrics_diff BASELINE.json NEW.json [--threshold PCT]
+const USAGE: &str = "usage: metrics_diff BASELINE.json NEW.json [--threshold PCT] [--allow-missing]
   --threshold PCT  maximum |cycle delta| per run, in percent (default 0:
-                   any cycle movement fails — the simulator is deterministic)";
+                   any cycle movement fails — the simulator is deterministic)
+  --allow-missing  do not fail on cells present in only one document
+                   (for intentional matrix growth; missing rows still print)";
 
 struct Run {
     app: String,
     setup: String,
+    /// Deque-policy label (metrics v3). Pre-v3 documents carry no label
+    /// but every pre-v3 run used the locked deque, so `load` defaults the
+    /// field to "locked" and old baselines keep matching one-to-one.
+    policy: String,
     cycles: f64,
     steal_attempts: f64,
     steal_hits: f64,
+}
+
+impl Run {
+    fn key(&self) -> (&str, &str, &str) {
+        (&self.app, &self.setup, &self.policy)
+    }
+
+    /// Cell label for the report: `app @ setup [policy]`.
+    fn label(&self) -> String {
+        if self.policy.is_empty() {
+            format!("{} @ {}", self.app, self.setup)
+        } else {
+            format!("{} @ {} [{}]", self.app, self.setup, self.policy)
+        }
+    }
 }
 
 fn load(path: &str) -> Vec<Run> {
@@ -59,6 +84,7 @@ fn load(path: &str) -> Vec<Run> {
         .map(|r| Run {
             app: r.get("app").and_then(Json::as_str).unwrap_or("?").to_owned(),
             setup: r.get("setup").and_then(Json::as_str).unwrap_or("?").to_owned(),
+            policy: r.get("deque_policy").and_then(Json::as_str).unwrap_or("locked").to_owned(),
             cycles: num(r, &["cycles"]),
             steal_attempts: num(r, &["steals", "attempts"]),
             steal_hits: num(r, &["steals", "hits"]),
@@ -66,9 +92,80 @@ fn load(path: &str) -> Vec<Run> {
         .collect()
 }
 
+/// The diff verdict, separated from I/O so the gate logic is unit-tested.
+struct Diff {
+    rows: Vec<Vec<String>>,
+    /// Worst absolute cycle delta over common cells, in percent.
+    worst: f64,
+    common: usize,
+    missing: usize,
+}
+
+fn diff(base: &[Run], new: &[Run]) -> Diff {
+    let pct = |old: f64, new: f64| -> f64 {
+        if old == 0.0 {
+            if new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            100.0 * (new - old) / old
+        }
+    };
+
+    let mut d = Diff { rows: Vec::new(), worst: 0.0, common: 0, missing: 0 };
+    for b in base {
+        let Some(n) = new.iter().find(|n| n.key() == b.key()) else {
+            d.missing += 1;
+            d.rows.push(vec![
+                b.app.clone(),
+                b.setup.clone(),
+                b.policy.clone(),
+                format!("{}", b.cycles),
+                "—".into(),
+                "missing".into(),
+                "—".into(),
+                "—".into(),
+            ]);
+            continue;
+        };
+        d.common += 1;
+        let dc = pct(b.cycles, n.cycles);
+        d.worst = d.worst.max(dc.abs());
+        d.rows.push(vec![
+            b.app.clone(),
+            b.setup.clone(),
+            b.policy.clone(),
+            format!("{}", b.cycles),
+            format!("{}", n.cycles),
+            format!("{dc:+.3}%"),
+            format!("{:+.0}", n.steal_attempts - b.steal_attempts),
+            format!("{:+.0}", n.steal_hits - b.steal_hits),
+        ]);
+    }
+    for n in new {
+        if !base.iter().any(|b| b.key() == n.key()) {
+            d.missing += 1;
+            d.rows.push(vec![
+                n.app.clone(),
+                n.setup.clone(),
+                n.policy.clone(),
+                "—".into(),
+                format!("{}", n.cycles),
+                "missing".into(),
+                "—".into(),
+                "—".into(),
+            ]);
+        }
+    }
+    d
+}
+
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut threshold = 0.0f64;
+    let mut allow_missing = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,6 +179,7 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--allow-missing" => allow_missing = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -100,64 +198,99 @@ fn main() {
 
     let base = load(base_path);
     let new = load(new_path);
+    let d = diff(&base, &new);
 
-    let pct = |old: f64, new: f64| -> f64 {
-        if old == 0.0 {
-            if new == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            100.0 * (new - old) / old
+    for r in &base {
+        if !new.iter().any(|n| n.key() == r.key()) {
+            println!("[metrics_diff] only in baseline: {}", r.label());
         }
-    };
-
-    let mut rows = Vec::new();
-    let mut worst: f64 = 0.0;
-    let mut common = 0usize;
-    for b in &base {
-        let Some(n) = new.iter().find(|n| n.app == b.app && n.setup == b.setup) else {
-            println!("[metrics_diff] only in baseline: {} @ {}", b.app, b.setup);
-            continue;
-        };
-        common += 1;
-        let dc = pct(b.cycles, n.cycles);
-        worst = worst.max(dc.abs());
-        rows.push(vec![
-            b.app.clone(),
-            b.setup.clone(),
-            format!("{}", b.cycles),
-            format!("{}", n.cycles),
-            format!("{dc:+.3}%"),
-            format!("{:+.0}", n.steal_attempts - b.steal_attempts),
-            format!("{:+.0}", n.steal_hits - b.steal_hits),
-        ]);
     }
-    for n in &new {
-        if !base.iter().any(|b| b.app == n.app && b.setup == n.setup) {
-            println!("[metrics_diff] only in new: {} @ {}", n.app, n.setup);
+    for r in &new {
+        if !base.iter().any(|b| b.key() == r.key()) {
+            println!("[metrics_diff] only in new: {}", r.label());
         }
     }
 
     let header: Vec<String> =
-        ["App", "Config", "cycles(base)", "cycles(new)", "delta", "d-attempts", "d-hits"]
+        ["App", "Config", "Policy", "cycles(base)", "cycles(new)", "delta", "d-attempts", "d-hits"]
             .map(String::from)
             .to_vec();
-    println!("{}", render_table(&header, &rows));
+    println!("{}", render_table(&header, &d.rows));
 
-    if common == 0 {
-        eprintln!("[metrics_diff] FAIL: no common (app, setup) runs between the two documents");
+    if d.common == 0 {
+        eprintln!("[metrics_diff] FAIL: no common (app, setup, policy) runs between the documents");
         std::process::exit(1);
     }
-    if worst > threshold {
+    if d.missing > 0 && !allow_missing {
         eprintln!(
-            "[metrics_diff] FAIL: worst cycle delta {worst:.3}% exceeds threshold {threshold}%"
+            "[metrics_diff] FAIL: {} cell(s) present in only one document \
+             (pass --allow-missing when growing the matrix intentionally)",
+            d.missing
+        );
+        std::process::exit(1);
+    }
+    if d.worst > threshold {
+        eprintln!(
+            "[metrics_diff] FAIL: worst cycle delta {:.3}% exceeds threshold {threshold}%",
+            d.worst
         );
         std::process::exit(1);
     }
     println!(
-        "[metrics_diff] OK: {common} runs compared, worst cycle delta {worst:.3}% \
-         (threshold {threshold}%)"
+        "[metrics_diff] OK: {} runs compared ({} missing), worst cycle delta {:.3}% \
+         (threshold {threshold}%)",
+        d.common, d.missing, d.worst
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(app: &str, setup: &str, policy: &str, cycles: f64) -> Run {
+        Run {
+            app: app.into(),
+            setup: setup.into(),
+            policy: policy.into(),
+            cycles,
+            steal_attempts: 0.0,
+            steal_hits: 0.0,
+        }
+    }
+
+    #[test]
+    fn missing_cells_become_explicit_rows_on_both_sides() {
+        let base = vec![run("nq", "b.T/MESI", "", 100.0), run("cs", "b.T/MESI", "", 50.0)];
+        let new = vec![run("nq", "b.T/MESI", "", 100.0), run("mt", "b.T/MESI", "", 70.0)];
+        let d = diff(&base, &new);
+        assert_eq!((d.common, d.missing), (1, 2));
+        // One matched row plus one missing row per side, all in the table.
+        assert_eq!(d.rows.len(), 3);
+        let missing: Vec<_> = d.rows.iter().filter(|r| r[5] == "missing").collect();
+        assert_eq!(missing.len(), 2);
+        assert!(missing.iter().any(|r| r[0] == "cs" && r[4] == "—"));
+        assert!(missing.iter().any(|r| r[0] == "mt" && r[3] == "—"));
+    }
+
+    #[test]
+    fn policy_is_part_of_the_match_key() {
+        // Same (app, setup) under two policies must not cross-match: the
+        // locked baseline would otherwise silently absorb the fence-free
+        // cell's cycles.
+        let base = vec![run("nq", "b.T/MESI", "locked", 100.0)];
+        let new =
+            vec![run("nq", "b.T/MESI", "locked", 100.0), run("nq", "b.T/MESI", "fence-free", 90.0)];
+        let d = diff(&base, &new);
+        assert_eq!((d.common, d.missing), (1, 1));
+        assert_eq!(d.worst, 0.0);
+    }
+
+    #[test]
+    fn pre_policy_documents_still_match_one_to_one() {
+        let base = vec![run("nq", "b.T/MESI", "", 100.0)];
+        let new = vec![run("nq", "b.T/MESI", "", 110.0)];
+        let d = diff(&base, &new);
+        assert_eq!((d.common, d.missing), (1, 0));
+        assert!((d.worst - 10.0).abs() < 1e-9);
+    }
 }

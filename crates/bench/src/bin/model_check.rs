@@ -20,11 +20,19 @@
 //! Kernels: a local 2-core `fib` micro-kernel (pure spawn/sync + one AMO
 //! accumulator — the smallest interesting steal pattern) plus the six
 //! registry kernels with schedule-deterministic outputs. Setups: 2-core
-//! tiny-only machines under MESI/Baseline, DeNovo/HCC, and
-//! DeNovo/HCC-DTS.
+//! tiny-only machines under MESI/Baseline (one cell per deque policy:
+//! locked, Chase-Lev, fence-free, idempotent), DeNovo/HCC, and
+//! DeNovo/HCC-DTS. The multiplicity policies (fence-free, idempotent)
+//! audit their task-event streams in the checker's `Multiplicity` mode
+//! (at-most-twice with idempotent side-effects) and run only the
+//! idempotence-whitelisted kernels; each also gets a `+dup` cell with a
+//! seeded [`MutationKind::DupTask`] so the sweep proves the battery,
+//! kernel `verify()`, and fingerprint invariance hold with a duplicate
+//! execution present under every explored tie-break.
 //!
 //! Writes a nested JSON verdict document (schema
-//! `bigtiny-model-check-v1`) to `MODEL_CHECK_verdicts.json` (or
+//! `bigtiny-model-check-v2`, which added the per-cell `policy` and
+//! `dup_injected` keys) to `MODEL_CHECK_verdicts.json` (or
 //! `$BIGTINY_MC_OUT`), validated in CI by `json_check`. Env knobs:
 //! `BIGTINY_MC_SCHEDULES` (execution budget per cell, default 24),
 //! `BIGTINY_MC_DEPTH` (choice-point depth budget, default 5),
@@ -48,8 +56,11 @@ use std::sync::Arc;
 use bigtiny_apps::{app_by_name, AppSize, Prepared, RootFn};
 use bigtiny_bench::{render_table, Setup};
 use bigtiny_checker::explore::{explore, ExploreBudget, ExploreReport, ScheduleOutcome};
-use bigtiny_checker::{audit_task_events, check_run};
-use bigtiny_core::{parallel_invoke, run_task_parallel, RuntimeConfig, RuntimeKind, TaskCx};
+use bigtiny_checker::{audit_task_events_mode, check_run, kernel_is_duplicate_safe, AuditMode};
+use bigtiny_core::{
+    parallel_invoke, run_task_parallel, DequeKind, Mutation, MutationKind, RuntimeConfig,
+    RuntimeKind, TaskCx,
+};
 use bigtiny_engine::{AddrSpace, CheckMode, Protocol, SchedulePolicy, ShScalar, SystemConfig};
 use bigtiny_obs::CycleConservation;
 
@@ -100,27 +111,59 @@ fn prepare(app: &str, space: &mut AddrSpace) -> Prepared {
     }
 }
 
-fn mc_setups() -> Vec<Setup> {
+/// One sweep cell: a setup (whose `rt.deque_kind` is the policy under
+/// test) plus whether a `DupTask` mutation is armed.
+struct Cell {
+    setup: Setup,
+    dup_injected: bool,
+}
+
+fn mc_cells() -> Vec<Cell> {
     let rt = |kind| {
         let mut rt = RuntimeConfig::new(kind);
         rt.record_task_events = true;
         rt
     };
+    let baseline = |suffix: &str, deque: DequeKind, dup: bool| {
+        let mut rt = rt(RuntimeKind::Baseline);
+        rt.deque_kind = deque;
+        if dup {
+            // Seed one permitted duplicate: re-execute the task claimed by
+            // core 0's first clean local pop. Core 0 always pops (the root
+            // spawns there), so the duplicate lands on every schedule.
+            rt.mutation = Some(Mutation { kind: MutationKind::DupTask, core: 0, nth: 0 });
+        }
+        Cell {
+            setup: Setup {
+                label: format!("tiny{CORES}/MESI{suffix}"),
+                sys: SystemConfig::tiny_only(CORES, Protocol::Mesi),
+                rt,
+            },
+            dup_injected: dup,
+        }
+    };
     vec![
-        Setup {
-            label: format!("tiny{CORES}/MESI"),
-            sys: SystemConfig::tiny_only(CORES, Protocol::Mesi),
-            rt: rt(RuntimeKind::Baseline),
+        baseline("", DequeKind::Locked, false),
+        baseline("-cl", DequeKind::ChaseLev, false),
+        baseline("-ff", DequeKind::FenceFree, false),
+        baseline("-ff+dup", DequeKind::FenceFree, true),
+        baseline("-idem", DequeKind::Idempotent, false),
+        baseline("-idem+dup", DequeKind::Idempotent, true),
+        Cell {
+            setup: Setup {
+                label: format!("tiny{CORES}/HCC-dnv"),
+                sys: SystemConfig::tiny_only(CORES, Protocol::DeNovo),
+                rt: rt(RuntimeKind::Hcc),
+            },
+            dup_injected: false,
         },
-        Setup {
-            label: format!("tiny{CORES}/HCC-dnv"),
-            sys: SystemConfig::tiny_only(CORES, Protocol::DeNovo),
-            rt: rt(RuntimeKind::Hcc),
-        },
-        Setup {
-            label: format!("tiny{CORES}/HCC-DTS-dnv"),
-            sys: SystemConfig::tiny_only(CORES, Protocol::DeNovo),
-            rt: rt(RuntimeKind::Dts),
+        Cell {
+            setup: Setup {
+                label: format!("tiny{CORES}/HCC-DTS-dnv"),
+                sys: SystemConfig::tiny_only(CORES, Protocol::DeNovo),
+                rt: rt(RuntimeKind::Dts),
+            },
+            dup_injected: false,
         },
     ]
 }
@@ -171,7 +214,15 @@ fn run_scripted(setup: &Setup, app: &str, script: &[u32]) -> ScheduleOutcome {
         }
     }
     if failure.is_none() {
-        let audit = audit_task_events(&run.task_events, false, app);
+        // Multiplicity policies relax the audit from exactly-once to
+        // at-most-twice-with-idempotent-side-effects; everything else
+        // keeps the exact contract.
+        let mode = if setup.rt.kind == RuntimeKind::Baseline && setup.rt.deque_kind.multiplicity() {
+            AuditMode::Multiplicity { crash_armed: false }
+        } else {
+            AuditMode::ExactlyOnce
+        };
+        let audit = audit_task_events_mode(&run.task_events, mode, app);
         if !audit.is_clean() {
             failure = audit.violations.first().map(|v| format!("audit: {v}"));
         }
@@ -191,9 +242,11 @@ fn env_usize(name: &str, default: usize) -> usize {
     })
 }
 
-fn json_row(app: &str, setup: &str, r: &ExploreReport) -> String {
+fn json_row(app: &str, cell: &Cell, r: &ExploreReport) -> String {
     let mut s = String::from("{");
-    s.push_str(&format!("\"app\":\"{app}\",\"setup\":\"{setup}\""));
+    s.push_str(&format!("\"app\":\"{app}\",\"setup\":\"{}\"", cell.setup.label));
+    s.push_str(&format!(",\"policy\":\"{}\"", cell.setup.rt.deque_kind.label()));
+    s.push_str(&format!(",\"dup_injected\":{}", u8::from(cell.dup_injected)));
     s.push_str(&format!(",\"explored\":{}", r.schedules_explored));
     s.push_str(&format!(",\"pruned\":{}", r.schedules_pruned));
     s.push_str(&format!(",\"max_depth\":{}", r.max_depth));
@@ -224,19 +277,29 @@ fn main() {
         Ok(list) => list.split(',').map(|s| s.trim().to_owned()).collect(),
         Err(_) => MC_APPS.iter().map(|&s| s.to_owned()).collect(),
     };
-    let setups = mc_setups();
+    let cells = mc_cells();
 
-    let header: Vec<String> =
-        ["app", "setup", "explored", "pruned", "depth", "verdict"].map(String::from).to_vec();
+    let header: Vec<String> = ["app", "setup", "policy", "explored", "pruned", "depth", "verdict"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     let mut dirty = 0usize;
 
     for app in &apps {
-        for setup in &setups {
+        for cell in &cells {
+            let setup = &cell.setup;
+            // The multiplicity policies may legitimately re-execute a task;
+            // that is only sound for kernels on the *duplicate-safe*
+            // whitelist (strictly stronger than respawn idempotence:
+            // `fib`'s and nqueens' accumulators survive a cut-short
+            // respawn but double-count a completed task run twice).
+            if setup.rt.deque_kind.multiplicity() && !kernel_is_duplicate_safe(app) {
+                continue;
+            }
             let report = explore(&budget, |script| run_scripted(setup, app, script));
             eprintln!(
-                "[model_check] {:<10} {:<18} explored {:>4} pruned {:>4}  {}",
+                "[model_check] {:<10} {:<22} explored {:>4} pruned {:>4}  {}",
                 app,
                 setup.label,
                 report.schedules_explored,
@@ -250,6 +313,7 @@ fn main() {
             rows.push(vec![
                 app.clone(),
                 setup.label.clone(),
+                setup.rt.deque_kind.label().to_owned(),
                 report.schedules_explored.to_string(),
                 report.schedules_pruned.to_string(),
                 format!("{}{}", report.max_depth, if report.truncated { "+" } else { "" }),
@@ -259,21 +323,21 @@ fn main() {
                     format!("{} failing schedule(s)", report.failures.len())
                 },
             ]);
-            json_rows.push(json_row(app, &setup.label, &report));
+            json_rows.push(json_row(app, cell, &report));
         }
     }
 
     println!(
-        "schedule-space sweep ({} kernels x {} setups, budget {} schedules / depth {})\n",
+        "schedule-space sweep ({} kernels x {} cells, budget {} schedules / depth {})\n",
         apps.len(),
-        setups.len(),
+        cells.len(),
         budget.max_schedules,
         budget.max_choice_points,
     );
     println!("{}", render_table(&header, &rows));
 
     let doc = format!(
-        "{{\"schema\":\"bigtiny-model-check-v1\",\"budget\":{{\"max_schedules\":{},\"max_choice_points\":{}}},\"runs\":[\n{}\n]}}\n",
+        "{{\"schema\":\"bigtiny-model-check-v2\",\"budget\":{{\"max_schedules\":{},\"max_choice_points\":{}}},\"runs\":[\n{}\n]}}\n",
         budget.max_schedules,
         budget.max_choice_points,
         json_rows.join(",\n"),

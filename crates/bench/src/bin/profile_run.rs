@@ -180,6 +180,7 @@ fn main() {
             .map(|r| RunMetrics {
                 app: r.app,
                 setup: &r.setup,
+                deque_policy: r.deque_policy,
                 run: &r.run,
                 tiny_cores: &r.tiny_cores,
             })

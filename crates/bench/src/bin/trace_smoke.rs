@@ -98,6 +98,7 @@ fn main() {
     let metrics_doc = metrics_document(&[RunMetrics {
         app: armed.app,
         setup: &armed.setup,
+        deque_policy: armed.deque_policy,
         run: &armed.run,
         tiny_cores: &armed.tiny_cores,
     }]);

@@ -102,6 +102,9 @@ pub struct AppResult {
     pub setup: String,
     /// End-to-end simulated cycles.
     pub cycles: u64,
+    /// Deque-policy label the run scheduled under (`locked`, `chase-lev`,
+    /// `fence-free`, `idempotent`).
+    pub deque_policy: &'static str,
     /// Full engine/runtime measurements.
     pub run: TaskRun,
     /// Ids of the tiny cores of the setup (for Figures 6/7 aggregation).
@@ -155,6 +158,7 @@ pub fn run_app(setup: &Setup, app: &AppSpec, size: AppSize, grain: usize) -> App
         app: app.name,
         setup: setup.label.clone(),
         cycles: run.report.completion_cycles,
+        deque_policy: setup.rt.deque_kind.label(),
         tiny_cores: setup.sys.tiny_cores(),
         run,
     }

@@ -18,6 +18,18 @@
 //!   the kernel is on the idempotence whitelist
 //!   ([`IDEMPOTENT_KERNELS`]) — i.e. its side effects are written so that
 //!   running a subtree twice lands the same final state.
+//! * **Multiplicity-deque runs are at-most-twice**
+//!   ([`AuditMode::Multiplicity`]): the fence-free and idempotent deque
+//!   policies may double-claim a slot, re-executing the claimed task as a
+//!   fresh [`TaskEventKind::Duplicate`] record. The audit verifies the
+//!   multiplicity contract instead of flagging it: each original may be
+//!   duplicated at most once ([`AuditViolationKind::OverDuplicated`]
+//!   otherwise), the duplicated original must itself run to completion,
+//!   and any duplicate on a kernel outside the *duplicate-safe* whitelist
+//!   ([`DUPLICATE_SAFE_KERNELS`], strictly stronger than respawn
+//!   idempotence) is a [`AuditViolationKind::NonIdempotentReexec`].
+//!   Outside this mode a `Duplicate` event is an
+//!   [`AuditViolationKind::UnexpectedDuplicate`].
 //!
 //! The audit is deterministic (one linear pass, no hash-order iteration),
 //! so [`AuditReport::verdict_hash`] is a stable fingerprint of the
@@ -58,6 +70,74 @@ pub fn kernel_is_idempotent(kernel: &str) -> bool {
     IDEMPOTENT_KERNELS.contains(&kernel)
 }
 
+/// Kernels whose side effects survive *duplicate* execution — the same
+/// task body running twice to completion, concurrently or back-to-back,
+/// as the multiplicity deques allow. This is strictly stronger than
+/// crash-respawn idempotence: a respawn replays a subtree whose first
+/// attempt was cut short, while a duplicate re-applies a task that
+/// already fully ran. Members either only ever write pure functions of
+/// task identity (slot stores, CAS-claimed flags, monotone AMO min/max)
+/// or switch their accumulations to idempotent slot writes when
+/// `TaskCx::reexec_possible` reports a multiplicity policy (nqueens'
+/// solution counter, BC's sigma, TC's triangle count). `cilk5-lu` and
+/// `cilk5-mm` are respawn-idempotent but update their matrices in place
+/// with unguarded read-modify-writes, which double-apply under
+/// duplication — they are on [`IDEMPOTENT_KERNELS`] but not here.
+///
+/// Like the respawn whitelist, this is a *claim*: the `model_check`
+/// duplicate-injection cells re-verify it on every sweep.
+pub const DUPLICATE_SAFE_KERNELS: [&str; 11] = [
+    "cilk5-cs",
+    "cilk5-mt",
+    "cilk5-nq",
+    "ligra-bc",
+    "ligra-bf",
+    "ligra-bfs",
+    "ligra-bfsbv",
+    "ligra-cc",
+    "ligra-mis",
+    "ligra-radii",
+    "ligra-tc",
+];
+
+/// Whether `kernel` declares its side effects safe under full duplicate
+/// execution (the multiplicity deques' at-most-twice contract).
+pub fn kernel_is_duplicate_safe(kernel: &str) -> bool {
+    DUPLICATE_SAFE_KERNELS.contains(&kernel)
+}
+
+/// Which execution contract [`audit_task_events_mode`] verifies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuditMode {
+    /// Crash-free, exactly-once policy: every spawned task completes once;
+    /// respawns, discards, and duplicates are all violations.
+    ExactlyOnce,
+    /// Crash-armed, at-least-once: respawn/discard accounting is expected,
+    /// duplicates are not (the locked and Chase-Lev deques never double-
+    /// claim).
+    AtLeastOnce,
+    /// A multiplicity deque policy (fence-free or idempotent) is active:
+    /// at-most-twice execution is the invariant. `crash_armed` layers the
+    /// at-least-once respawn/discard accounting on top when a crash plan
+    /// is also armed.
+    Multiplicity {
+        /// Whether respawns/discards are additionally expected.
+        crash_armed: bool,
+    },
+}
+
+impl AuditMode {
+    /// Whether respawn/discard recovery events are expected.
+    pub fn crash_armed(self) -> bool {
+        matches!(self, AuditMode::AtLeastOnce | AuditMode::Multiplicity { crash_armed: true })
+    }
+
+    /// Whether audited duplicate executions are expected.
+    pub fn multiplicity(self) -> bool {
+        matches!(self, AuditMode::Multiplicity { .. })
+    }
+}
+
 /// What the audit found wrong with one task's lifecycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AuditViolationKind {
@@ -80,6 +160,12 @@ pub enum AuditViolationKind {
     /// Subtree re-execution happened but the kernel is not on the
     /// idempotence whitelist: its duplicated side effects are unaudited.
     NonIdempotentReexec,
+    /// A multiplicity duplicate appeared in a run whose deque policy never
+    /// double-claims (exactly-once / at-least-once modes).
+    UnexpectedDuplicate,
+    /// One original was duplicated more than once: the at-most-twice
+    /// contract of the multiplicity deques is broken.
+    OverDuplicated,
     /// The event stream itself is malformed (respawn of an unknown task,
     /// events for a task never spawned).
     MalformedStream,
@@ -95,6 +181,8 @@ impl AuditViolationKind {
             AuditViolationKind::DoubleExec => "double-exec",
             AuditViolationKind::UnexpectedRecovery => "unexpected-recovery",
             AuditViolationKind::NonIdempotentReexec => "non-idempotent-reexec",
+            AuditViolationKind::UnexpectedDuplicate => "unexpected-duplicate",
+            AuditViolationKind::OverDuplicated => "over-duplicated",
             AuditViolationKind::MalformedStream => "malformed-stream",
         }
     }
@@ -133,6 +221,9 @@ pub struct AuditReport {
     pub discards: u64,
     /// Tasks that died mid-execution and are covered by a respawn.
     pub recovered: u64,
+    /// Multiplicity duplicates seen (fresh records re-executing a
+    /// double-claimed original).
+    pub duplicates: u64,
     /// Findings, in task-id order.
     pub violations: Vec<AuditViolation>,
 }
@@ -160,6 +251,7 @@ impl AuditReport {
             self.respawns,
             self.discards,
             self.recovered,
+            self.duplicates,
         ] {
             h = hash::fnv1a_continue(h, &n.to_le_bytes());
         }
@@ -173,13 +265,14 @@ impl AuditReport {
     /// Renders a short human-readable summary.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "{}: {} tasks, {} completed, {} respawns, {} discards, {} recovered\n",
+            "{}: {} tasks, {} completed, {} respawns, {} discards, {} recovered, {} duplicates\n",
             if self.is_clean() { "clean" } else { "VIOLATIONS" },
             self.tasks,
             self.completed,
             self.respawns,
             self.discards,
             self.recovered,
+            self.duplicates,
         );
         for v in &self.violations {
             out.push_str(&format!("  {v}\n"));
@@ -198,23 +291,37 @@ struct TaskState {
     parent: Option<u32>,
     /// A respawn named this task as the one that died mid-execution.
     respawned_of: bool,
+    /// How many `Duplicate` events named this task as their original.
+    dup_count: u32,
+    /// This record *is* a multiplicity duplicate.
+    is_duplicate: bool,
 }
 
 /// Audits a task-event stream for exactly-once (crash-free) or accounted
 /// at-least-once (crash-armed) execution.
 ///
-/// `kernel` selects the idempotence expectation for re-executed subtrees;
-/// pass the registry name (e.g. `cilk5-nq`) or any other label — unknown
-/// names are simply not whitelisted.
+/// Compatibility wrapper over [`audit_task_events_mode`]: `crash_armed`
+/// selects [`AuditMode::AtLeastOnce`] vs [`AuditMode::ExactlyOnce`].
 pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) -> AuditReport {
+    let mode = if crash_armed { AuditMode::AtLeastOnce } else { AuditMode::ExactlyOnce };
+    audit_task_events_mode(events, mode, kernel)
+}
+
+/// Audits a task-event stream under `mode` (see [`AuditMode`]).
+///
+/// `kernel` selects the idempotence expectation for re-executed subtrees
+/// and duplicates; pass the registry name (e.g. `cilk5-nq`) or any other
+/// label — unknown names are simply not whitelisted.
+pub fn audit_task_events_mode(events: &[TaskEvent], mode: AuditMode, kernel: &str) -> AuditReport {
     let mut states: Vec<TaskState> = Vec::new();
     let mut report = AuditReport {
-        crash_armed,
+        crash_armed: mode.crash_armed(),
         tasks: 0,
         completed: 0,
         respawns: 0,
         discards: 0,
         recovered: 0,
+        duplicates: 0,
         violations: Vec::new(),
     };
     fn flag(
@@ -309,11 +416,47 @@ pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) 
                 s.discarded = true;
                 report.discards += 1;
             }
+            TaskEventKind::Duplicate { of } => {
+                let known = states.get(of as usize).is_some_and(|s| s.spawned);
+                if !known {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::MalformedStream,
+                        e.task,
+                        format!("duplicates unknown task {of}"),
+                    );
+                }
+                if !mode.multiplicity() {
+                    flag(
+                        &mut report.violations,
+                        AuditViolationKind::UnexpectedDuplicate,
+                        e.task,
+                        format!("duplicate of task {of} under an exactly-once deque policy"),
+                    );
+                }
+                {
+                    let of_state = state(&mut states, of);
+                    of_state.dup_count += 1;
+                    if of_state.dup_count == 2 {
+                        flag(
+                            &mut report.violations,
+                            AuditViolationKind::OverDuplicated,
+                            of,
+                            "original duplicated more than once (at-most-twice broken)".into(),
+                        );
+                    }
+                }
+                let s = state(&mut states, e.task);
+                s.spawned = true;
+                s.is_duplicate = true;
+                report.tasks += 1;
+                report.duplicates += 1;
+            }
             TaskEventKind::Stolen { .. } | TaskEventKind::Join => {}
         }
     }
 
-    if !crash_armed && (report.respawns > 0 || report.discards > 0) {
+    if !mode.crash_armed() && (report.respawns > 0 || report.discards > 0) {
         flag(
             &mut report.violations,
             AuditViolationKind::UnexpectedRecovery,
@@ -371,8 +514,22 @@ pub fn audit_task_events(events: &[TaskEvent], crash_armed: bool, kernel: &str) 
             AuditViolationKind::NonIdempotentReexec,
             0,
             format!(
-                "{} subtree re-executions but kernel {kernel:?} is not whitelisted",
+                "{} subtree re-executions but kernel {kernel:?} is not respawn-idempotent",
                 report.respawns
+            ),
+        );
+    }
+    // Duplicates are held to the stricter whitelist: re-running an
+    // already-completed task double-applies accumulations that a
+    // cut-short respawn replay would not.
+    if report.duplicates > 0 && !kernel_is_duplicate_safe(kernel) {
+        flag(
+            &mut report.violations,
+            AuditViolationKind::NonIdempotentReexec,
+            0,
+            format!(
+                "{} duplicate executions but kernel {kernel:?} is not duplicate-safe",
+                report.duplicates
             ),
         );
     }
@@ -527,6 +684,108 @@ mod tests {
         assert!(r.is_clean(), "{}", r.render());
     }
 
+    /// A multiplicity stream: owner and thief both claim task 1; the
+    /// duplicate runs under a fresh id 2 with no parent.
+    fn duplicate_stream() -> Vec<TaskEvent> {
+        use TaskEventKind::*;
+        vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, Stolen { from: 0 }),
+            ev(4, 1, 1, ExecBegin),
+            ev(5, 0, 2, Duplicate { of: 1 }),
+            ev(6, 0, 2, ExecBegin),
+            ev(7, 0, 2, ExecEnd),
+            ev(8, 1, 1, ExecEnd),
+            ev(9, 0, 0, Join),
+            ev(10, 0, 0, ExecEnd),
+        ]
+    }
+
+    #[test]
+    fn multiplicity_mode_accepts_an_at_most_twice_duplicate() {
+        let r = audit_task_events_mode(
+            &duplicate_stream(),
+            AuditMode::Multiplicity { crash_armed: false },
+            "ligra-cc",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!((r.tasks, r.completed, r.duplicates), (3, 3, 1));
+    }
+
+    #[test]
+    fn duplicate_outside_multiplicity_mode_is_flagged() {
+        let r = audit_task_events(&duplicate_stream(), false, "cilk5-nq");
+        assert_eq!(r.count(AuditViolationKind::UnexpectedDuplicate), 1, "{}", r.render());
+        let r = audit_task_events(&duplicate_stream(), true, "cilk5-nq");
+        assert_eq!(r.count(AuditViolationKind::UnexpectedDuplicate), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn duplicating_one_original_twice_breaks_at_most_twice() {
+        use TaskEventKind::*;
+        let mut events = duplicate_stream();
+        events.push(ev(11, 0, 3, Duplicate { of: 1 }));
+        events.push(ev(12, 0, 3, ExecBegin));
+        events.push(ev(13, 0, 3, ExecEnd));
+        let r = audit_task_events_mode(
+            &events,
+            AuditMode::Multiplicity { crash_armed: false },
+            "cilk5-nq",
+        );
+        assert_eq!(r.count(AuditViolationKind::OverDuplicated), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn duplicate_on_a_non_whitelisted_kernel_is_flagged() {
+        let r = audit_task_events_mode(
+            &duplicate_stream(),
+            AuditMode::Multiplicity { crash_armed: false },
+            "my-accumulating-kernel",
+        );
+        assert_eq!(r.count(AuditViolationKind::NonIdempotentReexec), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn respawn_idempotent_but_not_duplicate_safe_is_flagged_on_duplicates() {
+        // LU tolerates a cut-short subtree respawn (the crash matrix
+        // proves it) but its in-place panel updates double-apply if an
+        // already-completed task runs again: the duplicate whitelist is
+        // strictly stronger than the respawn one.
+        assert!(kernel_is_idempotent("cilk5-lu") && !kernel_is_duplicate_safe("cilk5-lu"));
+        let r = audit_task_events_mode(
+            &duplicate_stream(),
+            AuditMode::Multiplicity { crash_armed: false },
+            "cilk5-lu",
+        );
+        assert_eq!(r.count(AuditViolationKind::NonIdempotentReexec), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn duplicated_original_must_still_complete() {
+        use TaskEventKind::*;
+        // The duplicate ran, but the original's claimant never finished it:
+        // the rc decrement is lost, so this must not audit clean.
+        let events = vec![
+            ev(0, 0, 0, Spawn { parent: None }),
+            ev(1, 0, 0, ExecBegin),
+            ev(2, 0, 1, Spawn { parent: Some(0) }),
+            ev(3, 1, 1, Stolen { from: 0 }),
+            ev(4, 1, 1, ExecBegin),
+            ev(5, 0, 2, Duplicate { of: 1 }),
+            ev(6, 0, 2, ExecBegin),
+            ev(7, 0, 2, ExecEnd),
+            ev(10, 0, 0, ExecEnd),
+        ];
+        let r = audit_task_events_mode(
+            &events,
+            AuditMode::Multiplicity { crash_armed: false },
+            "cilk5-nq",
+        );
+        assert_eq!(r.count(AuditViolationKind::Unrecovered), 1, "{}", r.render());
+    }
+
     #[test]
     fn whitelist_is_pinned_to_the_kernel_registry_names() {
         // The whitelist is sorted and duplicate-free so membership checks
@@ -536,6 +795,13 @@ mod tests {
         assert_eq!(sorted, IDEMPOTENT_KERNELS);
         assert!(kernel_is_idempotent("cilk5-nq"));
         assert!(!kernel_is_idempotent("nqueens"));
+        let mut sorted = DUPLICATE_SAFE_KERNELS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, DUPLICATE_SAFE_KERNELS);
+        // Duplicate-safety implies respawn-idempotence, never the reverse.
+        for k in DUPLICATE_SAFE_KERNELS {
+            assert!(kernel_is_idempotent(k), "{k} duplicate-safe but not respawn-idempotent");
+        }
     }
 
     #[test]

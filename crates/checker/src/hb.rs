@@ -3,7 +3,7 @@
 //! A FastTrack-flavoured vector-clock pass. The stream is replayed in
 //! merged `(cycle, core)` order — which the engine guarantees equals grant
 //! order — and each core carries a full vector clock. Synchronization
-//! edges come from four sources, all explicit in the stream:
+//! edges come from five sources, all explicit in the stream:
 //!
 //! * **AMOs** are acquire-release on the accessed word's sync clock
 //!   (every runtime lock, CAS, and join-counter decrement is an AMO).
@@ -12,6 +12,11 @@
 //!   section. The next `try_lock` AMO on that word acquires it. Without
 //!   this the unlock store would race with other cores' failed `try_lock`
 //!   AMOs.
+//! * **Lock-free push publishes**: a [`RacyTag::DequeTailPublish`] store
+//!   is a release on the deque's `tail` word, and a thief's
+//!   [`RacyTag::DequeThiefPeek`] load acquires it — the lock-free deques'
+//!   analog of the release/acquire pair the locked deque gets from its
+//!   lock word.
 //! * **ULI request/response delivery**: `UliReqSend -> HandlerEnter` and
 //!   `UliRespSend -> UliRespRecv` each carry the sender's clock to the
 //!   receiver (the mesh delivers ULI messages point-to-point in order).
@@ -244,14 +249,28 @@ impl HbPass {
                 match racy {
                     None => self.plain_read(core, cycle, addr.0, col),
                     // The join-counter spin read acquires the counter's
-                    // sync clock (published by the child's AMO decrement);
-                    // other audited racy loads are simply exempt.
-                    Some(RacyTag::RcWaitLoop) => self.acquire(core, addr.0),
+                    // sync clock (published by the child's AMO decrement),
+                    // and a thief's deque peek acquires the word's clock
+                    // (published by the owner's `DequeTailPublish` push
+                    // store), ordering the stolen task's descriptor reads
+                    // after the owner's pre-push writes. Other audited
+                    // racy loads are simply exempt.
+                    Some(RacyTag::RcWaitLoop | RacyTag::DequeThiefPeek) => {
+                        self.acquire(core, addr.0);
+                    }
                     Some(_) => {}
                 }
             }
             MemOp::Store { addr, racy } => {
-                if racy.is_some() {
+                if racy == Some(RacyTag::DequeTailPublish) {
+                    // Lock-free push's release-publish on the `tail` word:
+                    // like the deque-lock release store, but keyed by tag
+                    // (there is no lock word to hang a note on).
+                    self.atomic_write(core, cycle, addr.0, col);
+                    let vc = self.vc[core].clone();
+                    self.sync.entry(addr.0).or_insert_with(|| Vc::new(self.ncores)).join(&vc);
+                    self.bump(core);
+                } else if racy.is_some() {
                     // Audited benign write-write race (same-value
                     // idempotent stores): recorded as an atomic-like write
                     // epoch, so concurrent audited stores and exempt racy

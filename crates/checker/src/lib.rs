@@ -44,7 +44,8 @@ mod lint;
 mod stale;
 
 pub use audit::{
-    audit_task_events, kernel_is_idempotent, AuditReport, AuditViolation, AuditViolationKind,
+    audit_task_events, audit_task_events_mode, kernel_is_duplicate_safe, kernel_is_idempotent,
+    AuditMode, AuditReport, AuditViolation, AuditViolationKind, DUPLICATE_SAFE_KERNELS,
     IDEMPOTENT_KERNELS,
 };
 

@@ -11,7 +11,7 @@
 use bigtiny_engine::sync::RwLock;
 
 use bigtiny_coherence::Addr;
-use bigtiny_engine::{AddrSpace, CorePort, SyncNote, TimeCategory};
+use bigtiny_engine::{AddrSpace, CorePort, RacyTag, SyncNote, TimeCategory};
 
 use crate::task::TaskId;
 
@@ -176,18 +176,25 @@ impl SimDeque {
     /// full.
     pub fn cl_push_tail(&self, port: &mut CorePort, task: TaskId) -> bool {
         port.load(self.tail_addr);
-        port.load(self.head_addr);
-        let (full, tail) = {
+        // The owner's capacity check peeks at the thief-owned `head`
+        // without synchronization (audited racy): `head` is monotone, so a
+        // stale value only over-estimates occupancy. The check binds at
+        // this load's sequenced grant — sampling it off the host lock
+        // between ops would make `full` depend on host thread timing.
+        let (full, tail) = port.load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || {
             let st = self.state.read();
             (st.tail - st.head >= self.capacity, st.tail)
-        };
+        });
         if full {
             return false;
         }
         port.store_words(self.slot_addr(tail), 1, || {
             self.state.write().slots[(tail % self.capacity) as usize] = Some(task);
         });
-        port.store_words(self.tail_addr, 1, || {
+        // Release-publish: a thief's acquiring `tail` peek orders the
+        // stolen task's descriptor reads after everything the owner wrote
+        // before this push (the lock-free analog of the unlock store).
+        port.store_words_racy(self.tail_addr, 1, RacyTag::DequeTailPublish, || {
             self.state.write().tail += 1;
         });
         true
@@ -212,7 +219,9 @@ impl SimDeque {
                 (t, st.tail == st.head)
             }
         });
-        port.load(self.head_addr);
+        // Post-claim peek at the thief-owned `head` (audited racy: thieves
+        // AMO it concurrently; the claim above already linearized).
+        port.load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || ());
         if task.is_some() {
             port.load(self.slot_addr(0)); // slot read (already claimed)
         }
@@ -227,17 +236,159 @@ impl SimDeque {
 
     /// Lock-free thief steal: read head/tail, then CAS `head` forward. The
     /// functional claim linearizes at the CAS.
+    ///
+    /// The pre-CAS reads are the thief's unsynchronized peeks (audited
+    /// racy): a stale `tail` only costs a missed steal, and the
+    /// speculative slot value is discarded unless the CAS validates it.
+    /// The claim is validated against the *sequenced* reads — the CAS
+    /// succeeds only if `head` still equals the peeked value and the
+    /// peeked `tail` showed the slot occupied — exactly Chase-Lev's
+    /// `CAS(head, h, h+1)` after `h < t`. Claiming from fresher host state
+    /// would let the thief take a task pushed *after* its acquiring `tail`
+    /// peek, breaking the descriptor happens-before edge.
     pub fn cl_steal(&self, port: &mut CorePort) -> Option<TaskId> {
-        port.load(self.head_addr);
-        port.load(self.tail_addr);
-        // Speculative slot read before the CAS, as in the real algorithm.
-        // (Bind the index first: a lock guard must never live across a
-        // sequenced operation.)
-        let head_now = self.state.read().head;
-        port.load(self.slot_addr(head_now));
+        let head_now = port
+            .load_words_racy(self.head_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().head);
+        let tail_now = port
+            .load_words_racy(self.tail_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().tail);
+        port.load_words_racy(self.slot_addr(head_now), 1, RacyTag::DequeThiefPeek, || ());
         port.amo_word(self.head_addr, || {
             let mut st = self.state.write();
-            if st.tail == st.head {
+            // Three-way validation: `head` unmoved since the peek (the CAS
+            // guard), the peeked `tail` showed the slot occupied (the
+            // happens-before guard: the push publish predates the thief's
+            // acquiring peek), and the deque is *still* non-empty (the
+            // owner's claim linearized since the peek loses the race).
+            if st.head != head_now || head_now >= tail_now || st.head >= st.tail {
+                None
+            } else {
+                let t = st.slots[(st.head % self.capacity) as usize];
+                st.head += 1;
+                t
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Multiplicity deques (Castañeda & Piña: fully read/write fence-free
+    // work stealing with multiplicity; Michael et al.: idempotent work
+    // stealing). The owner's fast path issues *no* AMO at all; the price
+    // is that exactly-once relaxes to at-most-twice — a slot can be
+    // claimed by both the owner and a thief, and the caller re-executes
+    // the double-claimed task as an audited duplicate. The checker's
+    // `Multiplicity` audit mode verifies the at-most-twice bound and the
+    // kernel-idempotence requirement.
+    // ------------------------------------------------------------------
+
+    /// Fence-free owner push (both multiplicity policies): slot store +
+    /// tail store, with only an audited racy peek at `head` for the
+    /// capacity check. Returns `false` when full.
+    pub fn mp_push_tail(&self, port: &mut CorePort, task: TaskId) -> bool {
+        port.load(self.tail_addr);
+        let (full, tail) = port.load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || {
+            let st = self.state.read();
+            (st.tail - st.head >= self.capacity, st.tail)
+        });
+        if full {
+            return false;
+        }
+        port.store_words(self.slot_addr(tail), 1, || {
+            self.state.write().slots[(tail % self.capacity) as usize] = Some(task);
+        });
+        // Release-publish, as in `cl_push_tail`: the multiplicity policies
+        // drop the owner's claim-side fences, not the push-side ordering a
+        // thief needs to read the stolen descriptor safely.
+        port.store_words_racy(self.tail_addr, 1, RacyTag::DequeTailPublish, || {
+            self.state.write().tail += 1;
+        });
+        true
+    }
+
+    /// Fence-free owner pop (LIFO): the claim is a plain `tail` store —
+    /// no AMO even on the last element, unlike Chase-Lev. Returns
+    /// `(task, duplicate)`: `duplicate` means a thief claimed the same
+    /// slot concurrently, and the caller must run the task as an audited
+    /// duplicate (the thief's copy is the primary). A double claim can
+    /// only hit the *last* element: thieves never advance `head` past
+    /// `tail`, so every earlier slot has a single claimant.
+    pub fn ff_pop_tail(&self, port: &mut CorePort) -> (Option<TaskId>, bool) {
+        port.load(self.tail_addr);
+        // The owner's emptiness test uses the `head` it reads *here* — by
+        // the time the claim below is granted, a thief's CAS may have
+        // advanced `head` past it. That stale window is the multiplicity
+        // mechanism: the owner still claims the slot, and the fresh `head`
+        // at the claim decides whether the task was double-claimed
+        // (duplicated) — it is never lost.
+        let seen_head = port
+            .load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || self.state.read().head);
+        // Linearization: claim the tail slot with a plain store.
+        port.store_words(self.tail_addr, 1, || {
+            let mut st = self.state.write();
+            if seen_head >= st.tail {
+                (None, false)
+            } else {
+                st.tail -= 1;
+                let idx = st.tail;
+                let t = st.slots[(idx % self.capacity) as usize];
+                let dup = idx < st.head;
+                if dup {
+                    // The thief also won the last element; reset to
+                    // canonical empty so indices stay `head <= tail`.
+                    st.tail = st.head;
+                }
+                (t, dup)
+            }
+        })
+    }
+
+    /// Idempotent-FIFO owner take: reads `head`, claims the slot it points
+    /// at, and publishes the advance with a plain racy store — no AMO, no
+    /// fence. Returns `(task, duplicate)`: `duplicate` means a thief's CAS
+    /// claimed the same index inside the owner's read-to-store window. The
+    /// store merges by `max`, so `head` stays monotone, each index is
+    /// owner-claimed at most once (the next take re-reads a `head` past
+    /// it), and every task executes at most twice.
+    pub fn idem_take_head(&self, port: &mut CorePort) -> (Option<TaskId>, bool) {
+        port.load(self.tail_addr);
+        // The index the owner will claim binds *here*; a thief CAS granted
+        // between this load and the store below claims the same index —
+        // that is the multiplicity window.
+        let seen_head = port
+            .load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || self.state.read().head);
+        port.load(self.slot_addr(seen_head));
+        port.store_words_racy(self.head_addr, 1, RacyTag::DequeOwnerCommit, || {
+            let mut st = self.state.write();
+            let idx = seen_head;
+            if idx >= st.tail {
+                (None, false)
+            } else {
+                let t = st.slots[(idx % self.capacity) as usize];
+                let dup = idx < st.head;
+                st.head = st.head.max(idx + 1);
+                (t, dup)
+            }
+        })
+    }
+
+    /// Multiplicity thief steal (both policies): peek `head`/`tail`/slot
+    /// (audited racy), claim exactly at the `head` CAS. The thief is
+    /// always the primary claimant — duplicates are only ever the owner's
+    /// re-execution. As in [`SimDeque::cl_steal`], the CAS validates
+    /// against the sequenced peeks so a claimed task's push-publish
+    /// happens-before the thief's acquiring `tail` peek.
+    pub fn mp_steal(&self, port: &mut CorePort) -> Option<TaskId> {
+        let head_now = port
+            .load_words_racy(self.head_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().head);
+        let tail_now = port
+            .load_words_racy(self.tail_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().tail);
+        port.load_words_racy(self.slot_addr(head_now), 1, RacyTag::DequeThiefPeek, || ());
+        port.amo_word(self.head_addr, || {
+            let mut st = self.state.write();
+            // Same three-way validation as `cl_steal`; the fresh
+            // non-emptiness conjunct is what keeps the thief the *primary*
+            // claimant — an owner claim that linearized since the peek
+            // wins outright instead of creating a thief-side duplicate.
+            if st.head != head_now || head_now >= tail_now || st.head >= st.tail {
                 None
             } else {
                 let t = st.slots[(st.head % self.capacity) as usize];
@@ -373,6 +524,158 @@ mod tests {
             d.cl_steal(port);
             assert!(d.cl_push_tail(port, TaskId(2)));
         });
+    }
+
+    #[test]
+    fn fence_free_lifo_fifo_semantics() {
+        let mut space = AddrSpace::new();
+        let dq = Arc::new(SimDeque::new(&mut space, 8));
+        let d = Arc::clone(&dq);
+        on_one_core(move |port| {
+            for i in 0..4 {
+                assert!(d.mp_push_tail(port, TaskId(i)));
+            }
+            assert_eq!(d.ff_pop_tail(port), (Some(TaskId(3)), false), "owner pops newest");
+            assert_eq!(d.mp_steal(port), Some(TaskId(0)), "thief steals oldest");
+            assert_eq!(d.ff_pop_tail(port), (Some(TaskId(2)), false));
+            assert_eq!(d.mp_steal(port), Some(TaskId(1)));
+            assert_eq!(d.ff_pop_tail(port), (None, false));
+            assert_eq!(d.mp_steal(port), None);
+            assert_eq!(d.host_len(), 0);
+        });
+    }
+
+    #[test]
+    fn idempotent_fifo_semantics() {
+        let mut space = AddrSpace::new();
+        let dq = Arc::new(SimDeque::new(&mut space, 8));
+        let d = Arc::clone(&dq);
+        on_one_core(move |port| {
+            for i in 0..3 {
+                assert!(d.mp_push_tail(port, TaskId(i)));
+            }
+            // Owner takes FIFO from the head, same end thieves steal from.
+            assert_eq!(d.idem_take_head(port), (Some(TaskId(0)), false));
+            assert_eq!(d.mp_steal(port), Some(TaskId(1)));
+            // The owner's next take re-reads the post-steal head.
+            assert_eq!(d.idem_take_head(port), (Some(TaskId(2)), false));
+            assert_eq!(d.idem_take_head(port), (None, false));
+            assert_eq!(d.host_len(), 0);
+        });
+    }
+
+    #[test]
+    fn multiplicity_capacity_check_reports_full() {
+        let mut space = AddrSpace::new();
+        let dq = Arc::new(SimDeque::new(&mut space, 2));
+        let d = Arc::clone(&dq);
+        on_one_core(move |port| {
+            assert!(d.mp_push_tail(port, TaskId(0)));
+            assert!(d.mp_push_tail(port, TaskId(1)));
+            assert!(!d.mp_push_tail(port, TaskId(2)), "full");
+            d.mp_steal(port);
+            assert!(d.mp_push_tail(port, TaskId(2)), "wraps after a steal");
+        });
+    }
+
+    /// Sweeps the thief's arrival time across the owner's pop window. In
+    /// every interleaving the single task is claimed at least once and at
+    /// most twice, the duplicate flag fires exactly when both sides won
+    /// it, and the sweep must actually hit both a clean pop and the
+    /// last-element double claim (the thief's CAS landing between the
+    /// owner's `head` read and its `tail`-store claim).
+    #[test]
+    fn fence_free_double_claims_duplicate_never_lose() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (mut saw_dup, mut saw_clean_pop) = (false, false);
+        for delay in 0..400u64 {
+            let mut space = AddrSpace::new();
+            let dq = Arc::new(SimDeque::new(&mut space, 4));
+            let (owner, thief) = (Arc::clone(&dq), Arc::clone(&dq));
+            let stolen = Arc::new(AtomicBool::new(false));
+            let stolen_w = Arc::clone(&stolen);
+            let owner_claim = Arc::new(std::sync::Mutex::new((None, false)));
+            let owner_claim_w = Arc::clone(&owner_claim);
+            let config = SystemConfig::o3(2);
+            let workers: Vec<Worker> = vec![
+                Box::new(move |port| {
+                    owner.mp_push_tail(port, TaskId(7));
+                    port.wait_cycles(320, TimeCategory::Idle);
+                    *owner_claim_w.lock().unwrap() = owner.ff_pop_tail(port);
+                    port.set_done();
+                }),
+                Box::new(move |port| {
+                    port.wait_cycles(delay, TimeCategory::Idle);
+                    if thief.mp_steal(port) == Some(TaskId(7)) {
+                        stolen_w.store(true, Ordering::Relaxed);
+                    }
+                    port.set_done();
+                }),
+            ];
+            run_system(&config, workers);
+            let (task, dup) = *owner_claim.lock().unwrap();
+            let thief_won = stolen.load(Ordering::Relaxed);
+            let owner_won = task == Some(TaskId(7));
+            assert!(owner_won || thief_won, "delay {delay}: the task was lost");
+            assert_eq!(
+                dup,
+                owner_won && thief_won,
+                "delay {delay}: duplicate flag must mean a double claim"
+            );
+            saw_dup |= dup;
+            saw_clean_pop |= owner_won && !thief_won;
+        }
+        assert!(saw_dup, "the sweep never hit the double-claim window");
+        assert!(saw_clean_pop, "the sweep never hit a clean owner pop");
+    }
+
+    /// Sweeps the thief's arrival across the idempotent owner's take
+    /// window: a thief CAS granted between the owner's `head` read and its
+    /// fence-free `head` store claims the same index, which the owner's
+    /// store must report as a duplicate — never a loss, never a skip.
+    #[test]
+    fn idempotent_stale_window_double_claim_duplicates() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (mut saw_dup, mut saw_clean_take) = (false, false);
+        for delay in 0..400u64 {
+            let mut space = AddrSpace::new();
+            let dq = Arc::new(SimDeque::new(&mut space, 4));
+            let (owner, thief) = (Arc::clone(&dq), Arc::clone(&dq));
+            let stolen = Arc::new(AtomicBool::new(false));
+            let stolen_w = Arc::clone(&stolen);
+            let owner_claim = Arc::new(std::sync::Mutex::new((None, false)));
+            let owner_claim_w = Arc::clone(&owner_claim);
+            let config = SystemConfig::o3(2);
+            let workers: Vec<Worker> = vec![
+                Box::new(move |port| {
+                    owner.mp_push_tail(port, TaskId(7));
+                    port.wait_cycles(320, TimeCategory::Idle);
+                    *owner_claim_w.lock().unwrap() = owner.idem_take_head(port);
+                    port.set_done();
+                }),
+                Box::new(move |port| {
+                    port.wait_cycles(delay, TimeCategory::Idle);
+                    if thief.mp_steal(port) == Some(TaskId(7)) {
+                        stolen_w.store(true, Ordering::Relaxed);
+                    }
+                    port.set_done();
+                }),
+            ];
+            run_system(&config, workers);
+            let (task, dup) = *owner_claim.lock().unwrap();
+            let thief_won = stolen.load(Ordering::Relaxed);
+            let owner_won = task == Some(TaskId(7));
+            assert!(owner_won || thief_won, "delay {delay}: the task was lost");
+            assert_eq!(
+                dup,
+                owner_won && thief_won,
+                "delay {delay}: duplicate flag must mean a double claim"
+            );
+            saw_dup |= dup;
+            saw_clean_take |= owner_won && !thief_won;
+        }
+        assert!(saw_dup, "the sweep never hit the double-claim window");
+        assert!(saw_clean_take, "the sweep never hit a clean owner take");
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //! task of the frozen stack from its recorded body factory — the
 //! replacement inherits the original's parent and join obligation, so no
 //! join counter is left short. Recovery gives at-least-once execution:
-//! subtrees can run twice, which is why crash-tolerant applications gate
-//! their side effects on [`TaskCx::crash_tolerant`] (idempotent slot
-//! writes instead of read-modify-write accumulation).
+//! subtrees can run twice, which is why re-execution-tolerant
+//! applications gate their side effects on [`TaskCx::reexec_possible`]
+//! (idempotent slot writes instead of read-modify-write accumulation) —
+//! the same gate fires under the multiplicity deque policies, whose
+//! double claims re-run a completed task as an audited duplicate.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -78,9 +80,12 @@ impl RuntimeKind {
     }
 }
 
-/// Which deque implementation the Baseline (hardware-coherence) runtime
-/// uses. The paper's pseudocode uses per-deque locks; Chase-Lev is the
-/// classic lock-free alternative it cites.
+/// Which deque policy the Baseline (hardware-coherence) runtime uses. The
+/// paper's pseudocode uses per-deque locks; Chase-Lev is the classic
+/// lock-free alternative it cites; the two multiplicity policies trade
+/// exactly-once execution for an owner fast path with *no* atomics at all
+/// (Castañeda & Piña's fence-free work stealing with multiplicity, and
+/// idempotent work stealing à la Michael et al.).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DequeKind {
     /// Lock-protected deque (Figure 3(a)).
@@ -88,6 +93,40 @@ pub enum DequeKind {
     /// Chase-Lev lock-free deque (owner pops race thieves with a CAS only
     /// on the last element). Only meaningful under hardware coherence.
     ChaseLev,
+    /// Fence-free LIFO owner pop with multiplicity: the owner's claim is a
+    /// plain `tail` store — no AMO even on the last element. A thief's CAS
+    /// landing in the owner's pop window double-claims that last task; the
+    /// owner then re-executes it as an audited duplicate (at-most-twice,
+    /// verified by the checker's `Multiplicity` audit mode). Requires an
+    /// idempotent kernel. Only meaningful under hardware coherence.
+    FenceFree,
+    /// Idempotent work stealing: the owner takes FIFO from the *same* end
+    /// thieves steal from, publishing its `head` advance with a plain racy
+    /// store instead of a CAS. A stale owner view double-claims stolen
+    /// slots (re-executed as audited duplicates); duplicates are more
+    /// frequent than under [`DequeKind::FenceFree`] because owner and
+    /// thieves contend on every slot, not just the last. Requires an
+    /// idempotent kernel. Only meaningful under hardware coherence.
+    Idempotent,
+}
+
+impl DequeKind {
+    /// Whether this policy may execute a task more than once (at most
+    /// twice): relaxes the checker expectation from exactly-once to the
+    /// `Multiplicity` audit mode and requires an idempotent kernel.
+    pub fn multiplicity(self) -> bool {
+        matches!(self, DequeKind::FenceFree | DequeKind::Idempotent)
+    }
+
+    /// Stable label used in setup names and metrics documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            DequeKind::Locked => "locked",
+            DequeKind::ChaseLev => "chase-lev",
+            DequeKind::FenceFree => "fence-free",
+            DequeKind::Idempotent => "idempotent",
+        }
+    }
 }
 
 /// How a thief picks its victim.
@@ -136,6 +175,15 @@ pub enum MutationKind {
     /// Every `has_stolen_child` read returns `true`: the elision never
     /// fires. Slower, but conservative — the checker must stay clean.
     HscStuckTrue,
+    /// Force one task to execute twice: after the `nth` clean local pop on
+    /// the target core, the popped task is re-executed as an audited
+    /// duplicate. Only meaningful under a multiplicity deque policy
+    /// ([`DequeKind::multiplicity`]); unlike the coherence mutations this
+    /// does not seed a *bug* — it seeds the duplicate the policy's
+    /// at-most-twice contract permits, so the DPOR sweep can prove the
+    /// checker battery and kernel verify stay clean with duplicates
+    /// present under every schedule.
+    DupTask,
 }
 
 /// Runtime configuration.
@@ -247,6 +295,10 @@ pub struct RuntimeStats {
     /// Crash recovery: cores that came back from a fail-stop and rejoined
     /// scheduling.
     pub revivals: u64,
+    /// Multiplicity policies: tasks re-executed as duplicates after a
+    /// double claim (owner and thief both won the slot), plus any seeded
+    /// by [`MutationKind::DupTask`]. Always 0 for exactly-once policies.
+    pub duplicate_executions: u64,
     /// Work/span profile of the task graph.
     pub workspan: WorkSpan,
 }
@@ -614,12 +666,21 @@ impl<'a> TaskCx<'a> {
         self.rt.cfg.dts_has_stolen_child_opt && !self.port.faults_active()
     }
 
-    /// True when a fail-stop crash plan is armed. Recovery re-executes the
-    /// task a dead core was running, so subtrees can run more than once:
-    /// crash-tolerant applications gate their side effects on this
-    /// (idempotent slot writes instead of read-modify-write accumulation).
-    pub fn crash_tolerant(&self) -> bool {
-        self.crash_armed
+    /// Whether a multiplicity deque policy is active (Baseline runtime
+    /// only; the HCC/DTS paths always use the locked deque protocol).
+    fn multiplicity(&self) -> bool {
+        self.rt.cfg.kind == RuntimeKind::Baseline && self.rt.cfg.deque_kind.multiplicity()
+    }
+
+    /// True when a task body may execute more than once: a fail-stop
+    /// crash plan is armed (recovery re-runs the subtree a dead core was
+    /// executing, at-least-once) or a multiplicity deque policy is active
+    /// (a double-claimed task re-runs as an audited duplicate,
+    /// at-most-twice). Re-execution-tolerant applications gate their side
+    /// effects on this (idempotent slot writes instead of
+    /// read-modify-write accumulation).
+    pub fn reexec_possible(&self) -> bool {
+        self.crash_armed || self.multiplicity()
     }
 
     /// The simulated core this worker runs on.
@@ -858,7 +919,9 @@ impl<'a> TaskCx<'a> {
             assert!(rec.pending_budget > 0, "spawn() without a set_pending() budget");
             rec.pending_budget -= 1;
         }
-        let respawn: Option<RespawnFn> = if self.crash_armed {
+        // Multiplicity policies also need the factory: a double-claimed
+        // task's duplicate re-runs a fresh copy of the body.
+        let respawn: Option<RespawnFn> = if self.crash_armed || self.multiplicity() {
             let b = body.clone();
             let f: Box<dyn FnMut() -> Box<dyn TaskBody> + Send> =
                 Box::new(move || Box::new(b.clone()));
@@ -882,6 +945,9 @@ impl<'a> TaskCx<'a> {
                         ok
                     }
                     DequeKind::ChaseLev => dq.cl_push_tail(self.port, child),
+                    DequeKind::FenceFree | DequeKind::Idempotent => {
+                        dq.mp_push_tail(self.port, child)
+                    }
                 }
             }
             RuntimeKind::Hcc => {
@@ -1007,20 +1073,70 @@ impl<'a> TaskCx<'a> {
         self.complete_task(t);
     }
 
+    /// Re-executes `orig` as an audited multiplicity duplicate: a fresh
+    /// parentless record built from the original's body factory. The
+    /// duplicate holds no join obligation — the claimant of the *original*
+    /// decrements the parent's rc — so `complete_task` on it is a no-op,
+    /// and only the at-most-twice contract (checker `Multiplicity` audit)
+    /// makes the re-execution legal.
+    fn execute_duplicate(&mut self, orig: TaskId) {
+        let factory = self.rt.tasks.read()[orig.0 as usize]
+            .respawn
+            .clone()
+            .expect("multiplicity deque task lacks a body factory");
+        let body = {
+            let mut f = factory.lock().unwrap_or_else(|e| e.into_inner());
+            (*f)()
+        };
+        let base = self.rt.stack_bases[self.wid];
+        assert!(
+            self.stack_top + field::SIZE <= base + self.rt.stack_bytes,
+            "simulated task stack overflow on worker {}",
+            self.wid
+        );
+        let addr = bigtiny_coherence::Addr(self.stack_top);
+        self.stack_top += field::SIZE;
+        let id = {
+            let mut tasks = self.rt.tasks.write();
+            let id = TaskId(tasks.len() as u32);
+            let mut rec = TaskRecord::new(body, None, addr);
+            rec.respawn = Some(factory);
+            rec.duplicate_of = Some(orig.0);
+            tasks.push(rec);
+            id
+        };
+        self.port.store_words(addr.offset(field::DESC), 2, || ());
+        self.port.store_words(addr.offset(field::PARENT), 1, || ());
+        self.record_event(id.0, TaskEventKind::Duplicate { of: orig.0 });
+        self.rt.counters.write().duplicate_executions += 1;
+        self.execute_and_complete(id);
+    }
+
     fn step_baseline(&mut self) {
         self.hardened_tick();
         let dq = &self.rt.deques[self.wid];
-        let t = match self.rt.cfg.deque_kind {
+        let (t, dup) = match self.rt.cfg.deque_kind {
             DequeKind::Locked => {
                 dq.lock(self.port);
                 let t = dq.pop_tail(self.port);
                 dq.unlock(self.port);
-                t
+                (t, false)
             }
-            DequeKind::ChaseLev => dq.cl_pop_tail(self.port),
+            DequeKind::ChaseLev => (dq.cl_pop_tail(self.port), false),
+            DequeKind::FenceFree => dq.ff_pop_tail(self.port),
+            DequeKind::Idempotent => dq.idem_take_head(self.port),
         };
         if let Some(t) = t {
-            self.execute_and_complete(t);
+            if dup {
+                // A thief also won this slot and runs the primary copy;
+                // re-execute it here as an audited duplicate.
+                self.execute_duplicate(t);
+            } else {
+                self.execute_and_complete(t);
+                if self.multiplicity() && self.rt.mutation_hits(MutationKind::DupTask, self.wid) {
+                    self.execute_duplicate(t);
+                }
+            }
             return;
         }
         let vid = self.choose_victim();
@@ -1038,6 +1154,7 @@ impl<'a> TaskCx<'a> {
                 t
             }
             DequeKind::ChaseLev => vdq.cl_steal(self.port),
+            DequeKind::FenceFree | DequeKind::Idempotent => vdq.mp_steal(self.port),
         };
         if let Some(t) = t {
             self.rt.counters.write().steals += 1;
@@ -1297,8 +1414,12 @@ impl<'a> TaskCx<'a> {
     /// keeps idle thieves from saturating victims' deque locks / ULI units.
     fn steal_failed(&mut self) {
         self.port.idle(self.backoff);
-        self.backoff = (self.backoff * 2)
-            .min(self.rt.cfg.steal_backoff_cycles * self.rt.cfg.steal_backoff_max_factor);
+        // Saturating: `cycles * max_factor` is a configuration product that
+        // can exceed u64::MAX (the chaos fuzzer found the debug-mode
+        // overflow); the cap is "effectively unbounded" past saturation.
+        self.backoff = self.backoff.saturating_mul(2).min(
+            self.rt.cfg.steal_backoff_cycles.saturating_mul(self.rt.cfg.steal_backoff_max_factor),
+        );
         // NearestFirst walks outward on failure.
         self.victim_cursor += 1;
     }
@@ -1428,10 +1549,10 @@ impl<'a> TaskCx<'a> {
     /// Removes `d` from this worker's victim set, or doubles the re-probe
     /// backoff if it already was removed (a probe just failed again).
     fn quarantine(&mut self, d: usize) {
-        let base = self.rt.cfg.steal_backoff_cycles.max(1) * 16;
+        let base = self.rt.cfg.steal_backoff_cycles.max(1).saturating_mul(16);
         let h = &mut self.health[d];
         if h.quarantined {
-            h.backoff = (h.backoff * 2).min(1 << 16);
+            h.backoff = h.backoff.saturating_mul(2).min(1 << 16);
         } else {
             h.quarantined = true;
             h.backoff = base;
@@ -1496,10 +1617,15 @@ impl<'a> TaskCx<'a> {
         // bottom respawn in step (3) recreates all of them: discard.
         let dq = &rt.deques[d];
         let mut orphans = 0u64;
-        if self.rt.cfg.kind == RuntimeKind::Baseline
-            && self.rt.cfg.deque_kind == DequeKind::ChaseLev
+        if self.rt.cfg.kind == RuntimeKind::Baseline && self.rt.cfg.deque_kind != DequeKind::Locked
         {
-            while let Some(t) = dq.cl_steal(self.port) {
+            loop {
+                let t = match self.rt.cfg.deque_kind {
+                    DequeKind::ChaseLev => dq.cl_steal(self.port),
+                    DequeKind::FenceFree | DequeKind::Idempotent => dq.mp_steal(self.port),
+                    DequeKind::Locked => unreachable!(),
+                };
+                let Some(t) = t else { break };
                 self.record_event(t.0, TaskEventKind::Discarded);
                 orphans += 1;
             }
@@ -1633,6 +1759,7 @@ impl<'a> TaskCx<'a> {
                     ok
                 }
                 DequeKind::ChaseLev => dq.cl_push_tail(self.port, t),
+                DequeKind::FenceFree | DequeKind::Idempotent => dq.mp_push_tail(self.port, t),
             },
             RuntimeKind::Hcc | RuntimeKind::Dts => {
                 dq.lock(self.port);
@@ -1720,10 +1847,16 @@ impl<'a> TaskCx<'a> {
 
         // Fold this task's completed span into its parent's candidate path,
         // and count its serial work.
-        let (span, serial, parent, spawn_path) = {
+        let (span, serial, parent, spawn_path, is_dup) = {
             let tasks = self.rt.tasks.read();
             let rec = &tasks[t.0 as usize];
-            (rec.profile.span(), rec.profile.serial_work, rec.parent, rec.profile.spawn_path)
+            (
+                rec.profile.span(),
+                rec.profile.serial_work,
+                rec.parent,
+                rec.profile.spawn_path,
+                rec.duplicate_of.is_some(),
+            )
         };
         {
             let mut counters = self.rt.counters.write();
@@ -1735,6 +1868,10 @@ impl<'a> TaskCx<'a> {
                 let mut tasks = self.rt.tasks.write();
                 let pp = &mut tasks[p.0 as usize].profile;
                 pp.candidate = pp.candidate.max(spawn_path + span);
+            }
+            None if is_dup => {
+                // A multiplicity duplicate is parentless but is *not* the
+                // root; it must not overwrite the program span.
             }
             None => {
                 // Root task: its span is the program span.

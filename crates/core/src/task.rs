@@ -117,6 +117,11 @@ pub struct TaskRecord {
     pub pending_budget: u64,
     /// Set by the DTS victim handler before handing a child to a thief.
     pub has_stolen_child: bool,
+    /// For a multiplicity duplicate: the task id of the original whose
+    /// claim this record re-executes. Duplicates have no parent (they hold
+    /// no join obligation — the original's claimant decrements the rc), so
+    /// this is the only link back to the task they double.
+    pub duplicate_of: Option<u32>,
     /// Base simulated address of this record.
     pub sim_addr: Addr,
     /// Work/span bookkeeping.
@@ -144,6 +149,7 @@ impl TaskRecord {
             rc: 0,
             pending_budget: 0,
             has_stolen_child: false,
+            duplicate_of: None,
             sim_addr,
             profile: TaskProfile::default(),
         }

@@ -258,6 +258,16 @@ pub enum TaskEventKind {
     /// descendant of a task frozen on that core's execution stack, so
     /// re-executing the stack bottom recreates it.
     Discarded,
+    /// A multiplicity deque double-claimed the original task `of` (owner
+    /// and thief both won its slot), and this fresh record re-executes the
+    /// body. Unlike [`TaskEventKind::Respawn`], the original *also* runs
+    /// to completion — legal only under a multiplicity policy with an
+    /// idempotent kernel, which the checker's `Multiplicity` audit mode
+    /// verifies.
+    Duplicate {
+        /// Task id of the original that was double-claimed.
+        of: u32,
+    },
 }
 
 #[cfg(test)]
@@ -314,6 +324,12 @@ mod tests {
         let h = Log2Histogram::new();
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
+        // `percentile` on an empty histogram is 0 for every `p`, including
+        // the extremes and out-of-range values (which clamp): rank-walking
+        // zero buckets must short-circuit, never divide by the zero count.
+        for p in [0.0, 50.0, 100.0, -3.0, 250.0] {
+            assert_eq!(h.percentile(p), 0, "empty histogram at p={p}");
+        }
         // A single value is exact at every percentile: the interpolation
         // upper bound clamps to the recorded max.
         let mut h = Log2Histogram::new();

@@ -67,16 +67,44 @@ pub enum RacyTag {
     /// distances): a stale value is a valid earlier state; a later round
     /// repairs it and an AMO min decides the winner.
     LigraMonotoneSrc,
+    /// Deque owner's unsynchronized peek at the thief-owned `head` word
+    /// (Chase-Lev and the multiplicity deques). `head` is monotone, so a
+    /// stale value only *over*-estimates occupancy; every claim the owner
+    /// makes from a stale view still linearizes at a later sequenced
+    /// `tail` store or AMO, where the multiplicity/emptiness verdict is
+    /// decided against the fresh state.
+    DequeOwnerPeek,
+    /// Thief's unsynchronized peek at the owner-owned `tail` word and its
+    /// speculative read of the slot it hopes to claim. A stale `tail` only
+    /// costs a missed steal; the speculative slot value is discarded unless
+    /// the claiming `head` AMO (which re-reads fresh state) validates it.
+    DequeThiefPeek,
+    /// Idempotent-deque owner's fence-free `head` advance: a plain racy
+    /// store that publishes the owner's FIFO claim without an AMO. Racing
+    /// thief AMOs can overlap one claim — the claim is then re-executed as
+    /// an audited duplicate, never lost (`head` merges by max, monotone).
+    DequeOwnerCommit,
+    /// Lock-free owner push's `tail` store (Chase-Lev and the multiplicity
+    /// deques): a release-publish. The happens-before pass gives it
+    /// store-release semantics — a thief's later acquiring `tail` peek
+    /// ([`RacyTag::DequeThiefPeek`]) picks up everything the owner did
+    /// before the push, which is what makes the stolen task's descriptor
+    /// reads race-free without a deque lock.
+    DequeTailPublish,
 }
 
 impl RacyTag {
     /// Every tag, in whitelist order.
-    pub const ALL: [RacyTag; 5] = [
+    pub const ALL: [RacyTag; 9] = [
         RacyTag::RcWaitLoop,
         RacyTag::LigraDedupFlag,
         RacyTag::LigraCondProbe,
         RacyTag::LigraClaimedLevel,
         RacyTag::LigraMonotoneSrc,
+        RacyTag::DequeOwnerPeek,
+        RacyTag::DequeThiefPeek,
+        RacyTag::DequeOwnerCommit,
+        RacyTag::DequeTailPublish,
     ];
 
     /// Stable label used in reports and the source-audit test.
@@ -87,6 +115,10 @@ impl RacyTag {
             RacyTag::LigraCondProbe => "LigraCondProbe",
             RacyTag::LigraClaimedLevel => "LigraClaimedLevel",
             RacyTag::LigraMonotoneSrc => "LigraMonotoneSrc",
+            RacyTag::DequeOwnerPeek => "DequeOwnerPeek",
+            RacyTag::DequeThiefPeek => "DequeThiefPeek",
+            RacyTag::DequeOwnerCommit => "DequeOwnerCommit",
+            RacyTag::DequeTailPublish => "DequeTailPublish",
         }
     }
 }

@@ -155,6 +155,9 @@ pub struct DagCheck {
     pub respawns: u64,
     /// Orphan tasks discarded from dead cores' deques.
     pub discards: u64,
+    /// Multiplicity-deque duplicate re-executions (owner and thief both
+    /// claimed a slot, or a seeded `DupTask` mutation fired).
+    pub duplicates: u64,
 }
 
 /// Checks that a recorded task-event stream describes a well-formed
@@ -172,6 +175,11 @@ pub struct DagCheck {
 /// covered by a `Respawn` (its core fail-stopped mid-execution and a
 /// replacement re-runs the subtree), and `Discarded` orphans are accepted
 /// as terminal without ever executing.
+///
+/// Multiplicity-deque streams add one more shape: a `Duplicate { of }`
+/// enters a parentless non-root task that re-executes `of`'s body. Unlike
+/// a `Respawn` it does not *cover* the original — the original also runs
+/// to completion — so it never relaxes the began-but-never-ended check.
 pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
     // Task id -> (spawned, began, ended); ids are dense.
     let mut state: Vec<(bool, bool, bool)> = Vec::new();
@@ -233,6 +241,19 @@ pub fn check_task_dag(events: &[TaskEvent]) -> Result<DagCheck, String> {
                 respawned_of[of as usize] = true;
                 check.tasks += 1;
                 check.respawns += 1;
+            }
+            TaskEventKind::Duplicate { of } => {
+                if state[id].0 {
+                    return Err(format!("task {id} spawned twice"));
+                }
+                if !state.get(of as usize).is_some_and(|s| s.0) {
+                    return Err(format!("task {id} duplicates task {of}, which was never spawned"));
+                }
+                // Parentless by construction (no join obligation), but not
+                // a root: `roots` counts only parentless `Spawn`s.
+                state[id].0 = true;
+                check.tasks += 1;
+                check.duplicates += 1;
             }
             TaskEventKind::Discarded => {
                 if !state[id].0 {
@@ -507,6 +528,13 @@ pub fn replay(
                     n.spawn_via = via;
                 }
             }
+            TaskEventKind::Duplicate { .. } => {
+                // A multiplicity duplicate enters the replay as a
+                // parentless task: its cycles count as work (the duplicate
+                // execution is real burden) but it folds no span into any
+                // parent — the original carries the join chain.
+                node(&mut nodes, e.task).spawned = true;
+            }
             TaskEventKind::Discarded => {
                 // Orphans reclaimed from a dead core's deque never ran:
                 // nothing accrues.
@@ -723,7 +751,15 @@ mod tests {
         let check = check_task_dag(&events).unwrap();
         assert_eq!(
             check,
-            DagCheck { tasks: 3, executed: 3, steals: 1, joins: 1, respawns: 0, discards: 0 }
+            DagCheck {
+                tasks: 3,
+                executed: 3,
+                steals: 1,
+                joins: 1,
+                respawns: 0,
+                discards: 0,
+                duplicates: 0
+            }
         );
     }
 

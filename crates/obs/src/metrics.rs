@@ -19,13 +19,17 @@ use crate::json::Json;
 ///
 /// History: `v1` → `v2` added the per-run `critpath` section
 /// (cycle-conservation table, work/span profile, what-if projections)
-/// and `p50`/`p90`/`p99` keys on every histogram object. Readers
-/// ([`crate::parse_json`] consumers like `metrics_diff` and `json_check`)
-/// accept both; `v1` documents simply lack the added keys.
-pub const METRICS_SCHEMA: &str = "bigtiny-obs-metrics-v2";
+/// and `p50`/`p90`/`p99` keys on every histogram object. `v2` → `v3`
+/// added the per-run `deque_policy` label and the
+/// `steals.lifecycle.duplicate_executions` counter (multiplicity deque
+/// policies). Readers ([`crate::parse_json`] consumers like
+/// `metrics_diff` and `json_check`) accept all three; older documents
+/// simply lack the added keys.
+pub const METRICS_SCHEMA: &str = "bigtiny-obs-metrics-v3";
 
 /// Every schema tag readers must accept, oldest first.
-pub const METRICS_SCHEMAS_ACCEPTED: [&str; 2] = ["bigtiny-obs-metrics-v1", METRICS_SCHEMA];
+pub const METRICS_SCHEMAS_ACCEPTED: [&str; 3] =
+    ["bigtiny-obs-metrics-v1", "bigtiny-obs-metrics-v2", METRICS_SCHEMA];
 
 /// One run to include in a metrics document.
 pub struct RunMetrics<'a> {
@@ -33,6 +37,9 @@ pub struct RunMetrics<'a> {
     pub app: &'a str,
     /// Setup label (e.g. `b.T/HCC-DTS-gwb`).
     pub setup: &'a str,
+    /// Deque-policy label the run scheduled under (e.g. `locked`,
+    /// `chase-lev`, `fence-free`, `idempotent`).
+    pub deque_policy: &'a str,
     /// The run's full measurements.
     pub run: &'a TaskRun,
     /// Tiny-core ids of the setup, for the aggregated tiny-core sections.
@@ -52,6 +59,7 @@ fn run_object(r: &RunMetrics<'_>) -> Json {
     Json::Obj(vec![
         ("app".into(), Json::str(r.app)),
         ("setup".into(), Json::str(r.setup)),
+        ("deque_policy".into(), Json::str(r.deque_policy)),
         ("cycles".into(), Json::u64(rep.completion_cycles)),
         ("instructions".into(), Json::u64(rep.total_instructions())),
         ("seq_grants".into(), Json::u64(rep.seq_grants)),
@@ -294,6 +302,7 @@ fn lifecycle_object(run: &TaskRun, tel: &StealTelemetry) -> Json {
         ("tasks_executed".into(), Json::u64(run.stats.tasks_executed)),
         ("steals".into(), Json::u64(run.stats.steals)),
         ("joins".into(), Json::u64(tel.joins)),
+        ("duplicate_executions".into(), Json::u64(run.stats.duplicate_executions)),
         ("task_events_recorded".into(), Json::u64(run.task_events.len() as u64)),
     ])
 }
@@ -311,6 +320,7 @@ mod tests {
         let rm = RunMetrics {
             app: "fib",
             setup: "b.T/HCC-DTS-gwb",
+            deque_policy: "locked",
             run: &run,
             tiny_cores: &[1, 2, 3, 4, 5, 6, 7],
         };
@@ -326,8 +336,15 @@ mod tests {
         for section in sections {
             assert!(r.get(section).is_some(), "missing section {section}");
         }
+        // v3 keys: the policy label and the duplicate counter are always
+        // present, even for the default locked policy.
+        assert_eq!(r.get("deque_policy").unwrap().as_str(), Some("locked"));
         // The steal section carries real DTS telemetry.
         let steals = r.get("steals").unwrap();
+        assert_eq!(
+            steals.get("lifecycle").unwrap().get("duplicate_executions").unwrap().as_num(),
+            Some(0.0)
+        );
         assert!(steals.get("attempts").unwrap().as_num().unwrap() >= 1.0);
         let rtt = steals.get("uli_rtt").unwrap();
         assert_eq!(
@@ -358,7 +375,13 @@ mod tests {
         // Unprofiled run: conservation present and holding, profiled:false,
         // every profile key present but zero.
         let plain = small_run(RuntimeKind::Dts);
-        let rm = RunMetrics { app: "fib", setup: "dts", run: &plain, tiny_cores: &[1] };
+        let rm = RunMetrics {
+            app: "fib",
+            setup: "dts",
+            deque_policy: "locked",
+            run: &plain,
+            tiny_cores: &[1],
+        };
         let doc = parse_json(&metrics_document(&[rm]).to_json()).unwrap();
         let cp = doc.get("runs").unwrap().as_arr().unwrap()[0].get("critpath").unwrap().clone();
         assert_eq!(cp.get("profiled").and_then(|v| v.as_num()), None, "profiled is a bool");
@@ -369,7 +392,13 @@ mod tests {
         // Profiled run: the same key set, now populated, with the what-if
         // object carrying all three lenses.
         let prof = crate::testutil::small_run_profiled(RuntimeKind::Dts, 10);
-        let rm = RunMetrics { app: "fib", setup: "dts", run: &prof, tiny_cores: &[1] };
+        let rm = RunMetrics {
+            app: "fib",
+            setup: "dts",
+            deque_policy: "locked",
+            run: &prof,
+            tiny_cores: &[1],
+        };
         let doc = parse_json(&metrics_document(&[rm]).to_json()).unwrap();
         let pcp = doc.get("runs").unwrap().as_arr().unwrap()[0].get("critpath").unwrap().clone();
         assert!(matches!(pcp.get("profiled"), Some(Json::Bool(true))));
@@ -400,7 +429,13 @@ mod tests {
     #[test]
     fn baseline_runs_emit_empty_but_valid_steal_histograms() {
         let run = small_run(RuntimeKind::Baseline);
-        let rm = RunMetrics { app: "fib", setup: "b.T/MESI", run: &run, tiny_cores: &[1] };
+        let rm = RunMetrics {
+            app: "fib",
+            setup: "b.T/MESI",
+            deque_policy: "locked",
+            run: &run,
+            tiny_cores: &[1],
+        };
         let doc = metrics_document(&[rm]);
         let back = parse_json(&doc.to_json()).unwrap();
         let rtt = back.get("runs").unwrap().as_arr().unwrap()[0]

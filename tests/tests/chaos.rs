@@ -14,7 +14,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bigtiny_apps::{app_by_name, AppSize, AppSpec};
-use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskRun};
+use bigtiny_checker::{audit_task_events_mode, kernel_is_duplicate_safe, AuditMode};
+use bigtiny_core::{run_task_parallel, DequeKind, RuntimeConfig, RuntimeKind, TaskRun};
 use bigtiny_engine::{AddrSpace, FaultPlan, Protocol, SystemConfig, TimeCategory, WATCHDOG_MSG};
 use bigtiny_mesh::{MeshConfig, Topology, UliNetwork, UliOutcome};
 
@@ -211,6 +212,128 @@ fn telemetry_survives_fault_injection_with_consistent_accounting() {
             .unwrap_or_else(|e| panic!("{label}: malformed task DAG under faults: {e}"));
         assert_eq!(dag.tasks, dag.executed, "{label}: {dag:?} — spawned tasks never executed");
         assert_eq!(dag.steals, hits, "{label}: Stolen events must match claimed hits");
+    }
+}
+
+/// The steal back-off cap is the configuration product
+/// `steal_backoff_cycles * steal_backoff_max_factor`. The chaos fuzzer
+/// drove that product past `u64::MAX`, which panicked debug builds with an
+/// arithmetic overflow on the very first failed steal; the cap now
+/// saturates ("effectively unbounded"). This pins the minimized repro: a
+/// steal-miss storm guarantees failed steals, so the saturated cap is
+/// actually exercised, and the run must still verify, stay free of stale
+/// reads, and remain deterministic.
+#[test]
+fn steal_backoff_cap_saturates_on_overflowing_config() {
+    let app = app_by_name("cilk5-nq").unwrap();
+    let go = || {
+        let cfg = sys(1, 7, Protocol::Mesi).with_faults(FaultPlan::steal_miss_storm(7));
+        let mut rt = RuntimeConfig::new(RuntimeKind::Baseline);
+        rt.steal_backoff_cycles = 2;
+        rt.steal_backoff_max_factor = u64::MAX; // 2 * MAX overflows u64
+        let mut space = AddrSpace::new();
+        let prepared = app.prepare_default(&mut space, AppSize::Test);
+        let r = run_task_parallel(&cfg, &rt, &mut space, prepared.root);
+        if let Err(e) = (prepared.verify)() {
+            panic!("overflowing back-off cap broke the run: {e}");
+        }
+        r
+    };
+    let a = go();
+    assert!(
+        a.stats.forced_steal_misses > 0,
+        "the storm forced no misses; the saturated cap was never exercised"
+    );
+    assert_eq!(a.report.stale_reads, 0);
+    let b = go();
+    assert_eq!(fingerprint(&a), fingerprint(&b), "saturated back-off must stay deterministic");
+}
+
+/// The `duplicate_executions` counter is reserved for multiplicity-deque
+/// duplicates: under the hostile and crash-storm fault plans on
+/// exactly-once policies it must stay zero — crash respawns land in
+/// `reexecutions`, never in `duplicate_executions`, so the two failure
+/// modes stay separable in telemetry.
+#[test]
+fn fault_plans_never_inflate_duplicate_execution_counters() {
+    let app = app_by_name("cilk5-nq").unwrap();
+    let plans =
+        [("hostile", FaultPlan::hostile(0x0BAD_5EED)), ("crash-storm", FaultPlan::crash_storm(3))];
+    for (label, plan) in plans {
+        for (kind, deque, proto) in [
+            (RuntimeKind::Baseline, DequeKind::Locked, Protocol::Mesi),
+            (RuntimeKind::Baseline, DequeKind::ChaseLev, Protocol::Mesi),
+            (RuntimeKind::Dts, DequeKind::Locked, Protocol::GpuWb),
+        ] {
+            let cfg = sys(1, 7, proto).with_faults(plan.clone());
+            let mut rt = RuntimeConfig::new(kind);
+            rt.deque_kind = deque;
+            let mut space = AddrSpace::new();
+            let prepared = app.prepare_default(&mut space, AppSize::Test);
+            let r = run_task_parallel(&cfg, &rt, &mut space, prepared.root);
+            if let Err(e) = (prepared.verify)() {
+                panic!("{label}/{kind:?}/{deque:?}: {e}");
+            }
+            assert_eq!(
+                r.stats.duplicate_executions, 0,
+                "{label}/{kind:?}/{deque:?}: fault-plan re-execution leaked into the \
+                 multiplicity duplicate counter"
+            );
+            if label == "crash-storm" {
+                assert!(
+                    r.report.fault_counters.crashes > 0,
+                    "{kind:?}/{deque:?}: the storm crashed nobody; the test is vacuous"
+                );
+            }
+        }
+    }
+}
+
+/// Steal accounting under the multiplicity deque policies: on every
+/// software policy the victim-side grant counter stays within the
+/// attempted steals, the recorded task events pass the policy's audit
+/// (exactly-once for Chase-Lev, at-most-twice for fence-free and
+/// idempotent), and the runtime's `duplicate_executions` counter agrees
+/// with the duplicates the auditor reconstructs from the event stream —
+/// both on the golden path and under a forced steal-miss storm.
+#[test]
+fn steal_accounting_bounds_hold_on_every_deque_policy() {
+    let name = "cilk5-nq";
+    assert!(kernel_is_duplicate_safe(name), "the kernel must tolerate at-most-twice");
+    let app = app_by_name(name).unwrap();
+    let plans = [("none", FaultPlan::none()), ("steal-miss-storm", FaultPlan::steal_miss_storm(7))];
+    for (label, plan) in plans {
+        for deque in
+            [DequeKind::Locked, DequeKind::ChaseLev, DequeKind::FenceFree, DequeKind::Idempotent]
+        {
+            let cfg = sys(1, 7, Protocol::Mesi).with_faults(plan.clone());
+            let mut rt = RuntimeConfig::new(RuntimeKind::Baseline);
+            rt.deque_kind = deque;
+            rt.record_task_events = true;
+            let mut space = AddrSpace::new();
+            let prepared = app.prepare_default(&mut space, AppSize::Test);
+            let r = run_task_parallel(&cfg, &rt, &mut space, prepared.root);
+            if let Err(e) = (prepared.verify)() {
+                panic!("{label}/{deque:?}: {e}");
+            }
+            assert!(
+                r.stats.steals <= r.stats.steal_attempts,
+                "{label}/{deque:?}: {} grants for {} attempts",
+                r.stats.steals,
+                r.stats.steal_attempts
+            );
+            let mode = if deque.multiplicity() {
+                AuditMode::Multiplicity { crash_armed: false }
+            } else {
+                AuditMode::ExactlyOnce
+            };
+            let audit = audit_task_events_mode(&r.task_events, mode, name);
+            assert!(audit.is_clean(), "{label}/{deque:?}: audit:\n{}", audit.render());
+            assert_eq!(
+                r.stats.duplicate_executions, audit.duplicates,
+                "{label}/{deque:?}: runtime counter disagrees with the audited event stream"
+            );
+        }
     }
 }
 

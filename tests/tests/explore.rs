@@ -22,7 +22,8 @@ use bigtiny_apps::{app_by_name, AppSize};
 use bigtiny_bench::{run_app, Setup};
 use bigtiny_checker::check_run;
 use bigtiny_checker::explore::{explore, ExploreBudget, ScheduleOutcome};
-use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind};
+use bigtiny_checker::{audit_task_events_mode, AuditMode};
+use bigtiny_core::{parallel_invoke, run_task_parallel, DequeKind, RuntimeConfig, RuntimeKind};
 use bigtiny_engine::{
     run_system, AddrSpace, CheckMode, ExecBackend, Protocol, SchedulePolicy, ShScalar,
     SystemConfig, Worker,
@@ -131,6 +132,82 @@ fn random_scripts_of_a_clean_run_stay_clean() {
             cons.total_core_cycles
         );
     }
+}
+
+/// The Chase-Lev regression cell pinned from the `model_check`
+/// deque-policy sweep: the local `fib` micro-kernel (one AMO per leaf —
+/// the smallest workload that pushes, pops, steals, and joins) on a
+/// 2-core MESI machine with `DequeKind::ChaseLev`. This is the cell
+/// class where a steal CAS that consulted *fresher* deque state than the
+/// thief's peeks was schedule-dependent: with a sequencer tie flipped,
+/// the CAS could claim a task pushed after the thief's acquiring `tail`
+/// peek (breaking the push-publish happens-before edge) or double-claim
+/// the last element against the owner's pop. `cl_steal` now validates
+/// the claim against the peeked `head`/`tail`, and every explored
+/// tie-break must keep the full battery clean: kernel `verify()`, the
+/// checker passes, zero stale reads, an exactly-once task-event audit,
+/// and one fingerprint.
+fn chase_lev_fib_run(script: &[u32]) -> ScheduleOutcome {
+    let sys = SystemConfig::tiny_only(2, Protocol::Mesi)
+        .with_check(CheckMode::Full)
+        .with_schedule(SchedulePolicy::Scripted(script.to_vec()));
+    let mut rt = RuntimeConfig::new(RuntimeKind::Baseline);
+    rt.deque_kind = DequeKind::ChaseLev;
+    rt.record_task_events = true;
+    let mut space = AddrSpace::new();
+    // fib(8) by one-AMO-per-leaf: leaves of value 1 bump the accumulator.
+    let acc = Arc::new(ShScalar::new(&mut space, 0u64));
+    let a = Arc::clone(&acc);
+    fn fib(cx: &mut bigtiny_core::TaskCx<'_>, n: u64, acc: Arc<ShScalar<u64>>) {
+        if n < 2 {
+            cx.port().advance(2);
+            if n == 1 {
+                acc.amo(cx.port(), |c| *c += 1);
+            }
+            return;
+        }
+        let (x, y) = (Arc::clone(&acc), acc);
+        parallel_invoke(cx, move |cx| fib(cx, n - 1, x), move |cx| fib(cx, n - 2, y));
+    }
+    let run = run_task_parallel(&sys, &rt, &mut space, move |cx| fib(cx, 8, a));
+    let got = acc.host_read();
+    let mut failure = (got != 21).then(|| format!("fib: counted {got}, expected 21"));
+    if failure.is_none() && run.report.stale_reads > 0 {
+        failure = Some(format!("{} stale reads", run.report.stale_reads));
+    }
+    if failure.is_none() {
+        let audit = audit_task_events_mode(&run.task_events, AuditMode::ExactlyOnce, "fib");
+        if !audit.is_clean() {
+            failure = audit.violations.first().map(|v| format!("audit: {v}"));
+        }
+    }
+    ScheduleOutcome {
+        choices: run.report.choice_points.clone(),
+        events: run.report.mem_events.clone(),
+        report: check_run(&sys, &run.report),
+        failure,
+        fingerprint: Some(got),
+    }
+}
+
+/// Regression pin for the Chase-Lev steal-validation fix: the fib cell
+/// explores clean — no failing schedule, no checker violation, one
+/// fingerprint, every racy tag schedule-invariant — and actually flips
+/// at least one dependent tie (a vacuous one-schedule walk would hide a
+/// reintroduced race exactly the way the pre-fix sweep did).
+#[test]
+fn chase_lev_steal_cell_is_schedule_independent() {
+    let baseline = chase_lev_fib_run(&[]);
+    assert!(baseline.failure.is_none(), "default schedule broken: {:?}", baseline.failure);
+    assert!(!baseline.choices.is_empty(), "a 2-core fib run must hit at least one sequencer tie");
+    let budget = ExploreBudget { max_choice_points: 5, max_schedules: 24 };
+    let report = explore(&budget, chase_lev_fib_run);
+    assert!(report.is_clean(), "Chase-Lev cell regressed:\n{}", report.render());
+    assert!(
+        report.schedules_explored >= 2,
+        "only one schedule explored ({} pruned); the pin is vacuous",
+        report.schedules_pruned
+    );
 }
 
 /// A seeded schedule-dependent mutation: two cores AMO the same word at a

@@ -168,3 +168,66 @@ fn workspan_schedule_invariance_across_apps() {
         assert_eq!(a.stats.workspan.span, b.stats.workspan.span, "{name} span");
     }
 }
+
+/// In-process smoke of the `ablate_deque` bin's cell structure: one
+/// duplicate-safe kernel through every deque policy plus the two
+/// forced-duplicate cells, with the bin's gates — kernel verify, exact
+/// cycle conservation, the per-policy task-event audit, and the
+/// duplicate-execution counters (at least one duplicate with `DupTask`
+/// armed, exactly zero under the exactly-once policies).
+#[test]
+fn deque_policy_ablation_cells_smoke() {
+    use bigtiny_checker::{audit_task_events_mode, kernel_is_duplicate_safe, AuditMode};
+    use bigtiny_core::{DequeKind, Mutation, MutationKind};
+    use bigtiny_obs::CycleConservation;
+
+    let name = "cilk5-cs";
+    assert!(kernel_is_duplicate_safe(name), "the smoke kernel must tolerate at-most-twice");
+    let app = bigtiny_apps::app_by_name(name).unwrap();
+    let cells = [
+        (DequeKind::Locked, false),
+        (DequeKind::ChaseLev, false),
+        (DequeKind::FenceFree, false),
+        (DequeKind::Idempotent, false),
+        (DequeKind::FenceFree, true),
+        (DequeKind::Idempotent, true),
+    ];
+    for (deque, dup) in cells {
+        let sys = small_sys(1, 7, Protocol::Mesi);
+        let mut rt = RuntimeConfig::new(RuntimeKind::Baseline);
+        rt.deque_kind = deque;
+        rt.record_task_events = true;
+        if dup {
+            rt.mutation = Some(Mutation { kind: MutationKind::DupTask, core: 0, nth: 0 });
+        }
+        let mut space = AddrSpace::new();
+        let prepared = app.prepare_default(&mut space, AppSize::Test);
+        let r = run_task_parallel(&sys, &rt, &mut space, prepared.root);
+        let ctx = format!("{name}/{deque:?}{}", if dup { "+dup" } else { "" });
+        if let Err(e) = (prepared.verify)() {
+            panic!("{ctx}: {e}");
+        }
+        assert_eq!(r.report.stale_reads, 0, "{ctx}");
+        let cons = CycleConservation::from_report(&r.report);
+        assert!(
+            cons.holds(),
+            "{ctx}: conservation breach: buckets {} != {}",
+            cons.bucket_sum(),
+            cons.total_core_cycles
+        );
+        let mode = if deque.multiplicity() {
+            AuditMode::Multiplicity { crash_armed: false }
+        } else {
+            AuditMode::ExactlyOnce
+        };
+        let audit = audit_task_events_mode(&r.task_events, mode, name);
+        assert!(audit.is_clean(), "{ctx}: audit:\n{}", audit.render());
+        let dups = r.stats.duplicate_executions;
+        if dup {
+            assert!(dups >= 1, "{ctx}: DupTask armed but no duplicate ran");
+        }
+        if !deque.multiplicity() {
+            assert_eq!(dups, 0, "{ctx}: duplicates under an exactly-once policy");
+        }
+    }
+}

@@ -216,6 +216,7 @@ fn crash_runs_pin_metrics_and_audit_verdict_across_backends() {
         let doc = metrics_document(&[RunMetrics {
             app: r.app,
             setup: &r.setup,
+            deque_policy: r.deque_policy,
             run: &r.run,
             tiny_cores: &r.tiny_cores,
         }])
