@@ -25,10 +25,23 @@
 //! written so far is still flushed), so a dirty sweep fails in seconds
 //! instead of minutes; the per-cell `wall ms` column makes slow cells
 //! visible either way.
+//!
+//! `--heartbeat-out PATH` streams live `bigtiny-obs-heartbeat-v1` lines
+//! for every cell; `--blackbox-out PATH` dumps the flight-recorder tails
+//! of the first *dirty* cell (reason `drf_violation`) alongside a
+//! Perfetto tail trace at `PATH.trace.json`.
 
+use bigtiny_bench::live::{write_blackbox, HeartbeatWriter, DEFAULT_HEARTBEAT_EVERY};
 use bigtiny_bench::{apps_from_env, render_table, run_app, size_from_env, Setup};
 use bigtiny_checker::{check_run, CheckReport, ViolationKind};
-use bigtiny_engine::{CheckMode, RacyTag};
+use bigtiny_engine::{backend_label, CheckMode, RacyTag};
+use bigtiny_obs::blackbox_from_report;
+
+const USAGE: &str = "usage: check_all [--fail-fast] [--heartbeat-out PATH] [--blackbox-out PATH]
+  --fail-fast          stop at the first dirty cell
+  --heartbeat-out PATH stream live telemetry (bigtiny-obs-heartbeat-v1 lines)
+  --blackbox-out PATH  dump the first dirty cell's flight-recorder tails
+sizes and app selection come from BIGTINY_SIZE / BIGTINY_APPS";
 
 fn json_line(app: &str, setup: &str, report: &CheckReport, wall_ms: u128) -> String {
     let mut s = String::from("{");
@@ -50,7 +63,35 @@ fn json_line(app: &str, setup: &str, report: &CheckReport, wall_ms: u128) -> Str
 }
 
 fn main() {
-    let fail_fast = std::env::args().any(|a| a == "--fail-fast");
+    let mut fail_fast = false;
+    let mut heartbeat_out: Option<String> = None;
+    let mut blackbox_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--fail-fast" => fail_fast = true,
+            "--heartbeat-out" => heartbeat_out = Some(value("--heartbeat-out")),
+            "--blackbox-out" => blackbox_out = Some(value("--blackbox-out")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let heartbeat = heartbeat_out.as_ref().map(|path| {
+        HeartbeatWriter::create(path, DEFAULT_HEARTBEAT_EVERY)
+            .unwrap_or_else(|e| panic!("--heartbeat-out {path}: {e}"))
+    });
     let size = size_from_env();
     let apps = apps_from_env();
     let setups: Vec<Setup> = Setup::big_tiny_matrix()
@@ -68,7 +109,12 @@ fn main() {
     let mut dirty = 0usize;
 
     'sweep: for app in &apps {
-        for setup in &setups {
+        for base in &setups {
+            let mut armed = base.clone();
+            if let Some(w) = &heartbeat {
+                w.arm(&mut armed, app.name);
+            }
+            let setup = &armed;
             let t0 = std::time::Instant::now();
             let r = run_app(setup, app, size, 0);
             let report = check_run(&setup.sys, &r.run.report);
@@ -83,6 +129,16 @@ fn main() {
             if !report.is_clean() {
                 dirty += 1;
                 eprint!("{}", report.render());
+                // First dirty cell: dump its flight tails for forensics.
+                if let Some(path) = blackbox_out.take() {
+                    let doc = blackbox_from_report(
+                        "drf_violation",
+                        backend_label(&setup.sys),
+                        &setup.sys.faults.to_spec(),
+                        &r.run.report,
+                    );
+                    write_blackbox(&path, &doc);
+                }
             }
             rows.push(vec![
                 r.app.to_owned(),

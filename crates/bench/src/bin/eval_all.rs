@@ -2,14 +2,18 @@
 //! data for Figures 5, 6, 7, 8 and Table IV in one pass (the standalone
 //! binaries re-run the matrix; this one is for full reproduction runs).
 
+use bigtiny_bench::live::{
+    dump_on_panic, write_blackbox, HeartbeatWriter, DEFAULT_HEARTBEAT_EVERY,
+};
 use bigtiny_bench::{
-    apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix, size_from_env,
-    Setup, TrafficClass,
+    apps_from_env, breakdown_labels, find_result, geomean, render_table, run_matrix_with,
+    size_from_env, Setup, TrafficClass,
 };
 use bigtiny_checker::audit_task_events;
-use bigtiny_engine::{FaultPlan, Protocol};
+use bigtiny_engine::{backend_label, FaultPlan, Protocol};
 use bigtiny_obs::{
-    export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics, TraceRun,
+    blackbox_from_report, export_chrome_trace, metrics_document, validate_chrome_trace, RunMetrics,
+    TraceRun,
 };
 
 const CLASSES: [TrafficClass; 9] = [
@@ -39,12 +43,21 @@ struct CliOpts {
     /// Write a Chrome trace-event document (load in `ui.perfetto.dev`)
     /// here; arms per-core tracing and task-event recording on every setup.
     trace_out: Option<String>,
+    /// Stream live heartbeat lines (`bigtiny-obs-heartbeat-v1`) here.
+    heartbeat_out: Option<String>,
+    /// Heartbeat cadence in sequencer grants.
+    heartbeat_every: u64,
+    /// Write black-box flight-recorder dumps here: crash-time bundles on a
+    /// watchdog trip or poison, the first dirty run on a failed crash
+    /// audit, and an explicit dump of the last run on clean completion.
+    blackbox_out: Option<String>,
     /// Run the 256-core Table V machines instead of the 64-core matrix.
     setups_256: bool,
 }
 
 const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan PLAN] [--watchdog-budget N]
-                [--metrics-out PATH] [--trace-out PATH] [--setups-256]
+                [--metrics-out PATH] [--trace-out PATH] [--heartbeat-out PATH]
+                [--heartbeat-every N] [--blackbox-out PATH] [--setups-256]
   --fault-seed N       seed for deterministic fault injection; inert unless
                        --fault-plan is also given (no plan is ever implied)
   --fault-plan PLAN    arm fault injection: a named plan (none,
@@ -61,6 +74,15 @@ const USAGE: &str = "usage: eval_all [--fault-seed N] [--fault-plan PLAN] [--wat
                        (one object per (app, setup) run) to PATH
   --trace-out PATH     write a Chrome trace-event JSON document to PATH
                        (arms tracing + task events; load in ui.perfetto.dev)
+  --heartbeat-out PATH stream live telemetry to PATH, one JSON line per beat
+                       (schema bigtiny-obs-heartbeat-v1; follow with
+                       tail_run, validate with json_check)
+  --heartbeat-every N  heartbeat cadence in sequencer grants (default 10000)
+  --blackbox-out PATH  write black-box flight-recorder dumps to PATH (plus a
+                       Perfetto tail trace at PATH.trace.json): a crash-time
+                       bundle on watchdog trip or poison, the first dirty
+                       run on a failed crash audit, an explicit dump of the
+                       last run on clean completion
   --setups-256         run the 256-core Table V machines (b.T-256/MESI,
                        b.T-256/HCC-gwb, b.T-256/HCC-DTS-gwb) instead of
                        the 64-core matrix; combine with BIGTINY_SIZE=test
@@ -74,6 +96,9 @@ fn parse_cli() -> CliOpts {
         watchdog_budget: None,
         metrics_out: None,
         trace_out: None,
+        heartbeat_out: None,
+        heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+        blackbox_out: None,
         setups_256: false,
     };
     let mut args = std::env::args().skip(1);
@@ -116,6 +141,15 @@ fn parse_cli() -> CliOpts {
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--heartbeat-out" => opts.heartbeat_out = Some(value("--heartbeat-out")),
+            "--heartbeat-every" => {
+                let v = value("--heartbeat-every");
+                opts.heartbeat_every = v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    eprintln!("--heartbeat-every: `{v}` is not a positive u64\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--blackbox-out" => opts.blackbox_out = Some(value("--blackbox-out")),
             "--setups-256" => opts.setups_256 = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -182,7 +216,38 @@ fn main() {
         }
         println!("[obs] per-core tracing + task events + cycle attribution armed (--trace-out)");
     }
-    let results = run_matrix(&setups, &apps, size);
+    let heartbeat = opts.heartbeat_out.as_ref().map(|path| {
+        let w = HeartbeatWriter::create(path, opts.heartbeat_every)
+            .unwrap_or_else(|e| panic!("--heartbeat-out {path}: {e}"));
+        println!(
+            "[obs] heartbeat armed: one line every {} grants -> {path} \
+             (follow with `tail_run {path}`)",
+            opts.heartbeat_every
+        );
+        w
+    });
+    // A watchdog trip or worker-panic poison unwinds out of the matrix; if
+    // a black box was requested, turn the engine's crash-time bundle into a
+    // dump before re-raising so the forensics outlive the abort.
+    let run_all = || {
+        run_matrix_with(&setups, &apps, size, |s, app| {
+            if let Some(w) = &heartbeat {
+                w.arm(s, app);
+            }
+        })
+    };
+    let results = match &opts.blackbox_out {
+        None => run_all(),
+        Some(path) => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_all)) {
+            Ok(results) => results,
+            Err(panic) => {
+                if !dump_on_panic(path) {
+                    eprintln!("[blackbox] run aborted before any bundle was recorded");
+                }
+                std::panic::resume_unwind(panic);
+            }
+        },
+    };
 
     if let Some(path) = &opts.metrics_out {
         let runs: Vec<RunMetrics<'_>> = results
@@ -433,12 +498,14 @@ fn main() {
                 .to_vec();
         let mut rows = Vec::new();
         let mut dirty = 0usize;
+        let mut first_dirty: Option<(&bigtiny_bench::AppResult, &Setup)> = None;
         for app in &apps {
             for setup in &setups {
                 let r = find_result(&results, app.name, &setup.label);
                 let audit = audit_task_events(&r.run.task_events, true, r.app);
                 if !audit.is_clean() {
                     dirty += 1;
+                    first_dirty.get_or_insert((r, setup));
                     eprintln!("[audit] {} on {}:", r.app, setup.label);
                     eprint!("{}", audit.render());
                 }
@@ -460,9 +527,33 @@ fn main() {
         println!("== Crash-recovery audit ({size:?}) ==\n");
         println!("{}", render_table(&header, &rows));
         if dirty > 0 {
+            // A dirty audit is a forensic event: dump the first offender's
+            // flight tails before failing the evaluation.
+            if let (Some(path), Some((r, setup))) = (&opts.blackbox_out, first_dirty) {
+                let doc = blackbox_from_report(
+                    "crash_audit",
+                    backend_label(&setup.sys),
+                    &setup.sys.faults.to_spec(),
+                    &r.run.report,
+                );
+                write_blackbox(path, &doc);
+            }
             eprintln!("[audit] {dirty} run(s) failed the crash-recovery audit");
             std::process::exit(1);
         }
         println!("all {} crash-armed runs audited clean", rows.len());
+    }
+
+    // ---------------- Explicit black-box dump (clean completion) ---------
+    if let Some(path) = &opts.blackbox_out {
+        if let (Some(r), Some(setup)) = (results.last(), setups.last()) {
+            let doc = blackbox_from_report(
+                "explicit",
+                backend_label(&setup.sys),
+                &setup.sys.faults.to_spec(),
+                &r.run.report,
+            );
+            write_blackbox(path, &doc);
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Validates a JSON results artifact before CI ships it.
 //!
-//! Two shapes are accepted:
+//! Three shapes are accepted:
 //!
+//! * a heartbeat stream (what `--heartbeat-out` writes) — recognised by
+//!   the `bigtiny-obs-heartbeat-v1` schema tag on the first line; every
+//!   line is schema-validated and `seq` must be monotone per run;
 //! * a single nested document (what `eval_all --metrics-out` writes) —
 //!   strictly parsed whole-file with the `bigtiny-obs` parser; a metrics
 //!   document additionally needs a non-empty `runs` array;
@@ -10,7 +13,10 @@
 //!   a bare `NaN`) fails loudly instead of corrupting downstream analysis.
 
 use bigtiny_bench::parse_json_line;
-use bigtiny_obs::{parse_json, Json, METRICS_SCHEMAS_ACCEPTED};
+use bigtiny_obs::{
+    looks_like_heartbeat_stream, parse_json, validate_heartbeat_stream, Json,
+    METRICS_SCHEMAS_ACCEPTED,
+};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -21,6 +27,23 @@ fn main() {
         eprintln!("json_check: {path}: {e}");
         std::process::exit(2);
     });
+
+    // Heartbeat streams first: each line is itself a nested document, so
+    // they must be routed before the whole-file parse (which would reject
+    // the multi-line stream) and the flat-line fallback (which rejects
+    // nesting).
+    if looks_like_heartbeat_stream(&text) {
+        match validate_heartbeat_stream(&text) {
+            Ok(beats) => {
+                println!("{path}: valid heartbeat stream, {beats} beats");
+                return;
+            }
+            Err(e) => {
+                eprintln!("json_check: {path}: invalid heartbeat stream: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // A nested container document (metrics or trace output) parses
     // whole-file; flat records — even a single-line file — fall through to

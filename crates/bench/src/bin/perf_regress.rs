@@ -128,6 +128,50 @@ fn main() {
             grants as f64 / wall_s.max(1e-9)
         );
     }
+    // One recorder-off row: the pinned rows above all run with the
+    // default flight ring armed (it is always-on), so re-running one of
+    // them with the ring at capacity 0 prices the recorder itself. Its op
+    // hash must match the armed run of the same cell — the recorder is
+    // observation-only — so the row tracks both overhead and invariance.
+    {
+        let app = app_by_name("cilk5-nq").unwrap();
+        let mut setup = Setup::bt_hcc(Protocol::GpuWb, true);
+        let armed_hash = rows
+            .iter()
+            .find(|r| r.app == "cilk5-nq" && r.setup == setup.label)
+            .map(|r| r.seq_op_hash);
+        setup.label.push_str("+flight-off");
+        setup.sys = setup.sys.clone().with_flight_ring(0);
+        let t0 = Instant::now();
+        let r = run_app(&setup, &app, size, 0);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let grants = r.run.report.seq_grants;
+        if let Some(h) = armed_hash {
+            assert_eq!(
+                h, r.run.report.seq_op_hash,
+                "flight recorder perturbed the op stream (armed vs ring-off hash mismatch)"
+            );
+        }
+        rows.push(PerfRow {
+            app: r.app,
+            setup: r.setup.clone(),
+            cycles: r.cycles,
+            seq_grants: grants,
+            seq_fast_grants: r.run.report.seq_fast_grants,
+            seq_op_hash: r.run.report.seq_op_hash,
+            wall_s,
+            ops_per_sec: grants as f64 / wall_s.max(1e-9),
+        });
+        eprintln!(
+            "[perf] {:<10} {:<16} {:>11} grants ({:>4.1}% fast)  {:>6.2}s  {:>10.0} ops/s",
+            r.app,
+            setup.label,
+            grants,
+            100.0 * r.run.report.seq_fast_grants as f64 / grants.max(1) as f64,
+            wall_s,
+            grants as f64 / wall_s.max(1e-9)
+        );
+    }
     let total_wall = t_total.elapsed().as_secs_f64();
 
     let header: Vec<String> = ["app", "setup", "sim cycles", "seq ops", "wall s", "ops/s"]

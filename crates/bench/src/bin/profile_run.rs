@@ -19,6 +19,7 @@
 //! trace with the critical path as its own highlighted track.
 
 use bigtiny_apps::app_by_name;
+use bigtiny_bench::live::{HeartbeatWriter, DEFAULT_HEARTBEAT_EVERY};
 use bigtiny_bench::{apps_from_env, render_table, run_app, size_from_env, Setup};
 use bigtiny_obs::{
     export_chrome_trace, metrics_document, replay_run, validate_chrome_trace, verify_attr_spans,
@@ -26,11 +27,14 @@ use bigtiny_obs::{
 };
 
 const USAGE: &str = "usage: profile_run [--app NAME] [--dts-only] [--out PATH] [--trace-out PATH]
+                   [--heartbeat-out PATH]
   --app NAME       profile one kernel (default: BIGTINY_APPS or cilk5-nq)
   --dts-only       only the three DTS configurations (skip MESI + plain HCC)
   --out PATH       write the v2 metrics document (critpath section populated)
   --trace-out PATH also arm per-core tracing; write a Chrome trace with the
                    critical path as a highlighted track (ui.perfetto.dev)
+  --heartbeat-out PATH
+                   stream live telemetry (bigtiny-obs-heartbeat-v1 lines)
 size comes from BIGTINY_SIZE (test|eval|large)";
 
 fn main() {
@@ -38,6 +42,7 @@ fn main() {
     let mut dts_only = false;
     let mut out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut heartbeat_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| -> String {
@@ -51,6 +56,7 @@ fn main() {
             "--dts-only" => dts_only = true,
             "--out" => out = Some(value("--out")),
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--heartbeat-out" => heartbeat_out = Some(value("--heartbeat-out")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -82,10 +88,18 @@ fn main() {
         }
     }
 
+    let heartbeat = heartbeat_out.as_ref().map(|path| {
+        HeartbeatWriter::create(path, DEFAULT_HEARTBEAT_EVERY)
+            .unwrap_or_else(|e| panic!("--heartbeat-out {path}: {e}"))
+    });
     let mut results = Vec::new();
     for app in &apps {
         for setup in &setups {
-            results.push(run_app(setup, app, size, 0));
+            let mut armed = setup.clone();
+            if let Some(w) = &heartbeat {
+                w.arm(&mut armed, app.name);
+            }
+            results.push(run_app(&armed, app, size, 0));
         }
     }
 

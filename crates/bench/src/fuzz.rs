@@ -67,8 +67,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// and its task-event stream must audit clean (exactly-once without a crash
 /// dimension, at-least-once with full recovery accounting with one).
 pub fn check_app(plan: &FaultPlan, app: &AppSpec, size: AppSize) -> Option<FuzzFailure> {
-    let setup = fuzz_setup(plan.clone());
-    let r = match catch_unwind(AssertUnwindSafe(|| run_app(&setup, app, size, 0))) {
+    check_app_with(plan, app, size, &mut |_, _| {})
+}
+
+/// [`check_app`] with an arming hook run on the probe's setup before the
+/// run (a heartbeat sink, a live-stats handle — observation only).
+pub fn check_app_with(
+    plan: &FaultPlan,
+    app: &AppSpec,
+    size: AppSize,
+    arm: &mut dyn FnMut(&mut Setup, &str),
+) -> Option<FuzzFailure> {
+    let mut setup = fuzz_setup(plan.clone());
+    arm(&mut setup, app.name);
+    let setup = &setup;
+    let r = match catch_unwind(AssertUnwindSafe(|| run_app(setup, app, size, 0))) {
         Ok(r) => r,
         Err(payload) => {
             return Some(FuzzFailure {
@@ -90,6 +103,16 @@ pub fn check_app(plan: &FaultPlan, app: &AppSpec, size: AppSize) -> Option<FuzzF
 /// Checks every kernel in `apps` under `plan`; returns the first failure.
 pub fn check_plan(plan: &FaultPlan, apps: &[AppSpec], size: AppSize) -> Option<FuzzFailure> {
     apps.iter().find_map(|app| check_app(plan, app, size))
+}
+
+/// [`check_plan`] with a per-probe arming hook (see [`check_app_with`]).
+pub fn check_plan_with(
+    plan: &FaultPlan,
+    apps: &[AppSpec],
+    size: AppSize,
+    arm: &mut dyn FnMut(&mut Setup, &str),
+) -> Option<FuzzFailure> {
+    apps.iter().find_map(|app| check_app_with(plan, app, size, arm))
 }
 
 /// Samples one fault plan from the stream: each dimension arms

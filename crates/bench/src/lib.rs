@@ -19,6 +19,7 @@ use bigtiny_core::{run_task_parallel, RuntimeConfig, RuntimeKind, TaskRun};
 use bigtiny_engine::{AddrSpace, Protocol, SystemConfig, TimeCategory};
 
 pub mod fuzz;
+pub mod live;
 
 /// A machine + runtime pairing with a display label.
 #[derive(Clone, Debug)]
@@ -509,6 +510,20 @@ impl ResultRecord {
 /// indexable with [`find_result`]. When `BIGTINY_JSON` names a file, one
 /// [`ResultRecord`] per run is appended to it as JSON lines.
 pub fn run_matrix(setups: &[Setup], apps: &[AppSpec], size: AppSize) -> Vec<AppResult> {
+    run_matrix_with(setups, apps, size, |_, _| {})
+}
+
+/// [`run_matrix`] with a per-run arming hook: before each run, `arm` gets a
+/// fresh clone of the setup plus the kernel name and may attach run-scoped
+/// observers (a heartbeat sink labelled with this `(app, setup)`, a live
+/// stats handle — see [`live::HeartbeatWriter::arm`]). The hook must not
+/// change anything that affects simulated results.
+pub fn run_matrix_with(
+    setups: &[Setup],
+    apps: &[AppSpec],
+    size: AppSize,
+    mut arm: impl FnMut(&mut Setup, &str),
+) -> Vec<AppResult> {
     use std::io::Write;
     let mut json_out = std::env::var("BIGTINY_JSON").ok().map(|path| {
         std::fs::OpenOptions::new()
@@ -520,6 +535,9 @@ pub fn run_matrix(setups: &[Setup], apps: &[AppSpec], size: AppSize) -> Vec<AppR
     let mut out = Vec::with_capacity(setups.len() * apps.len());
     for app in apps {
         for setup in setups {
+            let mut setup = setup.clone();
+            arm(&mut setup, app.name);
+            let setup = &setup;
             let t0 = std::time::Instant::now();
             let r = run_app(setup, app, size, 0);
             eprintln!(

@@ -1,0 +1,195 @@
+//! Live-telemetry wiring for the harness binaries: heartbeat streaming
+//! and black-box dumps.
+//!
+//! [`HeartbeatWriter`] owns a `--heartbeat-out` file and arms setups so
+//! every run streams `bigtiny-obs-heartbeat-v1` lines into it (follow
+//! live with `tail_run`, validate with `json_check`). [`write_blackbox`]
+//! writes a validated black-box document plus its Perfetto tail-trace
+//! sibling, and [`dump_on_panic`] turns a caught watchdog/poison panic
+//! into a dump by retrieving the engine's crash-time bundle.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bigtiny_core::RuntimeStats;
+use bigtiny_engine::sync::RwLock;
+use bigtiny_engine::{last_bundle, Heartbeat, HeartbeatSnap};
+use bigtiny_obs::{
+    blackbox_from_bundle, blackbox_tail_trace, heartbeat_line, validate_blackbox, Json,
+};
+
+use crate::Setup;
+
+/// Default heartbeat cadence in sequencer grants (`--heartbeat-every`).
+pub const DEFAULT_HEARTBEAT_EVERY: u64 = 10_000;
+
+struct HbShared {
+    file: Mutex<File>,
+    t0: Instant,
+    /// `(grants, when)` of the previous beat of the current run, for the
+    /// grants/s rate over the last interval (host-side, out-of-band).
+    last: Mutex<(u64, Instant)>,
+}
+
+/// A shared `--heartbeat-out` sink. One writer serves every run of a
+/// harness invocation; [`HeartbeatWriter::arm`] labels each run's lines
+/// with its `(app, setup)` so the stream stays per-run demultiplexable.
+pub struct HeartbeatWriter {
+    shared: Arc<HbShared>,
+    every: u64,
+}
+
+impl HeartbeatWriter {
+    /// Creates (truncating) the heartbeat file at `path`, beating every
+    /// `every` grants.
+    pub fn create(path: &str, every: u64) -> std::io::Result<Self> {
+        assert!(every > 0, "--heartbeat-every must be at least 1");
+        let file = File::create(path)?;
+        let now = Instant::now();
+        Ok(HeartbeatWriter {
+            shared: Arc::new(HbShared {
+                file: Mutex::new(file),
+                t0: now,
+                last: Mutex::new((0, now)),
+            }),
+            every,
+        })
+    }
+
+    /// Arms `setup` (in place) so its next run streams heartbeats for
+    /// kernel `app` into this writer: installs the engine heartbeat sink
+    /// and a live [`RuntimeStats`] handle the sink samples. Pass to
+    /// [`run_matrix_with`](crate::run_matrix_with) as the arming hook.
+    /// Observation-only — simulated results are bit-for-bit unchanged.
+    pub fn arm(&self, setup: &mut Setup, app: &str) {
+        let stats = Arc::new(RwLock::new(RuntimeStats::default()));
+        setup.rt.live_stats = Some(Arc::clone(&stats));
+        let shared = Arc::clone(&self.shared);
+        let app = app.to_owned();
+        let label = setup.label.clone();
+        // A new run restarts the rate window (grant counters reset per run).
+        *shared.last.lock().expect("heartbeat rate slot") = (0, Instant::now());
+        let sink = move |snap: &HeartbeatSnap| {
+            let now = Instant::now();
+            let wall_ms = shared.t0.elapsed().as_millis() as u64;
+            let rate = {
+                let mut last = shared.last.lock().expect("heartbeat rate slot");
+                let dt = now.duration_since(last.1).as_secs_f64();
+                let grants = snap.total_grants.saturating_sub(last.0);
+                *last = (snap.total_grants, now);
+                if dt > 0.0 {
+                    grants as f64 / dt
+                } else {
+                    0.0
+                }
+            };
+            let s = *stats.read();
+            let extra = vec![
+                ("wall_ms".to_owned(), Json::u64(wall_ms)),
+                ("grants_per_sec".to_owned(), Json::f64(rate)),
+                ("tasks_executed".to_owned(), Json::u64(s.tasks_executed)),
+                ("steals".to_owned(), Json::u64(s.steals)),
+                ("steal_attempts".to_owned(), Json::u64(s.steal_attempts)),
+                ("revivals".to_owned(), Json::u64(s.revivals)),
+            ];
+            let line = heartbeat_line(&app, &label, snap, extra);
+            let mut f = shared.file.lock().expect("heartbeat file");
+            // Heartbeats are advisory: a full disk must not kill the run.
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        };
+        setup.sys = setup.sys.clone().with_heartbeat(Heartbeat::new(self.every, Arc::new(sink)));
+    }
+}
+
+/// Writes a black-box document to `path` and its Perfetto tail trace to
+/// `path.trace.json`, validating both first.
+///
+/// # Panics
+///
+/// Panics if the document fails structural validation or either file
+/// cannot be written — a harness asked for forensics; losing them
+/// silently is worse than aborting.
+pub fn write_blackbox(path: &str, doc: &Json) {
+    let summary =
+        validate_blackbox(doc).unwrap_or_else(|e| panic!("black-box document invalid: {e}"));
+    std::fs::write(path, doc.to_json() + "\n").unwrap_or_else(|e| panic!("{path}: {e}"));
+    let trace_path = format!("{path}.trace.json");
+    let trace = blackbox_tail_trace(doc).expect("validated above");
+    std::fs::write(&trace_path, trace.to_json() + "\n")
+        .unwrap_or_else(|e| panic!("{trace_path}: {e}"));
+    eprintln!(
+        "[blackbox] {} flight events over {}/{} cores -> {path} (+ {trace_path})",
+        summary.events, summary.cores_with_tail, summary.cores
+    );
+}
+
+/// Black-box handling for a panic caught around a run: if the engine
+/// recorded a crash-time [`DiagnosticBundle`](bigtiny_engine::DiagnosticBundle)
+/// (watchdog trip or worker-panic poison), dumps it to `path` and returns
+/// `true`. A panic with no bundle (e.g. a harness assertion) returns
+/// `false` untouched.
+pub fn dump_on_panic(path: &str) -> bool {
+    match last_bundle() {
+        Some(bundle) => {
+            write_blackbox(path, &blackbox_from_bundle(&bundle));
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_matrix_with, Setup};
+    use bigtiny_apps::{app_by_name, AppSize};
+    use bigtiny_engine::Protocol;
+    use bigtiny_obs::{parse_json, validate_heartbeat_stream};
+
+    #[test]
+    fn armed_matrix_streams_valid_heartbeats() {
+        let dir = std::env::temp_dir().join("bigtiny-live-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        let path = path.to_str().unwrap();
+        // A tight cadence so even the test-size run emits several beats.
+        let writer = HeartbeatWriter::create(path, 200).unwrap();
+        let setups = [Setup::bt_hcc(Protocol::GpuWb, true)];
+        let apps = [app_by_name("cilk5-nq").unwrap()];
+        let results = run_matrix_with(&setups, &apps, AppSize::Test, |s, app| writer.arm(s, app));
+        assert_eq!(results.len(), 1);
+        let text = std::fs::read_to_string(path).unwrap();
+        let beats = validate_heartbeat_stream(&text).expect("stream validates");
+        assert!(beats >= 2, "expected several beats, got {beats}");
+        // The final beat's deterministic fields reflect the run's tail.
+        let last = text.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+        let doc = parse_json(last).unwrap();
+        assert_eq!(doc.get("app").and_then(Json::as_str), Some("cilk5-nq"));
+        assert_eq!(doc.get("setup").and_then(Json::as_str), Some("b.T/HCC-DTS-gwb"));
+        let grants = doc.get("grants").and_then(Json::as_num).unwrap();
+        assert!(grants as u64 <= results[0].run.report.seq_grants);
+    }
+
+    #[test]
+    fn explicit_blackbox_roundtrip() {
+        use bigtiny_obs::blackbox_from_report;
+        let dir = std::env::temp_dir().join("bigtiny-live-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("box.json");
+        let path = path.to_str().unwrap();
+        let setup = Setup::bt_hcc(Protocol::GpuWb, true);
+        let app = app_by_name("cilk5-nq").unwrap();
+        let r = crate::run_app(&setup, &app, AppSize::Test, 0);
+        let backend = bigtiny_engine::backend_label(&setup.sys);
+        let doc =
+            blackbox_from_report("explicit", backend, &setup.sys.faults.to_spec(), &r.run.report);
+        write_blackbox(path, &doc);
+        let reread = parse_json(std::fs::read_to_string(path).unwrap().trim()).unwrap();
+        let summary = validate_blackbox(&reread).unwrap();
+        assert!(summary.events > 0, "always-on ring captured the run");
+        assert!(std::fs::metadata(format!("{path}.trace.json")).unwrap().len() > 0);
+    }
+}

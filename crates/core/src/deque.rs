@@ -11,7 +11,7 @@
 use bigtiny_engine::sync::RwLock;
 
 use bigtiny_coherence::Addr;
-use bigtiny_engine::{AddrSpace, CorePort, RacyTag, SyncNote, TimeCategory};
+use bigtiny_engine::{AddrSpace, CorePort, FlightKind, RacyTag, SyncNote, TimeCategory};
 
 use crate::task::TaskId;
 
@@ -106,6 +106,7 @@ impl SimDeque {
 
     /// Pushes `task` at the tail (owner side). Returns `false` if full.
     pub fn push_tail(&self, port: &mut CorePort, task: TaskId) -> bool {
+        port.flight_note(FlightKind::DequePush);
         // head (capacity check) + tail loads, slot + tail stores.
         port.load(self.head_addr);
         let (full, tail) = {
@@ -127,6 +128,7 @@ impl SimDeque {
 
     /// Pops from the tail in LIFO order (owner side).
     pub fn pop_tail(&self, port: &mut CorePort) -> Option<TaskId> {
+        port.flight_note(FlightKind::DequePop);
         port.load(self.tail_addr);
         port.load(self.head_addr);
         let tail = {
@@ -147,6 +149,7 @@ impl SimDeque {
 
     /// Pops from the head in FIFO order (thief side).
     pub fn pop_head(&self, port: &mut CorePort) -> Option<TaskId> {
+        port.flight_note(FlightKind::DequeSteal);
         port.load(self.head_addr);
         port.load(self.tail_addr);
         let head = {
@@ -175,6 +178,7 @@ impl SimDeque {
     /// Lock-free owner push: slot store + tail store. Returns `false` when
     /// full.
     pub fn cl_push_tail(&self, port: &mut CorePort, task: TaskId) -> bool {
+        port.flight_note(FlightKind::DequePush);
         port.load(self.tail_addr);
         // The owner's capacity check peeks at the thief-owned `head`
         // without synchronization (audited racy): `head` is monotone, so a
@@ -207,6 +211,7 @@ impl SimDeque {
     /// linearization point); the remaining accesses model the head read and
     /// the last-element CAS.
     pub fn cl_pop_tail(&self, port: &mut CorePort) -> Option<TaskId> {
+        port.flight_note(FlightKind::DequePop);
         port.load(self.tail_addr);
         // Linearization: decrement tail and claim the slot atomically.
         let (task, was_last) = port.store_words(self.tail_addr, 1, || {
@@ -247,6 +252,7 @@ impl SimDeque {
     /// would let the thief take a task pushed *after* its acquiring `tail`
     /// peek, breaking the descriptor happens-before edge.
     pub fn cl_steal(&self, port: &mut CorePort) -> Option<TaskId> {
+        port.flight_note(FlightKind::DequeSteal);
         let head_now = port
             .load_words_racy(self.head_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().head);
         let tail_now = port
@@ -284,6 +290,7 @@ impl SimDeque {
     /// tail store, with only an audited racy peek at `head` for the
     /// capacity check. Returns `false` when full.
     pub fn mp_push_tail(&self, port: &mut CorePort, task: TaskId) -> bool {
+        port.flight_note(FlightKind::DequePush);
         port.load(self.tail_addr);
         let (full, tail) = port.load_words_racy(self.head_addr, 1, RacyTag::DequeOwnerPeek, || {
             let st = self.state.read();
@@ -312,6 +319,7 @@ impl SimDeque {
     /// only hit the *last* element: thieves never advance `head` past
     /// `tail`, so every earlier slot has a single claimant.
     pub fn ff_pop_tail(&self, port: &mut CorePort) -> (Option<TaskId>, bool) {
+        port.flight_note(FlightKind::DequePop);
         port.load(self.tail_addr);
         // The owner's emptiness test uses the `head` it reads *here* — by
         // the time the claim below is granted, a thief's CAS may have
@@ -349,6 +357,7 @@ impl SimDeque {
     /// owner-claimed at most once (the next take re-reads a `head` past
     /// it), and every task executes at most twice.
     pub fn idem_take_head(&self, port: &mut CorePort) -> (Option<TaskId>, bool) {
+        port.flight_note(FlightKind::DequeSteal);
         port.load(self.tail_addr);
         // The index the owner will claim binds *here*; a thief CAS granted
         // between this load and the store below claims the same index —
@@ -377,6 +386,7 @@ impl SimDeque {
     /// against the sequenced peeks so a claimed task's push-publish
     /// happens-before the thief's acquiring `tail` peek.
     pub fn mp_steal(&self, port: &mut CorePort) -> Option<TaskId> {
+        port.flight_note(FlightKind::DequeSteal);
         let head_now = port
             .load_words_racy(self.head_addr, 1, RacyTag::DequeThiefPeek, || self.state.read().head);
         let tail_now = port

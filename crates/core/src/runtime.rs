@@ -45,8 +45,8 @@ use std::sync::Arc;
 use bigtiny_engine::sync::RwLock;
 
 use bigtiny_engine::{
-    run_system, AddrSpace, CorePort, RacyTag, RunReport, SyncNote, SystemConfig, TimeCategory,
-    UliMessage, UliOutcome, Worker, WATCHDOG_MSG,
+    run_system, AddrSpace, CorePort, FlightKind, RacyTag, RunReport, SyncNote, SystemConfig,
+    TimeCategory, UliMessage, UliOutcome, Worker, WATCHDOG_MSG,
 };
 
 use crate::deque::SimDeque;
@@ -231,6 +231,13 @@ pub struct RuntimeConfig {
     /// computed and never charges a cycle, so it cannot perturb simulated
     /// results; `false` (the default) allocates no buffers at all.
     pub record_task_events: bool,
+    /// Externally shared [`RuntimeStats`]: when set, the runtime counts
+    /// into this handle instead of a private one, so a heartbeat sink can
+    /// read live spawn/steal/recovery counters mid-run. Host-side only and
+    /// out-of-band (reads race worker updates); the final
+    /// [`TaskRun::stats`] is unaffected. `None` (the default) changes
+    /// nothing.
+    pub live_stats: Option<Arc<RwLock<RuntimeStats>>>,
 }
 
 impl RuntimeConfig {
@@ -250,6 +257,7 @@ impl RuntimeConfig {
             uli_giveup_attempts: 4,
             mutation: None,
             record_task_events: false,
+            live_stats: None,
         }
     }
 }
@@ -324,7 +332,7 @@ pub(crate) struct RtShared {
     deques: Vec<SimDeque>,
     tasks: RwLock<Vec<TaskRecord>>,
     mailboxes: Vec<Mailbox>,
-    counters: RwLock<RuntimeStats>,
+    counters: Arc<RwLock<RuntimeStats>>,
     stack_bases: Vec<u64>,
     stack_bytes: u64,
     /// Instructions consumed by the ULI handler on each worker since that
@@ -435,12 +443,16 @@ impl RtShared {
             .collect();
         let task_events =
             cfg.record_task_events.then(|| (0..workers).map(|_| RwLock::new(Vec::new())).collect());
+        let counters = cfg
+            .live_stats
+            .clone()
+            .unwrap_or_else(|| Arc::new(RwLock::new(RuntimeStats::default())));
         RtShared {
             cfg,
             deques,
             tasks: RwLock::new(Vec::new()),
             mailboxes,
-            counters: RwLock::new(RuntimeStats::default()),
+            counters,
             stack_bases,
             stack_bytes,
             handler_insts: (0..workers).map(|_| RwLock::new(0)).collect(),
@@ -752,6 +764,18 @@ impl<'a> TaskCx<'a> {
     /// in lockstep without ever splitting a span.
     fn record_event(&mut self, task: u32, kind: TaskEventKind) {
         self.port.attr_mark();
+        // Mirror the lifecycle event onto the core's always-on flight
+        // recorder (same zero-overhead discipline; the ring is port-local).
+        self.port.flight_note(match kind {
+            TaskEventKind::Spawn { .. } => FlightKind::TaskSpawn { task },
+            TaskEventKind::ExecBegin => FlightKind::TaskBegin { task },
+            TaskEventKind::ExecEnd => FlightKind::TaskEnd { task },
+            TaskEventKind::Stolen { .. } => FlightKind::TaskStolen { task },
+            TaskEventKind::Join => FlightKind::TaskJoin { task },
+            TaskEventKind::Respawn { .. } => FlightKind::TaskRespawn { task },
+            TaskEventKind::Discarded => FlightKind::TaskDiscarded { task },
+            TaskEventKind::Duplicate { .. } => FlightKind::TaskDuplicate { task },
+        });
         if let Some(bufs) = &self.rt.task_events {
             let cycle = self.port.now();
             bufs[self.wid].write().push(TaskEvent { cycle, core: self.wid, task, kind });
@@ -760,11 +784,13 @@ impl<'a> TaskCx<'a> {
 
     /// Counts one steal attempt against `vid`.
     fn tel_attempt(&mut self, vid: usize) {
+        self.port.flight_note(FlightKind::StealAttempt { victim: vid });
         self.rt.tel.write().per_victim[vid].attempts += 1;
     }
 
     /// Counts one successful steal from `vid`.
     fn tel_hit(&mut self, vid: usize) {
+        self.port.flight_note(FlightKind::StealHit { victim: vid });
         self.rt.tel.write().per_victim[vid].hits += 1;
     }
 

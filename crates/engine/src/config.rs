@@ -6,6 +6,7 @@ use bigtiny_mesh::{MeshConfig, Topology};
 
 use crate::event::CheckMode;
 use crate::fault::FaultPlan;
+use crate::flight::{Heartbeat, DEFAULT_FLIGHT_CAPACITY};
 
 /// Host execution backend for the simulated cores. Both backends produce
 /// the identical sequenced-op stream (pinned by the golden-trace tests);
@@ -152,6 +153,16 @@ pub struct SystemConfig {
     /// handful of cores, but 1024 × 32 MB would burn 32 GB of address
     /// space and can exhaust `vm.max_map_count`.
     pub stack_bytes: Option<usize>,
+    /// Per-core flight-recorder ring capacity in events
+    /// ([`DEFAULT_FLIGHT_CAPACITY`] by default; 0 disables recording).
+    /// The recorder is always on because it is observation-only: it reads
+    /// clocks the simulation already computed and never sequences or
+    /// charges a cycle, so armed and unarmed runs are bit-for-bit
+    /// identical (golden-pinned).
+    pub flight_ring: usize,
+    /// Live heartbeat hook: emit a [`crate::HeartbeatSnap`] every
+    /// `heartbeat.every` sequencer grants. `None` (default) is zero-cost.
+    pub heartbeat: Option<Heartbeat>,
 }
 
 impl SystemConfig {
@@ -175,6 +186,8 @@ impl SystemConfig {
             check: CheckMode::Off,
             schedule: SchedulePolicy::MinCore,
             stack_bytes: None,
+            flight_ring: DEFAULT_FLIGHT_CAPACITY,
+            heartbeat: None,
         }
     }
 
@@ -314,6 +327,19 @@ impl SystemConfig {
     /// Returns a copy reserving `bytes` of host stack per simulated core.
     pub fn with_core_stack(mut self, bytes: usize) -> Self {
         self.stack_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns a copy with the per-core flight-recorder ring resized to
+    /// `events` entries (0 disables recording).
+    pub fn with_flight_ring(mut self, events: usize) -> Self {
+        self.flight_ring = events;
+        self
+    }
+
+    /// Returns a copy with the given heartbeat hook armed.
+    pub fn with_heartbeat(mut self, heartbeat: Heartbeat) -> Self {
+        self.heartbeat = Some(heartbeat);
         self
     }
 

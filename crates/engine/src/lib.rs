@@ -50,6 +50,7 @@ mod event;
 mod fault;
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 mod fiber;
+mod flight;
 pub mod hash;
 mod port;
 mod sequencer;
@@ -64,13 +65,18 @@ pub use config::{CoreConfig, CoreKind, ExecBackend, SchedulePolicy, SystemConfig
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{CheckMode, MemEvent, MemOp, RacyTag, SyncNote};
 pub use fault::{FaultCounters, FaultPlan};
+pub use flight::{
+    CoreBeat, FlightEvent, FlightKind, FlightRing, Heartbeat, HeartbeatSnap,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use port::{AttrSpan, CorePort, UliHandler};
 pub use sequencer::{ChoicePoint, Sequencer};
 pub use space::{AddrSpace, ShScalar, ShVec};
-pub use system::{run_system, RunReport, UliReport, Worker};
+pub use system::{backend_label, run_system, RunReport, UliReport, Worker};
 pub use trace::{render_timeline, TraceEvent, UliMark, UliMarkKind};
 pub use watchdog::{
-    CoreDiag, DiagnosticBundle, PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG,
+    last_bundle, last_bundle_for, CoreDiag, DiagnosticBundle, PoisonReason, SeqCoreDiag,
+    WatchdogConfig, WATCHDOG_MSG,
 };
 
 // Re-export the vocabulary types callers need alongside the engine.

@@ -26,6 +26,7 @@ use crate::breakdown::{TimeBreakdown, TimeCategory};
 use crate::config::CoreKind;
 use crate::event::{MemEvent, MemOp, RacyTag, SyncNote};
 use crate::fault::{FaultCounters, FaultPlan, FaultState, UliSendFault};
+use crate::flight::{FlightKind, FlightRing, LiveCounters};
 use crate::system::{GlobalState, Shared};
 use crate::trace::{UliMark, UliMarkKind};
 
@@ -120,6 +121,17 @@ pub struct CorePort {
     /// [`crate::SystemConfig::attr`] is armed. `None` (the default) makes
     /// every switch/mark a single never-taken branch.
     attr: Option<AttrState>,
+    /// The always-on flight recorder: the last N events on this core (see
+    /// [`crate::flight`]). Observation-only — every hook records clocks and
+    /// ids the simulation already computed, and a capacity-0 ring makes
+    /// each hook a single never-taken branch — so recording can stay
+    /// default-on without perturbing a single simulated cycle
+    /// (golden-pinned by `armed_observability`).
+    flight: FlightRing,
+    /// Live-counter sink for the heartbeat, published at the top of every
+    /// sequenced section (under the token). `None` unless a heartbeat is
+    /// armed.
+    live: Option<Arc<LiveCounters>>,
     rng: XorShift64,
     faults: FaultState,
     shared: Arc<Shared>,
@@ -168,6 +180,8 @@ impl CorePort {
             events: None,
             last_stamp: 0,
             attr: None,
+            flight: FlightRing::new(0),
+            live: None,
             rng: XorShift64::new(seed ^ (core as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
             // Only tiny cores other than core 0 are crash-eligible: core 0
             // runs the program's root task, and the paper's big cores are
@@ -246,6 +260,13 @@ impl CorePort {
         let check_uli = self.handler.is_some() && !self.in_handler;
         let (r, msg) = {
             self.shared.seq.enter(self.core, self.clock);
+            self.flight.record(self.clock, FlightKind::Grant);
+            if let Some(live) = &self.live {
+                // Under the token: no other core can be granted until we
+                // leave, so heartbeat reads of these counters are a
+                // deterministic function of the grant stream.
+                live.publish(self.core, self.clock, &self.breakdown, &self.faults.counters);
+            }
             if self.events.is_some() {
                 // Between our grant and `leave` no other core can be
                 // granted, so the counter read here uniquely stamps this
@@ -271,6 +292,8 @@ impl CorePort {
             // handler sees it (a dropped interrupt).
             if !self.faults.on_uli_receive() {
                 self.dispatch_uli(m);
+            } else {
+                self.flight.record(self.clock, FlightKind::FaultRxDrop);
             }
         }
         r
@@ -282,6 +305,7 @@ impl CorePort {
         self.breakdown.add(TimeCategory::Uli, self.uli_cost);
         self.clock += self.uli_cost;
         self.mark_uli(self.clock, UliMarkKind::ReqRecv { from: msg.from });
+        self.flight.record(self.clock, FlightKind::UliReqRecv { from: msg.from });
         self.emit(MemOp::Sync(SyncNote::HandlerEnter { from: msg.from }));
         let mut h = self.handler.take().expect("handler present when dispatching");
         self.in_handler = true;
@@ -358,6 +382,30 @@ impl CorePort {
     /// when [`crate::SystemConfig::check`] is armed).
     pub(crate) fn enable_events(&mut self) {
         self.events = Some(Vec::new());
+    }
+
+    /// Sizes this port's flight-recorder ring (set by the engine from
+    /// [`crate::SystemConfig::flight_ring`]; 0 disables recording).
+    pub(crate) fn set_flight_capacity(&mut self, events: usize) {
+        self.flight = FlightRing::new(events);
+    }
+
+    /// Installs the live-counter sink the heartbeat reads (set by the
+    /// engine when [`crate::SystemConfig::heartbeat`] is armed).
+    pub(crate) fn set_live(&mut self, live: Arc<LiveCounters>) {
+        self.live = Some(live);
+    }
+
+    /// Records one event on this core's flight recorder at the current
+    /// local clock. Observation-only: never sequences, never charges a
+    /// cycle — runtimes call this from their scheduler hooks (task
+    /// lifecycle, steal attempts, deque operations) without perturbing
+    /// simulated state. With a capacity-0 ring this is one never-taken
+    /// branch.
+    #[inline]
+    pub fn flight_note(&mut self, kind: FlightKind) {
+        let t = self.now();
+        self.flight.record(t, kind);
     }
 
     /// Records one checker event at the current clock. Called right after
@@ -750,24 +798,49 @@ impl CorePort {
                 );
                 if out == UliOutcome::Sent {
                     self.mark_uli(send_cycle, UliMarkKind::ReqSend { to: victim });
+                    // Ring entries are stamped at the *post-seq* clock, not
+                    // `send_cycle`: entering the sequencer can dispatch an
+                    // incoming ULI handler on this core first, and the ring
+                    // must stay sorted by time (the architectural send cycle
+                    // lives in `uli_marks`).
+                    self.flight.record(self.clock, FlightKind::UliReqSend { to: victim });
                 }
                 out
             }
-            UliSendFault::Drop => self.seq(move |st, _, core| {
-                st.uli.drop_request(core, victim);
-                UliOutcome::Sent
-            }),
+            UliSendFault::Drop => {
+                let out = self.seq(move |st, _, core| {
+                    st.uli.drop_request(core, victim);
+                    UliOutcome::Sent
+                });
+                self.flight.record(self.clock, FlightKind::FaultUliDrop);
+                out
+            }
             UliSendFault::Nack => {
-                self.seq(move |st, now, core| st.uli.forced_nack(core, victim, now))
-            }
-            UliSendFault::Delay(extra) => self.seq(move |st, now, core| {
-                let out = st.uli.try_send_request(core, victim, payload, now);
-                if out == UliOutcome::Sent {
-                    st.uli.delay_request(victim, extra);
-                }
+                let out = self.seq(move |st, now, core| st.uli.forced_nack(core, victim, now));
+                self.flight.record(self.clock, FlightKind::FaultUliNack);
                 out
-            }),
+            }
+            UliSendFault::Delay(extra) => {
+                let out = self.seq(move |st, now, core| {
+                    let out = st.uli.try_send_request(core, victim, payload, now);
+                    if out == UliOutcome::Sent {
+                        st.uli.delay_request(victim, extra);
+                    }
+                    out
+                });
+                self.flight.record(self.clock, FlightKind::FaultUliDelay { extra });
+                out
+            }
         };
+        match out {
+            UliOutcome::Nack { .. } => {
+                self.flight.record(self.clock, FlightKind::UliNack { to: victim });
+            }
+            UliOutcome::Dead { .. } => {
+                self.flight.record(self.clock, FlightKind::UliDead { to: victim });
+            }
+            _ => {}
+        }
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
         if let UliOutcome::Nack { reply_at } | UliOutcome::Dead { reply_at } = out {
@@ -785,6 +858,7 @@ impl CorePort {
             |_| Some(MemOp::Sync(SyncNote::UliRespSend { to: thief })),
         );
         self.mark_uli(send_cycle, UliMarkKind::RespSend { to: thief });
+        self.flight.record(self.clock, FlightKind::UliRespSend { to: thief });
         self.charge(TimeCategory::Uli, 1);
         self.instructions += 1;
     }
@@ -800,6 +874,7 @@ impl CorePort {
         );
         if let Some(m) = &msg {
             self.mark_uli(poll_cycle, UliMarkKind::RespRecv { from: m.from });
+            self.flight.record(self.clock, FlightKind::UliRespRecv { from: m.from });
         }
         self.charge(TimeCategory::UliWait, 1);
         self.instructions += 1;
@@ -847,7 +922,12 @@ impl CorePort {
     /// Fault-injection hook for the runtime's victim selection: `true`
     /// forces this lookup to miss. Always `false` without an armed plan.
     pub fn fault_steal_miss(&mut self) -> bool {
-        self.faults.on_steal_lookup()
+        let miss = self.faults.on_steal_lookup();
+        if miss {
+            let t = self.now();
+            self.flight.record(t, FlightKind::FaultStealMiss);
+        }
+        miss
     }
 
     /// Whether fail-stop crashes are armed in this run's fault plan (on
@@ -874,6 +954,7 @@ impl CorePort {
     /// [`CorePort::revive_now`].
     pub fn crash_now(&mut self) {
         self.seq(|st, now, core| st.uli.set_dead(core, now));
+        self.flight.record(self.clock, FlightKind::Crash);
         self.faults.note_crashed();
         // A crash is liveness-relevant: survivors need watchdog budget to
         // observe it and run recovery.
@@ -885,6 +966,7 @@ impl CorePort {
     /// then re-enters its scheduler loop as a fresh worker.
     pub fn revive_now(&mut self) {
         self.seq(|st, _, core| st.uli.set_alive(core));
+        self.flight.record(self.clock, FlightKind::Revive);
         self.mark_progress();
     }
 
@@ -957,6 +1039,8 @@ impl CorePort {
             faults: self.faults.counters,
             events: self.events.unwrap_or_default(),
             attr_spans,
+            flight_total: self.flight.total(),
+            flight: self.flight.tail(),
         }
     }
 }
@@ -975,4 +1059,10 @@ pub(crate) struct PortReport {
     /// stamp to reconstruct grant order.
     pub events: Vec<(u64, MemEvent)>,
     pub attr_spans: Vec<AttrSpan>,
+    /// Flight-recorder tail in chronological order (empty with a
+    /// capacity-0 ring).
+    pub flight: Vec<crate::flight::FlightEvent>,
+    /// Events ever recorded on this core's ring (`flight` keeps the last
+    /// capacity of them).
+    pub flight_total: u64,
 }

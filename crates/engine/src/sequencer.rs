@@ -17,10 +17,12 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 use crate::fiber::{FiberId, FiberRt};
+use crate::flight::{CoreBeat, Heartbeat, HeartbeatSnap, LiveCounters};
 use crate::sync::Mutex;
 use crate::watchdog::{PoisonReason, SeqCoreDiag, WatchdogConfig, WATCHDOG_MSG};
 
@@ -144,6 +146,19 @@ pub struct Sequencer {
     /// so the op stream is identical to both other backends.
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     sharded: Option<ShardedRt>,
+    /// Heartbeat hook: every `heartbeat.every` grants the granting core
+    /// emits a [`HeartbeatSnap`] *after* releasing the sequencer lock (the
+    /// sink may do I/O). `None` is zero-cost: one never-taken branch in
+    /// `record_grant`.
+    heartbeat: Option<HeartbeatHook>,
+}
+
+/// Installed heartbeat state: the user's cadence + sink plus the live
+/// counters the ports publish into.
+#[derive(Debug)]
+struct HeartbeatHook {
+    config: Heartbeat,
+    live: Arc<LiveCounters>,
 }
 
 /// Runtime state of the sharded fiber backend: the island partition and
@@ -233,7 +248,16 @@ impl Sequencer {
             fiber: None,
             #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
             sharded: None,
+            heartbeat: None,
         }
+    }
+
+    /// Arms the heartbeat: every `config.every` grants, the granting core
+    /// snapshots the run (grant totals, per-core strip, the live counters
+    /// ports publish into `live`) and hands it to `config.sink` with no
+    /// engine lock held. Must be called before core threads start.
+    pub fn set_heartbeat(&mut self, config: Heartbeat, live: Arc<LiveCounters>) {
+        self.heartbeat = Some(HeartbeatHook { config, live });
     }
 
     /// Installs the grant tie-breaking policy. Must be called before core
@@ -402,17 +426,81 @@ impl Sequencer {
     /// Per-grant bookkeeping: stats, the op-stream hash fold, and the
     /// watchdog budget check. Shared by the parked and fast re-grant paths
     /// so both produce the identical op stream.
-    fn record_grant(&self, g: &mut Inner, core: usize, time: u64) {
+    ///
+    /// Returns whether a heartbeat is due at this grant. The *caller* must
+    /// drop the inner guard and then call [`Sequencer::emit_heartbeat`]:
+    /// the sink may do I/O and must never run under the sequencer lock.
+    #[must_use]
+    fn record_grant(&self, g: &mut Inner, core: usize, time: u64) -> bool {
         g.cores[core].grants += 1;
         g.cores[core].last_time = time;
         g.op_hash = fold_grant(g.op_hash, time, core);
-        self.total_grants.fetch_add(1, Ordering::Relaxed);
+        let total = self.total_grants.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(wd) = self.watchdog {
             let since = self.since_progress.fetch_add(1, Ordering::Relaxed) + 1;
             if since > wd.budget {
                 self.trip(g, core, time);
             }
         }
+        match &self.heartbeat {
+            Some(hb) => total.is_multiple_of(hb.config.every),
+            None => false,
+        }
+    }
+
+    /// Builds and delivers the heartbeat snapshot due at grant-time `time`.
+    /// Called by the granting core after releasing the sequencer lock (it
+    /// still holds the token, so nothing can be granted while the snapshot
+    /// is taken — the deterministic fields are frozen).
+    fn emit_heartbeat(&self, time: u64) {
+        let Some(hb) = &self.heartbeat else { return };
+        let total = self.total_grants.load(Ordering::Relaxed);
+        let (cores, islands) = {
+            let g = self.inner.lock();
+            let waiting: std::collections::HashMap<usize, u64> =
+                g.waiting.iter().map(|&(t, c)| (c, t)).collect();
+            let cores: Vec<CoreBeat> = g
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(core, s)| CoreBeat {
+                    grants: s.grants,
+                    last_time: s.last_time,
+                    retired: s.retired,
+                    waiting_at: waiting.get(&core).copied(),
+                })
+                .collect();
+            let islands = self.island_times(&cores);
+            (cores, islands)
+        };
+        let snap = HeartbeatSnap::new(
+            total / hb.config.every,
+            time,
+            total,
+            self.fast_grants.load(Ordering::Relaxed),
+            Some(hb.live.as_ref()),
+            cores,
+            islands,
+        );
+        (hb.config.sink)(&snap);
+    }
+
+    /// Per-island maximum granted time under the sharded backend (empty
+    /// elsewhere).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn island_times(&self, cores: &[CoreBeat]) -> Vec<u64> {
+        let Some(sh) = &self.sharded else { return Vec::new() };
+        let mut out = vec![0u64; sh.num_islands()];
+        for (core, beat) in cores.iter().enumerate() {
+            let isl = sh.island_of(core);
+            out[isl] = out[isl].max(beat.last_time);
+        }
+        out
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    fn island_times(&self, _cores: &[CoreBeat]) -> Vec<u64> {
+        Vec::new()
     }
 
     /// Poisons with a watchdog reason and panics on the calling thread.
@@ -453,7 +541,11 @@ impl Sequencer {
         if g.running == 1 && g.current.is_none() && fast_ok {
             g.current = Some(core);
             self.fast_grants.fetch_add(1, Ordering::Relaxed);
-            self.record_grant(&mut g, core, time);
+            let hb_due = self.record_grant(&mut g, core, time);
+            drop(g);
+            if hb_due {
+                self.emit_heartbeat(time);
+            }
             return;
         }
         #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
@@ -511,7 +603,11 @@ impl Sequencer {
         let removed = g.waiting.remove(&(time, core));
         debug_assert!(removed, "granted core must be in the waiting set");
         g.running += 1;
-        self.record_grant(&mut g, core, time);
+        let hb_due = self.record_grant(&mut g, core, time);
+        drop(g);
+        if hb_due {
+            self.emit_heartbeat(time);
+        }
     }
 
     /// Fiber-backend slow path of [`Sequencer::enter`]: same bookkeeping
@@ -557,7 +653,11 @@ impl Sequencer {
         let removed = g.waiting.remove(&(time, core));
         debug_assert!(removed, "granted core must be in the waiting set");
         g.running += 1;
-        self.record_grant(&mut g, core, time);
+        let hb_due = self.record_grant(&mut g, core, time);
+        drop(g);
+        if hb_due {
+            self.emit_heartbeat(time);
+        }
     }
 
     /// Sharded-backend slow path of [`Sequencer::enter`]: bookkeeping and
@@ -626,7 +726,11 @@ impl Sequencer {
         let removed = g.waiting.remove(&(time, core));
         debug_assert!(removed, "granted core must be in the waiting set");
         g.running += 1;
-        self.record_grant(&mut g, core, time);
+        let hb_due = self.record_grant(&mut g, core, time);
+        drop(g);
+        if hb_due {
+            self.emit_heartbeat(time);
+        }
     }
 
     /// Fiber-backend retirement: the usual bookkeeping, plus the choice of

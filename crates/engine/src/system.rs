@@ -9,10 +9,13 @@ use crate::breakdown::TimeBreakdown;
 use crate::config::{ExecBackend, SchedulePolicy, SystemConfig};
 use crate::event::{CheckMode, MemEvent};
 use crate::fault::{FaultCounters, FaultPlan};
+use crate::flight::{FlightEvent, LiveCounters};
 use crate::port::{CorePort, PortReport};
 use crate::sequencer::{ChoicePoint, Sequencer, POISON_MSG};
 use crate::sync::Mutex;
-use crate::watchdog::{DiagnosticBundle, PoisonReason, WatchdogConfig, WATCHDOG_MSG};
+use crate::watchdog::{
+    record_bundle, DiagnosticBundle, PoisonReason, WatchdogConfig, WATCHDOG_MSG,
+};
 
 /// All mutable simulated state, accessed only under the sequencer token.
 pub(crate) struct GlobalState {
@@ -26,6 +29,9 @@ pub(crate) struct GlobalState {
 pub(crate) struct Shared {
     pub seq: Sequencer,
     pub state: Mutex<GlobalState>,
+    /// Heartbeat live-counter sink each port publishes into (`None` unless
+    /// a heartbeat is armed).
+    pub live: Option<Arc<LiveCounters>>,
 }
 
 /// A worker body: the code one simulated core runs.
@@ -47,6 +53,7 @@ struct CoreParams {
     trace: bool,
     check: bool,
     attr: bool,
+    flight_ring: usize,
     num_cores: usize,
 }
 
@@ -66,6 +73,7 @@ impl CoreParams {
             trace: config.trace,
             check: config.check.armed(),
             attr: config.attr,
+            flight_ring: config.flight_ring,
             num_cores: config.num_cores(),
         }
     }
@@ -91,6 +99,10 @@ impl CoreParams {
         if self.attr {
             port.enable_attr();
         }
+        port.set_flight_capacity(self.flight_ring);
+        if let Some(live) = &shared.live {
+            port.set_live(Arc::clone(live));
+        }
         port
     }
 }
@@ -101,6 +113,27 @@ enum Backend {
     Threads,
     Fibers,
     Sharded,
+}
+
+impl Backend {
+    /// Stable lower-case name used in black-box dump headers.
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Fibers => "fibers",
+            Backend::Sharded => "sharded-fibers",
+        }
+    }
+}
+
+/// The stable lower-case name of the backend a run of `config` resolves to
+/// (`threads`, `fibers`, `sharded-fibers`) — the same string
+/// [`DiagnosticBundle::backend`](crate::DiagnosticBundle) carries, for
+/// harnesses labelling black-box dumps of runs that completed without a
+/// bundle. `Auto` resolution consults `BIGTINY_BACKEND`, so call it in the
+/// same environment as the run.
+pub fn backend_label(config: &SystemConfig) -> &'static str {
+    resolve_backend(config).label()
 }
 
 /// Decides which backend this run executes cores on (see [`ExecBackend`]).
@@ -507,6 +540,14 @@ pub struct RunReport {
     /// [`SchedulePolicy::Scripted`] one entry per grant where two or more
     /// waiters shared the minimum time.
     pub choice_points: Vec<ChoicePoint>,
+    /// Per-core flight-recorder tails (the last
+    /// [`SystemConfig::flight_ring`] events per core, in chronological
+    /// order; inner vectors empty when the ring is disabled). Observation
+    /// only: recording never perturbs a simulated cycle.
+    pub flight: Vec<Vec<FlightEvent>>,
+    /// Events ever recorded on each core's ring (each `flight[i]` keeps
+    /// the last `flight_ring` of them).
+    pub flight_totals: Vec<u64>,
 }
 
 impl RunReport {
@@ -586,6 +627,14 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         }
         Backend::Threads => {}
     }
+    // Heartbeat arming: the live counters the ports publish into and the
+    // sequencer hook that snapshots them every K grants. `None` keeps both
+    // at literally zero cost (never-taken branches).
+    let live = config.heartbeat.as_ref().map(|hb| {
+        let live = Arc::new(LiveCounters::new(num_cores));
+        seq.set_heartbeat(hb.clone(), Arc::clone(&live));
+        live
+    });
     let mut mem = MemorySystem::new(&config.mem_config());
     mem.set_mesh_faults(config.faults.mesh_faults());
     let shared = Arc::new(Shared {
@@ -596,6 +645,7 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
             done: false,
             done_time: 0,
         }),
+        live,
     });
 
     let reports: PortReports = Arc::new(Mutex::new((0..num_cores).map(|_| None).collect()));
@@ -617,10 +667,16 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
 
     let mut panics = std::mem::take(&mut *panics.lock());
     if !panics.is_empty() {
-        // Watchdog trip: every thread has unwound and stored its partial
-        // report, so the diagnostic bundle is crash-consistent.
-        if let Some(PoisonReason::Watchdog { .. }) = shared.seq.poison_reason() {
-            let bundle = build_bundle(&shared, &reports.lock());
+        // Every thread has unwound and stored its partial report, so the
+        // diagnostic bundle is crash-consistent. Record it in the
+        // engine-global black-box ring *before* panicking: the panic
+        // payload is a rendered string, and harnesses that catch it
+        // retrieve the structured bundle via `last_bundle_for` to write a
+        // loadable black-box dump.
+        let bundle = build_bundle(config, backend, &shared, &reports.lock());
+        let watchdog = matches!(bundle.reason, PoisonReason::Watchdog { .. });
+        record_bundle(bundle.clone());
+        if watchdog {
             panic!("{WATCHDOG_MSG}\n{bundle}");
         }
         // Re-raise the most meaningful panic (prefer original over cascaded
@@ -642,6 +698,8 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
     let mut traces = Vec::with_capacity(num_cores);
     let mut uli_marks = Vec::with_capacity(num_cores);
     let mut attr_spans = Vec::with_capacity(num_cores);
+    let mut flight = Vec::with_capacity(num_cores);
+    let mut flight_totals = Vec::with_capacity(num_cores);
     let mut fault_counters = FaultCounters::default();
     let mut stamped_events: Vec<(u64, MemEvent)> = Vec::new();
     for r in reports {
@@ -652,6 +710,8 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         traces.push(r.trace);
         uli_marks.push(r.uli_marks);
         attr_spans.push(r.attr_spans);
+        flight.push(r.flight);
+        flight_totals.push(r.flight_total);
         fault_counters += r.faults;
         stamped_events.extend(r.events);
     }
@@ -710,12 +770,19 @@ pub fn run_system(config: &SystemConfig, workers: Vec<Worker>) -> RunReport {
         seq_op_hash: shared.seq.op_hash(),
         mem_events,
         choice_points: shared.seq.choice_points(),
+        flight,
+        flight_totals,
     }
 }
 
 /// Assembles the crash-consistent diagnostic bundle after all core threads
 /// have joined.
-fn build_bundle(shared: &Shared, reports: &[Option<PortReport>]) -> DiagnosticBundle {
+fn build_bundle(
+    config: &SystemConfig,
+    backend: Backend,
+    shared: &Shared,
+    reports: &[Option<PortReport>],
+) -> DiagnosticBundle {
     let st = shared.state.lock();
     let seq_diag = shared.seq.core_diag();
     let cores = reports
@@ -729,6 +796,9 @@ fn build_bundle(shared: &Shared, reports: &[Option<PortReport>]) -> DiagnosticBu
         .collect();
     DiagnosticBundle {
         reason: shared.seq.poison_reason().unwrap_or(PoisonReason::WorkerPanic),
+        config_name: config.name.clone(),
+        backend: backend.label().to_owned(),
+        fault_spec: config.faults.to_spec(),
         cores,
         uli_messages: st.uli.message_count(),
         uli_nacks: st.uli.nack_count(),

@@ -29,7 +29,9 @@
 use bigtiny_mesh::UliCoreState;
 
 use crate::breakdown::TimeCategory;
+use crate::flight::FlightEvent;
 use crate::port::PortReport;
+use crate::sync::Mutex;
 use crate::trace::TraceEvent;
 
 /// Prefix of the panic message raised when the watchdog trips. Callers
@@ -93,6 +95,11 @@ pub struct CoreDiag {
     pub uli: UliCoreState,
     /// The last few trace events (empty unless tracing was enabled).
     pub last_events: Vec<TraceEvent>,
+    /// The core's flight-recorder tail — the black box. Non-empty whenever
+    /// the default always-on ring is not disabled.
+    pub flight_tail: Vec<FlightEvent>,
+    /// Events ever recorded on the core's ring.
+    pub flight_total: u64,
 }
 
 /// Crash-consistent snapshot of a watchdog-aborted run, assembled after
@@ -101,6 +108,16 @@ pub struct CoreDiag {
 pub struct DiagnosticBundle {
     /// The trip that produced this bundle.
     pub reason: PoisonReason,
+    /// Name of the [`SystemConfig`](crate::SystemConfig) that ran.
+    pub config_name: String,
+    /// Host execution backend the run actually used (after `Auto`
+    /// resolution), e.g. `threads` or `sharded-fibers`.
+    pub backend: String,
+    /// The run's fault plan as a [`FaultPlan::to_spec`](crate::FaultPlan)
+    /// string (`"none"` when no faults were armed). Together with
+    /// `config_name` and `backend` this makes the bundle a self-contained
+    /// repro recipe.
+    pub fault_spec: String,
     /// Per-core diagnostics.
     pub cores: Vec<CoreDiag>,
     /// Total ULI messages at the trip.
@@ -130,8 +147,50 @@ impl DiagnosticBundle {
             seq,
             uli,
             last_events: report.trace.iter().rev().take(DIAG_LAST_EVENTS).rev().copied().collect(),
+            flight_tail: report.flight.clone(),
+            flight_total: report.flight_total,
         }
     }
+}
+
+/// How many bundles the engine-global black-box ring retains.
+const BUNDLE_RING: usize = 16;
+
+/// Engine-global ring of the most recent [`DiagnosticBundle`]s. A watchdog
+/// trip surfaces as a *panic* out of [`run_system`](crate::run_system), so
+/// the bundle itself would be lost to the caller (the panic payload is a
+/// rendered string); the engine records it here first, and harnesses that
+/// caught the panic retrieve it with [`last_bundle_for`] to write a
+/// black-box dump. Bounded and process-wide; entries are keyed by config
+/// name so concurrent tests do not race each other's retrievals.
+fn bundle_ring() -> &'static Mutex<Vec<DiagnosticBundle>> {
+    static RING: std::sync::OnceLock<Mutex<Vec<DiagnosticBundle>>> = std::sync::OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records `bundle` in the engine-global black-box ring (called by
+/// `run_system` before it panics with the rendered bundle).
+pub(crate) fn record_bundle(bundle: DiagnosticBundle) {
+    let mut ring = bundle_ring().lock();
+    if ring.len() >= BUNDLE_RING {
+        ring.remove(0);
+    }
+    ring.push(bundle);
+}
+
+/// The most recently recorded [`DiagnosticBundle`] whose config name is
+/// `config_name`, if any. Non-destructive: repeated calls return the same
+/// bundle, and bundles from other configurations (e.g. parallel tests) are
+/// left untouched.
+pub fn last_bundle_for(config_name: &str) -> Option<DiagnosticBundle> {
+    bundle_ring().lock().iter().rev().find(|b| b.config_name == config_name).cloned()
+}
+
+/// The most recently recorded [`DiagnosticBundle`] from any run in this
+/// process, if any. Prefer [`last_bundle_for`] when the config name is
+/// known (it is immune to interleaving from concurrent runs).
+pub fn last_bundle() -> Option<DiagnosticBundle> {
+    bundle_ring().lock().last().cloned()
 }
 
 impl std::fmt::Display for DiagnosticBundle {
@@ -144,6 +203,11 @@ impl std::fmt::Display for DiagnosticBundle {
             )?,
             PoisonReason::WorkerPanic => writeln!(f, "a worker panicked; partial state follows")?,
         }
+        writeln!(
+            f,
+            "run: config={} backend={} faults={}",
+            self.config_name, self.backend, self.fault_spec
+        )?;
         writeln!(f, "uli: {} messages, {} nacks", self.uli_messages, self.uli_nacks)?;
         for c in &self.cores {
             // A fail-stopped core is *expected*-silent: its worker either
@@ -183,6 +247,17 @@ impl std::fmt::Display for DiagnosticBundle {
                     .map(|e| format!("{:?}@{}+{}", e.category, e.start, e.cycles))
                     .collect();
                 write!(f, " tail=[{}]", tail.join(" "))?;
+            }
+            if !c.flight_tail.is_empty() {
+                let shown: Vec<String> = c
+                    .flight_tail
+                    .iter()
+                    .rev()
+                    .take(4)
+                    .rev()
+                    .map(|e| format!("{}@{}", e.kind.label(), e.time))
+                    .collect();
+                write!(f, " box({})=[{}]", c.flight_total, shown.join(" "))?;
             }
             writeln!(f)?;
         }

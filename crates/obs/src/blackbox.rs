@@ -1,0 +1,279 @@
+//! Black-box dumps: structured JSON serialization of flight-recorder
+//! tails, plus a Perfetto-loadable tail trace.
+//!
+//! The engine's always-on per-core flight recorder keeps the last
+//! [`bigtiny_engine::SystemConfig::flight_ring`] events of every core. On
+//! a watchdog trip or worker panic the engine snapshots everything into a
+//! [`DiagnosticBundle`]; harnesses retrieve it with
+//! [`bigtiny_engine::last_bundle_for`] and call [`blackbox_from_bundle`]
+//! to write the dump. A *clean* run that nevertheless needs forensics (a
+//! dirty crash audit, an explicit `--blackbox-out`) dumps straight from
+//! its [`RunReport`] via [`blackbox_from_report`].
+//!
+//! Each dump is one JSON document tagged [`BLACKBOX_SCHEMA`] whose header
+//! (`config`, `backend`, `faults`) is a self-contained repro recipe, and
+//! [`blackbox_tail_trace`] re-renders any dump as a Chrome trace-event
+//! document of instant events (one Perfetto thread per core) that passes
+//! [`validate_chrome_trace`](crate::validate_chrome_trace).
+
+use bigtiny_engine::{DiagnosticBundle, FlightEvent, PoisonReason, RunReport};
+
+use crate::json::Json;
+
+/// Schema tag carried in every black-box document.
+pub const BLACKBOX_SCHEMA: &str = "bigtiny-obs-blackbox-v1";
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn flight_json(tail: &[FlightEvent]) -> Json {
+    Json::Arr(
+        tail.iter()
+            .map(|e| {
+                let mut fields = vec![("t", Json::u64(e.time)), ("ev", Json::str(e.kind.label()))];
+                if let Some((key, value)) = e.kind.arg() {
+                    fields.push((key, Json::u64(value)));
+                }
+                obj(fields)
+            })
+            .collect(),
+    )
+}
+
+fn header(reason: &str, config: &str, backend: &str, faults: &str) -> Vec<(String, Json)> {
+    vec![
+        ("schema".to_owned(), Json::str(BLACKBOX_SCHEMA)),
+        ("reason".to_owned(), Json::str(reason)),
+        ("config".to_owned(), Json::str(config)),
+        ("backend".to_owned(), Json::str(backend)),
+        ("faults".to_owned(), Json::str(faults)),
+    ]
+}
+
+/// Renders a [`PoisonReason`] as the dump's `reason` string.
+pub fn reason_label(reason: PoisonReason) -> String {
+    match reason {
+        PoisonReason::WorkerPanic => "worker_panic".to_owned(),
+        PoisonReason::Watchdog { core, time } => format!("watchdog(core={core},cycle={time})"),
+    }
+}
+
+/// Serializes a crash-time [`DiagnosticBundle`] — the black box proper —
+/// into one structured JSON document.
+pub fn blackbox_from_bundle(bundle: &DiagnosticBundle) -> Json {
+    let mut fields = header(
+        &reason_label(bundle.reason),
+        &bundle.config_name,
+        &bundle.backend,
+        &bundle.fault_spec,
+    );
+    fields.push(("total_grants".to_owned(), Json::u64(bundle.total_grants)));
+    fields.push(("uli_messages".to_owned(), Json::u64(bundle.uli_messages)));
+    fields.push(("uli_nacks".to_owned(), Json::u64(bundle.uli_nacks)));
+    let cores = bundle
+        .cores
+        .iter()
+        .map(|c| {
+            let mut cf = vec![
+                ("core", Json::u64(c.core as u64)),
+                ("clock", Json::u64(c.clock)),
+                ("instructions", Json::u64(c.instructions)),
+                ("idle_cycles", Json::u64(c.idle_cycles)),
+                ("grants", Json::u64(c.seq.grants)),
+                ("last_grant", Json::u64(c.seq.last_time)),
+                ("retired", Json::Bool(c.seq.retired)),
+            ];
+            if let Some(t) = c.seq.waiting_at {
+                cf.push(("waiting_at", Json::u64(t)));
+            }
+            cf.push(("flight_total", Json::u64(c.flight_total)));
+            cf.push(("flight", flight_json(&c.flight_tail)));
+            obj(cf)
+        })
+        .collect();
+    fields.push(("cores".to_owned(), Json::Arr(cores)));
+    Json::Obj(fields)
+}
+
+/// Serializes the flight tails of a *completed* run — an explicit or
+/// audit-triggered dump. `reason` names the trigger (e.g. `"explicit"`,
+/// `"crash_audit"`); `backend` and `fault_spec` complete the repro header
+/// (the report does not carry them itself).
+pub fn blackbox_from_report(
+    reason: &str,
+    backend: &str,
+    fault_spec: &str,
+    report: &RunReport,
+) -> Json {
+    let mut fields = header(reason, &report.config_name, backend, fault_spec);
+    fields.push(("total_grants".to_owned(), Json::u64(report.seq_grants)));
+    fields.push(("uli_messages".to_owned(), Json::u64(report.uli.messages)));
+    fields.push(("uli_nacks".to_owned(), Json::u64(report.uli.nacks)));
+    let cores = report
+        .flight
+        .iter()
+        .enumerate()
+        .map(|(core, tail)| {
+            obj(vec![
+                ("core", Json::u64(core as u64)),
+                ("clock", Json::u64(report.core_cycles[core])),
+                ("instructions", Json::u64(report.instructions[core])),
+                ("flight_total", Json::u64(report.flight_totals[core])),
+                ("flight", flight_json(tail)),
+            ])
+        })
+        .collect();
+    fields.push(("cores".to_owned(), Json::Arr(cores)));
+    Json::Obj(fields)
+}
+
+/// Counts from a structurally valid black-box document.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BlackboxSummary {
+    /// Cores in the dump.
+    pub cores: usize,
+    /// Cores whose flight tail is non-empty.
+    pub cores_with_tail: usize,
+    /// Total flight events across all tails.
+    pub events: usize,
+}
+
+/// Structurally validates a black-box document: the [`BLACKBOX_SCHEMA`]
+/// tag, the repro header, and per-core tails each sorted by time with
+/// every event carrying a label and a timestamp.
+pub fn validate_blackbox(doc: &Json) -> Result<BlackboxSummary, String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing schema tag")?;
+    if schema != BLACKBOX_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BLACKBOX_SCHEMA:?}"));
+    }
+    for key in ["reason", "config", "backend", "faults"] {
+        doc.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing header {key:?}"))?;
+    }
+    doc.get("total_grants").and_then(Json::as_num).ok_or("missing total_grants")?;
+    let cores = doc.get("cores").and_then(Json::as_arr).ok_or("missing cores array")?;
+    let mut summary = BlackboxSummary { cores: cores.len(), ..Default::default() };
+    for c in cores {
+        let id = c.get("core").and_then(Json::as_num).ok_or("core entry missing id")?;
+        c.get("flight_total").and_then(Json::as_num).ok_or("core missing flight_total")?;
+        let tail = c.get("flight").and_then(Json::as_arr).ok_or("core missing flight tail")?;
+        let mut last = f64::NEG_INFINITY;
+        for e in tail {
+            e.get("ev").and_then(Json::as_str).ok_or("flight event missing label")?;
+            let t = e.get("t").and_then(Json::as_num).ok_or("flight event missing time")?;
+            if t < last {
+                return Err(format!("core {id}: flight tail out of order ({t} after {last})"));
+            }
+            last = t;
+        }
+        if !tail.is_empty() {
+            summary.cores_with_tail += 1;
+        }
+        summary.events += tail.len();
+    }
+    Ok(summary)
+}
+
+/// Re-renders a black-box document as a Chrome trace-event document: one
+/// Perfetto thread per core, one `"i"` instant event per flight-tail
+/// entry. Loadable at `ui.perfetto.dev`; passes
+/// [`validate_chrome_trace`](crate::validate_chrome_trace).
+pub fn blackbox_tail_trace(doc: &Json) -> Result<Json, String> {
+    validate_blackbox(doc)?;
+    let config = doc.get("config").and_then(Json::as_str).unwrap_or("?");
+    let reason = doc.get("reason").and_then(Json::as_str).unwrap_or("?");
+    let mut events: Vec<Json> = vec![obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::u64(1)),
+        (
+            "args",
+            Json::Obj(vec![("name".into(), Json::str(format!("black box: {config} ({reason})")))]),
+        ),
+    ])];
+    for c in doc.get("cores").and_then(Json::as_arr).expect("validated") {
+        let core = c.get("core").and_then(Json::as_num).expect("validated") as u64;
+        events.push(obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(1)),
+            ("tid", Json::u64(core)),
+            ("args", Json::Obj(vec![("name".into(), Json::str(format!("core {core}")))])),
+        ]));
+        for e in c.get("flight").and_then(Json::as_arr).expect("validated") {
+            let label = e.get("ev").and_then(Json::as_str).expect("validated").to_owned();
+            let t = e.get("t").and_then(Json::as_num).expect("validated");
+            events.push(obj(vec![
+                ("name", Json::Str(label)),
+                ("cat", Json::str("flight")),
+                ("ph", Json::str("i")),
+                ("s", Json::str("t")),
+                ("ts", Json::Num(t)),
+                ("pid", Json::u64(1)),
+                ("tid", Json::u64(core)),
+            ]));
+        }
+    }
+    Ok(Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::str("ns")),
+        (
+            "metadata".into(),
+            Json::Obj(vec![
+                ("schema".into(), Json::str(crate::TRACE_SCHEMA)),
+                ("time_unit".into(), Json::str("simulated cycles")),
+                ("source".into(), Json::str(BLACKBOX_SCHEMA)),
+            ]),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+    use crate::testutil::small_run_n;
+    use crate::validate_chrome_trace;
+    use bigtiny_core::RuntimeKind;
+
+    #[test]
+    fn report_dump_validates_and_traces() {
+        let run = small_run_n(RuntimeKind::Dts, 11, false, false);
+        let doc = blackbox_from_report("explicit", "threads", "none", &run.report);
+        let s = validate_blackbox(&doc).expect("self-emitted dump validates");
+        assert_eq!(s.cores, run.report.core_cycles.len());
+        assert!(s.cores_with_tail > 0, "default-on ring captured events");
+        assert!(s.events > 0);
+        // Survives its own strict parser round trip.
+        let reparsed = parse_json(&doc.to_json()).unwrap();
+        assert_eq!(validate_blackbox(&reparsed).unwrap(), s);
+        // And re-renders to a structurally valid Perfetto document.
+        let trace = blackbox_tail_trace(&reparsed).unwrap();
+        let ts = validate_chrome_trace(&trace).unwrap();
+        assert_eq!(ts.instants, s.events);
+        assert_eq!(ts.metadata, 1 + s.cores);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_dumps() {
+        assert!(validate_blackbox(&parse_json("{}").unwrap()).is_err());
+        let wrong = r#"{"schema":"other","reason":"x","config":"c","backend":"b","faults":"none","total_grants":1,"cores":[]}"#;
+        assert!(validate_blackbox(&parse_json(wrong).unwrap()).unwrap_err().contains("schema"));
+        let unordered = r#"{"schema":"bigtiny-obs-blackbox-v1","reason":"x","config":"c",
+            "backend":"b","faults":"none","total_grants":1,
+            "cores":[{"core":0,"flight_total":2,
+                      "flight":[{"t":5,"ev":"grant"},{"t":3,"ev":"grant"}]}]}"#;
+        assert!(validate_blackbox(&parse_json(unordered).unwrap())
+            .unwrap_err()
+            .contains("out of order"));
+    }
+
+    #[test]
+    fn reason_labels() {
+        assert_eq!(reason_label(PoisonReason::WorkerPanic), "worker_panic");
+        assert_eq!(
+            reason_label(PoisonReason::Watchdog { core: 3, time: 99 }),
+            "watchdog(core=3,cycle=99)"
+        );
+    }
+}

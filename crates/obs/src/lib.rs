@@ -22,9 +22,19 @@
 //!   and per-task attribution spans, the cycle-conservation table, and
 //!   what-if projections (zero-cost steals, zero coherence overhead,
 //!   ideal P-core greedy bound).
+//! * [`heartbeat_line`] / [`validate_heartbeat_stream`] — the
+//!   `bigtiny-obs-heartbeat-v1` line-JSON live-telemetry stream a
+//!   heartbeat-armed run emits every K sequencer grants
+//!   (`eval_all --heartbeat-out`, followed live by `tail_run`).
+//! * [`blackbox_from_bundle`] / [`blackbox_from_report`] — black-box
+//!   dumps of the always-on per-core flight recorder (crash-time
+//!   [`DiagnosticBundle`](bigtiny_engine::DiagnosticBundle)s and explicit
+//!   dumps), with a validator and a Perfetto-loadable tail trace.
 
 mod attribution;
+mod blackbox;
 mod critpath;
+mod heartbeat;
 mod json;
 mod metrics;
 mod perfetto;
@@ -32,8 +42,16 @@ mod perfetto;
 mod testutil;
 
 pub use attribution::{verify_attr_spans, CycleConservation, Projection, WhatIf};
+pub use blackbox::{
+    blackbox_from_bundle, blackbox_from_report, blackbox_tail_trace, reason_label,
+    validate_blackbox, BlackboxSummary, BLACKBOX_SCHEMA,
+};
 pub use critpath::{
     check_task_dag, profiled, replay, replay_run, ChainLink, CritPath, CycleLens, DagCheck,
+};
+pub use heartbeat::{
+    heartbeat_line, looks_like_heartbeat_stream, validate_heartbeat_line,
+    validate_heartbeat_stream, HEARTBEAT_SCHEMA,
 };
 pub use json::{parse_json, Json};
 pub use metrics::{metrics_document, RunMetrics, METRICS_SCHEMA, METRICS_SCHEMAS_ACCEPTED};

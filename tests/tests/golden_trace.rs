@@ -179,10 +179,109 @@ fn armed_observability_changes_no_golden_pin() {
             let marks: usize = r.run.report.uli_marks.iter().map(Vec::len).sum();
             assert!(marks > 0, "{app_name} on {setup_label}: DTS run recorded no ULI marks");
         }
+        // The flight recorder is always-on (default ring capacity): the
+        // same armed run must also have retained per-core tails, each in
+        // non-decreasing time order — the black box is usable as-is.
+        assert!(
+            r.run.report.flight.iter().any(|t| !t.is_empty()),
+            "{app_name} on {setup_label}: default-armed run retained no flight events"
+        );
+        for (core, tail) in r.run.report.flight.iter().enumerate() {
+            assert!(
+                tail.windows(2).all(|w| w[0].time <= w[1].time),
+                "{app_name} on {setup_label}: core {core} flight tail out of time order"
+            );
+            assert!(
+                r.run.report.flight_totals[core] >= tail.len() as u64,
+                "{app_name} on {setup_label}: core {core} total below retained tail"
+            );
+        }
     }
     assert!(
         failures.is_empty(),
         "arming observability perturbed simulated results:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The live-telemetry layer must be bit-for-bit invisible too, on every
+/// backend: turning the flight ring off, growing it past its default, or
+/// arming a heartbeat sink all replay the exact golden cycles and grant
+/// hashes. The ring only reads already-computed core clocks and the
+/// heartbeat only observes grant boundaries — neither sequences an op nor
+/// charges a cycle.
+#[test]
+fn flight_ring_and_heartbeat_change_no_golden_pin() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use bigtiny_engine::{ExecBackend, Heartbeat, DEFAULT_FLIGHT_CAPACITY};
+
+    let fibers_supported = cfg!(all(target_os = "linux", target_arch = "x86_64"));
+    let mut failures = Vec::new();
+    for &(app_name, setup_label, want_cycles, want_hash) in
+        GOLDEN.iter().filter(|g| g.0 == "cilk5-nq")
+    {
+        let app = app_by_name(app_name).unwrap();
+        for backend in [ExecBackend::Threads, ExecBackend::Fibers, ExecBackend::ShardedFibers] {
+            if backend != ExecBackend::Threads && !fibers_supported {
+                continue;
+            }
+            let beats = Arc::new(AtomicU64::new(0));
+            let sink_beats = Arc::clone(&beats);
+            let variants: [(&str, Setup); 3] = [
+                ("ring-off", {
+                    let mut s = setup_by_label(setup_label);
+                    s.sys = s.sys.clone().with_flight_ring(0);
+                    s
+                }),
+                ("ring-4x", {
+                    let mut s = setup_by_label(setup_label);
+                    s.sys = s.sys.clone().with_flight_ring(4 * DEFAULT_FLIGHT_CAPACITY);
+                    s
+                }),
+                ("heartbeat", {
+                    let mut s = setup_by_label(setup_label);
+                    s.sys = s.sys.clone().with_heartbeat(Heartbeat::new(
+                        100,
+                        Arc::new(move |_snap| {
+                            sink_beats.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    ));
+                    s
+                }),
+            ];
+            for (variant, mut setup) in variants {
+                setup.sys = setup.sys.clone().with_backend(backend);
+                let r = run_app(&setup, &app, AppSize::Test, 0);
+                if r.cycles != want_cycles || r.run.report.seq_op_hash != want_hash {
+                    failures.push(format!(
+                        "{app_name} on {setup_label} [{variant}, {backend:?}]: cycles {} (want \
+                         {want_cycles}), op hash {:#018x} (want {want_hash:#018x})",
+                        r.cycles, r.run.report.seq_op_hash
+                    ));
+                }
+                match variant {
+                    "ring-off" => assert!(
+                        r.run.report.flight.iter().all(Vec::is_empty)
+                            && r.run.report.flight_totals.iter().all(|&t| t == 0),
+                        "{setup_label} [{backend:?}]: capacity-0 ring recorded events"
+                    ),
+                    _ => assert!(
+                        r.run.report.flight.iter().any(|t| !t.is_empty()),
+                        "{setup_label} [{variant}, {backend:?}]: armed ring retained nothing"
+                    ),
+                }
+            }
+            assert!(
+                beats.load(Ordering::Relaxed) > 0,
+                "{setup_label} [{backend:?}]: heartbeat sink never fired"
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "live telemetry perturbed simulated results:\n  {}",
         failures.join("\n  ")
     );
 }
